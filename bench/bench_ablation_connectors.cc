@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation: Connector-driven design-space exploration (paper §4: "By
+ * specifying parameters to a Connector, one can ... reconfigure a target
+ * from a single issue machine to a multi-issue machine ... Using such a
+ * scheme, one can quickly and easily explore a wide range of
+ * microarchitectures").
+ *
+ * Sweeps issue width, ROB size, reservation stations and L1 latency on a
+ * fixed workload, reporting target IPC and simulated MIPS, plus the FPGA
+ * resources each configuration would need (nearly flat: §3.3).
+ */
+
+#include "../bench/common.hh"
+
+#include "fpga/model.hh"
+
+namespace fastsim {
+namespace {
+
+struct Variant
+{
+    std::string name;
+    fast::FastConfig cfg;
+};
+
+void
+run()
+{
+    bench::banner("Ablation: microarchitecture exploration through "
+                  "Connector parameters",
+                  "paper §4 — quick target reconfiguration; Fig. 3 "
+                  "defaults as the baseline");
+
+    const auto &w = workloads::byName("164.gzip");
+    std::vector<Variant> variants;
+    auto base = bench::benchConfig(tm::BpKind::Gshare);
+    variants.push_back({"baseline (2-issue, Fig. 3)", base});
+    {
+        auto v = base;
+        v.core.issueWidth = 1;
+        variants.push_back({"1-issue", v});
+    }
+    {
+        auto v = base;
+        v.core.issueWidth = 4;
+        variants.push_back({"4-issue", v});
+    }
+    {
+        auto v = base;
+        v.core.robEntries = 16;
+        variants.push_back({"small ROB (16)", v});
+    }
+    {
+        auto v = base;
+        v.core.rsEntries = 8; // smallest that fits a 5-uop string op
+        variants.push_back({"8 reservation stations", v});
+    }
+    {
+        auto v = base;
+        v.core.caches.l2.hitLatency = 20;
+        variants.push_back({"slow L2 (20 cyc)", v});
+    }
+    {
+        auto v = base;
+        v.core.numAlus = 1;
+        variants.push_back({"single ALU", v});
+    }
+    {
+        auto v = base;
+        v.core.maxNestedBranches = 1;
+        variants.push_back({"1 nested branch", v});
+    }
+
+    stats::TablePrinter table({"Configuration", "IPC", "cycles",
+                               "sim MIPS", "FPGA logic"});
+    double base_ipc = 0;
+    for (auto &v : variants) {
+        fast::FastSimulator sim(v.cfg);
+        auto opts = workloads::bootOptionsFor(w, 4000);
+        opts.timerInterval = 4000;
+        sim.boot(kernel::buildBootImage(opts));
+        auto r = sim.run(2000000000ull);
+        if (!r.finished) {
+            std::printf("warning: %s did not finish\n", v.name.c_str());
+            continue;
+        }
+        auto perf = fast::evaluatePerf(fast::extractActivity(sim),
+                                       fast::PerfParams());
+        auto u = fpga::estimate(v.cfg.core, fpga::virtex4lx200());
+        table.addRow({v.name, stats::TablePrinter::num(r.ipc, 3),
+                      std::to_string(r.cycles),
+                      stats::TablePrinter::num(perf.mips, 2),
+                      stats::TablePrinter::pct(u.userLogicFraction, 1)});
+        if (v.name.find("baseline") == 0)
+            base_ipc = r.ipc;
+    }
+    table.print();
+
+    std::printf("\nShape checks:\n");
+    std::printf("  resource-constrained variants lose IPC vs the baseline "
+                "(%.3f), while FPGA\n  utilization stays nearly flat — the "
+                "two core FAST claims about exploration.\n",
+                base_ipc);
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

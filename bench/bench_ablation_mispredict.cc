@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: the prototype's mis-speculation limitations (paper §4.1/§4.5).
+ *
+ *  1. drainOnMispredict: "Resolving mis-predictions currently require
+ *     flushing the pipeline through the ROB before right-path instructions
+ *     can enter the pipeline" — measures the target-cycle cost of that
+ *     limitation against a fixed-at-resolution redirect.
+ *  2. Reserve-at-fetch (paper §5): how far the "inherently inaccurate"
+ *     scheme's IPC estimate drifts from the real out-of-order core.
+ */
+
+#include "../bench/common.hh"
+
+#include "baseline/reserve_at_fetch.hh"
+
+namespace fastsim {
+namespace {
+
+void
+drainAblation()
+{
+    std::printf("Mispredict pipeline-drain limitation (paper §4.1):\n");
+    stats::TablePrinter table({"Config", "cycles", "IPC", "drain cycles",
+                               "sim MIPS"});
+    for (bool drain : {true, false}) {
+        fast::FastConfig cfg = bench::benchConfig(tm::BpKind::Gshare);
+        cfg.core.drainOnMispredict = drain;
+        fast::FastSimulator sim(cfg);
+        auto opts = workloads::bootOptionsFor(
+            workloads::byName("300.twolf"), 6000);
+        opts.timerInterval = 4000;
+        sim.boot(kernel::buildBootImage(opts));
+        auto r = sim.run(2000000000ull);
+        if (!r.finished)
+            continue;
+        auto perf = fast::evaluatePerf(fast::extractActivity(sim),
+                                       fast::PerfParams());
+        table.addRow({drain ? "flush through ROB (prototype)"
+                            : "redirect at resolution (improved)",
+                      std::to_string(r.cycles),
+                      stats::TablePrinter::num(r.ipc, 3),
+                      std::to_string(
+                          sim.core().stats().value("drain_cycles")),
+                      stats::TablePrinter::num(perf.mips, 2)});
+    }
+    table.print();
+    std::printf("  -> removing the drain limitation raises target IPC and "
+                "simulator MIPS — one of\n     the two improvements §4.5 "
+                "names for future performance.\n\n");
+}
+
+void
+reserveAtFetchAblation()
+{
+    std::printf("Reserve-at-fetch inaccuracy (paper §5):\n");
+    stats::TablePrinter table({"Workload", "OOO core IPC",
+                               "reserve-at-fetch IPC", "overestimate"});
+    for (const char *name : {"164.gzip", "181.mcf", "254.gap"}) {
+        fast::FastConfig cfg = bench::benchConfig(tm::BpKind::Perfect);
+        fast::FastSimulator sim(cfg);
+        auto opts = workloads::bootOptionsFor(workloads::byName(name),
+                                              3000);
+        opts.timerInterval = 4000;
+        sim.boot(kernel::buildBootImage(opts));
+
+        baseline::RafConfig raf_cfg;
+        raf_cfg.bpAccuracy = 1.0;
+        baseline::ReserveAtFetchModel raf(raf_cfg);
+        sim.core().onCommit = [&raf](const fm::TraceEntry &e) {
+            raf.consume(e);
+        };
+        auto r = sim.run(2000000000ull);
+        if (!r.finished)
+            continue;
+        table.addRow(
+            {name, stats::TablePrinter::num(sim.core().ipc(), 3),
+             stats::TablePrinter::num(raf.ipc(), 3),
+             stats::TablePrinter::pct(raf.ipc() / sim.core().ipc() - 1.0)});
+    }
+    table.print();
+    std::printf("  -> reserving resources at fetch hides later-vs-earlier "
+                "contention, so it\n     consistently predicts a faster "
+                "machine than the cycle-accurate core.\n");
+}
+
+void
+run()
+{
+    bench::banner("Ablation: mis-speculation handling",
+                  "paper §4.1 prototype limitation and §5's "
+                  "reserve-at-fetch critique");
+    drainAblation();
+    reserveAtFetchAblation();
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

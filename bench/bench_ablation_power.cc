@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: relative power estimation (paper §6 future work).
+ *
+ * "Such a simulator can also be used by application writers to optimize
+ * power algorithms and to better write code that trades off power for
+ * performance."  Compares relative energy across target configurations
+ * and across branch predictors (mis-speculated work is wasted energy),
+ * and prints the per-structure breakdown for the default target.
+ */
+
+#include "../bench/common.hh"
+
+#include "tm/power.hh"
+
+namespace fastsim {
+namespace {
+
+tm::PowerBreakdown
+runPower(fast::FastConfig cfg, Cycle *cycles)
+{
+    fast::FastSimulator sim(cfg);
+    auto opts = workloads::bootOptionsFor(
+        workloads::byName("164.gzip"), 3000);
+    opts.timerInterval = 4000;
+    sim.boot(kernel::buildBootImage(opts));
+    auto r = sim.run(2000000000ull);
+    *cycles = r.cycles;
+    return tm::estimatePower(sim.core());
+}
+
+void
+run()
+{
+    bench::banner("Ablation: relative power estimation",
+                  "paper §6 — architecture comparison by relative energy");
+
+    // Per-structure breakdown on the default target.
+    Cycle cycles = 0;
+    auto base = runPower(bench::benchConfig(tm::BpKind::Gshare), &cycles);
+    std::printf("Per-structure energy, default two-issue target "
+                "(relative units):\n");
+    stats::TablePrinter bd({"Structure", "energy (REU)", "share"});
+    for (const auto &item : base.items) {
+        bd.addRow({item.structure,
+                   stats::TablePrinter::num(item.energy, 0),
+                   stats::TablePrinter::pct(item.energy / base.totalEnergy,
+                                            1)});
+    }
+    bd.print();
+    std::printf("total %.0f REU over %llu cycles; %.2f REU/commit\n\n",
+                base.totalEnergy, static_cast<unsigned long long>(cycles),
+                base.energyPerCommit);
+
+    // Architecture comparison.
+    std::printf("Configuration comparison (same workload):\n");
+    stats::TablePrinter cmp({"Configuration", "cycles", "REU/commit",
+                             "avg REU/cycle"});
+    struct V
+    {
+        const char *name;
+        fast::FastConfig cfg;
+    };
+    std::vector<V> variants;
+    variants.push_back({"2-issue, gshare (baseline)",
+                        bench::benchConfig(tm::BpKind::Gshare)});
+    variants.push_back({"2-issue, perfect BP",
+                        bench::benchConfig(tm::BpKind::Perfect)});
+    variants.push_back({"2-issue, 2-bit BP",
+                        bench::benchConfig(tm::BpKind::TwoBit)});
+    {
+        auto v = bench::benchConfig(tm::BpKind::Gshare);
+        v.core.issueWidth = 1;
+        variants.push_back({"1-issue, gshare", v});
+    }
+    {
+        auto v = bench::benchConfig(tm::BpKind::Gshare);
+        v.core.caches.l2.sizeBytes = 1024 * 1024;
+        variants.push_back({"1MB L2, gshare", v});
+    }
+    for (auto &v : variants) {
+        Cycle c = 0;
+        auto p = runPower(v.cfg, &c);
+        cmp.addRow({v.name, std::to_string(c),
+                    stats::TablePrinter::num(p.energyPerCommit, 2),
+                    stats::TablePrinter::num(p.avgPowerPerCycle, 2)});
+    }
+    cmp.print();
+
+    std::printf("\nShape checks:\n");
+    std::printf("  worse prediction -> more energy per committed "
+                "instruction (wasted squashed work);\n  bigger structures "
+                "-> more leakage; 1-issue -> lower power, more cycles.\n");
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

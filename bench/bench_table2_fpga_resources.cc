@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates paper Table 2: the fraction of a Virtex-4 LX200 consumed by
+ * the default FAST timing model, as the target issue width sweeps over
+ * 1, 2, 4 and 8.
+ *
+ * Expected shape: utilization nearly flat (~32.8% user logic, ~50-51%
+ * block RAMs) — wide targets reuse serialized structures across host
+ * cycles (§3.3) rather than replicating hardware.
+ */
+
+#include <cstdio>
+
+#include "base/statistics.hh"
+#include "fpga/model.hh"
+
+namespace fastsim {
+namespace {
+
+void
+run()
+{
+    std::printf("\nTable 2: Fraction of a Virtex-4 LX200 Consumed by the "
+                "Default FAST Timing Model\n");
+    std::printf("Reproduces: paper Table 2 (user logic %%, block RAM %% vs "
+                "issue width)\n\n");
+
+    const double logic_paper[] = {32.84, 32.76, 32.81, 32.87};
+    const double bram_paper[] = {50.0, 51.2, 51.2, 51.2};
+
+    stats::TablePrinter table({"Issue Width", "User Logic", "paper",
+                               "Block RAMs", "paper ", "build est."});
+    const unsigned widths[] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        tm::CoreConfig cfg;
+        cfg.issueWidth = widths[i];
+        auto u = fpga::estimate(cfg, fpga::virtex4lx200());
+        table.addRow({std::to_string(widths[i]),
+                      stats::TablePrinter::pct(u.userLogicFraction, 2),
+                      stats::TablePrinter::num(logic_paper[i], 2) + "%",
+                      stats::TablePrinter::pct(u.blockRamFraction, 2),
+                      stats::TablePrinter::num(bram_paper[i], 1) + "%",
+                      stats::TablePrinter::num(fpga::buildMinutes(u), 0) +
+                          " min"});
+    }
+    table.print();
+
+    // Device-fit survey (§5.1 context: whole processors barely fit; FAST
+    // timing models do).
+    std::printf("\nDevice fit for the default two-issue timing model:\n");
+    stats::TablePrinter fit({"Device", "User Logic", "Block RAMs", "fits"});
+    tm::CoreConfig cfg;
+    for (const auto &dev : fpga::knownDevices()) {
+        auto u = fpga::estimate(cfg, dev);
+        fit.addRow({dev.name,
+                    stats::TablePrinter::pct(u.userLogicFraction, 1),
+                    stats::TablePrinter::pct(u.blockRamFraction, 1),
+                    u.fits ? "yes" : "no"});
+    }
+    fit.print();
+
+    std::printf("\nShape checks:\n");
+    std::printf("  utilization nearly flat across issue widths 1..8 "
+                "(multi-host-cycle reuse, paper §3.3)\n");
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

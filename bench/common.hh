@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the paper's
+ * tables and figures.  Each bench is a standalone executable printing the
+ * same rows/series the paper reports (paper-reported values are shown
+ * alongside for comparison; see EXPERIMENTS.md).
+ */
+
+#ifndef FASTSIM_BENCH_COMMON_HH
+#define FASTSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "base/statistics.hh"
+#include "fast/perf_model.hh"
+#include "fast/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace bench {
+
+/** Everything the benches want from one FAST run. */
+struct BenchRun
+{
+    std::string workload;
+    bool finished = false;
+    std::uint64_t insts = 0;
+    Cycle cycles = 0;
+    double ipc = 0;
+    double bpAccuracy = 0;      //!< TM branch-predictor accuracy
+    double mips = 0;            //!< modeled DRC-host MIPS
+    std::string bottleneck;
+    double hostCyclesPerCycle = 0;
+    fast::RunActivity activity;
+};
+
+/** Build the standard bench configuration. */
+inline fast::FastConfig
+benchConfig(tm::BpKind bp_kind, double fixed_acc = 0.97)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.bp.kind = bp_kind;
+    cfg.core.bp.fixedAccuracy = fixed_acc;
+    cfg.core.statsIntervalBb = 1u << 30; // sampling off unless asked
+    return cfg;
+}
+
+/** Run one workload at its bench scale on the coupled FAST simulator. */
+inline BenchRun
+runWorkload(const workloads::Workload &w, tm::BpKind bp_kind,
+            double fixed_acc = 0.97, unsigned scale_override = 0,
+            Cycle max_cycles = 2000000000ull)
+{
+    fast::FastSimulator sim(benchConfig(bp_kind, fixed_acc));
+    auto opts = workloads::bootOptionsFor(
+        w, scale_override ? scale_override : w.benchScale);
+    opts.timerInterval = 4000; // target cycles between timer ticks
+    sim.boot(kernel::buildBootImage(opts));
+    auto r = sim.run(max_cycles);
+
+    BenchRun b;
+    b.workload = w.name;
+    b.finished = r.finished;
+    b.insts = r.insts;
+    b.cycles = r.cycles;
+    b.ipc = r.ipc;
+    b.bpAccuracy = sim.core().bp().accuracy();
+    b.activity = fast::extractActivity(sim);
+    auto perf = fast::evaluatePerf(b.activity, fast::PerfParams());
+    b.mips = perf.mips;
+    b.bottleneck = perf.bottleneck;
+    b.hostCyclesPerCycle = sim.core().hostCyclesPerTargetCycle();
+    return b;
+}
+
+/** Format "n/a" for missing paper reference values (-1). */
+inline std::string
+refOrNa(double v, int precision = 2)
+{
+    if (v < 0)
+        return "n/a";
+    return stats::TablePrinter::num(v, precision);
+}
+
+/** Print a bench header. */
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("\n==========================================================="
+                "=====================\n");
+    std::printf("%s\n", title);
+    std::printf("Reproduces: %s\n", paper_ref);
+    std::printf("============================================================"
+                "====================\n\n");
+}
+
+} // namespace bench
+} // namespace fastsim
+
+#endif // FASTSIM_BENCH_COMMON_HH

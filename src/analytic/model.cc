@@ -1,0 +1,89 @@
+#include "analytic/model.hh"
+
+#include <algorithm>
+
+namespace fastsim {
+namespace analytic {
+
+ModelResult
+evaluate(const ModelParams &p)
+{
+    ModelResult r;
+    const double extra =
+        p.roundTripFraction *
+        (p.roundTripNs + p.a.alphaSelfNs + p.b.alphaOtherNs);
+    const double extra_b =
+        p.roundTripFraction *
+        (p.roundTripNs + p.b.alphaSelfNs + p.a.alphaOtherNs);
+    const double denom_a = p.a.tNs + extra;
+    const double denom_b = p.b.tNs + extra_b;
+    r.cA = denom_a > 0 ? 1e9 / denom_a : 0;
+    r.cB = denom_b > 0 ? 1e9 / denom_b : 1e18;
+    r.cycles = std::min(r.cA, r.cB);
+    r.mips = r.cycles / 1e6;
+    return r;
+}
+
+double
+fastRoundTripFraction(double bp_accuracy, double branch_ratio)
+{
+    // One round trip for the mis-predict, one for the resolution (§3.1:
+    // "The factor of two accounts for the round-trip for branch mis-predict
+    // and the round-trip for branch resolution").
+    return (1.0 - bp_accuracy) * branch_ratio * 2.0;
+}
+
+WorkedExamples
+paperExamples()
+{
+    WorkedExamples w;
+
+    // "add an infinitely fast FPGA-based L1 iCache (T_B = 0) to a software
+    // simulator that runs at 10MIPS (T_A = 100ns) ... L_rt = 469ns ...
+    // 1/(100ns+469ns) = 1.8MIPS".
+    {
+        ModelParams p;
+        p.a.tNs = 100.0;
+        p.b.tNs = 0.0;
+        p.roundTripFraction = 1.0; // a round trip every instruction
+        p.roundTripNs = 469.0;
+        w.naivePartition = evaluate(p);
+    }
+
+    // "Even if the original simulator was infinitely fast, performance
+    // could not exceed 2.1MIPS".
+    {
+        ModelParams p;
+        p.a.tNs = 0.0;
+        p.b.tNs = 0.0;
+        p.roundTripFraction = 1.0;
+        p.roundTripNs = 469.0;
+        w.naiveInfinitelyFast = evaluate(p);
+    }
+
+    // "a 92% branch predictor and a 20% dynamic branch instruction ratio,
+    // F = 0.08 x .2 x 2 = 0.032 ... 1/(100ns+.032x469ns) = 8.7MIPS".
+    {
+        ModelParams p;
+        p.a.tNs = 100.0;
+        p.b.tNs = 0.0;
+        p.roundTripFraction = fastRoundTripFraction(0.92, 0.2);
+        p.roundTripNs = 469.0;
+        w.fastPartition = evaluate(p);
+    }
+
+    // "If α_BA = 1000ns ... 1/(100ns+.032x(469ns+1000ns)) = 6.8MIPS".
+    {
+        ModelParams p;
+        p.a.tNs = 100.0;
+        p.b.tNs = 0.0;
+        p.b.alphaOtherNs = 1000.0;
+        p.roundTripFraction = fastRoundTripFraction(0.92, 0.2);
+        p.roundTripNs = 469.0;
+        w.fastWithRollback = evaluate(p);
+    }
+    return w;
+}
+
+} // namespace analytic
+} // namespace fastsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The analytical model of partitioned-simulator performance (paper §3.1).
+ *
+ * The simulator is split into components A and B running in parallel.
+ * Per-target-cycle costs T_A and T_B include all one-way communication.
+ * A fraction F of cycles require a round trip of latency L_rt plus extra
+ * work α on each side.  Component A's achievable rate is
+ *
+ *     C_A = 1 / (T_A + F × (L_rt + α_AA + α_BA))          [cycles/sec]
+ *
+ * and the simulator speed is min(C_A, C_B).  This model explains why
+ * parallelizing on arbitrary module boundaries fails (F ≈ 1) while the
+ * FAST functional/timing boundary succeeds (F = mis-speculation rate ×
+ * branch ratio × 2).
+ */
+
+#ifndef FASTSIM_ANALYTIC_MODEL_HH
+#define FASTSIM_ANALYTIC_MODEL_HH
+
+namespace fastsim {
+namespace analytic {
+
+/** Inputs for one component of the partitioned simulator. */
+struct ComponentParams
+{
+    double tNs = 0;       //!< T: seconds-per-target-cycle term, in ns
+    double alphaSelfNs = 0; //!< α_AA: extra work on this side per round trip
+    double alphaOtherNs = 0; //!< α_BA: extra work on the other side
+};
+
+/** Full model inputs. */
+struct ModelParams
+{
+    ComponentParams a; //!< e.g. the software functional model
+    ComponentParams b; //!< e.g. the FPGA timing model
+    double roundTripFraction = 0; //!< F: fraction of cycles with round trips
+    double roundTripNs = 0;       //!< L_rt
+};
+
+/** Model outputs. */
+struct ModelResult
+{
+    double cA = 0;       //!< component A rate, cycles/sec
+    double cB = 0;       //!< component B rate
+    double cycles = 0;   //!< simulator rate = min(cA, cB), cycles/sec
+    double mips = 0;     //!< at IPC 1: cycles/sec expressed in MIPS
+};
+
+/** Evaluate the model. */
+ModelResult evaluate(const ModelParams &p);
+
+/**
+ * F for a FAST simulator: round trips happen on branch mis-speculation
+ * *and* resolution (factor 2).
+ *
+ * @param bp_accuracy   e.g. 0.92
+ * @param branch_ratio  dynamic branch fraction, e.g. 0.2
+ */
+double fastRoundTripFraction(double bp_accuracy, double branch_ratio);
+
+/**
+ * The paper's worked examples, §3.1 (MIPS at IPC 1):
+ *  - naive module-boundary partition (FPGA L1 iCache):        1.8 MIPS
+ *  - same with an infinitely fast software side:              2.1 MIPS
+ *  - FAST boundary, 92% BP, 20% branches:                     8.7 MIPS
+ *  - with 1000 ns roll-back overhead per round trip:          6.8 MIPS
+ */
+struct WorkedExamples
+{
+    ModelResult naivePartition;
+    ModelResult naiveInfinitelyFast;
+    ModelResult fastPartition;
+    ModelResult fastWithRollback;
+};
+
+WorkedExamples paperExamples();
+
+} // namespace analytic
+} // namespace fastsim
+
+#endif // FASTSIM_ANALYTIC_MODEL_HH

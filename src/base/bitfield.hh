@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * timing-model hardware primitives.
+ */
+
+#ifndef FASTSIM_BASE_BITFIELD_HH
+#define FASTSIM_BASE_BITFIELD_HH
+
+#include <cstdint>
+
+namespace fastsim {
+
+/** Return a value with bits [first, last] set (first >= last). */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << nbits) - 1;
+}
+
+/** Extract bits [first:last] (inclusive, first >= last) of val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned first, unsigned last)
+{
+    return (val >> last) & mask(first - last + 1);
+}
+
+/** Extract a single bit. */
+constexpr bool
+bit(std::uint64_t val, unsigned n)
+{
+    return (val >> n) & 1;
+}
+
+/** Sign-extend the low nbits of val to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t val, unsigned nbits)
+{
+    std::uint64_t m = std::uint64_t(1) << (nbits - 1);
+    val &= mask(nbits);
+    return static_cast<std::int64_t>((val ^ m) - m);
+}
+
+/** True iff val is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Floor of log2(val); val must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    unsigned l = 0;
+    while (val >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(val); val must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t val)
+{
+    return floorLog2(val) + (isPowerOf2(val) ? 0 : 1);
+}
+
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_BITFIELD_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated; this is a simulator bug.
+ * fatal()  - the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments).
+ * warn()   - something is not modeled as well as it could be, but the
+ *            simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef FASTSIM_BASE_LOGGING_HH
+#define FASTSIM_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fastsim {
+
+/** Exception thrown by panic() so tests can observe invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal() for unusable user configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort the simulation. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    throw PanicError(detail::formatMessage(fmt, args...));
+}
+
+/** Report an unrecoverable user error and abort the simulation. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    throw FatalError(detail::formatMessage(fmt, args...));
+}
+
+/** Report a condition that is modeled approximately. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** Plain status output. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** panic() unless the given condition holds. */
+#define fastsim_assert(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::fastsim::panic("assertion '%s' failed at %s:%d", #cond,        \
+                             __FILE__, __LINE__);                            \
+        }                                                                    \
+    } while (0)
+
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_LOGGING_HH

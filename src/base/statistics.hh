@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight statistics support: named scalar counters grouped per module,
+ * interval tracing (the hardware "statistics fabric" of paper §4.6 gathers
+ * counters continuously; we model it as zero-simulation-cost sampling), and
+ * an aligned table printer for bench output.
+ */
+
+#ifndef FASTSIM_BASE_STATISTICS_HH
+#define FASTSIM_BASE_STATISTICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastsim {
+namespace stats {
+
+/**
+ * A group of named scalar statistics.
+ *
+ * Modules own a Group and register counters by name; the FAST statistics
+ * fabric (paper §4.6) aggregates these in hardware with no slowdown, so no
+ * cost is charged to the host-cycle model for updates.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Fetch (creating if needed) a counter by name. */
+    std::uint64_t &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read a counter; returns 0 for unknown names. */
+    std::uint64_t
+    value(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * A time series sampled at a fixed interval of some progress unit
+ * (e.g., every 100K basic blocks, as in paper Figure 6).
+ */
+class IntervalSeries
+{
+  public:
+    struct Sample
+    {
+        std::uint64_t position; //!< progress units at sample time
+        double value;
+    };
+
+    explicit IntervalSeries(std::string name) : name_(std::move(name)) {}
+
+    void
+    record(std::uint64_t position, double value)
+    {
+        samples_.push_back({position, value});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<Sample> &samples() const { return samples_; }
+
+  private:
+    std::string name_;
+    std::vector<Sample> samples_;
+};
+
+/** Render rows of strings into an aligned monospace table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format an aligned table, headers underlined with dashes. */
+    std::string str() const;
+
+    /** Convenience: print to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage ("97.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace stats
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_STATISTICS_HH

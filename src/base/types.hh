@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef FASTSIM_BASE_TYPES_HH
+#define FASTSIM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace fastsim {
+
+/** Virtual or physical memory address in the target machine. */
+using Addr = std::uint32_t;
+
+/** Physical address type (the target has a 32-bit physical space). */
+using PAddr = std::uint32_t;
+
+/** Target-clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Host (FPGA) clock cycle count. */
+using HostCycle = std::uint64_t;
+
+/**
+ * Dynamic instruction number (IN).
+ *
+ * Every dynamic instruction the functional model emits is assigned a
+ * monotonically increasing IN.  Roll-back (set_pc) rewinds the IN counter:
+ * after set_pc(n, pc) the next instruction executed is assigned IN == n.
+ */
+using InstNum = std::uint64_t;
+
+/** Speculation epoch; bumped on every functional-model resteer. */
+using Epoch = std::uint32_t;
+
+/** Simulated wall-clock time, in nanoseconds of host time. */
+using HostNs = double;
+
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_TYPES_HH

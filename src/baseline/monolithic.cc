@@ -1,0 +1,50 @@
+#include "baseline/monolithic.hh"
+
+#include <chrono>
+
+namespace fastsim {
+namespace baseline {
+
+namespace {
+
+fast::FastConfig
+lockstepConfig(fast::FastConfig cfg)
+{
+    // Lock-step: the functional model produces exactly enough to keep the
+    // timing model's fetch fed, never running ahead.
+    cfg.fmStepsPerCycle = cfg.core.issueWidth;
+    cfg.traceBufferEntries = 4 * cfg.core.issueWidth;
+    return cfg;
+}
+
+} // namespace
+
+MonolithicSimulator::MonolithicSimulator(const fast::FastConfig &cfg)
+    : sim_(lockstepConfig(cfg))
+{
+}
+
+void
+MonolithicSimulator::boot(const kernel::BootImage &image)
+{
+    sim_.boot(image);
+}
+
+MeasuredRun
+MonolithicSimulator::run(Cycle max_cycles)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim_.run(max_cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    MeasuredRun m;
+    m.targetInsts = r.insts;
+    m.targetCycles = r.cycles;
+    m.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.kips = m.wallSeconds > 0
+                 ? double(m.targetInsts) / m.wallSeconds / 1000.0
+                 : 0;
+    return m;
+}
+
+} // namespace baseline
+} // namespace fastsim

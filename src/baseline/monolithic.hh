@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Baseline software simulators for the Table-3 comparison.
+ *
+ * MonolithicSimulator — a conventional integrated cycle-accurate simulator
+ * (sim-outorder style): the functional interpreter and the full timing
+ * model run in one host thread, in lock step, one target cycle at a time.
+ * Its performance is *measured* host wall-clock KIPS, the number Table 3
+ * reports for software simulators.
+ *
+ * The timing-directed lock-step partitioned simulator (Asim/Opal style,
+ * §5) over a real host link is evaluated analytically in the Table-3
+ * bench using the §3.1 model with F = 1 (a round trip essentially every
+ * cycle).
+ */
+
+#ifndef FASTSIM_BASELINE_MONOLITHIC_HH
+#define FASTSIM_BASELINE_MONOLITHIC_HH
+
+#include "fast/simulator.hh"
+
+namespace fastsim {
+namespace baseline {
+
+/** Measured result of a monolithic run. */
+struct MeasuredRun
+{
+    std::uint64_t targetInsts = 0;
+    Cycle targetCycles = 0;
+    double wallSeconds = 0;
+    double kips = 0; //!< simulated thousand-instructions per host second
+};
+
+/**
+ * Conventional integrated cycle-accurate simulator.
+ *
+ * Internally this drives the same functional interpreter and the same
+ * cycle-accurate core as the FAST configuration — the defining difference
+ * is structural: everything executes serially in one host thread with the
+ * functional model in lock step (no run-ahead), which is precisely what
+ * FAST parallelizes away.
+ */
+class MonolithicSimulator
+{
+  public:
+    explicit MonolithicSimulator(const fast::FastConfig &cfg);
+
+    void boot(const kernel::BootImage &image);
+
+    /** Run to guest completion (or cycle bound), measuring wall time. */
+    MeasuredRun run(Cycle max_cycles);
+
+    fast::FastSimulator &inner() { return sim_; }
+
+  private:
+    fast::FastSimulator sim_;
+};
+
+} // namespace baseline
+} // namespace fastsim
+
+#endif // FASTSIM_BASELINE_MONOLITHIC_HH

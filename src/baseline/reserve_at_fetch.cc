@@ -1,0 +1,70 @@
+#include "baseline/reserve_at_fetch.hh"
+
+namespace fastsim {
+namespace baseline {
+
+using ucode::UopKind;
+
+ReserveAtFetchModel::ReserveAtFetchModel(const RafConfig &cfg)
+    : cfg_(cfg), ucode_(ucode::UcodeTable::defaultTable()),
+      caches_(cfg.caches)
+{
+}
+
+void
+ReserveAtFetchModel::consume(const fm::TraceEntry &e)
+{
+    // Fetch-slot reservation: issueWidth instructions per cycle.
+    if (slotsThisCycle_ >= cfg_.issueWidth) {
+        ++cycle_;
+        slotsThisCycle_ = 0;
+    }
+    ++slotsThisCycle_;
+    ++insts_;
+
+    // Reserve all resources now, in fetch order: a later instruction can
+    // never contend with this one (the inherent inaccuracy).
+    const auto &uops = ucode_.entry(e.op).uops;
+    for (const auto &u : uops) {
+        switch (u.kind) {
+          case UopKind::IntOp:
+          case UopKind::FpOp:
+          case UopKind::IntMul:
+          case UopKind::IntDiv:
+          case UopKind::FpDiv: {
+            const Cycle start = std::max(cycle_, aluReservedUntil_);
+            aluReservedUntil_ =
+                start + (u.latency + cfg_.numAlus - 1) / cfg_.numAlus;
+            break;
+          }
+          case UopKind::Load: {
+            const Cycle start = std::max(cycle_, lsuReservedUntil_);
+            const auto r = caches_.accessData(e.loadPa, start);
+            lsuReservedUntil_ = start + 1;
+            if (!r.l1Hit)
+                cycle_ += r.latency / 4; // partial overlap assumption
+            break;
+          }
+          case UopKind::Store: {
+            const Cycle start = std::max(cycle_, lsuReservedUntil_);
+            caches_.accessData(e.storePa, start);
+            lsuReservedUntil_ = start + 1;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    if (e.isBranch) {
+        bpDebt_ += 1.0 - cfg_.bpAccuracy;
+        if (bpDebt_ >= 1.0) {
+            bpDebt_ -= 1.0;
+            cycle_ += cfg_.mispredictPenalty;
+            slotsThisCycle_ = 0;
+        }
+    }
+}
+
+} // namespace baseline
+} // namespace fastsim

@@ -1,0 +1,275 @@
+#include "fast/parallel.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace fast {
+
+using tm::TmEvent;
+
+ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
+    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast_parallel")
+{
+    fm::FmConfig fm_cfg = cfg.fm;
+    fm_cfg.fmDrivenDevices = false;
+    fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
+    core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+}
+
+ParallelFastSimulator::~ParallelFastSimulator()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (fmThread_.joinable())
+        fmThread_.join();
+}
+
+void
+ParallelFastSimulator::boot(const kernel::BootImage &image)
+{
+    kernel::loadAndReset(*fm_, image);
+}
+
+void
+ParallelFastSimulator::applyMessage(const TmEvent &e)
+{
+    // Runs on the FM thread with mu_ held.
+    switch (e.kind) {
+      case TmEvent::Kind::WrongPath:
+        tb_.rewindTo(e.in);
+        fm_->setPc(e.in, e.pc, /*wrong_path=*/true);
+        fmStalledWrongPath_ = false;
+        ++stats_.counter("wrong_path_resteers");
+        break;
+      case TmEvent::Kind::Resolve:
+        tb_.rewindTo(e.in);
+        fm_->setPc(e.in, e.pc, /*wrong_path=*/false);
+        fmStalledWrongPath_ = false;
+        ++stats_.counter("resolve_resteers");
+        break;
+      case TmEvent::Kind::Commit:
+        fm_->commit(e.in);
+        tb_.commitTo(e.in);
+        break;
+      case TmEvent::Kind::RefetchAt:
+        break; // the core handled the TB itself
+      case TmEvent::Kind::InjectTimer:
+        tb_.rewindTo(e.in);
+        fm_->resteerForInterrupt(e.in, isa::VecTimer);
+        fmStalledWrongPath_ = false;
+        ++stats_.counter("timer_interrupts");
+        break;
+      case TmEvent::Kind::InjectDisk:
+        tb_.rewindTo(e.in);
+        fm_->resteerForDiskComplete(e.in);
+        fmStalledWrongPath_ = false;
+        ++stats_.counter("disk_completions");
+        break;
+    }
+}
+
+void
+ParallelFastSimulator::fmThreadMain()
+{
+    using namespace std::chrono_literals;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+        // Apply protocol messages in order.
+        bool applied = false;
+        while (!toFm_.empty()) {
+            TmEvent e = toFm_.front();
+            toFm_.pop_front();
+            applyMessage(e);
+            applied = true;
+        }
+        if (applied)
+            cv_.notify_all();
+
+        if (tb_.full() || fmStalledWrongPath_ || guestFinished_) {
+            updateQuiescence();
+            fmBlocked_ = true;
+            cv_.notify_all();
+            cv_.wait_for(lk, 200us);
+            fmBlocked_ = false;
+            continue;
+        }
+
+        // Heavy interpretation happens outside the lock: this is the
+        // parallelism the partitioning buys (§3).
+        lk.unlock();
+        fm::StepResult r = fm_->step();
+        lk.lock();
+
+        switch (r.kind) {
+          case fm::StepResult::Kind::Ok:
+            tb_.push(r.entry);
+            cv_.notify_all();
+            break;
+          case fm::StepResult::Kind::Halted:
+            updateQuiescence();
+            fmBlocked_ = true;
+            cv_.notify_all();
+            cv_.wait_for(lk, 200us);
+            fmBlocked_ = false;
+            break;
+          case fm::StepResult::Kind::WrongPathStall:
+            fmStalledWrongPath_ = true;
+            break;
+        }
+
+        // Publish device-facing state for the TM thread's timing decisions.
+        timerEnabledSnap_ = fm_->timer().enabled();
+        timerIntervalSnap_ = fm_->timer().interval();
+        diskBusySnap_ = fm_->disk().busy();
+        updateQuiescence();
+    }
+}
+
+void
+ParallelFastSimulator::updateQuiescence()
+{
+    // "The guest is done" must be a live property, never a latch: the FM
+    // can touch the final halt during speculative run-ahead and then be
+    // rolled back by a later resteer.  Quiescence additionally requires
+    // that everything the FM produced has been committed by the TM.
+    guestFinished_ = fm_->halted() &&
+                     !(fm_->state().flags & isa::FlagI) &&
+                     fm_->lastCommitted() + 1 == fm_->nextIn();
+}
+
+void
+ParallelFastSimulator::deviceTiming()
+{
+    // TM thread, mu_ held.
+    const Cycle now = core_->cycle();
+    if (timerEnabledSnap_) {
+        if (!timerArmed_) {
+            timerArmed_ = true;
+            timerNextFire_ = now + timerIntervalSnap_;
+        }
+        if (now >= timerNextFire_ && !pendingTimerIrq_) {
+            pendingTimerIrq_ = true;
+            timerNextFire_ = now + timerIntervalSnap_;
+        }
+    } else {
+        timerArmed_ = false;
+    }
+    if (diskBusySnap_ && !diskScheduled_ && !pendingDiskComplete_ &&
+        !injectQueued_) {
+        diskScheduled_ = true;
+        diskCompleteAt_ = now + cfg_.diskLatencyCycles;
+    }
+    if (diskScheduled_ && now >= diskCompleteAt_) {
+        diskScheduled_ = false;
+        pendingDiskComplete_ = true;
+    }
+    if (!pendingTimerIrq_ && !pendingDiskComplete_)
+        return;
+    if (injectQueued_)
+        return; // one injection in flight at a time
+    core_->requestDrain();
+    if (!core_->drained())
+        return;
+    // Everything fetched has been committed; the Commit messages are
+    // already queued ahead of the injection, so the FM thread applies them
+    // first and the committed-boundary contract holds.
+    const InstNum in = core_->nextFetchIn();
+    TmEvent e;
+    e.in = in;
+    if (pendingDiskComplete_) {
+        e.kind = TmEvent::Kind::InjectDisk;
+        pendingDiskComplete_ = false;
+        diskBusySnap_ = false;
+    } else {
+        e.kind = TmEvent::Kind::InjectTimer;
+        pendingTimerIrq_ = false;
+    }
+    toFm_.push_back(e);
+    injectQueued_ = true;
+    core_->noteResteer();
+}
+
+bool
+ParallelFastSimulator::finishedLocked() const
+{
+    return guestFinished_ && toFm_.empty() && tb_.unfetched() == 0 &&
+           core_->drained();
+}
+
+void
+ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
+{
+    using namespace std::chrono_literals;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+        if (core_->cycle() >= max_cycles)
+            break;
+        if (finishedLocked())
+            break;
+        const bool can_tick =
+            tb_.unfetched() >= cfg_.core.issueWidth || fmBlocked_ ||
+            fmStalledWrongPath_ || !core_->drained() || injectQueued_;
+        if (!can_tick) {
+            cv_.wait_for(lk, 100us);
+            continue;
+        }
+        core_->tick();
+        for (const TmEvent &e : core_->drainEvents()) {
+            switch (e.kind) {
+              case TmEvent::Kind::WrongPath:
+              case TmEvent::Kind::Resolve:
+              case TmEvent::Kind::Commit:
+                toFm_.push_back(e);
+                break;
+              default:
+                break;
+            }
+        }
+        if (injectQueued_ && toFm_.empty())
+            injectQueued_ = false; // the FM consumed the injection
+        deviceTiming();
+        cv_.notify_all();
+
+        // Fairness hand-off: this thread would otherwise hold the mutex
+        // continuously and starve the FM thread of the lock.  Release it
+        // whenever the FM has work (messages pending, or room to produce).
+        const bool fm_runnable =
+            !toFm_.empty() || (!tb_.full() && !fmStalledWrongPath_ &&
+                               !guestFinished_);
+        if (fm_runnable && (++handoffTick_ % 4 == 0 || !toFm_.empty())) {
+            lk.unlock();
+            std::this_thread::yield();
+            lk.lock();
+        }
+    }
+}
+
+RunResult
+ParallelFastSimulator::run(Cycle max_cycles)
+{
+    fmThread_ = std::thread([this] { fmThreadMain(); });
+    tmThreadMain(max_cycles);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    fmThread_.join();
+
+    RunResult r;
+    std::lock_guard<std::mutex> lk(mu_);
+    r.finished = finishedLocked();
+    r.cycles = core_->cycle();
+    r.insts = core_->committedInsts();
+    r.ipc = core_->ipc();
+    return r;
+}
+
+} // namespace fast
+} // namespace fastsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Host-time performance model of a FAST run (paper Fig. 4, §4.5).
+ *
+ * Given the measured activity of a FAST simulation (instructions the FM
+ * executed including wrong paths and re-execution, trace words streamed,
+ * basic blocks, round trips, timing-model target/host cycles), this model
+ * computes the host wall-clock time the paper's DRC platform would take
+ * and thus the simulated MIPS.
+ *
+ * The FM side (Opteron) serializes its compute, its burst trace writes and
+ * its blocking poll reads, exactly as §4.5's arithmetic does:
+ * "for each pair of basic blocks we take 10 * 87ns + 469ns + 800ns =
+ * 2139ns.  Each instruction takes 2139ns/10 = 214ns, or 4.7MIPS".
+ * The FPGA timing model runs in parallel, so total time is the maximum of
+ * the two streams; the two sides synchronize on round trips.
+ *
+ * The polling cadence matches the prototype's limitation: "we are paying a
+ * round-trip communication cost every two basic blocks rather than twice
+ * per mis-predicted branch" — configurable for the ablation.
+ */
+
+#ifndef FASTSIM_FAST_PERF_MODEL_HH
+#define FASTSIM_FAST_PERF_MODEL_HH
+
+#include <string>
+
+#include "host/fm_cost.hh"
+#include "host/link_model.hh"
+
+namespace fastsim {
+namespace fast {
+
+class FastSimulator;
+
+/** Performance-model parameters. */
+struct PerfParams
+{
+    host::LinkParams link;
+
+    /** FM per-instruction cost, ns (default: the §4.5 87 ns rung). */
+    double fmNsPerInst = 1000.0 / 11.5;
+
+    /** FPGA clock (paper: "The FPGA cycle time is 100MHz"). */
+    double fpgaHz = 100e6;
+
+    /**
+     * Poll cadence: blocking reads per basic block.  The prototype polls
+     * every other basic block (0.5); an improved interface polls only on
+     * round trips (0).
+     */
+    double pollsPerBasicBlock = 0.5;
+
+    /** Extra FM-side work per roll-back, ns (re-execution is measured
+     *  directly from FM statistics; this covers bookkeeping). */
+    double rollbackOverheadNs = 200.0;
+};
+
+/** Raw activity counts extracted from a run. */
+struct RunActivity
+{
+    std::uint64_t targetPathInsts = 0;  //!< committed instructions
+    std::uint64_t wrongPathInsts = 0;   //!< TM-requested wrong-path insts
+    std::uint64_t fmExecutedInsts = 0;  //!< all FM steps (incl. replay)
+    std::uint64_t traceWords = 0;
+    std::uint64_t basicBlocks = 0;      //!< committed branches
+    std::uint64_t roundTrips = 0;       //!< mis-predicts + resolves + irqs
+    std::uint64_t rollbacks = 0;
+    std::uint64_t targetCycles = 0;
+    std::uint64_t hostCycles = 0;       //!< FPGA cycles consumed
+};
+
+/** Model outputs. */
+struct PerfResult
+{
+    double fmComputeNs = 0;   //!< interpreter time
+    double traceWriteNs = 0;  //!< burst writes of the instruction trace
+    double pollNs = 0;        //!< blocking poll reads
+    double roundTripNs = 0;   //!< resteer round trips
+    double fmStreamNs = 0;    //!< total serialized FM-side time
+    double tmNs = 0;          //!< FPGA time
+    double totalNs = 0;       //!< max(fmStream, tm) + serialization
+    double mips = 0;          //!< (target-path + requested wrong path) MIPS
+    std::string bottleneck;   //!< "functional model" or "timing model"
+};
+
+/** Extract activity counts from a completed coupled simulation. */
+RunActivity extractActivity(FastSimulator &sim);
+
+/** Evaluate the host-time model. */
+PerfResult evaluatePerf(const RunActivity &a, const PerfParams &p);
+
+} // namespace fast
+} // namespace fastsim
+
+#endif // FASTSIM_FAST_PERF_MODEL_HH

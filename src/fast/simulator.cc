@@ -1,0 +1,179 @@
+#include "fast/simulator.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace fast {
+
+using fm::StepResult;
+using tm::TmEvent;
+
+FastSimulator::FastSimulator(const FastConfig &cfg)
+    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast")
+{
+    fm::FmConfig fm_cfg = cfg.fm;
+    fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
+    fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
+    core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+}
+
+void
+FastSimulator::boot(const kernel::BootImage &image)
+{
+    kernel::loadAndReset(*fm_, image);
+}
+
+void
+FastSimulator::produceEntries()
+{
+    if (fmStalledWrongPath_)
+        return;
+    for (unsigned k = 0; k < cfg_.fmStepsPerCycle; ++k) {
+        if (tb_.full()) {
+            ++stats_.counter("fm_stall_tb_full");
+            return;
+        }
+        StepResult r = fm_->step();
+        switch (r.kind) {
+          case StepResult::Kind::Ok:
+            tb_.push(r.entry);
+            break;
+          case StepResult::Kind::Halted:
+            ++stats_.counter("fm_halted_polls");
+            return;
+          case StepResult::Kind::WrongPathStall:
+            // Wrong path ran into a fault/halt: idle until a resteer.
+            fmStalledWrongPath_ = true;
+            return;
+        }
+    }
+}
+
+void
+FastSimulator::handleEvents()
+{
+    for (const TmEvent &e : core_->drainEvents()) {
+        switch (e.kind) {
+          case TmEvent::Kind::WrongPath:
+            tb_.rewindTo(e.in);
+            fm_->setPc(e.in, e.pc, /*wrong_path=*/true);
+            fmStalledWrongPath_ = false;
+            ++stats_.counter("wrong_path_resteers");
+            break;
+          case TmEvent::Kind::Resolve:
+            tb_.rewindTo(e.in);
+            fm_->setPc(e.in, e.pc, /*wrong_path=*/false);
+            fmStalledWrongPath_ = false;
+            ++stats_.counter("resolve_resteers");
+            break;
+          case TmEvent::Kind::Commit:
+            fm_->commit(e.in);
+            tb_.commitTo(e.in);
+            break;
+          case TmEvent::Kind::RefetchAt:
+            // The core already re-aimed the TB fetch pointer itself.
+            ++stats_.counter("exception_refetches");
+            break;
+          default:
+            break; // Inject* are runner-synthesized, never emitted here
+        }
+    }
+}
+
+void
+FastSimulator::deviceTiming()
+{
+    const Cycle now = core_->cycle();
+
+    // Timer: the guest programs interval/enable through its ports; the
+    // timing model decides *when* ticks land, in target cycles (§3.4).
+    if (fm_->timer().enabled()) {
+        if (!timerArmed_) {
+            timerArmed_ = true;
+            timerNextFire_ = now + fm_->timer().interval();
+        }
+        if (now >= timerNextFire_ && !pendingTimerIrq_) {
+            pendingTimerIrq_ = true;
+            timerNextFire_ = now + fm_->timer().interval();
+        }
+    } else {
+        timerArmed_ = false;
+    }
+
+    // Disk: completion lands a fixed number of target cycles after the
+    // command was observed in flight.
+    if (fm_->disk().busy() && !diskScheduled_ && !pendingDiskComplete_) {
+        diskScheduled_ = true;
+        diskCompleteAt_ = now + cfg_.diskLatencyCycles;
+    }
+    if (diskScheduled_ && now >= diskCompleteAt_) {
+        diskScheduled_ = false;
+        pendingDiskComplete_ = true;
+    }
+
+    if (!pendingTimerIrq_ && !pendingDiskComplete_)
+        return;
+
+    // Reproducible injection (paper §3.4: the TM "freezes, notifies the
+    // functional model ... and waits"): drain the pipeline, commit
+    // everything, then resteer the FM at the exact next IN.
+    core_->requestDrain();
+    if (!core_->drained())
+        return;
+    const InstNum in = core_->nextFetchIn();
+    if (fm_->lastCommitted() + 1 != in) {
+        // Not everything fetched has committed yet; keep draining.
+        return;
+    }
+    if (pendingDiskComplete_) {
+        tb_.rewindTo(in);
+        fm_->resteerForDiskComplete(in);
+        core_->noteResteer();
+        fmStalledWrongPath_ = false;
+        pendingDiskComplete_ = false;
+        ++stats_.counter("disk_completions");
+    } else {
+        tb_.rewindTo(in);
+        fm_->resteerForInterrupt(in, isa::VecTimer);
+        core_->noteResteer();
+        fmStalledWrongPath_ = false;
+        pendingTimerIrq_ = false;
+        ++stats_.counter("timer_interrupts");
+    }
+}
+
+void
+FastSimulator::tickOnce()
+{
+    produceEntries();
+    core_->tick();
+    handleEvents();
+    deviceTiming();
+}
+
+bool
+FastSimulator::finished() const
+{
+    return fm_->halted() && !(fm_->state().flags & isa::FlagI) &&
+           tb_.unfetched() == 0 && core_->drained();
+}
+
+RunResult
+FastSimulator::run(Cycle max_cycles)
+{
+    RunResult r;
+    while (core_->cycle() < max_cycles) {
+        tickOnce();
+        if (finished()) {
+            r.finished = true;
+            break;
+        }
+    }
+    r.cycles = core_->cycle();
+    r.insts = core_->committedInsts();
+    r.ipc = core_->ipc();
+    return r;
+}
+
+} // namespace fast
+} // namespace fastsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The top-level FAST simulator: the speculative functional model and the
+ * timing model coupled through the trace buffer and the mis-speculation /
+ * commit / interrupt protocol of paper §2.1 and §3.4.
+ *
+ * Two execution modes exist:
+ *  - FastSimulator (this file): deterministic single-threaded interleaving,
+ *    the reference implementation of the protocol;
+ *  - ParallelFastSimulator (parallel.hh): functional model and timing model
+ *    on separate host threads, demonstrating the latency-tolerant
+ *    parallelization that is the paper's core contribution (§3).
+ */
+
+#ifndef FASTSIM_FAST_SIMULATOR_HH
+#define FASTSIM_FAST_SIMULATOR_HH
+
+#include <memory>
+
+#include "base/statistics.hh"
+#include "fm/func_model.hh"
+#include "kernel/boot.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace fast {
+
+/** Full-simulator configuration. */
+struct FastConfig
+{
+    tm::CoreConfig core;
+    fm::FmConfig fm; //!< fmDrivenDevices is forced off (TM owns timing)
+    std::size_t traceBufferEntries = 256;
+
+    /**
+     * Functional-model run-ahead: instructions the FM may execute per
+     * target cycle (the FM is not in lock-step with the TM, paper §2).
+     */
+    unsigned fmStepsPerCycle = 4;
+
+    /** Disk completion latency in target cycles (TM device timing, §3.4). */
+    Cycle diskLatencyCycles = 5000;
+};
+
+/** Aggregate results of a run. */
+struct RunResult
+{
+    bool finished = false;    //!< guest reached its final halt
+    Cycle cycles = 0;         //!< target cycles simulated
+    std::uint64_t insts = 0;  //!< committed target-path instructions
+    double ipc = 0.0;
+};
+
+/**
+ * The coupled (single-threaded, deterministic) FAST simulator.
+ */
+class FastSimulator
+{
+  public:
+    explicit FastSimulator(const FastConfig &cfg);
+
+    /** Load a built software stack. */
+    void boot(const kernel::BootImage &image);
+
+    /** Advance one target cycle. */
+    void tickOnce();
+
+    /** Run until the guest's final halt or the cycle bound. */
+    RunResult run(Cycle max_cycles);
+
+    /** True when the guest halted with interrupts off and all state
+     *  committed (the mini-OS exit convention). */
+    bool finished() const;
+
+    fm::FuncModel &fm() { return *fm_; }
+    tm::Core &core() { return *core_; }
+    tm::TraceBuffer &traceBuffer() { return tb_; }
+    stats::Group &stats() { return stats_; }
+    const FastConfig &config() const { return cfg_; }
+
+  private:
+    void produceEntries();
+    void handleEvents();
+    void deviceTiming();
+
+    FastConfig cfg_;
+    std::unique_ptr<fm::FuncModel> fm_;
+    tm::TraceBuffer tb_;
+    std::unique_ptr<tm::Core> core_;
+    stats::Group stats_;
+
+    bool fmStalledWrongPath_ = false;
+    bool timerArmed_ = false;
+    Cycle timerNextFire_ = 0;
+    bool diskScheduled_ = false;
+    Cycle diskCompleteAt_ = 0;
+    bool pendingTimerIrq_ = false;
+    bool pendingDiskComplete_ = false;
+};
+
+} // namespace fast
+} // namespace fastsim
+
+#endif // FASTSIM_FAST_SIMULATOR_HH

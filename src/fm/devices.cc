@@ -1,0 +1,374 @@
+#include "fm/devices.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace fm {
+
+namespace {
+
+/** Append a scalar to a blob. */
+template <typename T>
+void
+put(std::vector<std::uint8_t> &blob, T v)
+{
+    const std::size_t off = blob.size();
+    blob.resize(off + sizeof(T));
+    std::memcpy(blob.data() + off, &v, sizeof(T));
+}
+
+/** Read a scalar from a blob at offset, advancing it. */
+template <typename T>
+T
+get(const std::vector<std::uint8_t> &blob, std::size_t &off)
+{
+    fastsim_assert(off + sizeof(T) <= blob.size());
+    T v;
+    std::memcpy(&v, blob.data() + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+}
+
+} // namespace
+
+// --- PicDevice -------------------------------------------------------------
+
+std::uint32_t
+PicDevice::ioRead(std::uint8_t port)
+{
+    switch (port) {
+      case PortPicMask: return mask_;
+      case PortPicPending: return pending_;
+      default: return 0;
+    }
+}
+
+void
+PicDevice::ioWrite(std::uint8_t port, std::uint32_t val)
+{
+    bus_->snapSelf(this);
+    switch (port) {
+      case PortPicMask:
+        mask_ = val;
+        break;
+      case PortPicAck:
+        // Acknowledge: clear the line for the given vector.
+        if (val >= 32 && val < 64)
+            pending_ &= ~(1u << (val - 32));
+        break;
+      default:
+        break;
+    }
+}
+
+std::vector<std::uint8_t>
+PicDevice::save() const
+{
+    std::vector<std::uint8_t> blob;
+    put(blob, pending_);
+    put(blob, mask_);
+    return blob;
+}
+
+void
+PicDevice::restore(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t off = 0;
+    pending_ = get<std::uint32_t>(blob, off);
+    mask_ = get<std::uint32_t>(blob, off);
+}
+
+void
+PicDevice::raise(std::uint8_t vector)
+{
+    fastsim_assert(vector >= 32 && vector < 64);
+    bus_->snapSelf(this);
+    pending_ |= 1u << (vector - 32);
+}
+
+std::uint8_t
+PicDevice::pendingVector() const
+{
+    std::uint32_t active = pending_ & ~mask_;
+    if (!active)
+        return 0;
+    for (unsigned line = 0; line < 32; ++line)
+        if (active & (1u << line))
+            return static_cast<std::uint8_t>(32 + line);
+    return 0;
+}
+
+// --- ConsoleDevice -----------------------------------------------------------
+
+std::uint32_t
+ConsoleDevice::ioRead(std::uint8_t port)
+{
+    switch (port) {
+      case PortConsoleStatus:
+        return 1; // always ready for output
+      case PortConsoleIn: {
+        if (inputPos_ >= input_.size())
+            return 0;
+        bus_->snapSelf(this);
+        return static_cast<std::uint8_t>(input_[inputPos_++]);
+      }
+      default:
+        return 0;
+    }
+}
+
+void
+ConsoleDevice::ioWrite(std::uint8_t port, std::uint32_t val)
+{
+    if (port == PortConsoleOut) {
+        bus_->snapSelf(this);
+        output_.push_back(static_cast<char>(val & 0xFF));
+    }
+}
+
+std::vector<std::uint8_t>
+ConsoleDevice::save() const
+{
+    std::vector<std::uint8_t> blob;
+    put(blob, static_cast<std::uint64_t>(output_.size()));
+    put(blob, inputPos_);
+    return blob;
+}
+
+void
+ConsoleDevice::restore(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t off = 0;
+    auto out_len = get<std::uint64_t>(blob, off);
+    inputPos_ = get<std::uint32_t>(blob, off);
+    fastsim_assert(out_len <= output_.size());
+    output_.resize(out_len); // retract speculative output
+}
+
+// --- TimerDevice -------------------------------------------------------------
+
+std::uint32_t
+TimerDevice::ioRead(std::uint8_t port)
+{
+    switch (port) {
+      case PortTimerCtl: return enabled_ ? 1 : 0;
+      case PortTimerInterval: return interval_;
+      default: return 0;
+    }
+}
+
+void
+TimerDevice::ioWrite(std::uint8_t port, std::uint32_t val)
+{
+    bus_->snapSelf(this);
+    switch (port) {
+      case PortTimerCtl:
+        enabled_ = val & 1;
+        if (enabled_)
+            nextFire_ = bus_->icount() + interval_;
+        break;
+      case PortTimerInterval:
+        interval_ = val ? val : 1;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TimerDevice::tick()
+{
+    if (!fmDriven_ || !enabled_)
+        return;
+    if (bus_->icount() >= nextFire_) {
+        bus_->snapSelf(this);
+        nextFire_ = bus_->icount() + interval_;
+        bus_->raiseIrq(isa::VecTimer);
+    }
+}
+
+std::vector<std::uint8_t>
+TimerDevice::save() const
+{
+    std::vector<std::uint8_t> blob;
+    put(blob, static_cast<std::uint8_t>(enabled_ ? 1 : 0));
+    put(blob, interval_);
+    put(blob, nextFire_);
+    return blob;
+}
+
+void
+TimerDevice::restore(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t off = 0;
+    enabled_ = get<std::uint8_t>(blob, off) != 0;
+    interval_ = get<std::uint32_t>(blob, off);
+    nextFire_ = get<std::uint64_t>(blob, off);
+}
+
+// --- DiskDevice --------------------------------------------------------------
+
+DiskDevice::DiskDevice(std::uint32_t blocks, std::uint64_t latency,
+                       bool fm_driven, std::uint64_t fill_seed)
+    : blocks_(blocks), latency_(latency), fmDriven_(fm_driven),
+      data_(static_cast<std::size_t>(blocks) * BlockBytes, 0)
+{
+    // Deterministic, recognizable initial content.
+    std::uint64_t x = fill_seed ? fill_seed : 0x5eed5eedull;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        data_[i] = static_cast<std::uint8_t>(x >> 56);
+    }
+}
+
+std::uint32_t
+DiskDevice::ioRead(std::uint8_t port)
+{
+    switch (port) {
+      case PortDiskStatus: return status_;
+      case PortDiskBlock: return block_;
+      case PortDiskAddr: return addr_;
+      default: return 0;
+    }
+}
+
+void
+DiskDevice::ioWrite(std::uint8_t port, std::uint32_t val)
+{
+    bus_->snapSelf(this);
+    switch (port) {
+      case PortDiskBlock:
+        block_ = val;
+        break;
+      case PortDiskAddr:
+        addr_ = val;
+        break;
+      case PortDiskCmd:
+        if (status_ == DiskBusy)
+            break; // command while busy is ignored
+        if (block_ >= blocks_)
+            break; // out-of-range block: ignored
+        cmd_ = val;
+        status_ = DiskBusy;
+        completeAt_ = bus_->icount() + latency_;
+        break;
+      case PortDiskStatus:
+        // Writing status acknowledges completion.
+        if (status_ == DiskDone)
+            status_ = DiskIdle;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+DiskDevice::tick()
+{
+    if (!fmDriven_ || status_ != DiskBusy)
+        return;
+    if (bus_->icount() >= completeAt_)
+        complete();
+}
+
+void
+DiskDevice::completeNow()
+{
+    if (status_ == DiskBusy)
+        complete();
+}
+
+void
+DiskDevice::complete()
+{
+    bus_->snapSelf(this);
+    const std::size_t base = static_cast<std::size_t>(block_) * BlockBytes;
+    if (cmd_ == DiskCmdRead) {
+        for (std::uint32_t i = 0; i < BlockBytes; ++i)
+            bus_->dmaWrite8(addr_ + i, data_[base + i]);
+    } else if (cmd_ == DiskCmdWrite) {
+        bus_->snapBlock(this, block_);
+        for (std::uint32_t i = 0; i < BlockBytes; ++i)
+            data_[base + i] = bus_->dmaRead8(addr_ + i);
+    }
+    status_ = DiskDone;
+    bus_->raiseIrq(isa::VecDisk);
+}
+
+std::vector<std::uint8_t>
+DiskDevice::save() const
+{
+    std::vector<std::uint8_t> blob;
+    put(blob, status_);
+    put(blob, cmd_);
+    put(blob, block_);
+    put(blob, addr_);
+    put(blob, completeAt_);
+    return blob;
+}
+
+void
+DiskDevice::restore(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t off = 0;
+    status_ = get<std::uint32_t>(blob, off);
+    cmd_ = get<std::uint32_t>(blob, off);
+    block_ = get<std::uint32_t>(blob, off);
+    addr_ = get<std::uint32_t>(blob, off);
+    completeAt_ = get<std::uint64_t>(blob, off);
+}
+
+std::vector<std::uint8_t>
+DiskDevice::saveBlock(std::uint32_t index) const
+{
+    fastsim_assert(index < blocks_);
+    const std::size_t base = static_cast<std::size_t>(index) * BlockBytes;
+    return std::vector<std::uint8_t>(data_.begin() + base,
+                                     data_.begin() + base + BlockBytes);
+}
+
+void
+DiskDevice::restoreBlock(std::uint32_t index,
+                         const std::vector<std::uint8_t> &blob)
+{
+    fastsim_assert(index < blocks_ && blob.size() == BlockBytes);
+    const std::size_t base = static_cast<std::size_t>(index) * BlockBytes;
+    std::copy(blob.begin(), blob.end(), data_.begin() + base);
+}
+
+void
+DiskDevice::writeBlockRaw(std::uint32_t block,
+                          const std::vector<std::uint8_t> &data)
+{
+    fastsim_assert(block < blocks_ && data.size() <= BlockBytes);
+    const std::size_t base = static_cast<std::size_t>(block) * BlockBytes;
+    std::copy(data.begin(), data.end(), data_.begin() + base);
+}
+
+std::vector<std::uint8_t>
+DiskDevice::readBlockRaw(std::uint32_t block) const
+{
+    return saveBlock(block);
+}
+
+// --- RtcDevice ---------------------------------------------------------------
+
+std::uint32_t
+RtcDevice::ioRead(std::uint8_t port)
+{
+    if (port == PortRtc) {
+        // "Wall-clock time": deterministic function of instruction count.
+        return static_cast<std::uint32_t>(bus_->icount() / 1000);
+    }
+    return 0;
+}
+
+void
+RtcDevice::ioWrite(std::uint8_t, std::uint32_t)
+{
+}
+
+} // namespace fm
+} // namespace fastsim

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Peripheral devices of the simulated full system.
+ *
+ * FAST models a complete system, not just a processor (paper §3.4): the
+ * functional model simulates device functionality, while device *timing*
+ * (interrupt arrival cycles, disk latency) is owned by the timing model.
+ * All device state is roll-back managed: before any mutation a device
+ * snapshots itself into the functional model's undo log via the DeviceBus,
+ * so speculative wrong-path I/O is fully reversible ("including across I/O
+ * operations", paper §3.2).
+ */
+
+#ifndef FASTSIM_FM_DEVICES_HH
+#define FASTSIM_FM_DEVICES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace fm {
+
+class Device;
+
+/** Well-known I/O port numbers. */
+enum IoPort : std::uint8_t
+{
+    PortConsoleOut = 0x10,
+    PortConsoleStatus = 0x11,
+    PortConsoleIn = 0x12,
+    PortTimerCtl = 0x20,
+    PortTimerInterval = 0x21,
+    PortDiskCmd = 0x30,
+    PortDiskBlock = 0x31,
+    PortDiskAddr = 0x32,
+    PortDiskStatus = 0x33,
+    PortPicMask = 0x40,
+    PortPicAck = 0x41,
+    PortPicPending = 0x42,
+    PortRtc = 0x50,
+};
+
+/** Disk commands written to PortDiskCmd. */
+enum DiskCmd : std::uint32_t
+{
+    DiskCmdRead = 1,  //!< DMA block -> memory at PortDiskAddr
+    DiskCmdWrite = 2, //!< DMA memory -> block
+};
+
+/** Disk status read from PortDiskStatus. */
+enum DiskStatus : std::uint32_t
+{
+    DiskIdle = 0,
+    DiskBusy = 1,
+    DiskDone = 2,
+};
+
+/**
+ * Services the functional model provides to devices.  Every mutation a
+ * device makes must be announced through this interface first so it lands
+ * in the current instruction's undo group.
+ */
+class DeviceBus
+{
+  public:
+    virtual ~DeviceBus() = default;
+
+    /** Snapshot the device's save() state before mutating it. */
+    virtual void snapSelf(Device *dev) = 0;
+
+    /** Snapshot a heavy sub-block (disk sector) before overwriting it. */
+    virtual void snapBlock(Device *dev, std::uint32_t index) = 0;
+
+    /** Undo-logged physical memory write (DMA). */
+    virtual void dmaWrite8(PAddr pa, std::uint8_t v) = 0;
+
+    /** Physical memory read (DMA source). */
+    virtual std::uint8_t dmaRead8(PAddr pa) = 0;
+
+    /** Raise an interrupt line at the interrupt controller. */
+    virtual void raiseIrq(std::uint8_t vector) = 0;
+
+    /** Committed-path instruction count (deterministic device time base). */
+    virtual std::uint64_t icount() const = 0;
+};
+
+/** Base class for all devices. */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Handle a port read.  Must snapSelf() first if it mutates state. */
+    virtual std::uint32_t ioRead(std::uint8_t port) = 0;
+
+    /** Handle a port write.  Must snapSelf() first. */
+    virtual void ioWrite(std::uint8_t port, std::uint32_t val) = 0;
+
+    /** Called once per executed instruction (functional-model-only mode). */
+    virtual void tick() {}
+
+    /** Serialize mutable state (small; excludes heavy blocks). */
+    virtual std::vector<std::uint8_t> save() const = 0;
+    virtual void restore(const std::vector<std::uint8_t> &blob) = 0;
+
+    /** Heavy-block undo support (disk sectors). */
+    virtual std::vector<std::uint8_t>
+    saveBlock(std::uint32_t) const
+    {
+        return {};
+    }
+    virtual void restoreBlock(std::uint32_t, const std::vector<std::uint8_t> &)
+    {
+    }
+
+    void attach(DeviceBus *bus) { bus_ = bus; }
+
+  protected:
+    DeviceBus *bus_ = nullptr;
+};
+
+/**
+ * Interrupt controller: 32 lines mapped to vectors [32, 64).
+ */
+class PicDevice : public Device
+{
+  public:
+    const char *name() const override { return "pic"; }
+    std::uint32_t ioRead(std::uint8_t port) override;
+    void ioWrite(std::uint8_t port, std::uint32_t val) override;
+    std::vector<std::uint8_t> save() const override;
+    void restore(const std::vector<std::uint8_t> &blob) override;
+
+    /** Assert a line (vector in [32, 64)).  Snapshots itself. */
+    void raise(std::uint8_t vector);
+
+    /** Highest-priority pending unmasked vector, or 0 if none. */
+    std::uint8_t pendingVector() const;
+
+    /** True if the given vector's line is masked. */
+    bool
+    isMasked(std::uint8_t vector) const
+    {
+        return vector >= 32 && vector < 64 && (mask_ & (1u << (vector - 32)));
+    }
+
+  private:
+    std::uint32_t pending_ = 0;
+    std::uint32_t mask_ = 0; //!< set bit = masked (inhibited)
+};
+
+/**
+ * Console: output port, always-ready status, scripted input stream.
+ */
+class ConsoleDevice : public Device
+{
+  public:
+    const char *name() const override { return "console"; }
+    std::uint32_t ioRead(std::uint8_t port) override;
+    void ioWrite(std::uint8_t port, std::uint32_t val) override;
+    std::vector<std::uint8_t> save() const override;
+    void restore(const std::vector<std::uint8_t> &blob) override;
+
+    /** Provide scripted input the guest will read from PortConsoleIn. */
+    void setInput(std::string input) { input_ = std::move(input); }
+
+    /** Full output produced so far (valid once all speculation resolved). */
+    const std::string &output() const { return output_; }
+
+  private:
+    std::string output_;
+    std::string input_;
+    std::uint32_t inputPos_ = 0;
+};
+
+/**
+ * Timer: fires VecTimer every `interval` instructions when enabled.
+ * In FAST mode the timing model owns interrupt timing and the functional
+ * model's tick is disabled; the guest-visible registers behave the same.
+ */
+class TimerDevice : public Device
+{
+  public:
+    explicit TimerDevice(bool fm_driven) : fmDriven_(fm_driven) {}
+
+    const char *name() const override { return "timer"; }
+    std::uint32_t ioRead(std::uint8_t port) override;
+    void ioWrite(std::uint8_t port, std::uint32_t val) override;
+    void tick() override;
+    std::vector<std::uint8_t> save() const override;
+    void restore(const std::vector<std::uint8_t> &blob) override;
+
+    bool enabled() const { return enabled_; }
+    std::uint32_t interval() const { return interval_; }
+
+  private:
+    bool fmDriven_;
+    bool enabled_ = false;
+    std::uint32_t interval_ = 10000;
+    std::uint64_t nextFire_ = 0;
+};
+
+/**
+ * Block-DMA disk with a deterministic completion delay.
+ */
+class DiskDevice : public Device
+{
+  public:
+    /**
+     * @param blocks     number of 512-byte blocks
+     * @param latency    completion delay in instructions (fm-driven mode)
+     * @param fm_driven  completion driven by tick(); otherwise external
+     * @param fill_seed  deterministic initial content seed
+     */
+    DiskDevice(std::uint32_t blocks, std::uint64_t latency, bool fm_driven,
+               std::uint64_t fill_seed = 0);
+
+    static constexpr std::uint32_t BlockBytes = 512;
+
+    const char *name() const override { return "disk"; }
+    std::uint32_t ioRead(std::uint8_t port) override;
+    void ioWrite(std::uint8_t port, std::uint32_t val) override;
+    void tick() override;
+    std::vector<std::uint8_t> save() const override;
+    void restore(const std::vector<std::uint8_t> &blob) override;
+    std::vector<std::uint8_t> saveBlock(std::uint32_t index) const override;
+    void restoreBlock(std::uint32_t index,
+                      const std::vector<std::uint8_t> &blob) override;
+
+    /** Direct backing-store access for test setup (not undo-logged). */
+    void writeBlockRaw(std::uint32_t block,
+                       const std::vector<std::uint8_t> &data);
+    std::vector<std::uint8_t> readBlockRaw(std::uint32_t block) const;
+
+    bool busy() const { return status_ == DiskBusy; }
+
+    /** Complete the in-flight command now (timing-model-driven mode). */
+    void completeNow();
+
+  private:
+    void complete();
+
+    std::uint32_t blocks_;
+    std::uint64_t latency_;
+    bool fmDriven_;
+    std::vector<std::uint8_t> data_;
+
+    std::uint32_t status_ = DiskIdle;
+    std::uint32_t cmd_ = 0;
+    std::uint32_t block_ = 0;
+    std::uint32_t addr_ = 0;
+    std::uint64_t completeAt_ = 0;
+};
+
+/** Real-time clock: a deterministic function of instruction count. */
+class RtcDevice : public Device
+{
+  public:
+    const char *name() const override { return "rtc"; }
+    std::uint32_t ioRead(std::uint8_t port) override;
+    void ioWrite(std::uint8_t port, std::uint32_t val) override;
+    std::vector<std::uint8_t> save() const override { return {}; }
+    void restore(const std::vector<std::uint8_t> &) override {}
+};
+
+} // namespace fm
+} // namespace fastsim
+
+#endif // FASTSIM_FM_DEVICES_HH

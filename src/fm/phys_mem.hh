@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Flat physical memory of the target machine.
+ */
+
+#ifndef FASTSIM_FM_PHYS_MEM_HH
+#define FASTSIM_FM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace fastsim {
+namespace fm {
+
+/**
+ * Byte-addressable flat physical memory.
+ *
+ * Accesses are little-endian.  Callers are responsible for bounds checking
+ * via contains(); out-of-bounds access panics (the MMU and loader guarantee
+ * in-bounds accesses on correct paths; wrong-path accesses are filtered by
+ * the functional model before reaching here).
+ */
+class PhysMem
+{
+  public:
+    explicit PhysMem(std::size_t bytes) : data_(bytes, 0) {}
+
+    std::size_t size() const { return data_.size(); }
+
+    bool
+    contains(PAddr pa, unsigned len = 1) const
+    {
+        return static_cast<std::uint64_t>(pa) + len <= data_.size();
+    }
+
+    std::uint8_t
+    read8(PAddr pa) const
+    {
+        check(pa, 1);
+        return data_[pa];
+    }
+
+    std::uint32_t
+    read32(PAddr pa) const
+    {
+        check(pa, 4);
+        return std::uint32_t(data_[pa]) | (std::uint32_t(data_[pa + 1]) << 8) |
+               (std::uint32_t(data_[pa + 2]) << 16) |
+               (std::uint32_t(data_[pa + 3]) << 24);
+    }
+
+    void
+    write8(PAddr pa, std::uint8_t v)
+    {
+        check(pa, 1);
+        data_[pa] = v;
+    }
+
+    void
+    write32(PAddr pa, std::uint32_t v)
+    {
+        check(pa, 4);
+        data_[pa] = v & 0xFF;
+        data_[pa + 1] = (v >> 8) & 0xFF;
+        data_[pa + 2] = (v >> 16) & 0xFF;
+        data_[pa + 3] = (v >> 24) & 0xFF;
+    }
+
+    /** Bulk load (used by the boot loader); not undo-logged. */
+    void
+    load(PAddr pa, const std::vector<std::uint8_t> &image)
+    {
+        if (!contains(pa, static_cast<unsigned>(image.size())))
+            fatal("image of %zu bytes does not fit at PA 0x%x", image.size(),
+                  pa);
+        std::copy(image.begin(), image.end(), data_.begin() + pa);
+    }
+
+  private:
+    void
+    check(PAddr pa, unsigned len) const
+    {
+        if (!contains(pa, len))
+            panic("physical access out of bounds: pa=0x%x len=%u size=%zx",
+                  pa, len, data_.size());
+    }
+
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace fm
+} // namespace fastsim
+
+#endif // FASTSIM_FM_PHYS_MEM_HH

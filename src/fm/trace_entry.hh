@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The instruction-trace entry the functional model streams to the timing
+ * model (paper §2: "Each instruction entry in the trace includes everything
+ * needed by the timing model that the functional model can conveniently
+ * provide").
+ */
+
+#ifndef FASTSIM_FM_TRACE_ENTRY_HH
+#define FASTSIM_FM_TRACE_ENTRY_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace fm {
+
+/**
+ * One dynamic instruction in the functional-path trace.
+ *
+ * Opcode, operand registers and condition code let the timing model index
+ * the microcode table and bind µop operands; virtual and physical addresses
+ * feed the cache and TLB models; the branch outcome drives mis-speculation
+ * detection against the timing model's own branch predictor.
+ */
+struct TraceEntry
+{
+    InstNum in = 0;      //!< dynamic instruction number
+    Epoch epoch = 0;     //!< speculation epoch (bumped on every resteer)
+
+    Addr pc = 0;
+    PAddr instPa = 0;    //!< physical address of the first instruction byte
+    std::uint8_t size = 0;
+
+    std::uint16_t opcode = 0; //!< 11-bit compressed opcode
+    isa::Opcode op = isa::Opcode::Nop;
+    isa::CondCode cond = isa::CondZ;
+    std::uint8_t reg = 0; //!< first operand register (for µop binding)
+    std::uint8_t rm = 0;  //!< second operand register
+
+    bool isBranch = false;
+    bool isCond = false;
+    bool branchTaken = false;
+    Addr fallThrough = 0; //!< pc + size
+    Addr target = 0;      //!< taken-path target (branches only)
+    Addr nextPc = 0;      //!< functional-path successor PC
+
+    bool isLoad = false;
+    bool isStore = false;
+    Addr loadVa = 0;   //!< load address (valid when isLoad)
+    PAddr loadPa = 0;
+    Addr storeVa = 0;  //!< store address (valid when isStore)
+    PAddr storePa = 0;
+    std::uint8_t dataSize = 0;
+
+    bool wrongPath = false;  //!< produced while resteered down a wrong path
+    bool exception = false;  //!< this instruction raises an exception
+    std::uint8_t vector = 0; //!< exception vector when exception is set
+    bool serializing = false;
+    bool halt = false;       //!< HLT: no further entries until an interrupt
+
+    bool isFp = false;
+    bool hasUcode = false;   //!< microcode table covers this opcode
+    std::uint8_t uopCount = 1;
+    bool userMode = false;   //!< fetched in user mode
+
+    /** 32-bit words this entry occupies on the host link. */
+    std::uint8_t traceWords = 4;
+};
+
+} // namespace fm
+} // namespace fastsim
+
+#endif // FASTSIM_FM_TRACE_ENTRY_HH

@@ -1,0 +1,88 @@
+#include "fpga/model.hh"
+
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace fpga {
+
+const Device &
+virtex4lx200()
+{
+    static const Device d{"Virtex-4 LX200", 89088, 336};
+    return d;
+}
+
+const Device &
+virtex2p30()
+{
+    static const Device d{"Virtex-II Pro 30", 13696, 136};
+    return d;
+}
+
+const std::vector<Device> &
+knownDevices()
+{
+    static const std::vector<Device> v = {
+        virtex4lx200(),
+        virtex2p30(),
+        {"Virtex-2 V2-8000", 46592, 168},
+        {"Virtex-5 LX330", 51840, 288},
+    };
+    return v;
+}
+
+namespace {
+
+/**
+ * Fixed prototype infrastructure (§4.7), calibrated to Table 2: the
+ * temporary statistics-tracing mechanism and its global routing, the
+ * HyperTransport/DRC interface, clocking and the AWB integration glue.
+ */
+constexpr double FixedSlices = 25050.0;
+constexpr double FixedBlockRams = 95.3;
+
+/** "Under-optimized" implementation factor on module logic (§4.7). */
+constexpr double PrototypeLogicFactor = 1.15;
+constexpr double PrototypeBramFactor = 1.25;
+
+} // namespace
+
+tm::FpgaCost
+estimateCore(const tm::CoreConfig &cfg)
+{
+    // Instantiate the modules to query their primitive-level costs.
+    tm::TraceBuffer tb(256);
+    tm::Core core(cfg, tb);
+    tm::FpgaCost c = core.fpgaCost();
+    c.slices = c.slices * PrototypeLogicFactor + FixedSlices;
+    c.blockRams = c.blockRams * PrototypeBramFactor + FixedBlockRams;
+    return c;
+}
+
+Utilization
+utilization(const tm::FpgaCost &cost, const Device &dev)
+{
+    Utilization u;
+    u.userLogicFraction = cost.slices / dev.slices;
+    u.blockRamFraction = cost.blockRams / dev.blockRams;
+    u.fits = u.userLogicFraction <= 1.0 && u.blockRamFraction <= 1.0;
+    return u;
+}
+
+Utilization
+estimate(const tm::CoreConfig &cfg, const Device &dev)
+{
+    return utilization(estimateCore(cfg), dev);
+}
+
+double
+buildMinutes(const Utilization &u)
+{
+    // ~2 hours for the prototype's ~33%-full LX200; place-and-route time
+    // grows superlinearly with fill.
+    const double fill = u.userLogicFraction;
+    return 120.0 * (0.4 + 0.6 * (fill / 0.33) * (fill / 0.33));
+}
+
+} // namespace fpga
+} // namespace fastsim

@@ -1,0 +1,51 @@
+#include "host/fm_cost.hh"
+
+#include "host/link_model.hh"
+
+namespace fastsim {
+namespace host {
+
+const char *
+linkKindName(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::DrcUncached: return "DRC HyperTransport (uncached I/O)";
+      case LinkKind::DrcCoherent: return "coherent HyperTransport (proj.)";
+      case LinkKind::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+const std::vector<FmCostConfig> &
+fmCostLadder()
+{
+    static const std::vector<FmCostConfig> ladder = [] {
+        std::vector<FmCostConfig> v = {
+            {"unmodified QEMU", true, false, false, 137.0, 0},
+            {"optimizations off", false, false, false, 45.8, 0},
+            {"+ tracing & checkpointing (test rig)", false, true, true,
+             11.5, 0},
+            {"+ 97% count-based BP (rollbacks)", false, true, true, 8.6, 0},
+            {"+ 95% BP", false, true, true, 5.9, 0},
+            {"+ software 2-bit BP (94.8%)", false, true, true, 5.1, 0},
+            {"immediate-commit FPGA dummy TM (perfect BP)", false, true,
+             true, 5.4, 0},
+            {"real Fetch unit, perfect BP", false, true, true, 4.6, 0},
+        };
+        for (auto &c : v)
+            c.nsPerInst = 1000.0 / c.paperMips;
+        return v;
+    }();
+    return ladder;
+}
+
+double
+fastFmNsPerInst()
+{
+    // The 11.5 MIPS tracing+checkpointing rung: ~87 ns per instruction
+    // ("At 11.5MIPS ... each instruction takes about 87ns", §4.5).
+    return 1000.0 / 11.5;
+}
+
+} // namespace host
+} // namespace fastsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional-model host-cost ladder (paper §4.5).
+ *
+ * The paper measures QEMU on the DRC's Opteron in a sequence of
+ * configurations, each adding FAST functionality:
+ *
+ *   unmodified QEMU (Linux boot)                      137   MIPS
+ *   optimizations off (no block chaining, soft MMU)    45.8 MIPS
+ *   + tracing and checkpointing (test rig)             11.5 MIPS
+ *   + 97% count-based BP causing rollbacks              8.6 MIPS
+ *   + 95% BP                                            5.9 MIPS
+ *   + software 2-bit BP (94.8%)                         5.1 MIPS
+ *   immediate-commit FPGA dummy TM (perfect BP)         5.4 MIPS
+ *   real Fetch unit, perfect BP                         4.6 MIPS
+ *
+ * We reproduce this ladder with our own interpreter standing in for QEMU:
+ * the *structure* (which features cost what) is modeled; the per-
+ * instruction costs are calibrated to the paper's measurements so the
+ * bottleneck arithmetic of §4.5 can be regenerated exactly.
+ */
+
+#ifndef FASTSIM_HOST_FM_COST_HH
+#define FASTSIM_HOST_FM_COST_HH
+
+#include <string>
+#include <vector>
+
+namespace fastsim {
+namespace host {
+
+/** One functional-model configuration rung. */
+struct FmCostConfig
+{
+    std::string name;
+    bool blockChaining;  //!< QEMU block chaining enabled
+    bool tracing;        //!< instruction-trace generation
+    bool checkpointing;  //!< roll-back support
+    double paperMips;    //!< the paper's measured MIPS for this rung
+    double nsPerInst;    //!< derived per-instruction cost (1000/MIPS)
+};
+
+/** The §4.5 configuration ladder. */
+const std::vector<FmCostConfig> &fmCostLadder();
+
+/**
+ * Per-instruction cost of the full FAST functional model (tracing +
+ * checkpointing): the 11.5 MIPS rung, ~87 ns/instruction, which §4.5 uses
+ * for its bottleneck arithmetic.
+ */
+double fastFmNsPerInst();
+
+} // namespace host
+} // namespace fastsim
+
+#endif // FASTSIM_HOST_FM_COST_HH

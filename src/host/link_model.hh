@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Host-platform communication-link models.
+ *
+ * The paper's primary platform is a DRC Computer development system: an
+ * AMD Opteron 275 (2.2 GHz) and a Xilinx Virtex-4 LX200 on one dual-socket
+ * board, connected by HyperTransport.  §4.5 reports measured latencies:
+ *
+ *   user direct register read            378 ns
+ *   user direct register write           287 ns
+ *   user burst write                    13.3 ns/word
+ *   read from user logic (realistic)     469 ns   (blocking!)
+ *   write to user logic                  307 ns
+ *   burst write to user logic             20 ns/word
+ *
+ * and projects a future cache-coherent HyperTransport interface where
+ * polls drop to cached-read cost (~75-100 ns per line, amortized to
+ * ~1.2 ns/instruction for commit aggregation).
+ */
+
+#ifndef FASTSIM_HOST_LINK_MODEL_HH
+#define FASTSIM_HOST_LINK_MODEL_HH
+
+#include "base/types.hh"
+
+namespace fastsim {
+namespace host {
+
+/** Link technology selector. */
+enum class LinkKind
+{
+    DrcUncached,   //!< the paper's measured DRC HyperTransport I/O path
+    DrcCoherent,   //!< projected cache-coherent HyperTransport (§4.5)
+    Ideal,         //!< zero-cost link (upper-bound studies)
+};
+
+const char *linkKindName(LinkKind kind);
+
+/** Latency/bandwidth parameters of the host link. */
+struct LinkParams
+{
+    LinkKind kind = LinkKind::DrcUncached;
+
+    // Measured DRC numbers (§4.5).
+    double userReadNs = 378.0;
+    double userWriteNs = 287.0;
+    double userBurstWriteNsPerWord = 13.3;
+    double logicReadNs = 469.0;  //!< blocking read from user logic
+    double logicWriteNs = 307.0;
+    double logicBurstWriteNsPerWord = 20.0;
+
+    // Projected coherent-interface numbers (§4.5).
+    double coherentMemReadNs = 87.5;    //!< 75-100 ns cached-line fill
+    double coherentPollNsPerInst = 1.2; //!< aggregated commit polling
+
+    /** Cost of one blocking poll read (commit / mis-predict check). */
+    double
+    pollReadNs() const
+    {
+        switch (kind) {
+          case LinkKind::DrcUncached: return logicReadNs;
+          case LinkKind::DrcCoherent: return coherentMemReadNs;
+          case LinkKind::Ideal: return 0.0;
+        }
+        return 0.0;
+    }
+
+    /** Cost of streaming one 32-bit trace word to the FPGA. */
+    double
+    traceWriteNsPerWord() const
+    {
+        switch (kind) {
+          case LinkKind::DrcUncached: return logicBurstWriteNsPerWord;
+          case LinkKind::DrcCoherent:
+            // Writes buffer in the cache and flow via coherence.
+            return 1.0;
+          case LinkKind::Ideal: return 0.0;
+        }
+        return 0.0;
+    }
+
+    /** One-way control write (set_pc delivery). */
+    double
+    controlWriteNs() const
+    {
+        switch (kind) {
+          case LinkKind::DrcUncached: return logicWriteNs;
+          case LinkKind::DrcCoherent: return coherentMemReadNs;
+          case LinkKind::Ideal: return 0.0;
+        }
+        return 0.0;
+    }
+
+    /** Round-trip latency (blocking read + write response). */
+    double roundTripNs() const { return pollReadNs() + controlWriteNs(); }
+};
+
+} // namespace host
+} // namespace fastsim
+
+#endif // FASTSIM_HOST_LINK_MODEL_HH

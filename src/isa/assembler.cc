@@ -1,0 +1,580 @@
+#include "isa/assembler.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace isa {
+
+Assembler::Assembler(Addr base) : base_(base) {}
+
+Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(labels_.size() - 1)};
+}
+
+void
+Assembler::bind(Label l)
+{
+    fastsim_assert(l.id < labels_.size());
+    if (labels_[l.id] >= 0)
+        panic("label %u bound twice", l.id);
+    labels_[l.id] = static_cast<std::int64_t>(bytes_.size());
+}
+
+Label
+Assembler::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+Addr
+Assembler::addrOf(Label l) const
+{
+    fastsim_assert(l.id < labels_.size());
+    if (labels_[l.id] < 0)
+        panic("addrOf on unbound label %u", l.id);
+    return base_ + static_cast<Addr>(labels_[l.id]);
+}
+
+void
+Assembler::db(std::uint8_t v)
+{
+    bytes_.push_back(v);
+}
+
+void
+Assembler::dd(std::uint32_t v)
+{
+    bytes_.push_back(v & 0xFF);
+    bytes_.push_back((v >> 8) & 0xFF);
+    bytes_.push_back((v >> 16) & 0xFF);
+    bytes_.push_back((v >> 24) & 0xFF);
+}
+
+void
+Assembler::zeros(std::size_t n)
+{
+    bytes_.insert(bytes_.end(), n, 0);
+}
+
+void
+Assembler::align(unsigned boundary)
+{
+    while (bytes_.size() % boundary)
+        bytes_.push_back(0);
+}
+
+void
+Assembler::bytes(const std::vector<std::uint8_t> &data)
+{
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void
+Assembler::emit(Insn insn)
+{
+    fastsim_assert(!finished_);
+    std::uint8_t buf[MaxInsnLength];
+    unsigned len = encode(insn, buf);
+    bytes_.insert(bytes_.end(), buf, buf + len);
+    ++insn_count_;
+}
+
+void
+Assembler::nop(std::uint8_t pad_prefixes)
+{
+    Insn i;
+    i.op = Opcode::Nop;
+    i.pad = pad_prefixes;
+    emit(i);
+}
+
+void
+Assembler::movri(GpReg d, std::uint32_t imm)
+{
+    Insn i;
+    i.op = Opcode::MovRi;
+    i.reg = d;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::movlabel(GpReg d, Label l)
+{
+    Insn i;
+    i.op = Opcode::MovRi;
+    i.reg = d;
+    i.imm = 0;
+    emit(i);
+    // The imm32 is the last four bytes just emitted.
+    fixups_.push_back(
+        {bytes_.size() - 4, 4, bytes_.size(), l.id, /*absolute=*/true});
+}
+
+void
+Assembler::movrr(GpReg d, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::MovRr;
+    i.reg = d;
+    i.rm = s;
+    emit(i);
+}
+
+void
+Assembler::lea(GpReg d, GpReg base, std::int32_t disp)
+{
+    Insn i;
+    i.op = Opcode::Lea;
+    i.reg = d;
+    i.rm = base;
+    i.dispKind = disp == 0 ? 0 : (disp >= -128 && disp < 128 ? 1 : 2);
+    i.disp = disp;
+    emit(i);
+}
+
+#define FASTSIM_ALU_RR(method, opcode)                                       \
+    void Assembler::method(GpReg d, GpReg s)                                 \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        i.rm = s;                                                            \
+        emit(i);                                                             \
+    }
+
+FASTSIM_ALU_RR(addrr, AddRr)
+FASTSIM_ALU_RR(subrr, SubRr)
+FASTSIM_ALU_RR(andrr, AndRr)
+FASTSIM_ALU_RR(orrr, OrRr)
+FASTSIM_ALU_RR(xorrr, XorRr)
+FASTSIM_ALU_RR(cmprr, CmpRr)
+FASTSIM_ALU_RR(testrr, TestRr)
+FASTSIM_ALU_RR(imulrr, ImulRr)
+FASTSIM_ALU_RR(idivrr, IdivRr)
+FASTSIM_ALU_RR(shlrr, ShlRr)
+FASTSIM_ALU_RR(shrrr, ShrRr)
+FASTSIM_ALU_RR(sarrr, SarRr)
+#undef FASTSIM_ALU_RR
+
+#define FASTSIM_ALU_RI(method, opcode)                                       \
+    void Assembler::method(GpReg d, std::uint32_t imm)                       \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        i.imm = imm;                                                         \
+        emit(i);                                                             \
+    }
+
+FASTSIM_ALU_RI(addri, AddRi)
+FASTSIM_ALU_RI(subri, SubRi)
+FASTSIM_ALU_RI(andri, AndRi)
+FASTSIM_ALU_RI(orri, OrRi)
+FASTSIM_ALU_RI(xorri, XorRi)
+FASTSIM_ALU_RI(cmpri, CmpRi)
+#undef FASTSIM_ALU_RI
+
+#define FASTSIM_SHIFT_I(method, opcode)                                      \
+    void Assembler::method(GpReg d, std::uint8_t amount)                     \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        i.imm = amount;                                                      \
+        emit(i);                                                             \
+    }
+
+FASTSIM_SHIFT_I(shli, ShlRi)
+FASTSIM_SHIFT_I(shri, ShrRi)
+FASTSIM_SHIFT_I(sari, SarRi)
+#undef FASTSIM_SHIFT_I
+
+#define FASTSIM_UNARY_R(method, opcode)                                      \
+    void Assembler::method(GpReg d)                                          \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        emit(i);                                                             \
+    }
+
+FASTSIM_UNARY_R(notr, NotR)
+FASTSIM_UNARY_R(negr, NegR)
+FASTSIM_UNARY_R(incr, IncR)
+FASTSIM_UNARY_R(decr, DecR)
+#undef FASTSIM_UNARY_R
+
+namespace {
+
+std::uint8_t
+dispKindFor(std::int32_t disp)
+{
+    if (disp == 0)
+        return 0;
+    return (disp >= -128 && disp < 128) ? 1 : 2;
+}
+
+} // namespace
+
+void
+Assembler::ld(GpReg d, GpReg base, std::int32_t disp)
+{
+    Insn i;
+    i.op = Opcode::Ld;
+    i.reg = d;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::st(GpReg base, std::int32_t disp, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::St;
+    i.reg = s;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::ldb(GpReg d, GpReg base, std::int32_t disp)
+{
+    Insn i;
+    i.op = Opcode::Ldb;
+    i.reg = d;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::stb(GpReg base, std::int32_t disp, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::Stb;
+    i.reg = s;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::push(GpReg r)
+{
+    Insn i;
+    i.op = Opcode::PushR;
+    i.reg = r;
+    emit(i);
+}
+
+void
+Assembler::pop(GpReg r)
+{
+    Insn i;
+    i.op = Opcode::PopR;
+    i.reg = r;
+    emit(i);
+}
+
+void
+Assembler::jcc(CondCode cc, Label target)
+{
+    Insn i;
+    i.op = Opcode::Jcc32;
+    i.cond = cc;
+    emit(i);
+    fixups_.push_back({bytes_.size() - 4, 4, bytes_.size(), target.id, false});
+}
+
+void
+Assembler::jcc8(CondCode cc, Label target)
+{
+    Insn i;
+    i.op = Opcode::Jcc8;
+    i.cond = cc;
+    emit(i);
+    fixups_.push_back({bytes_.size() - 1, 1, bytes_.size(), target.id, false});
+}
+
+void
+Assembler::jmp(Label target)
+{
+    Insn i;
+    i.op = Opcode::Jmp32;
+    emit(i);
+    fixups_.push_back({bytes_.size() - 4, 4, bytes_.size(), target.id, false});
+}
+
+void
+Assembler::jmpr(GpReg r)
+{
+    Insn i;
+    i.op = Opcode::JmpR;
+    i.reg = r;
+    emit(i);
+}
+
+void
+Assembler::call(Label target)
+{
+    Insn i;
+    i.op = Opcode::Call32;
+    emit(i);
+    fixups_.push_back({bytes_.size() - 4, 4, bytes_.size(), target.id, false});
+}
+
+void
+Assembler::callr(GpReg r)
+{
+    Insn i;
+    i.op = Opcode::CallR;
+    i.reg = r;
+    emit(i);
+}
+
+void
+Assembler::ret()
+{
+    Insn i;
+    i.op = Opcode::Ret;
+    emit(i);
+}
+
+void
+Assembler::movsb(bool rep_prefix)
+{
+    Insn i;
+    i.op = Opcode::Movsb;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::stosb(bool rep_prefix)
+{
+    Insn i;
+    i.op = Opcode::Stosb;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::lodsb(bool rep_prefix)
+{
+    Insn i;
+    i.op = Opcode::Lodsb;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::hlt()
+{
+    Insn i;
+    i.op = Opcode::Hlt;
+    emit(i);
+}
+
+void
+Assembler::cli()
+{
+    Insn i;
+    i.op = Opcode::Cli;
+    emit(i);
+}
+
+void
+Assembler::sti()
+{
+    Insn i;
+    i.op = Opcode::Sti;
+    emit(i);
+}
+
+void
+Assembler::iret()
+{
+    Insn i;
+    i.op = Opcode::Iret;
+    emit(i);
+}
+
+void
+Assembler::intn(std::uint8_t vector)
+{
+    Insn i;
+    i.op = Opcode::Int;
+    i.imm = vector;
+    emit(i);
+}
+
+void
+Assembler::in(GpReg d, std::uint8_t port)
+{
+    Insn i;
+    i.op = Opcode::In;
+    i.reg = d;
+    i.imm = port;
+    emit(i);
+}
+
+void
+Assembler::out(std::uint8_t port, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::Out;
+    i.reg = s;
+    i.imm = port;
+    emit(i);
+}
+
+void
+Assembler::crread(GpReg d, CtrlReg cr)
+{
+    Insn i;
+    i.op = Opcode::CrRead;
+    i.reg = d;
+    i.rm = cr;
+    emit(i);
+}
+
+void
+Assembler::crwrite(CtrlReg cr, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::CrWrite;
+    i.reg = cr;
+    i.rm = s;
+    emit(i);
+}
+
+void
+Assembler::ud()
+{
+    Insn i;
+    i.op = Opcode::Ud;
+    emit(i);
+}
+
+#define FASTSIM_FP_RR(method, opcode)                                        \
+    void Assembler::method(FpReg d, FpReg s)                                 \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        i.rm = s;                                                            \
+        emit(i);                                                             \
+    }
+
+FASTSIM_FP_RR(fadd, Fadd)
+FASTSIM_FP_RR(fsub, Fsub)
+FASTSIM_FP_RR(fmul, Fmul)
+FASTSIM_FP_RR(fdiv, Fdiv)
+FASTSIM_FP_RR(fcmp, Fcmp)
+FASTSIM_FP_RR(fmov, Fmov)
+#undef FASTSIM_FP_RR
+
+void
+Assembler::fld(FpReg d, GpReg base, std::int32_t disp)
+{
+    Insn i;
+    i.op = Opcode::Fld;
+    i.reg = d;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::fst(GpReg base, std::int32_t disp, FpReg s)
+{
+    Insn i;
+    i.op = Opcode::Fst;
+    i.reg = s;
+    i.rm = base;
+    i.dispKind = dispKindFor(disp);
+    i.disp = disp;
+    emit(i);
+}
+
+void
+Assembler::fitof(FpReg d, GpReg s)
+{
+    Insn i;
+    i.op = Opcode::Fitof;
+    i.reg = d;
+    i.rm = s;
+    emit(i);
+}
+
+void
+Assembler::ftoi(GpReg d, FpReg s)
+{
+    Insn i;
+    i.op = Opcode::Ftoi;
+    i.reg = d;
+    i.rm = s;
+    emit(i);
+}
+
+#define FASTSIM_FP_R(method, opcode)                                         \
+    void Assembler::method(FpReg d)                                          \
+    {                                                                        \
+        Insn i;                                                              \
+        i.op = Opcode::opcode;                                               \
+        i.reg = d;                                                           \
+        emit(i);                                                             \
+    }
+
+FASTSIM_FP_R(fabsr, Fabs)
+FASTSIM_FP_R(fnegr, Fneg)
+FASTSIM_FP_R(fsqrt, Fsqrt)
+#undef FASTSIM_FP_R
+
+std::vector<std::uint8_t>
+Assembler::finish()
+{
+    fastsim_assert(!finished_);
+    finished_ = true;
+    for (const Fixup &f : fixups_) {
+        fastsim_assert(f.label < labels_.size());
+        if (labels_[f.label] < 0)
+            panic("finish: unbound label %u", f.label);
+        std::int64_t target = labels_[f.label];
+        if (f.absolute) {
+            std::uint32_t addr = base_ + static_cast<std::uint32_t>(target);
+            for (unsigned b = 0; b < 4; ++b)
+                bytes_[f.fieldOffset + b] = (addr >> (8 * b)) & 0xFF;
+        } else {
+            std::int64_t rel =
+                target - static_cast<std::int64_t>(f.nextOffset);
+            if (f.fieldSize == 1) {
+                if (rel < -128 || rel > 127)
+                    panic("finish: short branch out of range (%lld)",
+                          static_cast<long long>(rel));
+                bytes_[f.fieldOffset] = static_cast<std::uint8_t>(rel & 0xFF);
+            } else {
+                std::uint32_t enc = static_cast<std::uint32_t>(rel);
+                for (unsigned b = 0; b < 4; ++b)
+                    bytes_[f.fieldOffset + b] = (enc >> (8 * b)) & 0xFF;
+            }
+        }
+    }
+    return bytes_;
+}
+
+} // namespace isa
+} // namespace fastsim

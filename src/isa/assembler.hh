@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Programmatic FX86 assembler.
+ *
+ * The mini operating system and every synthetic workload are written against
+ * this builder API.  It supports forward references through labels; branch
+ * displacements are resolved when finish() is called.
+ */
+
+#ifndef FASTSIM_ISA_ASSEMBLER_HH
+#define FASTSIM_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/insn.hh"
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace isa {
+
+/** Opaque label handle. */
+struct Label
+{
+    std::uint32_t id = 0;
+};
+
+/**
+ * Single-pass assembler with fix-ups for forward branch references.
+ *
+ * All emit methods append at the current position.  finish() resolves every
+ * recorded fix-up and returns the image; the assembler must not be reused
+ * afterwards.
+ */
+class Assembler
+{
+  public:
+    /** @param base virtual address the image will be loaded at. */
+    explicit Assembler(Addr base);
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the current position. */
+    void bind(Label l);
+
+    /** Create a label already bound to the current position. */
+    Label here();
+
+    /** Current virtual address. */
+    Addr pc() const { return base_ + static_cast<Addr>(bytes_.size()); }
+
+    /** Address a bound label resolves to; panics if unbound. */
+    Addr addrOf(Label l) const;
+
+    // --- data directives -------------------------------------------------
+    void db(std::uint8_t v);
+    void dd(std::uint32_t v);
+    void zeros(std::size_t n);
+    void align(unsigned boundary);
+    /** Emit raw instruction-free padding reachable only as data. */
+    void bytes(const std::vector<std::uint8_t> &data);
+
+    // --- moves and ALU ---------------------------------------------------
+    void nop(std::uint8_t pad_prefixes = 0);
+    void movri(GpReg d, std::uint32_t imm);
+    /** Load a label's address into a register (fix-up supported). */
+    void movlabel(GpReg d, Label l);
+    void movrr(GpReg d, GpReg s);
+    void lea(GpReg d, GpReg base, std::int32_t disp);
+    void addrr(GpReg d, GpReg s);
+    void subrr(GpReg d, GpReg s);
+    void andrr(GpReg d, GpReg s);
+    void orrr(GpReg d, GpReg s);
+    void xorrr(GpReg d, GpReg s);
+    void cmprr(GpReg a, GpReg b);
+    void testrr(GpReg a, GpReg b);
+    void imulrr(GpReg d, GpReg s);
+    void idivrr(GpReg d, GpReg s);
+    void shlrr(GpReg d, GpReg s);
+    void shrrr(GpReg d, GpReg s);
+    void sarrr(GpReg d, GpReg s);
+    void addri(GpReg d, std::uint32_t imm);
+    void subri(GpReg d, std::uint32_t imm);
+    void andri(GpReg d, std::uint32_t imm);
+    void orri(GpReg d, std::uint32_t imm);
+    void xorri(GpReg d, std::uint32_t imm);
+    void cmpri(GpReg d, std::uint32_t imm);
+    void shli(GpReg d, std::uint8_t amount);
+    void shri(GpReg d, std::uint8_t amount);
+    void sari(GpReg d, std::uint8_t amount);
+    void notr(GpReg d);
+    void negr(GpReg d);
+    void incr(GpReg d);
+    void decr(GpReg d);
+
+    // --- memory ----------------------------------------------------------
+    void ld(GpReg d, GpReg base, std::int32_t disp = 0);
+    void st(GpReg base, std::int32_t disp, GpReg s);
+    void ldb(GpReg d, GpReg base, std::int32_t disp = 0);
+    void stb(GpReg base, std::int32_t disp, GpReg s);
+    void push(GpReg r);
+    void pop(GpReg r);
+
+    // --- control transfer ------------------------------------------------
+    void jcc(CondCode cc, Label target);
+    void jcc8(CondCode cc, Label target); //!< short form; target may be fwd
+    void jmp(Label target);
+    void jmpr(GpReg r);
+    void call(Label target);
+    void callr(GpReg r);
+    void ret();
+
+    // --- string ops ------------------------------------------------------
+    void movsb(bool rep_prefix = false);
+    void stosb(bool rep_prefix = false);
+    void lodsb(bool rep_prefix = false);
+
+    // --- system ----------------------------------------------------------
+    void hlt();
+    void cli();
+    void sti();
+    void iret();
+    void intn(std::uint8_t vector);
+    void in(GpReg d, std::uint8_t port);
+    void out(std::uint8_t port, GpReg s);
+    void crread(GpReg d, CtrlReg cr);
+    void crwrite(CtrlReg cr, GpReg s);
+    void ud();
+
+    // --- floating point --------------------------------------------------
+    void fadd(FpReg d, FpReg s);
+    void fsub(FpReg d, FpReg s);
+    void fmul(FpReg d, FpReg s);
+    void fdiv(FpReg d, FpReg s);
+    void fld(FpReg d, GpReg base, std::int32_t disp = 0);
+    void fst(GpReg base, std::int32_t disp, FpReg s);
+    void fitof(FpReg d, GpReg s);
+    void ftoi(GpReg d, FpReg s);
+    void fcmp(FpReg a, FpReg b);
+    void fmov(FpReg d, FpReg s);
+    void fabsr(FpReg d);
+    void fnegr(FpReg d);
+    void fsqrt(FpReg d);
+
+    /** Resolve fix-ups and return the final image. */
+    std::vector<std::uint8_t> finish();
+
+    /** Base load address. */
+    Addr base() const { return base_; }
+
+    /** Number of instructions emitted so far. */
+    std::size_t insnCount() const { return insn_count_; }
+
+  private:
+    struct Fixup
+    {
+        std::size_t fieldOffset; //!< where the rel field lives
+        unsigned fieldSize;      //!< 1 or 4 bytes
+        std::size_t nextOffset;  //!< offset of the following instruction
+        std::uint32_t label;
+        bool absolute;           //!< movlabel: store absolute address
+    };
+
+    void emit(Insn insn);
+
+    Addr base_;
+    std::vector<std::uint8_t> bytes_;
+    std::vector<std::int64_t> labels_; //!< bound offset or -1
+    std::vector<Fixup> fixups_;
+    std::size_t insn_count_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace isa
+} // namespace fastsim
+
+#endif // FASTSIM_ISA_ASSEMBLER_HH

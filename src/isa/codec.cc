@@ -1,0 +1,358 @@
+/**
+ * @file
+ * FX86 instruction decoder, encoder and disassembler.
+ */
+
+#include "isa/insn.hh"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace isa {
+
+namespace {
+
+constexpr std::uint8_t InvalidOp = 0xFF;
+
+struct DecodeTables
+{
+    // Maps (escape?, byte) to opcode index, or InvalidOp.
+    std::array<std::uint8_t, 256> primary;
+    std::array<std::uint8_t, 256> escape;
+
+    DecodeTables()
+    {
+        primary.fill(InvalidOp);
+        escape.fill(InvalidOp);
+        for (unsigned i = 0; i < NumOpcodes; ++i) {
+            const OpInfo &info = opInfo(static_cast<Opcode>(i));
+            auto &table = info.escape ? escape : primary;
+            const auto op = static_cast<Opcode>(i);
+            if (op == Opcode::Jcc32 || op == Opcode::Jcc8) {
+                for (unsigned cc = 0; cc < NumCondCodes; ++cc)
+                    table[info.byte + cc] = static_cast<std::uint8_t>(i);
+            } else {
+                fastsim_assert(table[info.byte] == InvalidOp);
+                table[info.byte] = static_cast<std::uint8_t>(i);
+            }
+        }
+    }
+};
+
+const DecodeTables &
+decodeTables()
+{
+    static const DecodeTables tables;
+    return tables;
+}
+
+std::uint32_t
+read32(const std::uint8_t *p)
+{
+    return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+           (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+void
+write32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = v & 0xFF;
+    p[1] = (v >> 8) & 0xFF;
+    p[2] = (v >> 16) & 0xFF;
+    p[3] = (v >> 24) & 0xFF;
+}
+
+/** Number of operand bytes for a template (RM depends on dispKind). */
+unsigned
+operandBytes(OperTemplate tmpl, std::uint8_t disp_kind)
+{
+    switch (tmpl) {
+      case OperTemplate::None: return 0;
+      case OperTemplate::R: return 1;
+      case OperTemplate::RR: return 1;
+      case OperTemplate::RI: return 5;
+      case OperTemplate::RI8: return 2;
+      case OperTemplate::RM:
+        return 1 + (disp_kind == 1 ? 1 : disp_kind == 2 ? 4 : 0);
+      case OperTemplate::I8: return 1;
+      case OperTemplate::Rel8: return 1;
+      case OperTemplate::Rel32: return 4;
+    }
+    return 0;
+}
+
+} // namespace
+
+DecodeStatus
+decode(const std::uint8_t *buf, std::size_t avail, Insn &insn)
+{
+    insn = Insn();
+    std::size_t i = 0;
+
+    // Prefixes.
+    while (true) {
+        if (i >= avail)
+            return DecodeStatus::NeedMoreBytes;
+        if (buf[i] == PrefixPad) {
+            ++insn.pad;
+            ++i;
+        } else if (buf[i] == PrefixRep) {
+            insn.rep = true;
+            ++i;
+        } else {
+            break;
+        }
+        if (i >= MaxInsnLength) {
+            insn.length = static_cast<std::uint8_t>(i);
+            return DecodeStatus::TooLong;
+        }
+    }
+
+    // Opcode (possibly escaped).
+    bool escaped = false;
+    std::uint8_t b = buf[i++];
+    if (b == EscapeByte) {
+        if (i >= avail)
+            return DecodeStatus::NeedMoreBytes;
+        escaped = true;
+        b = buf[i++];
+    }
+
+    const auto &tables = decodeTables();
+    std::uint8_t op_idx = escaped ? tables.escape[b] : tables.primary[b];
+    if (op_idx == InvalidOp) {
+        insn.length = static_cast<std::uint8_t>(i);
+        return DecodeStatus::BadOpcode;
+    }
+    insn.op = static_cast<Opcode>(op_idx);
+    const OpInfo &info = opInfo(insn.op);
+    if (insn.op == Opcode::Jcc32 || insn.op == Opcode::Jcc8)
+        insn.cond = static_cast<CondCode>(b - info.byte);
+    if (insn.rep && !(info.flags & OpfRepable)) {
+        // REP on a non-string instruction is treated as an invalid encoding.
+        insn.length = static_cast<std::uint8_t>(i);
+        return DecodeStatus::BadOpcode;
+    }
+
+    // Operands.
+    switch (info.tmpl) {
+      case OperTemplate::None:
+        break;
+      case OperTemplate::R:
+        if (i + 1 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.reg = buf[i] >> 4;
+        i += 1;
+        break;
+      case OperTemplate::RR:
+        if (i + 1 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.reg = buf[i] >> 4;
+        insn.rm = buf[i] & 0xF;
+        i += 1;
+        break;
+      case OperTemplate::RI:
+        if (i + 5 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.reg = buf[i] >> 4;
+        insn.imm = read32(buf + i + 1);
+        i += 5;
+        break;
+      case OperTemplate::RI8:
+        if (i + 2 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.reg = buf[i] >> 4;
+        insn.imm = buf[i + 1];
+        i += 2;
+        break;
+      case OperTemplate::RM: {
+        if (i + 1 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        std::uint8_t mod = buf[i];
+        insn.reg = bits(mod, 7, 5);
+        insn.rm = bits(mod, 4, 2);
+        insn.dispKind = bits(mod, 1, 0);
+        i += 1;
+        if (insn.dispKind == 1) {
+            if (i + 1 > avail)
+                return DecodeStatus::NeedMoreBytes;
+            insn.disp = static_cast<std::int32_t>(sext(buf[i], 8));
+            i += 1;
+        } else if (insn.dispKind == 2) {
+            if (i + 4 > avail)
+                return DecodeStatus::NeedMoreBytes;
+            insn.disp = static_cast<std::int32_t>(read32(buf + i));
+            i += 4;
+        } else if (insn.dispKind == 3) {
+            insn.length = static_cast<std::uint8_t>(i);
+            return DecodeStatus::BadOpcode;
+        }
+        break;
+      }
+      case OperTemplate::I8:
+        if (i + 1 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.imm = buf[i];
+        i += 1;
+        break;
+      case OperTemplate::Rel8:
+        if (i + 1 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.rel = static_cast<std::int32_t>(sext(buf[i], 8));
+        i += 1;
+        break;
+      case OperTemplate::Rel32:
+        if (i + 4 > avail)
+            return DecodeStatus::NeedMoreBytes;
+        insn.rel = static_cast<std::int32_t>(read32(buf + i));
+        i += 4;
+        break;
+    }
+
+    if (i > MaxInsnLength) {
+        insn.length = static_cast<std::uint8_t>(i);
+        return DecodeStatus::TooLong;
+    }
+    insn.length = static_cast<std::uint8_t>(i);
+    return DecodeStatus::Ok;
+}
+
+unsigned
+encodedLength(const Insn &insn)
+{
+    const OpInfo &info = insn.info();
+    unsigned len = insn.pad + (insn.rep ? 1 : 0) + (info.escape ? 2 : 1);
+    len += operandBytes(info.tmpl, insn.dispKind);
+    return len;
+}
+
+unsigned
+encode(Insn &insn, std::uint8_t *buf)
+{
+    const OpInfo &info = insn.info();
+    unsigned len = encodedLength(insn);
+    if (len > MaxInsnLength)
+        panic("encode: instruction longer than %u bytes", MaxInsnLength);
+    if (insn.rep && !(info.flags & OpfRepable))
+        panic("encode: REP prefix on non-string opcode %s", info.mnemonic);
+
+    unsigned i = 0;
+    for (unsigned p = 0; p < insn.pad; ++p)
+        buf[i++] = PrefixPad;
+    if (insn.rep)
+        buf[i++] = PrefixRep;
+    if (info.escape)
+        buf[i++] = EscapeByte;
+
+    std::uint8_t b = info.byte;
+    if (insn.op == Opcode::Jcc32 || insn.op == Opcode::Jcc8)
+        b += insn.cond;
+    buf[i++] = b;
+
+    switch (info.tmpl) {
+      case OperTemplate::None:
+        break;
+      case OperTemplate::R:
+        buf[i++] = static_cast<std::uint8_t>(insn.reg << 4);
+        break;
+      case OperTemplate::RR:
+        buf[i++] = static_cast<std::uint8_t>((insn.reg << 4) |
+                                             (insn.rm & 0xF));
+        break;
+      case OperTemplate::RI:
+        buf[i++] = static_cast<std::uint8_t>(insn.reg << 4);
+        write32(buf + i, insn.imm);
+        i += 4;
+        break;
+      case OperTemplate::RI8:
+        buf[i++] = static_cast<std::uint8_t>(insn.reg << 4);
+        buf[i++] = static_cast<std::uint8_t>(insn.imm & 0xFF);
+        break;
+      case OperTemplate::RM:
+        buf[i++] = static_cast<std::uint8_t>(
+            (insn.reg << 5) | ((insn.rm & 0x7) << 2) | (insn.dispKind & 0x3));
+        if (insn.dispKind == 1) {
+            buf[i++] = static_cast<std::uint8_t>(insn.disp & 0xFF);
+        } else if (insn.dispKind == 2) {
+            write32(buf + i, static_cast<std::uint32_t>(insn.disp));
+            i += 4;
+        }
+        break;
+      case OperTemplate::I8:
+        buf[i++] = static_cast<std::uint8_t>(insn.imm & 0xFF);
+        break;
+      case OperTemplate::Rel8:
+        buf[i++] = static_cast<std::uint8_t>(insn.rel & 0xFF);
+        break;
+      case OperTemplate::Rel32:
+        write32(buf + i, static_cast<std::uint32_t>(insn.rel));
+        i += 4;
+        break;
+    }
+
+    fastsim_assert(i == len);
+    insn.length = static_cast<std::uint8_t>(len);
+    return len;
+}
+
+std::string
+disassemble(const Insn &insn, Addr pc)
+{
+    static const char *cond_names[] = {"z", "nz", "c", "nc", "s", "ns",
+                                       "o", "no", "l", "ge", "le", "g"};
+    const OpInfo &info = insn.info();
+    std::ostringstream os;
+    if (insn.rep)
+        os << "rep ";
+    if (insn.op == Opcode::Jcc32 || insn.op == Opcode::Jcc8) {
+        os << "j" << cond_names[insn.cond];
+    } else {
+        // Lower-case the mnemonic.
+        for (const char *p = info.mnemonic; *p; ++p)
+            os << static_cast<char>(
+                *p >= 'A' && *p <= 'Z' ? *p - 'A' + 'a' : *p);
+    }
+
+    const char *rpfx = info.flags & OpfFp ? "f" : "r";
+    switch (info.tmpl) {
+      case OperTemplate::None:
+        break;
+      case OperTemplate::R:
+        os << " " << rpfx << unsigned(insn.reg);
+        break;
+      case OperTemplate::RR:
+        os << " " << rpfx << unsigned(insn.reg) << ", " << rpfx
+           << unsigned(insn.rm);
+        break;
+      case OperTemplate::RI:
+        os << " r" << unsigned(insn.reg) << ", 0x" << std::hex << insn.imm;
+        break;
+      case OperTemplate::RI8:
+        os << " r" << unsigned(insn.reg) << ", " << std::dec
+           << (insn.imm & 0xFF);
+        break;
+      case OperTemplate::RM:
+        os << " " << rpfx << unsigned(insn.reg) << ", [r"
+           << unsigned(insn.rm);
+        if (insn.dispKind)
+            os << (insn.disp >= 0 ? "+" : "") << insn.disp;
+        os << "]";
+        break;
+      case OperTemplate::I8:
+        os << " " << (insn.imm & 0xFF);
+        break;
+      case OperTemplate::Rel8:
+      case OperTemplate::Rel32:
+        os << " 0x" << std::hex << insn.relTarget(pc);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace isa
+} // namespace fastsim

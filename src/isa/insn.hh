@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Decoded FX86 instruction representation.
+ */
+
+#ifndef FASTSIM_ISA_INSN_HH
+#define FASTSIM_ISA_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace isa {
+
+/**
+ * A fully decoded instruction.
+ *
+ * Fields that a particular operand template does not use are left zero, so
+ * two decodes of the same bytes compare equal member-wise.
+ */
+struct Insn
+{
+    Opcode op = Opcode::Ud;
+    std::uint8_t reg = 0;      //!< first register operand
+    std::uint8_t rm = 0;       //!< second register operand
+    std::uint8_t dispKind = 0; //!< RM template: 0 none, 1 disp8, 2 disp32
+    std::int32_t disp = 0;     //!< RM displacement
+    std::uint32_t imm = 0;     //!< immediate (RI: 32-bit, RI8/I8: low 8 bits)
+    std::int32_t rel = 0;      //!< branch displacement (from next insn)
+    CondCode cond = CondZ;     //!< condition code for Jcc
+    bool rep = false;          //!< REP prefix present
+    std::uint8_t pad = 0;      //!< number of PAD prefixes
+    std::uint8_t length = 0;   //!< total encoded length in bytes
+
+    bool
+    operator==(const Insn &o) const
+    {
+        return op == o.op && reg == o.reg && rm == o.rm &&
+               dispKind == o.dispKind && disp == o.disp && imm == o.imm &&
+               rel == o.rel && cond == o.cond && rep == o.rep &&
+               pad == o.pad && length == o.length;
+    }
+
+    const OpInfo &info() const { return opInfo(op); }
+    bool isBranch() const { return opIsBranch(op); }
+    bool isCondBranch() const { return opIsCondBranch(op); }
+    bool isLoad() const { return opIsLoad(op); }
+    bool isStore() const { return opIsStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isFp() const { return opIsFp(op); }
+    bool isSerializing() const { return opHasFlag(op, OpfSerialize); }
+    bool isPrivileged() const { return opHasFlag(op, OpfPriv); }
+
+    /** Branch target for PC-relative control transfers. */
+    Addr
+    relTarget(Addr pc) const
+    {
+        return pc + length + static_cast<std::uint32_t>(rel);
+    }
+};
+
+/** Outcome of a decode attempt. */
+enum class DecodeStatus : std::uint8_t
+{
+    Ok,
+    NeedMoreBytes, //!< buffer too short for the full instruction
+    BadOpcode,     //!< unassigned opcode byte (raises #UD when executed)
+    TooLong,       //!< instruction exceeds the 15-byte architectural limit
+};
+
+/**
+ * Decode one instruction from a byte buffer.
+ *
+ * @param buf   instruction bytes
+ * @param avail number of valid bytes at buf
+ * @param insn  receives the decoded instruction on DecodeStatus::Ok
+ * @return decode outcome; on BadOpcode, insn.length is set to the number of
+ *         bytes consumed so execution can raise #UD with a valid length.
+ */
+DecodeStatus decode(const std::uint8_t *buf, std::size_t avail, Insn &insn);
+
+/**
+ * Encode an instruction into a byte buffer (at least MaxInsnLength bytes).
+ *
+ * @return the encoded length; also stored into insn.length.
+ */
+unsigned encode(Insn &insn, std::uint8_t *buf);
+
+/** Compute the encoded length without emitting bytes. */
+unsigned encodedLength(const Insn &insn);
+
+/** Human-readable disassembly of a decoded instruction. */
+std::string disassemble(const Insn &insn, Addr pc);
+
+} // namespace isa
+} // namespace fastsim
+
+#endif // FASTSIM_ISA_INSN_HH

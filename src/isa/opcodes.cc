@@ -1,0 +1,32 @@
+#include "isa/opcodes.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace isa {
+
+namespace {
+
+const OpInfo opInfoTable[] = {
+#define FX86_OPCODE(name, escape, byte, tmpl, cls, flags)                     \
+    {#name, escape != 0, byte, OperTemplate::tmpl, ExecClass::cls, (flags)},
+    FX86_OPCODE_LIST
+#undef FX86_OPCODE
+};
+
+static_assert(sizeof(opInfoTable) / sizeof(opInfoTable[0]) == NumOpcodes,
+              "opInfoTable out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<unsigned>(op);
+    if (idx >= NumOpcodes)
+        panic("opInfo: bad opcode %u", idx);
+    return opInfoTable[idx];
+}
+
+} // namespace isa
+} // namespace fastsim

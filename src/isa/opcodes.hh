@@ -1,0 +1,211 @@
+/**
+ * @file
+ * FX86 opcode definitions and static metadata.
+ *
+ * The ISA is table-driven: FX86_OPCODE_LIST is the single source of truth
+ * consumed by the decoder, encoder, disassembler and the microcode compiler.
+ *
+ * Encoding summary (little-endian):
+ *   [PAD prefixes 0xF4]* [REP prefix 0xF3]? [0x0F escape]? opcode operands
+ * Total instruction length is 1..15 bytes, like x86.
+ *
+ * Operand templates:
+ *   None  -                        no operand bytes
+ *   R     - 1 byte: reg in bits [7:4]
+ *   RR    - 1 byte: reg in [7:4], rm in [3:0]
+ *   RI    - 1 byte: reg in [7:4], then imm32
+ *   RI8   - 1 byte: reg in [7:4], then imm8
+ *   RM    - 1 byte: reg [7:5], base [4:2], dispKind [1:0]
+ *           dispKind: 0 = none, 1 = disp8 (sign-extended), 2 = disp32
+ *   I8    - imm8
+ *   Rel8  - branch displacement, signed 8-bit, relative to next instruction
+ *   Rel32 - branch displacement, signed 32-bit, relative to next instruction
+ *
+ * Conditional branches occupy byte ranges: JCC32 uses bytes 0x40+cond and
+ * JCC8 uses 0x54+cond for the 12 condition codes.
+ */
+
+#ifndef FASTSIM_ISA_OPCODES_HH
+#define FASTSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace isa {
+
+/** Prefix bytes. */
+constexpr std::uint8_t PrefixRep = 0xF3;
+constexpr std::uint8_t PrefixPad = 0xF4;
+/** Two-byte opcode escape. */
+constexpr std::uint8_t EscapeByte = 0x0F;
+/** Architectural maximum instruction length, as in x86. */
+constexpr unsigned MaxInsnLength = 15;
+
+/** Operand encoding templates. */
+enum class OperTemplate : std::uint8_t
+{
+    None, R, RR, RI, RI8, RM, I8, Rel8, Rel32,
+};
+
+/** Execution class; drives microcode cracking and functional-unit choice. */
+enum class ExecClass : std::uint8_t
+{
+    Nop, IntAlu, IntMul, IntDiv, Shift, Load, Store, Lea,
+    MovReg, MovImm, Push, Pop,
+    BranchCond, BranchUncond, Call, Ret,
+    String, IntSw, Iret, Halt, IntFlag, CrMove, PortIo,
+    FpAlu, FpDiv, FpLoad, FpStore, FpMove, FpCompare, FpConvert,
+    Undefined,
+};
+
+/** Static-property flag bits. */
+enum OpFlag : std::uint32_t
+{
+    OpfWriteFlags = 1u << 0,  //!< writes condition flags
+    OpfReadFlags = 1u << 1,   //!< reads condition flags
+    OpfBranch = 1u << 2,      //!< control transfer
+    OpfCond = 1u << 3,        //!< conditional control transfer
+    OpfLoad = 1u << 4,        //!< reads data memory
+    OpfStore = 1u << 5,       //!< writes data memory
+    OpfSerialize = 1u << 6,   //!< serializing (drains the pipeline)
+    OpfPriv = 1u << 7,        //!< kernel-mode only
+    OpfFp = 1u << 8,          //!< floating-point
+    OpfRepable = 1u << 9,     //!< honours the REP prefix
+};
+
+// clang-format off
+/**
+ * Master opcode table.
+ * FX86_OPCODE(enumName, escape, byte, template, execClass, flags)
+ */
+#define FX86_OPCODE_LIST                                                      \
+    FX86_OPCODE(Nop,     0, 0x00, None,  Nop,          0)                     \
+    FX86_OPCODE(Hlt,     0, 0x01, None,  Halt,         OpfPriv)               \
+    FX86_OPCODE(Cli,     0, 0x02, None,  IntFlag,      OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(Sti,     0, 0x03, None,  IntFlag,      OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(Iret,    0, 0x04, None,  Iret,                                \
+                OpfPriv|OpfSerialize|OpfBranch|OpfLoad)                       \
+    FX86_OPCODE(Ret,     0, 0x05, None,  Ret,          OpfBranch|OpfLoad)     \
+    FX86_OPCODE(Ud,      0, 0x06, None,  Undefined,    0)                     \
+    FX86_OPCODE(MovRr,   0, 0x08, RR,    MovReg,       0)                     \
+    FX86_OPCODE(MovRi,   0, 0x09, RI,    MovImm,       0)                     \
+    FX86_OPCODE(Lea,     0, 0x0A, RM,    Lea,          0)                     \
+    FX86_OPCODE(AddRr,   0, 0x10, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(SubRr,   0, 0x11, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(AndRr,   0, 0x12, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(OrRr,    0, 0x13, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(XorRr,   0, 0x14, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(CmpRr,   0, 0x15, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(TestRr,  0, 0x16, RR,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(ImulRr,  0, 0x17, RR,    IntMul,       OpfWriteFlags)         \
+    FX86_OPCODE(IdivRr,  0, 0x18, RR,    IntDiv,       OpfWriteFlags)         \
+    FX86_OPCODE(ShlRr,   0, 0x19, RR,    Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(ShrRr,   0, 0x1A, RR,    Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(SarRr,   0, 0x1B, RR,    Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(AddRi,   0, 0x20, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(SubRi,   0, 0x21, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(AndRi,   0, 0x22, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(OrRi,    0, 0x23, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(XorRi,   0, 0x24, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(CmpRi,   0, 0x25, RI,    IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(ShlRi,   0, 0x29, RI8,   Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(ShrRi,   0, 0x2A, RI8,   Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(SarRi,   0, 0x2B, RI8,   Shift,        OpfWriteFlags)         \
+    FX86_OPCODE(NotR,    0, 0x2C, R,     IntAlu,       0)                     \
+    FX86_OPCODE(NegR,    0, 0x2D, R,     IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(IncR,    0, 0x2E, R,     IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(DecR,    0, 0x2F, R,     IntAlu,       OpfWriteFlags)         \
+    FX86_OPCODE(Ld,      0, 0x30, RM,    Load,         OpfLoad)               \
+    FX86_OPCODE(St,      0, 0x31, RM,    Store,        OpfStore)              \
+    FX86_OPCODE(Ldb,     0, 0x32, RM,    Load,         OpfLoad)               \
+    FX86_OPCODE(Stb,     0, 0x33, RM,    Store,        OpfStore)              \
+    FX86_OPCODE(PushR,   0, 0x34, R,     Push,         OpfStore)              \
+    FX86_OPCODE(PopR,    0, 0x35, R,     Pop,          OpfLoad)               \
+    FX86_OPCODE(Jcc32,   0, 0x40, Rel32, BranchCond,                          \
+                OpfReadFlags|OpfBranch|OpfCond)                               \
+    FX86_OPCODE(Jmp32,   0, 0x50, Rel32, BranchUncond, OpfBranch)             \
+    FX86_OPCODE(JmpR,    0, 0x51, R,     BranchUncond, OpfBranch)             \
+    FX86_OPCODE(Call32,  0, 0x52, Rel32, Call,         OpfBranch|OpfStore)    \
+    FX86_OPCODE(CallR,   0, 0x53, R,     Call,         OpfBranch|OpfStore)    \
+    FX86_OPCODE(Jcc8,    0, 0x54, Rel8,  BranchCond,                          \
+                OpfReadFlags|OpfBranch|OpfCond)                               \
+    FX86_OPCODE(Int,     0, 0x60, I8,    IntSw,                               \
+                OpfSerialize|OpfBranch|OpfStore)                              \
+    FX86_OPCODE(In,      0, 0x61, RI8,   PortIo,       OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(Out,     0, 0x62, RI8,   PortIo,       OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(CrRead,  0, 0x63, RR,    CrMove,       OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(CrWrite, 0, 0x64, RR,    CrMove,       OpfPriv|OpfSerialize)  \
+    FX86_OPCODE(Movsb,   0, 0x65, None,  String,                              \
+                OpfLoad|OpfStore|OpfRepable|OpfWriteFlags)                    \
+    FX86_OPCODE(Stosb,   0, 0x66, None,  String,                              \
+                OpfStore|OpfRepable|OpfWriteFlags)                            \
+    FX86_OPCODE(Lodsb,   0, 0x67, None,  String,                              \
+                OpfLoad|OpfRepable|OpfWriteFlags)                             \
+    FX86_OPCODE(Fadd,    1, 0x00, RR,    FpAlu,        OpfFp)                 \
+    FX86_OPCODE(Fsub,    1, 0x01, RR,    FpAlu,        OpfFp)                 \
+    FX86_OPCODE(Fmul,    1, 0x02, RR,    FpAlu,        OpfFp)                 \
+    FX86_OPCODE(Fdiv,    1, 0x03, RR,    FpDiv,        OpfFp)                 \
+    FX86_OPCODE(Fld,     1, 0x04, RM,    FpLoad,       OpfFp|OpfLoad)         \
+    FX86_OPCODE(Fst,     1, 0x05, RM,    FpStore,      OpfFp|OpfStore)        \
+    FX86_OPCODE(Fitof,   1, 0x06, RR,    FpConvert,    OpfFp)                 \
+    FX86_OPCODE(Ftoi,    1, 0x07, RR,    FpConvert,    OpfFp)                 \
+    FX86_OPCODE(Fcmp,    1, 0x08, RR,    FpCompare,    OpfFp|OpfWriteFlags)   \
+    FX86_OPCODE(Fmov,    1, 0x09, RR,    FpMove,       OpfFp)                 \
+    FX86_OPCODE(Fabs,    1, 0x0A, R,     FpAlu,        OpfFp)                 \
+    FX86_OPCODE(Fneg,    1, 0x0B, R,     FpAlu,        OpfFp)                 \
+    FX86_OPCODE(Fsqrt,   1, 0x0C, R,     FpDiv,        OpfFp)
+// clang-format on
+
+/** Opcode enumeration generated from the master table. */
+enum class Opcode : std::uint8_t
+{
+#define FX86_OPCODE(name, escape, byte, tmpl, cls, flags) name,
+    FX86_OPCODE_LIST
+#undef FX86_OPCODE
+    NumOpcodes,
+};
+
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Static metadata for one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    bool escape;            //!< uses the 0x0F two-byte escape
+    std::uint8_t byte;      //!< primary opcode byte (base byte for Jcc)
+    OperTemplate tmpl;
+    ExecClass cls;
+    std::uint32_t flags;
+};
+
+/** Metadata lookup; total over all opcodes. */
+const OpInfo &opInfo(Opcode op);
+
+/** Convenience flag accessors. */
+inline bool opHasFlag(Opcode op, OpFlag f) { return opInfo(op).flags & f; }
+inline bool opIsBranch(Opcode op) { return opHasFlag(op, OpfBranch); }
+inline bool opIsCondBranch(Opcode op) { return opHasFlag(op, OpfCond); }
+inline bool opIsLoad(Opcode op) { return opHasFlag(op, OpfLoad); }
+inline bool opIsStore(Opcode op) { return opHasFlag(op, OpfStore); }
+inline bool opIsFp(Opcode op) { return opHasFlag(op, OpfFp); }
+inline ExecClass opClass(Opcode op) { return opInfo(op).cls; }
+
+/**
+ * The 11-bit compressed opcode identifier the functional model places in
+ * the instruction trace (paper §4: "We have compressed opcodes to 11 bits").
+ * FX86 has far fewer than 2048 opcodes, so the compressed opcode is simply
+ * the opcode index combined with the condition code for Jcc.
+ */
+inline std::uint16_t
+compressedOpcode(Opcode op, CondCode cc)
+{
+    return static_cast<std::uint16_t>(
+        (static_cast<unsigned>(op) << 4) | (cc & 0xF));
+}
+
+} // namespace isa
+} // namespace fastsim
+
+#endif // FASTSIM_ISA_OPCODES_HH

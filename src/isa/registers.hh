@@ -1,0 +1,139 @@
+/**
+ * @file
+ * FX86 architectural register definitions.
+ *
+ * FX86 is the from-scratch variable-length CISC ISA this reproduction uses
+ * in place of x86 (see DESIGN.md §2).  It has eight 32-bit general-purpose
+ * registers, eight 64-bit floating-point registers, a flags register and a
+ * small set of control registers, mirroring the structural properties of
+ * x86 that matter to the FAST methodology (condition codes, a stack pointer
+ * convention, CISC string ops, privileged control state).
+ */
+
+#ifndef FASTSIM_ISA_REGISTERS_HH
+#define FASTSIM_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace fastsim {
+namespace isa {
+
+/** Number of general-purpose registers. */
+constexpr unsigned NumGpRegs = 8;
+/** Number of floating-point registers. */
+constexpr unsigned NumFpRegs = 8;
+
+/**
+ * General-purpose register names.  By software convention (used by the
+ * mini-OS and all workloads):
+ *   R0 = string-source index (SI analog)
+ *   R1 = string-destination index (DI analog)
+ *   R2 = string/loop count (CX analog)
+ *   R3 = accumulator / low byte used by STOSB/LODSB (AX analog)
+ *   R7 = stack pointer (SP)
+ */
+enum GpReg : std::uint8_t
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    RegSi = R0,
+    RegDi = R1,
+    RegCx = R2,
+    RegAx = R3,
+    RegSp = R7,
+};
+
+/** Floating-point register names. */
+enum FpReg : std::uint8_t { F0 = 0, F1, F2, F3, F4, F5, F6, F7 };
+
+/** FLAGS register bit positions. */
+enum FlagBit : std::uint32_t
+{
+    FlagZ = 1u << 0, //!< zero
+    FlagS = 1u << 1, //!< sign
+    FlagC = 1u << 2, //!< carry
+    FlagO = 1u << 3, //!< overflow
+    FlagI = 1u << 4, //!< interrupts enabled
+    FlagU = 1u << 5, //!< user mode (0 = kernel)
+    FlagPU = 1u << 6, //!< previous mode, saved across interrupt entry
+};
+
+/** Condition codes used by Jcc; values are the opcode's cond field. */
+enum CondCode : std::uint8_t
+{
+    CondZ = 0,  //!< ZF
+    CondNZ,     //!< !ZF
+    CondC,      //!< CF
+    CondNC,     //!< !CF
+    CondS,      //!< SF
+    CondNS,     //!< !SF
+    CondO,      //!< OF
+    CondNO,     //!< !OF
+    CondL,      //!< SF != OF   (signed <)
+    CondGE,     //!< SF == OF   (signed >=)
+    CondLE,     //!< ZF || SF != OF
+    CondG,      //!< !ZF && SF == OF
+    NumCondCodes,
+};
+
+/** Evaluate a condition code against a FLAGS value. */
+constexpr bool
+evalCond(CondCode cc, std::uint32_t flags)
+{
+    const bool z = flags & FlagZ;
+    const bool s = flags & FlagS;
+    const bool c = flags & FlagC;
+    const bool o = flags & FlagO;
+    switch (cc) {
+      case CondZ: return z;
+      case CondNZ: return !z;
+      case CondC: return c;
+      case CondNC: return !c;
+      case CondS: return s;
+      case CondNS: return !s;
+      case CondO: return o;
+      case CondNO: return !o;
+      case CondL: return s != o;
+      case CondGE: return s == o;
+      case CondLE: return z || s != o;
+      case CondG: return !z && s == o;
+      default: return false;
+    }
+}
+
+/** Control register numbers (MOVCR operands). */
+enum CtrlReg : std::uint8_t
+{
+    CrStatus = 0, //!< bit 0: paging enable
+    CrFault = 2,  //!< faulting virtual address (page faults)
+    CrPtbr = 3,   //!< page-table base (physical address of directory)
+    CrIdt = 4,    //!< interrupt descriptor table base (physical)
+    CrKsp = 5,    //!< kernel stack pointer loaded on user->kernel entry
+    CrCycles = 6, //!< free-running instruction counter (read-only)
+    NumCtrlRegs = 8,
+};
+
+/** CrStatus bits. */
+enum StatusBit : std::uint32_t
+{
+    StatusPaging = 1u << 0,
+};
+
+/** Exception / interrupt vector assignments. */
+enum Vector : std::uint8_t
+{
+    VecDivide = 0,       //!< #DE divide error
+    VecInvalidOp = 6,    //!< #UD undefined opcode
+    VecProtection = 13,  //!< #GP privilege violation
+    VecPageFault = 14,   //!< #PF page fault (CrFault holds the address)
+    VecTimer = 32,       //!< timer device interrupt
+    VecDisk = 33,        //!< disk completion interrupt
+    VecConsole = 34,     //!< console input interrupt
+    VecSyscall = 0x80,   //!< software interrupt used for system calls
+};
+
+} // namespace isa
+} // namespace fastsim
+
+#endif // FASTSIM_ISA_REGISTERS_HH

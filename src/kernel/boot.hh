@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The mini operating system: bootable FX86 software stacks.
+ *
+ * The paper boots unmodified Linux 2.4/2.6 and Windows XP on its functional
+ * model.  Our substitution (DESIGN.md §2) is a from-scratch OS, written in
+ * FX86 assembly via the programmatic assembler, with the structural phases
+ * the paper's Figure-6 trace exhibits:
+ *
+ *   1. BIOS       — hundreds of run-once branches (device probing), which
+ *                   produce the cold-predictor mispredict burst at the
+ *                   start of boot;
+ *   2. decompress — a tight, highly predictable copy/checksum loop (the
+ *                   flat high-iCache-hit region of the trace);
+ *   3. kernel init— IDT setup, page-table construction, device bring-up,
+ *                   scheduler structures (mixed, less predictable);
+ *   4. user phase — enters user mode and runs a workload program, which
+ *                   reaches the kernel through INT 0x80 system calls and
+ *                   is interrupted by the timer.
+ *
+ * Three OS flavors are provided: Linux 2.4, Linux 2.6 (larger init) and
+ * Windows XP (larger still; "uses a wider range of instructions and touches
+ * more devices than Linux does", paper §4.4).
+ */
+
+#ifndef FASTSIM_KERNEL_BOOT_HH
+#define FASTSIM_KERNEL_BOOT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/assembler.hh"
+
+namespace fastsim {
+namespace fm {
+class FuncModel;
+}
+namespace kernel {
+
+/** OS flavor, mirroring the paper's three boot targets. */
+enum class OsFlavor
+{
+    Linux24,
+    Linux26,
+    WinXP,
+};
+
+const char *osFlavorName(OsFlavor flavor);
+
+/** Physical/virtual memory map of the mini OS (identity-mapped kernel). */
+struct MemoryMap
+{
+    static constexpr PAddr IdtPa = 0x00000500;
+    static constexpr Addr KernelBase = 0x00001000;
+    static constexpr Addr CompressedBlob = 0x00040000;
+    static constexpr Addr DecompressTarget = 0x00080000;
+    static constexpr PAddr PageDirPa = 0x00100000;
+    static constexpr PAddr PageTablePa = 0x00101000; // 2 tables (8MB map)
+    static constexpr Addr KernelDataBase = 0x00110000;
+    static constexpr Addr KernelStackTop = 0x00200000;
+    static constexpr Addr UserCodeBase = 0x00300000;
+    static constexpr Addr UserDataBase = 0x00400000;
+    static constexpr Addr UserStackTop = 0x00700000;
+    static constexpr std::size_t RamBytes = 8u << 20;
+};
+
+/** System-call numbers (R3 = number, R4 = argument, result in R4). */
+enum Syscall : std::uint32_t
+{
+    SysExit = 0,   //!< terminate: kernel prints the exit marker and halts
+    SysPutc = 1,   //!< write character R4 to the console
+    SysGetTicks = 2, //!< returns timer ticks in R4
+    SysSleep = 3,  //!< HLT-wait until R4 more timer ticks elapse
+    SysYield = 4,  //!< no-op scheduling hook
+};
+
+/** Options controlling the built software stack. */
+struct BuildOptions
+{
+    OsFlavor flavor = OsFlavor::Linux24;
+
+    /**
+     * Generator for the user-mode program, emitted at UserCodeBase.  The
+     * program runs in user mode with SP = UserStackTop and must finish with
+     * the exit system call (INT 0x80 with R3 = SysExit).  If absent, a tiny
+     * default program runs.
+     */
+    std::function<void(isa::Assembler &)> userProgram;
+
+    /** Timer interval programmed during init (device time units). */
+    std::uint32_t timerInterval = 20000;
+
+    /** Turn on paging during kernel init (the default, as a real OS). */
+    bool enablePaging = true;
+
+    /**
+     * Boot-time polled disk reads: -1 uses the flavor default; 0 disables
+     * them (device-free images for timing-independent equivalence tests).
+     */
+    int bootDiskReads = -1;
+};
+
+/** A built software stack: segments to load plus entry point. */
+struct BootImage
+{
+    struct Segment
+    {
+        PAddr pa;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::vector<Segment> segments;
+    Addr entry = 0;
+    std::map<std::string, Addr> symbols; //!< key kernel addresses
+
+    /** Console marker printed when the kernel finishes booting. */
+    static constexpr const char *ReadyMarker = "OS READY\n";
+    /** Console marker printed by the exit system call. */
+    static constexpr const char *ExitMarker = "\n[halt]\n";
+};
+
+/** Build a bootable software stack. */
+BootImage buildBootImage(const BuildOptions &opts);
+
+/** Load a boot image into a functional model and reset it to the entry. */
+void loadAndReset(fm::FuncModel &fm, const BootImage &image);
+
+} // namespace kernel
+} // namespace fastsim
+
+#endif // FASTSIM_KERNEL_BOOT_HH

@@ -1,0 +1,298 @@
+#include "tm/branch_pred.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace fastsim {
+namespace tm {
+
+using isa::ExecClass;
+using isa::Opcode;
+
+const char *
+bpKindName(BpKind kind)
+{
+    switch (kind) {
+      case BpKind::Perfect: return "perfect";
+      case BpKind::FixedAccuracy: return "fixed";
+      case BpKind::TwoBit: return "2bit";
+      case BpKind::Gshare: return "gshare";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isCall(const fm::TraceEntry &e)
+{
+    return isa::opClass(e.op) == ExecClass::Call;
+}
+
+bool
+isReturn(const fm::TraceEntry &e)
+{
+    return isa::opClass(e.op) == ExecClass::Ret ||
+           isa::opClass(e.op) == ExecClass::Iret;
+}
+
+bool
+isIndirect(const fm::TraceEntry &e)
+{
+    return e.op == Opcode::JmpR || e.op == Opcode::CallR || isReturn(e);
+}
+
+/** Always correct. */
+class PerfectBp : public BranchPredictor
+{
+  public:
+    BpPrediction
+    predict(const fm::TraceEntry &e) override
+    {
+        record(true);
+        return {e.branchTaken, e.branchTaken ? e.target : e.fallThrough,
+                false};
+    }
+
+    FpgaCost cost() const override { return {}; }
+};
+
+/**
+ * Deterministic count-based predictor with a configured accuracy (the
+ * "97% count-based branch predictor" of §4.5).
+ */
+class FixedAccuracyBp : public BranchPredictor
+{
+  public:
+    explicit FixedAccuracyBp(double accuracy) : acc_(accuracy)
+    {
+        fastsim_assert(accuracy >= 0.0 && accuracy <= 1.0);
+    }
+
+    BpPrediction
+    predict(const fm::TraceEntry &e) override
+    {
+        debt_ += 1.0 - acc_;
+        bool correct = true;
+        if (debt_ >= 1.0) {
+            debt_ -= 1.0;
+            correct = false;
+        }
+        record(correct);
+        BpPrediction p;
+        p.mispredicted = !correct;
+        p.taken = correct ? e.branchTaken : !e.branchTaken;
+        p.target = p.taken ? e.target : e.fallThrough;
+        if (!correct && !e.isCond) {
+            // Unconditional branches can only mispredict on target.
+            p.taken = true;
+            p.target = e.fallThrough; // a wrong target
+        }
+        return p;
+    }
+
+    FpgaCost
+    cost() const override
+    {
+        return {16.0, 0.0};
+    }
+
+  private:
+    double acc_;
+    double debt_ = 0.0;
+};
+
+/**
+ * Gshare with BTB and return-address stack.  historyBits == 0 degenerates
+ * to a plain per-PC 2-bit saturating-counter predictor.
+ */
+class GshareBp : public BranchPredictor
+{
+  public:
+    explicit GshareBp(const BpConfig &cfg)
+        : cfg_(cfg), counters_(std::size_t(1) << tableBits(), 2 /*weak T*/),
+          btbSets_(cfg.btbEntries / cfg.btbWays), btb_(cfg.btbEntries),
+          ras_(cfg.rasDepth, 0)
+    {
+        fastsim_assert(isPowerOf2(btbSets_));
+    }
+
+    BpPrediction
+    predict(const fm::TraceEntry &e) override
+    {
+        BpPrediction p;
+
+        // --- direction ---------------------------------------------------
+        const std::size_t idx =
+            (std::size_t(e.pc >> 1) ^ (ghr_ << ghrShift())) &
+            (counters_.size() - 1);
+        if (e.isCond) {
+            p.taken = counters_[idx] >= 2;
+        } else {
+            p.taken = true;
+        }
+
+        // --- target -------------------------------------------------------
+        bool target_ok = true;
+        if (isReturn(e)) {
+            const Addr ras_top = rasPop();
+            p.target = ras_top;
+            target_ok = ras_top == e.target;
+        } else if (isIndirect(e)) {
+            Addr t;
+            if (btbLookup(e.pc, t)) {
+                p.target = t;
+                target_ok = t == e.target;
+            } else {
+                p.target = e.fallThrough;
+                target_ok = false;
+            }
+        } else {
+            // Direct branch: target computed from the instruction bytes.
+            p.target = e.target;
+        }
+        if (isCall(e))
+            rasPush(e.fallThrough);
+
+        // --- resolve vs. the functional outcome ----------------------------
+        const bool dir_ok = p.taken == e.branchTaken;
+        p.mispredicted = !dir_ok || (p.taken && e.branchTaken && !target_ok);
+        record(!p.mispredicted);
+
+        // --- update --------------------------------------------------------
+        if (e.isCond) {
+            auto &c = counters_[idx];
+            if (e.branchTaken)
+                c = c < 3 ? c + 1 : 3;
+            else
+                c = c > 0 ? c - 1 : 0;
+            ghr_ = ((ghr_ << 1) | (e.branchTaken ? 1 : 0)) &
+                   mask(cfg_.historyBits ? cfg_.historyBits : 1);
+        }
+        if (e.branchTaken && isIndirect(e) && !isReturn(e))
+            btbUpdate(e.pc, e.target);
+        if (!p.taken)
+            p.target = e.fallThrough;
+        return p;
+    }
+
+    unsigned
+    hostCycles() const override
+    {
+        // Counter read + BTB set read (4-way over dual-port) + update.
+        return 1 + (cfg_.btbWays + 1) / 2;
+    }
+
+    FpgaCost
+    cost() const override
+    {
+        ModeledMem counters{static_cast<std::uint32_t>(counters_.size()), 2,
+                            2};
+        ModeledMem btb{cfg_.btbEntries, 52, 2}; // tag(20)+target(32)
+        ModeledMem ras{cfg_.rasDepth, 32, 2};
+        FpgaCost c = counters.cost() + btb.cost() + ras.cost();
+        c.slices += 40; // hashing, muxes
+        return c;
+    }
+
+  private:
+    unsigned
+    tableBits() const
+    {
+        return cfg_.historyBits ? cfg_.historyBits : 12;
+    }
+
+    unsigned
+    ghrShift() const
+    {
+        return cfg_.historyBits ? 0 : 63; // no history: ghr contribution off
+    }
+
+    bool
+    btbLookup(Addr pc, Addr &target) const
+    {
+        const std::size_t set = (pc >> 2) & (btbSets_ - 1);
+        for (unsigned w = 0; w < cfg_.btbWays; ++w) {
+            const BtbEntry &b = btb_[set * cfg_.btbWays + w];
+            if (b.valid && b.tag == pc) {
+                target = b.target;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    btbUpdate(Addr pc, Addr target)
+    {
+        const std::size_t set = (pc >> 2) & (btbSets_ - 1);
+        // Hit update or round-robin replace.
+        for (unsigned w = 0; w < cfg_.btbWays; ++w) {
+            BtbEntry &b = btb_[set * cfg_.btbWays + w];
+            if (b.valid && b.tag == pc) {
+                b.target = target;
+                return;
+            }
+        }
+        BtbEntry &victim =
+            btb_[set * cfg_.btbWays + (btbRr_++ % cfg_.btbWays)];
+        victim = {true, pc, target};
+    }
+
+    void
+    rasPush(Addr a)
+    {
+        ras_[rasTop_ % ras_.size()] = a;
+        ++rasTop_;
+    }
+
+    Addr
+    rasPop()
+    {
+        if (rasTop_ == 0)
+            return 0;
+        --rasTop_;
+        return ras_[rasTop_ % ras_.size()];
+    }
+
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+
+    BpConfig cfg_;
+    std::vector<std::uint8_t> counters_;
+    std::size_t btbSets_;
+    std::vector<BtbEntry> btb_;
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0;
+    std::uint64_t ghr_ = 0;
+    unsigned btbRr_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(const BpConfig &cfg)
+{
+    switch (cfg.kind) {
+      case BpKind::Perfect:
+        return std::make_unique<PerfectBp>();
+      case BpKind::FixedAccuracy:
+        return std::make_unique<FixedAccuracyBp>(cfg.fixedAccuracy);
+      case BpKind::TwoBit: {
+        BpConfig two = cfg;
+        two.historyBits = 0;
+        return std::make_unique<GshareBp>(two);
+      }
+      case BpKind::Gshare:
+        return std::make_unique<GshareBp>(cfg);
+    }
+    panic("bad BpKind");
+}
+
+} // namespace tm
+} // namespace fastsim

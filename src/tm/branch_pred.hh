@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Branch predictors for the timing model.
+ *
+ * FAST simulates the branch predictor in the timing model (paper §2.1:
+ * "Since most branch predictors depend on timing information, the branch
+ * predictor must be implemented in the timing model").  Available models,
+ * matching §4's "currently perfect, 2b saturating and gshare" plus the
+ * §4.5 "97% count-based branch predictor":
+ *
+ *  - Perfect        — always right (upper-bound studies, Fig. 4);
+ *  - FixedAccuracy  — deterministic count-based predictor that is wrong a
+ *                     fixed fraction of the time;
+ *  - TwoBit         — per-PC 2-bit saturating counters;
+ *  - Gshare         — GHR-xor-PC indexed 2-bit counters with a 4-way BTB
+ *                     and a return-address stack.
+ */
+
+#ifndef FASTSIM_TM_BRANCH_PRED_HH
+#define FASTSIM_TM_BRANCH_PRED_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "fm/trace_entry.hh"
+#include "tm/primitives.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** Which branch predictor to instantiate. */
+enum class BpKind
+{
+    Perfect,
+    FixedAccuracy,
+    TwoBit,
+    Gshare,
+};
+
+const char *bpKindName(BpKind kind);
+
+/** Predictor configuration. */
+struct BpConfig
+{
+    BpKind kind = BpKind::Gshare;
+    double fixedAccuracy = 0.97;   //!< FixedAccuracy: fraction correct
+    unsigned historyBits = 13;     //!< Gshare: 8K counters
+    unsigned btbEntries = 8192;    //!< paper: "8K BTB"
+    unsigned btbWays = 4;          //!< paper: "4-way"
+    unsigned rasDepth = 16;
+};
+
+/** Outcome of a fetch-time prediction. */
+struct BpPrediction
+{
+    bool taken = false;
+    Addr target = 0;
+    bool mispredicted = false; //!< direction or target wrong vs. the trace
+};
+
+/**
+ * Base predictor interface.  predict() is called at fetch with the trace
+ * entry (which carries the actual outcome); the predictor updates its own
+ * state and reports whether the target machine would have mispredicted.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    virtual BpPrediction predict(const fm::TraceEntry &e) = 0;
+
+    /** Host cycles consumed per prediction. */
+    virtual unsigned hostCycles() const { return 1; }
+
+    /** FPGA resources. */
+    virtual FpgaCost cost() const = 0;
+
+    double
+    accuracy() const
+    {
+        return branches_ ? double(correct_) / double(branches_) : 1.0;
+    }
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return branches_ - correct_; }
+
+    void
+    resetStats()
+    {
+        branches_ = 0;
+        correct_ = 0;
+    }
+
+  protected:
+    void
+    record(bool was_correct)
+    {
+        ++branches_;
+        if (was_correct)
+            ++correct_;
+    }
+
+    std::uint64_t branches_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/** Factory. */
+std::unique_ptr<BranchPredictor> makeBranchPredictor(const BpConfig &cfg);
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_BRANCH_PRED_HH

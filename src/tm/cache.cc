@@ -1,0 +1,163 @@
+#include "tm/cache.hh"
+
+namespace fastsim {
+namespace tm {
+
+CacheLevel::CacheLevel(const CacheParams &p)
+    : p_(p), numSets_(p.sizeBytes / (p.lineBytes * p.assoc)),
+      lines_(numSets_ * p.assoc), stats_(p.name)
+{
+    fastsim_assert(numSets_ > 0 && isPowerOf2(numSets_));
+    fastsim_assert(isPowerOf2(p.lineBytes));
+    lru_.reserve(numSets_);
+    for (std::size_t s = 0; s < numSets_; ++s)
+        lru_.emplace_back(p.assoc);
+}
+
+std::size_t
+CacheLevel::setIndex(PAddr pa) const
+{
+    return (pa / p_.lineBytes) & (numSets_ - 1);
+}
+
+std::uint64_t
+CacheLevel::tagOf(PAddr pa) const
+{
+    return (pa / p_.lineBytes) / numSets_;
+}
+
+bool
+CacheLevel::probe(PAddr pa) const
+{
+    const std::size_t set = setIndex(pa);
+    const std::uint64_t tag = tagOf(pa);
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        const Line &l = lines_[set * p_.assoc + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+CacheLevel::access(PAddr pa)
+{
+    const std::size_t set = setIndex(pa);
+    const std::uint64_t tag = tagOf(pa);
+    ++stats_.counter("accesses");
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        Line &l = lines_[set * p_.assoc + w];
+        if (l.valid && l.tag == tag) {
+            ++stats_.counter("hits");
+            lru_[set].touch(w);
+            return true;
+        }
+    }
+    ++stats_.counter("misses");
+    const unsigned victim = lru_[set].victim();
+    lines_[set * p_.assoc + victim] = {true, tag};
+    lru_[set].touch(victim);
+    return false;
+}
+
+FpgaCost
+CacheLevel::cost() const
+{
+    // Tag array only: the timing model stores no data (paper §2).
+    const unsigned tag_bits = 22 + 1; // tag + valid
+    ModeledMem tags{static_cast<std::uint32_t>(numSets_ * p_.assoc),
+                    tag_bits, 2};
+    FpgaCost c = tags.cost();
+    // LRU state + compare/mux logic per way.
+    c.slices += 6.0 * p_.assoc + 0.02 * double(numSets_);
+    return c;
+}
+
+// --- CacheHierarchy -----------------------------------------------------------
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
+    : p_(p), l1i_(p.l1i), l1d_(p.l1d), l2_(p.l2)
+{
+}
+
+CacheAccessResult
+CacheHierarchy::access(CacheLevel &l1, Cycle &busy_until, PAddr pa, Cycle now)
+{
+    CacheAccessResult r;
+    Cycle start = now;
+    if (l1.params().blocking && busy_until > now)
+        start = busy_until; // blocking cache: wait for the previous miss
+    r.l1Hit = l1.access(pa);
+    Cycle lat = l1.params().hitLatency;
+    if (!r.l1Hit) {
+        Cycle l2_start = start + lat;
+        if (p_.l2.blocking && l2BusyUntil_ > l2_start)
+            l2_start = l2BusyUntil_;
+        r.l2Hit = l2_.access(pa);
+        Cycle l2_lat = p_.l2.hitLatency;
+        if (!r.l2Hit)
+            l2_lat += p_.memLatency;
+        if (p_.l2.blocking)
+            l2BusyUntil_ = l2_start + l2_lat;
+        lat = (l2_start + l2_lat) - start;
+        if (l1.params().blocking)
+            busy_until = start + lat;
+    }
+    r.latency = (start - now) + lat;
+    r.readyAt = now + r.latency;
+    return r;
+}
+
+CacheAccessResult
+CacheHierarchy::accessInst(PAddr pa, Cycle now)
+{
+    return access(l1i_, iBusyUntil_, pa, now);
+}
+
+CacheAccessResult
+CacheHierarchy::accessData(PAddr pa, Cycle now)
+{
+    return access(l1d_, dBusyUntil_, pa, now);
+}
+
+FpgaCost
+CacheHierarchy::cost() const
+{
+    return l1i_.cost() + l1d_.cost() + l2_.cost();
+}
+
+// --- TlbModel ----------------------------------------------------------------
+
+TlbModel::TlbModel(std::string name, unsigned entries, Cycle miss_penalty)
+    : entries_(entries), missPenalty_(miss_penalty), tags_(entries, 0),
+      stats_(std::move(name))
+{
+    fastsim_assert(isPowerOf2(entries));
+}
+
+Cycle
+TlbModel::access(Addr va)
+{
+    const std::uint64_t vpn = va >> 12;
+    const std::size_t idx = vpn & (entries_ - 1);
+    ++stats_.counter("accesses");
+    if (tags_[idx] == vpn + 1) {
+        ++stats_.counter("hits");
+        return 0;
+    }
+    ++stats_.counter("misses");
+    tags_[idx] = vpn + 1;
+    return missPenalty_;
+}
+
+FpgaCost
+TlbModel::cost() const
+{
+    ModeledMem mem{entries_, 40, 2};
+    FpgaCost c = mem.cost();
+    c.slices += 12;
+    return c;
+}
+
+} // namespace tm
+} // namespace fastsim

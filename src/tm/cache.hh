@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Timing-model cache and TLB models.
+ *
+ * The target hierarchy (paper Fig. 3): eight-way 32 KB L1 instruction and
+ * data caches (1-cycle), an eight-way 256 KB shared L2 (8-cycle), and a
+ * simple fixed-delay memory model (25 cycles).  Caches are *blocking*, a
+ * prototype limitation the paper calls out in §4.1 that we model
+ * deliberately (and can disable for ablation).
+ *
+ * Cache models are timing-only: they track tags and LRU, never data —
+ * exactly the paper's point that "cache values are generally not included
+ * in the timing model".
+ */
+
+#ifndef FASTSIM_TM_CACHE_HH
+#define FASTSIM_TM_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "tm/primitives.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** One cache level's geometry and timing. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    std::uint32_t lineBytes = 64;
+    Cycle hitLatency = 1;
+    bool blocking = true; //!< a miss busies the cache until the fill
+};
+
+/** Result of a cache-hierarchy access. */
+struct CacheAccessResult
+{
+    bool l1Hit = false;
+    bool l2Hit = false;      //!< only meaningful when !l1Hit
+    Cycle latency = 0;       //!< total access latency in target cycles
+    Cycle readyAt = 0;       //!< cycle the data is available
+};
+
+/** A single set-associative, LRU, tag-only cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheParams &p);
+
+    /** Probe and update (allocate-on-miss).  @return hit? */
+    bool access(PAddr pa);
+
+    /** Probe without updating state. */
+    bool probe(PAddr pa) const;
+
+    const CacheParams &params() const { return p_; }
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    double
+    hitRate() const
+    {
+        const auto a = stats_.value("accesses");
+        return a ? double(stats_.value("hits")) / double(a) : 1.0;
+    }
+
+    /** Host cycles per access: assoc tag compares over dual-port BRAM. */
+    unsigned hostCycles() const { return (p_.assoc + 1) / 2; }
+
+    FpgaCost cost() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+    };
+
+    std::size_t setIndex(PAddr pa) const;
+    std::uint64_t tagOf(PAddr pa) const;
+
+    CacheParams p_;
+    std::size_t numSets_;
+    std::vector<Line> lines_;  //!< numSets * assoc
+    std::vector<LruState> lru_;
+    stats::Group stats_;
+};
+
+/** Hierarchy timing parameters beyond the L1s. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 8, 64, 1, true};
+    CacheParams l1d{"l1d", 32 * 1024, 8, 64, 1, true};
+    CacheParams l2{"l2", 256 * 1024, 8, 64, 8, true};
+    Cycle memLatency = 25; //!< fixed-delay DRAM model (paper Fig. 3)
+};
+
+/**
+ * The two-L1, shared-L2, fixed-delay-memory hierarchy.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &p);
+
+    /** Instruction fetch access at the given cycle. */
+    CacheAccessResult accessInst(PAddr pa, Cycle now);
+
+    /** Data access at the given cycle. */
+    CacheAccessResult accessData(PAddr pa, Cycle now);
+
+    CacheLevel &l1i() { return l1i_; }
+    const CacheLevel &l1i() const { return l1i_; }
+    CacheLevel &l1d() { return l1d_; }
+    const CacheLevel &l1d() const { return l1d_; }
+    CacheLevel &l2() { return l2_; }
+    const CacheLevel &l2() const { return l2_; }
+    const HierarchyParams &params() const { return p_; }
+
+    FpgaCost cost() const;
+
+  private:
+    CacheAccessResult access(CacheLevel &l1, Cycle &busy_until, PAddr pa,
+                             Cycle now);
+
+    HierarchyParams p_;
+    CacheLevel l1i_;
+    CacheLevel l1d_;
+    CacheLevel l2_;
+    Cycle iBusyUntil_ = 0; //!< blocking-cache occupancy
+    Cycle dBusyUntil_ = 0;
+    Cycle l2BusyUntil_ = 0;
+};
+
+/** A TLB timing model (tag-only; fills cost a fixed walk penalty). */
+class TlbModel
+{
+  public:
+    TlbModel(std::string name, unsigned entries, Cycle missPenalty);
+
+    /** @return extra latency (0 on hit, missPenalty on fill). */
+    Cycle access(Addr va);
+
+    double
+    hitRate() const
+    {
+        const auto a = stats_.value("accesses");
+        return a ? double(stats_.value("hits")) / double(a) : 1.0;
+    }
+
+    stats::Group &stats() { return stats_; }
+    unsigned hostCycles() const { return 1; }
+    FpgaCost cost() const;
+
+  private:
+    unsigned entries_;
+    Cycle missPenalty_;
+    std::vector<std::uint64_t> tags_; //!< direct-mapped vpn tags (+1)
+    stats::Group stats_;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_CACHE_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Connectors: the parameterized FIFOs joining timing-model Modules.
+ *
+ * Paper §4: "Modules are connected by Connectors which are FIFOs that
+ * enforce timing and throughput constraints.  Connectors can be configured
+ * for input throughput, output throughput, minimum latency and maximum
+ * transactions and will also provide statistics gathering and logging
+ * capabilities.  By specifying parameters to a Connector, one can ...
+ * reconfigure a target from a single issue machine to a multi-issue
+ * machine ... change the latency or change the number of outstanding
+ * transactions allowed."
+ */
+
+#ifndef FASTSIM_TM_CONNECTOR_HH
+#define FASTSIM_TM_CONNECTOR_HH
+
+#include <deque>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+#include "base/types.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** Connector configuration. */
+struct ConnectorParams
+{
+    unsigned inputThroughput = 1;  //!< max enqueues per target cycle
+    unsigned outputThroughput = 1; //!< max dequeues per target cycle
+    Cycle minLatency = 1;          //!< cycles before an entry is visible
+    unsigned maxTransactions = 4;  //!< capacity (outstanding entries)
+};
+
+/**
+ * A latency/throughput-constrained FIFO between two Modules.
+ *
+ * Usage per target cycle: the owning timing model calls tick(cycle) once,
+ * then producers use canPush()/push() and consumers canPop()/front()/pop().
+ */
+template <typename T>
+class Connector
+{
+  public:
+    Connector(std::string name, const ConnectorParams &params)
+        : name_(std::move(name)), p_(params), stats_(name_)
+    {
+        fastsim_assert(p_.inputThroughput > 0 && p_.outputThroughput > 0);
+        fastsim_assert(p_.maxTransactions > 0);
+    }
+
+    /** Begin a new target cycle. */
+    void
+    tick(Cycle now)
+    {
+        now_ = now;
+        pushedThisCycle_ = 0;
+        poppedThisCycle_ = 0;
+    }
+
+    bool
+    canPush() const
+    {
+        return pushedThisCycle_ < p_.inputThroughput &&
+               q_.size() < p_.maxTransactions;
+    }
+
+    void
+    push(T v)
+    {
+        fastsim_assert(canPush());
+        q_.push_back(Entry{std::move(v), now_ + p_.minLatency});
+        ++pushedThisCycle_;
+        ++stats_.counter("pushes");
+        if (q_.size() > stats_.value("max_occupancy"))
+            stats_.counter("max_occupancy") = q_.size();
+    }
+
+    /** True if an entry is visible and output throughput remains. */
+    bool
+    canPop() const
+    {
+        return poppedThisCycle_ < p_.outputThroughput && !q_.empty() &&
+               q_.front().readyAt <= now_;
+    }
+
+    const T &
+    front() const
+    {
+        fastsim_assert(!q_.empty() && q_.front().readyAt <= now_);
+        return q_.front().value;
+    }
+
+    T
+    pop()
+    {
+        fastsim_assert(canPop());
+        T v = std::move(q_.front().value);
+        q_.pop_front();
+        ++poppedThisCycle_;
+        ++stats_.counter("pops");
+        return v;
+    }
+
+    /** Squash all in-flight entries (pipeline flush). */
+    void
+    flush()
+    {
+        stats_.counter("flushed") += q_.size();
+        q_.clear();
+    }
+
+    /** Visit every in-flight value, oldest first (inspection only). */
+    template <typename Fn>
+    void
+    forEachValue(Fn &&fn) const
+    {
+        for (const Entry &e : q_)
+            fn(e.value);
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    const ConnectorParams &params() const { return p_; }
+    const std::string &name() const { return name_; }
+    stats::Group &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        T value;
+        Cycle readyAt;
+    };
+
+    std::string name_;
+    ConnectorParams p_;
+    std::deque<Entry> q_;
+    Cycle now_ = 0;
+    unsigned pushedThisCycle_ = 0;
+    unsigned poppedThisCycle_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_CONNECTOR_HH

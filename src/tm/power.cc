@@ -1,0 +1,55 @@
+#include "tm/power.hh"
+
+namespace fastsim {
+namespace tm {
+
+PowerBreakdown
+estimatePower(const Core &core, const PowerWeights &w)
+{
+    PowerBreakdown b;
+    const auto &st = core.stats();
+    auto add = [&b](std::string name, double energy) {
+        b.items.push_back({std::move(name), energy});
+        b.dynamicEnergy += energy;
+    };
+
+    add("fetch", double(st.value("fetched_insts")) * w.fetch);
+    add("branch predictor",
+        double(core.bp().branches()) * w.bpLookup);
+    add("L1 I-cache",
+        double(core.caches().l1i().stats().value("accesses")) *
+            w.l1Access);
+    add("L1 D-cache",
+        double(core.caches().l1d().stats().value("accesses")) *
+            w.l1Access);
+    add("L2 cache",
+        double(core.caches().l2().stats().value("accesses")) * w.l2Access);
+    add("DRAM", double(core.caches().l2().stats().value("misses")) *
+                    w.memAccess);
+    // Rename/ROB writes: dispatched instructions carry their µops.
+    add("rename/ROB",
+        double(st.value("dispatched_insts")) * w.renameUop * 1.25);
+    add("wakeup/select", double(st.value("issued_uops")) * w.wakeupUop);
+    add("functional units", double(st.value("issued_uops")) * w.aluOp);
+    add("commit", double(st.value("committed_insts")) * w.commit);
+    add("squashed work", double(st.value("squashed_insts")) * w.squash);
+
+    // Static leakage scales with the instantiated structures (the
+    // resource model already knows them) and simulated cycles.
+    const FpgaCost cost = core.fpgaCost();
+    b.leakageEnergy = double(core.cycle()) *
+                      (cost.slices / 1000.0 * w.leakagePerKSlice +
+                       cost.blockRams * w.leakagePerBram);
+    b.items.push_back({"static leakage", b.leakageEnergy});
+
+    b.totalEnergy = b.dynamicEnergy + b.leakageEnergy;
+    b.avgPowerPerCycle =
+        core.cycle() ? b.totalEnergy / double(core.cycle()) : 0;
+    b.energyPerCommit = core.committedInsts()
+                            ? b.totalEnergy / double(core.committedInsts())
+                            : 0;
+    return b;
+}
+
+} // namespace tm
+} // namespace fastsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Relative power estimation (paper §6): "We have started the process of
+ * incorporating power estimation into the timing model.  The initial goal
+ * is not to perfectly estimate power, but to provide relative power
+ * estimates that will permit architects to compare different
+ * architectures."
+ *
+ * The model is activity-based: each microarchitectural event (fetch,
+ * predictor lookup, cache access at each level, rename, wakeup, execute
+ * per functional-unit class, commit, squash) carries a relative energy
+ * weight, plus per-cycle static leakage proportional to the structures a
+ * configuration instantiates.  Units are arbitrary ("relative energy
+ * units", REU) — only ratios between configurations are meaningful,
+ * exactly as the paper intends.
+ */
+
+#ifndef FASTSIM_TM_POWER_HH
+#define FASTSIM_TM_POWER_HH
+
+#include <string>
+#include <vector>
+
+#include "tm/core.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** Relative energy weights per activity (REU). */
+struct PowerWeights
+{
+    double fetch = 1.0;        //!< per fetched instruction
+    double bpLookup = 0.6;     //!< per branch prediction
+    double l1Access = 1.0;     //!< per L1 (I or D) access
+    double l2Access = 4.0;     //!< per L2 access
+    double memAccess = 20.0;   //!< per DRAM access
+    double renameUop = 0.8;    //!< per dispatched µop
+    double wakeupUop = 0.7;    //!< per issued µop (RS CAM + select)
+    double aluOp = 1.0;        //!< per int/fp ALU execution
+    double commit = 0.5;       //!< per committed instruction
+    double squash = 0.9;       //!< per squashed instruction (wasted work)
+    double leakagePerKSlice = 0.02; //!< per cycle, per 1000 slices
+    double leakagePerBram = 0.004;  //!< per cycle, per block RAM
+};
+
+/** Per-structure relative energy breakdown. */
+struct PowerBreakdown
+{
+    struct Item
+    {
+        std::string structure;
+        double energy; //!< REU over the run
+    };
+    std::vector<Item> items;
+    double dynamicEnergy = 0;
+    double leakageEnergy = 0;
+    double totalEnergy = 0;
+    double avgPowerPerCycle = 0;   //!< REU / target cycle
+    double energyPerCommit = 0;    //!< REU / committed instruction
+};
+
+/**
+ * Estimate the relative power of a completed (or in-progress) run.
+ * Purely observational: reads the core's statistics and resource model.
+ */
+PowerBreakdown estimatePower(const Core &core,
+                             const PowerWeights &w = PowerWeights());
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_POWER_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Base hardware primitives of the timing model: modeled memories, CAMs and
+ * arbiters (paper §4: "The base Modules consist of structures such as CAMs,
+ * FIFOs, memories, registers and arbiters (currently LRU and round-robin)").
+ *
+ * Each primitive reports two host-facing costs:
+ *  - host cycles consumed for a given per-target-cycle activity, following
+ *    the paper's multi-host-cycle discipline (§3.3: a twenty-ported memory
+ *    is simulated by cycling a dual-ported block RAM ten times);
+ *  - FPGA resources (slices / block RAMs), consumed by the Table-2 model.
+ */
+
+#ifndef FASTSIM_TM_PRIMITIVES_HH
+#define FASTSIM_TM_PRIMITIVES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** FPGA resource cost (fractions of a device are computed in src/fpga). */
+struct FpgaCost
+{
+    double slices = 0;
+    double blockRams = 0;
+
+    FpgaCost &
+    operator+=(const FpgaCost &o)
+    {
+        slices += o.slices;
+        blockRams += o.blockRams;
+        return *this;
+    }
+};
+
+inline FpgaCost
+operator+(FpgaCost a, const FpgaCost &b)
+{
+    a += b;
+    return a;
+}
+
+/**
+ * A memory structure with a logical port count, physically realized on
+ * dual-ported block RAM.  Port multiplexing costs host cycles.
+ */
+struct ModeledMem
+{
+    std::uint32_t entries = 0;
+    std::uint32_t bitsPerEntry = 0;
+    unsigned logicalPorts = 2;
+
+    /** Host cycles to perform `accesses` accesses in one target cycle. */
+    unsigned
+    hostCycles(unsigned accesses) const
+    {
+        // Dual-ported physical RAM: two accesses per pass.
+        return (accesses + 1) / 2;
+    }
+
+    /** Block RAM / slice cost.  A Virtex-4 BRAM holds 18 Kb. */
+    FpgaCost
+    cost() const
+    {
+        FpgaCost c;
+        const double bits = double(entries) * bitsPerEntry;
+        c.blockRams = bits / (18.0 * 1024.0);
+        if (c.blockRams < 0.5 && bits > 0)
+            c.blockRams = 0.5; // minimum allocation granularity
+        // Address decode / muxing logic.
+        c.slices = 8.0 + 0.5 * logicalPorts * ceilLog2(entries ? entries : 2);
+        return c;
+    }
+};
+
+/**
+ * A content-addressable match structure (wakeup logic, store queues).
+ * Realized in LUTs: expensive in area, single host cycle to search a
+ * segment of up to `segment` entries.
+ */
+struct ModeledCam
+{
+    std::uint32_t entries = 0;
+    std::uint32_t tagBits = 0;
+    unsigned segment = 8; //!< entries comparable per host cycle
+
+    unsigned
+    hostCycles(unsigned searches) const
+    {
+        if (entries == 0 || searches == 0)
+            return 0;
+        const unsigned passes = (entries + segment - 1) / segment;
+        return searches * passes;
+    }
+
+    FpgaCost
+    cost() const
+    {
+        FpgaCost c;
+        // Roughly one slice per 2 tag bits per entry (LUT compare trees).
+        c.slices = double(entries) * tagBits / 2.0 + 4.0;
+        return c;
+    }
+};
+
+/** Round-robin arbiter over n requesters. */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(unsigned n) : n_(n)
+    {
+        fastsim_assert(n > 0);
+    }
+
+    /**
+     * Grant one of the requesters (bit i of `requests` set = requester i
+     * wants the resource).  Returns the granted index or -1.
+     */
+    int
+    grant(std::uint64_t requests)
+    {
+        if (!requests)
+            return -1;
+        for (unsigned k = 0; k < n_; ++k) {
+            const unsigned idx = (next_ + k) % n_;
+            if (requests & (std::uint64_t(1) << idx)) {
+                next_ = (idx + 1) % n_;
+                return static_cast<int>(idx);
+            }
+        }
+        return -1;
+    }
+
+    FpgaCost
+    cost() const
+    {
+        FpgaCost c;
+        c.slices = 2.0 * n_;
+        return c;
+    }
+
+  private:
+    unsigned n_;
+    unsigned next_ = 0;
+};
+
+/** Least-recently-granted arbiter over n requesters. */
+class LruArbiter
+{
+  public:
+    explicit LruArbiter(unsigned n) : order_(n)
+    {
+        fastsim_assert(n > 0);
+        for (unsigned i = 0; i < n; ++i)
+            order_[i] = i;
+    }
+
+    int
+    grant(std::uint64_t requests)
+    {
+        if (!requests)
+            return -1;
+        for (std::size_t k = 0; k < order_.size(); ++k) {
+            const unsigned idx = order_[k];
+            if (requests & (std::uint64_t(1) << idx)) {
+                // Move to most-recently-granted position.
+                order_.erase(order_.begin() + static_cast<long>(k));
+                order_.push_back(idx);
+                return static_cast<int>(idx);
+            }
+        }
+        return -1;
+    }
+
+    FpgaCost
+    cost() const
+    {
+        FpgaCost c;
+        c.slices = 4.0 * order_.size();
+        return c;
+    }
+
+  private:
+    std::vector<unsigned> order_; //!< least-recently-granted first
+};
+
+/** LRU state for a cache set of `ways` ways. */
+class LruState
+{
+  public:
+    explicit LruState(unsigned ways) : order_(ways)
+    {
+        for (unsigned i = 0; i < ways; ++i)
+            order_[i] = i;
+    }
+
+    /** Mark a way most-recently-used. */
+    void
+    touch(unsigned way)
+    {
+        for (std::size_t k = 0; k < order_.size(); ++k) {
+            if (order_[k] == way) {
+                order_.erase(order_.begin() + static_cast<long>(k));
+                order_.push_back(way);
+                return;
+            }
+        }
+    }
+
+    /** Least-recently-used way (the victim). */
+    unsigned victim() const { return order_.front(); }
+
+  private:
+    std::vector<unsigned> order_;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_PRIMITIVES_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The trace buffer (TB) of paper Figures 1 and 2.
+ *
+ * The functional model streams dynamic-instruction entries into the TB; the
+ * timing model "fetches" from it.  Entries are indexed by instruction
+ * number (IN) and have three live pointers:
+ *
+ *   commit  — entries at or below the committed IN are deallocated
+ *             ("Each logical TB entry ... is not deallocated until the
+ *              instruction is fully committed");
+ *   fetch   — the timing model's read position;
+ *   write   — the functional model's append position.  Roll-back rewinds
+ *             it, overwriting incorrect-path entries (Figure 2).
+ */
+
+#ifndef FASTSIM_TM_TRACE_BUFFER_HH
+#define FASTSIM_TM_TRACE_BUFFER_HH
+
+#include <deque>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "fm/trace_entry.hh"
+
+namespace fastsim {
+namespace tm {
+
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity) : capacity_(capacity)
+    {
+        fastsim_assert(capacity > 0);
+    }
+
+    // --- write side (functional model) -----------------------------------
+    bool full() const { return q_.size() >= capacity_; }
+
+    void
+    push(const fm::TraceEntry &e)
+    {
+        fastsim_assert(!full());
+        if (!q_.empty())
+            fastsim_assert(e.in == q_.back().in + 1);
+        q_.push_back(e);
+    }
+
+    /**
+     * Roll back the write pointer: drop all entries with IN >= in.  The
+     * fetch pointer is clamped (the timing model will see the overwritten
+     * entries).
+     */
+    void
+    rewindTo(InstNum in)
+    {
+        while (!q_.empty() && q_.back().in >= in)
+            q_.pop_back();
+        if (fetchOffset_ > q_.size())
+            fetchOffset_ = q_.size();
+    }
+
+    // --- read side (timing model) -------------------------------------------
+    /** Next unfetched entry, or nullptr. */
+    const fm::TraceEntry *
+    peekFetch() const
+    {
+        return fetchOffset_ < q_.size() ? &q_[fetchOffset_] : nullptr;
+    }
+
+    fm::TraceEntry
+    takeFetch()
+    {
+        fastsim_assert(fetchOffset_ < q_.size());
+        return q_[fetchOffset_++];
+    }
+
+    /** Re-aim the fetch pointer at IN `in` (exception re-fetch). */
+    void
+    rewindFetchTo(InstNum in)
+    {
+        if (q_.empty()) {
+            fetchOffset_ = 0;
+            return;
+        }
+        const InstNum base = q_.front().in;
+        fastsim_assert(in >= base);
+        const std::size_t off = static_cast<std::size_t>(in - base);
+        fastsim_assert(off <= q_.size());
+        fetchOffset_ = off;
+    }
+
+    // --- commit side --------------------------------------------------------
+    void
+    commitTo(InstNum in)
+    {
+        while (!q_.empty() && q_.front().in <= in) {
+            fastsim_assert(fetchOffset_ > 0); // cannot commit unfetched
+            q_.pop_front();
+            --fetchOffset_;
+        }
+    }
+
+    std::size_t size() const { return q_.size(); }
+    std::size_t unfetched() const { return q_.size() - fetchOffset_; }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return q_.empty(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<fm::TraceEntry> q_;
+    std::size_t fetchOffset_ = 0;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_TRACE_BUFFER_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Run-time hardware queries (paper §3): "More complex queries that are
+ * normally unaffordable in software simulators are also enabled.  For
+ * example, run-time queries, such as 'when does the number of active
+ * functional units drop below 1?', can continuously run in hardware at
+ * full speed."
+ *
+ * A TriggerQuery is a predicate over a per-cycle snapshot of the
+ * microarchitectural state.  Because the paper implements these in
+ * dedicated hardware, evaluating them costs the simulated host nothing —
+ * the core charges no host cycles for registered queries.
+ */
+
+#ifndef FASTSIM_TM_TRIGGERS_HH
+#define FASTSIM_TM_TRIGGERS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** The per-cycle state a query predicate can observe. */
+struct CycleSnapshot
+{
+    Cycle cycle = 0;
+    unsigned activeFus = 0;      //!< µops in execution this cycle
+    unsigned robOccupancy = 0;   //!< µops in the window
+    unsigned rsOccupancy = 0;    //!< µops waiting in reservation stations
+    unsigned lsqOccupancy = 0;
+    unsigned committedThisCycle = 0;
+    unsigned fetchedThisCycle = 0;
+    bool fetchStalled = false;   //!< no instruction entered this cycle
+    bool draining = false;       //!< mispredict flush / drain in progress
+};
+
+/** One registered query with its firing record. */
+class TriggerQuery
+{
+  public:
+    using Predicate = std::function<bool(const CycleSnapshot &)>;
+
+    TriggerQuery(std::string name, Predicate pred,
+                 std::size_t max_recorded = 64)
+        : name_(std::move(name)), pred_(std::move(pred)),
+          maxRecorded_(max_recorded)
+    {
+    }
+
+    /** Evaluate for one cycle (edge-triggered: fires on false->true). */
+    void
+    evaluate(const CycleSnapshot &s)
+    {
+        const bool now = pred_(s);
+        if (now && !prev_) {
+            ++fireCount_;
+            if (firstFire_ == 0)
+                firstFire_ = s.cycle + 1; // +1: cycle 0 is recorded as 1
+            lastFire_ = s.cycle + 1;
+            if (fires_.size() < maxRecorded_)
+                fires_.push_back(s.cycle);
+        }
+        activeCycles_ += now ? 1 : 0;
+        prev_ = now;
+    }
+
+    const std::string &name() const { return name_; }
+    std::uint64_t fireCount() const { return fireCount_; }
+    /** Cycles during which the predicate held. */
+    std::uint64_t activeCycles() const { return activeCycles_; }
+    bool everFired() const { return fireCount_ > 0; }
+    Cycle firstFire() const { return firstFire_ ? firstFire_ - 1 : 0; }
+    Cycle lastFire() const { return lastFire_ ? lastFire_ - 1 : 0; }
+    /** The first maxRecorded firing cycles. */
+    const std::vector<Cycle> &recordedFires() const { return fires_; }
+
+  private:
+    std::string name_;
+    Predicate pred_;
+    std::size_t maxRecorded_;
+    bool prev_ = false;
+    std::uint64_t fireCount_ = 0;
+    std::uint64_t activeCycles_ = 0;
+    Cycle firstFire_ = 0;
+    Cycle lastFire_ = 0;
+    std::vector<Cycle> fires_;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_TRIGGERS_HH

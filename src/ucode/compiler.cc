@@ -1,0 +1,429 @@
+#include "ucode/compiler.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace ucode {
+
+namespace {
+
+/** How a compiled IR value is represented. */
+struct ValInfo
+{
+    enum class Kind : std::uint8_t
+    {
+        None,   //!< not materialized (dead, imm, or folded)
+        Reg,    //!< aliases a register (arch, placeholder, or temp)
+        Flags,  //!< aliases the flags register
+    };
+    Kind kind = Kind::None;
+    std::uint8_t reg = UregNone;
+    std::int32_t uop = -1; //!< defining µop index, or -1
+    std::uint32_t uses = 0;
+    bool isTemp = false;
+};
+
+UopKind
+kindForIr(IrOp op)
+{
+    switch (op) {
+      case IrOp::IntOp: return UopKind::IntOp;
+      case IrOp::ShiftOp: return UopKind::IntOp;
+      case IrOp::MulOp: return UopKind::IntMul;
+      case IrOp::DivOp: return UopKind::IntDiv;
+      case IrOp::FpOp: return UopKind::FpOp;
+      case IrOp::FpDivOp: return UopKind::FpDiv;
+      case IrOp::Load: return UopKind::Load;
+      case IrOp::Store: return UopKind::Store;
+      case IrOp::Branch: return UopKind::Branch;
+      case IrOp::SysOp: return UopKind::Sys;
+      default: panic("kindForIr: not a µop-producing IR op");
+    }
+}
+
+bool
+producesValue(IrOp op)
+{
+    switch (op) {
+      case IrOp::ReadReg:
+      case IrOp::ReadFlags:
+      case IrOp::Imm:
+      case IrOp::IntOp:
+      case IrOp::ShiftOp:
+      case IrOp::MulOp:
+      case IrOp::DivOp:
+      case IrOp::FpOp:
+      case IrOp::FpDivOp:
+      case IrOp::Load:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasSideEffect(IrOp op)
+{
+    switch (op) {
+      case IrOp::Store:
+      case IrOp::WriteReg:
+      case IrOp::WriteFlags:
+      case IrOp::Branch:
+      case IrOp::SysOp:
+      case IrOp::Load: // may fault / touches the cache: never dead
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<Uop>
+compileSemantics(const SemFunction &sem, const UopLatencies &lat)
+{
+    const auto &ir = sem.insns;
+    const std::size_t n = ir.size();
+
+    // --- pass 1: liveness (mark IR ops whose results are needed) ---------
+    std::vector<bool> live(n, false);
+    std::vector<std::uint32_t> uses(n, 0);
+    // Seed: side-effecting ops are live.
+    for (std::size_t i = 0; i < n; ++i)
+        if (hasSideEffect(ir[i].op))
+            live[i] = true;
+    // Propagate backwards.
+    for (std::size_t ri = n; ri-- > 0;) {
+        if (!live[ri])
+            continue;
+        if (ir[ri].a != NoVal)
+            live[ir[ri].a] = true;
+        if (ir[ri].b != NoVal)
+            live[ir[ri].b] = true;
+    }
+    // Use counts over live ops only.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i])
+            continue;
+        if (ir[i].a != NoVal)
+            ++uses[ir[i].a];
+        if (ir[i].b != NoVal)
+            ++uses[ir[i].b];
+    }
+
+    // --- pass 2: analysis for folding and fusion --------------------------
+    // addrFold[i]: IR op i is an address computation absorbed into its
+    // single memory consumer (AGU folding).  Pattern: IntOp over at most one
+    // register-producing operand, all uses in the address position of
+    // Load/Store.
+    std::vector<bool> addr_fold(n, false);
+    // dstHint[i]: the ALU result i has exactly one use, a WriteReg — assign
+    // the architectural register as the µop destination directly.
+    std::vector<std::uint8_t> dst_hint(n, UregNone);
+    // flagsOnly[i]: the result's only use is a WriteFlags (CMP/TEST): the
+    // µop sets flags and needs no destination register.
+    std::vector<bool> flags_only(n, false);
+    {
+        // Per-value use breakdown: address positions of memory ops,
+        // WriteReg consumers, WriteFlags consumers, and everything else.
+        std::vector<std::uint32_t> addr_uses(n, 0), wr_uses(n, 0),
+            wf_uses(n, 0), other_uses(n, 0);
+        std::vector<std::int32_t> writereg_user(n, -1);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!live[i])
+                continue;
+            const IrInsn &x = ir[i];
+            if ((x.op == IrOp::Load || x.op == IrOp::Store) && x.a != NoVal)
+                ++addr_uses[x.a];
+            else if (x.a != NoVal)
+                ++other_uses[x.a];
+            if (x.b != NoVal) {
+                if (x.op == IrOp::WriteReg) {
+                    ++wr_uses[x.b];
+                    writereg_user[x.b] = static_cast<std::int32_t>(i);
+                } else if (x.op == IrOp::WriteFlags) {
+                    ++wf_uses[x.b];
+                } else {
+                    ++other_uses[x.b];
+                }
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!live[i])
+                continue;
+            const IrInsn &x = ir[i];
+            const bool computes = producesValue(x.op) &&
+                                  x.op != IrOp::ReadReg &&
+                                  x.op != IrOp::ReadFlags &&
+                                  x.op != IrOp::Imm;
+            if (x.op == IrOp::IntOp && addr_uses[i] > 0 && wr_uses[i] == 0 &&
+                wf_uses[i] == 0 && other_uses[i] == 0) {
+                // Count register-producing operands.
+                unsigned reg_operands = 0;
+                for (ValId v : {x.a, x.b}) {
+                    if (v == NoVal)
+                        continue;
+                    if (ir[v].op == IrOp::ReadReg ||
+                        ir[v].op == IrOp::ReadFlags)
+                        ++reg_operands;
+                    else if (ir[v].op != IrOp::Imm)
+                        reg_operands += 2; // computed operand: can't fold
+                }
+                if (reg_operands <= 1)
+                    addr_fold[i] = true;
+            }
+            if (computes && wr_uses[i] == 1 && other_uses[i] == 0 &&
+                addr_uses[i] == 0) {
+                dst_hint[i] = ir[writereg_user[i]].arg0;
+            }
+            if (computes && wf_uses[i] >= 1 && wr_uses[i] == 0 &&
+                other_uses[i] == 0 && addr_uses[i] == 0) {
+                flags_only[i] = true;
+            }
+        }
+    }
+
+    // --- pass 3: emission --------------------------------------------------
+    std::vector<Uop> out;
+    std::vector<ValInfo> vals(n);
+    std::array<bool, NumUopTemps> temp_busy{};
+    std::vector<std::uint32_t> remaining = uses;
+
+    auto alloc_temp = [&]() -> std::uint8_t {
+        for (unsigned t = 0; t < NumUopTemps; ++t) {
+            if (!temp_busy[t]) {
+                temp_busy[t] = true;
+                return uregTemp(t);
+            }
+        }
+        panic("microcode compiler: out of temporaries");
+    };
+
+    auto consume = [&](ValId v) {
+        if (v == NoVal)
+            return;
+        fastsim_assert(remaining[v] > 0);
+        if (--remaining[v] == 0 && vals[v].isTemp)
+            temp_busy[vals[v].reg - UregTempBase] = false;
+    };
+
+    // Source register of a value for use as a µop operand (UregNone for
+    // immediates and folded values with no register input).
+    auto src_reg = [&](ValId v) -> std::uint8_t {
+        if (v == NoVal)
+            return UregNone;
+        return vals[v].reg;
+    };
+
+    // For a folded address computation, the single register operand.
+    auto folded_addr_reg = [&](ValId v) -> std::uint8_t {
+        const IrInsn &x = ir[v];
+        for (ValId o : {x.a, x.b}) {
+            if (o == NoVal)
+                continue;
+            if (vals[o].reg != UregNone)
+                return vals[o].reg;
+        }
+        return UregNone;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i])
+            continue;
+        const IrInsn &x = ir[i];
+        ValInfo &vi = vals[i];
+        switch (x.op) {
+          case IrOp::ReadReg:
+            vi.kind = ValInfo::Kind::Reg;
+            vi.reg = x.arg0;
+            break;
+          case IrOp::ReadFlags:
+            vi.kind = ValInfo::Kind::Flags;
+            vi.reg = UregFlags;
+            break;
+          case IrOp::Imm:
+            vi.kind = ValInfo::Kind::None;
+            vi.reg = UregNone;
+            break;
+          case IrOp::IntOp:
+          case IrOp::ShiftOp:
+          case IrOp::MulOp:
+          case IrOp::DivOp:
+          case IrOp::FpOp:
+          case IrOp::FpDivOp: {
+            if (addr_fold[i]) {
+                // Absorbed by the memory µop; operands stay live until the
+                // consumer reads them through folded_addr_reg.
+                vi.kind = ValInfo::Kind::None;
+                break;
+            }
+            Uop u;
+            u.kind = kindForIr(x.op);
+            u.latency = lat.forKind(u.kind);
+            u.src1 = src_reg(x.a);
+            u.src2 = src_reg(x.b);
+            u.readsFlags = (x.a != NoVal && vals[x.a].kind ==
+                            ValInfo::Kind::Flags) ||
+                           (x.b != NoVal && vals[x.b].kind ==
+                            ValInfo::Kind::Flags);
+            consume(x.a);
+            consume(x.b);
+            if (dst_hint[i] != UregNone) {
+                u.dst = dst_hint[i];
+                vi.kind = ValInfo::Kind::Reg;
+                vi.reg = u.dst;
+            } else if (remaining[i] > 0 && !flags_only[i]) {
+                u.dst = alloc_temp();
+                vi.kind = ValInfo::Kind::Reg;
+                vi.reg = u.dst;
+                vi.isTemp = true;
+            }
+            vi.uop = static_cast<std::int32_t>(out.size());
+            out.push_back(u);
+            break;
+          }
+          case IrOp::Load: {
+            Uop u;
+            u.kind = UopKind::Load;
+            u.latency = lat.load;
+            if (x.a != NoVal && addr_fold[x.a])
+                u.src1 = folded_addr_reg(x.a);
+            else
+                u.src1 = src_reg(x.a);
+            if (x.a != NoVal && !addr_fold[x.a])
+                consume(x.a);
+            if (dst_hint[i] != UregNone) {
+                u.dst = dst_hint[i];
+                vi.kind = ValInfo::Kind::Reg;
+                vi.reg = u.dst;
+            } else if (remaining[i] > 0) {
+                u.dst = alloc_temp();
+                vi.kind = ValInfo::Kind::Reg;
+                vi.reg = u.dst;
+                vi.isTemp = true;
+            }
+            vi.uop = static_cast<std::int32_t>(out.size());
+            out.push_back(u);
+            break;
+          }
+          case IrOp::Store: {
+            Uop u;
+            u.kind = UopKind::Store;
+            u.latency = lat.store;
+            if (x.a != NoVal && addr_fold[x.a])
+                u.src1 = folded_addr_reg(x.a);
+            else
+                u.src1 = src_reg(x.a);
+            if (x.a != NoVal && !addr_fold[x.a])
+                consume(x.a);
+            u.src2 = src_reg(x.b);
+            u.readsFlags =
+                x.b != NoVal && vals[x.b].kind == ValInfo::Kind::Flags;
+            consume(x.b);
+            out.push_back(u);
+            break;
+          }
+          case IrOp::WriteReg: {
+            fastsim_assert(x.b != NoVal);
+            const ValInfo &src = vals[x.b];
+            if (src.uop >= 0 && out[src.uop].dst == x.arg0) {
+                // Move fusion already assigned the destination.
+                consume(x.b);
+                break;
+            }
+            // Materialize as a move µop.
+            Uop u;
+            u.kind = ir[x.b].op == IrOp::FpOp || ir[x.b].op == IrOp::FpDivOp
+                         ? UopKind::FpOp
+                         : UopKind::IntOp;
+            u.latency = lat.forKind(u.kind);
+            u.src1 = src.reg;
+            u.dst = x.arg0;
+            consume(x.b);
+            out.push_back(u);
+            break;
+          }
+          case IrOp::WriteFlags: {
+            fastsim_assert(x.b != NoVal);
+            const ValInfo &src = vals[x.b];
+            if (src.uop >= 0) {
+                out[src.uop].writesFlags = true;
+                consume(x.b);
+            } else {
+                // Flags from a non-materialized value (e.g. an immediate):
+                // emit a flag-setting ALU µop.
+                Uop u;
+                u.kind = UopKind::IntOp;
+                u.latency = lat.intOp;
+                u.src1 = src.reg;
+                u.writesFlags = true;
+                consume(x.b);
+                out.push_back(u);
+            }
+            break;
+          }
+          case IrOp::Branch: {
+            Uop u;
+            u.kind = UopKind::Branch;
+            u.latency = lat.branch;
+            if (x.a != NoVal) {
+                if (vals[x.a].kind == ValInfo::Kind::Flags)
+                    u.readsFlags = true;
+                else
+                    u.src1 = src_reg(x.a);
+                consume(x.a);
+            }
+            out.push_back(u);
+            break;
+          }
+          case IrOp::SysOp: {
+            Uop u;
+            u.kind = UopKind::Sys;
+            u.latency = lat.sys;
+            out.push_back(u);
+            break;
+          }
+        }
+    }
+
+    if (out.empty()) {
+        // Semantics with no visible effect (NOP) still occupy a slot.
+        Uop u;
+        u.kind = UopKind::Nop;
+        out.push_back(u);
+    }
+    return out;
+}
+
+Uop
+bindUop(const isa::Insn &insn, Uop u)
+{
+    auto bind = [&insn](std::uint8_t r) -> std::uint8_t {
+        switch (r) {
+          case UregOper0: return uregGp(insn.reg);
+          case UregOper1: return uregGp(insn.rm);
+          case UregOper0Fp: return uregFp(insn.reg);
+          case UregOper1Fp: return uregFp(insn.rm);
+          default: return r;
+        }
+    };
+    u.src1 = bind(u.src1);
+    u.src2 = bind(u.src2);
+    u.dst = bind(u.dst);
+    return u;
+}
+
+void
+bindUops(const isa::Insn &insn, const std::vector<Uop> &tmpl,
+         std::vector<Uop> &out)
+{
+    out.clear();
+    out.reserve(tmpl.size());
+    for (const Uop &u : tmpl)
+        out.push_back(bindUop(insn, u));
+}
+
+} // namespace ucode
+} // namespace fastsim

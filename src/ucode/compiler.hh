@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The microcode compiler: lowers semantic IR to µop sequences.
+ *
+ * Implements the paper's microcode compiler (§4.3) for the FX86 target.  It
+ * performs:
+ *  - dead-code elimination of IR values with no architecturally visible use,
+ *  - address-generation folding (a base+displacement add feeding only a
+ *    load/store is absorbed into the memory µop, as the AGU computes it),
+ *  - flag-write fusion (a WriteFlags of an ALU result marks that µop rather
+ *    than emitting a separate one),
+ *  - move fusion (an ALU result whose only use is a register write gets the
+ *    architectural register as its destination directly), and
+ *  - microcode-temporary allocation (T0..T3) with reuse after last use.
+ *
+ * Operand placeholders: semantics are written per static opcode, so register
+ * operands are symbolic (UregOper0/UregOper1) and bound to the concrete
+ * instruction's registers at decode time via bindUops().
+ */
+
+#ifndef FASTSIM_UCODE_COMPILER_HH
+#define FASTSIM_UCODE_COMPILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/insn.hh"
+#include "ucode/sem_ir.hh"
+#include "ucode/uop.hh"
+
+namespace fastsim {
+namespace ucode {
+
+/** Symbolic operand-register placeholders used in microcode templates. */
+enum OperandPlaceholder : std::uint8_t
+{
+    UregOper0 = 32,   //!< the instruction's first GPR operand (insn.reg)
+    UregOper1 = 33,   //!< the instruction's second GPR operand (insn.rm)
+    UregOper0Fp = 34, //!< first operand as an FP register
+    UregOper1Fp = 35, //!< second operand as an FP register
+};
+
+/**
+ * Compile a semantic function into a µop template sequence.
+ *
+ * @param sem the semantic IR
+ * @param lat µop execute latencies for the target configuration
+ * @return µop templates (may contain operand placeholders)
+ */
+std::vector<Uop> compileSemantics(const SemFunction &sem,
+                                  const UopLatencies &lat);
+
+/**
+ * Bind a µop template sequence to a concrete instruction, substituting
+ * operand placeholders with the instruction's registers.
+ */
+void bindUops(const isa::Insn &insn, const std::vector<Uop> &tmpl,
+              std::vector<Uop> &out);
+
+/** Bind a single µop (in place) to a concrete instruction. */
+Uop bindUop(const isa::Insn &insn, Uop u);
+
+} // namespace ucode
+} // namespace fastsim
+
+#endif // FASTSIM_UCODE_COMPILER_HH

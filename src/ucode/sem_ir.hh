@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Semantic intermediate representation for the microcode compiler.
+ *
+ * Paper §4.3: "The compiler takes C code that specifies the functionality of
+ * each instruction ... and compiles it into fairly optimized microcode for
+ * that instruction on the specified microarchitecture."
+ *
+ * Our equivalent of that "C code" is this small dataflow IR: each ISA
+ * opcode's semantics are described as a short sequence of IR operations
+ * built through SemBuilder, and the compiler (ucode/compiler.hh) lowers the
+ * IR to µops with dead-code elimination, address-generation folding and
+ * temporary-register allocation.
+ */
+
+#ifndef FASTSIM_UCODE_SEM_IR_HH
+#define FASTSIM_UCODE_SEM_IR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace ucode {
+
+/** IR value: index of the defining IR instruction; -1 = none. */
+using ValId = std::int32_t;
+constexpr ValId NoVal = -1;
+
+/** IR operation kinds. */
+enum class IrOp : std::uint8_t
+{
+    ReadReg,    //!< read architectural register (arg0 = µop reg id)
+    ReadFlags,  //!< read the flags register
+    Imm,        //!< constant; creates no dependence and no µop
+    IntOp,      //!< integer ALU op over (a, b?) — add/sub/logic
+    ShiftOp,    //!< shift/rotate
+    MulOp,
+    DivOp,
+    FpOp,
+    FpDivOp,
+    Load,       //!< memory read; a = address value
+    Store,      //!< memory write; a = address value, b = data value
+    WriteReg,   //!< commit value b to architectural register arg0
+    WriteFlags, //!< commit value b to the flags register
+    Branch,     //!< control transfer; a = optional flags/cond input
+    SysOp,      //!< serializing system operation
+};
+
+/** One IR instruction. */
+struct IrInsn
+{
+    IrOp op;
+    ValId a = NoVal;       //!< first operand
+    ValId b = NoVal;       //!< second operand
+    std::uint8_t arg0 = 0; //!< register id for Read/WriteReg
+};
+
+/** A complete semantic description for one ISA opcode. */
+struct SemFunction
+{
+    std::vector<IrInsn> insns;
+};
+
+/**
+ * Builder for semantic functions.
+ *
+ * Usage (ADD r, r):
+ * @code
+ *   SemBuilder b;
+ *   auto x = b.readReg(REG_A);
+ *   auto y = b.readReg(REG_B);
+ *   auto r = b.intOp(x, y);
+ *   b.writeReg(REG_A, r);
+ *   b.writeFlags(r);
+ * @endcode
+ */
+class SemBuilder
+{
+  public:
+    ValId
+    readReg(std::uint8_t ureg)
+    {
+        return add({IrOp::ReadReg, NoVal, NoVal, ureg});
+    }
+
+    ValId readFlags() { return add({IrOp::ReadFlags, NoVal, NoVal, 0}); }
+    ValId imm() { return add({IrOp::Imm, NoVal, NoVal, 0}); }
+
+    ValId
+    intOp(ValId a, ValId b = NoVal)
+    {
+        return add({IrOp::IntOp, a, b, 0});
+    }
+
+    ValId
+    shiftOp(ValId a, ValId b = NoVal)
+    {
+        return add({IrOp::ShiftOp, a, b, 0});
+    }
+
+    ValId mulOp(ValId a, ValId b) { return add({IrOp::MulOp, a, b, 0}); }
+    ValId divOp(ValId a, ValId b) { return add({IrOp::DivOp, a, b, 0}); }
+    ValId fpOp(ValId a, ValId b = NoVal) { return add({IrOp::FpOp, a, b, 0}); }
+    ValId fpDivOp(ValId a, ValId b = NoVal)
+    {
+        return add({IrOp::FpDivOp, a, b, 0});
+    }
+
+    ValId load(ValId addr) { return add({IrOp::Load, addr, NoVal, 0}); }
+
+    void
+    store(ValId addr, ValId data)
+    {
+        add({IrOp::Store, addr, data, 0});
+    }
+
+    void
+    writeReg(std::uint8_t ureg, ValId v)
+    {
+        add({IrOp::WriteReg, NoVal, v, ureg});
+    }
+
+    void
+    writeFlags(ValId v)
+    {
+        add({IrOp::WriteFlags, NoVal, v, 0});
+    }
+
+    void
+    branch(ValId cond_input = NoVal)
+    {
+        add({IrOp::Branch, cond_input, NoVal, 0});
+    }
+
+    void sysOp() { add({IrOp::SysOp, NoVal, NoVal, 0}); }
+
+    SemFunction take() { return SemFunction{std::move(insns_)}; }
+
+  private:
+    ValId
+    add(IrInsn insn)
+    {
+        insns_.push_back(insn);
+        return static_cast<ValId>(insns_.size() - 1);
+    }
+
+    std::vector<IrInsn> insns_;
+};
+
+} // namespace ucode
+} // namespace fastsim
+
+#endif // FASTSIM_UCODE_SEM_IR_HH

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Per-opcode semantic descriptions consumed by the microcode compiler.
+ */
+
+#include "ucode/table.hh"
+
+#include "base/logging.hh"
+#include "ucode/compiler.hh"
+#include "ucode/sem_ir.hh"
+
+namespace fastsim {
+namespace ucode {
+
+using isa::Opcode;
+
+namespace {
+
+constexpr std::uint8_t SP = isa::RegSp; // R7
+constexpr std::uint8_t SI = isa::RegSi; // R0
+constexpr std::uint8_t DI = isa::RegDi; // R1
+constexpr std::uint8_t CX = isa::RegCx; // R2
+constexpr std::uint8_t AX = isa::RegAx; // R3
+
+/** dst = dst OP src, setting flags. */
+SemFunction
+aluRr(bool flags)
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto y = b.readReg(UregOper1);
+    auto r = b.intOp(x, y);
+    b.writeReg(UregOper0, r);
+    if (flags)
+        b.writeFlags(r);
+    return b.take();
+}
+
+/** compare/test: flags only. */
+SemFunction
+cmpRr()
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto y = b.readReg(UregOper1);
+    auto r = b.intOp(x, y);
+    b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+aluRi(bool flags)
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto i = b.imm();
+    auto r = b.intOp(x, i);
+    b.writeReg(UregOper0, r);
+    if (flags)
+        b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+cmpRi()
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto i = b.imm();
+    auto r = b.intOp(x, i);
+    b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+shiftRr()
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto y = b.readReg(UregOper1);
+    auto r = b.shiftOp(x, y);
+    b.writeReg(UregOper0, r);
+    b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+shiftRi()
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto i = b.imm();
+    auto r = b.shiftOp(x, i);
+    b.writeReg(UregOper0, r);
+    b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+unaryR(bool flags)
+{
+    SemBuilder b;
+    auto x = b.readReg(UregOper0);
+    auto r = b.intOp(x);
+    b.writeReg(UregOper0, r);
+    if (flags)
+        b.writeFlags(r);
+    return b.take();
+}
+
+SemFunction
+sysOnly()
+{
+    SemBuilder b;
+    b.sysOp();
+    return b.take();
+}
+
+} // namespace
+
+SemFunction
+semanticsFor(Opcode op, bool &translated)
+{
+    translated = true;
+    SemBuilder b;
+    switch (op) {
+      case Opcode::Nop:
+        return b.take(); // compiles to a single NOP µop
+
+      case Opcode::Hlt:
+      case Opcode::Cli:
+      case Opcode::Sti:
+      case Opcode::In:
+      case Opcode::Out:
+      case Opcode::CrRead:
+      case Opcode::CrWrite:
+      case Opcode::Ud:
+        return sysOnly();
+
+      case Opcode::Iret: {
+        // pop PC, pop FLAGS, adjust SP, jump.
+        auto sp = b.readReg(SP);
+        auto pc = b.load(sp);
+        auto sp4 = b.intOp(b.readReg(SP), b.imm());
+        auto fl = b.load(sp4);
+        b.writeFlags(fl);
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        b.branch(pc);
+        return b.take();
+      }
+
+      case Opcode::Ret: {
+        auto sp = b.readReg(SP);
+        auto pc = b.load(sp);
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        b.branch(pc);
+        return b.take();
+      }
+
+      case Opcode::MovRr:
+        b.writeReg(UregOper0, b.readReg(UregOper1));
+        return b.take();
+
+      case Opcode::MovRi:
+        b.writeReg(UregOper0, b.imm());
+        return b.take();
+
+      case Opcode::Lea:
+        b.writeReg(UregOper0, b.intOp(b.readReg(UregOper1), b.imm()));
+        return b.take();
+
+      case Opcode::AddRr:
+      case Opcode::SubRr:
+      case Opcode::AndRr:
+      case Opcode::OrRr:
+      case Opcode::XorRr:
+        return aluRr(true);
+
+      case Opcode::CmpRr:
+      case Opcode::TestRr:
+        return cmpRr();
+
+      case Opcode::ImulRr: {
+        auto r = b.mulOp(b.readReg(UregOper0), b.readReg(UregOper1));
+        b.writeReg(UregOper0, r);
+        b.writeFlags(r);
+        return b.take();
+      }
+
+      case Opcode::IdivRr: {
+        auto r = b.divOp(b.readReg(UregOper0), b.readReg(UregOper1));
+        b.writeReg(UregOper0, r);
+        b.writeFlags(r);
+        return b.take();
+      }
+
+      case Opcode::ShlRr:
+      case Opcode::ShrRr:
+      case Opcode::SarRr:
+        return shiftRr();
+
+      case Opcode::AddRi:
+      case Opcode::SubRi:
+      case Opcode::AndRi:
+      case Opcode::OrRi:
+      case Opcode::XorRi:
+        return aluRi(true);
+
+      case Opcode::CmpRi:
+        return cmpRi();
+
+      case Opcode::ShlRi:
+      case Opcode::ShrRi:
+      case Opcode::SarRi:
+        return shiftRi();
+
+      case Opcode::NotR:
+        return unaryR(false);
+      case Opcode::NegR:
+      case Opcode::IncR:
+      case Opcode::DecR:
+        return unaryR(true);
+
+      case Opcode::Ld:
+      case Opcode::Ldb: {
+        auto addr = b.intOp(b.readReg(UregOper1), b.imm());
+        b.writeReg(UregOper0, b.load(addr));
+        return b.take();
+      }
+
+      case Opcode::St:
+      case Opcode::Stb: {
+        auto addr = b.intOp(b.readReg(UregOper1), b.imm());
+        b.store(addr, b.readReg(UregOper0));
+        return b.take();
+      }
+
+      case Opcode::PushR: {
+        auto addr = b.intOp(b.readReg(SP), b.imm());
+        b.store(addr, b.readReg(UregOper0));
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        return b.take();
+      }
+
+      case Opcode::PopR: {
+        b.writeReg(UregOper0, b.load(b.readReg(SP)));
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        return b.take();
+      }
+
+      case Opcode::Jcc32:
+      case Opcode::Jcc8:
+        b.branch(b.readFlags());
+        return b.take();
+
+      case Opcode::Jmp32:
+        b.branch();
+        return b.take();
+
+      case Opcode::JmpR:
+        b.branch(b.readReg(UregOper0));
+        return b.take();
+
+      case Opcode::Call32: {
+        auto addr = b.intOp(b.readReg(SP), b.imm());
+        b.store(addr, b.imm());
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        b.branch();
+        return b.take();
+      }
+
+      case Opcode::CallR: {
+        auto addr = b.intOp(b.readReg(SP), b.imm());
+        b.store(addr, b.imm());
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        b.branch(b.readReg(UregOper0));
+        return b.take();
+      }
+
+      case Opcode::Int: {
+        // Push FLAGS and return PC onto the (kernel) stack, vector.
+        auto a0 = b.intOp(b.readReg(SP), b.imm());
+        b.store(a0, b.readFlags());
+        auto a1 = b.intOp(b.readReg(SP), b.imm());
+        b.store(a1, b.imm());
+        b.writeReg(SP, b.intOp(b.readReg(SP), b.imm()));
+        b.branch();
+        return b.take();
+      }
+
+      case Opcode::Movsb: {
+        // One iteration: byte copy [DI] <- [SI], advance, decrement count.
+        auto v = b.load(b.readReg(SI));
+        b.store(b.readReg(DI), v);
+        b.writeReg(SI, b.intOp(b.readReg(SI), b.imm()));
+        b.writeReg(DI, b.intOp(b.readReg(DI), b.imm()));
+        auto c = b.intOp(b.readReg(CX), b.imm());
+        b.writeReg(CX, c);
+        b.writeFlags(c);
+        return b.take();
+      }
+
+      case Opcode::Stosb: {
+        b.store(b.readReg(DI), b.readReg(AX));
+        b.writeReg(DI, b.intOp(b.readReg(DI), b.imm()));
+        auto c = b.intOp(b.readReg(CX), b.imm());
+        b.writeReg(CX, c);
+        b.writeFlags(c);
+        return b.take();
+      }
+
+      case Opcode::Lodsb: {
+        b.writeReg(AX, b.load(b.readReg(SI)));
+        b.writeReg(SI, b.intOp(b.readReg(SI), b.imm()));
+        auto c = b.intOp(b.readReg(CX), b.imm());
+        b.writeReg(CX, c);
+        b.writeFlags(c);
+        return b.take();
+      }
+
+      // --- floating point -------------------------------------------------
+      // Only the "easy" FP moves have automatic translation, mirroring the
+      // paper's partial FP microcode coverage (§4.3, Table 1).
+      case Opcode::Fmov:
+        b.writeReg(UregOper0Fp, b.fpOp(b.readReg(UregOper1Fp)));
+        return b.take();
+
+      case Opcode::Fabs:
+      case Opcode::Fneg: {
+        auto r = b.fpOp(b.readReg(UregOper0Fp));
+        b.writeReg(UregOper0Fp, r);
+        return b.take();
+      }
+
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fld:
+      case Opcode::Fst:
+      case Opcode::Fitof:
+      case Opcode::Ftoi:
+      case Opcode::Fcmp:
+      case Opcode::Fsqrt:
+        // No automatic translation yet (paper: "we have been focusing on
+        // the integer benchmarks"); replaced with a NOP in the table.
+        translated = false;
+        return b.take();
+
+      default:
+        panic("semanticsFor: unhandled opcode %u",
+              static_cast<unsigned>(op));
+    }
+}
+
+} // namespace ucode
+} // namespace fastsim

@@ -1,0 +1,46 @@
+#include "ucode/table.hh"
+
+#include "base/logging.hh"
+#include "ucode/compiler.hh"
+
+namespace fastsim {
+namespace ucode {
+
+UcodeTable::UcodeTable(const UopLatencies &lat)
+{
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        bool translated = true;
+        SemFunction sem = semanticsFor(op, translated);
+        UcodeEntry &e = entries_[i];
+        if (translated) {
+            e.uops = compileSemantics(sem, lat);
+            e.hasUcode = true;
+        } else {
+            // Untranslated: replaced with a NOP (paper §4.3).
+            Uop nop;
+            nop.kind = UopKind::Nop;
+            e.uops = {nop};
+            e.hasUcode = false;
+        }
+    }
+}
+
+const UcodeEntry &
+UcodeTable::entry(isa::Opcode op) const
+{
+    auto idx = static_cast<unsigned>(op);
+    if (idx >= isa::NumOpcodes)
+        panic("UcodeTable::entry: bad opcode %u", idx);
+    return entries_[idx];
+}
+
+const UcodeTable &
+UcodeTable::defaultTable()
+{
+    static const UcodeTable table;
+    return table;
+}
+
+} // namespace ucode
+} // namespace fastsim

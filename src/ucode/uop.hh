@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Micro-op (µop) definitions.
+ *
+ * Like virtually all modern x86 implementations, the FX86 target cracks each
+ * CISC instruction into RISC-like µops (paper §4.3).  The timing model
+ * dispatches, schedules and retires µops; the functional model executes
+ * whole instructions, so µops carry *no data values* — only the dependence
+ * structure (source/destination registers) and resource class the timing
+ * model needs ("data values are often not required to predict performance",
+ * paper §2).
+ */
+
+#ifndef FASTSIM_UCODE_UOP_HH
+#define FASTSIM_UCODE_UOP_HH
+
+#include <cstdint>
+
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace ucode {
+
+/** µop-visible register namespace. */
+enum UopReg : std::uint8_t
+{
+    // 0..7: GPRs, 8..15: FPRs.
+    UregFpBase = 8,
+    UregFlags = 16,   //!< condition-flags register
+    UregTempBase = 17,//!< microcode temporaries T0..T3
+    NumUopTemps = 4,
+    NumUopRegs = UregTempBase + NumUopTemps,
+    UregNone = 0xFF,
+};
+
+constexpr std::uint8_t
+uregGp(unsigned r)
+{
+    return static_cast<std::uint8_t>(r);
+}
+
+constexpr std::uint8_t
+uregFp(unsigned r)
+{
+    return static_cast<std::uint8_t>(UregFpBase + r);
+}
+
+constexpr std::uint8_t
+uregTemp(unsigned t)
+{
+    return static_cast<std::uint8_t>(UregTempBase + t);
+}
+
+/** Functional-unit / scheduling class of a µop. */
+enum class UopKind : std::uint8_t
+{
+    Nop,    //!< placeholder (untranslated instruction); consumes a slot only
+    IntOp,  //!< general ALU operation
+    IntMul,
+    IntDiv,
+    Load,   //!< data-cache read; address comes from the trace entry
+    Store,  //!< data-cache write; address comes from the trace entry
+    Branch, //!< resolves in the branch unit
+    FpOp,   //!< floating point, executes on a general-purpose ALU
+    FpDiv,
+    Sys,    //!< serializing system operation
+};
+
+/** One micro-op. */
+struct Uop
+{
+    UopKind kind = UopKind::Nop;
+    std::uint8_t src1 = UregNone;
+    std::uint8_t src2 = UregNone;
+    std::uint8_t dst = UregNone;
+    bool readsFlags = false;
+    bool writesFlags = false;
+    std::uint8_t latency = 1; //!< execute latency in target cycles
+
+    bool isLoad() const { return kind == UopKind::Load; }
+    bool isStore() const { return kind == UopKind::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return kind == UopKind::Branch; }
+};
+
+/** Default execute latencies per µop kind (target cycles). */
+struct UopLatencies
+{
+    std::uint8_t intOp = 1;
+    std::uint8_t intMul = 3;
+    std::uint8_t intDiv = 12;
+    std::uint8_t load = 1;  //!< pipeline latency; cache adds the rest
+    std::uint8_t store = 1;
+    std::uint8_t branch = 1;
+    std::uint8_t fpOp = 4;
+    std::uint8_t fpDiv = 12;
+    std::uint8_t sys = 1;
+
+    std::uint8_t
+    forKind(UopKind k) const
+    {
+        switch (k) {
+          case UopKind::IntOp: return intOp;
+          case UopKind::IntMul: return intMul;
+          case UopKind::IntDiv: return intDiv;
+          case UopKind::Load: return load;
+          case UopKind::Store: return store;
+          case UopKind::Branch: return branch;
+          case UopKind::FpOp: return fpOp;
+          case UopKind::FpDiv: return fpDiv;
+          case UopKind::Sys: return sys;
+          default: return 1;
+        }
+    }
+};
+
+} // namespace ucode
+} // namespace fastsim
+
+#endif // FASTSIM_UCODE_UOP_HH

@@ -1,0 +1,883 @@
+#include "workloads/workloads.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "fm/devices.hh"
+#include "isa/registers.hh"
+
+namespace fastsim {
+namespace workloads {
+
+using isa::Assembler;
+using isa::Label;
+using kernel::MemoryMap;
+using kernel::Syscall;
+using namespace isa;
+
+namespace {
+
+/** Control slots live at the start of user data; working set follows. */
+constexpr Addr Ctr = MemoryMap::UserDataBase;          //!< outer counter
+constexpr Addr Slot1 = MemoryMap::UserDataBase + 4;    //!< scratch
+constexpr Addr Slot2 = MemoryMap::UserDataBase + 8;
+constexpr Addr Ws = MemoryMap::UserDataBase + 0x1000;  //!< working set
+
+/** R5 = lcg(R5).  Clobbers R6. */
+void
+emitLcg(Assembler &a)
+{
+    a.movri(R6, 1103515245);
+    a.imulrr(R5, R6);
+    a.addri(R5, 12345);
+}
+
+/** Exit the program through the kernel. */
+void
+emitExit(Assembler &a)
+{
+    a.movri(R3, Syscall::SysExit);
+    a.intn(VecSyscall);
+}
+
+/**
+ * Standard outer loop: `scale` iterations of body, counter kept in memory
+ * so the body may clobber any register except SP.
+ */
+void
+outerLoop(Assembler &a, unsigned scale, const std::function<void()> &body)
+{
+    a.movri(R1, Ctr);
+    a.movri(R0, scale ? scale : 1);
+    a.st(R1, 0, R0);
+    Label top = a.here();
+    body();
+    a.movri(R1, Ctr);
+    a.ld(R0, R1, 0);
+    a.decr(R0);
+    a.st(R1, 0, R0);
+    a.jcc(CondNZ, top);
+}
+
+/** Fill [Ws, Ws+bytes) with LCG bytes via an assembly loop. */
+void
+emitDataInit(Assembler &a, std::uint32_t bytes, std::uint32_t seed)
+{
+    a.movri(R5, seed);
+    a.movri(R1, Ws);
+    a.movri(R2, bytes);
+    Label top = a.here();
+    emitLcg(a);
+    a.movrr(R0, R5);
+    a.shri(R0, 16);
+    a.stb(R1, 0, R0);
+    a.incr(R1);
+    a.decr(R2);
+    a.jcc(CondNZ, top);
+}
+
+// ======================================================================= //
+// Benchmark program generators.                                           //
+// ======================================================================= //
+
+/** 164.gzip: LZ-style match scanning over a byte buffer. */
+void
+gzipProgram(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 4096, 0x6219);
+    a.movri(R5, 0x12345);
+    outerLoop(a, scale, [&] {
+        // p1 = Ws + (rand & 0xFFF); compare window [p1] vs [p1+512].
+        emitLcg(a);
+        a.movrr(R4, R5);
+        a.shri(R4, 8);
+        a.andri(R4, 0x7FF);
+        a.addri(R4, Ws);
+        a.movri(R2, 8); // max match length
+        Label match = a.here();
+        Label nomatch = a.newLabel();
+        a.ldb(R0, R4, 0);
+        a.cmpri(R0, 205); // data-dependent (~80% below): gzip's mispredicts
+        a.jcc(CondNC, nomatch);
+        a.ldb(R1, R4, 512);
+        a.addrr(R1, R0);
+        a.incr(R4);
+        a.decr(R2);
+        a.jcc(CondNZ, match);
+        a.bind(nomatch);
+        // Emit literal run: push/pop traffic raises the µop ratio.
+        a.push(R0);
+        a.movri(R1, Ws + 0x800);
+        a.stb(R1, 0, R0);
+        a.pop(R0);
+        // A short string copy every iteration (history window update).
+        a.movri(RegSi, Ws);
+        a.movri(RegDi, Ws + 0xC00);
+        a.movri(RegCx, 4);
+        a.movsb(true);
+    });
+    emitExit(a);
+}
+
+/** 175.vpr: annealing swaps with FP cost evaluation. */
+void
+vprProgram(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 2048, 0x575);
+    a.movri(R5, 0xABCD);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        // FP cost: delta = (r*r - K) / scale-ish.
+        a.movrr(R0, R5);
+        a.shri(R0, 20);
+        a.fitof(F0, R0);
+        a.fmul(F0, F0);
+        a.fitof(F1, R0);
+        a.fadd(F1, F0);
+        a.fsub(F1, F0);
+        a.fcmp(F0, F1);
+        // Accept/reject on a pseudo-random bit.
+        a.movrr(R6, R5);
+        a.shri(R6, 17);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label reject = a.newLabel();
+        a.jcc(CondZ, reject);
+        // Swap two cells.
+        a.movrr(R4, R5);
+        a.andri(R4, 0x7FC);
+        a.addri(R4, Ws);
+        a.ld(R0, R4, 0);
+        a.ld(R1, R4, 256);
+        a.st(R4, 0, R1);
+        a.st(R4, 256, R0);
+        a.bind(reject);
+        a.push(R4); // placement-frame spill
+        a.push(R0);
+        a.pop(R0);
+        a.pop(R4);
+        // Predictable bookkeeping.
+        a.movri(R2, 4);
+        Label t2 = a.here();
+        a.addri(R6, 3);
+        a.decr(R2);
+        a.jcc(CondNZ, t2);
+    });
+    emitExit(a);
+}
+
+/** 176.gcc: large static code footprint driven through a dispatch table. */
+void
+gccProgram(Assembler &a, unsigned scale)
+{
+    constexpr unsigned NumBlocks = 128;
+    Label table_done = a.newLabel();
+    std::vector<Label> blocks;
+    // Emit the "pass" functions up front, jumped over by the init code.
+    a.jmp(table_done);
+    Rng rng(0x6CC);
+    for (unsigned b = 0; b < NumBlocks; ++b) {
+        blocks.push_back(a.here());
+        // Each pass does a distinct short computation (distinct I-cache
+        // lines: gcc's defining property).
+        a.push(R1); // callee-saved spill, as compiled code does
+        const unsigned ops = 3 + rng.below(6);
+        for (unsigned k = 0; k < ops; ++k) {
+            switch (rng.below(5)) {
+              case 0: a.addri(R0, static_cast<std::uint32_t>(rng.below(97)));
+                break;
+              case 1: a.xorrr(R1, R0); break;
+              case 2: a.shli(R0, static_cast<std::uint8_t>(1 + rng.below(3)));
+                break;
+              case 3: a.subri(R1, static_cast<std::uint32_t>(rng.below(31)));
+                break;
+              default: a.orri(R0, 0x11); break;
+            }
+        }
+        a.pop(R1);
+        a.ret();
+    }
+    a.bind(table_done);
+    // Build the function table at Ws.
+    a.movri(R1, Ws);
+    for (unsigned b = 0; b < NumBlocks; ++b) {
+        a.movlabel(R0, blocks[b]);
+        a.st(R1, static_cast<std::int32_t>(4 * b), R0);
+    }
+    a.movri(R5, 0x9CC9);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        a.movrr(R6, R5);
+        a.shri(R6, 9);
+        a.andri(R6, NumBlocks - 1);
+        a.shli(R6, 2);
+        a.addri(R6, Ws);
+        a.ld(R6, R6, 0);
+        a.callr(R6); // indirect call to a random pass: BTB-hostile
+        // Predictable glue with spill traffic.
+        a.movri(R2, 10);
+        Label t = a.here();
+        a.push(R0);
+        a.addri(R0, 1);
+        a.pop(R1);
+        a.decr(R2);
+        a.jcc(CondNZ, t);
+    });
+    emitExit(a);
+}
+
+/** 181.mcf: pointer-chasing over a scrambled linked network. */
+void
+mcfProgram(Assembler &a, unsigned scale)
+{
+    constexpr unsigned Nodes = 512;
+    // Build the scrambled list at image-build time (unrolled stores).
+    Rng rng(0x3CF);
+    std::vector<std::uint32_t> order(Nodes);
+    for (unsigned i = 0; i < Nodes; ++i)
+        order[i] = i;
+    for (unsigned i = Nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    for (unsigned i = 0; i < Nodes; ++i) {
+        const Addr node = Ws + 16 * order[i];
+        const Addr next = Ws + 16 * order[(i + 1) % Nodes];
+        a.movri(R1, node);
+        a.movri(R2, next);
+        a.st(R1, 0, R2);
+        a.movri(R2, static_cast<std::uint32_t>(rng.below(1000)));
+        a.st(R1, 4, R2); // cost
+    }
+    a.movri(R1, Slot1); // current node pointer spill slot
+    a.movri(R2, Ws + 16 * order[0]);
+    a.st(R1, 0, R2);
+    outerLoop(a, scale, [&] {
+        a.movri(R1, Slot1);
+        a.ld(R4, R1, 0);
+        // Frame save/restore around the walk (raises µops/inst toward the
+        // paper's 1.17 for mcf).
+        a.push(R4);
+        a.push(R3);
+        a.pop(R3);
+        a.pop(R4);
+        a.movri(R2, 16); // walk 16 nodes
+        Label walk = a.here();
+        Label cheap = a.newLabel();
+        a.ld(R0, R4, 4);      // cost (dependent load)
+        a.cmpri(R0, 800);     // data-dependent branch (~80% cheap)
+        a.jcc(CondL, cheap);
+        a.addri(R3, 1);
+        a.bind(cheap);
+        a.push(R0);           // arc-pricing frame (stack traffic)
+        a.pop(R0);
+        a.ld(R4, R4, 0);      // next (pointer chase)
+        a.decr(R2);
+        a.jcc(CondNZ, walk);
+        a.movri(R1, Slot1);
+        a.st(R1, 0, R4);
+    });
+    emitExit(a);
+}
+
+/** 186.crafty: bitboard manipulation. */
+void
+craftyProgram(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 1024, 0xC3A); // attack tables
+    a.movri(R5, 0xFACE);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        // Bitboard mixing.
+        a.movrr(R4, R5);
+        a.shri(R4, 3);
+        a.xorrr(R4, R5);
+        a.movrr(R6, R4);
+        a.shli(R6, 7);
+        a.orrr(R4, R6);
+        a.andri(R4, 0x0F0F0F0F);
+        // Popcount by byte (predictable 4-iteration loop).
+        a.movri(R2, 4);
+        a.movri(R0, 0);
+        Label pop = a.here();
+        a.movrr(R6, R4);
+        a.andri(R6, 0xFF);
+        a.push(R6);
+        a.addrr(R0, R6);
+        a.pop(R6);
+        a.shri(R4, 8);
+        a.decr(R2);
+        a.jcc(CondNZ, pop);
+        // Attack-table probes with data-dependent outcomes (~70% biased).
+        a.movrr(R6, R5);
+        a.shri(R6, 14);
+        a.andri(R6, 0x3FC);
+        a.addri(R6, Ws);
+        a.ldb(R1, R6, 0);
+        a.cmpri(R1, 180);
+        Label skip = a.newLabel();
+        a.jcc(CondNC, skip);
+        a.incr(R3);
+        a.bind(skip);
+        a.movrr(R6, R5);
+        a.shri(R6, 22);
+        a.andri(R6, 0xFF);
+        a.cmpri(R6, 76);
+        Label skip2 = a.newLabel();
+        a.jcc(CondC, skip2);
+        a.xorrr(R3, R0);
+        a.bind(skip2);
+        // Search-frame save/restore (stack traffic, µop ratio).
+        a.push(R0);
+        a.push(R3);
+        a.pop(R3);
+        a.pop(R0);
+    });
+    emitExit(a);
+}
+
+/** 197.parser: hashed dictionary probing with chained compares. */
+void
+parserProgram(Assembler &a, unsigned scale)
+{
+    // Dictionary: 256 chains of 4 words each (unrolled init).
+    Rng rng(0x9A55);
+    for (unsigned b = 0; b < 256; ++b) {
+        a.movri(R1, Ws + 16 * b);
+        for (unsigned e = 0; e < 4; ++e) {
+            a.movri(R2, static_cast<std::uint32_t>(rng.below(256)));
+            a.st(R1, static_cast<std::int32_t>(4 * e), R2);
+        }
+    }
+    a.movri(R5, 0x9E11);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        a.movrr(R4, R5);
+        a.shri(R4, 10);
+        a.andri(R4, 0xFF); // key
+        a.movrr(R6, R5);
+        a.shri(R6, 18);
+        a.andri(R6, 0xFF); // bucket
+        a.shli(R6, 4);
+        a.addri(R6, Ws);
+        // Probe the 4-entry chain; ordering compares over random data
+        // give parser its below-average prediction accuracy.
+        Label found = a.newLabel();
+        for (unsigned e = 0; e < 4; ++e) {
+            a.ld(R0, R6, static_cast<std::int32_t>(4 * e));
+            a.cmprr(R0, R4);
+            a.jcc(e < 1 ? CondL : CondZ, found);
+        }
+        a.incr(R3); // miss
+        a.bind(found);
+        // Word-scan flavour: lodsb over a few bytes.
+        a.movri(RegSi, Ws + 0x400);
+        a.movri(RegCx, 3);
+        a.lodsb(true);
+    });
+    emitExit(a);
+}
+
+/** 252.eon: heavy floating point, mostly untranslated by the µcode table. */
+void
+eonProgram(Assembler &a, unsigned scale)
+{
+    a.movri(R0, 3);
+    a.fitof(F0, R0);
+    a.movri(R0, 7);
+    a.fitof(F1, R0);
+    a.movri(R5, 0xE0E0);
+    outerLoop(a, scale, [&] {
+        // Ray-surface arithmetic: ~20 FP ops per iteration (~48% dynamic).
+        a.fmov(F2, F0);
+        a.fmul(F2, F1);
+        a.fadd(F2, F0);
+        a.fsub(F2, F1);
+        a.fmul(F2, F2);
+        a.fadd(F0, F2);
+        a.fdiv(F0, F1);
+        a.fmov(F3, F2);
+        a.fmul(F3, F3);
+        a.fadd(F3, F1);
+        a.fsqrt(F3);
+        a.fsub(F3, F2);
+        a.fmul(F3, F0);
+        a.fadd(F1, F3);
+        a.fabsr(F1);
+        a.fmov(F4, F1);
+        a.fmul(F4, F0);
+        a.fadd(F4, F2);
+        a.fcmp(F4, F0);
+        a.fmov(F1, F4);
+        a.fmul(F5, F0);
+        a.fadd(F5, F2);
+        a.fsub(F5, F3);
+        a.fmul(F5, F1);
+        a.fadd(F2, F5);
+        a.fdiv(F2, F1);
+        a.fadd(F6, F2);
+        a.fmul(F6, F0);
+        // Two data-dependent branches (shadow ray tests).
+        emitLcg(a);
+        a.movrr(R6, R5);
+        a.shri(R6, 16);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label s1 = a.newLabel();
+        a.jcc(CondZ, s1);
+        a.addri(R2, 1);
+        a.bind(s1);
+        a.push(R2); // ray-stack frame (µop ratio)
+        a.push(R6);
+        a.pop(R6);
+        a.pop(R2);
+        a.movrr(R6, R5);
+        a.shri(R6, 21);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label s2 = a.newLabel();
+        a.jcc(CondZ, s2);
+        a.addri(R2, 2);
+        a.bind(s2);
+    });
+    emitExit(a);
+}
+
+/** 253.perlbmk: bytecode interpreter with periodic sleep system calls. */
+void
+perlbmkProgram(Assembler &a, unsigned scale)
+{
+    constexpr unsigned NumOps = 16;
+    Label build = a.newLabel();
+    a.jmp(build);
+    std::vector<Label> ops;
+    Label loop_top_ref = a.newLabel(); // bound later at the dispatch loop
+    Rng rng(0x9E71);
+    for (unsigned o = 0; o < NumOps; ++o) {
+        ops.push_back(a.here());
+        const unsigned work = 2 + rng.below(5);
+        for (unsigned k = 0; k < work; ++k) {
+            switch (rng.below(4)) {
+              case 0: a.addri(R0, o + 1); break;
+              case 1: a.xorrr(R1, R0); break;
+              case 2: a.shri(R0, 1); break;
+              default: a.orri(R1, o); break;
+            }
+        }
+        // Opcode bodies loop over operands with interpreter-state
+        // spills (stack traffic, µop ratio).
+        a.movri(R2, 4 + (o % 3));
+        Label body = a.here();
+        a.push(R1);
+        a.addri(R0, 1);
+        a.pop(R1);
+        a.decr(R2);
+        a.jcc(CondNZ, body);
+        a.jmp(loop_top_ref); // back to the dispatch loop
+    }
+    a.bind(build);
+    a.movri(R1, Ws);
+    for (unsigned o = 0; o < NumOps; ++o) {
+        a.movlabel(R0, ops[o]);
+        a.st(R1, static_cast<std::int32_t>(4 * o), R0);
+    }
+    a.movri(R5, 0x9E12);
+    // Outer structure: `scale` rounds; each runs 32 dispatches then sleeps.
+    a.movri(R1, Ctr);
+    a.movri(R0, scale ? scale : 1);
+    a.st(R1, 0, R0);
+    Label round = a.here();
+    a.movri(R1, Slot1);
+    a.movri(R0, 32);
+    a.st(R1, 0, R0);
+    Label dispatch = a.here();
+    a.bind(loop_top_ref); // op blocks jump here, then fall into the check
+    a.movri(R1, Slot1);
+    a.ld(R0, R1, 0);
+    a.decr(R0);
+    a.st(R1, 0, R0);
+    Label done_round = a.newLabel();
+    a.jcc(CondZ, done_round);
+    emitLcg(a);
+    a.movrr(R6, R5);
+    a.shri(R6, 9);
+    a.andri(R6, NumOps - 1);
+    a.shli(R6, 2);
+    a.addri(R6, Ws);
+    a.ld(R6, R6, 0);
+    a.jmpr(R6); // threaded dispatch: the interpreter signature
+    (void)dispatch;
+    a.bind(done_round);
+    // sleep(1) + time(): the HALT behaviour the paper calls out.
+    a.movri(R4, 1);
+    a.movri(R3, Syscall::SysSleep);
+    a.intn(VecSyscall);
+    a.movri(R3, Syscall::SysGetTicks);
+    a.intn(VecSyscall);
+    a.movri(R1, Ctr);
+    a.ld(R0, R1, 0);
+    a.decr(R0);
+    a.st(R1, 0, R0);
+    a.jcc(CondNZ, round);
+    emitExit(a);
+}
+
+/** 254.gap: multi-precision arithmetic with rare carry propagation. */
+void
+gapProgram(Assembler &a, unsigned scale)
+{
+    // Two 32-word numbers; small limbs so carries are rare/predictable.
+    Rng rng(0x6A9);
+    for (unsigned i = 0; i < 32; ++i) {
+        a.movri(R1, Ws + 4 * i);
+        a.movri(R2, static_cast<std::uint32_t>(rng.below(0x1000)));
+        a.st(R1, 0, R2);
+        a.movri(R1, Ws + 256 + 4 * i);
+        a.movri(R2, static_cast<std::uint32_t>(rng.below(0x1000)));
+        a.st(R1, 0, R2);
+    }
+    a.movri(R5, 0x6A90);
+    outerLoop(a, scale, [&] {
+        a.movri(R4, 0); // carry
+        a.movri(R2, 8); // limbs per round
+        a.movri(R6, Ws);
+        Label limb = a.here();
+        a.ld(R0, R6, 0);
+        a.ld(R1, R6, 256);
+        a.addrr(R0, R1);
+        a.addrr(R0, R4);
+        a.movri(R4, 0);
+        a.cmpri(R0, 0x2000);
+        Label nocarry = a.newLabel();
+        a.jcc(CondL, nocarry); // almost always taken: predictable
+        a.movri(R4, 1);
+        a.andri(R0, 0x1FFF);
+        a.bind(nocarry);
+        a.push(R4); // spill the running carry (stack traffic, µop ratio)
+        a.push(R0);
+        a.st(R6, 512, R0);
+        a.pop(R0);
+        a.pop(R4);
+        a.addri(R6, 4);
+        a.decr(R2);
+        a.jcc(CondNZ, limb);
+        // One random branch per outer iteration.
+        emitLcg(a);
+        a.movrr(R6, R5);
+        a.shri(R6, 19);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label skip = a.newLabel();
+        a.jcc(CondZ, skip);
+        a.imulrr(R0, R0);
+        a.bind(skip);
+    });
+    emitExit(a);
+}
+
+/** 255.vortex: object-store insertion, store-heavy, highly predictable. */
+void
+vortexProgram(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 256, 0x0B7);
+    outerLoop(a, scale, [&] {
+        // Copy an 8-byte object header.
+        a.movri(RegSi, Ws);
+        a.movri(RegDi, Ws + 0x800);
+        a.movri(RegCx, 3);
+        a.movsb(true);
+        // Field writes (stores dominate).
+        a.movri(R1, Ws + 0x900);
+        a.movri(R0, 7);
+        a.st(R1, 0, R0);
+        a.st(R1, 4, R0);
+        a.st(R1, 8, R0);
+        a.st(R1, 12, R0);
+        a.addri(R0, 3);
+        a.st(R1, 16, R0);
+        // Predictable validation loop.
+        a.movri(R2, 9);
+        Label v = a.here();
+        a.ld(R4, R1, 0);
+        a.addrr(R4, R0);
+        a.decr(R2);
+        a.jcc(CondNZ, v);
+        a.push(R0);
+        a.pop(R4);
+    });
+    emitExit(a);
+}
+
+/** 256.bzip2: compare-and-swap sorting passes over pseudo-random data. */
+void
+bzip2Program(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 1024, 0xB21);
+    a.movri(R5, 0xB212);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        a.movrr(R6, R5);
+        a.shri(R6, 12);
+        a.andri(R6, 0x3F8);
+        a.addri(R6, Ws);
+        a.push(R5); // sort-frame spill (stack traffic, µop ratio)
+        a.push(R3);
+        a.pop(R3);
+        a.pop(R5);
+        a.movri(R2, 3); // short sort pass
+        Label pass = a.here();
+        a.ld(R0, R6, 0);
+        a.ld(R1, R6, 4);
+        a.cmprr(R0, R1); // random data: the bzip2 mispredict source
+        Label noswap = a.newLabel();
+        a.jcc(CondGE, noswap);
+        a.st(R6, 0, R1);
+        a.st(R6, 4, R0);
+        a.bind(noswap);
+        a.push(R0);
+        a.push(R1);
+        a.pop(R1);
+        a.pop(R0);
+        a.addri(R6, 4);
+        a.decr(R2);
+        a.jcc(CondNZ, pass);
+        // Run-length accounting (predictable).
+        a.movri(R2, 7);
+        Label r = a.here();
+        a.addri(R4, 1);
+        a.decr(R2);
+        a.jcc(CondNZ, r);
+    });
+    emitExit(a);
+}
+
+/** 300.twolf: simulated annealing with frequent random accept tests. */
+void
+twolfProgram(Assembler &a, unsigned scale)
+{
+    emitDataInit(a, 2048, 0x201F);
+    a.movri(R5, 0x70F);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        // Two random branches per short body: lowest BP accuracy.
+        a.movrr(R6, R5);
+        a.shri(R6, 15);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label m1 = a.newLabel();
+        a.jcc(CondZ, m1);
+        a.addri(R0, 11);
+        a.bind(m1);
+        a.movrr(R6, R5);
+        a.shri(R6, 22);
+        a.andri(R6, 1);
+        a.cmpri(R6, 0);
+        Label m2 = a.newLabel();
+        a.jcc(CondZ, m2);
+        a.subri(R0, 5);
+        a.bind(m2);
+        // Cell displacement cost: a couple of loads and ALU ops.
+        a.movrr(R4, R5);
+        a.andri(R4, 0x7FC);
+        a.addri(R4, Ws);
+        a.ld(R1, R4, 0);
+        a.addrr(R1, R0);
+        a.st(R4, 0, R1);
+        a.push(R1); // cost-frame spill
+        a.push(R0);
+        a.pop(R0);
+        a.pop(R1);
+        a.movri(R2, 3);
+        Label t = a.here();
+        a.push(R0);
+        a.xorrr(R0, R1);
+        a.pop(R4);
+        a.decr(R2);
+        a.jcc(CondNZ, t);
+    });
+    emitExit(a);
+}
+
+/** Sweep3D: regular FP stencil sweeps — predictable, FP-dominated. */
+void
+sweep3dProgram(Assembler &a, unsigned scale)
+{
+    a.movri(R0, 2);
+    a.fitof(F0, R0);
+    a.movri(R0, 5);
+    a.fitof(F1, R0);
+    // FP working array.
+    a.movri(R1, Ws);
+    a.movri(R2, 64);
+    Label init = a.here();
+    a.fst(R1, 0, F1);
+    a.addri(R1, 8);
+    a.decr(R2);
+    a.jcc(CondNZ, init);
+    outerLoop(a, scale, [&] {
+        a.movri(R1, Ws);
+        a.movri(R2, 16); // inner sweep
+        Label sweep = a.here();
+        a.fld(F2, R1, 0);
+        a.fld(F3, R1, 8);
+        a.fmul(F2, F0);
+        a.fadd(F2, F3);
+        a.fsub(F2, F1);
+        a.fmul(F3, F2);
+        a.fadd(F3, F0);
+        a.fmul(F4, F3);
+        a.fadd(F4, F1);
+        a.fsub(F4, F2);
+        a.fst(R1, 0, F3);
+        // Sweep index arithmetic (integer, translated).
+        a.movrr(R4, R1);
+        a.shri(R4, 3);
+        a.push(R4);
+        a.andri(R4, 0x3F);
+        a.addrr(R6, R4);
+        a.pop(R4);
+        a.addri(R1, 8);
+        a.decr(R2);
+        a.jcc(CondNZ, sweep); // only predictable loop branches: BP ~97%
+    });
+    emitExit(a);
+}
+
+/** MySQL: B-tree lookups plus row copies (string-op heavy). */
+void
+mysqlProgram(Assembler &a, unsigned scale)
+{
+    // Sorted key array: 256 keys, key[i] = 7i + 3.
+    for (unsigned i = 0; i < 256; ++i) {
+        a.movri(R1, Ws + 4 * i);
+        a.movri(R2, 7 * i + 3);
+        a.st(R1, 0, R2);
+    }
+    // Row source lives at Ws + 0x600, clear of the key array.
+    a.movri(R1, Ws + 0x600);
+    a.movri(R2, 64);
+    a.movri(R3, 0x2A);
+    Label fill = a.here();
+    a.stb(R1, 0, R3);
+    a.incr(R1);
+    a.decr(R2);
+    a.jcc(CondNZ, fill);
+    a.movri(R5, 0x5DB0);
+    outerLoop(a, scale, [&] {
+        emitLcg(a);
+        a.movrr(R4, R5);
+        a.shri(R4, 10);
+        a.andri(R4, 0x7FF); // key to find
+        // Binary search: 8 levels, data-dependent directions.
+        a.movri(R0, 0);    // lo
+        a.movri(R1, 256);  // hi
+        a.movri(R2, 8);
+        Label bs = a.here();
+        a.movrr(R6, R0);
+        a.addrr(R6, R1);
+        a.shri(R6, 1); // mid
+        a.push(R6);
+        a.shli(R6, 2);
+        a.addri(R6, Ws);
+        a.ld(R6, R6, 0); // key[mid]
+        a.cmprr(R6, R4);
+        Label go_right = a.newLabel(), cont = a.newLabel();
+        a.jcc(CondL, go_right);
+        a.pop(R1); // hi = mid
+        a.jmp(cont);
+        a.bind(go_right);
+        a.pop(R0); // lo = mid
+        a.bind(cont);
+        a.decr(R2);
+        a.jcc(CondNZ, bs);
+        // Row copy: 16-byte memcpy via REP MOVSB (µops/inst ~1.5).
+        a.movri(RegSi, Ws + 0x600);
+        a.movri(RegDi, Ws + 0x700);
+        a.movri(RegCx, 16);
+        a.movsb(true);
+    });
+    emitExit(a);
+}
+
+/** Trivial user program for boot-only workloads. */
+void
+bootOnlyProgram(Assembler &a, unsigned)
+{
+    emitExit(a);
+}
+
+std::vector<Workload>
+buildSuite()
+{
+    using kernel::OsFlavor;
+    std::vector<Workload> s;
+    auto add = [&s](std::string name, OsFlavor os, bool boot_only,
+                    std::function<void(Assembler &, unsigned)> prog,
+                    unsigned bench_scale, PaperReference ref) {
+        s.push_back({std::move(name), os, boot_only, std::move(prog),
+                     bench_scale, ref});
+    };
+    // Order follows the paper's Table 1 (WinXP inserted as in Figs. 4/5).
+    add("Linux-2.4", OsFlavor::Linux24, true, bootOnlyProgram, 1,
+        {95.94, 1.15, 92.0, 1.30});
+    add("WindowsXP", OsFlavor::WinXP, true, bootOnlyProgram, 1,
+        {-1, -1, 89.0, 1.10});
+    add("164.gzip", OsFlavor::Linux24, false, gzipProgram, 8000,
+        {99.98, 1.34, 90.0, 1.15});
+    add("175.vpr", OsFlavor::Linux24, false, vprProgram, 7000,
+        {84.62, 1.19, 88.0, 1.30});
+    add("176.gcc", OsFlavor::Linux24, false, gccProgram, 7000,
+        {99.90, 1.30, 88.0, 0.95});
+    add("181.mcf", OsFlavor::Linux24, false, mcfProgram, 2500,
+        {99.93, 1.17, 92.0, 1.50});
+    add("186.crafty", OsFlavor::Linux24, false, craftyProgram, 6000,
+        {98.96, 1.15, 90.0, 0.90});
+    add("197.parser", OsFlavor::Linux24, false, parserProgram, 8000,
+        {99.74, 1.27, 87.0, 1.00});
+    add("252.eon", OsFlavor::Linux24, false, eonProgram, 6000,
+        {52.32, 1.24, 82.0, 1.35});
+    add("253.perlbmk", OsFlavor::Linux24, false, perlbmkProgram, 400,
+        {98.64, 1.29, 90.0, 0.70});
+    add("254.gap", OsFlavor::Linux24, false, gapProgram, 4000,
+        {99.80, 1.31, 93.0, 1.20});
+    add("255.vortex", OsFlavor::Linux24, false, vortexProgram, 4000,
+        {99.91, 1.21, 95.0, 1.10});
+    add("256.bzip2", OsFlavor::Linux24, false, bzip2Program, 6000,
+        {99.98, 1.29, 89.0, 1.20});
+    add("300.twolf", OsFlavor::Linux24, false, twolfProgram, 9000,
+        {95.20, 1.25, 85.0, 1.00});
+    add("Linux-2.6", OsFlavor::Linux26, true, bootOnlyProgram, 1,
+        {98.02, 1.45, -1, -1});
+    add("Sweep3D", OsFlavor::Linux24, false, sweep3dProgram, 2000,
+        {44.05, 1.19, -1, -1});
+    add("MySQL", OsFlavor::Linux24, false, mysqlProgram, 2500,
+        {99.15, 1.51, -1, -1});
+    return s;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+suite()
+{
+    static const std::vector<Workload> s = buildSuite();
+    return s;
+}
+
+const Workload &
+byName(const std::string &name)
+{
+    for (const Workload &w : suite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+kernel::BuildOptions
+bootOptionsFor(const Workload &w, unsigned scale)
+{
+    kernel::BuildOptions opts;
+    opts.flavor = w.os;
+    opts.userProgram = [&w, scale](Assembler &a) { w.program(a, scale); };
+    return opts;
+}
+
+} // namespace workloads
+} // namespace fastsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic benchmark suite standing in for the paper's workloads
+ * (SPECINT2000, Sweep3D, MySQL, plus the OS boots themselves).
+ *
+ * Each workload is a hand-written FX86 user program whose instruction mix,
+ * branch behaviour, memory pattern, string-op usage, FP fraction and
+ * system-call behaviour mirror the distinguishing characteristics the paper
+ * reports per benchmark (Table 1 µop ratios and coverage, Figure 5 branch
+ * prediction accuracy, Figure 4's perlbmk HALT anomaly and eon FP-coverage
+ * anomaly).  The per-benchmark reference numbers from the paper are carried
+ * alongside so benches can print paper-vs-measured tables.
+ */
+
+#ifndef FASTSIM_WORKLOADS_WORKLOADS_HH
+#define FASTSIM_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "kernel/boot.hh"
+
+namespace fastsim {
+namespace workloads {
+
+/** Reference numbers reported by the paper for one workload. */
+struct PaperReference
+{
+    double ucodeFraction;   //!< Table 1: % dynamic instrs with µcode
+    double uopsPerInst;     //!< Table 1: µops per instruction
+    double gshareAccuracy;  //!< Fig. 5 (approx. read off the plot), %
+    double mipsGshare;      //!< Fig. 4 (approx.), MIPS with gshare BP
+};
+
+/** One workload: name, host OS flavor, program generator, references. */
+struct Workload
+{
+    std::string name;
+    kernel::OsFlavor os = kernel::OsFlavor::Linux24;
+    bool bootOnly = false; //!< workload is the OS boot itself
+
+    /**
+     * Emit the user program.  @param scale sizes the run (outer iterations);
+     * tests use small scales, benches larger ones.
+     */
+    std::function<void(isa::Assembler &, unsigned scale)> program;
+
+    /** Outer-iteration count used by the benches (sized so the workload
+     *  phase dominates the boot phase at ~200-400K instructions). */
+    unsigned benchScale = 6000;
+
+    PaperReference paper;
+};
+
+/** The full suite, in the paper's Table-1 row order. */
+const std::vector<Workload> &suite();
+
+/** Look up one workload by name; fatal() if unknown. */
+const Workload &byName(const std::string &name);
+
+/** Build boot options running this workload at the given scale. */
+kernel::BuildOptions bootOptionsFor(const Workload &w, unsigned scale);
+
+} // namespace workloads
+} // namespace fastsim
+
+#endif // FASTSIM_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for base utilities: bitfields, RNG, logging, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/statistics.hh"
+
+namespace fastsim {
+namespace {
+
+TEST(Bitfield, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(32), 0xFFFFFFFFu);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(Bitfield, Bits)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 8), 0xABu);
+    EXPECT_EQ(bits(0xABCD, 7, 0), 0xCDu);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDu);
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+}
+
+TEST(Bitfield, Bit)
+{
+    EXPECT_TRUE(bit(0x4, 2));
+    EXPECT_FALSE(bit(0x4, 1));
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xFFFFFFFF, 32), -1);
+    EXPECT_EQ(sext(0x7FFFFFFF, 32), 0x7FFFFFFF);
+}
+
+TEST(Bitfield, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        auto v = r.range(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(99);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / double(n), 0.3, 0.02);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, MessageFormatting)
+{
+    try {
+        panic("value=%d name=%s", 7, "x");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=x");
+    }
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(fastsim_assert(1 + 1 == 2));
+    EXPECT_THROW(fastsim_assert(false), PanicError);
+}
+
+TEST(StatsGroup, CounterLifecycle)
+{
+    stats::Group g("test");
+    EXPECT_EQ(g.value("foo"), 0u);
+    g.counter("foo") += 3;
+    g.counter("foo") += 2;
+    EXPECT_EQ(g.value("foo"), 5u);
+    g.reset();
+    EXPECT_EQ(g.value("foo"), 0u);
+}
+
+TEST(StatsTable, AlignedOutput)
+{
+    stats::TablePrinter t({"App", "MIPS"});
+    t.addRow({"gzip", "1.50"});
+    t.addRow({"a-long-name", "0.75"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("App"), std::string::npos);
+    EXPECT_NE(s.find("a-long-name"), std::string::npos);
+    // All lines align: each row must contain the second column.
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(StatsTable, RowArityChecked)
+{
+    stats::TablePrinter t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(StatsTable, Formatting)
+{
+    EXPECT_EQ(stats::TablePrinter::num(1.234, 2), "1.23");
+    EXPECT_EQ(stats::TablePrinter::pct(0.973, 1), "97.3%");
+}
+
+TEST(IntervalSeries, RecordsSamples)
+{
+    stats::IntervalSeries s("bp");
+    s.record(100000, 0.9);
+    s.record(200000, 0.95);
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.samples()[1].position, 200000u);
+    EXPECT_DOUBLE_EQ(s.samples()[1].value, 0.95);
+}
+
+} // namespace
+} // namespace fastsim

@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Functional-model instruction-semantics tests.
+ *
+ * Each test assembles a tiny program, runs it to HLT and checks the
+ * architectural result, including condition flags and trace-entry fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "fm/func_model.hh"
+#include "isa/assembler.hh"
+
+namespace fastsim {
+namespace fm {
+namespace {
+
+using isa::Assembler;
+using isa::CondCode;
+using namespace isa; // GpReg/FpReg names
+
+constexpr Addr Base = 0x1000;
+constexpr Addr DataBase = 0x8000;
+constexpr Addr StackTop = 0xF000;
+
+/** Run an assembled program until HLT (or instruction limit). */
+struct RunResult
+{
+    std::vector<TraceEntry> trace;
+    FuncModel *fm = nullptr;
+};
+
+class FmExec : public ::testing::Test
+{
+  protected:
+    FmExec() : fm_(makeConfig()) {}
+
+    static FmConfig
+    makeConfig()
+    {
+        FmConfig cfg;
+        cfg.ramBytes = 1u << 20;
+        return cfg;
+    }
+
+    /** Build a program with standard prologue (stack) and run to HLT. */
+    std::vector<TraceEntry>
+    run(const std::function<void(Assembler &)> &body, std::uint64_t limit = 100000)
+    {
+        Assembler a(Base);
+        a.movri(RegSp, StackTop);
+        body(a);
+        a.hlt();
+        fm_.loadImage(Base, a.finish());
+        fm_.reset(Base);
+        std::vector<TraceEntry> trace;
+        for (std::uint64_t i = 0; i < limit; ++i) {
+            StepResult r = fm_.step();
+            if (r.kind == StepResult::Kind::Halted)
+                break;
+            fastsim_assert(r.kind == StepResult::Kind::Ok);
+            trace.push_back(r.entry);
+            if (r.entry.halt)
+                break;
+        }
+        return trace;
+    }
+
+    std::uint32_t gpr(unsigned r) const { return fm_.state().gpr[r]; }
+    double fpr(unsigned r) const { return fm_.state().fpr[r]; }
+    std::uint32_t flags() const { return fm_.state().flags; }
+
+    FuncModel fm_;
+};
+
+TEST_F(FmExec, MovImmediateAndRegister)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x12345678);
+        a.movrr(R1, R0);
+    });
+    EXPECT_EQ(gpr(0), 0x12345678u);
+    EXPECT_EQ(gpr(1), 0x12345678u);
+}
+
+TEST_F(FmExec, AddSetsCarryAndOverflow)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0xFFFFFFFF);
+        a.addri(R0, 1); // 0: carry set, zero set
+    });
+    EXPECT_EQ(gpr(0), 0u);
+    EXPECT_TRUE(flags() & FlagZ);
+    EXPECT_TRUE(flags() & FlagC);
+    EXPECT_FALSE(flags() & FlagO);
+}
+
+TEST_F(FmExec, AddSignedOverflow)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x7FFFFFFF);
+        a.addri(R0, 1);
+    });
+    EXPECT_EQ(gpr(0), 0x80000000u);
+    EXPECT_TRUE(flags() & FlagO);
+    EXPECT_TRUE(flags() & FlagS);
+    EXPECT_FALSE(flags() & FlagC);
+}
+
+TEST_F(FmExec, SubAndCompareBorrow)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 5);
+        a.movri(R1, 7);
+        a.cmprr(R0, R1); // 5 - 7: borrow, negative
+    });
+    EXPECT_EQ(gpr(0), 5u); // CMP does not write
+    EXPECT_TRUE(flags() & FlagC);
+    EXPECT_TRUE(flags() & FlagS);
+    EXPECT_FALSE(flags() & FlagZ);
+}
+
+TEST_F(FmExec, LogicOpsClearCarry)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0xFFFFFFFF);
+        a.addri(R0, 1); // set carry
+        a.movri(R1, 0xF0F0);
+        a.andri(R1, 0x0FF0);
+    });
+    EXPECT_EQ(gpr(1), 0x00F0u);
+    EXPECT_FALSE(flags() & FlagC);
+}
+
+TEST_F(FmExec, XorZeroesRegister)
+{
+    run([](Assembler &a) {
+        a.movri(R3, 123);
+        a.xorrr(R3, R3);
+    });
+    EXPECT_EQ(gpr(3), 0u);
+    EXPECT_TRUE(flags() & FlagZ);
+}
+
+TEST_F(FmExec, MultiplySigned)
+{
+    run([](Assembler &a) {
+        a.movri(R0, static_cast<std::uint32_t>(-6));
+        a.movri(R1, 7);
+        a.imulrr(R0, R1);
+    });
+    EXPECT_EQ(static_cast<std::int32_t>(gpr(0)), -42);
+    EXPECT_FALSE(flags() & FlagO);
+}
+
+TEST_F(FmExec, MultiplyOverflowSetsFlags)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x10000);
+        a.movri(R1, 0x10000);
+        a.imulrr(R0, R1);
+    });
+    EXPECT_TRUE(flags() & FlagO);
+    EXPECT_TRUE(flags() & FlagC);
+}
+
+TEST_F(FmExec, DivideSigned)
+{
+    run([](Assembler &a) {
+        a.movri(R0, static_cast<std::uint32_t>(-43));
+        a.movri(R1, 7);
+        a.idivrr(R0, R1);
+    });
+    EXPECT_EQ(static_cast<std::int32_t>(gpr(0)), -6);
+}
+
+TEST_F(FmExec, ShiftsAndCarryOut)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x80000001);
+        a.shli(R0, 1); // shifts out the top bit -> CF
+    });
+    EXPECT_EQ(gpr(0), 2u);
+    EXPECT_TRUE(flags() & FlagC);
+}
+
+TEST_F(FmExec, ArithmeticShiftRight)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x80000000);
+        a.sari(R0, 4);
+        a.movri(R1, 0x80000000);
+        a.shri(R1, 4);
+    });
+    EXPECT_EQ(gpr(0), 0xF8000000u);
+    EXPECT_EQ(gpr(1), 0x08000000u);
+}
+
+TEST_F(FmExec, ShiftByZeroLeavesFlags)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0xFFFFFFFF);
+        a.addri(R0, 1); // Z and C set
+        a.movri(R1, 5);
+        a.movri(R2, 0);
+        a.shlrr(R1, R2); // no-op shift: flags preserved
+    });
+    EXPECT_TRUE(flags() & FlagC);
+}
+
+TEST_F(FmExec, IncDecPreserveCarry)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0xFFFFFFFF);
+        a.addri(R0, 1); // carry set
+        a.movri(R1, 5);
+        a.incr(R1);
+    });
+    EXPECT_EQ(gpr(1), 6u);
+    EXPECT_TRUE(flags() & FlagC); // INC preserves carry
+}
+
+TEST_F(FmExec, NegNotSemantics)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 5);
+        a.negr(R0);
+        a.movri(R1, 0x0F0F0F0F);
+        a.notr(R1);
+    });
+    EXPECT_EQ(gpr(0), static_cast<std::uint32_t>(-5));
+    EXPECT_EQ(gpr(1), 0xF0F0F0F0u);
+}
+
+TEST_F(FmExec, LoadStoreWord)
+{
+    auto trace = run([](Assembler &a) {
+        a.movri(R1, DataBase);
+        a.movri(R0, 0xCAFEBABE);
+        a.st(R1, 8, R0);
+        a.ld(R2, R1, 8);
+    });
+    EXPECT_EQ(gpr(2), 0xCAFEBABEu);
+    // Trace entries carry the data addresses.
+    bool saw_store = false, saw_load = false;
+    for (const auto &e : trace) {
+        if (e.isStore && !e.isLoad) {
+            EXPECT_EQ(e.storeVa, DataBase + 8);
+            saw_store = true;
+        }
+        if (e.isLoad) {
+            EXPECT_EQ(e.loadVa, DataBase + 8);
+            saw_load = true;
+        }
+    }
+    EXPECT_TRUE(saw_store);
+    EXPECT_TRUE(saw_load);
+}
+
+TEST_F(FmExec, ByteLoadStoreAndLea)
+{
+    run([](Assembler &a) {
+        a.movri(R1, DataBase);
+        a.movri(R0, 0x1AB);
+        a.stb(R1, 0, R0); // stores 0xAB
+        a.ldb(R2, R1, 0);
+        a.lea(R3, R1, 100);
+    });
+    EXPECT_EQ(gpr(2), 0xABu);
+    EXPECT_EQ(gpr(3), DataBase + 100);
+}
+
+TEST_F(FmExec, PushPopRoundTrip)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 111);
+        a.movri(R1, 222);
+        a.push(R0);
+        a.push(R1);
+        a.pop(R2);
+        a.pop(R3);
+    });
+    EXPECT_EQ(gpr(2), 222u);
+    EXPECT_EQ(gpr(3), 111u);
+    EXPECT_EQ(gpr(RegSp), StackTop);
+}
+
+TEST_F(FmExec, ConditionalBranchTakenAndNot)
+{
+    auto trace = run([](Assembler &a) {
+        isa::Label skip = a.newLabel();
+        isa::Label join = a.newLabel();
+        a.movri(R0, 1);
+        a.cmpri(R0, 1);
+        a.jcc(CondZ, skip); // taken
+        a.movri(R1, 99);    // skipped
+        a.bind(skip);
+        a.cmpri(R0, 2);
+        a.jcc(CondZ, join); // not taken
+        a.movri(R2, 55);    // executed
+        a.bind(join);
+    });
+    EXPECT_EQ(gpr(1), 0u);
+    EXPECT_EQ(gpr(2), 55u);
+    int taken = 0, not_taken = 0;
+    for (const auto &e : trace) {
+        if (e.isCond)
+            (e.branchTaken ? taken : not_taken)++;
+    }
+    EXPECT_EQ(taken, 1);
+    EXPECT_EQ(not_taken, 1);
+}
+
+TEST_F(FmExec, SignedConditions)
+{
+    run([](Assembler &a) {
+        isa::Label less = a.newLabel(), end = a.newLabel();
+        a.movri(R0, static_cast<std::uint32_t>(-5));
+        a.cmpri(R0, 3);
+        a.jcc(CondL, less);
+        a.movri(R1, 0);
+        a.jmp(end);
+        a.bind(less);
+        a.movri(R1, 1);
+        a.bind(end);
+    });
+    EXPECT_EQ(gpr(1), 1u); // -5 < 3 signed
+}
+
+TEST_F(FmExec, CallRetLinkage)
+{
+    auto trace = run([](Assembler &a) {
+        isa::Label fn = a.newLabel(), over = a.newLabel();
+        a.jmp(over);
+        a.bind(fn);
+        a.addri(R0, 5);
+        a.ret();
+        a.bind(over);
+        a.movri(R0, 10);
+        a.call(fn);
+        a.call(fn);
+    });
+    EXPECT_EQ(gpr(0), 20u);
+    EXPECT_EQ(gpr(RegSp), StackTop);
+    // Calls and rets are taken branches in the trace.
+    int rets = 0;
+    for (const auto &e : trace)
+        if (e.op == isa::Opcode::Ret) {
+            EXPECT_TRUE(e.isBranch && e.branchTaken);
+            ++rets;
+        }
+    EXPECT_EQ(rets, 2);
+}
+
+TEST_F(FmExec, IndirectCallAndJump)
+{
+    run([](Assembler &a) {
+        isa::Label fn = a.newLabel(), over = a.newLabel();
+        a.jmp(over);
+        a.bind(fn);
+        a.addri(R0, 7);
+        a.ret();
+        a.bind(over);
+        a.movlabel(R5, fn);
+        a.callr(R5);
+    });
+    EXPECT_EQ(gpr(0), 7u);
+}
+
+TEST_F(FmExec, LoopWithBackwardBranch)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0);
+        a.movri(R2, 10);
+        isa::Label top = a.here();
+        a.addri(R0, 3);
+        a.decr(R2);
+        a.jcc(CondNZ, top);
+    });
+    EXPECT_EQ(gpr(0), 30u);
+}
+
+TEST_F(FmExec, RepMovsbCopiesMemory)
+{
+    auto trace = run([](Assembler &a) {
+        // Build 8 bytes of data at DataBase.
+        a.movri(R1, DataBase);
+        for (unsigned k = 0; k < 8; ++k) {
+            a.movri(R0, 0x10 + k);
+            a.stb(R1, static_cast<std::int32_t>(k), R0);
+        }
+        a.movri(R0, DataBase);       // src
+        a.movri(R1, DataBase + 64);  // dst
+        a.movri(R2, 8);              // count
+        a.movsb(/*rep=*/true);
+    });
+    for (unsigned k = 0; k < 8; ++k)
+        EXPECT_EQ(fm_.mem().read8(DataBase + 64 + k), 0x10 + k);
+    EXPECT_EQ(gpr(RegCx), 0u);
+    EXPECT_EQ(gpr(RegSi), DataBase + 8);
+    // One dynamic instruction per iteration, same PC.
+    int iters = 0;
+    Addr pc = 0;
+    for (const auto &e : trace)
+        if (e.op == isa::Opcode::Movsb) {
+            ++iters;
+            if (pc)
+                EXPECT_EQ(e.pc, pc);
+            pc = e.pc;
+            EXPECT_TRUE(e.isLoad && e.isStore);
+        }
+    EXPECT_EQ(iters, 8);
+}
+
+TEST_F(FmExec, RepStosbFillsMemory)
+{
+    run([](Assembler &a) {
+        a.movri(R1, DataBase);
+        a.movri(R3, 0x5A);
+        a.movri(R2, 16);
+        a.stosb(/*rep=*/true);
+    });
+    for (unsigned k = 0; k < 16; ++k)
+        EXPECT_EQ(fm_.mem().read8(DataBase + k), 0x5A);
+}
+
+TEST_F(FmExec, RepWithZeroCountIsNoop)
+{
+    run([](Assembler &a) {
+        a.movri(R0, DataBase);
+        a.movri(R1, DataBase + 8);
+        a.movri(R2, 0);
+        a.movsb(/*rep=*/true);
+        a.movri(R4, 77); // proves we moved past
+    });
+    EXPECT_EQ(gpr(4), 77u);
+    EXPECT_EQ(gpr(RegSi), DataBase);
+}
+
+TEST_F(FmExec, LodsbLoadsLowByte)
+{
+    run([](Assembler &a) {
+        a.movri(R1, DataBase);
+        a.movri(R0, 0xEE);
+        a.stb(R1, 0, R0);
+        a.movri(R0, DataBase);
+        a.movri(R2, 1);
+        a.movri(R3, 0xAABBCC00);
+        a.lodsb(false);
+    });
+    EXPECT_EQ(gpr(RegAx), 0xAABBCCEEu);
+}
+
+TEST_F(FmExec, FpArithmetic)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 6);
+        a.movri(R1, 4);
+        a.fitof(F0, R0);
+        a.fitof(F1, R1);
+        a.fadd(F0, F1);  // 10
+        a.fmul(F0, F1);  // 40
+        a.fsub(F0, F1);  // 36
+        a.fdiv(F0, F1);  // 9
+        a.fsqrt(F0);     // 3
+        a.ftoi(R2, F0);
+    });
+    EXPECT_EQ(gpr(2), 3u);
+    EXPECT_DOUBLE_EQ(fpr(0), 3.0);
+}
+
+TEST_F(FmExec, FpLoadStoreRoundTrip)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 100);
+        a.fitof(F2, R0);
+        a.fdiv(F2, F2); // 1.0
+        a.movri(R1, DataBase);
+        a.fst(R1, 16, F2);
+        a.fld(F3, R1, 16);
+    });
+    EXPECT_DOUBLE_EQ(fpr(3), 1.0);
+}
+
+TEST_F(FmExec, FpCompareAndNegAbs)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 3);
+        a.movri(R1, 5);
+        a.fitof(F0, R0);
+        a.fitof(F1, R1);
+        a.fcmp(F0, F1); // 3 < 5 -> S
+        a.fnegr(F0);
+        a.fabsr(F0);
+        a.ftoi(R2, F0);
+    });
+    EXPECT_TRUE(flags() & FlagS);
+    EXPECT_FALSE(flags() & FlagZ);
+    EXPECT_EQ(gpr(2), 3u);
+}
+
+TEST_F(FmExec, FtoiOutOfRangeClamps)
+{
+    run([](Assembler &a) {
+        a.movri(R0, 0x10000);
+        a.fitof(F0, R0);
+        a.fmul(F0, F0); // 2^32: out of int32 range
+        a.ftoi(R1, F0);
+    });
+    EXPECT_EQ(gpr(1), 0x80000000u);
+}
+
+TEST_F(FmExec, TraceEntriesWellFormed)
+{
+    auto trace = run([](Assembler &a) {
+        a.movri(R0, 1);
+        a.addri(R0, 2);
+        isa::Label l = a.newLabel();
+        a.jmp(l);
+        a.bind(l);
+    });
+    // INs are consecutive starting at 1, epoch 0, sizes match next pcs.
+    InstNum expect_in = 1;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &e = trace[i];
+        EXPECT_EQ(e.in, expect_in++);
+        EXPECT_EQ(e.epoch, 0u);
+        EXPECT_FALSE(e.wrongPath);
+        EXPECT_GE(e.size, 1u);
+        if (i + 1 < trace.size())
+            EXPECT_EQ(trace[i + 1].pc, e.nextPc);
+        EXPECT_EQ(e.fallThrough, e.pc + e.size);
+        EXPECT_GE(e.uopCount, 1u);
+    }
+}
+
+TEST_F(FmExec, CompressedTraceWordsAveraged)
+{
+    auto trace = run([](Assembler &a) {
+        a.movri(R1, DataBase);
+        a.movri(R2, 100);
+        isa::Label top = a.here();
+        a.ld(R0, R1, 0);
+        a.addri(R0, 1);
+        a.st(R1, 0, R0);
+        a.decr(R2);
+        a.jcc(CondNZ, top);
+    });
+    double words = 0;
+    for (const auto &e : trace)
+        words += e.traceWords;
+    const double avg = words / trace.size();
+    // Paper: about four 32-bit words per instruction.
+    EXPECT_GT(avg, 3.0);
+    EXPECT_LT(avg, 4.5);
+}
+
+TEST_F(FmExec, HaltMarksEntryAndStops)
+{
+    auto trace = run([](Assembler &a) { a.movri(R0, 1); });
+    ASSERT_FALSE(trace.empty());
+    EXPECT_TRUE(trace.back().halt);
+    EXPECT_TRUE(fm_.halted());
+    // Further steps report Halted (no timer enabled).
+    EXPECT_EQ(fm_.step().kind, StepResult::Kind::Halted);
+}
+
+} // namespace
+} // namespace fm
+} // namespace fastsim

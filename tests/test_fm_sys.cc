@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Full-system functional-model tests: privilege, paging, exceptions,
+ * interrupts, HLT wake-up and all devices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "fm/func_model.hh"
+#include "isa/assembler.hh"
+
+namespace fastsim {
+namespace fm {
+namespace {
+
+using isa::Assembler;
+using namespace isa;
+
+constexpr Addr Base = 0x1000;
+constexpr Addr StackTop = 0xF000;
+constexpr PAddr IdtPa = 0x500; // 256 * 4 bytes of vectors
+
+/** Install an IDT whose every vector points at `handler`. */
+void
+installIdt(FuncModel &fm, Addr handler)
+{
+    for (unsigned v = 0; v < 256; ++v)
+        fm.mem().write32(IdtPa + 4 * v, handler);
+}
+
+std::vector<TraceEntry>
+runToHalt(FuncModel &fm, std::uint64_t limit = 200000)
+{
+    std::vector<TraceEntry> trace;
+    for (std::uint64_t i = 0; i < limit; ++i) {
+        StepResult r = fm.step();
+        if (r.kind == StepResult::Kind::Halted) {
+            // Halted with interrupts enabled can still wake (timer);
+            // halted with IF clear is final.
+            if (!(fm.state().flags & FlagI))
+                break;
+            continue;
+        }
+        trace.push_back(r.entry);
+    }
+    return trace;
+}
+
+TEST(FmSys, PrivilegedOpInUserModeFaults)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    Label user = a.newLabel();
+    // Kernel: set IDT, kernel SP, then IRET into user mode.
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R0, StackTop);
+    a.crwrite(CrKsp, R0);
+    // Craft a user-mode return frame: flags with U+PU, user sp, user pc.
+    a.movri(R0, FlagU | FlagPU);
+    a.push(R0);
+    a.movri(R0, StackTop - 0x100); // user stack
+    a.push(R0);
+    a.movlabel(R0, user);
+    a.push(R0);
+    // Manual IRET frame is [pc, sp, flags] from the top; push order above
+    // gives flags deepest — match Iret's pop order (pc, sp, flags).
+    a.iret();
+    a.bind(user);
+    a.cli(); // privileged: must fault with #GP
+    a.nop();
+    a.hlt();
+    a.bind(handler);
+    a.movri(R6, 0xBEEF); // mark handler ran
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 0xBEEFu);
+    bool saw_gp = false;
+    for (const auto &e : trace)
+        if (e.exception && e.vector == VecProtection)
+            saw_gp = true;
+    EXPECT_TRUE(saw_gp);
+}
+
+TEST(FmSys, DivideByZeroRaisesVector0)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R0, 10);
+    a.movri(R1, 0);
+    a.idivrr(R0, R1); // #DE
+    a.hlt();
+    a.bind(handler);
+    a.movri(R6, 0xD1F);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 0xD1Fu);
+    bool saw = false;
+    for (const auto &e : trace)
+        if (e.exception && e.vector == VecDivide) {
+            saw = true;
+            EXPECT_TRUE(e.serializing);
+        }
+    EXPECT_TRUE(saw);
+}
+
+TEST(FmSys, UndefinedOpcodeRaisesUd)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.ud();
+    a.hlt();
+    a.bind(handler);
+    a.movri(R6, 6);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 6u);
+    bool saw = false;
+    for (const auto &e : trace)
+        if (e.exception && e.vector == VecInvalidOp)
+            saw = true;
+    EXPECT_TRUE(saw);
+}
+
+TEST(FmSys, SyscallIntAndIret)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel(), after = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R1, 5);
+    a.intn(VecSyscall);
+    a.bind(after);
+    a.addri(R1, 100); // runs after IRET
+    a.hlt();
+    a.bind(handler);
+    a.addri(R1, 10);
+    a.iret();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[1], 115u);
+    // INT appears as a serializing taken branch to the handler.
+    bool saw_int = false;
+    for (const auto &e : trace)
+        if (e.op == Opcode::Int) {
+            saw_int = true;
+            EXPECT_TRUE(e.serializing);
+            EXPECT_TRUE(e.isBranch && e.branchTaken);
+            EXPECT_EQ(e.target, fm.mem().read32(IdtPa + 4 * VecSyscall));
+        }
+    EXPECT_TRUE(saw_int);
+}
+
+TEST(FmSys, PagingTranslatesAndProtects)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 4u << 20;
+    FuncModel fm(cfg);
+
+    // Identity-map the first 4MB with one page directory + one page table,
+    // then map VA 0x300000 -> PA 0x200000 read-only.
+    const PAddr dir = 0x100000, pt = 0x101000;
+    for (unsigned i = 0; i < 1024; ++i) {
+        fm.mem().write32(pt + 4 * i, (i << 12) | 0x7); // present|write|user
+    }
+    fm.mem().write32(dir, pt | 0x7);
+    // Read-only alias: second PT entry region. VA 0x300000 is still within
+    // the first 4MB (dir slot 0), page index 0x300.
+    fm.mem().write32(pt + 4 * 0x300, 0x200000 | 0x5); // present|user, RO
+
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R0, dir);
+    a.crwrite(CrPtbr, R0);
+    a.movri(R0, StatusPaging);
+    a.crwrite(CrStatus, R0); // paging on
+    // Write through the RW identity mapping at PA/VA 0x200000.
+    a.movri(R1, 0x200000);
+    a.movri(R0, 0xFEEDFACE);
+    a.st(R1, 0, R0);
+    // Read back through the RO alias at VA 0x300000.
+    a.movri(R1, 0x300000);
+    a.ld(R2, R1, 0);
+    // Now attempt a store through the RO alias: #PF.
+    a.st(R1, 4, R0);
+    a.hlt();
+    a.bind(handler);
+    a.crread(R6, CrFault); // faulting VA
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[2], 0xFEEDFACEu);
+    EXPECT_EQ(fm.state().gpr[6], 0x300004u); // CR2 = faulting address
+    bool saw_pf = false;
+    for (const auto &e : trace)
+        if (e.exception && e.vector == VecPageFault)
+            saw_pf = true;
+    EXPECT_TRUE(saw_pf);
+}
+
+TEST(FmSys, TracePhysicalAddressesUnderPaging)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 4u << 20;
+    FuncModel fm(cfg);
+    const PAddr dir = 0x100000, pt = 0x101000;
+    for (unsigned i = 0; i < 1024; ++i)
+        fm.mem().write32(pt + 4 * i, (i << 12) | 0x7);
+    fm.mem().write32(dir, pt | 0x7);
+    // VA 0x280000 -> PA 0x180000.
+    fm.mem().write32(pt + 4 * 0x280, 0x180000 | 0x7);
+
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R0, dir);
+    a.crwrite(CrPtbr, R0);
+    a.movri(R0, StatusPaging);
+    a.crwrite(CrStatus, R0);
+    a.movri(R1, 0x280000);
+    a.movri(R0, 0x77);
+    a.st(R1, 0, R0);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    bool checked = false;
+    for (const auto &e : trace)
+        if (e.isStore) {
+            EXPECT_EQ(e.storeVa, 0x280000u);
+            EXPECT_EQ(e.storePa, 0x180000u);
+            checked = true;
+        }
+    EXPECT_TRUE(checked);
+    EXPECT_EQ(fm.mem().read32(0x180000), 0x77u);
+}
+
+TEST(FmSys, TimerInterruptWakesHalt)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R0, 50);
+    a.out(PortTimerInterval, R0);
+    a.movri(R0, 1);
+    a.out(PortTimerCtl, R0);
+    a.sti();
+    a.hlt(); // wait for timer
+    a.addri(R5, 1000); // resumes after handler IRET
+    a.cli();
+    a.hlt();
+    a.bind(handler);
+    a.incr(R6);
+    a.movri(R0, VecTimer);
+    a.out(PortPicAck, R0);
+    a.iret();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_GE(fm.state().gpr[6], 1u);   // handler ran at least once
+    EXPECT_EQ(fm.state().gpr[5], 1000u); // post-HLT code ran
+    EXPECT_GT(fm.stats().value("interrupts"), 0u);
+    EXPECT_GT(fm.stats().value("halt_steps"), 0u);
+    (void)trace;
+}
+
+TEST(FmSys, MaskedInterruptNotDelivered)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    // Mask the timer line.
+    a.movri(R0, 1u << (VecTimer - 32));
+    a.out(PortPicMask, R0);
+    a.movri(R0, 10);
+    a.out(PortTimerInterval, R0);
+    a.movri(R0, 1);
+    a.out(PortTimerCtl, R0);
+    a.sti();
+    // Run long enough that the timer would have fired several times.
+    a.movri(R2, 100);
+    Label top = a.here();
+    a.decr(R2);
+    a.jcc(CondNZ, top);
+    a.cli();
+    a.hlt();
+    a.bind(handler);
+    a.incr(R6);
+    a.iret();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 0u); // never delivered
+    // But the line is pending in the PIC.
+    EXPECT_NE(fm.pic().ioRead(PortPicPending), 0u);
+}
+
+TEST(FmSys, ConsoleOutputAndInput)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    fm.console().setInput("ok");
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    for (char c : std::string("hi!")) {
+        a.movri(R0, static_cast<std::uint32_t>(c));
+        a.out(PortConsoleOut, R0);
+    }
+    a.in(R1, PortConsoleIn);
+    a.in(R2, PortConsoleIn);
+    a.in(R3, PortConsoleIn); // exhausted -> 0
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    runToHalt(fm);
+    EXPECT_EQ(fm.console().output(), "hi!");
+    EXPECT_EQ(fm.state().gpr[1], static_cast<std::uint32_t>('o'));
+    EXPECT_EQ(fm.state().gpr[2], static_cast<std::uint32_t>('k'));
+    EXPECT_EQ(fm.state().gpr[3], 0u);
+}
+
+TEST(FmSys, DiskReadDmaAndInterrupt)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    cfg.diskLatency = 100;
+    FuncModel fm(cfg);
+    // Put a recognizable pattern in block 3.
+    std::vector<std::uint8_t> blk(DiskDevice::BlockBytes);
+    for (unsigned i = 0; i < blk.size(); ++i)
+        blk[i] = static_cast<std::uint8_t>(i ^ 0x5A);
+    fm.disk().writeBlockRaw(3, blk);
+
+    Assembler a(Base);
+    Label handler = a.newLabel(), wait = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.sti();
+    a.movri(R0, 3);
+    a.out(PortDiskBlock, R0);
+    a.movri(R0, 0x40000); // DMA target
+    a.out(PortDiskAddr, R0);
+    a.movri(R0, DiskCmdRead);
+    a.out(PortDiskCmd, R0);
+    a.bind(wait);
+    a.cmpri(R6, 0); // handler sets R6
+    a.jcc(CondZ, wait);
+    a.in(R1, PortDiskStatus);
+    a.movri(R0, 0);
+    a.out(PortDiskStatus, R0); // ack status
+    a.cli();
+    a.hlt();
+    a.bind(handler);
+    a.movri(R6, 1);
+    a.movri(R0, VecDisk);
+    a.out(PortPicAck, R0);
+    a.iret();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 1u);
+    EXPECT_EQ(fm.state().gpr[1], static_cast<std::uint32_t>(DiskDone));
+    for (unsigned i = 0; i < DiskDevice::BlockBytes; ++i)
+        ASSERT_EQ(fm.mem().read8(0x40000 + i), blk[i]) << "byte " << i;
+}
+
+TEST(FmSys, DiskWriteDma)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    cfg.diskLatency = 50;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label wait = a.newLabel();
+    a.movri(RegSp, StackTop);
+    // Fill source buffer.
+    a.movri(R1, 0x40000);
+    a.movri(R3, 0x7E);
+    a.movri(R2, DiskDevice::BlockBytes);
+    a.stosb(true);
+    // Issue write of block 5.
+    a.movri(R0, 5);
+    a.out(PortDiskBlock, R0);
+    a.movri(R0, 0x40000);
+    a.out(PortDiskAddr, R0);
+    a.movri(R0, DiskCmdWrite);
+    a.out(PortDiskCmd, R0);
+    a.bind(wait);
+    a.in(R0, PortDiskStatus);
+    a.cmpri(R0, DiskDone);
+    a.jcc(CondNZ, wait);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    runToHalt(fm);
+    auto blk = fm.disk().readBlockRaw(5);
+    for (unsigned i = 0; i < DiskDevice::BlockBytes; ++i)
+        ASSERT_EQ(blk[i], 0x7E);
+}
+
+TEST(FmSys, RtcAdvancesWithInstructionCount)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.in(R4, PortRtc);
+    a.movri(R2, 3000);
+    Label top = a.here();
+    a.decr(R2);
+    a.jcc(CondNZ, top);
+    a.in(R5, PortRtc);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    runToHalt(fm);
+    EXPECT_GT(fm.state().gpr[5], fm.state().gpr[4]);
+}
+
+TEST(FmSys, CrCyclesReadsInstructionCount)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.crread(R0, CrCycles);
+    a.nop();
+    a.nop();
+    a.crread(R1, CrCycles);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[1] - fm.state().gpr[0], 3u);
+}
+
+TEST(FmSys, FetchFromUnmappedMemoryFaults)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    Label handler = a.newLabel();
+    a.movri(RegSp, StackTop);
+    a.movri(R0, IdtPa);
+    a.crwrite(CrIdt, R0);
+    a.movri(R0, 0x800000); // beyond 1MB RAM
+    a.jmpr(R0);            // jump to nowhere: fetch faults
+    a.bind(handler);
+    a.movri(R6, 0xFE);
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    installIdt(fm, a.addrOf(handler));
+    fm.reset(Base);
+    auto trace = runToHalt(fm);
+    EXPECT_EQ(fm.state().gpr[6], 0xFEu);
+    bool saw = false;
+    for (const auto &e : trace)
+        if (e.exception && e.vector == VecPageFault)
+            saw = true;
+    EXPECT_TRUE(saw);
+}
+
+TEST(FmSys, HaltWithInterruptsOffStaysHalted)
+{
+    FmConfig cfg;
+    cfg.ramBytes = 1u << 20;
+    FuncModel fm(cfg);
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R0, 10);
+    a.out(PortTimerInterval, R0);
+    a.movri(R0, 1);
+    a.out(PortTimerCtl, R0);
+    a.cli();
+    a.hlt();
+    fm.loadImage(Base, a.finish());
+    fm.reset(Base);
+    for (int i = 0; i < 100; ++i)
+        fm.step();
+    EXPECT_TRUE(fm.halted());
+}
+
+} // namespace
+} // namespace fm
+} // namespace fastsim

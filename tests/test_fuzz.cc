@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fuzz/property tests: the decoder must classify arbitrary bytes without
+ * misbehaving, the disassembler must render every opcode, and the
+ * functional model must survive random (valid-opcode) programs without
+ * internal errors, producing well-formed traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "fm/func_model.hh"
+#include "isa/assembler.hh"
+#include "isa/insn.hh"
+#include "kernel/boot.hh"
+
+namespace fastsim {
+namespace {
+
+using namespace isa;
+
+TEST(Fuzz, DecoderNeverMisbehavesOnRandomBytes)
+{
+    Rng rng(0xF022);
+    std::uint8_t buf[32];
+    for (int iter = 0; iter < 50000; ++iter) {
+        const std::size_t len = 1 + rng.below(32);
+        for (std::size_t i = 0; i < len; ++i)
+            buf[i] = static_cast<std::uint8_t>(rng.next());
+        Insn insn;
+        const DecodeStatus st = decode(buf, len, insn);
+        switch (st) {
+          case DecodeStatus::Ok:
+            EXPECT_GE(insn.length, 1u);
+            EXPECT_LE(insn.length, MaxInsnLength);
+            EXPECT_LE(static_cast<std::size_t>(insn.length), len);
+            // Round trip: re-encoding yields identical decode.
+            {
+                std::uint8_t out[MaxInsnLength];
+                Insn copy = insn;
+                const unsigned n = encode(copy, out);
+                EXPECT_EQ(n, insn.length);
+                Insn again;
+                EXPECT_EQ(decode(out, n, again), DecodeStatus::Ok);
+                EXPECT_EQ(again, insn);
+            }
+            break;
+          case DecodeStatus::BadOpcode:
+            EXPECT_GE(insn.length, 1u);
+            break;
+          case DecodeStatus::NeedMoreBytes:
+          case DecodeStatus::TooLong:
+            break;
+        }
+    }
+}
+
+TEST(Fuzz, DisassemblerCoversEveryOpcode)
+{
+    Rng rng(0xD15A);
+    for (unsigned idx = 0; idx < NumOpcodes; ++idx) {
+        Insn i;
+        i.op = static_cast<Opcode>(idx);
+        i.reg = static_cast<std::uint8_t>(rng.below(8));
+        i.rm = static_cast<std::uint8_t>(rng.below(8));
+        i.imm = static_cast<std::uint32_t>(rng.next());
+        i.length = 4;
+        const std::string text = disassemble(i, 0x1000);
+        EXPECT_FALSE(text.empty());
+    }
+}
+
+/** Generate a random but *structured* program: loops, calls, memory. */
+std::vector<std::uint8_t>
+randomProgram(std::uint64_t seed, Addr base)
+{
+    Rng rng(seed);
+    Assembler a(base);
+    a.movri(RegSp, 0xF000);
+    a.movri(R1, 0x8000); // data pointer kept in range
+    const unsigned blocks = 4 + rng.below(6);
+    std::vector<Label> labels;
+    for (unsigned b = 0; b < blocks; ++b)
+        labels.push_back(a.newLabel());
+    for (unsigned b = 0; b < blocks; ++b) {
+        a.bind(labels[b]);
+        const unsigned ops = 2 + rng.below(8);
+        for (unsigned k = 0; k < ops; ++k) {
+            const GpReg r = static_cast<GpReg>(rng.below(6)); // avoid R6/SP
+            switch (rng.below(10)) {
+              case 0: a.movri(r, static_cast<std::uint32_t>(rng.next()));
+                break;
+              case 1: a.addri(r, static_cast<std::uint32_t>(rng.below(99)));
+                break;
+              case 2: a.xorrr(r, static_cast<GpReg>(rng.below(6))); break;
+              case 3: a.shli(r, static_cast<std::uint8_t>(rng.below(31)));
+                break;
+              case 4: a.ld(r, R1, static_cast<std::int32_t>(
+                          4 * rng.below(64)));
+                break;
+              case 5: a.st(R1, static_cast<std::int32_t>(4 * rng.below(64)),
+                           r);
+                break;
+              case 6: a.push(r); a.pop(r); break;
+              case 7: a.imulrr(r, static_cast<GpReg>(rng.below(6))); break;
+              case 8: a.negr(r); break;
+              default: a.incr(r); break;
+            }
+        }
+        // Bounded forward control flow keeps the program terminating.
+        if (b + 1 < blocks && rng.chance(0.5)) {
+            a.cmpri(static_cast<GpReg>(rng.below(6)),
+                    static_cast<std::uint32_t>(rng.below(100)));
+            a.jcc(static_cast<CondCode>(rng.below(NumCondCodes)),
+                  labels[b + 1 + rng.below(blocks - b - 1)]);
+        }
+    }
+    a.hlt();
+    return a.finish();
+}
+
+TEST(Fuzz, RandomProgramsRunCleanOnFm)
+{
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        fm::FmConfig cfg;
+        cfg.ramBytes = 1u << 20;
+        fm::FuncModel m(cfg);
+        m.loadImage(0x1000, randomProgram(seed, 0x1000));
+        m.reset(0x1000);
+        InstNum last_in = 0;
+        for (int steps = 0; steps < 20000; ++steps) {
+            fm::StepResult r;
+            ASSERT_NO_THROW(r = m.step()) << "seed " << seed;
+            if (r.kind != fm::StepResult::Kind::Ok)
+                break;
+            // Trace well-formedness.  (Entries that fault at fetch have
+            // no decoded size; they must carry the exception flag.)
+            ASSERT_EQ(r.entry.in, last_in + 1);
+            ASSERT_LE(r.entry.size, isa::MaxInsnLength);
+            if (r.entry.size == 0)
+                ASSERT_TRUE(r.entry.exception);
+            else
+                ASSERT_EQ(r.entry.fallThrough, r.entry.pc + r.entry.size);
+            last_in = r.entry.in;
+            if (r.entry.halt)
+                break;
+        }
+    }
+}
+
+TEST(Fuzz, RandomProgramsWithRollbackExcursions)
+{
+    Rng rng(0x5EED);
+    for (std::uint64_t seed = 100; seed <= 112; ++seed) {
+        fm::FmConfig cfg;
+        cfg.ramBytes = 1u << 20;
+        cfg.fmDrivenDevices = false;
+        fm::FuncModel m(cfg);
+        const auto image = randomProgram(seed, 0x1000);
+        m.loadImage(0x1000, image);
+        m.reset(0x1000);
+        // Interleave execution with random roll-backs; the FM must never
+        // throw and must remain re-executable.
+        std::vector<Addr> pcs;
+        for (int steps = 0; steps < 4000; ++steps) {
+            auto r = m.step();
+            if (r.kind == fm::StepResult::Kind::WrongPathStall) {
+                // Resteer somewhere legal.
+                m.setPc(m.lastCommitted() + 1, 0x1000, false);
+                continue;
+            }
+            if (r.kind != fm::StepResult::Kind::Ok)
+                break;
+            pcs.push_back(r.entry.pc);
+            if (rng.chance(0.1) && m.undoDepth() > 3) {
+                const InstNum back =
+                    m.nextIn() - 1 - rng.below(m.undoDepth() - 1);
+                if (back > m.lastCommitted()) {
+                    const Addr wild = static_cast<Addr>(rng.next());
+                    m.setPc(back, wild, /*wrong_path=*/true);
+                    for (unsigned k = 0; k < rng.below(6); ++k)
+                        m.step(); // wild wrong path: must stall, not die
+                    const std::size_t idx =
+                        static_cast<std::size_t>(back - 1);
+                    m.setPc(back,
+                            idx < pcs.size() ? pcs[idx] : 0x1000, false);
+                    pcs.resize(std::min<std::size_t>(pcs.size(), idx));
+                }
+            }
+            if (rng.chance(0.2) && m.nextIn() > 2)
+                m.commit(m.nextIn() - 2);
+        }
+    }
+}
+
+} // namespace
+} // namespace fastsim

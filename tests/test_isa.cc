@@ -1,0 +1,404 @@
+/**
+ * @file
+ * ISA codec tests: encode/decode round-trips, lengths, prefixes, condition
+ * codes, disassembly, and the assembler's label/fix-up machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "isa/assembler.hh"
+#include "isa/insn.hh"
+#include "isa/opcodes.hh"
+
+namespace fastsim {
+namespace isa {
+namespace {
+
+Insn
+roundTrip(Insn in)
+{
+    std::uint8_t buf[MaxInsnLength];
+    unsigned len = encode(in, buf);
+    Insn out;
+    EXPECT_EQ(decode(buf, len, out), DecodeStatus::Ok);
+    EXPECT_EQ(out.length, len);
+    return out;
+}
+
+TEST(Codec, NopIsOneByte)
+{
+    Insn i;
+    i.op = Opcode::Nop;
+    std::uint8_t buf[MaxInsnLength];
+    EXPECT_EQ(encode(i, buf), 1u);
+    EXPECT_EQ(buf[0], 0x00);
+}
+
+TEST(Codec, RoundTripAllOpcodesDefaultOperands)
+{
+    for (unsigned idx = 0; idx < NumOpcodes; ++idx) {
+        Insn i;
+        i.op = static_cast<Opcode>(idx);
+        i.reg = 3;
+        i.rm = 5;
+        i.imm = 0xDEADBEEF;
+        i.rel = -60;
+        i.dispKind = 2;
+        i.disp = 0x1234;
+        // Clear fields the template does not encode so equality holds.
+        const OpInfo &info = opInfo(i.op);
+        switch (info.tmpl) {
+          case OperTemplate::None:
+            i.reg = i.rm = 0;
+            i.imm = 0;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::R:
+            i.rm = 0;
+            i.imm = 0;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::RR:
+            i.imm = 0;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::RI:
+            i.rm = 0;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::RI8:
+            i.rm = 0;
+            i.imm &= 0xFF;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::RM:
+            i.reg &= 0x7;
+            i.imm = 0;
+            i.rel = 0;
+            break;
+          case OperTemplate::I8:
+            i.reg = i.rm = 0;
+            i.imm &= 0xFF;
+            i.rel = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::Rel8:
+            i.reg = i.rm = 0;
+            i.imm = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+          case OperTemplate::Rel32:
+            i.reg = i.rm = 0;
+            i.imm = 0;
+            i.dispKind = 0;
+            i.disp = 0;
+            break;
+        }
+        if (info.flags & OpfRepable)
+            i.rep = false;
+        Insn out = roundTrip(i);
+        i.length = out.length;
+        EXPECT_EQ(out, i) << "opcode " << info.mnemonic;
+    }
+}
+
+TEST(Codec, RandomRoundTripProperty)
+{
+    Rng rng(0xC0DEC);
+    for (int iter = 0; iter < 2000; ++iter) {
+        Insn i;
+        i.op = static_cast<Opcode>(rng.below(NumOpcodes));
+        const OpInfo &info = opInfo(i.op);
+        i.pad = static_cast<std::uint8_t>(rng.below(3));
+        if (info.flags & OpfRepable)
+            i.rep = rng.chance(0.5);
+        if (i.op == Opcode::Jcc32 || i.op == Opcode::Jcc8)
+            i.cond = static_cast<CondCode>(rng.below(NumCondCodes));
+        switch (info.tmpl) {
+          case OperTemplate::None:
+            break;
+          case OperTemplate::R:
+            i.reg = static_cast<std::uint8_t>(rng.below(8));
+            break;
+          case OperTemplate::RR:
+            i.reg = static_cast<std::uint8_t>(rng.below(8));
+            i.rm = static_cast<std::uint8_t>(rng.below(8));
+            break;
+          case OperTemplate::RI:
+            i.reg = static_cast<std::uint8_t>(rng.below(8));
+            i.imm = static_cast<std::uint32_t>(rng.next());
+            break;
+          case OperTemplate::RI8:
+            i.reg = static_cast<std::uint8_t>(rng.below(8));
+            i.imm = static_cast<std::uint32_t>(rng.below(256));
+            break;
+          case OperTemplate::RM:
+            i.reg = static_cast<std::uint8_t>(rng.below(8));
+            i.rm = static_cast<std::uint8_t>(rng.below(8));
+            i.dispKind = static_cast<std::uint8_t>(rng.below(3));
+            if (i.dispKind == 1)
+                i.disp = static_cast<std::int32_t>(
+                    static_cast<std::int8_t>(rng.next()));
+            else if (i.dispKind == 2)
+                i.disp = static_cast<std::int32_t>(rng.next());
+            break;
+          case OperTemplate::I8:
+            i.imm = static_cast<std::uint32_t>(rng.below(256));
+            break;
+          case OperTemplate::Rel8:
+            i.rel = static_cast<std::int32_t>(
+                static_cast<std::int8_t>(rng.next()));
+            break;
+          case OperTemplate::Rel32:
+            i.rel = static_cast<std::int32_t>(rng.next());
+            break;
+        }
+        Insn out = roundTrip(i);
+        i.length = out.length;
+        EXPECT_EQ(out, i);
+        EXPECT_GE(out.length, 1u);
+        EXPECT_LE(out.length, MaxInsnLength);
+    }
+}
+
+TEST(Codec, CondCodesEncodeDistinctBytes)
+{
+    for (unsigned cc = 0; cc < NumCondCodes; ++cc) {
+        Insn i;
+        i.op = Opcode::Jcc32;
+        i.cond = static_cast<CondCode>(cc);
+        i.rel = 16;
+        std::uint8_t buf[MaxInsnLength];
+        encode(i, buf);
+        EXPECT_EQ(buf[0], 0x40 + cc);
+        Insn out;
+        ASSERT_EQ(decode(buf, i.length, out), DecodeStatus::Ok);
+        EXPECT_EQ(out.cond, cc);
+    }
+}
+
+TEST(Codec, NeedMoreBytesOnTruncation)
+{
+    Insn i;
+    i.op = Opcode::MovRi;
+    i.reg = 2;
+    i.imm = 0x11223344;
+    std::uint8_t buf[MaxInsnLength];
+    unsigned len = encode(i, buf);
+    for (unsigned avail = 0; avail < len; ++avail) {
+        Insn out;
+        EXPECT_EQ(decode(buf, avail, out), DecodeStatus::NeedMoreBytes);
+    }
+}
+
+TEST(Codec, BadOpcodeDetected)
+{
+    std::uint8_t buf[] = {0xEE};
+    Insn out;
+    EXPECT_EQ(decode(buf, 1, out), DecodeStatus::BadOpcode);
+    EXPECT_EQ(out.length, 1u);
+}
+
+TEST(Codec, RepOnNonStringRejected)
+{
+    std::uint8_t buf[] = {PrefixRep, 0x00 /* NOP */};
+    Insn out;
+    EXPECT_EQ(decode(buf, 2, out), DecodeStatus::BadOpcode);
+}
+
+TEST(Codec, PadPrefixesExtendLength)
+{
+    Insn i;
+    i.op = Opcode::Nop;
+    i.pad = 5;
+    Insn out = roundTrip(i);
+    EXPECT_EQ(out.length, 6u);
+    EXPECT_EQ(out.pad, 5u);
+}
+
+TEST(Codec, TooLongRejected)
+{
+    std::uint8_t buf[16];
+    for (int k = 0; k < 16; ++k)
+        buf[k] = PrefixPad;
+    Insn out;
+    EXPECT_EQ(decode(buf, 16, out), DecodeStatus::TooLong);
+}
+
+TEST(Codec, EscapeOpcodesRoundTrip)
+{
+    Insn i;
+    i.op = Opcode::Fadd;
+    i.reg = 1;
+    i.rm = 2;
+    std::uint8_t buf[MaxInsnLength];
+    unsigned len = encode(i, buf);
+    EXPECT_EQ(buf[0], EscapeByte);
+    Insn out;
+    ASSERT_EQ(decode(buf, len, out), DecodeStatus::Ok);
+    EXPECT_EQ(out.op, Opcode::Fadd);
+}
+
+TEST(Codec, RelTargetComputation)
+{
+    Insn i;
+    i.op = Opcode::Jmp32;
+    i.rel = -10;
+    std::uint8_t buf[MaxInsnLength];
+    unsigned len = encode(i, buf);
+    EXPECT_EQ(i.relTarget(0x1000), 0x1000 + len - 10);
+}
+
+TEST(Disasm, BasicFormats)
+{
+    Insn i;
+    i.op = Opcode::AddRr;
+    i.reg = 1;
+    i.rm = 2;
+    i.length = 2;
+    EXPECT_EQ(disassemble(i, 0), "addrr r1, r2");
+
+    Insn j;
+    j.op = Opcode::Jcc32;
+    j.cond = CondNZ;
+    j.rel = 0;
+    j.length = 5;
+    EXPECT_EQ(disassemble(j, 0x100), "jnz 0x105");
+
+    Insn l;
+    l.op = Opcode::Ld;
+    l.reg = 3;
+    l.rm = 4;
+    l.dispKind = 1;
+    l.disp = 8;
+    EXPECT_EQ(disassemble(l, 0), "ld r3, [r4+8]");
+}
+
+// --- assembler ---------------------------------------------------------------
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler a(0x1000);
+    Label fwd = a.newLabel();
+    Label back = a.here();
+    a.incr(R0);          // back: inc r0
+    a.jmp(fwd);          // jump forward
+    a.decr(R0);          // skipped
+    a.bind(fwd);
+    a.jmp(back);         // jump backward
+    auto img = a.finish();
+
+    // Decode the stream and verify the targets.
+    std::size_t off = 0;
+    std::vector<Insn> insns;
+    std::vector<Addr> pcs;
+    while (off < img.size()) {
+        Insn i;
+        ASSERT_EQ(decode(img.data() + off, img.size() - off, i),
+                  DecodeStatus::Ok);
+        pcs.push_back(0x1000 + static_cast<Addr>(off));
+        insns.push_back(i);
+        off += i.length;
+    }
+    ASSERT_EQ(insns.size(), 4u);
+    EXPECT_EQ(insns[1].op, Opcode::Jmp32);
+    EXPECT_EQ(insns[1].relTarget(pcs[1]), a.addrOf(fwd));
+    EXPECT_EQ(insns[3].relTarget(pcs[3]), a.addrOf(back));
+    EXPECT_EQ(a.addrOf(back), 0x1000u);
+}
+
+TEST(Assembler, ShortBranchInRange)
+{
+    Assembler a(0);
+    Label top = a.here();
+    a.decr(R2);
+    a.jcc8(CondNZ, top);
+    auto img = a.finish();
+    Insn i;
+    ASSERT_EQ(decode(img.data() + 2, img.size() - 2, i), DecodeStatus::Ok);
+    EXPECT_EQ(i.op, Opcode::Jcc8);
+    EXPECT_EQ(i.relTarget(2), 0u);
+}
+
+TEST(Assembler, ShortBranchOutOfRangePanics)
+{
+    Assembler a(0);
+    Label top = a.here();
+    for (int k = 0; k < 200; ++k)
+        a.nop();
+    a.jcc8(CondZ, top);
+    EXPECT_THROW(a.finish(), PanicError);
+}
+
+TEST(Assembler, UnboundLabelPanics)
+{
+    Assembler a(0);
+    Label l = a.newLabel();
+    a.jmp(l);
+    EXPECT_THROW(a.finish(), PanicError);
+}
+
+TEST(Assembler, MovLabelStoresAbsoluteAddress)
+{
+    Assembler a(0x2000);
+    Label data = a.newLabel();
+    a.movlabel(R1, data);
+    a.hlt();
+    a.align(4);
+    a.bind(data);
+    a.dd(0xCAFEBABE);
+    auto img = a.finish();
+    Insn i;
+    ASSERT_EQ(decode(img.data(), img.size(), i), DecodeStatus::Ok);
+    EXPECT_EQ(i.op, Opcode::MovRi);
+    EXPECT_EQ(i.imm, a.addrOf(data));
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Assembler a(0);
+    a.db(0xAA);
+    a.align(4);
+    a.dd(0x11223344);
+    a.zeros(3);
+    auto img = a.finish();
+    ASSERT_EQ(img.size(), 11u);
+    EXPECT_EQ(img[0], 0xAA);
+    EXPECT_EQ(img[4], 0x44);
+    EXPECT_EQ(img[7], 0x11);
+    EXPECT_EQ(img[8], 0x00);
+}
+
+TEST(Assembler, InsnCountTracksInstructionsOnly)
+{
+    Assembler a(0);
+    a.nop();
+    a.dd(0);
+    a.movri(R0, 1);
+    EXPECT_EQ(a.insnCount(), 2u);
+}
+
+TEST(Assembler, DoubleBindPanics)
+{
+    Assembler a(0);
+    Label l = a.here();
+    EXPECT_THROW(a.bind(l), PanicError);
+}
+
+} // namespace
+} // namespace isa
+} // namespace fastsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Mini-OS boot tests: all three flavors boot to the ready marker, run a
+ * user program in user mode under paging, service system calls and timer
+ * interrupts, and halt cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fm/func_model.hh"
+#include "kernel/boot.hh"
+#include "isa/assembler.hh"
+
+namespace fastsim {
+namespace kernel {
+namespace {
+
+using namespace isa;
+
+fm::FmConfig
+kernelConfig()
+{
+    fm::FmConfig cfg;
+    cfg.ramBytes = MemoryMap::RamBytes;
+    cfg.diskLatency = 500;
+    return cfg;
+}
+
+/** Run until the final CLI+HLT (exit path) or the instruction limit. */
+std::uint64_t
+runToExit(fm::FuncModel &fm, std::uint64_t limit = 5000000)
+{
+    std::uint64_t steps = 0;
+    while (steps < limit) {
+        auto r = fm.step();
+        if (r.kind == fm::StepResult::Kind::Halted) {
+            if (!(fm.state().flags & FlagI))
+                break; // final halt (interrupts off)
+            continue;
+        }
+        ++steps;
+    }
+    return steps;
+}
+
+TEST(Kernel, Linux24BootsAndRunsDefaultProgram)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    opts.flavor = OsFlavor::Linux24;
+    auto image = buildBootImage(opts);
+    loadAndReset(m, image);
+    runToExit(m);
+    const std::string &out = m.console().output();
+    EXPECT_NE(out.find("Linux 2.4 booting"), std::string::npos);
+    EXPECT_NE(out.find(BootImage::ReadyMarker), std::string::npos);
+    EXPECT_NE(out.find("hi"), std::string::npos);
+    EXPECT_NE(out.find(BootImage::ExitMarker), std::string::npos);
+    EXPECT_EQ(out.find("!TRAP"), std::string::npos);
+}
+
+TEST(Kernel, Linux26AndWinXpBoot)
+{
+    for (OsFlavor flavor : {OsFlavor::Linux26, OsFlavor::WinXP}) {
+        fm::FuncModel m(kernelConfig());
+        BuildOptions opts;
+        opts.flavor = flavor;
+        auto image = buildBootImage(opts);
+        loadAndReset(m, image);
+        runToExit(m);
+        const std::string &out = m.console().output();
+        EXPECT_NE(out.find(BootImage::ReadyMarker), std::string::npos)
+            << osFlavorName(flavor);
+        EXPECT_NE(out.find(BootImage::ExitMarker), std::string::npos)
+            << osFlavorName(flavor);
+        EXPECT_EQ(out.find("!TRAP"), std::string::npos)
+            << osFlavorName(flavor);
+    }
+}
+
+TEST(Kernel, WinXpBootIsLargerThanLinux)
+{
+    std::uint64_t insts[2];
+    int i = 0;
+    for (OsFlavor flavor : {OsFlavor::Linux24, OsFlavor::WinXP}) {
+        fm::FuncModel m(kernelConfig());
+        BuildOptions opts;
+        opts.flavor = flavor;
+        loadAndReset(m, buildBootImage(opts));
+        runToExit(m);
+        insts[i++] = m.stats().value("instructions");
+    }
+    // "Windows XP ... uses a wider range of instructions and touches more
+    // devices than Linux does" — more boot work.
+    EXPECT_GT(insts[1], insts[0]);
+}
+
+TEST(Kernel, UserProgramRunsInUserModeUnderPaging)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    opts.userProgram = [](Assembler &u) {
+        // Report mode via syscall: print 'U' then exit.
+        u.movri(R4, 'U');
+        u.movri(R3, SysPutc);
+        u.intn(VecSyscall);
+        // Touch user data region (mapped user-writable).
+        u.movri(R1, MemoryMap::UserDataBase);
+        u.movri(R0, 42);
+        u.st(R1, 0, R0);
+        u.ld(R2, R1, 0);
+        u.movri(R3, SysExit);
+        u.intn(VecSyscall);
+    };
+    loadAndReset(m, buildBootImage(opts));
+    runToExit(m);
+    EXPECT_NE(m.console().output().find('U'), std::string::npos);
+    EXPECT_EQ(m.console().output().find("!TRAP"), std::string::npos);
+    // Paging was enabled.
+    EXPECT_TRUE(m.state().ctrl[CrStatus] & StatusPaging);
+    EXPECT_EQ(m.mem().read32(MemoryMap::UserDataBase), 42u);
+}
+
+TEST(Kernel, UserModeCannotTouchKernelMemory)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    opts.userProgram = [](Assembler &u) {
+        u.movri(R1, MemoryMap::KernelDataBase); // kernel-only page
+        u.ld(R0, R1, 0);                        // must fault -> !TRAP
+        u.movri(R3, SysExit);
+        u.intn(VecSyscall);
+    };
+    loadAndReset(m, buildBootImage(opts));
+    runToExit(m, 3000000);
+    EXPECT_NE(m.console().output().find("!TRAP"), std::string::npos);
+}
+
+TEST(Kernel, SleepSyscallHalts)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    opts.timerInterval = 2000;
+    opts.userProgram = [](Assembler &u) {
+        u.movri(R4, 3); // sleep 3 ticks
+        u.movri(R3, SysSleep);
+        u.intn(VecSyscall);
+        u.movri(R4, 'w'); // woke
+        u.movri(R3, SysPutc);
+        u.intn(VecSyscall);
+        u.movri(R3, SysExit);
+        u.intn(VecSyscall);
+    };
+    loadAndReset(m, buildBootImage(opts));
+    runToExit(m);
+    EXPECT_NE(m.console().output().find('w'), std::string::npos);
+    // The sleep idled in HLT (paper: perlbmk behaviour).
+    EXPECT_GT(m.stats().value("halt_steps"), 1000u);
+    EXPECT_GE(m.stats().value("interrupts"), 3u);
+}
+
+TEST(Kernel, GetTicksAdvances)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    opts.timerInterval = 1000;
+    opts.userProgram = [](Assembler &u) {
+        u.movri(R3, SysGetTicks);
+        u.intn(VecSyscall);
+        u.movrr(R6, R4);
+        u.movri(R4, 2);
+        u.movri(R3, SysSleep);
+        u.intn(VecSyscall);
+        u.movri(R3, SysGetTicks);
+        u.intn(VecSyscall);
+        u.subrr(R4, R6); // delta in R4
+        u.addri(R4, '0');
+        u.movrr(R5, R4);
+        u.movri(R3, SysPutc);
+        u.movrr(R4, R5);
+        u.intn(VecSyscall);
+        u.movri(R3, SysExit);
+        u.intn(VecSyscall);
+    };
+    loadAndReset(m, buildBootImage(opts));
+    runToExit(m);
+    const std::string &out = m.console().output();
+    auto pos = out.find(BootImage::ReadyMarker);
+    ASSERT_NE(pos, std::string::npos);
+    const char delta = out[pos + std::string(BootImage::ReadyMarker).size()];
+    EXPECT_GE(delta, '2');
+}
+
+TEST(Kernel, ChecksumDeterministicAcrossBoots)
+{
+    std::uint32_t sums[2];
+    for (int i = 0; i < 2; ++i) {
+        fm::FuncModel m(kernelConfig());
+        BuildOptions opts;
+        loadAndReset(m, buildBootImage(opts));
+        runToExit(m);
+        sums[i] = m.mem().read32(MemoryMap::KernelDataBase + 8);
+    }
+    EXPECT_EQ(sums[0], sums[1]);
+    EXPECT_NE(sums[0], 0u);
+}
+
+TEST(Kernel, BootProducesBranchProfile)
+{
+    fm::FuncModel m(kernelConfig());
+    BuildOptions opts;
+    loadAndReset(m, buildBootImage(opts));
+    runToExit(m);
+    const auto insts = m.stats().value("instructions");
+    const auto branches = m.stats().value("branches");
+    EXPECT_GT(insts, 50000u);
+    // Dynamic branch ratio in a plausible band (paper assumes ~20%).
+    const double ratio = double(branches) / insts;
+    EXPECT_GT(ratio, 0.05);
+    EXPECT_LT(ratio, 0.4);
+}
+
+} // namespace
+} // namespace kernel
+} // namespace fastsim

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the analytical model (§3.1), the host link/cost models (§4.5),
+ * the run performance model (Fig. 4), the FPGA resource model (Table 2)
+ * and the baseline simulators (Table 3, §5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/model.hh"
+#include "baseline/monolithic.hh"
+#include "baseline/references.hh"
+#include "baseline/reserve_at_fetch.hh"
+#include "fast/perf_model.hh"
+#include "fpga/model.hh"
+#include "host/fm_cost.hh"
+#include "host/link_model.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace {
+
+// --- §3.1 analytical model ----------------------------------------------------
+
+TEST(Analytic, PaperWorkedExamples)
+{
+    auto w = analytic::paperExamples();
+    // "1/(100ns+469ns) = 1.8MIPS"
+    EXPECT_NEAR(w.naivePartition.mips, 1.8, 0.05);
+    // "performance could not exceed 2.1MIPS"
+    EXPECT_NEAR(w.naiveInfinitelyFast.mips, 2.1, 0.05);
+    // "1/(100ns+.032x469ns) = 8.7MIPS"
+    EXPECT_NEAR(w.fastPartition.mips, 8.7, 0.05);
+    // "1/(100ns+.032x(469ns+1000ns)) = 6.8MIPS"
+    EXPECT_NEAR(w.fastWithRollback.mips, 6.8, 0.05);
+}
+
+TEST(Analytic, RoundTripFraction)
+{
+    // "F = 0.08 x .2 x 2 = 0.032"
+    EXPECT_NEAR(analytic::fastRoundTripFraction(0.92, 0.2), 0.032, 1e-9);
+    EXPECT_DOUBLE_EQ(analytic::fastRoundTripFraction(1.0, 0.2), 0.0);
+}
+
+TEST(Analytic, MinOfBothComponents)
+{
+    analytic::ModelParams p;
+    p.a.tNs = 10.0;
+    p.b.tNs = 100.0; // B is the bottleneck
+    auto r = analytic::evaluate(p);
+    EXPECT_DOUBLE_EQ(r.cycles, r.cB);
+    EXPECT_LT(r.cB, r.cA);
+}
+
+TEST(Analytic, BetterSpeculationMonotonicallyFaster)
+{
+    double prev = 0;
+    for (double acc : {0.8, 0.9, 0.95, 0.99, 1.0}) {
+        analytic::ModelParams p;
+        p.a.tNs = 100.0;
+        p.roundTripFraction = analytic::fastRoundTripFraction(acc, 0.2);
+        p.roundTripNs = 469.0;
+        auto r = analytic::evaluate(p);
+        EXPECT_GT(r.mips, prev);
+        prev = r.mips;
+    }
+    EXPECT_NEAR(prev, 10.0, 0.01); // perfect BP: the raw 10 MIPS FM
+}
+
+// --- host models -----------------------------------------------------------------
+
+TEST(HostLink, DrcMeasuredNumbers)
+{
+    host::LinkParams link;
+    EXPECT_DOUBLE_EQ(link.pollReadNs(), 469.0);
+    EXPECT_DOUBLE_EQ(link.traceWriteNsPerWord(), 20.0);
+    EXPECT_DOUBLE_EQ(link.controlWriteNs(), 307.0);
+}
+
+TEST(HostLink, CoherentLinkIsCheaper)
+{
+    host::LinkParams drc;
+    host::LinkParams coh;
+    coh.kind = host::LinkKind::DrcCoherent;
+    EXPECT_LT(coh.pollReadNs(), drc.pollReadNs());
+    EXPECT_LT(coh.traceWriteNsPerWord(), drc.traceWriteNsPerWord());
+}
+
+TEST(HostFmCost, LadderMatchesPaper)
+{
+    const auto &ladder = host::fmCostLadder();
+    ASSERT_EQ(ladder.size(), 8u);
+    EXPECT_DOUBLE_EQ(ladder[0].paperMips, 137.0);
+    EXPECT_DOUBLE_EQ(ladder[2].paperMips, 11.5);
+    EXPECT_DOUBLE_EQ(ladder.back().paperMips, 4.6);
+    // Monotone slowdown as features are added (except the dummy-TM rung).
+    EXPECT_GT(ladder[0].paperMips, ladder[1].paperMips);
+    EXPECT_GT(ladder[1].paperMips, ladder[2].paperMips);
+    // ~87 ns/inst at 11.5 MIPS.
+    EXPECT_NEAR(host::fastFmNsPerInst(), 87.0, 0.5);
+}
+
+TEST(HostFmCost, Section45Arithmetic)
+{
+    // "for each pair of basic blocks we take 10 * 87ns + 469ns + 800ns =
+    // 2139ns.  Each instruction takes 2139ns/10 = 214ns, or 4.7MIPS".
+    host::LinkParams link;
+    const double fm_ns = host::fastFmNsPerInst();
+    const double per_pair =
+        10.0 * fm_ns + link.pollReadNs() + 40.0 * link.traceWriteNsPerWord();
+    EXPECT_NEAR(per_pair, 2139.0, 15.0);
+    EXPECT_NEAR(10.0 * 1000.0 / per_pair, 4.7, 0.1);
+}
+
+// --- run performance model ----------------------------------------------------------
+
+TEST(PerfModel, MipsInPaperBandForRealRun)
+{
+    const auto &w = workloads::byName("164.gzip");
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    fast::FastSimulator sim(cfg);
+    sim.boot(kernel::buildBootImage(workloads::bootOptionsFor(w, 40)));
+    auto r = sim.run(200000000);
+    ASSERT_TRUE(r.finished);
+
+    auto act = fast::extractActivity(sim);
+    auto perf = fast::evaluatePerf(act, fast::PerfParams());
+    // Fig. 4 band: roughly 0.5 - 3.5 MIPS with gshare.
+    EXPECT_GT(perf.mips, 0.3);
+    EXPECT_LT(perf.mips, 3.5);
+    EXPECT_GT(perf.totalNs, 0.0);
+    EXPECT_EQ(perf.totalNs, std::max(perf.fmStreamNs, perf.tmNs));
+}
+
+TEST(PerfModel, PerfectBpFasterThanGshare)
+{
+    const auto &w = workloads::byName("300.twolf");
+    double mips[2];
+    int i = 0;
+    for (auto kind : {tm::BpKind::Gshare, tm::BpKind::Perfect}) {
+        fast::FastConfig cfg;
+        cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+        cfg.core.bp.kind = kind;
+        cfg.core.statsIntervalBb = 1u << 30;
+        fast::FastSimulator sim(cfg);
+        sim.boot(kernel::buildBootImage(workloads::bootOptionsFor(w, 40)));
+        auto r = sim.run(200000000);
+        EXPECT_TRUE(r.finished);
+        auto perf =
+            fast::evaluatePerf(fast::extractActivity(sim),
+                               fast::PerfParams());
+        mips[i++] = perf.mips;
+    }
+    EXPECT_GT(mips[1], mips[0]); // perfect > gshare (Fig. 4 ordering)
+}
+
+TEST(PerfModel, CoherentLinkImprovesMips)
+{
+    fast::RunActivity a;
+    a.targetPathInsts = 1000000;
+    a.fmExecutedInsts = 1050000;
+    a.traceWords = 4000000;
+    a.basicBlocks = 200000;
+    a.roundTrips = 6400;
+    a.rollbacks = 6400;
+    a.targetCycles = 3000000;
+    a.hostCycles = 20000000; // FM-bound: the link matters
+    fast::PerfParams drc;
+    fast::PerfParams coh;
+    coh.link.kind = host::LinkKind::DrcCoherent;
+    const auto r_drc = fast::evaluatePerf(a, drc);
+    const auto r_coh = fast::evaluatePerf(a, coh);
+    EXPECT_GT(r_coh.mips, r_drc.mips);
+}
+
+// --- FPGA resource model (Table 2) ----------------------------------------------------
+
+TEST(FpgaModel, Table2Reproduction)
+{
+    // Paper Table 2: user logic 32.84/32.76/32.81/32.87 %, BRAM
+    // 50.0/51.2/51.2/51.2 % for issue widths 1/2/4/8.
+    const double logic_paper[] = {32.84, 32.76, 32.81, 32.87};
+    const double bram_paper[] = {50.0, 51.2, 51.2, 51.2};
+    unsigned widths[] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        tm::CoreConfig cfg;
+        cfg.issueWidth = widths[i];
+        auto u = fpga::estimate(cfg, fpga::virtex4lx200());
+        EXPECT_NEAR(u.userLogicFraction * 100.0, logic_paper[i], 0.6)
+            << "width " << widths[i];
+        EXPECT_NEAR(u.blockRamFraction * 100.0, bram_paper[i], 0.6)
+            << "width " << widths[i];
+        EXPECT_TRUE(u.fits);
+    }
+}
+
+TEST(FpgaModel, UtilizationNearlyFlatAcrossIssueWidths)
+{
+    // The §3.3 host-cycle discipline: wider targets reuse serialized
+    // structures instead of replicating them.
+    tm::CoreConfig w1, w8;
+    w1.issueWidth = 1;
+    w8.issueWidth = 8;
+    auto u1 = fpga::estimate(w1, fpga::virtex4lx200());
+    auto u8 = fpga::estimate(w8, fpga::virtex4lx200());
+    EXPECT_LT(std::abs(u8.userLogicFraction - u1.userLogicFraction), 0.01);
+}
+
+TEST(FpgaModel, DoesNotFitSmallDevice)
+{
+    tm::CoreConfig cfg;
+    auto u = fpga::estimate(cfg, fpga::virtex2p30());
+    EXPECT_FALSE(u.fits); // the full default model needs the LX200
+}
+
+TEST(FpgaModel, BuildTimeAboutTwoHours)
+{
+    tm::CoreConfig cfg;
+    auto u = fpga::estimate(cfg, fpga::virtex4lx200());
+    const double minutes = fpga::buildMinutes(u);
+    EXPECT_GT(minutes, 90.0);
+    EXPECT_LT(minutes, 150.0);
+}
+
+TEST(FpgaModel, BiggerCachesNeedMoreBram)
+{
+    tm::CoreConfig small, big;
+    big.caches.l2.sizeBytes = 2 * 1024 * 1024;
+    auto cs = fpga::estimateCore(small);
+    auto cb = fpga::estimateCore(big);
+    EXPECT_GT(cb.blockRams, cs.blockRams);
+}
+
+// --- baselines (Table 3, §5) -------------------------------------------------------------
+
+TEST(Baseline, MonolithicMeasuredRun)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    baseline::MonolithicSimulator mono(cfg);
+    const auto &w = workloads::byName("254.gap");
+    mono.boot(kernel::buildBootImage(workloads::bootOptionsFor(w, 30)));
+    auto m = mono.run(200000000);
+    EXPECT_GT(m.targetInsts, 50000u);
+    EXPECT_GT(m.kips, 0.0);
+    EXPECT_GT(m.wallSeconds, 0.0);
+}
+
+TEST(Baseline, Table3ReferencesShapeHolds)
+{
+    const auto &rows = baseline::table3References();
+    ASSERT_EQ(rows.size(), 8u);
+    // FAST is orders of magnitude above every software simulator.
+    const double fast_kips = rows.back().kips;
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i)
+        EXPECT_GT(fast_kips, rows[i].kips);
+    EXPECT_GT(fast_kips / rows[0].kips, 100.0); // vs Intel/AMD: >2 orders
+}
+
+TEST(Baseline, ReserveAtFetchOverestimatesIpc)
+{
+    // §5: reserve-at-fetch is "inherently inaccurate because a later
+    // instruction can never contend with an earlier one" — it misses
+    // contention and therefore predicts a faster machine.
+    const auto &w = workloads::byName("181.mcf");
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.bp.kind = tm::BpKind::Perfect;
+    cfg.core.statsIntervalBb = 1u << 30;
+    fast::FastSimulator sim(cfg);
+    sim.boot(kernel::buildBootImage(workloads::bootOptionsFor(w, 60)));
+
+    baseline::RafConfig raf_cfg;
+    raf_cfg.bpAccuracy = 1.0; // compare with perfect BP on both sides
+    baseline::ReserveAtFetchModel raf(raf_cfg);
+    sim.core().onCommit = [&raf](const fm::TraceEntry &e) {
+        raf.consume(e);
+    };
+    auto r = sim.run(300000000);
+    ASSERT_TRUE(r.finished);
+    EXPECT_GT(raf.ipc(), sim.core().ipc());
+}
+
+} // namespace
+} // namespace fastsim

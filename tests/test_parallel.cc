@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parallel (two-thread) FAST simulator tests: functional equivalence with
+ * the coupled reference, correct protocol behaviour under real host
+ * concurrency, and repeatability of guest-visible results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fast/parallel.hh"
+#include "fast/simulator.hh"
+#include "isa/assembler.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace fast {
+namespace {
+
+using isa::Assembler;
+using namespace isa;
+
+FastConfig
+testConfig(tm::BpKind kind)
+{
+    FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.bp.kind = kind;
+    cfg.core.statsIntervalBb = 1u << 30;
+    return cfg;
+}
+
+kernel::BootImage
+deviceFreeImage(unsigned iters)
+{
+    kernel::BuildOptions opts;
+    opts.timerInterval = 0x7FFFFFFF;
+    opts.bootDiskReads = 0;
+    opts.userProgram = [iters](Assembler &u) {
+        u.movri(R5, 0xBEEF);
+        u.movri(R2, iters);
+        Label top = u.here();
+        Label skip = u.newLabel();
+        u.movri(R0, 1103515245);
+        u.imulrr(R5, R0);
+        u.addri(R5, 12345);
+        u.movrr(R0, R5);
+        u.shri(R0, 18);
+        u.andri(R0, 1);
+        u.cmpri(R0, 0);
+        u.jcc(CondZ, skip);
+        u.addri(R6, 7);
+        u.bind(skip);
+        u.movri(R1, kernel::MemoryMap::UserDataBase + 0x40);
+        u.st(R1, 0, R6);
+        u.decr(R2);
+        u.jcc(CondNZ, top);
+        u.movri(R3, kernel::SysExit);
+        u.intn(VecSyscall);
+    };
+    return kernel::buildBootImage(opts);
+}
+
+TEST(ParallelFast, MatchesCoupledCommittedWork)
+{
+    auto image = deviceFreeImage(300);
+
+    FastSimulator coupled(testConfig(tm::BpKind::Gshare));
+    coupled.boot(image);
+    auto cr = coupled.run(40000000);
+    ASSERT_TRUE(cr.finished);
+
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(80000000);
+    ASSERT_TRUE(pr.finished);
+
+    // Identical committed work and guest-visible results.
+    EXPECT_EQ(pr.insts, cr.insts);
+    EXPECT_EQ(par.fm().console().output(), coupled.fm().console().output());
+    EXPECT_EQ(par.fm().state().gpr, coupled.fm().state().gpr);
+    // Device-free runs are deterministic end to end: target cycles match.
+    EXPECT_EQ(pr.cycles, cr.cycles);
+}
+
+TEST(ParallelFast, WrongPathsExercisedConcurrently)
+{
+    auto image = deviceFreeImage(500);
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(80000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_GT(par.stats().value("wrong_path_resteers"), 50u);
+    EXPECT_EQ(par.stats().value("wrong_path_resteers"),
+              par.stats().value("resolve_resteers"));
+    EXPECT_GT(par.fm().stats().value("wrong_path_insts"), 0u);
+}
+
+TEST(ParallelFast, PerfectBpNeedsNoRoundTrips)
+{
+    auto image = deviceFreeImage(300);
+    ParallelFastSimulator par(testConfig(tm::BpKind::Perfect));
+    par.boot(image);
+    auto pr = par.run(80000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_EQ(par.stats().value("wrong_path_resteers"), 0u);
+}
+
+TEST(ParallelFast, TimerDrivenWorkloadCompletes)
+{
+    kernel::BuildOptions opts;
+    opts.timerInterval = 3000;
+    opts.userProgram = [](Assembler &u) {
+        u.movri(R4, 2);
+        u.movri(R3, kernel::SysSleep);
+        u.intn(VecSyscall);
+        u.movri(R4, 'w');
+        u.movri(R3, kernel::SysPutc);
+        u.intn(VecSyscall);
+        u.movri(R3, kernel::SysExit);
+        u.intn(VecSyscall);
+    };
+    auto image = kernel::buildBootImage(opts);
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(120000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_NE(par.fm().console().output().find('w'), std::string::npos);
+    EXPECT_GE(par.stats().value("timer_interrupts"), 2u);
+}
+
+TEST(ParallelFast, RepeatedRunsGiveSameGuestResults)
+{
+    auto image = deviceFreeImage(200);
+    std::string outputs[2];
+    std::uint64_t insts[2];
+    for (int i = 0; i < 2; ++i) {
+        ParallelFastSimulator par(testConfig(tm::BpKind::TwoBit));
+        par.boot(image);
+        auto pr = par.run(80000000);
+        ASSERT_TRUE(pr.finished);
+        outputs[i] = par.fm().console().output();
+        insts[i] = pr.insts;
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(insts[0], insts[1]);
+}
+
+TEST(ParallelFast, FullWorkloadBoot)
+{
+    const auto &w = workloads::byName("186.crafty");
+    auto image = kernel::buildBootImage(workloads::bootOptionsFor(w, 15));
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(200000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_NE(par.fm().console().output().find(
+                  kernel::BootImage::ExitMarker),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace fast
+} // namespace fastsim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the §3 run-time hardware queries and the §6 relative power
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fast/simulator.hh"
+#include "isa/assembler.hh"
+#include "tm/power.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace {
+
+using namespace isa;
+
+fast::FastConfig
+cfgWith(tm::BpKind kind)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.bp.kind = kind;
+    cfg.core.statsIntervalBb = 1u << 30;
+    return cfg;
+}
+
+kernel::BootImage
+smallImage(unsigned scale = 200)
+{
+    auto opts = workloads::bootOptionsFor(
+        workloads::byName("164.gzip"), scale);
+    opts.timerInterval = 4000;
+    return kernel::buildBootImage(opts);
+}
+
+// --- trigger queries -------------------------------------------------------
+
+TEST(Triggers, PaperExampleQueryFires)
+{
+    // "when does the number of active functional units drop below 1?"
+    fast::FastSimulator sim(cfgWith(tm::BpKind::Gshare));
+    sim.boot(smallImage());
+    auto idle = sim.core().addTrigger(
+        "active FUs < 1",
+        [](const tm::CycleSnapshot &s) { return s.activeFus < 1; });
+    auto r = sim.run(200000000);
+    ASSERT_TRUE(r.finished);
+    const auto &q = sim.core().trigger(idle);
+    EXPECT_TRUE(q.everFired());
+    EXPECT_GT(q.activeCycles(), 0u);
+    EXPECT_LT(q.firstFire(), r.cycles);
+    EXPECT_FALSE(q.recordedFires().empty());
+}
+
+TEST(Triggers, EdgeTriggeredCounting)
+{
+    tm::TriggerQuery q("robe", [](const tm::CycleSnapshot &s) {
+        return s.robOccupancy > 10;
+    });
+    tm::CycleSnapshot s;
+    s.robOccupancy = 5;
+    q.evaluate(s); // false
+    s.robOccupancy = 20;
+    s.cycle = 1;
+    q.evaluate(s); // rising edge -> fire
+    s.cycle = 2;
+    q.evaluate(s); // still true: no new fire
+    s.robOccupancy = 0;
+    s.cycle = 3;
+    q.evaluate(s); // falls
+    s.robOccupancy = 30;
+    s.cycle = 4;
+    q.evaluate(s); // second rising edge
+    EXPECT_EQ(q.fireCount(), 2u);
+    EXPECT_EQ(q.activeCycles(), 3u);
+    EXPECT_EQ(q.firstFire(), 1u);
+    EXPECT_EQ(q.lastFire(), 4u);
+    ASSERT_EQ(q.recordedFires().size(), 2u);
+    EXPECT_EQ(q.recordedFires()[0], 1u);
+    EXPECT_EQ(q.recordedFires()[1], 4u);
+}
+
+TEST(Triggers, DrainQueryTracksMispredicts)
+{
+    fast::FastSimulator sim(cfgWith(tm::BpKind::TwoBit));
+    sim.boot(smallImage());
+    auto drains = sim.core().addTrigger(
+        "pipe draining",
+        [](const tm::CycleSnapshot &s) { return s.draining; });
+    auto r = sim.run(200000000);
+    ASSERT_TRUE(r.finished);
+    // Every mispredict resteer produces at least one drain episode.
+    EXPECT_GE(sim.core().trigger(drains).fireCount(), 1u);
+    EXPECT_GE(sim.core().trigger(drains).activeCycles(),
+              sim.core().trigger(drains).fireCount());
+}
+
+TEST(Triggers, QueriesAreHostCycleFree)
+{
+    // Two identical runs; one with ten registered queries.  Host-cycle
+    // accounting must be identical (dedicated hardware, paper §3).
+    HostCycle host[2];
+    for (int i = 0; i < 2; ++i) {
+        fast::FastSimulator sim(cfgWith(tm::BpKind::Gshare));
+        sim.boot(smallImage());
+        if (i == 1) {
+            for (int k = 0; k < 10; ++k)
+                sim.core().addTrigger(
+                    "q" + std::to_string(k),
+                    [k](const tm::CycleSnapshot &s) {
+                        return s.robOccupancy > unsigned(k * 4);
+                    });
+        }
+        auto r = sim.run(200000000);
+        EXPECT_TRUE(r.finished);
+        host[i] = sim.core().hostCycles();
+    }
+    EXPECT_EQ(host[0], host[1]);
+}
+
+// --- power model ---------------------------------------------------------------
+
+TEST(Power, BreakdownIsConsistent)
+{
+    fast::FastSimulator sim(cfgWith(tm::BpKind::Gshare));
+    sim.boot(smallImage());
+    ASSERT_TRUE(sim.run(200000000).finished);
+    auto p = tm::estimatePower(sim.core());
+    EXPECT_GT(p.totalEnergy, 0.0);
+    EXPECT_GT(p.dynamicEnergy, 0.0);
+    EXPECT_GT(p.leakageEnergy, 0.0);
+    EXPECT_NEAR(p.totalEnergy, p.dynamicEnergy + p.leakageEnergy, 1e-6);
+    double sum = 0;
+    for (const auto &item : p.items)
+        sum += item.energy;
+    EXPECT_NEAR(sum, p.totalEnergy, 1e-6);
+    EXPECT_GT(p.energyPerCommit, 0.0);
+}
+
+TEST(Power, MispredictionWastesEnergy)
+{
+    // Same committed work; the worse predictor burns more energy per
+    // committed instruction (squashed work + refetches).
+    double epc[2];
+    int i = 0;
+    for (auto kind : {tm::BpKind::Perfect, tm::BpKind::TwoBit}) {
+        fast::FastSimulator sim(cfgWith(kind));
+        sim.boot(smallImage());
+        ASSERT_TRUE(sim.run(200000000).finished);
+        epc[i++] = tm::estimatePower(sim.core()).energyPerCommit;
+    }
+    EXPECT_GT(epc[1], epc[0]);
+}
+
+TEST(Power, RelativeComparisonAcrossConfigs)
+{
+    // The §6 use case: compare architectures.  A machine with a larger
+    // L2 leaks more; one with fewer ALUs leaks less.
+    auto run = [](fast::FastConfig cfg) {
+        fast::FastSimulator sim(cfg);
+        sim.boot(smallImage());
+        EXPECT_TRUE(sim.run(200000000).finished);
+        return tm::estimatePower(sim.core());
+    };
+    auto base = run(cfgWith(tm::BpKind::Perfect));
+    auto big_l2_cfg = cfgWith(tm::BpKind::Perfect);
+    big_l2_cfg.core.caches.l2.sizeBytes = 2 * 1024 * 1024;
+    auto big_l2 = run(big_l2_cfg);
+    EXPECT_GT(big_l2.leakageEnergy, base.leakageEnergy);
+}
+
+TEST(Power, WeightsAreRespected)
+{
+    fast::FastSimulator sim(cfgWith(tm::BpKind::Gshare));
+    sim.boot(smallImage());
+    ASSERT_TRUE(sim.run(200000000).finished);
+    tm::PowerWeights heavy_mem;
+    heavy_mem.memAccess = 2000.0;
+    auto base = tm::estimatePower(sim.core());
+    auto heavy = tm::estimatePower(sim.core(), heavy_mem);
+    EXPECT_GT(heavy.totalEnergy, base.totalEnergy);
+}
+
+} // namespace
+} // namespace fastsim

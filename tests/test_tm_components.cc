@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Timing-model component tests: Connectors (latency/throughput/capacity
+ * contracts — DESIGN.md invariant 3), primitives, branch predictors,
+ * caches, TLB and the trace buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "tm/branch_pred.hh"
+#include "tm/cache.hh"
+#include "tm/connector.hh"
+#include "tm/primitives.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace tm {
+namespace {
+
+// --- Connector ---------------------------------------------------------------
+
+TEST(Connector, MinLatencyEnforced)
+{
+    Connector<int> c("c", {1, 1, 3, 8});
+    c.tick(0);
+    c.push(42);
+    for (Cycle t = 1; t < 3; ++t) {
+        c.tick(t);
+        EXPECT_FALSE(c.canPop()) << "cycle " << t;
+    }
+    c.tick(3);
+    ASSERT_TRUE(c.canPop());
+    EXPECT_EQ(c.pop(), 42);
+}
+
+TEST(Connector, InputThroughputLimits)
+{
+    Connector<int> c("c", {2, 4, 1, 16});
+    c.tick(0);
+    EXPECT_TRUE(c.canPush());
+    c.push(1);
+    EXPECT_TRUE(c.canPush());
+    c.push(2);
+    EXPECT_FALSE(c.canPush()); // 2 per cycle max
+    c.tick(1);
+    EXPECT_TRUE(c.canPush()); // new cycle
+}
+
+TEST(Connector, OutputThroughputLimits)
+{
+    Connector<int> c("c", {4, 2, 1, 16});
+    c.tick(0);
+    c.push(1);
+    c.push(2);
+    c.push(3);
+    c.tick(1);
+    EXPECT_TRUE(c.canPop());
+    c.pop();
+    c.pop();
+    EXPECT_FALSE(c.canPop()); // output throughput exhausted
+    c.tick(2);
+    EXPECT_TRUE(c.canPop());
+}
+
+TEST(Connector, CapacityBounds)
+{
+    Connector<int> c("c", {8, 8, 1, 3});
+    c.tick(0);
+    c.push(1);
+    c.push(2);
+    c.push(3);
+    EXPECT_FALSE(c.canPush()); // maxTransactions
+    c.tick(1);
+    c.pop();
+    EXPECT_TRUE(c.canPush());
+}
+
+TEST(Connector, FifoOrderPreserved)
+{
+    Connector<int> c("c", {4, 4, 1, 16});
+    c.tick(0);
+    for (int i = 0; i < 4; ++i)
+        c.push(i);
+    c.tick(1);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(c.pop(), i);
+}
+
+TEST(Connector, FlushEmptiesQueue)
+{
+    Connector<int> c("c", {4, 4, 1, 16});
+    c.tick(0);
+    c.push(1);
+    c.push(2);
+    c.flush();
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.stats().value("flushed"), 2u);
+}
+
+TEST(Connector, ReconfigurationChangesIssueBand)
+{
+    // Paper §4: widening a Connector converts a single-issue target into a
+    // multi-issue target.  Measure entries movable per cycle.
+    for (unsigned width : {1u, 2u, 4u}) {
+        Connector<int> c("c", {width, width, 1, 4 * width});
+        Cycle now = 0;
+        unsigned moved = 0;
+        for (int iter = 0; iter < 10; ++iter) {
+            c.tick(now++);
+            while (c.canPush())
+                c.push(0);
+            while (c.canPop()) {
+                c.pop();
+                ++moved;
+            }
+        }
+        EXPECT_GE(moved, 9 * width);
+        EXPECT_LE(moved, 10 * width);
+    }
+}
+
+TEST(Connector, RandomizedContractProperty)
+{
+    Rng rng(0xC0);
+    for (int trial = 0; trial < 20; ++trial) {
+        ConnectorParams p;
+        p.inputThroughput = 1 + rng.below(4);
+        p.outputThroughput = 1 + rng.below(4);
+        p.minLatency = 1 + rng.below(4);
+        p.maxTransactions = 1 + rng.below(12);
+        Connector<std::pair<int, Cycle>> c("c", p);
+        int pushed = 0, popped = 0;
+        for (Cycle t = 0; t < 200; ++t) {
+            c.tick(t);
+            unsigned pops = rng.below(5);
+            for (unsigned k = 0; k < pops && c.canPop(); ++k) {
+                auto [v, at] = c.pop();
+                EXPECT_EQ(v, popped++);
+                EXPECT_GE(t, at + p.minLatency); // latency contract
+            }
+            unsigned pushes = rng.below(5);
+            for (unsigned k = 0; k < pushes && c.canPush(); ++k)
+                c.push({pushed++, t});
+            EXPECT_LE(c.size(), p.maxTransactions);
+        }
+        EXPECT_EQ(popped + static_cast<int>(c.size()), pushed);
+    }
+}
+
+// --- primitives ----------------------------------------------------------------
+
+TEST(Primitives, ModeledMemPortMultiplexing)
+{
+    ModeledMem m{64, 32, 2};
+    // Paper §3.3: "a twenty-ported memory can be simulated by cycling a
+    // dual-ported memory ten times".
+    EXPECT_EQ(m.hostCycles(20), 10u);
+    EXPECT_EQ(m.hostCycles(1), 1u);
+    EXPECT_EQ(m.hostCycles(2), 1u);
+    EXPECT_EQ(m.hostCycles(3), 2u);
+}
+
+TEST(Primitives, ModeledMemCostScalesWithBits)
+{
+    ModeledMem small{64, 8, 2};
+    ModeledMem big{8192, 64, 2};
+    EXPECT_GT(big.cost().blockRams, small.cost().blockRams);
+}
+
+TEST(Primitives, CamSegmentedSearch)
+{
+    ModeledCam cam{16, 8, 8};
+    EXPECT_EQ(cam.hostCycles(1), 2u); // 16 entries / 8 per pass
+    EXPECT_EQ(cam.hostCycles(2), 4u);
+    EXPECT_EQ(cam.hostCycles(0), 0u);
+}
+
+TEST(Primitives, RoundRobinArbiterFairness)
+{
+    RoundRobinArbiter arb(4);
+    // All requesting: grants rotate.
+    EXPECT_EQ(arb.grant(0xF), 0);
+    EXPECT_EQ(arb.grant(0xF), 1);
+    EXPECT_EQ(arb.grant(0xF), 2);
+    EXPECT_EQ(arb.grant(0xF), 3);
+    EXPECT_EQ(arb.grant(0xF), 0);
+    EXPECT_EQ(arb.grant(0), -1);
+    // Skips non-requesters.
+    EXPECT_EQ(arb.grant(0x8), 3);
+}
+
+TEST(Primitives, LruArbiterPrefersLeastRecent)
+{
+    LruArbiter arb(3);
+    EXPECT_EQ(arb.grant(0x7), 0);
+    EXPECT_EQ(arb.grant(0x7), 1);
+    EXPECT_EQ(arb.grant(0x3), 0); // 0 now least-recent among {0,1}
+    EXPECT_EQ(arb.grant(0x4), 2); // 2 never granted: least recent overall
+}
+
+TEST(Primitives, LruStateVictimSelection)
+{
+    LruState lru(4);
+    lru.touch(0);
+    lru.touch(1);
+    lru.touch(2);
+    lru.touch(3);
+    EXPECT_EQ(lru.victim(), 0u);
+    lru.touch(0);
+    EXPECT_EQ(lru.victim(), 1u);
+}
+
+// --- branch predictors -----------------------------------------------------------
+
+fm::TraceEntry
+branchEntry(Addr pc, bool taken, Addr target, bool cond = true)
+{
+    fm::TraceEntry e;
+    e.pc = pc;
+    e.size = 5;
+    e.op = cond ? isa::Opcode::Jcc32 : isa::Opcode::Jmp32;
+    e.isBranch = true;
+    e.isCond = cond;
+    e.branchTaken = taken;
+    e.fallThrough = pc + 5;
+    e.target = target;
+    e.nextPc = taken ? target : pc + 5;
+    return e;
+}
+
+TEST(BranchPred, PerfectNeverMispredicts)
+{
+    auto bp = makeBranchPredictor({BpKind::Perfect});
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        auto e = branchEntry(0x1000 + 8 * rng.below(32), rng.chance(0.5),
+                             0x2000);
+        EXPECT_FALSE(bp->predict(e).mispredicted);
+    }
+    EXPECT_DOUBLE_EQ(bp->accuracy(), 1.0);
+}
+
+TEST(BranchPred, FixedAccuracyCalibrated)
+{
+    for (double acc : {0.92, 0.95, 0.97}) {
+        BpConfig cfg;
+        cfg.kind = BpKind::FixedAccuracy;
+        cfg.fixedAccuracy = acc;
+        auto bp = makeBranchPredictor(cfg);
+        for (int i = 0; i < 10000; ++i)
+            bp->predict(branchEntry(0x1000, i % 2 == 0, 0x2000));
+        EXPECT_NEAR(bp->accuracy(), acc, 0.002);
+    }
+}
+
+TEST(BranchPred, GshareLearnsLoopBranch)
+{
+    BpConfig cfg;
+    cfg.kind = BpKind::Gshare;
+    auto bp = makeBranchPredictor(cfg);
+    // A loop branch taken 15 times then not taken, repeatedly.
+    for (int rep = 0; rep < 50; ++rep)
+        for (int i = 0; i < 16; ++i)
+            bp->predict(branchEntry(0x1000, i != 15, 0x800));
+    // With 13 bits of history the pattern is fully learnable.
+    EXPECT_GT(bp->accuracy(), 0.93);
+}
+
+TEST(BranchPred, GshareRandomBranchNearChance)
+{
+    BpConfig cfg;
+    cfg.kind = BpKind::Gshare;
+    auto bp = makeBranchPredictor(cfg);
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i)
+        bp->predict(branchEntry(0x1000, rng.chance(0.5), 0x800));
+    EXPECT_LT(bp->accuracy(), 0.65);
+    EXPECT_GT(bp->accuracy(), 0.35);
+}
+
+TEST(BranchPred, TwoBitWorseThanGshareOnPatterns)
+{
+    BpConfig g;
+    g.kind = BpKind::Gshare;
+    BpConfig t;
+    t.kind = BpKind::TwoBit;
+    auto gshare = makeBranchPredictor(g);
+    auto two_bit = makeBranchPredictor(t);
+    // Alternating pattern: gshare learns it, 2-bit thrashes.
+    for (int i = 0; i < 4000; ++i) {
+        auto e = branchEntry(0x1000, i % 2 == 0, 0x800);
+        gshare->predict(e);
+        two_bit->predict(e);
+    }
+    EXPECT_GT(gshare->accuracy(), two_bit->accuracy() + 0.2);
+}
+
+TEST(BranchPred, RasPredictsReturns)
+{
+    BpConfig cfg;
+    cfg.kind = BpKind::Gshare;
+    auto bp = makeBranchPredictor(cfg);
+    // call at 0x100 -> 0x500; ret at 0x520 -> 0x105.
+    fm::TraceEntry call;
+    call.pc = 0x100;
+    call.size = 5;
+    call.op = isa::Opcode::Call32;
+    call.isBranch = true;
+    call.branchTaken = true;
+    call.fallThrough = 0x105;
+    call.target = 0x500;
+    call.nextPc = 0x500;
+    fm::TraceEntry ret;
+    ret.pc = 0x520;
+    ret.size = 1;
+    ret.op = isa::Opcode::Ret;
+    ret.isBranch = true;
+    ret.branchTaken = true;
+    ret.fallThrough = 0x521;
+    ret.target = 0x105;
+    ret.nextPc = 0x105;
+    for (int i = 0; i < 100; ++i) {
+        bp->predict(call);
+        auto p = bp->predict(ret);
+        EXPECT_FALSE(p.mispredicted) << i;
+        EXPECT_EQ(p.target, 0x105u);
+    }
+}
+
+TEST(BranchPred, IndirectJumpUsesBtb)
+{
+    BpConfig cfg;
+    cfg.kind = BpKind::Gshare;
+    auto bp = makeBranchPredictor(cfg);
+    fm::TraceEntry j;
+    j.pc = 0x300;
+    j.size = 2;
+    j.op = isa::Opcode::JmpR;
+    j.isBranch = true;
+    j.branchTaken = true;
+    j.fallThrough = 0x302;
+    j.target = 0x900;
+    j.nextPc = 0x900;
+    // First encounter: BTB cold -> mispredict; then learned.
+    EXPECT_TRUE(bp->predict(j).mispredicted);
+    EXPECT_FALSE(bp->predict(j).mispredicted);
+    // Target change -> mispredict once, then relearned.
+    j.target = 0xA00;
+    j.nextPc = 0xA00;
+    EXPECT_TRUE(bp->predict(j).mispredicted);
+    EXPECT_FALSE(bp->predict(j).mispredicted);
+}
+
+// --- caches ------------------------------------------------------------------------
+
+TEST(Cache, HitAfterFill)
+{
+    CacheLevel c({"t", 1024, 2, 64, 1, true});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1020)); // same 64B line
+    EXPECT_FALSE(c.access(0x2000));
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256 B total).
+    CacheLevel c({"t", 256, 2, 64, 1, true});
+    // Fill both ways of set 0 (line addresses 0x000, 0x100 map to set 0).
+    c.access(0x000);
+    c.access(0x100);
+    EXPECT_TRUE(c.probe(0x000));
+    c.access(0x000);  // touch: 0x100 becomes LRU
+    c.access(0x200);  // evicts 0x100
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(Cache, HierarchyLatencies)
+{
+    HierarchyParams p;
+    CacheHierarchy h(p);
+    // Cold: L1 miss + L2 miss -> 1 + 8 + 25.
+    auto r1 = h.accessData(0x10000, 100);
+    EXPECT_FALSE(r1.l1Hit);
+    EXPECT_FALSE(r1.l2Hit);
+    EXPECT_EQ(r1.latency, 1u + 8u + 25u);
+    // Hot in L1.
+    auto r2 = h.accessData(0x10000, 200);
+    EXPECT_TRUE(r2.l1Hit);
+    EXPECT_EQ(r2.latency, 1u);
+}
+
+TEST(Cache, L2HitAfterL1Eviction)
+{
+    HierarchyParams p;
+    p.l1d = {"l1d", 128, 1, 64, 1, true}; // tiny direct-mapped L1
+    CacheHierarchy h(p);
+    h.accessData(0x0000, 0);   // fills L1 set 0 and L2
+    h.accessData(0x1000, 100); // evicts 0x0000 from tiny L1
+    auto r = h.accessData(0x0000, 200);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(r.latency, 1u + 8u);
+}
+
+TEST(Cache, BlockingCacheSerializesMisses)
+{
+    HierarchyParams p;
+    CacheHierarchy h(p);
+    auto r1 = h.accessData(0x10000, 0); // miss: busy until 34
+    auto r2 = h.accessData(0x20000, 1); // blocked behind the first miss
+    EXPECT_GT(r2.readyAt, r1.readyAt);
+}
+
+TEST(Cache, HostCyclesScaleWithAssociativity)
+{
+    CacheLevel a8({"a8", 32 * 1024, 8, 64, 1, true});
+    CacheLevel a2({"a2", 32 * 1024, 2, 64, 1, true});
+    EXPECT_EQ(a8.hostCycles(), 4u); // 8 ways over a dual-ported tag RAM
+    EXPECT_EQ(a2.hostCycles(), 1u);
+}
+
+TEST(Tlb, MissThenHit)
+{
+    TlbModel tlb("t", 64, 30);
+    EXPECT_EQ(tlb.access(0x400000), 30u);
+    EXPECT_EQ(tlb.access(0x400010), 0u); // same page
+    EXPECT_EQ(tlb.access(0x401000), 30u);
+    EXPECT_GT(tlb.stats().value("misses"), 0u);
+}
+
+// --- trace buffer -----------------------------------------------------------------
+
+fm::TraceEntry
+tbEntry(InstNum in, Epoch epoch = 0)
+{
+    fm::TraceEntry e;
+    e.in = in;
+    e.epoch = epoch;
+    e.pc = 0x1000 + static_cast<Addr>(in) * 4;
+    return e;
+}
+
+TEST(TraceBufferTest, PushFetchCommitFlow)
+{
+    TraceBuffer tb(8);
+    for (InstNum i = 1; i <= 5; ++i)
+        tb.push(tbEntry(i));
+    EXPECT_EQ(tb.size(), 5u);
+    EXPECT_EQ(tb.peekFetch()->in, 1u);
+    EXPECT_EQ(tb.takeFetch().in, 1u);
+    EXPECT_EQ(tb.takeFetch().in, 2u);
+    tb.commitTo(2);
+    EXPECT_EQ(tb.size(), 3u);
+    EXPECT_EQ(tb.peekFetch()->in, 3u);
+}
+
+TEST(TraceBufferTest, FullAndFlowControl)
+{
+    TraceBuffer tb(3);
+    tb.push(tbEntry(1));
+    tb.push(tbEntry(2));
+    tb.push(tbEntry(3));
+    EXPECT_TRUE(tb.full());
+    tb.takeFetch();
+    EXPECT_TRUE(tb.full()); // fetch does not free space (Fig. 1)
+    tb.commitTo(1);
+    EXPECT_FALSE(tb.full()); // commit does
+}
+
+TEST(TraceBufferTest, RewindOverwritesWrongPath)
+{
+    TraceBuffer tb(16);
+    for (InstNum i = 1; i <= 6; ++i)
+        tb.push(tbEntry(i));
+    tb.takeFetch(); // 1
+    tb.takeFetch(); // 2
+    // Mispredict after IN 2: overwrite 3..6 with wrong-path entries.
+    tb.rewindTo(3);
+    EXPECT_EQ(tb.size(), 2u);
+    tb.push(tbEntry(3, 1));
+    tb.push(tbEntry(4, 1));
+    EXPECT_EQ(tb.peekFetch()->in, 3u);
+    EXPECT_EQ(tb.peekFetch()->epoch, 1u);
+}
+
+TEST(TraceBufferTest, RewindClampsFetchPointer)
+{
+    TraceBuffer tb(16);
+    for (InstNum i = 1; i <= 6; ++i)
+        tb.push(tbEntry(i));
+    for (int k = 0; k < 5; ++k)
+        tb.takeFetch();
+    tb.rewindTo(3);
+    // Fetch pointer clamped to the new end.
+    EXPECT_EQ(tb.unfetched(), 0u);
+    tb.push(tbEntry(3, 1));
+    EXPECT_EQ(tb.peekFetch()->in, 3u);
+}
+
+TEST(TraceBufferTest, RewindFetchForExceptionReplay)
+{
+    TraceBuffer tb(16);
+    for (InstNum i = 1; i <= 6; ++i)
+        tb.push(tbEntry(i));
+    for (int k = 0; k < 6; ++k)
+        tb.takeFetch();
+    tb.rewindFetchTo(4);
+    EXPECT_EQ(tb.peekFetch()->in, 4u);
+    EXPECT_EQ(tb.unfetched(), 3u);
+}
+
+TEST(TraceBufferTest, ContiguityEnforced)
+{
+    TraceBuffer tb(8);
+    tb.push(tbEntry(1));
+    EXPECT_THROW(tb.push(tbEntry(3)), PanicError);
+}
+
+} // namespace
+} // namespace tm
+} // namespace fastsim

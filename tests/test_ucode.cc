@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Microcode compiler and table tests: crack counts, folding, fusion,
+ * dependence structure, operand binding and coverage policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/insn.hh"
+#include "ucode/compiler.hh"
+#include "ucode/table.hh"
+
+namespace fastsim {
+namespace ucode {
+namespace {
+
+using isa::Opcode;
+
+const UcodeTable &table = UcodeTable::defaultTable();
+
+TEST(UcodeTable, AluCracksToOneUop)
+{
+    for (Opcode op : {Opcode::AddRr, Opcode::SubRr, Opcode::AndRr,
+                      Opcode::OrRr, Opcode::XorRr, Opcode::AddRi,
+                      Opcode::MovRr, Opcode::MovRi, Opcode::Lea}) {
+        EXPECT_EQ(table.uopCount(op), 1u)
+            << isa::opInfo(op).mnemonic;
+        EXPECT_TRUE(table.hasUcode(op));
+    }
+}
+
+TEST(UcodeTable, AddWritesFlagsAndDest)
+{
+    const auto &uops = table.entry(Opcode::AddRr).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::IntOp);
+    EXPECT_TRUE(uops[0].writesFlags);
+    EXPECT_EQ(uops[0].dst, UregOper0);
+    EXPECT_EQ(uops[0].src1, UregOper0);
+    EXPECT_EQ(uops[0].src2, UregOper1);
+}
+
+TEST(UcodeTable, CmpHasNoDestination)
+{
+    const auto &uops = table.entry(Opcode::CmpRr).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_TRUE(uops[0].writesFlags);
+    EXPECT_EQ(uops[0].dst, UregNone);
+}
+
+TEST(UcodeTable, LoadFoldsAddressGeneration)
+{
+    const auto &uops = table.entry(Opcode::Ld).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Load);
+    EXPECT_EQ(uops[0].src1, UregOper1); // base register folded into the AGU
+    EXPECT_EQ(uops[0].dst, UregOper0);
+}
+
+TEST(UcodeTable, StoreIsOneUop)
+{
+    const auto &uops = table.entry(Opcode::St).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Store);
+    EXPECT_EQ(uops[0].src1, UregOper1);
+    EXPECT_EQ(uops[0].src2, UregOper0);
+    EXPECT_EQ(uops[0].dst, UregNone);
+}
+
+TEST(UcodeTable, PushCracksToStorePlusSpUpdate)
+{
+    const auto &uops = table.entry(Opcode::PushR).uops;
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].kind, UopKind::Store);
+    EXPECT_EQ(uops[1].kind, UopKind::IntOp);
+    EXPECT_EQ(uops[1].dst, uregGp(isa::RegSp));
+}
+
+TEST(UcodeTable, PopCracksToLoadPlusSpUpdate)
+{
+    const auto &uops = table.entry(Opcode::PopR).uops;
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].kind, UopKind::Load);
+    EXPECT_EQ(uops[0].dst, UregOper0);
+}
+
+TEST(UcodeTable, CallCracksToThree)
+{
+    EXPECT_EQ(table.uopCount(Opcode::Call32), 3u);
+    const auto &uops = table.entry(Opcode::Call32).uops;
+    EXPECT_EQ(uops[0].kind, UopKind::Store);
+    EXPECT_EQ(uops[2].kind, UopKind::Branch);
+}
+
+TEST(UcodeTable, RetCracksToLoadSpBranch)
+{
+    const auto &uops = table.entry(Opcode::Ret).uops;
+    ASSERT_EQ(uops.size(), 3u);
+    EXPECT_EQ(uops[0].kind, UopKind::Load);
+    EXPECT_EQ(uops[2].kind, UopKind::Branch);
+    // The branch consumes the loaded return address (a temp).
+    EXPECT_EQ(uops[2].src1, uops[0].dst);
+    EXPECT_GE(uops[0].dst, UregTempBase);
+}
+
+TEST(UcodeTable, CondBranchReadsFlags)
+{
+    const auto &uops = table.entry(Opcode::Jcc32).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Branch);
+    EXPECT_TRUE(uops[0].readsFlags);
+}
+
+TEST(UcodeTable, IndirectJumpReadsRegister)
+{
+    const auto &uops = table.entry(Opcode::JmpR).uops;
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Branch);
+    EXPECT_FALSE(uops[0].readsFlags);
+    EXPECT_EQ(uops[0].src1, UregOper0);
+}
+
+TEST(UcodeTable, MovsbCracksToFive)
+{
+    const auto &uops = table.entry(Opcode::Movsb).uops;
+    ASSERT_EQ(uops.size(), 5u);
+    EXPECT_EQ(uops[0].kind, UopKind::Load);
+    EXPECT_EQ(uops[1].kind, UopKind::Store);
+    // Store data depends on the loaded byte.
+    EXPECT_EQ(uops[1].src2, uops[0].dst);
+}
+
+TEST(UcodeTable, MulDivLatencies)
+{
+    EXPECT_EQ(table.entry(Opcode::ImulRr).uops[0].kind, UopKind::IntMul);
+    EXPECT_EQ(table.entry(Opcode::ImulRr).uops[0].latency, 3u);
+    EXPECT_EQ(table.entry(Opcode::IdivRr).uops[0].kind, UopKind::IntDiv);
+    EXPECT_EQ(table.entry(Opcode::IdivRr).uops[0].latency, 12u);
+}
+
+TEST(UcodeTable, FpCoverageMatchesPaperPolicy)
+{
+    // Covered: simple moves only (paper: ~25% of dynamic FP).
+    EXPECT_TRUE(table.hasUcode(Opcode::Fmov));
+    EXPECT_TRUE(table.hasUcode(Opcode::Fabs));
+    EXPECT_TRUE(table.hasUcode(Opcode::Fneg));
+    // Untranslated: arithmetic, loads/stores, compares, converts.
+    for (Opcode op : {Opcode::Fadd, Opcode::Fsub, Opcode::Fmul, Opcode::Fdiv,
+                      Opcode::Fld, Opcode::Fst, Opcode::Fcmp, Opcode::Fitof,
+                      Opcode::Ftoi, Opcode::Fsqrt}) {
+        EXPECT_FALSE(table.hasUcode(op)) << isa::opInfo(op).mnemonic;
+        // Replaced with a single NOP µop.
+        ASSERT_EQ(table.uopCount(op), 1u);
+        EXPECT_EQ(table.entry(op).uops[0].kind, UopKind::Nop);
+    }
+}
+
+TEST(UcodeTable, AllIntegerOpcodesCovered)
+{
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (!isa::opIsFp(op))
+            EXPECT_TRUE(table.hasUcode(op)) << isa::opInfo(op).mnemonic;
+    }
+}
+
+TEST(UcodeTable, EveryEntryNonEmpty)
+{
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_GE(table.uopCount(op), 1u);
+        EXPECT_LE(table.uopCount(op), 8u);
+    }
+}
+
+TEST(UcodeBind, PlaceholdersSubstituted)
+{
+    isa::Insn insn;
+    insn.op = Opcode::AddRr;
+    insn.reg = 6;
+    insn.rm = 2;
+    std::vector<Uop> bound;
+    bindUops(insn, table.entry(Opcode::AddRr).uops, bound);
+    ASSERT_EQ(bound.size(), 1u);
+    EXPECT_EQ(bound[0].dst, uregGp(6));
+    EXPECT_EQ(bound[0].src1, uregGp(6));
+    EXPECT_EQ(bound[0].src2, uregGp(2));
+}
+
+TEST(UcodeBind, FpPlaceholdersMapToFpSpace)
+{
+    isa::Insn insn;
+    insn.op = Opcode::Fmov;
+    insn.reg = 1;
+    insn.rm = 3;
+    std::vector<Uop> bound;
+    bindUops(insn, table.entry(Opcode::Fmov).uops, bound);
+    ASSERT_EQ(bound.size(), 1u);
+    EXPECT_EQ(bound[0].dst, uregFp(1));
+    EXPECT_EQ(bound[0].src1, uregFp(3));
+}
+
+TEST(UcodeCompiler, DeadCodeEliminated)
+{
+    SemBuilder b;
+    auto x = b.readReg(0);
+    b.intOp(x, x); // dead: result unused
+    auto y = b.intOp(b.readReg(1), b.imm());
+    b.writeReg(2, y);
+    auto uops = compileSemantics(b.take(), UopLatencies());
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].dst, uregGp(2));
+}
+
+TEST(UcodeCompiler, TempAllocationAndReuse)
+{
+    // Two independent chains that each need a temp; verify temps recycle.
+    SemBuilder b;
+    auto t1 = b.intOp(b.readReg(0), b.readReg(1));
+    auto t2 = b.intOp(t1, b.readReg(2));
+    b.writeReg(3, t2);
+    auto u1 = b.intOp(b.readReg(4), b.readReg(5));
+    auto u2 = b.intOp(u1, b.readReg(6));
+    b.writeReg(7, u2);
+    auto uops = compileSemantics(b.take(), UopLatencies());
+    ASSERT_EQ(uops.size(), 4u);
+    // First chain's intermediate temp equals second chain's (reused).
+    EXPECT_EQ(uops[0].dst, uops[2].dst);
+    EXPECT_GE(uops[0].dst, UregTempBase);
+    EXPECT_EQ(uops[1].dst, uregGp(3));
+    EXPECT_EQ(uops[3].dst, uregGp(7));
+}
+
+TEST(UcodeCompiler, EmptySemanticsYieldNop)
+{
+    SemBuilder b;
+    auto uops = compileSemantics(b.take(), UopLatencies());
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Nop);
+}
+
+TEST(UcodeCompiler, LatencyConfigRespected)
+{
+    UopLatencies lat;
+    lat.intMul = 7;
+    SemBuilder b;
+    b.writeReg(0, b.mulOp(b.readReg(1), b.readReg(2)));
+    auto uops = compileSemantics(b.take(), lat);
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].latency, 7u);
+}
+
+TEST(UcodeStats, AverageCrackRatioNearPaper)
+{
+    // Paper §4.3: ~1.27 µops per x86 instruction (dynamic).  Check the
+    // static table average over integer opcodes lands in a similar band.
+    double total = 0;
+    unsigned count = 0;
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (isa::opIsFp(op))
+            continue;
+        total += table.uopCount(op);
+        ++count;
+    }
+    const double avg = total / count;
+    EXPECT_GT(avg, 1.0);
+    EXPECT_LT(avg, 2.5);
+}
+
+} // namespace
+} // namespace ucode
+} // namespace fastsim

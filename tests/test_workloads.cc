@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Workload-suite tests: every benchmark boots, runs and exits cleanly on
+ * the functional model, and exhibits its paper-mandated character (FP
+ * fraction for eon/Sweep3D, HALT sleeps for perlbmk, string ops for MySQL).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fm/func_model.hh"
+#include "isa/registers.hh"
+#include "kernel/boot.hh"
+#include "ucode/table.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace workloads {
+namespace {
+
+struct RunStats
+{
+    std::uint64_t totalInsts = 0; //!< including boot
+    std::uint64_t insts = 0;      //!< workload phase only
+    std::uint64_t branches = 0;
+    std::uint64_t fpInsts = 0;
+    std::uint64_t coveredInsts = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t stringInsts = 0;
+    std::uint64_t haltSteps = 0;
+    std::string consoleOut;
+    bool clean = false; //!< reached the exit marker without traps
+};
+
+RunStats
+runWorkload(const Workload &w, unsigned scale,
+            std::uint64_t limit = 20000000)
+{
+    fm::FmConfig cfg;
+    cfg.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.diskLatency = 500;
+    fm::FuncModel m(cfg);
+    kernel::loadAndReset(m, kernel::buildBootImage(bootOptionsFor(w, scale)));
+
+    RunStats rs;
+    std::uint64_t steps = 0;
+    bool in_workload = false; // profile stats start at the first user inst
+    while (steps < limit) {
+        auto r = m.step();
+        if (r.kind == fm::StepResult::Kind::Halted) {
+            if (!(m.state().flags & isa::FlagI))
+                break;
+            continue;
+        }
+        ++steps;
+        const auto &e = r.entry;
+        rs.totalInsts++;
+        if (e.userMode)
+            in_workload = true;
+        if (!in_workload)
+            continue; // skip the boot phase for profile metrics
+        ++rs.insts;
+        if (e.isBranch)
+            ++rs.branches;
+        if (e.isFp)
+            ++rs.fpInsts;
+        if (e.hasUcode) {
+            ++rs.coveredInsts;
+            rs.uops += e.uopCount;
+        }
+        if (e.op == isa::Opcode::Movsb || e.op == isa::Opcode::Stosb ||
+            e.op == isa::Opcode::Lodsb)
+            ++rs.stringInsts;
+    }
+    rs.haltSteps = m.stats().value("halt_steps");
+    rs.consoleOut = m.console().output();
+    rs.clean =
+        rs.consoleOut.find(kernel::BootImage::ExitMarker) !=
+            std::string::npos &&
+        rs.consoleOut.find("!TRAP") == std::string::npos;
+    return rs;
+}
+
+TEST(Workloads, SuiteHasPaperRows)
+{
+    ASSERT_EQ(suite().size(), 17u);
+    EXPECT_EQ(suite().front().name, "Linux-2.4");
+    EXPECT_EQ(suite().back().name, "MySQL");
+    EXPECT_NO_THROW(byName("252.eon"));
+    EXPECT_THROW(byName("nonexistent"), FatalError);
+}
+
+class WorkloadRun : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadRun, RunsCleanly)
+{
+    const Workload &w = byName(GetParam());
+    RunStats rs = runWorkload(w, /*scale=*/60);
+    EXPECT_TRUE(rs.clean) << rs.consoleOut.substr(0, 200);
+    EXPECT_GT(rs.totalInsts, 50000u);
+    // Dynamic branch fraction in a plausible band.
+    const double br = double(rs.branches) / rs.insts;
+    EXPECT_GT(br, 0.04) << w.name;
+    EXPECT_LT(br, 0.45) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadRun,
+    ::testing::Values("Linux-2.4", "WindowsXP", "164.gzip", "175.vpr",
+                      "176.gcc", "181.mcf", "186.crafty", "197.parser",
+                      "252.eon", "253.perlbmk", "254.gap", "255.vortex",
+                      "256.bzip2", "300.twolf", "Linux-2.6", "Sweep3D",
+                      "MySQL"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Workloads, EonIsFpHeavyAndPoorlyCovered)
+{
+    RunStats rs = runWorkload(byName("252.eon"), 400);
+    const double fp_frac = double(rs.fpInsts) / rs.insts;
+    EXPECT_GT(fp_frac, 0.30); // ~48% in the paper's coverage numbers
+    const double coverage = double(rs.coveredInsts) / rs.insts;
+    EXPECT_LT(coverage, 0.75); // paper: 52.32%
+    EXPECT_GT(coverage, 0.35);
+}
+
+TEST(Workloads, Sweep3dIsWorstCovered)
+{
+    RunStats rs = runWorkload(byName("Sweep3D"), 400);
+    const double coverage = double(rs.coveredInsts) / rs.insts;
+    EXPECT_LT(coverage, 0.70); // paper: 44.05%
+}
+
+TEST(Workloads, IntegerBenchmarksNearFullCoverage)
+{
+    for (const char *name : {"164.gzip", "181.mcf", "254.gap", "256.bzip2"}) {
+        RunStats rs = runWorkload(byName(name), 150);
+        const double coverage = double(rs.coveredInsts) / rs.insts;
+        EXPECT_GT(coverage, 0.97) << name; // paper: 99.8%+
+    }
+}
+
+TEST(Workloads, PerlbmkSleepsViaHalt)
+{
+    RunStats rs = runWorkload(byName("253.perlbmk"), 30);
+    // The sleep syscalls idle the machine in HLT (paper §4.4).
+    EXPECT_GT(rs.haltSteps, 1000u);
+    RunStats gzip = runWorkload(byName("164.gzip"), 30);
+    EXPECT_LE(gzip.haltSteps, 5u); // only the final exit HLT
+}
+
+TEST(Workloads, MysqlIsStringOpHeavy)
+{
+    RunStats mysql = runWorkload(byName("MySQL"), 200);
+    RunStats crafty = runWorkload(byName("186.crafty"), 200);
+    const double mysql_frac = double(mysql.stringInsts) / mysql.insts;
+    const double crafty_frac = double(crafty.stringInsts) / crafty.insts;
+    EXPECT_GT(mysql_frac, crafty_frac * 2);
+    // µops per covered instruction: MySQL is the suite's highest band.
+    const double mysql_uops = double(mysql.uops) / mysql.coveredInsts;
+    const double crafty_uops = double(crafty.uops) / crafty.coveredInsts;
+    EXPECT_GT(mysql_uops, crafty_uops);
+    EXPECT_GT(mysql_uops, 1.2);
+    EXPECT_LT(mysql_uops, 2.2);
+}
+
+TEST(Workloads, UopsPerInstInPaperBand)
+{
+    // Table 1: all workloads between 1.15 and 1.51 µops/instruction.
+    for (const char *name : {"164.gzip", "181.mcf", "255.vortex"}) {
+        RunStats rs = runWorkload(byName(name), 150);
+        const double r = double(rs.uops) / rs.coveredInsts;
+        EXPECT_GT(r, 1.05) << name;
+        EXPECT_LT(r, 2.1) << name;
+    }
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    RunStats a = runWorkload(byName("175.vpr"), 50);
+    RunStats b = runWorkload(byName("175.vpr"), 50);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.consoleOut, b.consoleOut);
+}
+
+TEST(Workloads, ScaleGrowsWork)
+{
+    RunStats small = runWorkload(byName("254.gap"), 20);
+    RunStats big = runWorkload(byName("254.gap"), 200);
+    EXPECT_GT(big.insts, small.insts + 1000);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace fastsim
