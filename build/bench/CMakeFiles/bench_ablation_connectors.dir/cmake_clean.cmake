@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_connectors.dir/bench_ablation_connectors.cc.o"
+  "CMakeFiles/bench_ablation_connectors.dir/bench_ablation_connectors.cc.o.d"
+  "bench_ablation_connectors"
+  "bench_ablation_connectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_connectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mispredict.dir/bench_ablation_mispredict.cc.o"
+  "CMakeFiles/bench_ablation_mispredict.dir/bench_ablation_mispredict.cc.o.d"
+  "bench_ablation_mispredict"
+  "bench_ablation_mispredict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mispredict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rollback.dir/bench_ablation_rollback.cc.o"
+  "CMakeFiles/bench_ablation_rollback.dir/bench_ablation_rollback.cc.o.d"
+  "bench_ablation_rollback"
+  "bench_ablation_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

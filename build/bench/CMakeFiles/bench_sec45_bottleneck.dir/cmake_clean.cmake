@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec45_bottleneck.dir/bench_sec45_bottleneck.cc.o"
+  "CMakeFiles/bench_sec45_bottleneck.dir/bench_sec45_bottleneck.cc.o.d"
+  "bench_sec45_bottleneck"
+  "bench_sec45_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sw_simulators.dir/bench_table3_sw_simulators.cc.o"
+  "CMakeFiles/bench_table3_sw_simulators.dir/bench_table3_sw_simulators.cc.o.d"
+  "bench_table3_sw_simulators"
+  "bench_table3_sw_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sw_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_linux_boot.dir/linux_boot.cpp.o"
+  "CMakeFiles/example_linux_boot.dir/linux_boot.cpp.o.d"
+  "linux_boot"
+  "linux_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_linux_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mispredict_anatomy.dir/mispredict_anatomy.cpp.o"
+  "CMakeFiles/example_mispredict_anatomy.dir/mispredict_anatomy.cpp.o.d"
+  "mispredict_anatomy"
+  "mispredict_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mispredict_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/model.cc" "src/CMakeFiles/fastsim.dir/analytic/model.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/analytic/model.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/fastsim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/statistics.cc" "src/CMakeFiles/fastsim.dir/base/statistics.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/base/statistics.cc.o.d"
+  "/root/repo/src/baseline/monolithic.cc" "src/CMakeFiles/fastsim.dir/baseline/monolithic.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/baseline/monolithic.cc.o.d"
+  "/root/repo/src/baseline/reserve_at_fetch.cc" "src/CMakeFiles/fastsim.dir/baseline/reserve_at_fetch.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/baseline/reserve_at_fetch.cc.o.d"
+  "/root/repo/src/fast/parallel.cc" "src/CMakeFiles/fastsim.dir/fast/parallel.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fast/parallel.cc.o.d"
+  "/root/repo/src/fast/perf_model.cc" "src/CMakeFiles/fastsim.dir/fast/perf_model.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fast/perf_model.cc.o.d"
+  "/root/repo/src/fast/simulator.cc" "src/CMakeFiles/fastsim.dir/fast/simulator.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fast/simulator.cc.o.d"
+  "/root/repo/src/fm/devices.cc" "src/CMakeFiles/fastsim.dir/fm/devices.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fm/devices.cc.o.d"
+  "/root/repo/src/fm/func_model.cc" "src/CMakeFiles/fastsim.dir/fm/func_model.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fm/func_model.cc.o.d"
+  "/root/repo/src/fpga/model.cc" "src/CMakeFiles/fastsim.dir/fpga/model.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/fpga/model.cc.o.d"
+  "/root/repo/src/host/fm_cost.cc" "src/CMakeFiles/fastsim.dir/host/fm_cost.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/host/fm_cost.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/fastsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/codec.cc" "src/CMakeFiles/fastsim.dir/isa/codec.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/isa/codec.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/fastsim.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/kernel/boot.cc" "src/CMakeFiles/fastsim.dir/kernel/boot.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/kernel/boot.cc.o.d"
+  "/root/repo/src/tm/branch_pred.cc" "src/CMakeFiles/fastsim.dir/tm/branch_pred.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/tm/branch_pred.cc.o.d"
+  "/root/repo/src/tm/cache.cc" "src/CMakeFiles/fastsim.dir/tm/cache.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/tm/cache.cc.o.d"
+  "/root/repo/src/tm/core.cc" "src/CMakeFiles/fastsim.dir/tm/core.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/tm/core.cc.o.d"
+  "/root/repo/src/tm/power.cc" "src/CMakeFiles/fastsim.dir/tm/power.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/tm/power.cc.o.d"
+  "/root/repo/src/ucode/compiler.cc" "src/CMakeFiles/fastsim.dir/ucode/compiler.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/ucode/compiler.cc.o.d"
+  "/root/repo/src/ucode/semantics.cc" "src/CMakeFiles/fastsim.dir/ucode/semantics.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/ucode/semantics.cc.o.d"
+  "/root/repo/src/ucode/table.cc" "src/CMakeFiles/fastsim.dir/ucode/table.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/ucode/table.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/fastsim.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/fastsim.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_exec.dir/test_fm_exec.cc.o"
+  "CMakeFiles/test_fm_exec.dir/test_fm_exec.cc.o.d"
+  "test_fm_exec"
+  "test_fm_exec.pdb"
+  "test_fm_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

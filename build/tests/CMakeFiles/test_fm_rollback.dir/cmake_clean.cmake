@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_rollback.dir/test_fm_rollback.cc.o"
+  "CMakeFiles/test_fm_rollback.dir/test_fm_rollback.cc.o.d"
+  "test_fm_rollback"
+  "test_fm_rollback.pdb"
+  "test_fm_rollback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

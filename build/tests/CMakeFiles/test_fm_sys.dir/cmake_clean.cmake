@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_sys.dir/test_fm_sys.cc.o"
+  "CMakeFiles/test_fm_sys.dir/test_fm_sys.cc.o.d"
+  "test_fm_sys"
+  "test_fm_sys.pdb"
+  "test_fm_sys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_triggers.dir/test_power_triggers.cc.o"
+  "CMakeFiles/test_power_triggers.dir/test_power_triggers.cc.o.d"
+  "test_power_triggers"
+  "test_power_triggers.pdb"
+  "test_power_triggers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_fabric.dir/test_stats_fabric.cc.o"
+  "CMakeFiles/test_stats_fabric.dir/test_stats_fabric.cc.o.d"
+  "test_stats_fabric"
+  "test_stats_fabric.pdb"
+  "test_stats_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tm_components.dir/test_tm_components.cc.o"
+  "CMakeFiles/test_tm_components.dir/test_tm_components.cc.o.d"
+  "test_tm_components"
+  "test_tm_components.pdb"
+  "test_tm_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tm_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tm_core.dir/test_tm_core.cc.o"
+  "CMakeFiles/test_tm_core.dir/test_tm_core.cc.o.d"
+  "test_tm_core"
+  "test_tm_core.pdb"
+  "test_tm_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

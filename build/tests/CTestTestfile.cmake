@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_fast[1]_include.cmake")
+include("/root/repo/build/tests/test_fm_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_fm_rollback[1]_include.cmake")
+include("/root/repo/build/tests/test_fm_sys[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_power_triggers[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_tm_components[1]_include.cmake")
+include("/root/repo/build/tests/test_tm_core[1]_include.cmake")
+include("/root/repo/build/tests/test_ucode[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
