@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FM-only hot-path microbenchmark: interpreted MIPS on this host, with the
+ * decoded-instruction cache on and off, per workload.
+ *
+ * The functional model is the component the paper runs "as fast as the
+ * hardware allows" ahead of the timing model (§3), so its single-thread
+ * interpretation rate bounds everything else.  This bench tracks the
+ * host-performance trajectory of that hot path (decode cache, per-opcode
+ * metadata table, zero-lookup statistics handles) and writes a
+ * machine-readable BENCH_fm_hotpath.json next to the working directory so
+ * successive PRs can compare numbers.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../bench/common.hh"
+#include "fm/func_model.hh"
+#include "kernel/boot.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace {
+
+struct HotpathRow
+{
+    std::string workload;
+    double mipsNoCache = 0;
+    double mipsCache = 0;
+    double hitRate = 0;
+    std::uint64_t insts = 0;
+};
+
+/**
+ * Run one workload on the bare functional model (no timing model): step on
+ * the committed path until the guest halts non-interruptibly.  Commits are
+ * issued in batches so the undo log stays bounded, exactly as a timing
+ * model consumer would keep it.
+ */
+double
+fmOnlyMipsOnce(const workloads::Workload &w, bool decode_cache,
+               std::uint64_t &insts_out, double &hit_rate_out)
+{
+    fm::FmConfig cfg;
+    cfg.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.decodeCache = decode_cache;
+    fm::FuncModel m(cfg);
+
+    auto opts = workloads::bootOptionsFor(w, w.benchScale);
+    opts.timerInterval = 4000;
+    kernel::loadAndReset(m, kernel::buildBootImage(opts));
+
+    constexpr std::uint64_t CommitBatch = 4096;
+    constexpr std::uint64_t MaxInsts = 40000000ull;
+    std::uint64_t steps = 0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    while (steps < MaxInsts) {
+        fm::StepResult r = m.step();
+        if (r.kind == fm::StepResult::Kind::Halted) {
+            if (!(m.state().flags & isa::FlagI))
+                break; // final halt
+            // Interruptible idle: in FM-driven mode device time advances
+            // inside step(), so just keep polling.
+            continue;
+        }
+        ++steps;
+        if ((steps & (CommitBatch - 1)) == 0)
+            m.commit(r.entry.in);
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    insts_out = steps;
+    const double hits = double(m.stats().value("decode_cache_hits"));
+    const double misses = double(m.stats().value("decode_cache_misses"));
+    hit_rate_out = (hits + misses) > 0 ? hits / (hits + misses) : 0.0;
+    return secs > 0 ? steps / secs / 1e6 : 0.0;
+}
+
+/** Best of several repetitions: individual legs are ~50 ms, well inside
+ *  scheduler-noise territory, and the max is the honest throughput. */
+double
+fmOnlyMips(const workloads::Workload &w, bool decode_cache,
+           std::uint64_t &insts_out, double &hit_rate_out)
+{
+    constexpr int Reps = 3;
+    double best = 0;
+    for (int i = 0; i < Reps; ++i)
+        best = std::max(best,
+                        fmOnlyMipsOnce(w, decode_cache, insts_out,
+                                       hit_rate_out));
+    return best;
+}
+
+void
+writeJson(const std::vector<HotpathRow> &rows)
+{
+    std::FILE *f = std::fopen("BENCH_fm_hotpath.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fm_hotpath.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fm_hotpath\",\n  \"unit\": \"MIPS\","
+                    "\n  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const HotpathRow &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"insts\": %llu, "
+            "\"mips_decode_cache_off\": %.3f, "
+            "\"mips_decode_cache_on\": %.3f, "
+            "\"speedup\": %.3f, \"decode_hit_rate\": %.5f}%s\n",
+            r.workload.c_str(), (unsigned long long)r.insts, r.mipsNoCache,
+            r.mipsCache,
+            r.mipsNoCache > 0 ? r.mipsCache / r.mipsNoCache : 0.0,
+            r.hitRate, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fm_hotpath.json\n");
+}
+
+void
+run()
+{
+    bench::banner("FM hot path: interpreted MIPS, decode cache off vs on",
+                  "paper §3 — the FM runs as fast as the host allows");
+
+    stats::TablePrinter table({"Workload", "insts", "MIPS (cache off)",
+                               "MIPS (cache on)", "speedup", "hit rate"});
+    std::vector<HotpathRow> rows;
+    for (const workloads::Workload &w : workloads::suite()) {
+        HotpathRow r;
+        r.workload = w.name;
+        std::uint64_t insts_off = 0;
+        double hr_off = 0;
+        r.mipsNoCache = fmOnlyMips(w, false, insts_off, hr_off);
+        r.mipsCache = fmOnlyMips(w, true, r.insts, r.hitRate);
+        rows.push_back(r);
+        table.addRow({r.workload, std::to_string(r.insts),
+                      stats::TablePrinter::num(r.mipsNoCache, 2),
+                      stats::TablePrinter::num(r.mipsCache, 2),
+                      stats::TablePrinter::num(
+                          r.mipsNoCache > 0 ? r.mipsCache / r.mipsNoCache : 0,
+                          2),
+                      stats::TablePrinter::num(r.hitRate, 4)});
+    }
+    table.print();
+    writeJson(rows);
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

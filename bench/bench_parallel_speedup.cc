@@ -82,12 +82,14 @@ wallClockComparison()
     stats::TablePrinter table({"Simulator", "host threads", "insts",
                                "wall (s)", "KIPS (this host)"});
 
+    double mono_kips = 0;
     // 1. Lock-step monolithic.
     {
         baseline::MonolithicSimulator mono(
             bench::benchConfig(tm::BpKind::Gshare));
         mono.boot(image());
         auto m = mono.run(2000000000ull);
+        mono_kips = m.kips;
         table.addRow({"monolithic lock-step", "1",
                       std::to_string(m.targetInsts),
                       stats::TablePrinter::num(m.wallSeconds, 2),
@@ -108,6 +110,7 @@ wallClockComparison()
                       stats::TablePrinter::num(coupled_kips, 0)});
     }
     // 3. Parallel FAST (two threads) — only meaningful with >= 2 cores.
+    double parallel_kips = 0;
     const unsigned cores = std::thread::hardware_concurrency();
     if (cores >= 2) {
         fast::ParallelFastSimulator sim(
@@ -116,7 +119,7 @@ wallClockComparison()
         auto t0 = clock::now();
         auto r = sim.run(4000000000ull);
         auto secs = std::chrono::duration<double>(clock::now() - t0).count();
-        const double parallel_kips = r.insts / secs / 1000.0;
+        parallel_kips = r.insts / secs / 1000.0;
         table.addRow({"FAST parallel (FM || TM)", "2",
                       std::to_string(r.insts),
                       stats::TablePrinter::num(secs, 2),
@@ -126,6 +129,23 @@ wallClockComparison()
                       "skipped: single-core host"});
     }
     table.print();
+
+    // Machine-readable record so the perf trajectory is tracked per PR.
+    if (std::FILE *f = std::fopen("BENCH_parallel_speedup.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n  \"bench\": \"parallel_speedup\",\n"
+            "  \"unit\": \"KIPS\",\n"
+            "  \"monolithic_kips\": %.1f,\n"
+            "  \"coupled_kips\": %.1f,\n"
+            "  \"parallel_kips\": %.1f,\n"
+            "  \"parallel_vs_coupled\": %.3f,\n"
+            "  \"host_cores\": %u\n}\n",
+            mono_kips, coupled_kips, parallel_kips,
+            coupled_kips > 0 ? parallel_kips / coupled_kips : 0.0, cores);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_parallel_speedup.json\n");
+    }
     std::printf("\nNote: on the paper's platform the TM runs on an FPGA, so "
                 "the parallel win is\nthe full TM cost; on a shared-memory "
                 "host the win is bounded by the core count\n(%u here), "

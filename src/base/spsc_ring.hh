@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Single-producer / single-consumer lock-free ring buffer.
+ *
+ * The classic two-index design: the producer owns the write index, the
+ * consumer owns the read index, and each side only ever *stores* its own
+ * index (release) and *loads* the other side's (acquire).  The release
+ * store of writeIdx_ publishes the slot contents written before it; the
+ * acquire load on the consumer side makes them visible.  Symmetrically,
+ * the release store of readIdx_ licenses the producer to reuse a slot.
+ * No CAS, no locks, no spurious sharing of roles.
+ *
+ * Used for the TM -> FM protocol-event channel of the parallel FAST
+ * runner (paper §3: the partition boundary must be latency-tolerant and
+ * cheap, or the parallelization gains nothing).
+ */
+
+#ifndef FASTSIM_BASE_SPSC_RING_HH
+#define FASTSIM_BASE_SPSC_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : mask_(capacity - 1), slots_(capacity)
+    {
+        fastsim_assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    }
+
+    // --- producer side ----------------------------------------------------
+    bool
+    tryPush(const T &v)
+    {
+        const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t r = readIdx_.load(std::memory_order_acquire);
+        if (w - r >= slots_.size())
+            return false; // full
+        slots_[w & mask_] = v;
+        writeIdx_.store(w + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer view: everything pushed has been taken by the consumer. */
+    bool
+    drained() const
+    {
+        return readIdx_.load(std::memory_order_acquire) ==
+               writeIdx_.load(std::memory_order_relaxed);
+    }
+
+    // --- consumer side ----------------------------------------------------
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t r = readIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
+        if (r == w)
+            return false; // empty
+        out = slots_[r & mask_];
+        readIdx_.store(r + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer view: nothing waiting. */
+    bool
+    empty() const
+    {
+        return readIdx_.load(std::memory_order_relaxed) ==
+               writeIdx_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::uint64_t mask_;
+    std::vector<T> slots_;
+    std::atomic<std::uint64_t> writeIdx_{0};
+    std::atomic<std::uint64_t> readIdx_{0};
+};
+
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_SPSC_RING_HH

@@ -18,6 +18,32 @@ namespace fastsim {
 namespace stats {
 
 /**
+ * A resolved reference to one counter inside a Group.
+ *
+ * counter(name) costs a std::string hash/compare per call; on the
+ * functional model's per-instruction path that dominates.  A Handle
+ * resolves the name once at construction and thereafter is a plain
+ * pointer increment.  std::map nodes are stable under insertion, so the
+ * pointer stays valid for the Group's lifetime; Group::reset() zeroes
+ * the pointee in place, which handles observe correctly.
+ */
+class Handle
+{
+  public:
+    Handle() = default;
+    explicit Handle(std::uint64_t &slot) : slot_(&slot) {}
+
+    Handle &operator++() { ++*slot_; return *this; }
+    Handle &operator+=(std::uint64_t v) { *slot_ += v; return *this; }
+    void set(std::uint64_t v) { *slot_ = v; }
+    std::uint64_t value() const { return *slot_; }
+    bool valid() const { return slot_ != nullptr; }
+
+  private:
+    std::uint64_t *slot_ = nullptr;
+};
+
+/**
  * A group of named scalar statistics.
  *
  * Modules own a Group and register counters by name; the FAST statistics
@@ -31,6 +57,9 @@ class Group
 
     /** Fetch (creating if needed) a counter by name. */
     std::uint64_t &counter(const std::string &name) { return counters_[name]; }
+
+    /** Resolve a counter name once; use the Handle on hot paths. */
+    Handle handle(const std::string &name) { return Handle(counters_[name]); }
 
     /** Read a counter; returns 0 for unknown names. */
     std::uint64_t

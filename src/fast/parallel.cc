@@ -1,7 +1,6 @@
 #include "fast/parallel.hh"
 
 #include <chrono>
-#include <cstdio>
 
 #include "base/logging.hh"
 
@@ -10,8 +9,15 @@ namespace fast {
 
 using tm::TmEvent;
 
+namespace {
+/** TM -> FM event channel depth.  Sized so the TM can run hundreds of
+ *  ticks (one Commit each) ahead of a sleeping FM without blocking. */
+constexpr std::size_t EventRingEntries = 4096;
+} // namespace
+
 ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
-    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast_parallel")
+    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast_parallel"),
+      events_(EventRingEntries)
 {
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false;
@@ -21,9 +27,9 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
 
 ParallelFastSimulator::~ParallelFastSimulator()
 {
+    stop_.store(true, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lk(mu_);
-        stop_ = true;
     }
     cv_.notify_all();
     if (fmThread_.joinable())
@@ -36,132 +42,225 @@ ParallelFastSimulator::boot(const kernel::BootImage &image)
     kernel::loadAndReset(*fm_, image);
 }
 
+bool
+ParallelFastSimulator::resteerPending() const
+{
+    return resteersApplied_.load(std::memory_order_acquire) !=
+           resteersIssued_;
+}
+
 void
 ParallelFastSimulator::applyMessage(const TmEvent &e)
 {
-    // Runs on the FM thread with mu_ held.
+    // Runs on the FM thread.  Rewinds are safe here: the TM quiesces
+    // between issuing a resteer-class event and observing the applied-count
+    // ack released below (see parallel.hh).
     switch (e.kind) {
       case TmEvent::Kind::WrongPath:
         tb_.rewindTo(e.in);
         fm_->setPc(e.in, e.pc, /*wrong_path=*/true);
-        fmStalledWrongPath_ = false;
+        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
         ++stats_.counter("wrong_path_resteers");
+        // Snapshots (notably fmHalted_) must be refreshed *before* the
+        // applied-count release below: the instant the TM observes the ack
+        // it re-evaluates its tick gate, and a stale halted flag from a
+        // rolled-back speculative halt would let it free-run starved
+        // cycles the coupled runner never ticks.
+        publishSnapshots();
+        resteersApplied_.store(
+            resteersApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
         break;
       case TmEvent::Kind::Resolve:
         tb_.rewindTo(e.in);
         fm_->setPc(e.in, e.pc, /*wrong_path=*/false);
-        fmStalledWrongPath_ = false;
+        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
         ++stats_.counter("resolve_resteers");
+        publishSnapshots();
+        resteersApplied_.store(
+            resteersApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
         break;
       case TmEvent::Kind::Commit:
         fm_->commit(e.in);
         tb_.commitTo(e.in);
+        // Release after commitTo so that when the TM's tick gate observes
+        // this ack (acquire) and then reads tb_.full(), it sees the freed
+        // space: "full with all commits applied" is then a true statement
+        // about target state, not a stale snapshot.
+        commitsApplied_.store(
+            commitsApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
         break;
       case TmEvent::Kind::RefetchAt:
         break; // the core handled the TB itself
       case TmEvent::Kind::InjectTimer:
         tb_.rewindTo(e.in);
         fm_->resteerForInterrupt(e.in, isa::VecTimer);
-        fmStalledWrongPath_ = false;
+        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
         ++stats_.counter("timer_interrupts");
+        injectsApplied_.store(
+            injectsApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+        publishSnapshots();
+        resteersApplied_.store(
+            resteersApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
         break;
       case TmEvent::Kind::InjectDisk:
         tb_.rewindTo(e.in);
         fm_->resteerForDiskComplete(e.in);
-        fmStalledWrongPath_ = false;
+        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
         ++stats_.counter("disk_completions");
+        injectsApplied_.store(
+            injectsApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+        publishSnapshots();
+        resteersApplied_.store(
+            resteersApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
         break;
+    }
+}
+
+void
+ParallelFastSimulator::publishSnapshots()
+{
+    // FM thread: publish device-facing state for the TM thread's timing
+    // decisions, and recompute quiescence.  "The guest is done" must be a
+    // live property, never a latch: the FM can touch the final halt during
+    // speculative run-ahead and then be rolled back by a later resteer.
+    timerEnabledSnap_.store(fm_->timer().enabled(), std::memory_order_relaxed);
+    timerIntervalSnap_.store(fm_->timer().interval(),
+                             std::memory_order_relaxed);
+    diskBusySnap_.store(fm_->disk().busy(), std::memory_order_relaxed);
+    fmHalted_.store(fm_->halted(), std::memory_order_release);
+    fmIdleWaiting_.store(fm_->halted() &&
+                             (fm_->state().flags & isa::FlagI) != 0,
+                         std::memory_order_release);
+    const bool done = fm_->halted() && !(fm_->state().flags & isa::FlagI) &&
+                      fm_->lastCommitted() + 1 == fm_->nextIn();
+    guestFinished_.store(done, std::memory_order_release);
+}
+
+void
+ParallelFastSimulator::fmBlockedWait()
+{
+    using namespace std::chrono_literals;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.notify_all();
+    if (events_.empty() && !stop_.load(std::memory_order_relaxed)) {
+        fmWaiting_.store(true, std::memory_order_relaxed);
+        cv_.wait_for(lk, 200us);
+        fmWaiting_.store(false, std::memory_order_relaxed);
     }
 }
 
 void
 ParallelFastSimulator::fmThreadMain()
 {
-    using namespace std::chrono_literals;
-    std::unique_lock<std::mutex> lk(mu_);
-    while (!stop_) {
+    const unsigned batch = cfg_.fmBatchInsts ? cfg_.fmBatchInsts : 1;
+    while (!stop_.load(std::memory_order_acquire)) {
         // Apply protocol messages in order.
+        TmEvent e;
         bool applied = false;
-        while (!toFm_.empty()) {
-            TmEvent e = toFm_.front();
-            toFm_.pop_front();
+        while (events_.tryPop(e)) {
             applyMessage(e);
             applied = true;
         }
-        if (applied)
-            cv_.notify_all();
+        if (applied) {
+            publishSnapshots();
+            if (tmWaiting_.load(std::memory_order_acquire)) {
+                std::lock_guard<std::mutex> lk(mu_);
+                cv_.notify_all();
+            }
+        }
 
-        if (tb_.full() || fmStalledWrongPath_ || guestFinished_) {
-            updateQuiescence();
-            fmBlocked_ = true;
-            cv_.notify_all();
-            cv_.wait_for(lk, 200us);
-            fmBlocked_ = false;
+        if (tb_.full() || fmStalledWrongPath_.load(std::memory_order_relaxed)
+            || guestFinished_.load(std::memory_order_relaxed)) {
+            fmBlockedWait();
             continue;
         }
 
-        // Heavy interpretation happens outside the lock: this is the
-        // parallelism the partitioning buys (§3).
-        lk.unlock();
-        fm::StepResult r = fm_->step();
-        lk.lock();
-
-        switch (r.kind) {
-          case fm::StepResult::Kind::Ok:
-            tb_.push(r.entry);
-            cv_.notify_all();
-            break;
-          case fm::StepResult::Kind::Halted:
-            updateQuiescence();
-            fmBlocked_ = true;
-            cv_.notify_all();
-            cv_.wait_for(lk, 200us);
-            fmBlocked_ = false;
-            break;
-          case fm::StepResult::Kind::WrongPathStall:
-            fmStalledWrongPath_ = true;
+        // Heavy interpretation, batched: this is the parallelism the
+        // partitioning buys (§3).  The event ring is polled per
+        // instruction (two atomic loads), so a resteer still gets its
+        // ack within ~one interpreted instruction.
+        bool produced = false;
+        bool halted = false;
+        for (unsigned n = 0; n < batch; ++n) {
+            if (!events_.empty())
+                break;
+            if (tb_.full())
+                break;
+            fm::StepResult r = fm_->step();
+            if (r.kind == fm::StepResult::Kind::Ok) {
+                tb_.push(r.entry);
+                produced = true;
+                continue;
+            }
+            if (r.kind == fm::StepResult::Kind::WrongPathStall) {
+                fmStalledWrongPath_.store(true, std::memory_order_release);
+            } else {
+                halted = true;
+            }
             break;
         }
 
-        // Publish device-facing state for the TM thread's timing decisions.
-        timerEnabledSnap_ = fm_->timer().enabled();
-        timerIntervalSnap_ = fm_->timer().interval();
-        diskBusySnap_ = fm_->disk().busy();
-        updateQuiescence();
+        publishSnapshots();
+        if (produced && tmWaiting_.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lk(mu_);
+            cv_.notify_all();
+        }
+        if (halted)
+            fmBlockedWait();
     }
 }
 
 void
-ParallelFastSimulator::updateQuiescence()
+ParallelFastSimulator::pushEvent(const TmEvent &e)
 {
-    // "The guest is done" must be a live property, never a latch: the FM
-    // can touch the final halt during speculative run-ahead and then be
-    // rolled back by a later resteer.  Quiescence additionally requires
-    // that everything the FM produced has been committed by the TM.
-    guestFinished_ = fm_->halted() &&
-                     !(fm_->state().flags & isa::FlagI) &&
-                     fm_->lastCommitted() + 1 == fm_->nextIn();
+    // TM thread.  The ring is deep; filling it means the FM has been
+    // asleep for a long stretch, so just hand over the CPU until space
+    // appears.
+    while (!events_.tryPush(e)) {
+        if (fmWaiting_.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lk(mu_);
+            cv_.notify_all();
+        }
+        std::this_thread::yield();
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+    }
+    if (fmWaiting_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_.notify_all();
+    }
 }
 
 void
 ParallelFastSimulator::deviceTiming()
 {
-    // TM thread, mu_ held.
+    // TM thread.
+    const bool injectPending =
+        injectsApplied_.load(std::memory_order_acquire) != injectsIssued_;
     const Cycle now = core_->cycle();
-    if (timerEnabledSnap_) {
+    if (timerEnabledSnap_.load(std::memory_order_relaxed)) {
         if (!timerArmed_) {
             timerArmed_ = true;
-            timerNextFire_ = now + timerIntervalSnap_;
+            timerNextFire_ =
+                now + timerIntervalSnap_.load(std::memory_order_relaxed);
         }
         if (now >= timerNextFire_ && !pendingTimerIrq_) {
             pendingTimerIrq_ = true;
-            timerNextFire_ = now + timerIntervalSnap_;
+            timerNextFire_ =
+                now + timerIntervalSnap_.load(std::memory_order_relaxed);
         }
     } else {
         timerArmed_ = false;
     }
-    if (diskBusySnap_ && !diskScheduled_ && !pendingDiskComplete_ &&
-        !injectQueued_) {
+    if (diskBusySnap_.load(std::memory_order_relaxed) && !diskScheduled_ &&
+        !pendingDiskComplete_ && !injectPending) {
         diskScheduled_ = true;
         diskCompleteAt_ = now + cfg_.diskLatencyCycles;
     }
@@ -171,7 +270,7 @@ ParallelFastSimulator::deviceTiming()
     }
     if (!pendingTimerIrq_ && !pendingDiskComplete_)
         return;
-    if (injectQueued_)
+    if (injectPending)
         return; // one injection in flight at a time
     core_->requestDrain();
     if (!core_->drained())
@@ -185,68 +284,127 @@ ParallelFastSimulator::deviceTiming()
     if (pendingDiskComplete_) {
         e.kind = TmEvent::Kind::InjectDisk;
         pendingDiskComplete_ = false;
-        diskBusySnap_ = false;
+        diskBusySnap_.store(false, std::memory_order_relaxed);
     } else {
         e.kind = TmEvent::Kind::InjectTimer;
         pendingTimerIrq_ = false;
     }
-    toFm_.push_back(e);
-    injectQueued_ = true;
+    ++injectsIssued_;
+    ++resteersIssued_;
     core_->noteResteer();
+    pushEvent(e);
 }
 
 bool
-ParallelFastSimulator::finishedLocked() const
+ParallelFastSimulator::finishedTm() const
 {
-    return guestFinished_ && toFm_.empty() && tb_.unfetched() == 0 &&
-           core_->drained();
+    return guestFinished_.load(std::memory_order_acquire) &&
+           events_.drained() && tb_.unfetched() == 0 && core_->drained() &&
+           !resteerPending() &&
+           injectsApplied_.load(std::memory_order_acquire) == injectsIssued_;
 }
 
 void
 ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
 {
     using namespace std::chrono_literals;
-    std::unique_lock<std::mutex> lk(mu_);
-    while (!stop_) {
+    while (!stop_.load(std::memory_order_relaxed)) {
         if (core_->cycle() >= max_cycles)
             break;
-        if (finishedLocked())
-            break;
-        const bool can_tick =
-            tb_.unfetched() >= cfg_.core.issueWidth || fmBlocked_ ||
-            fmStalledWrongPath_ || !core_->drained() || injectQueued_;
-        if (!can_tick) {
-            cv_.wait_for(lk, 100us);
+
+        // Resteer rendezvous: between issuing a resteer-class event and
+        // the FM's ack, the trace buffer's write side may move backwards,
+        // so this thread must not touch the buffer (or tick) at all.  The
+        // ack normally arrives within ~one interpreted instruction: spin
+        // briefly, then fall back to the condition variable.
+        if (resteerPending()) {
+            for (int i = 0; i < 1024 && resteerPending(); ++i) {
+                if ((i & 63) == 63)
+                    std::this_thread::yield();
+            }
+            if (resteerPending() &&
+                !stop_.load(std::memory_order_relaxed)) {
+                std::unique_lock<std::mutex> lk(mu_);
+                tmWaiting_.store(true, std::memory_order_release);
+                cv_.wait_for(lk, 100us);
+                tmWaiting_.store(false, std::memory_order_relaxed);
+            }
             continue;
         }
+
+        if (finishedTm())
+            break;
+
+        // Tick only when this cycle's fetch behaviour is guaranteed to
+        // match the coupled reference: either a full issue group is
+        // available, or the FM cannot produce more right now for a reason
+        // that is deterministic in *target* time.  Those reasons are:
+        //  - wrong-path stall: the speculative path ran into a fault; the
+        //    coupled runner's FM is stalled at the same point, so ticking
+        //    through to the branch resolution is bit-identical;
+        //  - halted guest while the TM still has work (entries to fetch or
+        //    a ROB to drain) or while the guest is interruptibly idle
+        //    (halted with interrupts enabled): empty cycles are then the
+        //    deterministic march toward the next device event, exactly as
+        //    in the coupled runner.
+        // Crucially, the gate must NOT open on mere host-speed lag of the
+        // FM (e.g. "the FM thread happens to be parked right now"), and it
+        // must close once a non-interruptible halt has been fully drained:
+        // any tick spent merely waiting for the FM to acknowledge
+        // quiescence would inflate the cycle count nondeterministically
+        // and break invariant #4 (bit-identical statistics).
+        //
+        // One more deterministic reason: the trace buffer is full and every
+        // Commit this thread ever issued has been applied.  At the default
+        // capacity (256 ≫ ROB + front end) fetched-uncommitted entries can
+        // never fill the buffer, but at tiny capacities (~issue width) they
+        // routinely do, with the FM neither stalled nor halted — without
+        // this term both threads would wait on each other forever.  It is
+        // deterministic because once the commits are applied the free index
+        // is final and, the buffer being full, the write index cannot move
+        // either: the FM has produced the maximum the buffer admits, which
+        // is exactly the state the coupled runner ticks from (its
+        // produceEntries() fills the buffer before every tick).  The
+        // commit-ack check must come first — its acquire load orders the
+        // tb_.full() read after the FM's freed space becomes visible, so a
+        // stale "full" can never open the gate while a Commit is still in
+        // flight.
+        const std::size_t unfetched = tb_.unfetched();
+        const bool commitsQuiesced =
+            commitsApplied_.load(std::memory_order_acquire) == commitsIssued_;
+        const bool can_tick =
+            unfetched >= cfg_.core.issueWidth ||
+            (commitsQuiesced && tb_.full()) ||
+            fmStalledWrongPath_.load(std::memory_order_acquire) ||
+            (fmHalted_.load(std::memory_order_acquire) &&
+             (unfetched > 0 || !core_->drained() ||
+              fmIdleWaiting_.load(std::memory_order_acquire))) ||
+            injectsApplied_.load(std::memory_order_acquire) != injectsIssued_;
+        if (!can_tick) {
+            std::unique_lock<std::mutex> lk(mu_);
+            tmWaiting_.store(true, std::memory_order_release);
+            cv_.wait_for(lk, 100us);
+            tmWaiting_.store(false, std::memory_order_relaxed);
+            continue;
+        }
+
         core_->tick();
         for (const TmEvent &e : core_->drainEvents()) {
             switch (e.kind) {
               case TmEvent::Kind::WrongPath:
               case TmEvent::Kind::Resolve:
+                ++resteersIssued_;
+                pushEvent(e);
+                break;
               case TmEvent::Kind::Commit:
-                toFm_.push_back(e);
+                ++commitsIssued_;
+                pushEvent(e);
                 break;
               default:
                 break;
             }
         }
-        if (injectQueued_ && toFm_.empty())
-            injectQueued_ = false; // the FM consumed the injection
         deviceTiming();
-        cv_.notify_all();
-
-        // Fairness hand-off: this thread would otherwise hold the mutex
-        // continuously and starve the FM thread of the lock.  Release it
-        // whenever the FM has work (messages pending, or room to produce).
-        const bool fm_runnable =
-            !toFm_.empty() || (!tb_.full() && !fmStalledWrongPath_ &&
-                               !guestFinished_);
-        if (fm_runnable && (++handoffTick_ % 4 == 0 || !toFm_.empty())) {
-            lk.unlock();
-            std::this_thread::yield();
-            lk.lock();
-        }
     }
 }
 
@@ -255,16 +413,15 @@ ParallelFastSimulator::run(Cycle max_cycles)
 {
     fmThread_ = std::thread([this] { fmThreadMain(); });
     tmThreadMain(max_cycles);
+    stop_.store(true, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lk(mu_);
-        stop_ = true;
     }
     cv_.notify_all();
     fmThread_.join();
 
     RunResult r;
-    std::lock_guard<std::mutex> lk(mu_);
-    r.finished = finishedLocked();
+    r.finished = finishedTm();
     r.cycles = core_->cycle();
     r.insts = core_->committedInsts();
     r.ipc = core_->ipc();

@@ -12,20 +12,45 @@
  * resolutions and interrupts — exactly the F term of the §3.1 analytical
  * model.
  *
+ * Synchronization design (lock-free steady state):
+ *
+ *  - the trace buffer itself is an SPSC ring (trace_buffer.hh): the FM
+ *    thread owns the write/free indices, the TM thread owns the fetch
+ *    index, acquire/release publication, no lock;
+ *  - protocol events travel TM -> FM through a second SPSC ring
+ *    (base/spsc_ring.hh); Commit events are *applied on the FM thread*,
+ *    which is what keeps both trace-buffer producer-side indices single-
+ *    writer;
+ *  - the FM interprets up to FastConfig::fmBatchInsts instructions per
+ *    event-ring poll instead of taking a mutex per instruction;
+ *  - resteer-class events (WrongPath / Resolve / InjectTimer /
+ *    InjectDisk) are the one multi-writer moment: applying them rewinds
+ *    the trace buffer's write index *backwards*, which is only safe if
+ *    the TM is not concurrently reading slots.  The TM therefore counts
+ *    resteers issued, the FM publishes resteers applied (release), and
+ *    the TM does not touch the buffer — does not tick at all — between
+ *    issue and ack.  The FM polls the event ring every instruction, so
+ *    the ack normally lands within ~one interpreted instruction; a
+ *    mutex+condition-variable path backs up the rare case where either
+ *    side actually has to sleep (TB full, guest halted, TM starved).
+ *
  * Functional results (committed work, console output, final state) are
  * identical to the coupled simulator.  Interrupt *timing* may vary with
  * host scheduling (as on the paper's real DRC platform), so cycle counts
  * are near, but not bit-equal to, the coupled reference; the coupled
- * simulator is the deterministic cycle-accurate reference.
+ * simulator is the deterministic cycle-accurate reference.  Device-free
+ * runs are bit-identical (tested).
  */
 
 #ifndef FASTSIM_FAST_PARALLEL_HH
 #define FASTSIM_FAST_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "base/spsc_ring.hh"
 #include "fast/simulator.hh"
 
 namespace fastsim {
@@ -55,9 +80,12 @@ class ParallelFastSimulator
     void tmThreadMain(Cycle max_cycles);
 
     void applyMessage(const tm::TmEvent &e);
+    void publishSnapshots();
+    void fmBlockedWait();
+    void pushEvent(const tm::TmEvent &e);
     void deviceTiming();
-    void updateQuiescence();
-    bool finishedLocked() const;
+    bool finishedTm() const;
+    bool resteerPending() const;
 
     FastConfig cfg_;
     std::unique_ptr<fm::FuncModel> fm_;
@@ -65,34 +93,52 @@ class ParallelFastSimulator
     std::unique_ptr<tm::Core> core_;
     stats::Group stats_;
 
-    // Shared-state lock: guards the trace buffer, the core, the message
-    // queue and the flags below.  The FM interprets instructions outside
-    // the lock; the TM's modeling work happens under it (it owns the TB
-    // read side), so the heavy FM work overlaps TM modeling.
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<tm::TmEvent> toFm_;  //!< protocol messages TM -> FM
+    // TM -> FM protocol-event channel (SPSC: TM produces, FM consumes).
+    SpscRing<tm::TmEvent> events_;
 
-    bool fmStalledWrongPath_ = false;
-    bool fmBlocked_ = false; //!< FM cannot make progress (full/halted/stall)
-    bool stop_ = false;
-    bool guestFinished_ = false; //!< live quiescence (see updateQuiescence)
+    // Rendezvous accounting.  resteersIssued_ is TM-thread-local;
+    // resteersApplied_ / injectsApplied_ are released by the FM after the
+    // corresponding rewind+resteer completed.
+    std::uint64_t resteersIssued_ = 0;
+    std::uint64_t injectsIssued_ = 0;
+    std::atomic<std::uint64_t> resteersApplied_{0};
+    std::atomic<std::uint64_t> injectsApplied_{0};
 
-    // Device-timing state (TM thread).
+    // Commit rendezvous: lets the TM distinguish "the trace buffer is full
+    // because the FM truly has no space" (deterministic in target time;
+    // the coupled runner ticks here) from "Commit events I issued are
+    // still in flight" (host-speed lag; ticking would diverge).  Matters
+    // only when the TB capacity is small enough that fetched-uncommitted
+    // entries can fill it.
+    std::uint64_t commitsIssued_ = 0;
+    std::atomic<std::uint64_t> commitsApplied_{0};
+
+    // Cross-thread flags (lock-free reads on the hot paths).
+    std::atomic<bool> fmStalledWrongPath_{false};
+    std::atomic<bool> fmHalted_{false};
+    std::atomic<bool> fmIdleWaiting_{false}; //!< halted with interrupts on
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> guestFinished_{false};
+
+    // FM-thread-published device snapshots: the TM thread must never
+    // touch the functional model directly.
+    std::atomic<bool> timerEnabledSnap_{false};
+    std::atomic<std::uint32_t> timerIntervalSnap_{0};
+    std::atomic<bool> diskBusySnap_{false};
+
+    // Device-timing state (TM thread only).
     bool timerArmed_ = false;
     Cycle timerNextFire_ = 0;
     bool diskScheduled_ = false;
     Cycle diskCompleteAt_ = 0;
     bool pendingTimerIrq_ = false;
     bool pendingDiskComplete_ = false;
-    bool injectQueued_ = false;
 
-    // FM-thread-published device snapshots (guarded by mu_): the TM thread
-    // must never touch the functional model directly.
-    std::uint64_t handoffTick_ = 0;
-    bool timerEnabledSnap_ = false;
-    std::uint32_t timerIntervalSnap_ = 0;
-    bool diskBusySnap_ = false;
+    // Sleep/wake backstop for the rare blocked states.
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::atomic<bool> fmWaiting_{false};
+    std::atomic<bool> tmWaiting_{false};
 
     std::thread fmThread_;
 };

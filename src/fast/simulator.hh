@@ -41,6 +41,14 @@ struct FastConfig
 
     /** Disk completion latency in target cycles (TM device timing, §3.4). */
     Cycle diskLatencyCycles = 5000;
+
+    /**
+     * Parallel runner only: instructions the FM thread interprets per
+     * synchronization check (event-ring poll).  Batching amortizes the
+     * per-instruction check; the resteer rendezvous bounds the damage of
+     * running ahead since wrong-path work is rolled back anyway.
+     */
+    unsigned fmBatchInsts = 64;
 };
 
 /** Aggregate results of a run. */

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Decoded-instruction cache for the functional model.
+ *
+ * The FM interpreter's fetch path pays a per-byte virtual-to-physical
+ * translation, bounds check and table-driven decode for every dynamic
+ * instruction (1-15 bytes).  Real fast interpreters (QEMU's TB cache,
+ * libriscv's decoder cache) amortize that work across re-executions of
+ * the same code.  This is the interpreter-shaped analogue: a
+ * direct-mapped cache keyed by the instruction's *physical* address,
+ * holding the fully decoded isa::Insn.
+ *
+ * Correctness against self-modifying code, DMA and roll-back is by
+ * page-write generations (PhysMem::pageGen): each entry remembers the
+ * generation of its page at fill time, and any later write to that page
+ * makes the comparison fail.  Keying by physical address makes page
+ * *remaps* (two virtual pages aliasing one frame, or a PTE rewrite)
+ * automatically coherent: the cache never sees virtual addresses, and
+ * the per-fetch TLB translation still runs.  Page-crossing instructions
+ * are never cached, so a single generation tag per entry suffices.
+ */
+
+#ifndef FASTSIM_FM_DECODE_CACHE_HH
+#define FASTSIM_FM_DECODE_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "isa/insn.hh"
+#include "ucode/table.hh"
+
+namespace fastsim {
+namespace fm {
+
+/**
+ * Per-opcode metadata the per-step path used to look up through
+ * ucode::UcodeTable::defaultTable() and the OpInfo flag helpers.
+ * Flattened into one array indexed by opcode, built once.
+ */
+struct OpMeta
+{
+    std::uint8_t uopCount = 1;
+    bool hasUcode = false;
+    bool serializing = false;
+    bool privileged = false;
+    bool isFp = false;
+};
+
+/** Build the flattened per-opcode metadata table (called once per FM). */
+inline std::array<OpMeta, isa::NumOpcodes>
+buildOpMetaTable()
+{
+    std::array<OpMeta, isa::NumOpcodes> t{};
+    const ucode::UcodeTable &ut = ucode::UcodeTable::defaultTable();
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        const auto op = static_cast<isa::Opcode>(i);
+        t[i].uopCount = static_cast<std::uint8_t>(ut.uopCount(op));
+        t[i].hasUcode = ut.hasUcode(op);
+        t[i].serializing = isa::opHasFlag(op, isa::OpfSerialize);
+        t[i].privileged = isa::opHasFlag(op, isa::OpfPriv);
+        t[i].isFp = isa::opIsFp(op);
+    }
+    return t;
+}
+
+class DecodeCache
+{
+  public:
+    struct Entry
+    {
+        PAddr tag = InvalidTag; //!< physical address of the first byte
+        std::uint32_t gen = 0;  //!< page generation at fill time
+        isa::Insn insn;
+    };
+
+    static constexpr PAddr InvalidTag = ~PAddr(0);
+
+    explicit DecodeCache(std::size_t entries = 16384)
+        : mask_(entries - 1), entries_(entries)
+    {
+        fastsim_assert(entries >= 2 && (entries & (entries - 1)) == 0);
+    }
+
+    /** Hit iff the tag matches and the page is untouched since fill. */
+    const isa::Insn *
+    lookup(PAddr pa, std::uint32_t page_gen) const
+    {
+        const Entry &e = entries_[pa & mask_];
+        if (e.tag == pa && e.gen == page_gen)
+            return &e.insn;
+        return nullptr;
+    }
+
+    /** Insert a decode result.  Caller must reject page-crossers. */
+    void
+    fill(PAddr pa, std::uint32_t page_gen, const isa::Insn &insn)
+    {
+        Entry &e = entries_[pa & mask_];
+        e.tag = pa;
+        e.gen = page_gen;
+        e.insn = insn;
+    }
+
+    /** Drop everything (reset). */
+    void
+    invalidateAll()
+    {
+        for (Entry &e : entries_)
+            e.tag = InvalidTag;
+    }
+
+    std::size_t capacity() const { return entries_.size(); }
+
+  private:
+    std::size_t mask_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace fm
+} // namespace fastsim
+
+#endif // FASTSIM_FM_DECODE_CACHE_HH

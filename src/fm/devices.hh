@@ -184,7 +184,7 @@ class ConsoleDevice : public Device
  * In FAST mode the timing model owns interrupt timing and the functional
  * model's tick is disabled; the guest-visible registers behave the same.
  */
-class TimerDevice : public Device
+class TimerDevice final : public Device
 {
   public:
     explicit TimerDevice(bool fm_driven) : fmDriven_(fm_driven) {}
@@ -209,7 +209,7 @@ class TimerDevice : public Device
 /**
  * Block-DMA disk with a deterministic completion delay.
  */
-class DiskDevice : public Device
+class DiskDevice final : public Device
 {
   public:
     /**

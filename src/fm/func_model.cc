@@ -22,12 +22,29 @@ FuncModel::FuncModel(const FmConfig &cfg)
       timer_(std::make_unique<TimerDevice>(cfg.fmDrivenDevices)),
       disk_(std::make_unique<DiskDevice>(cfg.diskBlocks, cfg.diskLatency,
                                          cfg.fmDrivenDevices, cfg.diskSeed)),
-      rtc_(std::make_unique<RtcDevice>()), stats_("fm")
+      rtc_(std::make_unique<RtcDevice>()),
+      dcache_(cfg.decodeCacheEntries), opMeta_(buildOpMetaTable()),
+      stats_("fm")
 {
     devices_ = {pic_.get(), console_.get(), timer_.get(), disk_.get(),
                 rtc_.get()};
     for (Device *d : devices_)
         d->attach(this);
+
+    stInstructions_ = stats_.handle("instructions");
+    stWrongPathInsts_ = stats_.handle("wrong_path_insts");
+    stBranches_ = stats_.handle("branches");
+    stTakenBranches_ = stats_.handle("taken_branches");
+    stTraceWords_ = stats_.handle("trace_words");
+    stHaltSteps_ = stats_.handle("halt_steps");
+    stInterrupts_ = stats_.handle("interrupts");
+    stExceptions_ = stats_.handle("exceptions");
+    stWrongPathStalls_ = stats_.handle("wrong_path_stalls");
+    stSyscalls_ = stats_.handle("syscalls");
+    stRollbacks_ = stats_.handle("rollbacks");
+    stRolledBackInsts_ = stats_.handle("rolled_back_insts");
+    stDecodeHits_ = stats_.handle("decode_cache_hits");
+    stDecodeMisses_ = stats_.handle("decode_cache_misses");
 }
 
 FuncModel::~FuncModel() = default;
@@ -54,6 +71,7 @@ FuncModel::reset(Addr pc)
     groups_.clear();
     cur_ = nullptr;
     flushTlb();
+    dcache_.invalidateAll();
 }
 
 // --- undo log ----------------------------------------------------------------
@@ -61,12 +79,30 @@ FuncModel::reset(Addr pc)
 void
 FuncModel::beginGroup()
 {
-    groups_.push_back(UndoGroup());
+    // Reuse a retired group where possible: its recs vector keeps its
+    // capacity, so the begin/commit cycle is allocation-free in steady state.
+    if (groupPool_.empty()) {
+        groups_.emplace_back();
+    } else {
+        groups_.push_back(std::move(groupPool_.back()));
+        groupPool_.pop_back();
+    }
     UndoGroup &g = groups_.back();
     g.in = nextIn_;
     g.pcBefore = state_.pc;
     g.haltedBefore = state_.halted;
     cur_ = &g;
+}
+
+void
+FuncModel::recycleGroup(UndoGroup &&g)
+{
+    if (groupPool_.size() >= GroupPoolMax)
+        return;
+    g.recs.clear();
+    g.devSnaps.clear();
+    g.blockSnaps.clear();
+    groupPool_.push_back(std::move(g));
 }
 
 void
@@ -356,10 +392,11 @@ FuncModel::resteerForInterrupt(InstNum in, std::uint8_t vector)
     fastsim_assert(in > lastCommitted_);
     while (!groups_.empty() && groups_.back().in >= in) {
         rollbackGroup(groups_.back());
+        recycleGroup(std::move(groups_.back()));
         groups_.pop_back();
-        ++stats_.counter("rolled_back_insts");
+        ++stRolledBackInsts_;
     }
-    ++stats_.counter("rollbacks");
+    ++stRollbacks_;
     nextIn_ = in;
     fastsim_assert(lastCommitted_ + 1 == nextIn_);
     epoch_++;
@@ -375,10 +412,11 @@ FuncModel::resteerForDiskComplete(InstNum in)
     fastsim_assert(in > lastCommitted_);
     while (!groups_.empty() && groups_.back().in >= in) {
         rollbackGroup(groups_.back());
+        recycleGroup(std::move(groups_.back()));
         groups_.pop_back();
-        ++stats_.counter("rolled_back_insts");
+        ++stRolledBackInsts_;
     }
-    ++stats_.counter("rollbacks");
+    ++stRollbacks_;
     nextIn_ = in;
     fastsim_assert(lastCommitted_ + 1 == nextIn_);
     epoch_++;
@@ -398,11 +436,12 @@ FuncModel::setPc(InstNum in, Addr pc, bool wrong_path)
     std::uint64_t undone = 0;
     while (!groups_.empty() && groups_.back().in >= in) {
         rollbackGroup(groups_.back());
+        recycleGroup(std::move(groups_.back()));
         groups_.pop_back();
         ++undone;
     }
-    stats_.counter("rolled_back_insts") += undone;
-    ++stats_.counter("rollbacks");
+    stRolledBackInsts_ += undone;
+    ++stRollbacks_;
     nextIn_ = in;
     state_.pc = pc;
     epoch_++;
@@ -417,8 +456,10 @@ void
 FuncModel::commit(InstNum up_to)
 {
     fastsim_assert(up_to < nextIn_);
-    while (!groups_.empty() && groups_.front().in <= up_to)
+    while (!groups_.empty() && groups_.front().in <= up_to) {
+        recycleGroup(std::move(groups_.front()));
         groups_.pop_front();
+    }
     if (up_to > lastCommitted_)
         lastCommitted_ = up_to;
 }
@@ -485,6 +526,22 @@ FuncModel::setAluFlags(std::uint32_t result, bool cf, bool of, bool set_co)
 bool
 FuncModel::fetch(Insn &insn, PAddr &inst_pa, Fault &fault)
 {
+    // Fast path: one translation, one tag compare, no byte loop, no decode.
+    // A hit is sound because entries are tagged with the page's write
+    // generation and never span pages (see decode_cache.hh).
+    if (cfg_.decodeCache) {
+        PAddr pa0;
+        if (translate(state_.pc, Access::Exec, pa0)) {
+            if (const Insn *hit = dcache_.lookup(pa0, mem_->pageGen(pa0))) {
+                insn = *hit;
+                inst_pa = pa0;
+                ++stDecodeHits_;
+                return true;
+            }
+        }
+        // Miss or fetch fault: the slow path below re-derives either.
+    }
+
     std::uint8_t buf[isa::MaxInsnLength];
     unsigned avail = 0;
     bool fetch_fault = false;
@@ -519,6 +576,13 @@ FuncModel::fetch(Insn &insn, PAddr &inst_pa, Fault &fault)
     const isa::DecodeStatus st = isa::decode(buf, avail, insn);
     switch (st) {
       case isa::DecodeStatus::Ok:
+        if (cfg_.decodeCache) {
+            ++stDecodeMisses_;
+            // Never cache a page-crosser: its tail bytes live on a page
+            // whose generation the single tag cannot observe.
+            if ((inst_pa & 0xFFFu) + insn.length <= 0x1000u)
+                dcache_.fill(inst_pa, mem_->pageGen(inst_pa), insn);
+        }
         return true;
       case isa::DecodeStatus::NeedMoreBytes:
         fastsim_assert(fetch_fault);
@@ -927,7 +991,7 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
         e.branchTaken = true;
         e.target = state_.pc;
         e.nextPc = state_.pc;
-        ++stats_.counter("syscalls");
+        ++stSyscalls_;
         break;
       }
 
@@ -1117,10 +1181,12 @@ FuncModel::step()
             // timer could never wake us.
             if (cfg_.fmDrivenDevices) {
                 ++haltTicks_;
-                for (Device *d : devices_)
-                    d->tick();
+                // Only the timer and the disk observe time (same order as
+                // the devices_ list; the other ticks are no-ops).
+                timer_->tick();
+                disk_->tick();
             }
-            ++stats_.counter("halt_steps");
+            ++stHaltSteps_;
             StepResult res;
             res.kind = StepResult::Kind::Halted;
             return res;
@@ -1138,7 +1204,9 @@ FuncModel::step()
         pendingDiskComplete_ = false;
     }
 
-    TraceEntry e;
+    // Build the trace entry in place in the result (no copy on return).
+    StepResult res;
+    TraceEntry &e = res.entry;
     e.in = nextIn_;
     e.epoch = epoch_;
     e.wrongPath = wrongPath_;
@@ -1150,7 +1218,7 @@ FuncModel::step()
         state_.halted = false;
         deliver(pend, state_.pc);
         e.serializing = true;
-        ++stats_.counter("interrupts");
+        ++stInterrupts_;
     }
 
     e.pc = state_.pc;
@@ -1168,11 +1236,12 @@ FuncModel::step()
         e.cond = insn.cond;
         e.reg = insn.reg;
         e.rm = insn.rm;
+        const OpMeta &meta = opMeta_[static_cast<unsigned>(insn.op)];
         e.opcode = isa::compressedOpcode(insn.op, insn.cond);
-        e.isFp = insn.isFp();
-        e.serializing = e.serializing || insn.isSerializing();
+        e.isFp = meta.isFp;
+        e.serializing = e.serializing || meta.serializing;
 
-        if (insn.isPrivileged() && (state_.flags & FlagBit::FlagU)) {
+        if (meta.privileged && (state_.flags & FlagBit::FlagU)) {
             fault.raised = true;
             fault.vector = isa::VecProtection;
             ok = false;
@@ -1186,10 +1255,11 @@ FuncModel::step()
         if (wrongPath_) {
             // Wrong-path fault: produce nothing, wait for a resteer.
             rollbackGroup(groups_.back());
+            recycleGroup(std::move(groups_.back()));
             groups_.pop_back();
             cur_ = nullptr;
-            ++stats_.counter("wrong_path_stalls");
-            StepResult res;
+            ++stWrongPathStalls_;
+            res.entry = TraceEntry();
             res.kind = StepResult::Kind::WrongPathStall;
             return res;
         }
@@ -1200,26 +1270,28 @@ FuncModel::step()
         e.vector = fault.vector;
         e.serializing = true;
         e.nextPc = state_.pc;
-        ++stats_.counter("exceptions");
+        ++stExceptions_;
     } else {
         if (wrongPath_ && e.halt) {
             // Speculative HLT: a real machine would not halt before commit;
             // stall until the timing model resteers us.
             rollbackGroup(groups_.back());
+            recycleGroup(std::move(groups_.back()));
             groups_.pop_back();
             cur_ = nullptr;
-            ++stats_.counter("wrong_path_stalls");
-            StepResult res;
+            ++stWrongPathStalls_;
+            res.entry = TraceEntry();
             res.kind = StepResult::Kind::WrongPathStall;
             return res;
         }
         state_.pc = e.nextPc;
     }
 
-    // Microcode-table info for the timing model's decode stage.
-    const ucode::UcodeTable &ut = ucode::UcodeTable::defaultTable();
-    e.hasUcode = ut.hasUcode(e.op);
-    e.uopCount = static_cast<std::uint8_t>(ut.uopCount(e.op));
+    // Microcode-table info for the timing model's decode stage (flattened
+    // per-opcode table; no UcodeTable lookup on the per-step path).
+    const OpMeta &um = opMeta_[static_cast<unsigned>(e.op)];
+    e.hasUcode = um.hasUcode;
+    e.uopCount = um.uopCount;
 
     // Trace size on the link (paper: ~4 words/instruction compressed).
     unsigned words = cfg_.traceCompression ? 3 : 10;
@@ -1235,25 +1307,24 @@ FuncModel::step()
     ++nextIn_;
 
     // Statistics.
-    ++stats_.counter("instructions");
+    ++stInstructions_;
     if (e.wrongPath)
-        ++stats_.counter("wrong_path_insts");
+        ++stWrongPathInsts_;
     if (e.isBranch) {
-        ++stats_.counter("branches");
+        ++stBranches_;
         if (e.branchTaken)
-            ++stats_.counter("taken_branches");
+            ++stTakenBranches_;
     }
-    stats_.counter("trace_words") += e.traceWords;
+    stTraceWords_ += e.traceWords;
 
-    // Device time (standalone mode only).
+    // Device time (standalone mode only).  Only the timer and the disk
+    // observe time; skipping the no-op ticks is behaviour-neutral.
     if (cfg_.fmDrivenDevices) {
-        for (Device *d : devices_)
-            d->tick();
+        timer_->tick();
+        disk_->tick();
     }
 
-    StepResult res;
     res.kind = StepResult::Kind::Ok;
-    res.entry = e;
     return res;
 }
 

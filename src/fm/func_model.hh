@@ -30,6 +30,7 @@
 
 #include "base/statistics.hh"
 #include "base/types.hh"
+#include "fm/decode_cache.hh"
 #include "fm/devices.hh"
 #include "fm/phys_mem.hh"
 #include "fm/trace_entry.hh"
@@ -59,6 +60,14 @@ struct FmConfig
      * timing and injects interrupts explicitly, so this is false.
      */
     bool fmDrivenDevices = true;
+
+    /**
+     * Decoded-instruction cache (host-performance only; functionally
+     * invisible — see decode_cache.hh for the invalidation argument).
+     * Off reproduces the original fetch-and-decode-every-step path.
+     */
+    bool decodeCache = true;
+    std::size_t decodeCacheEntries = 16384; //!< power of two
 };
 
 /** Architectural register state (exposed for tests and checkpointing). */
@@ -217,6 +226,7 @@ class FuncModel : public DeviceBus
 
     void beginGroup();
     void rollbackGroup(UndoGroup &g);
+    void recycleGroup(UndoGroup &&g);
 
     // --- state mutation helpers (undo-logged) ---------------------------------
     void setGpr(unsigned r, std::uint32_t v);
@@ -280,6 +290,14 @@ class FuncModel : public DeviceBus
     std::deque<UndoGroup> groups_;
     UndoGroup *cur_ = nullptr; //!< group of the instruction being executed
 
+    /**
+     * Retired UndoGroups, kept so their vectors' capacity is reused: the
+     * per-instruction begin/commit cycle then allocates nothing in steady
+     * state.  Capped so pathological commit batches cannot pin memory.
+     */
+    std::vector<UndoGroup> groupPool_;
+    static constexpr std::size_t GroupPoolMax = 8192;
+
     // Small software translation cache (functional speed only).
     struct TlbEntry
     {
@@ -292,7 +310,28 @@ class FuncModel : public DeviceBus
     static constexpr unsigned TlbSize = 256;
     std::array<TlbEntry, TlbSize> tlb_;
 
+    // Decoded-instruction cache + flattened per-opcode metadata (hoists the
+    // per-step UcodeTable and OpInfo lookups into one array index).
+    DecodeCache dcache_;
+    std::array<OpMeta, isa::NumOpcodes> opMeta_;
+
     stats::Group stats_;
+
+    // Hot-path counters, resolved once (see stats::Handle).
+    stats::Handle stInstructions_;
+    stats::Handle stWrongPathInsts_;
+    stats::Handle stBranches_;
+    stats::Handle stTakenBranches_;
+    stats::Handle stTraceWords_;
+    stats::Handle stHaltSteps_;
+    stats::Handle stInterrupts_;
+    stats::Handle stExceptions_;
+    stats::Handle stWrongPathStalls_;
+    stats::Handle stSyscalls_;
+    stats::Handle stRollbacks_;
+    stats::Handle stRolledBackInsts_;
+    stats::Handle stDecodeHits_;
+    stats::Handle stDecodeMisses_;
 };
 
 } // namespace fm

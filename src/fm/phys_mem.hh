@@ -26,9 +26,22 @@ namespace fm {
 class PhysMem
 {
   public:
-    explicit PhysMem(std::size_t bytes) : data_(bytes, 0) {}
+    static constexpr unsigned PageShift = 12;
+
+    explicit PhysMem(std::size_t bytes)
+        : data_(bytes, 0), pageGen_((bytes >> PageShift) + 1, 0)
+    {}
 
     std::size_t size() const { return data_.size(); }
+
+    /**
+     * Per-page write-generation counter, bumped by every mutation of the
+     * page (guest stores, DMA, undo-log roll-back restores, bulk loads).
+     * The decoded-instruction cache tags entries with the generation of
+     * the page they decode from and treats a mismatch as invalid, which
+     * makes self-modifying code correct by construction.
+     */
+    std::uint32_t pageGen(PAddr pa) const { return pageGen_[pa >> PageShift]; }
 
     bool
     contains(PAddr pa, unsigned len = 1) const
@@ -56,6 +69,7 @@ class PhysMem
     write8(PAddr pa, std::uint8_t v)
     {
         check(pa, 1);
+        touch(pa, 1);
         data_[pa] = v;
     }
 
@@ -63,6 +77,7 @@ class PhysMem
     write32(PAddr pa, std::uint32_t v)
     {
         check(pa, 4);
+        touch(pa, 4);
         data_[pa] = v & 0xFF;
         data_[pa + 1] = (v >> 8) & 0xFF;
         data_[pa + 2] = (v >> 16) & 0xFF;
@@ -76,6 +91,8 @@ class PhysMem
         if (!contains(pa, static_cast<unsigned>(image.size())))
             fatal("image of %zu bytes does not fit at PA 0x%x", image.size(),
                   pa);
+        if (!image.empty())
+            touch(pa, static_cast<unsigned>(image.size()));
         std::copy(image.begin(), image.end(), data_.begin() + pa);
     }
 
@@ -88,7 +105,17 @@ class PhysMem
                   pa, len, data_.size());
     }
 
+    void
+    touch(PAddr pa, unsigned len)
+    {
+        const std::size_t first = pa >> PageShift;
+        const std::size_t last = (pa + len - 1) >> PageShift;
+        for (std::size_t p = first; p <= last; ++p)
+            ++pageGen_[p];
+    }
+
     std::vector<std::uint8_t> data_;
+    std::vector<std::uint32_t> pageGen_;
 };
 
 } // namespace fm

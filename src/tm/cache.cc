@@ -5,7 +5,9 @@ namespace tm {
 
 CacheLevel::CacheLevel(const CacheParams &p)
     : p_(p), numSets_(p.sizeBytes / (p.lineBytes * p.assoc)),
-      lines_(numSets_ * p.assoc), stats_(p.name)
+      lines_(numSets_ * p.assoc), stats_(p.name),
+      stAccesses_(stats_.handle("accesses")),
+      stHits_(stats_.handle("hits")), stMisses_(stats_.handle("misses"))
 {
     fastsim_assert(numSets_ > 0 && isPowerOf2(numSets_));
     fastsim_assert(isPowerOf2(p.lineBytes));
@@ -44,16 +46,16 @@ CacheLevel::access(PAddr pa)
 {
     const std::size_t set = setIndex(pa);
     const std::uint64_t tag = tagOf(pa);
-    ++stats_.counter("accesses");
+    ++stAccesses_;
     for (unsigned w = 0; w < p_.assoc; ++w) {
         Line &l = lines_[set * p_.assoc + w];
         if (l.valid && l.tag == tag) {
-            ++stats_.counter("hits");
+            ++stHits_;
             lru_[set].touch(w);
             return true;
         }
     }
-    ++stats_.counter("misses");
+    ++stMisses_;
     const unsigned victim = lru_[set].victim();
     lines_[set * p_.assoc + victim] = {true, tag};
     lru_[set].touch(victim);
@@ -130,7 +132,8 @@ CacheHierarchy::cost() const
 
 TlbModel::TlbModel(std::string name, unsigned entries, Cycle miss_penalty)
     : entries_(entries), missPenalty_(miss_penalty), tags_(entries, 0),
-      stats_(std::move(name))
+      stats_(std::move(name)), stAccesses_(stats_.handle("accesses")),
+      stHits_(stats_.handle("hits")), stMisses_(stats_.handle("misses"))
 {
     fastsim_assert(isPowerOf2(entries));
 }
@@ -140,12 +143,12 @@ TlbModel::access(Addr va)
 {
     const std::uint64_t vpn = va >> 12;
     const std::size_t idx = vpn & (entries_ - 1);
-    ++stats_.counter("accesses");
+    ++stAccesses_;
     if (tags_[idx] == vpn + 1) {
-        ++stats_.counter("hits");
+        ++stHits_;
         return 0;
     }
-    ++stats_.counter("misses");
+    ++stMisses_;
     tags_[idx] = vpn + 1;
     return missPenalty_;
 }

@@ -91,6 +91,9 @@ class CacheLevel
     std::vector<Line> lines_;  //!< numSets * assoc
     std::vector<LruState> lru_;
     stats::Group stats_;
+    stats::Handle stAccesses_;
+    stats::Handle stHits_;
+    stats::Handle stMisses_;
 };
 
 /** Hierarchy timing parameters beyond the L1s. */
@@ -164,6 +167,9 @@ class TlbModel
     Cycle missPenalty_;
     std::vector<std::uint64_t> tags_; //!< direct-mapped vpn tags (+1)
     stats::Group stats_;
+    stats::Handle stAccesses_;
+    stats::Handle stHits_;
+    stats::Handle stMisses_;
 };
 
 } // namespace tm

@@ -45,7 +45,11 @@ class Connector
 {
   public:
     Connector(std::string name, const ConnectorParams &params)
-        : name_(std::move(name)), p_(params), stats_(name_)
+        : name_(std::move(name)), p_(params), stats_(name_),
+          stPushes_(stats_.handle("pushes")),
+          stPops_(stats_.handle("pops")),
+          stMaxOccupancy_(stats_.handle("max_occupancy")),
+          stFlushed_(stats_.handle("flushed"))
     {
         fastsim_assert(p_.inputThroughput > 0 && p_.outputThroughput > 0);
         fastsim_assert(p_.maxTransactions > 0);
@@ -73,9 +77,9 @@ class Connector
         fastsim_assert(canPush());
         q_.push_back(Entry{std::move(v), now_ + p_.minLatency});
         ++pushedThisCycle_;
-        ++stats_.counter("pushes");
-        if (q_.size() > stats_.value("max_occupancy"))
-            stats_.counter("max_occupancy") = q_.size();
+        ++stPushes_;
+        if (q_.size() > stMaxOccupancy_.value())
+            stMaxOccupancy_.set(q_.size());
     }
 
     /** True if an entry is visible and output throughput remains. */
@@ -100,7 +104,7 @@ class Connector
         T v = std::move(q_.front().value);
         q_.pop_front();
         ++poppedThisCycle_;
-        ++stats_.counter("pops");
+        ++stPops_;
         return v;
     }
 
@@ -108,7 +112,7 @@ class Connector
     void
     flush()
     {
-        stats_.counter("flushed") += q_.size();
+        stFlushed_ += q_.size();
         q_.clear();
     }
 
@@ -141,6 +145,10 @@ class Connector
     unsigned pushedThisCycle_ = 0;
     unsigned poppedThisCycle_ = 0;
     stats::Group stats_;
+    stats::Handle stPushes_;
+    stats::Handle stPops_;
+    stats::Handle stMaxOccupancy_;
+    stats::Handle stFlushed_;
 };
 
 } // namespace tm

@@ -26,6 +26,23 @@ Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
       sIcache_("icache_hit_rate"), sBp_("bp_accuracy"),
       sDrain_("pipe_drain_pct")
 {
+    stCommittedInsts_ = stats_.handle("committed_insts");
+    stExceptionFlushes_ = stats_.handle("exception_flushes");
+    stSquashedInsts_ = stats_.handle("squashed_insts");
+    stMispredictResteers_ = stats_.handle("mispredict_resteers");
+    stIssuedUops_ = stats_.handle("issued_uops");
+    stDispatchStallSerialize_ = stats_.handle("dispatch_stall_serialize");
+    stDispatchStallResources_ = stats_.handle("dispatch_stall_resources");
+    stDispatchedInsts_ = stats_.handle("dispatched_insts");
+    stFetchStallDrainreq_ = stats_.handle("fetch_stall_drainreq");
+    stDrainCycles_ = stats_.handle("drain_cycles");
+    stFetchStallIcache_ = stats_.handle("fetch_stall_icache");
+    stFetchStallResteer_ = stats_.handle("fetch_stall_resteer");
+    stFetchStallStarved_ = stats_.handle("fetch_stall_starved");
+    stFetchStallBranches_ = stats_.handle("fetch_stall_branches");
+    stFetchAttempts_ = stats_.handle("fetch_attempts");
+    stFetchedInsts_ = stats_.handle("fetched_insts");
+    stCycles_ = stats_.handle("cycles");
 }
 
 std::vector<TmEvent>
@@ -120,7 +137,7 @@ Core::stageCommit()
         if (e.isBranch) {
             ++bbCount_;
         }
-        ++stats_.counter("committed_insts");
+        ++stCommittedInsts_;
         if (onCommit)
             onCommit(e);
 
@@ -128,7 +145,7 @@ Core::stageCommit()
             // The target flushes at an exception commit; the handler
             // entries are already in the TB — re-aim the fetch pointer
             // (no functional-model round trip needed).
-            ++stats_.counter("exception_flushes");
+            ++stExceptionFlushes_;
             // Squash everything younger.
             for (DynInst &di : rob_)
                 for (UopSlot &u : di.uops)
@@ -205,13 +222,13 @@ Core::stageWriteback()
         if (victim.e.serializing)
             serializeInFlight_ = false;
         rob_.pop_back();
-        ++stats_.counter("squashed_insts");
+        ++stSquashedInsts_;
     }
     fetchQ_.flush();
     rebuildRenameTable();
     if (cfg_.drainOnMispredict)
         drainForMispredict_ = true;
-    ++stats_.counter("mispredict_resteers");
+    ++stMispredictResteers_;
 }
 
 void
@@ -342,7 +359,7 @@ Core::stageIssue()
     }
     // Wakeup CAM search over the reservation stations.
     hostThisCycle_ += (rsUsed_ + 7) / 8 + issued_total;
-    stats_.counter("issued_uops") += issued_total;
+    stIssuedUops_ += issued_total;
 }
 
 void
@@ -353,11 +370,11 @@ Core::stageDispatch()
     while (dispatched < cfg_.issueWidth && fetchQ_.canPop()) {
         const DynInst &front = fetchQ_.front();
         if (serializeInFlight_) {
-            ++stats_.counter("dispatch_stall_serialize");
+            ++stDispatchStallSerialize_;
             break;
         }
         if (front.e.serializing && !rob_.empty()) {
-            ++stats_.counter("dispatch_stall_serialize");
+            ++stDispatchStallSerialize_;
             break;
         }
         const unsigned n = static_cast<unsigned>(front.uops.size());
@@ -381,7 +398,7 @@ Core::stageDispatch()
         if (robUops_ + n > cfg_.robEntries ||
             rsUsed_ + rs_uops > cfg_.rsEntries ||
             lsqUsed_ + mem_uops > cfg_.lsqEntries) {
-            ++stats_.counter("dispatch_stall_resources");
+            ++stDispatchStallResources_;
             break;
         }
         DynInst di = fetchQ_.pop();
@@ -419,14 +436,14 @@ Core::stageDispatch()
     }
     // Rename-table port multiplexing (~3 accesses per µop, 2 ports).
     hostThisCycle_ += (dispatched_uops * 3 + 1) / 2;
-    stats_.counter("dispatched_insts") += dispatched;
+    stDispatchedInsts_ += dispatched;
 }
 
 void
 Core::stageFetch()
 {
     if (drainRequested_) {
-        ++stats_.counter("fetch_stall_drainreq");
+        ++stFetchStallDrainreq_;
         return;
     }
     if (drainForMispredict_) {
@@ -434,12 +451,12 @@ Core::stageFetch()
             drainForMispredict_ = false;
         } else {
             ++intDrainCycles_;
-            ++stats_.counter("drain_cycles");
+            ++stDrainCycles_;
             return;
         }
     }
     if (fetchBusyUntil_ > cycle_) {
-        ++stats_.counter("fetch_stall_icache");
+        ++stFetchStallIcache_;
         return;
     }
 
@@ -454,9 +471,9 @@ Core::stageFetch()
         }
         if (!pe) {
             if (awaitingResteer_)
-                ++stats_.counter("fetch_stall_resteer");
+                ++stFetchStallResteer_;
             else
-                ++stats_.counter("fetch_stall_starved");
+                ++stFetchStallStarved_;
             break;
         }
         if (pe->epoch > expectedEpoch_)
@@ -468,10 +485,10 @@ Core::stageFetch()
                   static_cast<unsigned long long>(nextFetchIn_));
         if (pe->isBranch &&
             unresolvedBranches() >= cfg_.maxNestedBranches) {
-            ++stats_.counter("fetch_stall_branches");
+            ++stFetchStallBranches_;
             break;
         }
-        ++stats_.counter("fetch_attempts");
+        ++stFetchAttempts_;
 
         TraceEntry e = tb_.takeFetch();
         nextFetchIn_ = e.in + 1;
@@ -533,7 +550,7 @@ Core::stageFetch()
         const bool halt = e.halt;
         fetchQ_.push(std::move(di));
         ++fetched;
-        ++stats_.counter("fetched_insts");
+        ++stFetchedInsts_;
         if (redirect || halt || icache_miss)
             break;
     }
@@ -590,20 +607,20 @@ Core::tick()
         snap.rsOccupancy = rsUsed_;
         snap.lsqOccupancy = lsqUsed_;
         snap.committedThisCycle = static_cast<unsigned>(
-            stats_.value("committed_insts") - lastCommitSample_);
+            stCommittedInsts_.value() - lastCommitSample_);
         snap.fetchedThisCycle = static_cast<unsigned>(
-            stats_.value("fetched_insts") - lastFetchSample_);
+            stFetchedInsts_.value() - lastFetchSample_);
         snap.fetchStalled = snap.fetchedThisCycle == 0;
         snap.draining = drainForMispredict_ || awaitingResteer_;
-        lastCommitSample_ = stats_.value("committed_insts");
-        lastFetchSample_ = stats_.value("fetched_insts");
+        lastCommitSample_ = stCommittedInsts_.value();
+        lastFetchSample_ = stFetchedInsts_.value();
         for (TriggerQuery &t : triggers_)
             t.evaluate(snap);
     }
 
     hostCycles_ += hostThisCycle_;
     ++cycle_;
-    ++stats_.counter("cycles");
+    ++stCycles_;
 }
 
 FpgaCost

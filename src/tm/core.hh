@@ -261,6 +261,26 @@ class Core
 
     std::vector<TmEvent> events_;
     stats::Group stats_;
+
+    // Per-cycle / per-instruction counters, resolved once (stats::Handle).
+    stats::Handle stCommittedInsts_;
+    stats::Handle stExceptionFlushes_;
+    stats::Handle stSquashedInsts_;
+    stats::Handle stMispredictResteers_;
+    stats::Handle stIssuedUops_;
+    stats::Handle stDispatchStallSerialize_;
+    stats::Handle stDispatchStallResources_;
+    stats::Handle stDispatchedInsts_;
+    stats::Handle stFetchStallDrainreq_;
+    stats::Handle stDrainCycles_;
+    stats::Handle stFetchStallIcache_;
+    stats::Handle stFetchStallResteer_;
+    stats::Handle stFetchStallStarved_;
+    stats::Handle stFetchStallBranches_;
+    stats::Handle stFetchAttempts_;
+    stats::Handle stFetchedInsts_;
+    stats::Handle stCycles_;
+
     std::vector<TriggerQuery> triggers_;
     std::uint64_t lastCommitSample_ = 0; //!< trigger-snapshot deltas
     std::uint64_t lastFetchSample_ = 0;

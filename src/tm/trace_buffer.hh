@@ -12,12 +12,41 @@
  *   fetch   — the timing model's read position;
  *   write   — the functional model's append position.  Roll-back rewinds
  *             it, overwriting incorrect-path entries (Figure 2).
+ *
+ * Implementation: a fixed power-of-two ring addressed by three
+ * monotonically increasing 64-bit indices (write, fetch, free), so every
+ * pointer operation — including rewindTo and commitTo — is O(1) index
+ * arithmetic.  Because the FM pushes INs contiguously and the write/free
+ * indices move by exactly one per push, the difference `IN - index` is a
+ * single constant fixed at the first push (rewinds subtract the same
+ * amount from both sides), which makes every IN <-> index conversion a
+ * subtraction.
+ *
+ * Concurrency (the parallel runner; the coupled runner is single-threaded
+ * and pays only uncontended atomics):
+ *
+ *   - the FM thread is the only *writer* of writeIdx_ and freeIdx_
+ *     (Commit protocol events are applied on the FM thread);
+ *   - the TM thread is the only *writer* of fetchIdx_ in steady state;
+ *   - push() release-stores writeIdx_ after filling the slot, and the
+ *     consumer acquire-loads it before reading, so slot contents are
+ *     always published;
+ *   - takeFetch() release-stores fetchIdx_; commitTo() acquire-loads it
+ *     for its cannot-commit-unfetched check (the Commit event's ring
+ *     transfer provides the actual ordering edge);
+ *   - rewindTo() is the one moment the producer also *clamps* fetchIdx_
+ *     (the overwritten entries must disappear from the reader too).  It
+ *     is only legal while the consumer is quiesced: trivially true in
+ *     the coupled runner, and guaranteed in the parallel runner by the
+ *     resteer rendezvous (the TM stops touching the buffer between
+ *     issuing a resteer-class event and observing the FM's ack).
  */
 
 #ifndef FASTSIM_TM_TRACE_BUFFER_HH
 #define FASTSIM_TM_TRACE_BUFFER_HH
 
-#include <deque>
+#include <atomic>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/types.hh"
@@ -32,84 +61,146 @@ class TraceBuffer
     explicit TraceBuffer(std::size_t capacity) : capacity_(capacity)
     {
         fastsim_assert(capacity > 0);
+        std::size_t phys = 1;
+        while (phys < capacity)
+            phys <<= 1;
+        ring_.resize(phys);
+        mask_ = phys - 1;
     }
 
     // --- write side (functional model) -----------------------------------
-    bool full() const { return q_.size() >= capacity_; }
+    bool
+    full() const
+    {
+        return writeIdx_.load(std::memory_order_relaxed) -
+                   freeIdx_.load(std::memory_order_relaxed) >=
+               capacity_;
+    }
 
     void
     push(const fm::TraceEntry &e)
     {
         fastsim_assert(!full());
-        if (!q_.empty())
-            fastsim_assert(e.in == q_.back().in + 1);
-        q_.push_back(e);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
+        if (!deltaSet_) {
+            delta_ = e.in - w;
+            deltaSet_ = true;
+        }
+        fastsim_assert(e.in == delta_ + w);
+        ring_[w & mask_] = e;
+        writeIdx_.store(w + 1, std::memory_order_release);
     }
 
     /**
      * Roll back the write pointer: drop all entries with IN >= in.  The
      * fetch pointer is clamped (the timing model will see the overwritten
-     * entries).
+     * entries).  Caller must guarantee the consumer is quiesced (see the
+     * file comment).
      */
     void
     rewindTo(InstNum in)
     {
-        while (!q_.empty() && q_.back().in >= in)
-            q_.pop_back();
-        if (fetchOffset_ > q_.size())
-            fetchOffset_ = q_.size();
+        if (!deltaSet_)
+            return;
+        const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t f = freeIdx_.load(std::memory_order_relaxed);
+        std::uint64_t target = in - delta_;
+        if (target >= w)
+            return; // nothing at or above `in`
+        if (target < f)
+            target = f; // everything below is already committed
+        writeIdx_.store(target, std::memory_order_release);
+        if (fetchIdx_.load(std::memory_order_relaxed) > target)
+            fetchIdx_.store(target, std::memory_order_release);
     }
 
-    // --- read side (timing model) -------------------------------------------
+    // --- read side (timing model) -----------------------------------------
     /** Next unfetched entry, or nullptr. */
     const fm::TraceEntry *
     peekFetch() const
     {
-        return fetchOffset_ < q_.size() ? &q_[fetchOffset_] : nullptr;
+        const std::uint64_t f = fetchIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
+        return f < w ? &ring_[f & mask_] : nullptr;
     }
 
     fm::TraceEntry
     takeFetch()
     {
-        fastsim_assert(fetchOffset_ < q_.size());
-        return q_[fetchOffset_++];
+        const std::uint64_t f = fetchIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
+        fastsim_assert(f < w);
+        fm::TraceEntry e = ring_[f & mask_];
+        fetchIdx_.store(f + 1, std::memory_order_release);
+        return e;
     }
 
     /** Re-aim the fetch pointer at IN `in` (exception re-fetch). */
     void
     rewindFetchTo(InstNum in)
     {
-        if (q_.empty()) {
-            fetchOffset_ = 0;
+        const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
+        if (!deltaSet_) {
+            fetchIdx_.store(w, std::memory_order_release);
             return;
         }
-        const InstNum base = q_.front().in;
-        fastsim_assert(in >= base);
-        const std::size_t off = static_cast<std::size_t>(in - base);
-        fastsim_assert(off <= q_.size());
-        fetchOffset_ = off;
+        const std::uint64_t target = in - delta_;
+        fastsim_assert(target <= w);
+        fastsim_assert(target >= freeIdx_.load(std::memory_order_relaxed));
+        fetchIdx_.store(target, std::memory_order_release);
     }
 
-    // --- commit side --------------------------------------------------------
+    // --- commit side -------------------------------------------------------
     void
     commitTo(InstNum in)
     {
-        while (!q_.empty() && q_.front().in <= in) {
-            fastsim_assert(fetchOffset_ > 0); // cannot commit unfetched
-            q_.pop_front();
-            --fetchOffset_;
-        }
+        if (!deltaSet_)
+            return;
+        const std::uint64_t f = freeIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
+        std::uint64_t target = in - delta_ + 1; // one past the committed IN
+        if (target <= f || in + 1 <= delta_ + f)
+            return; // nothing new to release (second test guards wrap)
+        if (target > w)
+            target = w;
+        // Cannot commit unfetched entries.
+        fastsim_assert(target <= fetchIdx_.load(std::memory_order_acquire));
+        freeIdx_.store(target, std::memory_order_release);
     }
 
-    std::size_t size() const { return q_.size(); }
-    std::size_t unfetched() const { return q_.size() - fetchOffset_; }
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            writeIdx_.load(std::memory_order_relaxed) -
+            freeIdx_.load(std::memory_order_relaxed));
+    }
+
+    std::size_t
+    unfetched() const
+    {
+        const std::uint64_t f = fetchIdx_.load(std::memory_order_relaxed);
+        const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
+        return w > f ? static_cast<std::size_t>(w - f) : 0;
+    }
+
     std::size_t capacity() const { return capacity_; }
-    bool empty() const { return q_.empty(); }
+    bool empty() const { return size() == 0; }
 
   private:
-    std::size_t capacity_;
-    std::deque<fm::TraceEntry> q_;
-    std::size_t fetchOffset_ = 0;
+    std::size_t capacity_; //!< logical capacity (exact, not rounded)
+    std::uint64_t mask_;
+    std::vector<fm::TraceEntry> ring_;
+
+    std::atomic<std::uint64_t> writeIdx_{0}; //!< FM-owned
+    std::atomic<std::uint64_t> fetchIdx_{0}; //!< TM-owned (FM clamps on rewind)
+    std::atomic<std::uint64_t> freeIdx_{0};  //!< FM-owned (commit release)
+
+    // IN of ring index i is delta_ + i; constant once the first entry is
+    // pushed (see file comment).  Written once by the producer before the
+    // first writeIdx_ release, so the consumer always sees it initialized.
+    std::uint64_t delta_ = 0;
+    bool deltaSet_ = false;
 };
 
 } // namespace tm

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Decoded-instruction cache soundness tests.
+ *
+ * The cache (fm/decode_cache.hh) must be functionally invisible: any
+ * committed instruction stream produced with the cache enabled must be
+ * byte-for-byte the stream produced with it disabled.  The hazards are
+ * exactly the ways already-decoded bytes can change underneath a cached
+ * entry:
+ *
+ *  - self-modifying code (a guest store into the instruction stream);
+ *  - REP string stores sweeping over a cached region;
+ *  - page remaps under paging (the same virtual address reaching
+ *    different physical code after a PTE rewrite);
+ *  - roll-back: an undo-log restore rewrites code bytes *and* must kill
+ *    any entry filled from the speculative bytes.
+ *
+ * Every test runs the same program with cfg.decodeCache on and off and
+ * demands identical committed behaviour, in addition to asserting the
+ * architecturally-correct outcome directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fm/decode_cache.hh"
+#include "fm/func_model.hh"
+#include "isa/assembler.hh"
+#include "kernel/boot.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace fm {
+namespace {
+
+using isa::Assembler;
+using namespace isa;
+
+constexpr Addr Base = 0x1000;
+constexpr Addr Snippet = 0x3000; //!< own page, distinct from Base's
+constexpr Addr StackTop = 0xF000;
+
+FmConfig
+cfgWith(bool cache, std::size_t ram = 1u << 20)
+{
+    FmConfig cfg;
+    cfg.ramBytes = ram;
+    cfg.fmDrivenDevices = false;
+    cfg.decodeCache = cache;
+    return cfg;
+}
+
+/** One committed entry, reduced to the fields that define the stream. */
+struct StreamEntry
+{
+    InstNum in;
+    Addr pc;
+    isa::Opcode op;
+    Addr nextPc;
+    bool operator==(const StreamEntry &o) const = default;
+};
+
+struct RunOutcome
+{
+    std::vector<StreamEntry> stream;
+    ArchState finalState;
+    std::string console;
+};
+
+RunOutcome
+runToHalt(FuncModel &fm, std::uint64_t limit = 100000)
+{
+    RunOutcome out;
+    for (std::uint64_t i = 0; i < limit; ++i) {
+        StepResult r = fm.step();
+        if (r.kind == StepResult::Kind::Halted) {
+            if (!(fm.state().flags & FlagI))
+                break;
+            continue;
+        }
+        EXPECT_EQ(r.kind, StepResult::Kind::Ok);
+        out.stream.push_back(
+            {r.entry.in, r.entry.pc, r.entry.op, r.entry.nextPc});
+    }
+    out.finalState = fm.state();
+    out.console = fm.console().output();
+    return out;
+}
+
+/** Run the same images with the cache on and off; demand identity. */
+std::pair<RunOutcome, RunOutcome>
+runBoth(const std::vector<std::pair<Addr, std::vector<std::uint8_t>>> &images)
+{
+    RunOutcome outs[2];
+    for (int cache = 0; cache < 2; ++cache) {
+        FuncModel fm(cfgWith(cache == 1));
+        for (const auto &[pa, img] : images)
+            fm.loadImage(pa, img);
+        fm.reset(Base);
+        outs[cache] = runToHalt(fm);
+        if (cache == 1)
+            EXPECT_GT(fm.stats().value("decode_cache_hits"), 0u);
+    }
+    EXPECT_EQ(outs[0].stream.size(), outs[1].stream.size());
+    EXPECT_EQ(outs[0].stream, outs[1].stream);
+    EXPECT_EQ(outs[0].finalState, outs[1].finalState);
+    EXPECT_EQ(outs[0].console, outs[1].console);
+    return {outs[0], outs[1]};
+}
+
+/** A `movri R1, imm; ret` leaf function, assembled for address `at`. */
+std::vector<std::uint8_t>
+leafFunc(Addr at, std::uint32_t imm)
+{
+    Assembler s(at);
+    s.movri(R1, imm);
+    s.ret();
+    return s.finish();
+}
+
+TEST(DecodeCacheUnit, GenerationMismatchInvalidates)
+{
+    DecodeCache dc(16);
+    isa::Insn insn;
+    insn.op = isa::Opcode::Nop;
+    insn.length = 1;
+    dc.fill(0x40, 7, insn);
+    EXPECT_NE(dc.lookup(0x40, 7), nullptr);
+    // Any later write to the page bumps the generation: must miss.
+    EXPECT_EQ(dc.lookup(0x40, 8), nullptr);
+    // Index collision evicts (direct-mapped).
+    dc.fill(0x40 + 16, 3, insn);
+    EXPECT_EQ(dc.lookup(0x40, 7), nullptr);
+    EXPECT_NE(dc.lookup(0x40 + 16, 3), nullptr);
+    dc.invalidateAll();
+    EXPECT_EQ(dc.lookup(0x40 + 16, 3), nullptr);
+}
+
+TEST(DecodeCache, SelfModifyingStorePatchesCachedInsn)
+{
+    // Call a leaf function (filling the cache), overwrite it byte by byte
+    // with a version returning a different value, and call it again.  A
+    // cache that survives the stores would replay the stale decode.
+    const auto v1 = leafFunc(Snippet, 0x11111111u);
+    const auto v2 = leafFunc(Snippet, 0x22222222u);
+    ASSERT_EQ(v1.size(), v2.size());
+
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R5, Snippet);
+    a.callr(R5);
+    a.callr(R5); // re-execution: this call hits the decode cache
+    a.movrr(R6, R1); // first result
+    for (std::size_t i = 0; i < v2.size(); ++i) {
+        a.movri(R4, v2[i]);
+        a.stb(R5, static_cast<std::int32_t>(i), R4);
+    }
+    a.callr(R5);
+    a.movrr(R4, R1); // second result
+    a.hlt();
+
+    auto [off, on] = runBoth({{Base, a.finish()}, {Snippet, v1}});
+    EXPECT_EQ(on.finalState.gpr[6], 0x11111111u);
+    EXPECT_EQ(on.finalState.gpr[4], 0x22222222u);
+}
+
+TEST(DecodeCache, RepStoreSweepsCachedRegion)
+{
+    // REP STOSB overwrites the leaf's four immediate bytes with 0x55.
+    // Each REP iteration is its own dynamic instruction at the same PC, so
+    // this also exercises repeated hits on the REP instruction itself while
+    // its *target* page generation churns.
+    const auto v1 = leafFunc(Snippet, 0x11111111u);
+    const auto v2 = leafFunc(Snippet, 0x22222222u);
+    ASSERT_EQ(v1.size(), v2.size());
+    std::size_t d0 = v1.size();
+    for (std::size_t i = 0; i < v1.size(); ++i)
+        if (v1[i] != v2[i]) {
+            d0 = i;
+            break;
+        }
+    ASSERT_LE(d0 + 4, v1.size()); // imm32 lives inside the encoding
+    ASSERT_NE(v1[d0 + 3], v2[d0 + 3]); // ...contiguously
+
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R5, Snippet);
+    a.callr(R5);
+    a.movrr(R6, R1); // 0x11111111
+    a.movri(RegDi, Snippet + static_cast<std::uint32_t>(d0));
+    a.movri(RegAx, 0x55);
+    a.movri(RegCx, 4);
+    a.stosb(/*rep=*/true);
+    a.callr(R5);
+    a.movrr(R4, R1); // 0x55555555
+    a.hlt();
+
+    auto [off, on] = runBoth({{Base, a.finish()}, {Snippet, v1}});
+    EXPECT_EQ(on.finalState.gpr[6], 0x11111111u);
+    EXPECT_EQ(on.finalState.gpr[4], 0x55555555u);
+}
+
+TEST(DecodeCache, PageRemapRedirectsAlias)
+{
+    // Under paging, VA 0x280000 first maps to code A; a PTE rewrite then
+    // points it at code B.  The cache is PA-keyed, so the second call must
+    // fetch (and decode) B's bytes — no stale A decode may survive.
+    constexpr Addr AliasVa = 0x280000;
+    constexpr PAddr CodeA = 0x180000, CodeB = 0x190000;
+    constexpr PAddr Dir = 0x100000, Pt = 0x101000;
+
+    const auto fa = leafFunc(AliasVa, 0xAAAA);
+    const auto fb = leafFunc(AliasVa, 0xBBBB);
+
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R0, Dir);
+    a.crwrite(CrPtbr, R0);
+    a.movri(R0, StatusPaging);
+    a.crwrite(CrStatus, R0);
+    a.movri(R5, AliasVa);
+    a.callr(R5);
+    a.movrr(R6, R1); // 0xAAAA via CodeA
+    // Rewrite the alias PTE to CodeB (page tables are identity-mapped),
+    // then rewrite PTBR to flush the translation cache.
+    a.movri(R4, CodeB | 0x7);
+    a.movri(R3, Pt + 4 * (AliasVa >> 12));
+    a.st(R3, 0, R4);
+    a.movri(R0, Dir);
+    a.crwrite(CrPtbr, R0);
+    a.callr(R5);
+    a.movrr(R2, R1); // 0xBBBB via CodeB
+    a.hlt();
+    const auto mainImg = a.finish();
+
+    RunOutcome outs[2];
+    for (int cache = 0; cache < 2; ++cache) {
+        FuncModel fm(cfgWith(cache == 1, 4u << 20));
+        // Identity-map the first 4 MB, user+write.
+        for (unsigned i = 0; i < 1024; ++i)
+            fm.mem().write32(Pt + 4 * i, (i << 12) | 0x7);
+        fm.mem().write32(Dir, Pt | 0x7);
+        fm.mem().write32(Pt + 4 * (AliasVa >> 12), CodeA | 0x7);
+        fm.loadImage(CodeA, fa);
+        fm.loadImage(CodeB, fb);
+        fm.loadImage(Base, mainImg);
+        fm.reset(Base);
+        outs[cache] = runToHalt(fm);
+        EXPECT_EQ(fm.state().gpr[6], 0xAAAAu) << "cache=" << cache;
+        EXPECT_EQ(fm.state().gpr[2], 0xBBBBu) << "cache=" << cache;
+    }
+    EXPECT_EQ(outs[0].stream, outs[1].stream);
+    EXPECT_EQ(outs[0].finalState, outs[1].finalState);
+}
+
+TEST(DecodeCache, RollbackRestoresOriginalDecode)
+{
+    // A wrong-path excursion patches the leaf function *and* executes the
+    // patched version (filling the cache with the speculative decode).
+    // Rolling back restores the bytes; the committed-path re-execution must
+    // decode the original.
+    const auto v1 = leafFunc(Snippet, 0x11111111u);
+    const auto v2 = leafFunc(Snippet, 0x22222222u);
+    ASSERT_EQ(v1.size(), v2.size());
+
+    Assembler a(Base);
+    a.movri(RegSp, StackTop);
+    a.movri(R5, Snippet);
+    a.callr(R5);
+    a.movrr(R6, R1);
+    a.callr(R5);
+    a.movrr(R4, R1);
+    a.hlt();
+    const auto mainImg = a.finish();
+
+    // Wrong-path patcher at its own address: store v2 over the snippet,
+    // then call it (so the cache holds the speculative decode).
+    constexpr Addr Patcher = 0x5000;
+    Assembler p(Patcher);
+    p.movri(R3, Snippet);
+    for (std::size_t i = 0; i < v2.size(); ++i) {
+        p.movri(R2, v2[i]);
+        p.stb(R3, static_cast<std::int32_t>(i), R2);
+    }
+    p.callr(R3);
+    p.nop();
+    p.nop();
+    const std::size_t patcherSteps = 2 + 2 * v2.size() + 1 + 2; // + leaf
+    const auto patcherImg = p.finish();
+
+    for (int cache = 0; cache < 2; ++cache) {
+        FuncModel fm(cfgWith(cache == 1));
+        fm.loadImage(Base, mainImg);
+        fm.loadImage(Snippet, v1);
+        fm.loadImage(Patcher, patcherImg);
+        fm.reset(Base);
+
+        // sp, movri R5, callr, movri R1, ret, movrr R6  = 6 instructions.
+        for (int i = 0; i < 6; ++i)
+            ASSERT_EQ(fm.step().kind, StepResult::Kind::Ok);
+        ASSERT_EQ(fm.state().gpr[6], 0x11111111u);
+
+        const InstNum in = fm.nextIn();
+        const Addr correctPc = fm.state().pc;
+        fm.setPc(in, Patcher, /*wrong_path=*/true);
+        for (std::size_t i = 0; i < patcherSteps; ++i) {
+            auto w = fm.step();
+            ASSERT_EQ(w.kind, StepResult::Kind::Ok);
+            EXPECT_TRUE(w.entry.wrongPath);
+        }
+        // The wrong path really executed the patched leaf.
+        EXPECT_EQ(fm.state().gpr[1], 0x22222222u);
+        fm.setPc(in, correctPc, /*wrong_path=*/false);
+        // Bytes must be restored...
+        for (std::size_t i = 0; i < v1.size(); ++i)
+            EXPECT_EQ(fm.mem().read8(Snippet + i), v1[i]) << i;
+        // ...and the committed-path second call re-decodes the original.
+        auto out = runToHalt(fm);
+        EXPECT_EQ(fm.state().gpr[4], 0x11111111u) << "cache=" << cache;
+        EXPECT_EQ(fm.state().gpr[6], 0x11111111u);
+    }
+}
+
+TEST(DecodeCache, WorkloadStreamIdenticalCacheOnOff)
+{
+    // End-to-end: boot a SPEC-profile workload in standalone mode and
+    // compare the full committed stream with the cache on vs off.
+    const auto &w = workloads::byName("164.gzip");
+    RunOutcome outs[2];
+    for (int cache = 0; cache < 2; ++cache) {
+        FmConfig cfg;
+        cfg.ramBytes = kernel::MemoryMap::RamBytes;
+        cfg.decodeCache = cache == 1;
+        FuncModel fm(cfg);
+        auto opts = workloads::bootOptionsFor(w, 300);
+        opts.timerInterval = 4000;
+        kernel::loadAndReset(fm, kernel::buildBootImage(opts));
+        outs[cache] = runToHalt(fm, 3000000);
+        if (cache == 1) {
+            EXPECT_GT(fm.stats().value("decode_cache_hits"), 0u);
+            EXPECT_GT(fm.stats().value("decode_cache_misses"), 0u);
+        }
+    }
+    ASSERT_GT(outs[0].stream.size(), 10000u);
+    EXPECT_EQ(outs[0].stream, outs[1].stream);
+    EXPECT_EQ(outs[0].finalState, outs[1].finalState);
+    EXPECT_EQ(outs[0].console, outs[1].console);
+}
+
+} // namespace
+} // namespace fm
+} // namespace fastsim
