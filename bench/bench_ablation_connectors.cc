@@ -8,8 +8,13 @@
  *
  * Sweeps issue width, ROB size, reservation stations and L1 latency on a
  * fixed workload, reporting target IPC and simulated MIPS, plus the FPGA
- * resources each configuration would need (nearly flat: §3.3).
+ * resources each configuration would need (nearly flat: §3.3).  Also
+ * writes a machine-readable BENCH_ablation_connectors.json to the working
+ * directory so successive PRs can diff TM throughput.
  */
+
+#include <cstdint>
+#include <vector>
 
 #include "../bench/common.hh"
 
@@ -23,6 +28,39 @@ struct Variant
     std::string name;
     fast::FastConfig cfg;
 };
+
+struct Row
+{
+    std::string name;
+    double ipc = 0;
+    std::uint64_t cycles = 0;
+    double mips = 0;
+    double logicFraction = 0;
+};
+
+void
+writeJson(const std::vector<Row> &rows)
+{
+    std::FILE *f = std::fopen("BENCH_ablation_connectors.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_ablation_connectors.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ablation_connectors\",\n"
+                    "  \"workload\": \"164.gzip\",\n  \"variants\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ipc\": %.4f, \"cycles\": "
+                     "%llu, \"sim_mips\": %.3f, \"fpga_logic\": %.4f}%s\n",
+                     r.name.c_str(), r.ipc,
+                     (unsigned long long)r.cycles, r.mips, r.logicFraction,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_ablation_connectors.json\n");
+}
 
 void
 run()
@@ -74,6 +112,7 @@ run()
 
     stats::TablePrinter table({"Configuration", "IPC", "cycles",
                                "sim MIPS", "FPGA logic"});
+    std::vector<Row> rows;
     double base_ipc = 0;
     for (auto &v : variants) {
         fast::FastSimulator sim(v.cfg);
@@ -92,10 +131,13 @@ run()
                       std::to_string(r.cycles),
                       stats::TablePrinter::num(perf.mips, 2),
                       stats::TablePrinter::pct(u.userLogicFraction, 1)});
+        rows.push_back(
+            {v.name, r.ipc, r.cycles, perf.mips, u.userLogicFraction});
         if (v.name.find("baseline") == 0)
             base_ipc = r.ipc;
     }
     table.print();
+    writeJson(rows);
 
     std::printf("\nShape checks:\n");
     std::printf("  resource-constrained variants lose IPC vs the baseline "

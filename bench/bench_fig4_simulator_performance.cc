@@ -12,10 +12,51 @@
  * dependences; the gshare average lands near ~1 MIPS.
  */
 
+#include <vector>
+
 #include "../bench/common.hh"
 
 namespace fastsim {
 namespace {
+
+struct Fig4Row
+{
+    std::string name;
+    double gshare = 0;
+    double bp97 = 0;
+    double perfect = 0;
+    double ipc = 0;
+    double bpAccuracy = 0;
+};
+
+void
+writeJson(const std::vector<Fig4Row> &rows, double amean_gshare,
+          double amean_97, double amean_perfect)
+{
+    std::FILE *f = std::fopen("BENCH_fig4_simulator_performance.json", "w");
+    if (!f) {
+        std::fprintf(
+            stderr, "cannot write BENCH_fig4_simulator_performance.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig4_simulator_performance\",\n"
+                    "  \"unit\": \"MIPS\",\n  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Fig4Row &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"gshare\": %.3f, "
+                     "\"bp97\": %.3f, \"perfect\": %.3f, \"ipc\": %.4f, "
+                     "\"bp_accuracy\": %.5f}%s\n",
+                     r.name.c_str(), r.gshare, r.bp97, r.perfect, r.ipc,
+                     r.bpAccuracy, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"amean\": {\"gshare\": %.3f, \"bp97\": %.3f, "
+                 "\"perfect\": %.3f}\n}\n",
+                 amean_gshare, amean_97, amean_perfect);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fig4_simulator_performance.json\n");
+}
 
 void
 run()
@@ -27,6 +68,7 @@ run()
     stats::TablePrinter table({"App", "gshare", "BP 97%", "BP 100%",
                                "paper(gshare)", "IPC", "BPacc",
                                "bottleneck"});
+    std::vector<Fig4Row> rows;
     double sum_gshare = 0, sum_97 = 0, sum_perfect = 0, sum_paper = 0;
     unsigned n = 0, n_paper = 0;
 
@@ -45,6 +87,8 @@ run()
                       stats::TablePrinter::num(g.ipc),
                       stats::TablePrinter::pct(g.bpAccuracy),
                       g.bottleneck});
+        rows.push_back(
+            {w.name, g.mips, f.mips, p.mips, g.ipc, g.bpAccuracy});
         sum_gshare += g.mips;
         sum_97 += f.mips;
         sum_perfect += p.mips;
@@ -60,6 +104,7 @@ run()
                   stats::TablePrinter::num(sum_paper / n_paper), "", "",
                   ""});
     table.print();
+    writeJson(rows, sum_gshare / n, sum_97 / n, sum_perfect / n);
 
     std::printf("\nShape checks:\n");
     std::printf("  perfect >= 97%% >= gshare (amean): %s\n",

@@ -36,6 +36,9 @@ class Handle
     Handle &operator++() { ++*slot_; return *this; }
     Handle &operator+=(std::uint64_t v) { *slot_ += v; return *this; }
     void set(std::uint64_t v) { *slot_ = v; }
+    /** Watermark update: counter = max(counter, v).  A single branch-free
+     *  max, for hot paths that track occupancy high-water marks. */
+    void maxOf(std::uint64_t v) { *slot_ = *slot_ < v ? v : *slot_; }
     std::uint64_t value() const { return *slot_; }
     bool valid() const { return slot_ != nullptr; }
 

@@ -23,6 +23,7 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     fm_cfg.fmDrivenDevices = false;
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
     core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+    engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
 }
 
 ParallelFastSimulator::~ParallelFastSimulator()
@@ -54,13 +55,29 @@ ParallelFastSimulator::applyMessage(const TmEvent &e)
 {
     // Runs on the FM thread.  Rewinds are safe here: the TM quiesces
     // between issuing a resteer-class event and observing the applied-count
-    // ack released below (see parallel.hh).
-    switch (e.kind) {
-      case TmEvent::Kind::WrongPath:
-        tb_.rewindTo(e.in);
-        fm_->setPc(e.in, e.pc, /*wrong_path=*/true);
+    // ack released below (see parallel.hh).  The protocol engine performs
+    // the FM-side appliance; this wrapper layers the thread-visible acks
+    // around it in the order the rendezvous requires.
+    if (ProtocolEngine::applyToFm(e, *fm_, tb_, stats_))
         fmStalledWrongPath_.store(false, std::memory_order_relaxed);
-        ++stats_.counter("wrong_path_resteers");
+    switch (e.kind) {
+      case TmEvent::Kind::Commit:
+        // Release after commitTo so that when the TM's tick gate observes
+        // this ack (acquire) and then reads tb_.full(), it sees the freed
+        // space: "full with all commits applied" is then a true statement
+        // about target state, not a stale snapshot.
+        commitsApplied_.store(
+            commitsApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+        break;
+      case TmEvent::Kind::InjectTimer:
+      case TmEvent::Kind::InjectDisk:
+        injectsApplied_.store(
+            injectsApplied_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+        [[fallthrough]];
+      case TmEvent::Kind::WrongPath:
+      case TmEvent::Kind::Resolve:
         // Snapshots (notably fmHalted_) must be refreshed *before* the
         // applied-count release below: the instant the TM observes the ack
         // it re-evaluates its tick gate, and a stale halted flag from a
@@ -71,55 +88,8 @@ ParallelFastSimulator::applyMessage(const TmEvent &e)
             resteersApplied_.load(std::memory_order_relaxed) + 1,
             std::memory_order_release);
         break;
-      case TmEvent::Kind::Resolve:
-        tb_.rewindTo(e.in);
-        fm_->setPc(e.in, e.pc, /*wrong_path=*/false);
-        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
-        ++stats_.counter("resolve_resteers");
-        publishSnapshots();
-        resteersApplied_.store(
-            resteersApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        break;
-      case TmEvent::Kind::Commit:
-        fm_->commit(e.in);
-        tb_.commitTo(e.in);
-        // Release after commitTo so that when the TM's tick gate observes
-        // this ack (acquire) and then reads tb_.full(), it sees the freed
-        // space: "full with all commits applied" is then a true statement
-        // about target state, not a stale snapshot.
-        commitsApplied_.store(
-            commitsApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        break;
       case TmEvent::Kind::RefetchAt:
         break; // the core handled the TB itself
-      case TmEvent::Kind::InjectTimer:
-        tb_.rewindTo(e.in);
-        fm_->resteerForInterrupt(e.in, isa::VecTimer);
-        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
-        ++stats_.counter("timer_interrupts");
-        injectsApplied_.store(
-            injectsApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        publishSnapshots();
-        resteersApplied_.store(
-            resteersApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        break;
-      case TmEvent::Kind::InjectDisk:
-        tb_.rewindTo(e.in);
-        fm_->resteerForDiskComplete(e.in);
-        fmStalledWrongPath_.store(false, std::memory_order_relaxed);
-        ++stats_.counter("disk_completions");
-        injectsApplied_.store(
-            injectsApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        publishSnapshots();
-        resteersApplied_.store(
-            resteersApplied_.load(std::memory_order_relaxed) + 1,
-            std::memory_order_release);
-        break;
     }
 }
 
@@ -241,58 +211,29 @@ ParallelFastSimulator::pushEvent(const TmEvent &e)
 void
 ParallelFastSimulator::deviceTiming()
 {
-    // TM thread.
+    // TM thread.  While an injection is in flight the device snapshots are
+    // stale (the FM has not yet applied the resteer), so both starting a
+    // new disk countdown and delivering the next event are held off.
     const bool injectPending =
         injectsApplied_.load(std::memory_order_acquire) != injectsIssued_;
-    const Cycle now = core_->cycle();
-    if (timerEnabledSnap_.load(std::memory_order_relaxed)) {
-        if (!timerArmed_) {
-            timerArmed_ = true;
-            timerNextFire_ =
-                now + timerIntervalSnap_.load(std::memory_order_relaxed);
-        }
-        if (now >= timerNextFire_ && !pendingTimerIrq_) {
-            pendingTimerIrq_ = true;
-            timerNextFire_ =
-                now + timerIntervalSnap_.load(std::memory_order_relaxed);
-        }
-    } else {
-        timerArmed_ = false;
-    }
-    if (diskBusySnap_.load(std::memory_order_relaxed) && !diskScheduled_ &&
-        !pendingDiskComplete_ && !injectPending) {
-        diskScheduled_ = true;
-        diskCompleteAt_ = now + cfg_.diskLatencyCycles;
-    }
-    if (diskScheduled_ && now >= diskCompleteAt_) {
-        diskScheduled_ = false;
-        pendingDiskComplete_ = true;
-    }
-    if (!pendingTimerIrq_ && !pendingDiskComplete_)
+    DeviceView dev;
+    dev.timerEnabled = timerEnabledSnap_.load(std::memory_order_relaxed);
+    dev.timerInterval = timerIntervalSnap_.load(std::memory_order_relaxed);
+    dev.diskBusy = diskBusySnap_.load(std::memory_order_relaxed);
+
+    // No committed-boundary check here: the Commit messages are already
+    // queued ahead of the injection, so the FM thread applies them first
+    // and the contract holds by construction.
+    const Injection inj = engine_->deviceTick(
+        dev, core_->cycle(), /*allow_disk_schedule=*/!injectPending,
+        /*allow_inject=*/!injectPending, boundaryAlwaysOk_);
+    if (!inj)
         return;
-    if (injectPending)
-        return; // one injection in flight at a time
-    core_->requestDrain();
-    if (!core_->drained())
-        return;
-    // Everything fetched has been committed; the Commit messages are
-    // already queued ahead of the injection, so the FM thread applies them
-    // first and the committed-boundary contract holds.
-    const InstNum in = core_->nextFetchIn();
-    TmEvent e;
-    e.in = in;
-    if (pendingDiskComplete_) {
-        e.kind = TmEvent::Kind::InjectDisk;
-        pendingDiskComplete_ = false;
+    if (inj.kind == Injection::Kind::Disk)
         diskBusySnap_.store(false, std::memory_order_relaxed);
-    } else {
-        e.kind = TmEvent::Kind::InjectTimer;
-        pendingTimerIrq_ = false;
-    }
     ++injectsIssued_;
     ++resteersIssued_;
-    core_->noteResteer();
-    pushEvent(e);
+    pushEvent(inj.toEvent());
 }
 
 bool

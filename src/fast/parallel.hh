@@ -51,6 +51,7 @@
 #include <thread>
 
 #include "base/spsc_ring.hh"
+#include "fast/protocol.hh"
 #include "fast/simulator.hh"
 
 namespace fastsim {
@@ -91,6 +92,7 @@ class ParallelFastSimulator
     std::unique_ptr<fm::FuncModel> fm_;
     tm::TraceBuffer tb_;
     std::unique_ptr<tm::Core> core_;
+    std::unique_ptr<ProtocolEngine> engine_; //!< TM-thread device timing
     stats::Group stats_;
 
     // TM -> FM protocol-event channel (SPSC: TM produces, FM consumes).
@@ -121,18 +123,17 @@ class ParallelFastSimulator
     std::atomic<bool> guestFinished_{false};
 
     // FM-thread-published device snapshots: the TM thread must never
-    // touch the functional model directly.
+    // touch the functional model directly.  The engine's device-timing
+    // state machines consume these through a DeviceView each tick.
     std::atomic<bool> timerEnabledSnap_{false};
     std::atomic<std::uint32_t> timerIntervalSnap_{0};
     std::atomic<bool> diskBusySnap_{false};
 
-    // Device-timing state (TM thread only).
-    bool timerArmed_ = false;
-    Cycle timerNextFire_ = 0;
-    bool diskScheduled_ = false;
-    Cycle diskCompleteAt_ = 0;
-    bool pendingTimerIrq_ = false;
-    bool pendingDiskComplete_ = false;
+    // The in-order event queue guarantees every Commit is applied before
+    // an injection the TM queued after it, so the committed-boundary
+    // check the coupled runner performs holds here by construction.
+    const std::function<bool(InstNum)> boundaryAlwaysOk_ =
+        [](InstNum) { return true; };
 
     // Sleep/wake backstop for the rare blocked states.
     mutable std::mutex mu_;

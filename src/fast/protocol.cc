@@ -1,0 +1,107 @@
+#include "fast/protocol.hh"
+
+namespace fastsim {
+namespace fast {
+
+using tm::TmEvent;
+
+bool
+ProtocolEngine::applyToFm(const TmEvent &e, fm::FuncModel &fm,
+                          tm::TraceBuffer &tb, stats::Group &stats)
+{
+    switch (e.kind) {
+      case TmEvent::Kind::WrongPath:
+        tb.rewindTo(e.in);
+        fm.setPc(e.in, e.pc, /*wrong_path=*/true);
+        ++stats.counter("wrong_path_resteers");
+        return true;
+      case TmEvent::Kind::Resolve:
+        tb.rewindTo(e.in);
+        fm.setPc(e.in, e.pc, /*wrong_path=*/false);
+        ++stats.counter("resolve_resteers");
+        return true;
+      case TmEvent::Kind::Commit:
+        fm.commit(e.in);
+        tb.commitTo(e.in);
+        return false;
+      case TmEvent::Kind::RefetchAt:
+        // The core already re-aimed the TB fetch pointer itself.
+        ++stats.counter("exception_refetches");
+        return false;
+      case TmEvent::Kind::InjectTimer:
+        tb.rewindTo(e.in);
+        fm.resteerForInterrupt(e.in, isa::VecTimer);
+        ++stats.counter("timer_interrupts");
+        return true;
+      case TmEvent::Kind::InjectDisk:
+        tb.rewindTo(e.in);
+        fm.resteerForDiskComplete(e.in);
+        ++stats.counter("disk_completions");
+        return true;
+    }
+    return false;
+}
+
+Injection
+ProtocolEngine::deviceTick(const DeviceView &dev, Cycle now,
+                           bool allow_disk_schedule, bool allow_inject,
+                           const std::function<bool(InstNum)> &boundary_ok)
+{
+    // Timer: the guest programs interval/enable through its ports; the
+    // timing model decides *when* ticks land, in target cycles (§3.4).
+    if (dev.timerEnabled) {
+        if (!timerArmed_) {
+            timerArmed_ = true;
+            timerNextFire_ = now + dev.timerInterval;
+        }
+        if (now >= timerNextFire_ && !pendingTimerIrq_) {
+            pendingTimerIrq_ = true;
+            timerNextFire_ = now + dev.timerInterval;
+        }
+    } else {
+        timerArmed_ = false;
+    }
+
+    // Disk: completion lands a fixed number of target cycles after the
+    // command was observed in flight.
+    if (dev.diskBusy && !diskScheduled_ && !pendingDiskComplete_ &&
+        allow_disk_schedule) {
+        diskScheduled_ = true;
+        diskCompleteAt_ = now + diskLatency_;
+    }
+    if (diskScheduled_ && now >= diskCompleteAt_) {
+        diskScheduled_ = false;
+        pendingDiskComplete_ = true;
+    }
+
+    if (!pendingTimerIrq_ && !pendingDiskComplete_)
+        return {};
+    if (!allow_inject)
+        return {}; // one injection in flight at a time
+
+    // Reproducible injection (paper §3.4: the TM "freezes, notifies the
+    // functional model ... and waits"): drain the pipeline, commit
+    // everything, then resteer the FM at the exact next IN.
+    core_.requestDrain();
+    if (!core_.drained())
+        return {};
+    const InstNum in = core_.nextFetchIn();
+    if (!boundary_ok(in)) {
+        // Not everything fetched has committed yet; keep draining.
+        return {};
+    }
+    Injection inj;
+    inj.in = in;
+    if (pendingDiskComplete_) {
+        inj.kind = Injection::Kind::Disk;
+        pendingDiskComplete_ = false;
+    } else {
+        inj.kind = Injection::Kind::Timer;
+        pendingTimerIrq_ = false;
+    }
+    core_.noteResteer();
+    return inj;
+}
+
+} // namespace fast
+} // namespace fastsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The FM<->TM protocol engine, shared by both runners.
+ *
+ * The coupled runner (simulator.cc) and the parallel runner (parallel.cc)
+ * speak the same protocol — TmEvent relay toward the functional model,
+ * set_pc/rollback resteer sequencing, commit release, exception refetch,
+ * and the timer/disk device-timing state machines of paper §3.4.  This
+ * class holds the single implementation of that protocol:
+ *
+ *  - applyToFm(): the FM-side appliance of one protocol event (trace
+ *    buffer rewind + functional-model resteer/commit + counter), used
+ *    inline by the coupled runner and on the FM thread by the parallel
+ *    runner (which layers its atomic acks around each call);
+ *  - deviceTick(): the per-cycle timer/disk state machines plus the §3.4
+ *    drain-freeze-inject sequence ("the TM freezes, notifies the
+ *    functional model ... and waits"), parameterized only by what the
+ *    runner can see of the devices (a DeviceView — direct FM reads for
+ *    the coupled runner, atomically published snapshots for the parallel
+ *    one) and by the runner's transport constraints.
+ *
+ * The coupled runner is the deterministic reference implementation of the
+ * protocol; the parallel runner is only the threading/SPSC shell around
+ * this engine.
+ */
+
+#ifndef FASTSIM_FAST_PROTOCOL_HH
+#define FASTSIM_FAST_PROTOCOL_HH
+
+#include <functional>
+
+#include "base/statistics.hh"
+#include "fm/func_model.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace fast {
+
+/** What the engine may see of the guest devices this cycle.  The parallel
+ *  runner fills this from FM-thread-published atomic snapshots; the
+ *  coupled runner reads the functional model directly. */
+struct DeviceView
+{
+    bool timerEnabled = false;
+    std::uint32_t timerInterval = 0;
+    bool diskBusy = false;
+};
+
+/** A device event the engine decided to deliver (§3.4): the pipeline has
+ *  drained and the interrupt/completion must be injected at `in`. */
+struct Injection
+{
+    enum class Kind { None, Timer, Disk } kind = Kind::None;
+    InstNum in = 0;
+
+    explicit operator bool() const { return kind != Kind::None; }
+
+    /** The runner-synthesized protocol event for this injection. */
+    tm::TmEvent
+    toEvent() const
+    {
+        tm::TmEvent e;
+        e.kind = kind == Kind::Disk ? tm::TmEvent::Kind::InjectDisk
+                                    : tm::TmEvent::Kind::InjectTimer;
+        e.in = in;
+        return e;
+    }
+};
+
+/**
+ * The shared protocol implementation.  One instance per runner; owns the
+ * TM-side device-timing state and drives the core's drain/resteer
+ * sequencing.  FM-side event appliance is stateless (static).
+ */
+class ProtocolEngine
+{
+  public:
+    ProtocolEngine(tm::Core &core, Cycle disk_latency_cycles)
+        : core_(core), diskLatency_(disk_latency_cycles)
+    {
+    }
+
+    /**
+     * Apply one protocol event to the functional model and trace buffer,
+     * counting it in `stats` (counter names are shared by both runners).
+     * Must run on whichever thread owns the FM.
+     *
+     * @return true for resteer-class events (WrongPath / Resolve /
+     * Inject*): the FM's wrong-path stall is obsolete and the caller
+     * must clear its stall flag.
+     */
+    static bool applyToFm(const tm::TmEvent &e, fm::FuncModel &fm,
+                          tm::TraceBuffer &tb, stats::Group &stats);
+
+    /**
+     * Advance the timer/disk state machines one target cycle and decide
+     * whether a device event is ready to inject.
+     *
+     * When something is pending the engine requests a pipeline drain and,
+     * once the core reports drained, checks `boundary_ok(in)` — the
+     * runner's verification that the functional model has committed
+     * everything below the injection point (the coupled runner compares
+     * lastCommitted(); the parallel runner's in-order event queue makes
+     * it hold by construction).  On success the pending state is consumed,
+     * the core's epoch is advanced (noteResteer), and the Injection is
+     * returned for the runner to transport; disk completions take
+     * priority over timer ticks.
+     *
+     * @param allow_disk_schedule gate for *starting* a new disk latency
+     *   countdown (the parallel runner holds it off while an injection
+     *   is still in flight, because diskBusy is then a stale snapshot).
+     * @param allow_inject gate for delivering (same reason).
+     */
+    Injection deviceTick(const DeviceView &dev, Cycle now,
+                         bool allow_disk_schedule, bool allow_inject,
+                         const std::function<bool(InstNum)> &boundary_ok);
+
+    /** True while a timer tick or disk completion awaits injection. */
+    bool
+    injectionPending() const
+    {
+        return pendingTimerIrq_ || pendingDiskComplete_;
+    }
+
+  private:
+    tm::Core &core_;
+    Cycle diskLatency_;
+
+    bool timerArmed_ = false;
+    Cycle timerNextFire_ = 0;
+    bool diskScheduled_ = false;
+    Cycle diskCompleteAt_ = 0;
+    bool pendingTimerIrq_ = false;
+    bool pendingDiskComplete_ = false;
+};
+
+} // namespace fast
+} // namespace fastsim
+
+#endif // FASTSIM_FAST_PROTOCOL_HH

@@ -15,6 +15,8 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
     fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
     core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+    engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
+    boundaryOk_ = [this](InstNum in) { return fm_->lastCommitted() + 1 == in; };
 }
 
 void
@@ -53,93 +55,28 @@ void
 FastSimulator::handleEvents()
 {
     for (const TmEvent &e : core_->drainEvents()) {
-        switch (e.kind) {
-          case TmEvent::Kind::WrongPath:
-            tb_.rewindTo(e.in);
-            fm_->setPc(e.in, e.pc, /*wrong_path=*/true);
+        if (onEvent)
+            onEvent(e);
+        if (ProtocolEngine::applyToFm(e, *fm_, tb_, stats_))
             fmStalledWrongPath_ = false;
-            ++stats_.counter("wrong_path_resteers");
-            break;
-          case TmEvent::Kind::Resolve:
-            tb_.rewindTo(e.in);
-            fm_->setPc(e.in, e.pc, /*wrong_path=*/false);
-            fmStalledWrongPath_ = false;
-            ++stats_.counter("resolve_resteers");
-            break;
-          case TmEvent::Kind::Commit:
-            fm_->commit(e.in);
-            tb_.commitTo(e.in);
-            break;
-          case TmEvent::Kind::RefetchAt:
-            // The core already re-aimed the TB fetch pointer itself.
-            ++stats_.counter("exception_refetches");
-            break;
-          default:
-            break; // Inject* are runner-synthesized, never emitted here
-        }
     }
 }
 
 void
 FastSimulator::deviceTiming()
 {
-    const Cycle now = core_->cycle();
+    DeviceView dev;
+    dev.timerEnabled = fm_->timer().enabled();
+    dev.timerInterval = fm_->timer().interval();
+    dev.diskBusy = fm_->disk().busy();
 
-    // Timer: the guest programs interval/enable through its ports; the
-    // timing model decides *when* ticks land, in target cycles (§3.4).
-    if (fm_->timer().enabled()) {
-        if (!timerArmed_) {
-            timerArmed_ = true;
-            timerNextFire_ = now + fm_->timer().interval();
-        }
-        if (now >= timerNextFire_ && !pendingTimerIrq_) {
-            pendingTimerIrq_ = true;
-            timerNextFire_ = now + fm_->timer().interval();
-        }
-    } else {
-        timerArmed_ = false;
-    }
-
-    // Disk: completion lands a fixed number of target cycles after the
-    // command was observed in flight.
-    if (fm_->disk().busy() && !diskScheduled_ && !pendingDiskComplete_) {
-        diskScheduled_ = true;
-        diskCompleteAt_ = now + cfg_.diskLatencyCycles;
-    }
-    if (diskScheduled_ && now >= diskCompleteAt_) {
-        diskScheduled_ = false;
-        pendingDiskComplete_ = true;
-    }
-
-    if (!pendingTimerIrq_ && !pendingDiskComplete_)
-        return;
-
-    // Reproducible injection (paper §3.4: the TM "freezes, notifies the
-    // functional model ... and waits"): drain the pipeline, commit
-    // everything, then resteer the FM at the exact next IN.
-    core_->requestDrain();
-    if (!core_->drained())
-        return;
-    const InstNum in = core_->nextFetchIn();
-    if (fm_->lastCommitted() + 1 != in) {
-        // Not everything fetched has committed yet; keep draining.
-        return;
-    }
-    if (pendingDiskComplete_) {
-        tb_.rewindTo(in);
-        fm_->resteerForDiskComplete(in);
-        core_->noteResteer();
+    // Single-threaded: the engine may schedule and inject without transport
+    // constraints, gated only on the FM's true committed boundary.
+    const Injection inj =
+        engine_->deviceTick(dev, core_->cycle(), /*allow_disk_schedule=*/true,
+                            /*allow_inject=*/true, boundaryOk_);
+    if (inj && ProtocolEngine::applyToFm(inj.toEvent(), *fm_, tb_, stats_))
         fmStalledWrongPath_ = false;
-        pendingDiskComplete_ = false;
-        ++stats_.counter("disk_completions");
-    } else {
-        tb_.rewindTo(in);
-        fm_->resteerForInterrupt(in, isa::VecTimer);
-        core_->noteResteer();
-        fmStalledWrongPath_ = false;
-        pendingTimerIrq_ = false;
-        ++stats_.counter("timer_interrupts");
-    }
 }
 
 void

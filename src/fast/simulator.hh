@@ -15,9 +15,11 @@
 #ifndef FASTSIM_FAST_SIMULATOR_HH
 #define FASTSIM_FAST_SIMULATOR_HH
 
+#include <functional>
 #include <memory>
 
 #include "base/statistics.hh"
+#include "fast/protocol.hh"
 #include "fm/func_model.hh"
 #include "kernel/boot.hh"
 #include "tm/core.hh"
@@ -87,6 +89,9 @@ class FastSimulator
     stats::Group &stats() { return stats_; }
     const FastConfig &config() const { return cfg_; }
 
+    /** Observation hook: every TM protocol event, in emission order. */
+    std::function<void(const tm::TmEvent &)> onEvent;
+
   private:
     void produceEntries();
     void handleEvents();
@@ -96,15 +101,13 @@ class FastSimulator
     std::unique_ptr<fm::FuncModel> fm_;
     tm::TraceBuffer tb_;
     std::unique_ptr<tm::Core> core_;
+    std::unique_ptr<ProtocolEngine> engine_;
     stats::Group stats_;
 
+    //!< injection boundary: the FM committed everything below `in`
+    std::function<bool(InstNum)> boundaryOk_;
+
     bool fmStalledWrongPath_ = false;
-    bool timerArmed_ = false;
-    Cycle timerNextFire_ = 0;
-    bool diskScheduled_ = false;
-    Cycle diskCompleteAt_ = 0;
-    bool pendingTimerIrq_ = false;
-    bool pendingDiskComplete_ = false;
 };
 
 } // namespace fast

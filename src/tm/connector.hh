@@ -10,6 +10,12 @@
  * reconfigure a target from a single issue machine to a multi-issue
  * machine ... change the latency or change the number of outstanding
  * transactions allowed."
+ *
+ * Two delivery disciplines are supported:
+ *  - push(v): ordered FIFO, entry visible after minLatency cycles;
+ *  - pushAt(v, ready_at): per-entry readiness for completion-style
+ *    channels (e.g. execute -> writeback) where transactions carry their
+ *    own latency and complete out of order; consume with drainReady().
  */
 
 #ifndef FASTSIM_TM_CONNECTOR_HH
@@ -25,7 +31,8 @@
 namespace fastsim {
 namespace tm {
 
-/** Connector configuration. */
+/** Connector configuration.  0 means unlimited for the throughputs and
+ *  for maxTransactions (completion channels are bounded by the ROB). */
 struct ConnectorParams
 {
     unsigned inputThroughput = 1;  //!< max enqueues per target cycle
@@ -51,8 +58,6 @@ class Connector
           stMaxOccupancy_(stats_.handle("max_occupancy")),
           stFlushed_(stats_.handle("flushed"))
     {
-        fastsim_assert(p_.inputThroughput > 0 && p_.outputThroughput > 0);
-        fastsim_assert(p_.maxTransactions > 0);
     }
 
     /** Begin a new target cycle. */
@@ -67,27 +72,36 @@ class Connector
     bool
     canPush() const
     {
-        return pushedThisCycle_ < p_.inputThroughput &&
-               q_.size() < p_.maxTransactions;
+        return (p_.inputThroughput == 0 ||
+                pushedThisCycle_ < p_.inputThroughput) &&
+               (p_.maxTransactions == 0 || q_.size() < p_.maxTransactions);
     }
 
     void
     push(T v)
     {
+        pushAt(std::move(v), now_ + p_.minLatency);
+    }
+
+    /** Push with an explicit readiness cycle (completion channels whose
+     *  entries carry their own latency).  Must still satisfy canPush(). */
+    void
+    pushAt(T v, Cycle ready_at)
+    {
         fastsim_assert(canPush());
-        q_.push_back(Entry{std::move(v), now_ + p_.minLatency});
+        q_.push_back(Entry{std::move(v), ready_at});
         ++pushedThisCycle_;
         ++stPushes_;
-        if (q_.size() > stMaxOccupancy_.value())
-            stMaxOccupancy_.set(q_.size());
+        stMaxOccupancy_.maxOf(q_.size());
     }
 
     /** True if an entry is visible and output throughput remains. */
     bool
     canPop() const
     {
-        return poppedThisCycle_ < p_.outputThroughput && !q_.empty() &&
-               q_.front().readyAt <= now_;
+        return (p_.outputThroughput == 0 ||
+                poppedThisCycle_ < p_.outputThroughput) &&
+               !q_.empty() && q_.front().readyAt <= now_;
     }
 
     const T &
@@ -108,12 +122,40 @@ class Connector
         return v;
     }
 
-    /** Squash all in-flight entries (pipeline flush). */
+    /**
+     * Pop every entry whose readiness has elapsed, regardless of queue
+     * position (out-of-order completion delivery), honoring output
+     * throughput.  Calls fn(value) for each in push order.
+     */
+    template <typename Fn>
+    void
+    drainReady(Fn &&fn)
+    {
+        for (auto it = q_.begin(); it != q_.end();) {
+            if (p_.outputThroughput != 0 &&
+                poppedThisCycle_ >= p_.outputThroughput)
+                break;
+            if (it->readyAt <= now_) {
+                fn(it->value);
+                it = q_.erase(it);
+                ++poppedThisCycle_;
+                ++stPops_;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** Squash all in-flight entries (pipeline flush).  Also re-arms the
+     *  current cycle's throughput budget: a mid-cycle flush must not
+     *  leave the new instruction stream debited for squashed work. */
     void
     flush()
     {
         stFlushed_ += q_.size();
         q_.clear();
+        pushedThisCycle_ = 0;
+        poppedThisCycle_ = 0;
     }
 
     /** Visit every in-flight value, oldest first (inspection only). */

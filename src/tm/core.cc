@@ -1,625 +1,121 @@
 #include "tm/core.hh"
 
-#include <unordered_set>
-
-#include "base/logging.hh"
-#include "ucode/compiler.hh"
-
 namespace fastsim {
 namespace tm {
 
-using fm::TraceEntry;
-using ucode::Uop;
-using ucode::UopKind;
-
 Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
-    : cfg_(cfg), tb_(tb), ucode_(ucode::UcodeTable::defaultTable()),
-      bp_(makeBranchPredictor(cfg.bp)), caches_(cfg.caches),
+    : cfg_(cfg), tb_(tb), bp_(makeBranchPredictor(cfg.bp)),
+      caches_(cfg.caches),
       itlb_("itlb", cfg.itlbEntries, cfg.tlbMissPenalty),
-      fetchQ_("fetch_to_dispatch",
-              ConnectorParams{cfg.issueWidth, cfg.issueWidth,
-                              cfg.frontEndDepth,
-                              cfg.issueWidth * (cfg.frontEndDepth + 2)}),
-      renameTable_(ucode::NumUopRegs, 0),
-      aluFreeAt_(cfg.numAlus, 0), buFreeAt_(cfg.numBranchUnits, 0),
-      lsuFreeAt_(cfg.numLoadStoreUnits, 0), stats_("core"),
+      state_(cfg_, resolveTopology(cfg_)),
+      commitM_(cfg_, state_, tb_),
+      writebackM_(cfg_, state_),
+      issueExecM_(cfg_, state_, caches_),
+      dispatchM_(cfg_, state_),
+      fetchM_(cfg_, state_, tb_, *bp_, caches_, itlb_),
+      stats_("core"),
       sIcache_("icache_hit_rate"), sBp_("bp_accuracy"),
       sDrain_("pipe_drain_pct")
 {
-    stCommittedInsts_ = stats_.handle("committed_insts");
-    stExceptionFlushes_ = stats_.handle("exception_flushes");
-    stSquashedInsts_ = stats_.handle("squashed_insts");
-    stMispredictResteers_ = stats_.handle("mispredict_resteers");
-    stIssuedUops_ = stats_.handle("issued_uops");
-    stDispatchStallSerialize_ = stats_.handle("dispatch_stall_serialize");
-    stDispatchStallResources_ = stats_.handle("dispatch_stall_resources");
-    stDispatchedInsts_ = stats_.handle("dispatched_insts");
-    stFetchStallDrainreq_ = stats_.handle("fetch_stall_drainreq");
-    stDrainCycles_ = stats_.handle("drain_cycles");
-    stFetchStallIcache_ = stats_.handle("fetch_stall_icache");
-    stFetchStallResteer_ = stats_.handle("fetch_stall_resteer");
-    stFetchStallStarved_ = stats_.handle("fetch_stall_starved");
-    stFetchStallBranches_ = stats_.handle("fetch_stall_branches");
-    stFetchAttempts_ = stats_.handle("fetch_attempts");
-    stFetchedInsts_ = stats_.handle("fetched_insts");
+    state_.onCommit = &onCommit;
+
+    // Deterministic tick order: oldest stage first, so an instruction
+    // takes at least one target cycle per stage (the classic reverse
+    // pipeline evaluation).
+    registry_.add(commitM_);
+    registry_.add(writebackM_);
+    registry_.add(issueExecM_);
+    registry_.add(dispatchM_);
+    registry_.add(fetchM_);
+    // 2 host cycles of FM<->TM sync plus the §4.7 statistics mechanism.
+    registry_.setPerCycleOverhead(2 + cfg_.statsHostOverhead);
+
     stCycles_ = stats_.handle("cycles");
+    stCommittedInsts_ = commitM_.stats().handle("committed_insts");
+    stFetchedInsts_ = fetchM_.stats().handle("fetched_insts");
 }
 
 std::vector<TmEvent>
 Core::drainEvents()
 {
     std::vector<TmEvent> out;
-    out.swap(events_);
+    out.swap(state_.events);
     return out;
-}
-
-bool
-Core::producerDone(std::uint64_t seq) const
-{
-    if (seq == 0)
-        return true;
-    if (rob_.empty() || seq < rob_.front().uops.front().seq)
-        return true; // producer already committed
-    return doneSeqs_.count(seq) > 0;
-}
-
-bool
-Core::uopReady(const UopSlot &u) const
-{
-    return producerDone(u.dep1) && producerDone(u.dep2) &&
-           producerDone(u.depF);
-}
-
-unsigned
-Core::unresolvedBranches() const
-{
-    unsigned n = 0;
-    for (const DynInst &di : rob_)
-        if (di.e.isBranch && !di.resolved) {
-            bool done = true;
-            for (const UopSlot &u : di.uops)
-                if (u.uop.isBranch() && u.st != UopSlot::St::Done)
-                    done = false;
-            if (!done)
-                ++n;
-        }
-    fetchQ_.forEachValue([&n](const DynInst &di) {
-        if (di.e.isBranch)
-            ++n;
-    });
-    return n;
-}
-
-void
-Core::rebuildRenameTable()
-{
-    std::fill(renameTable_.begin(), renameTable_.end(), 0);
-    for (const DynInst &di : rob_) {
-        for (const UopSlot &u : di.uops) {
-            if (u.uop.dst != ucode::UregNone)
-                renameTable_[u.uop.dst] = u.seq;
-            if (u.uop.writesFlags)
-                renameTable_[ucode::UregFlags] = u.seq;
-        }
-    }
-}
-
-void
-Core::stageCommit()
-{
-    const unsigned commit_width = cfg_.issueWidth * 2;
-    unsigned commits = 0;
-    InstNum last_committed = 0;
-    while (commits < commit_width && !rob_.empty()) {
-        DynInst &head = rob_.front();
-        bool all_done = true;
-        for (const UopSlot &u : head.uops)
-            if (u.st != UopSlot::St::Done)
-                all_done = false;
-        if (!all_done)
-            break;
-
-        const TraceEntry e = head.e;
-        // Retire.
-        for (const UopSlot &u : head.uops)
-            doneSeqs_.erase(u.seq);
-        robUops_ -= static_cast<unsigned>(head.uops.size());
-        for (const UopSlot &u : head.uops)
-            if (u.inLsq)
-                --lsqUsed_;
-        rob_.pop_front();
-        ++commits;
-        ++committedInsts_;
-        committedUops_ += e.uopCount;
-        last_committed = e.in;
-        if (e.serializing)
-            serializeInFlight_ = false;
-        if (e.isBranch) {
-            ++bbCount_;
-        }
-        ++stCommittedInsts_;
-        if (onCommit)
-            onCommit(e);
-
-        if (e.exception) {
-            // The target flushes at an exception commit; the handler
-            // entries are already in the TB — re-aim the fetch pointer
-            // (no functional-model round trip needed).
-            ++stExceptionFlushes_;
-            // Squash everything younger.
-            for (DynInst &di : rob_)
-                for (UopSlot &u : di.uops)
-                    doneSeqs_.erase(u.seq);
-            rob_.clear();
-            robUops_ = 0;
-            rsUsed_ = 0;
-            lsqUsed_ = 0;
-            fetchQ_.flush();
-            rebuildRenameTable();
-            serializeInFlight_ = false;
-            awaitingResteer_ = false;
-            nextFetchIn_ = e.in + 1;
-            // Re-aim the TB fetch pointer immediately (the TB lives with
-            // the timing model on the FPGA): fetch later this very cycle
-            // must already see the re-fetched entries.
-            tb_.rewindFetchTo(e.in + 1);
-            events_.push_back({TmEvent::Kind::RefetchAt, e.in + 1, 0});
-            break;
-        }
-    }
-    if (last_committed != 0)
-        events_.push_back({TmEvent::Kind::Commit, last_committed, 0});
-    hostThisCycle_ += (commits + 1) / 2;
-}
-
-void
-Core::stageWriteback()
-{
-    // Pass 1: complete µops whose execution latency has elapsed.  At most
-    // one resteering (mispredicted, correct-path) branch can be in flight;
-    // remember it and handle the squash after the scan so the ROB is not
-    // mutated mid-iteration.
-    std::size_t resteer_idx = rob_.size();
-    for (std::size_t i = 0; i < rob_.size(); ++i) {
-        DynInst &di = rob_[i];
-        for (UopSlot &u : di.uops) {
-            if (u.st == UopSlot::St::Exec && u.readyAt <= cycle_) {
-                u.st = UopSlot::St::Done;
-                doneSeqs_.insert(u.seq);
-                if (u.uop.isBranch()) {
-                    if (di.resteering && !di.resolved &&
-                        resteer_idx == rob_.size()) {
-                        resteer_idx = i;
-                    } else {
-                        di.resolved = true;
-                    }
-                }
-            }
-        }
-    }
-    if (resteer_idx == rob_.size())
-        return;
-
-    // Branch resolution (paper §2.1 / Fig. 2): notify the FM to produce
-    // correct-path instructions and squash everything younger.
-    DynInst &br = rob_[resteer_idx];
-    br.resolved = true;
-    events_.push_back({TmEvent::Kind::Resolve, br.e.in + 1, br.e.nextPc});
-    ++expectedEpoch_;
-    awaitingResteer_ = false;
-    nextFetchIn_ = br.e.in + 1;
-    const InstNum bin = br.e.in;
-    while (!rob_.empty() && rob_.back().e.in > bin) {
-        DynInst &victim = rob_.back();
-        for (UopSlot &vu : victim.uops) {
-            doneSeqs_.erase(vu.seq);
-            if (vu.st == UopSlot::St::Waiting)
-                --rsUsed_;
-            if (vu.inLsq)
-                --lsqUsed_;
-        }
-        robUops_ -= static_cast<unsigned>(victim.uops.size());
-        if (victim.e.serializing)
-            serializeInFlight_ = false;
-        rob_.pop_back();
-        ++stSquashedInsts_;
-    }
-    fetchQ_.flush();
-    rebuildRenameTable();
-    if (cfg_.drainOnMispredict)
-        drainForMispredict_ = true;
-    ++stMispredictResteers_;
-}
-
-void
-Core::stageIssue()
-{
-    unsigned alu_issued = 0, bu_issued = 0, lsu_issued = 0;
-    unsigned issued_total = 0;
-    for (DynInst &di : rob_) {
-        for (UopSlot &u : di.uops) {
-            if (u.st != UopSlot::St::Waiting)
-                continue;
-            if (!uopReady(u))
-                continue;
-            switch (u.uop.kind) {
-              case UopKind::Nop:
-              case UopKind::Sys: {
-                u.st = UopSlot::St::Exec;
-                u.readyAt = cycle_ + u.uop.latency;
-                --rsUsed_;
-                ++issued_total;
-                break;
-              }
-              case UopKind::IntOp:
-              case UopKind::FpOp:
-              case UopKind::IntMul:
-              case UopKind::IntDiv:
-              case UopKind::FpDiv: {
-                // Find a free general-purpose ALU.
-                int unit = -1;
-                for (unsigned k = 0; k < aluFreeAt_.size(); ++k) {
-                    if (alu_issued < cfg_.numAlus &&
-                        aluFreeAt_[k] <= cycle_) {
-                        unit = static_cast<int>(k);
-                        break;
-                    }
-                }
-                if (unit < 0)
-                    break;
-                ++alu_issued;
-                const bool unpipelined = u.uop.kind == UopKind::IntDiv ||
-                                         u.uop.kind == UopKind::FpDiv;
-                aluFreeAt_[unit] =
-                    cycle_ + (unpipelined ? u.uop.latency : 1);
-                u.st = UopSlot::St::Exec;
-                u.readyAt = cycle_ + u.uop.latency;
-                --rsUsed_;
-                ++issued_total;
-                break;
-              }
-              case UopKind::Branch: {
-                int unit = -1;
-                for (unsigned k = 0; k < buFreeAt_.size(); ++k) {
-                    if (bu_issued < cfg_.numBranchUnits &&
-                        buFreeAt_[k] <= cycle_) {
-                        unit = static_cast<int>(k);
-                        break;
-                    }
-                }
-                if (unit < 0)
-                    break;
-                ++bu_issued;
-                buFreeAt_[unit] = cycle_ + 1;
-                u.st = UopSlot::St::Exec;
-                u.readyAt = cycle_ + u.uop.latency;
-                --rsUsed_;
-                ++issued_total;
-                break;
-              }
-              case UopKind::Load:
-              case UopKind::Store: {
-                int unit = -1;
-                for (unsigned k = 0; k < lsuFreeAt_.size(); ++k) {
-                    if (lsu_issued < cfg_.numLoadStoreUnits &&
-                        lsuFreeAt_[k] <= cycle_) {
-                        unit = static_cast<int>(k);
-                        break;
-                    }
-                }
-                if (unit < 0)
-                    break;
-                if (u.uop.kind == UopKind::Load) {
-                    // Memory dependence: wait for older same-address
-                    // stores that have not completed.
-                    bool conflict = false;
-                    for (const DynInst &older : rob_) {
-                        if (older.e.in >= di.e.in)
-                            break;
-                        if (!older.e.isStore)
-                            continue;
-                        bool store_done = true;
-                        for (const UopSlot &ou : older.uops)
-                            if (ou.uop.isStore() &&
-                                ou.st != UopSlot::St::Done)
-                                store_done = false;
-                        if (store_done)
-                            continue;
-                        // 4-byte-granule overlap test.
-                        const PAddr a = older.e.storePa & ~PAddr(3);
-                        const PAddr b = di.e.loadPa & ~PAddr(3);
-                        if (a == b)
-                            conflict = true;
-                    }
-                    if (conflict)
-                        break;
-                    ++lsu_issued;
-                    lsuFreeAt_[unit] = cycle_ + 1;
-                    const auto r =
-                        caches_.accessData(di.e.loadPa, cycle_);
-                    u.st = UopSlot::St::Exec;
-                    u.readyAt = r.readyAt + (u.uop.latency - 1);
-                    hostThisCycle_ += caches_.l1d().hostCycles();
-                } else {
-                    ++lsu_issued;
-                    lsuFreeAt_[unit] = cycle_ + 1;
-                    // Stores complete into the write buffer; the cache
-                    // access is charged for occupancy/statistics.
-                    caches_.accessData(di.e.storePa, cycle_);
-                    u.st = UopSlot::St::Exec;
-                    u.readyAt = cycle_ + u.uop.latency;
-                    hostThisCycle_ += caches_.l1d().hostCycles();
-                }
-                --rsUsed_;
-                ++issued_total;
-                break;
-              }
-            }
-        }
-    }
-    // Wakeup CAM search over the reservation stations.
-    hostThisCycle_ += (rsUsed_ + 7) / 8 + issued_total;
-    stIssuedUops_ += issued_total;
-}
-
-void
-Core::stageDispatch()
-{
-    unsigned dispatched = 0;
-    unsigned dispatched_uops = 0;
-    while (dispatched < cfg_.issueWidth && fetchQ_.canPop()) {
-        const DynInst &front = fetchQ_.front();
-        if (serializeInFlight_) {
-            ++stDispatchStallSerialize_;
-            break;
-        }
-        if (front.e.serializing && !rob_.empty()) {
-            ++stDispatchStallSerialize_;
-            break;
-        }
-        const unsigned n = static_cast<unsigned>(front.uops.size());
-        unsigned mem_uops = 0;
-        unsigned rs_uops = 0;
-        for (const UopSlot &u : front.uops) {
-            if (u.uop.isMem())
-                ++mem_uops;
-            if (u.uop.kind != UopKind::Nop)
-                ++rs_uops;
-        }
-        // Fail fast on configurations that can never make progress: an
-        // instruction whose µops exceed a structure outright would stall
-        // dispatch forever.
-        if (n > cfg_.robEntries || rs_uops > cfg_.rsEntries ||
-            mem_uops > cfg_.lsqEntries) {
-            fatal("core config cannot dispatch a %u-uop instruction "
-                  "(rob=%u rs=%u lsq=%u)",
-                  n, cfg_.robEntries, cfg_.rsEntries, cfg_.lsqEntries);
-        }
-        if (robUops_ + n > cfg_.robEntries ||
-            rsUsed_ + rs_uops > cfg_.rsEntries ||
-            lsqUsed_ + mem_uops > cfg_.lsqEntries) {
-            ++stDispatchStallResources_;
-            break;
-        }
-        DynInst di = fetchQ_.pop();
-        for (UopSlot &u : di.uops) {
-            u.seq = seqGen_++;
-            // Rename: read producer seqs, then claim destinations.
-            u.dep1 = u.uop.src1 != ucode::UregNone ? renameTable_[u.uop.src1]
-                                                   : 0;
-            u.dep2 = u.uop.src2 != ucode::UregNone ? renameTable_[u.uop.src2]
-                                                   : 0;
-            u.depF = u.uop.readsFlags ? renameTable_[ucode::UregFlags] : 0;
-            if (u.uop.dst != ucode::UregNone)
-                renameTable_[u.uop.dst] = u.seq;
-            if (u.uop.writesFlags)
-                renameTable_[ucode::UregFlags] = u.seq;
-            if (u.uop.kind == UopKind::Nop) {
-                // Untranslated instruction: occupies a slot only.
-                u.st = UopSlot::St::Exec;
-                u.readyAt = cycle_ + 1;
-            } else {
-                u.st = UopSlot::St::Waiting;
-                ++rsUsed_;
-            }
-            if (u.uop.isMem()) {
-                u.inLsq = true;
-                ++lsqUsed_;
-            }
-        }
-        robUops_ += n;
-        dispatched_uops += n;
-        if (di.e.serializing)
-            serializeInFlight_ = true;
-        rob_.push_back(std::move(di));
-        ++dispatched;
-    }
-    // Rename-table port multiplexing (~3 accesses per µop, 2 ports).
-    hostThisCycle_ += (dispatched_uops * 3 + 1) / 2;
-    stDispatchedInsts_ += dispatched;
-}
-
-void
-Core::stageFetch()
-{
-    if (drainRequested_) {
-        ++stFetchStallDrainreq_;
-        return;
-    }
-    if (drainForMispredict_) {
-        if (rob_.empty() && fetchQ_.empty()) {
-            drainForMispredict_ = false;
-        } else {
-            ++intDrainCycles_;
-            ++stDrainCycles_;
-            return;
-        }
-    }
-    if (fetchBusyUntil_ > cycle_) {
-        ++stFetchStallIcache_;
-        return;
-    }
-
-    unsigned fetched = 0;
-    PAddr last_line = ~PAddr(0);
-    while (fetched < cfg_.issueWidth && fetchQ_.canPush()) {
-        // Drop stale-epoch entries (post-rollback leftovers in flight).
-        const TraceEntry *pe = tb_.peekFetch();
-        while (pe && pe->epoch < expectedEpoch_) {
-            tb_.takeFetch();
-            pe = tb_.peekFetch();
-        }
-        if (!pe) {
-            if (awaitingResteer_)
-                ++stFetchStallResteer_;
-            else
-                ++stFetchStallStarved_;
-            break;
-        }
-        if (pe->epoch > expectedEpoch_)
-            panic("fetch: entry epoch %u ahead of expected %u", pe->epoch,
-                  expectedEpoch_);
-        if (pe->in != nextFetchIn_)
-            panic("fetch: entry IN %llu, expected %llu",
-                  static_cast<unsigned long long>(pe->in),
-                  static_cast<unsigned long long>(nextFetchIn_));
-        if (pe->isBranch &&
-            unresolvedBranches() >= cfg_.maxNestedBranches) {
-            ++stFetchStallBranches_;
-            break;
-        }
-        ++stFetchAttempts_;
-
-        TraceEntry e = tb_.takeFetch();
-        nextFetchIn_ = e.in + 1;
-
-        // Front-end iTLB + iCache.
-        Cycle tlb_extra = itlb_.access(e.pc);
-        hostThisCycle_ += itlb_.hostCycles();
-        const PAddr line = e.instPa / cfg_.caches.l1i.lineBytes;
-        bool icache_miss = false;
-        if (line != last_line) {
-            const auto r = caches_.accessInst(e.instPa, cycle_);
-            hostThisCycle_ += caches_.l1i().hostCycles();
-            ++intIcacheAcc_;
-            if (r.l1Hit)
-                ++intIcacheHit_;
-            if (r.latency > cfg_.caches.l1i.hitLatency || tlb_extra) {
-                fetchBusyUntil_ = r.readyAt + tlb_extra;
-                icache_miss = true;
-            }
-            last_line = line;
-        }
-
-        DynInst di;
-        di.e = e;
-        std::vector<Uop> bound;
-        isa::Insn pseudo;
-        pseudo.op = e.op;
-        pseudo.reg = e.reg;
-        pseudo.rm = e.rm;
-        pseudo.cond = e.cond;
-        ucode::bindUops(pseudo, ucode_.entry(e.op).uops, bound);
-        di.uops.reserve(bound.size());
-        for (const Uop &u : bound) {
-            UopSlot slot;
-            slot.uop = u;
-            di.uops.push_back(slot);
-        }
-
-        bool redirect = false;
-        if (e.isBranch) {
-            di.pred = bp_->predict(e);
-            hostThisCycle_ += bp_->hostCycles();
-            ++intBranches_;
-            if (di.pred.mispredicted)
-                ++intMispredicts_;
-            if (!e.wrongPath && di.pred.mispredicted) {
-                // Target speculation diverges from the functional path:
-                // resteer the FM down the predicted (wrong) path.
-                di.resteering = true;
-                events_.push_back(
-                    {TmEvent::Kind::WrongPath, e.in + 1, di.pred.target});
-                ++expectedEpoch_;
-                awaitingResteer_ = true;
-                nextFetchIn_ = e.in + 1;
-            }
-            // Fetch redirects after predicted-taken branches.
-            redirect = di.pred.taken || di.pred.mispredicted;
-        }
-        const bool halt = e.halt;
-        fetchQ_.push(std::move(di));
-        ++fetched;
-        ++stFetchedInsts_;
-        if (redirect || halt || icache_miss)
-            break;
-    }
 }
 
 void
 Core::sampleStatsFabric()
 {
-    if (bbCount_ - lastSampleBb_ < cfg_.statsIntervalBb)
+    if (state_.bbCount - lastSampleBb_ < cfg_.statsIntervalBb)
         return;
-    lastSampleBb_ = bbCount_;
-    const double icache =
-        intIcacheAcc_ ? double(intIcacheHit_) / double(intIcacheAcc_) : 1.0;
-    const double bp =
-        intBranches_ ? 1.0 - double(intMispredicts_) / double(intBranches_)
-                     : 1.0;
-    const double drain =
-        intCycles_ ? double(intDrainCycles_) / double(intCycles_) : 0.0;
-    sIcache_.record(bbCount_, icache * 100.0);
-    sBp_.record(bbCount_, bp * 100.0);
-    sDrain_.record(bbCount_, drain * 100.0);
-    intIcacheAcc_ = intIcacheHit_ = 0;
-    intBranches_ = intMispredicts_ = 0;
-    intDrainCycles_ = intCycles_ = 0;
+    lastSampleBb_ = state_.bbCount;
+    const double icache = state_.intIcacheAcc
+                              ? double(state_.intIcacheHit) /
+                                    double(state_.intIcacheAcc)
+                              : 1.0;
+    const double bp = state_.intBranches
+                          ? 1.0 - double(state_.intMispredicts) /
+                                      double(state_.intBranches)
+                          : 1.0;
+    const double drain = state_.intCycles
+                             ? double(state_.intDrainCycles) /
+                                   double(state_.intCycles)
+                             : 0.0;
+    sIcache_.record(state_.bbCount, icache * 100.0);
+    sBp_.record(state_.bbCount, bp * 100.0);
+    sDrain_.record(state_.bbCount, drain * 100.0);
+    state_.intIcacheAcc = state_.intIcacheHit = 0;
+    state_.intBranches = state_.intMispredicts = 0;
+    state_.intDrainCycles = state_.intCycles = 0;
 }
 
 void
 Core::tick()
 {
+    using modules::DynInst;
+    using modules::UopSlot;
 
-    fetchQ_.tick(cycle_);
-    hostThisCycle_ = 2 + cfg_.statsHostOverhead; // sync + stats mechanism
+    // Connectors advance first: entries pushed in earlier cycles become
+    // visible, and the per-cycle throughput budgets re-arm.
+    state_.fetchToDispatch.tick(state_.cycle);
+    state_.execToWriteback.tick(state_.cycle);
+    state_.writebackToCommit.tick(state_.cycle);
 
-    stageCommit();
-    stageWriteback();
-    stageIssue();
-    stageDispatch();
-    stageFetch();
+    // Modules tick in registry order; the registry collects their host
+    // cycles together with the per-cycle sync/stats overhead (§4.7).
+    const unsigned host_this_cycle = registry_.tickAll(state_.cycle);
 
-    ++intCycles_;
-    if (awaitingResteer_)
-        ++intDrainCycles_; // waiting for wrong-path entries: pipe starves
+    ++state_.intCycles;
+    if (state_.awaitingResteer)
+        ++state_.intDrainCycles; // waiting for wrong-path entries: starved
     sampleStatsFabric();
 
     // Run-time hardware queries (§3): free of host-cycle cost.
     if (!triggers_.empty()) {
         CycleSnapshot snap;
-        snap.cycle = cycle_;
-        for (const DynInst &di : rob_)
+        snap.cycle = state_.cycle;
+        for (const DynInst &di : state_.rob)
             for (const UopSlot &u : di.uops)
-                if (u.st == UopSlot::St::Exec && u.readyAt > cycle_)
+                if (u.st == UopSlot::St::Exec && u.readyAt > state_.cycle)
                     ++snap.activeFus;
-        snap.robOccupancy = robUops_;
-        snap.rsOccupancy = rsUsed_;
-        snap.lsqOccupancy = lsqUsed_;
+        snap.robOccupancy = state_.robUops;
+        snap.rsOccupancy = state_.rsUsed;
+        snap.lsqOccupancy = state_.lsqUsed;
         snap.committedThisCycle = static_cast<unsigned>(
             stCommittedInsts_.value() - lastCommitSample_);
         snap.fetchedThisCycle = static_cast<unsigned>(
             stFetchedInsts_.value() - lastFetchSample_);
         snap.fetchStalled = snap.fetchedThisCycle == 0;
-        snap.draining = drainForMispredict_ || awaitingResteer_;
+        snap.draining =
+            state_.drainForMispredict || state_.awaitingResteer;
         lastCommitSample_ = stCommittedInsts_.value();
         lastFetchSample_ = stFetchedInsts_.value();
         for (TriggerQuery &t : triggers_)
             t.evaluate(snap);
     }
 
-    hostCycles_ += hostThisCycle_;
-    ++cycle_;
+    hostCycles_ += host_this_cycle;
+    ++state_.cycle;
     ++stCycles_;
 }
 
@@ -632,31 +128,9 @@ Core::fpgaCost() const
     c += bp_->cost();
     c += itlb_.cost();
 
-    // Trace buffer: 256 entries x 4 words.
-    ModeledMem tbm{256, 128, 2};
-    c += tbm.cost();
+    // Stage modules (Table-2 rollup through the registry).
+    c += registry_.fpgaCost();
 
-    // ROB payload (per-µop state) + rename table.
-    ModeledMem rob{cfg_.robEntries, 64, 2};
-    c += rob.cost();
-    ModeledMem rename{ucode::NumUopRegs, 16,
-                      2 + cfg_.issueWidth}; // read ports scale with width
-    c += rename.cost();
-
-    // Reservation-station wakeup CAM and LSQ address CAM.
-    ModeledCam rs{cfg_.rsEntries, 8, 8};
-    c += rs.cost();
-    ModeledCam lsq{cfg_.lsqEntries, 26, 8};
-    c += lsq.cost();
-
-    // Functional-unit control (timing only — no datapath!), arbiters,
-    // connectors.  Scales mildly with issue width: wider machines reuse
-    // the same serialized structures over more host cycles (§3.3).
-    c.slices += 220.0 * cfg_.numAlus / 8.0;
-    c.slices += 150.0 * cfg_.numBranchUnits;
-    c.slices += 300.0; // load/store unit control
-    c.slices += 12.0 * cfg_.issueWidth; // per-slot dispatch muxing
-    c.slices += 900.0;                  // Fetch/Decode/Commit control
     // Connectors are "under-optimized regarding area, especially in the
     // block RAMs" (§4.7).
     c.blockRams += 24.0 + (cfg_.issueWidth > 1 ? 3.2 : 0.0);

@@ -14,6 +14,15 @@
  * blocking, and resolving mis-predictions flushes the pipeline through the
  * ROB before right-path instructions can enter (drainOnMispredict).
  *
+ * Structure (paper §4): the pipeline is five stage Modules — Fetch,
+ * Dispatch, Issue/Execute, Writeback, Commit (tm/modules/) — joined by
+ * three Connectors (fetch->dispatch, exec->writeback, writeback->commit)
+ * whose parameters come from CoreConfig, and driven by a ModuleRegistry
+ * in oldest-stage-first order each target cycle.  This class is the thin
+ * facade: it wires modules to the shared CoreState, owns the sub-models
+ * (predictor, caches, iTLB), rolls up statistics / FPGA cost / host
+ * cycles, and runs the statistics fabric and trigger queries.
+ *
  * The core consumes trace entries from the TraceBuffer and emits protocol
  * events (wrong-path request, resolve, commit, exception re-fetch) that the
  * runner relays to the functional model.  Host-FPGA cycles consumed per
@@ -23,10 +32,8 @@
 #ifndef FASTSIM_TM_CORE_HH
 #define FASTSIM_TM_CORE_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "base/statistics.hh"
@@ -35,58 +42,22 @@
 #include "tm/branch_pred.hh"
 #include "tm/cache.hh"
 #include "tm/connector.hh"
+#include "tm/core_types.hh"
+#include "tm/module.hh"
+#include "tm/modules/commit.hh"
+#include "tm/modules/core_state.hh"
+#include "tm/modules/dispatch.hh"
+#include "tm/modules/fetch.hh"
+#include "tm/modules/issue_exec.hh"
+#include "tm/modules/writeback.hh"
 #include "tm/trace_buffer.hh"
 #include "tm/triggers.hh"
-#include "ucode/table.hh"
 
 namespace fastsim {
 namespace tm {
 
-/** Core configuration (paper Fig. 3 defaults). */
-struct CoreConfig
-{
-    unsigned issueWidth = 2;
-    unsigned robEntries = 64;   //!< in µops
-    unsigned rsEntries = 16;    //!< shared reservation stations
-    unsigned lsqEntries = 16;
-    unsigned numAlus = 8;       //!< general-purpose ALUs (FP shares them)
-    unsigned numBranchUnits = 2;
-    unsigned numLoadStoreUnits = 1;
-    unsigned maxNestedBranches = 4;
-    unsigned frontEndDepth = 4; //!< fetch-to-dispatch latency (pipe stages)
-    bool drainOnMispredict = true; //!< §4.1 prototype limitation
-    BpConfig bp;
-    HierarchyParams caches;
-    unsigned itlbEntries = 64;
-    Cycle tlbMissPenalty = 30;
-    /** Extra host cycles per target cycle for the temporary per-Module
-     *  statistics mechanism and under-optimized Connectors (§4.7: the
-     *  prototype consumed more than the ~20 host cycles per target cycle
-     *  considered reasonable); 0 models the planned tree-based fabric. */
-    unsigned statsHostOverhead = 24;
-    /** Basic blocks per statistics-fabric sample (paper Fig. 6: 100K). */
-    std::uint64_t statsIntervalBb = 100000;
-};
-
-/** Protocol events the timing model raises toward the functional model. */
-struct TmEvent
-{
-    enum class Kind
-    {
-        WrongPath,   //!< set_pc(in, pc, wrong); paper §2.1
-        Resolve,     //!< set_pc(in, pc, right) after branch resolution
-        Commit,      //!< commit(in): release roll-back resources
-        RefetchAt,   //!< exception flush: rewind the TB fetch pointer to in
-        InjectTimer, //!< runner-synthesized: deliver a timer tick at in
-        InjectDisk,  //!< runner-synthesized: complete the disk op at in
-    };
-    Kind kind;
-    InstNum in = 0;
-    Addr pc = 0;
-};
-
 /**
- * The timing-model core.
+ * The timing-model core: a facade over the Module/Connector fabric.
  */
 class Core
 {
@@ -100,41 +71,41 @@ class Core
     std::vector<TmEvent> drainEvents();
 
     /** Current target cycle. */
-    Cycle cycle() const { return cycle_; }
+    Cycle cycle() const { return state_.cycle; }
 
     /** Host (FPGA) cycles consumed so far. */
     HostCycle hostCycles() const { return hostCycles_; }
 
     /** Committed target-path instructions. */
-    std::uint64_t committedInsts() const { return committedInsts_; }
-    std::uint64_t committedUops() const { return committedUops_; }
+    std::uint64_t committedInsts() const { return state_.committedInsts; }
+    std::uint64_t committedUops() const { return state_.committedUops; }
 
     /** Committed basic blocks (branch-terminated, the Fig. 6 x-axis). */
-    std::uint64_t committedBasicBlocks() const { return bbCount_; }
+    std::uint64_t committedBasicBlocks() const { return state_.bbCount; }
 
     /** IN of the next instruction the fetch stage expects. */
-    InstNum nextFetchIn() const { return nextFetchIn_; }
+    InstNum nextFetchIn() const { return state_.nextFetchIn; }
 
     /** Speculation epoch the fetch stage expects (protocol debugging). */
-    Epoch expectedEpoch() const { return expectedEpoch_; }
+    Epoch expectedEpoch() const { return state_.expectedEpoch; }
 
     /** True when nothing is in flight (drained). */
     bool
     drained() const
     {
-        return rob_.empty() && fetchQ_.empty();
+        return state_.rob.empty() && state_.fetchToDispatch.empty();
     }
 
     /**
      * Interrupt support: stop fetching so the pipeline drains; once
      * drained() the runner resteers the FM and calls noteResteer().
      */
-    void requestDrain() { drainRequested_ = true; }
+    void requestDrain() { state_.drainRequested = true; }
     void
     noteResteer()
     {
-        ++expectedEpoch_;
-        drainRequested_ = false;
+        ++state_.expectedEpoch;
+        state_.drainRequested = false;
     }
 
     // --- observation -----------------------------------------------------
@@ -143,20 +114,42 @@ class Core
     CacheHierarchy &caches() { return caches_; }
     const CacheHierarchy &caches() const { return caches_; }
     TlbModel &itlb() { return itlb_; }
-    stats::Group &stats() { return stats_; }
-    const stats::Group &stats() const { return stats_; }
     const CoreConfig &config() const { return cfg_; }
+
+    /** The module fabric (tick order, per-module stats and cost). */
+    const ModuleRegistry &registry() const { return registry_; }
+
+    /**
+     * Aggregate statistics view: core-level counters plus every module
+     * counter, refreshed from the registry on each call.  Stable node
+     * addresses (std::map) keep previously returned references valid.
+     */
+    stats::Group &
+    stats()
+    {
+        registry_.aggregateStats(stats_);
+        return stats_;
+    }
+    const stats::Group &
+    stats() const
+    {
+        registry_.aggregateStats(stats_);
+        return stats_;
+    }
 
     double
     ipc() const
     {
-        return cycle_ ? double(committedInsts_) / double(cycle_) : 0.0;
+        return state_.cycle
+                   ? double(state_.committedInsts) / double(state_.cycle)
+                   : 0.0;
     }
 
     double
     hostCyclesPerTargetCycle() const
     {
-        return cycle_ ? double(hostCycles_) / double(cycle_) : 0.0;
+        return state_.cycle ? double(hostCycles_) / double(state_.cycle)
+                            : 0.0;
     }
 
     /** Statistics-fabric time series (paper Fig. 6). */
@@ -188,108 +181,34 @@ class Core
     const std::vector<TriggerQuery> &triggers() const { return triggers_; }
 
   private:
-    // --- in-flight instruction bookkeeping ---------------------------------
-    struct UopSlot
-    {
-        ucode::Uop uop;
-        std::uint64_t seq = 0;      //!< global µop sequence number
-        std::uint64_t dep1 = 0, dep2 = 0, depF = 0; //!< producer seqs
-        enum class St : std::uint8_t { Waiting, Exec, Done } st = St::Waiting;
-        Cycle readyAt = 0;
-        bool inLsq = false;
-    };
-
-    struct DynInst
-    {
-        fm::TraceEntry e;
-        std::vector<UopSlot> uops;
-        BpPrediction pred;
-        bool resteering = false; //!< this branch triggered a WrongPath event
-        bool resolved = false;
-    };
-
-    // --- stages (evaluated oldest-first inside tick) -------------------------
-    void stageCommit();
-    void stageWriteback();
-    void stageIssue();
-    void stageDispatch();
-    void stageFetch();
-
-    void rebuildRenameTable();
-    bool uopReady(const UopSlot &u) const;
-    bool producerDone(std::uint64_t seq) const;
-    unsigned unresolvedBranches() const;
     void sampleStatsFabric();
 
     CoreConfig cfg_;
     TraceBuffer &tb_;
-    const ucode::UcodeTable &ucode_;
     std::unique_ptr<BranchPredictor> bp_;
     CacheHierarchy caches_;
     TlbModel itlb_;
 
-    Connector<DynInst> fetchQ_; //!< front-end pipe (fetch -> dispatch)
-    std::deque<DynInst> rob_;   //!< dispatched, in program order
-    std::unordered_set<std::uint64_t> doneSeqs_; //!< completed µop seqs
+    modules::CoreState state_;
+    modules::CommitModule commitM_;
+    modules::WritebackModule writebackM_;
+    modules::IssueExecModule issueExecM_;
+    modules::DispatchModule dispatchM_;
+    modules::FetchModule fetchM_;
+    ModuleRegistry registry_;
 
-    // Rename: architectural µop register -> producing µop seq (0 = none).
-    std::vector<std::uint64_t> renameTable_;
-
-    // Resource occupancy.
-    unsigned robUops_ = 0;
-    unsigned rsUsed_ = 0;
-    unsigned lsqUsed_ = 0;
-    std::vector<Cycle> aluFreeAt_;
-    std::vector<Cycle> buFreeAt_;
-    std::vector<Cycle> lsuFreeAt_;
-
-    Cycle cycle_ = 0;
     HostCycle hostCycles_ = 0;
-    std::uint64_t seqGen_ = 1;
-    std::uint64_t committedInsts_ = 0;
-    std::uint64_t committedUops_ = 0;
-    InstNum nextFetchIn_ = 1;
-    Epoch expectedEpoch_ = 0;
-    Cycle fetchBusyUntil_ = 0;   //!< iCache miss in progress
-    bool awaitingResteer_ = false; //!< mispredict outstanding (fetch wrong path)
-    bool drainForMispredict_ = false; //!< §4.1 flush-through-ROB
-    bool serializeInFlight_ = false;
-    bool drainRequested_ = false;
+    mutable stats::Group stats_; //!< aggregate view (core + modules)
 
-    // Per-cycle host-cost accumulation (reset each tick).
-    unsigned hostThisCycle_ = 0;
-
-    std::vector<TmEvent> events_;
-    stats::Group stats_;
-
-    // Per-cycle / per-instruction counters, resolved once (stats::Handle).
-    stats::Handle stCommittedInsts_;
-    stats::Handle stExceptionFlushes_;
-    stats::Handle stSquashedInsts_;
-    stats::Handle stMispredictResteers_;
-    stats::Handle stIssuedUops_;
-    stats::Handle stDispatchStallSerialize_;
-    stats::Handle stDispatchStallResources_;
-    stats::Handle stDispatchedInsts_;
-    stats::Handle stFetchStallDrainreq_;
-    stats::Handle stDrainCycles_;
-    stats::Handle stFetchStallIcache_;
-    stats::Handle stFetchStallResteer_;
-    stats::Handle stFetchStallStarved_;
-    stats::Handle stFetchStallBranches_;
-    stats::Handle stFetchAttempts_;
-    stats::Handle stFetchedInsts_;
     stats::Handle stCycles_;
+    stats::Handle stCommittedInsts_; //!< commit module's counter
+    stats::Handle stFetchedInsts_;   //!< fetch module's counter
 
     std::vector<TriggerQuery> triggers_;
     std::uint64_t lastCommitSample_ = 0; //!< trigger-snapshot deltas
     std::uint64_t lastFetchSample_ = 0;
 
     // Statistics fabric interval state.
-    std::uint64_t bbCount_ = 0;
-    std::uint64_t intIcacheAcc_ = 0, intIcacheHit_ = 0;
-    std::uint64_t intBranches_ = 0, intMispredicts_ = 0;
-    std::uint64_t intDrainCycles_ = 0, intCycles_ = 0;
     std::uint64_t lastSampleBb_ = 0;
     stats::IntervalSeries sIcache_;
     stats::IntervalSeries sBp_;

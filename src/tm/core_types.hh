@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Core-level configuration and protocol-event types, shared by the thin
+ * Core facade (core.hh) and the stage Modules under tm/modules/.
+ *
+ * The connector topology of the pipeline is itself configuration (paper
+ * §4: reconfiguring a Connector turns a single-issue machine into a
+ * multi-issue machine): each inter-stage hand-off has an optional
+ * ConnectorParams override in CoreConfig, and resolveTopology() derives
+ * the defaults from issueWidth / frontEndDepth when no override is given.
+ */
+
+#ifndef FASTSIM_TM_CORE_TYPES_HH
+#define FASTSIM_TM_CORE_TYPES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "base/types.hh"
+#include "tm/branch_pred.hh"
+#include "tm/cache.hh"
+#include "tm/connector.hh"
+
+namespace fastsim {
+namespace tm {
+
+/** Core configuration (paper Fig. 3 defaults). */
+struct CoreConfig
+{
+    unsigned issueWidth = 2;
+    unsigned robEntries = 64;   //!< in µops
+    unsigned rsEntries = 16;    //!< shared reservation stations
+    unsigned lsqEntries = 16;
+    unsigned numAlus = 8;       //!< general-purpose ALUs (FP shares them)
+    unsigned numBranchUnits = 2;
+    unsigned numLoadStoreUnits = 1;
+    unsigned maxNestedBranches = 4;
+    unsigned frontEndDepth = 4; //!< fetch-to-dispatch latency (pipe stages)
+    bool drainOnMispredict = true; //!< §4.1 prototype limitation
+    BpConfig bp;
+    HierarchyParams caches;
+    unsigned itlbEntries = 64;
+    Cycle tlbMissPenalty = 30;
+    /** Extra host cycles per target cycle for the temporary per-Module
+     *  statistics mechanism and under-optimized Connectors (§4.7: the
+     *  prototype consumed more than the ~20 host cycles per target cycle
+     *  considered reasonable); 0 models the planned tree-based fabric. */
+    unsigned statsHostOverhead = 24;
+    /** Basic blocks per statistics-fabric sample (paper Fig. 6: 100K). */
+    std::uint64_t statsIntervalBb = 100000;
+
+    /**
+     * Connector topology overrides.  Unset means "derive from
+     * issueWidth/frontEndDepth" (see resolveTopology()); setting one
+     * reshapes an inter-stage hand-off with no module code change.
+     */
+    std::optional<ConnectorParams> fetchToDispatch;
+    std::optional<ConnectorParams> execToWriteback;
+    std::optional<ConnectorParams> writebackToCommit;
+};
+
+/** The resolved connector parameters of every inter-stage hand-off. */
+struct CoreTopology
+{
+    ConnectorParams fetchToDispatch;
+    ConnectorParams execToWriteback;
+    ConnectorParams writebackToCommit;
+};
+
+/** Derive the pipeline's connector topology from the configuration. */
+inline CoreTopology
+resolveTopology(const CoreConfig &cfg)
+{
+    CoreTopology t;
+    // Front end: issueWidth entries in/out per cycle, frontEndDepth
+    // cycles of pipe latency, capacity for the in-flight stages plus a
+    // little skid.
+    t.fetchToDispatch = cfg.fetchToDispatch.value_or(ConnectorParams{
+        cfg.issueWidth, cfg.issueWidth, cfg.frontEndDepth,
+        cfg.issueWidth * (cfg.frontEndDepth + 2)});
+    // Completion channels: entries carry their own readiness (execution
+    // latency / in-order retirement edge), delivery is unthrottled and
+    // bounded by the ROB, so throughput/capacity use the 0 = unlimited
+    // sentinel.
+    t.execToWriteback =
+        cfg.execToWriteback.value_or(ConnectorParams{0, 0, 1, 0});
+    t.writebackToCommit =
+        cfg.writebackToCommit.value_or(ConnectorParams{0, 0, 1, 0});
+    return t;
+}
+
+/** Protocol events the timing model raises toward the functional model. */
+struct TmEvent
+{
+    enum class Kind
+    {
+        WrongPath,   //!< set_pc(in, pc, wrong); paper §2.1
+        Resolve,     //!< set_pc(in, pc, right) after branch resolution
+        Commit,      //!< commit(in): release roll-back resources
+        RefetchAt,   //!< exception flush: rewind the TB fetch pointer to in
+        InjectTimer, //!< runner-synthesized: deliver a timer tick at in
+        InjectDisk,  //!< runner-synthesized: complete the disk op at in
+    };
+    Kind kind;
+    InstNum in = 0;
+    Addr pc = 0;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_CORE_TYPES_HH

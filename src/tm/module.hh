@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Module abstraction of the FAST timing model (paper §4): a named
+ * hardware unit with its own statistics group, an FPGA resource cost
+ * (Table 2), and a per-target-cycle host-cycle contribution following the
+ * multi-host-cycle discipline of §3.3.  Modules are joined by Connectors
+ * (connector.hh) and driven by a ModuleRegistry in a fixed, deterministic
+ * order each target cycle.
+ */
+
+#ifndef FASTSIM_TM_MODULE_HH
+#define FASTSIM_TM_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "tm/primitives.hh"
+
+namespace fastsim {
+namespace tm {
+
+/**
+ * A timing-model hardware module.
+ *
+ * Contract per target cycle: the registry calls tick(now) exactly once on
+ * every module, in registration order.  During tick() the module may read
+ * and update shared core state, exchange transactions through its
+ * Connectors, and accumulate host cycles via chargeHost(); the registry
+ * collects the charge afterwards with takeHostCycles().
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name)
+        : name_(std::move(name)), stats_(name_)
+    {
+    }
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Advance one target cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** FPGA resources this module consumes (paper Table 2). */
+    virtual FpgaCost fpgaCost() const { return {}; }
+
+    const std::string &name() const { return name_; }
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    /** Host cycles accumulated since the last takeHostCycles(). */
+    unsigned
+    takeHostCycles()
+    {
+        unsigned h = hostThisCycle_;
+        hostThisCycle_ = 0;
+        return h;
+    }
+
+  protected:
+    /** Charge host (FPGA) cycles for work done this target cycle. */
+    void chargeHost(unsigned cycles) { hostThisCycle_ += cycles; }
+
+  private:
+    std::string name_;
+    stats::Group stats_;
+    unsigned hostThisCycle_ = 0;
+};
+
+/**
+ * Drives a set of Modules: deterministic tick ordering (registration
+ * order), per-cycle host-cost accounting including the §4.7 statistics
+ * mechanism overhead, Table-2 FPGA cost rollup, and statistics
+ * aggregation across modules.
+ */
+class ModuleRegistry
+{
+  public:
+    /** Register a module.  Tick order is registration order. */
+    void add(Module &m) { modules_.push_back(&m); }
+
+    /**
+     * Fixed host cycles charged every target cycle regardless of module
+     * activity: the TM<->FM synchronization handshake plus the §4.7
+     * statistics-mechanism overhead ("the prototype consumed more than
+     * the ~20 host cycles per target cycle considered reasonable").
+     */
+    void setPerCycleOverhead(unsigned h) { perCycleOverhead_ = h; }
+
+    /**
+     * Tick every module in order and return the total host cycles this
+     * target cycle (overhead + per-module contributions).
+     */
+    unsigned
+    tickAll(Cycle now)
+    {
+        unsigned host = perCycleOverhead_;
+        for (Module *m : modules_) {
+            m->tick(now);
+            host += m->takeHostCycles();
+        }
+        return host;
+    }
+
+    /** Sum of all module FPGA costs (Table-2 rollup). */
+    FpgaCost
+    fpgaCost() const
+    {
+        FpgaCost c;
+        for (const Module *m : modules_)
+            c += m->fpgaCost();
+        return c;
+    }
+
+    /** Copy every module counter into `into`.  Counter names are disjoint
+     *  across modules (each stage owns its own counters), so plain
+     *  assignment refreshes an aggregate view in place. */
+    void
+    aggregateStats(stats::Group &into) const
+    {
+        for (const Module *m : modules_)
+            for (const auto &kv : m->stats().all())
+                into.counter(kv.first) = kv.second;
+    }
+
+    /** Find a counter by name across all modules (0 if absent). */
+    std::uint64_t
+    statValue(const std::string &name) const
+    {
+        std::uint64_t v = 0;
+        for (const Module *m : modules_)
+            v += m->stats().value(name);
+        return v;
+    }
+
+    const std::vector<Module *> &modules() const { return modules_; }
+
+  private:
+    std::vector<Module *> modules_;
+    unsigned perCycleOverhead_ = 0;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULE_HH

@@ -1,0 +1,125 @@
+#include "tm/modules/commit.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+using fm::TraceEntry;
+
+CommitModule::CommitModule(const CoreConfig &cfg, CoreState &st,
+                           TraceBuffer &tb)
+    : Module("commit"), cfg_(cfg), st_(st), tb_(tb),
+      stCommittedInsts_(stats().handle("committed_insts")),
+      stExceptionFlushes_(stats().handle("exception_flushes"))
+{
+}
+
+void
+CommitModule::tick(Cycle now)
+{
+    // Collect retirement notifications whose connector latency elapsed.
+    st_.writebackToCommit.drainReady([this](const RetireToken &t) {
+        st_.retireReady.insert(t.instSeq);
+    });
+
+    const unsigned commit_width = cfg_.issueWidth * 2;
+    unsigned commits = 0;
+    InstNum last_committed = 0;
+    while (commits < commit_width && !st_.rob.empty()) {
+        DynInst &head = st_.rob.front();
+        fastsim_assert(!head.uops.empty());
+        auto rdy = st_.retireReady.find(head.uops.front().seq);
+        if (rdy == st_.retireReady.end())
+            break;
+#ifndef NDEBUG
+        for (const UopSlot &u : head.uops)
+            fastsim_assert(u.st == UopSlot::St::Done);
+#endif
+        st_.retireReady.erase(rdy);
+
+        const TraceEntry e = head.e;
+        // Retire.
+        for (const UopSlot &u : head.uops)
+            st_.doneSeqs.erase(u.seq);
+        st_.robUops -= static_cast<unsigned>(head.uops.size());
+        for (const UopSlot &u : head.uops)
+            if (u.inLsq)
+                --st_.lsqUsed;
+        st_.rob.pop_front();
+        ++commits;
+        ++st_.committedInsts;
+        st_.committedUops += e.uopCount;
+        last_committed = e.in;
+        if (e.serializing)
+            st_.serializeInFlight = false;
+        if (e.isBranch) {
+            ++st_.bbCount;
+        }
+        ++stCommittedInsts_;
+        if (st_.onCommit && *st_.onCommit)
+            (*st_.onCommit)(e);
+
+        if (e.exception) {
+            // The target flushes at an exception commit; the handler
+            // entries are already in the TB — re-aim the fetch pointer
+            // (no functional-model round trip needed).
+            ++stExceptionFlushes_;
+            // Squash everything younger.
+            for (DynInst &di : st_.rob)
+                for (UopSlot &u : di.uops)
+                    st_.doneSeqs.erase(u.seq);
+            st_.rob.clear();
+            st_.robUops = 0;
+            st_.rsUsed = 0;
+            st_.lsqUsed = 0;
+            st_.fetchToDispatch.flush();
+            // In-flight completion tokens and retirement notifications
+            // all belong to squashed work now; drop them.
+            st_.execToWriteback.flush();
+            st_.writebackToCommit.flush();
+            st_.retireReady.clear();
+            st_.rebuildRenameTable();
+            st_.serializeInFlight = false;
+            st_.awaitingResteer = false;
+            st_.nextFetchIn = e.in + 1;
+            // Re-aim the TB fetch pointer immediately (the TB lives with
+            // the timing model on the FPGA): fetch later this very cycle
+            // must already see the re-fetched entries.
+            tb_.rewindFetchTo(e.in + 1);
+            st_.events.push_back({TmEvent::Kind::RefetchAt, e.in + 1, 0});
+            break;
+        }
+    }
+    if (last_committed != 0)
+        st_.events.push_back({TmEvent::Kind::Commit, last_committed, 0});
+    chargeHost((commits + 1) / 2);
+
+    // Bound the notification set: squashed instructions leave stale
+    // tokens behind; drop everything older than the oldest live µop.
+    if (st_.retireReady.size() > 4 * cfg_.robEntries) {
+        const std::uint64_t min_live =
+            st_.rob.empty() ? st_.seqGen : st_.rob.front().uops.front().seq;
+        for (auto it = st_.retireReady.begin();
+             it != st_.retireReady.end();) {
+            if (*it < min_live)
+                it = st_.retireReady.erase(it);
+            else
+                ++it;
+        }
+    }
+    (void)now;
+}
+
+FpgaCost
+CommitModule::fpgaCost() const
+{
+    FpgaCost c;
+    c.slices += 300.0; // commit control (share of Fetch/Decode/Commit)
+    return c;
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

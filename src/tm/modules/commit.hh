@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Commit module: retires instructions in program order once their
+ * retirement notification has arrived on the writeback -> commit
+ * Connector, emits the Commit protocol event, and performs the exception
+ * flush (squash + TB fetch-pointer rewind + RefetchAt event).
+ */
+
+#ifndef FASTSIM_TM_MODULES_COMMIT_HH
+#define FASTSIM_TM_MODULES_COMMIT_HH
+
+#include "tm/module.hh"
+#include "tm/modules/core_state.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class CommitModule : public Module
+{
+  public:
+    CommitModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb);
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+
+  private:
+    const CoreConfig &cfg_;
+    CoreState &st_;
+    TraceBuffer &tb_;
+
+    stats::Handle stCommittedInsts_;
+    stats::Handle stExceptionFlushes_;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_COMMIT_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shared pipeline state of the timing-model core: the ROB, the rename
+ * table, resource occupancy, speculation/drain flags, the protocol-event
+ * vector, and the Connectors carrying the inter-stage hand-offs.
+ *
+ * The stage Modules (fetch, dispatch, issue/execute, writeback, commit)
+ * all operate on this one structure — it models the register state a
+ * hardware pipeline shares between stages, while per-stage control logic
+ * lives in the Modules themselves.
+ */
+
+#ifndef FASTSIM_TM_MODULES_CORE_STATE_HH
+#define FASTSIM_TM_MODULES_CORE_STATE_HH
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.hh"
+#include "fm/trace_entry.hh"
+#include "tm/branch_pred.hh"
+#include "tm/connector.hh"
+#include "tm/core_types.hh"
+#include "ucode/uop.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+/** One µop in flight. */
+struct UopSlot
+{
+    ucode::Uop uop;
+    std::uint64_t seq = 0;      //!< global µop sequence number
+    std::uint64_t dep1 = 0, dep2 = 0, depF = 0; //!< producer seqs
+    enum class St : std::uint8_t { Waiting, Exec, Done } st = St::Waiting;
+    Cycle readyAt = 0;
+    bool inLsq = false;
+};
+
+/** One instruction in flight (trace entry + bound µops + prediction). */
+struct DynInst
+{
+    fm::TraceEntry e;
+    std::vector<UopSlot> uops;
+    BpPrediction pred;
+    bool resteering = false; //!< this branch triggered a WrongPath event
+    bool resolved = false;
+};
+
+/** Execution-complete token: issue/execute -> writeback.  The readiness
+ *  cycle (the µop's execution latency) rides on the Connector entry. */
+struct ExecToken
+{
+    std::uint64_t seq = 0;
+};
+
+/** Retirement-ready token: writeback -> commit, keyed by the instruction's
+ *  first µop seq (globally unique, so stale tokens from squashed
+ *  instructions can never alias a live one). */
+struct RetireToken
+{
+    std::uint64_t instSeq = 0;
+};
+
+/**
+ * State shared by the stage Modules.
+ */
+struct CoreState
+{
+    CoreState(const CoreConfig &cfg, const CoreTopology &topo)
+        : fetchToDispatch("fetch_to_dispatch", topo.fetchToDispatch),
+          execToWriteback("exec_to_writeback", topo.execToWriteback),
+          writebackToCommit("writeback_to_commit", topo.writebackToCommit),
+          renameTable(ucode::NumUopRegs, 0),
+          aluFreeAt(cfg.numAlus, 0), buFreeAt(cfg.numBranchUnits, 0),
+          lsuFreeAt(cfg.numLoadStoreUnits, 0)
+    {
+    }
+
+    // --- inter-stage connectors ------------------------------------------
+    Connector<DynInst> fetchToDispatch;      //!< front-end pipe
+    Connector<ExecToken> execToWriteback;    //!< completion channel
+    Connector<RetireToken> writebackToCommit; //!< retirement notifications
+
+    // --- in-flight instructions ------------------------------------------
+    std::deque<DynInst> rob;    //!< dispatched, in program order
+    std::unordered_set<std::uint64_t> doneSeqs; //!< completed µop seqs
+    /** Retire notifications received by commit, keyed by inst seq. */
+    std::unordered_set<std::uint64_t> retireReady;
+
+    // Rename: architectural µop register -> producing µop seq (0 = none).
+    std::vector<std::uint64_t> renameTable;
+
+    // --- resource occupancy ----------------------------------------------
+    unsigned robUops = 0;
+    unsigned rsUsed = 0;
+    unsigned lsqUsed = 0;
+    std::vector<Cycle> aluFreeAt;
+    std::vector<Cycle> buFreeAt;
+    std::vector<Cycle> lsuFreeAt;
+
+    // --- progress / speculation ------------------------------------------
+    Cycle cycle = 0;
+    std::uint64_t seqGen = 1;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedUops = 0;
+    InstNum nextFetchIn = 1;
+    Epoch expectedEpoch = 0;
+    Cycle fetchBusyUntil = 0;    //!< iCache miss in progress
+    bool awaitingResteer = false; //!< mispredict outstanding (wrong path)
+    bool drainForMispredict = false; //!< §4.1 flush-through-ROB
+    bool serializeInFlight = false;
+    bool drainRequested = false;
+
+    /** Events raised toward the functional model this cycle. */
+    std::vector<TmEvent> events;
+
+    /** Core-level commit hook (observation; owned by the facade). */
+    const std::function<void(const fm::TraceEntry &)> *onCommit = nullptr;
+
+    // --- statistics-fabric interval accumulators (paper Fig. 6) ----------
+    std::uint64_t bbCount = 0;
+    std::uint64_t intIcacheAcc = 0, intIcacheHit = 0;
+    std::uint64_t intBranches = 0, intMispredicts = 0;
+    std::uint64_t intDrainCycles = 0, intCycles = 0;
+
+    // --- shared helpers ---------------------------------------------------
+    bool
+    producerDone(std::uint64_t seq) const
+    {
+        if (seq == 0)
+            return true;
+        if (rob.empty() || seq < rob.front().uops.front().seq)
+            return true; // producer already committed
+        return doneSeqs.count(seq) > 0;
+    }
+
+    bool
+    uopReady(const UopSlot &u) const
+    {
+        return producerDone(u.dep1) && producerDone(u.dep2) &&
+               producerDone(u.depF);
+    }
+
+    void
+    rebuildRenameTable()
+    {
+        std::fill(renameTable.begin(), renameTable.end(), 0);
+        for (const DynInst &di : rob) {
+            for (const UopSlot &u : di.uops) {
+                if (u.uop.dst != ucode::UregNone)
+                    renameTable[u.uop.dst] = u.seq;
+                if (u.uop.writesFlags)
+                    renameTable[ucode::UregFlags] = u.seq;
+            }
+        }
+    }
+
+    unsigned
+    unresolvedBranches() const
+    {
+        unsigned n = 0;
+        for (const DynInst &di : rob)
+            if (di.e.isBranch && !di.resolved) {
+                bool done = true;
+                for (const UopSlot &u : di.uops)
+                    if (u.uop.isBranch() && u.st != UopSlot::St::Done)
+                        done = false;
+                if (!done)
+                    ++n;
+            }
+        fetchToDispatch.forEachValue([&n](const DynInst &di) {
+            if (di.e.isBranch)
+                ++n;
+        });
+        return n;
+    }
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_CORE_STATE_HH

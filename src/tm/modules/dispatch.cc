@@ -1,0 +1,115 @@
+#include "tm/modules/dispatch.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+using ucode::UopKind;
+
+DispatchModule::DispatchModule(const CoreConfig &cfg, CoreState &st)
+    : Module("dispatch"), cfg_(cfg), st_(st),
+      stDispatchStallSerialize_(stats().handle("dispatch_stall_serialize")),
+      stDispatchStallResources_(stats().handle("dispatch_stall_resources")),
+      stDispatchedInsts_(stats().handle("dispatched_insts"))
+{
+}
+
+void
+DispatchModule::tick(Cycle now)
+{
+    unsigned dispatched = 0;
+    unsigned dispatched_uops = 0;
+    while (dispatched < cfg_.issueWidth && st_.fetchToDispatch.canPop()) {
+        const DynInst &front = st_.fetchToDispatch.front();
+        if (st_.serializeInFlight) {
+            ++stDispatchStallSerialize_;
+            break;
+        }
+        if (front.e.serializing && !st_.rob.empty()) {
+            ++stDispatchStallSerialize_;
+            break;
+        }
+        const unsigned n = static_cast<unsigned>(front.uops.size());
+        unsigned mem_uops = 0;
+        unsigned rs_uops = 0;
+        for (const UopSlot &u : front.uops) {
+            if (u.uop.isMem())
+                ++mem_uops;
+            if (u.uop.kind != UopKind::Nop)
+                ++rs_uops;
+        }
+        // Fail fast on configurations that can never make progress: an
+        // instruction whose µops exceed a structure outright would stall
+        // dispatch forever.
+        if (n > cfg_.robEntries || rs_uops > cfg_.rsEntries ||
+            mem_uops > cfg_.lsqEntries) {
+            fatal("core config cannot dispatch a %u-uop instruction "
+                  "(rob=%u rs=%u lsq=%u)",
+                  n, cfg_.robEntries, cfg_.rsEntries, cfg_.lsqEntries);
+        }
+        if (st_.robUops + n > cfg_.robEntries ||
+            st_.rsUsed + rs_uops > cfg_.rsEntries ||
+            st_.lsqUsed + mem_uops > cfg_.lsqEntries) {
+            ++stDispatchStallResources_;
+            break;
+        }
+        DynInst di = st_.fetchToDispatch.pop();
+        for (UopSlot &u : di.uops) {
+            u.seq = st_.seqGen++;
+            // Rename: read producer seqs, then claim destinations.
+            u.dep1 = u.uop.src1 != ucode::UregNone
+                         ? st_.renameTable[u.uop.src1]
+                         : 0;
+            u.dep2 = u.uop.src2 != ucode::UregNone
+                         ? st_.renameTable[u.uop.src2]
+                         : 0;
+            u.depF =
+                u.uop.readsFlags ? st_.renameTable[ucode::UregFlags] : 0;
+            if (u.uop.dst != ucode::UregNone)
+                st_.renameTable[u.uop.dst] = u.seq;
+            if (u.uop.writesFlags)
+                st_.renameTable[ucode::UregFlags] = u.seq;
+            if (u.uop.kind == UopKind::Nop) {
+                // Untranslated instruction: occupies a slot only; its
+                // completion still travels the exec -> writeback channel.
+                u.st = UopSlot::St::Exec;
+                u.readyAt = now + 1;
+                st_.execToWriteback.pushAt(ExecToken{u.seq}, now + 1);
+            } else {
+                u.st = UopSlot::St::Waiting;
+                ++st_.rsUsed;
+            }
+            if (u.uop.isMem()) {
+                u.inLsq = true;
+                ++st_.lsqUsed;
+            }
+        }
+        st_.robUops += n;
+        dispatched_uops += n;
+        if (di.e.serializing)
+            st_.serializeInFlight = true;
+        st_.rob.push_back(std::move(di));
+        ++dispatched;
+    }
+    // Rename-table port multiplexing (~3 accesses per µop, 2 ports).
+    chargeHost((dispatched_uops * 3 + 1) / 2);
+    stDispatchedInsts_ += dispatched;
+}
+
+FpgaCost
+DispatchModule::fpgaCost() const
+{
+    FpgaCost c;
+    // Rename table: read ports scale with issue width.
+    ModeledMem rename{ucode::NumUopRegs, 16, 2 + cfg_.issueWidth};
+    c += rename.cost();
+    c.slices += 12.0 * cfg_.issueWidth; // per-slot dispatch muxing
+    c.slices += 300.0; // decode control (share of Fetch/Decode/Commit)
+    return c;
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dispatch module: pops decoded instructions from the fetch -> dispatch
+ * Connector, renames their µops against the shared rename table, allocates
+ * ROB / reservation-station / LSQ entries, and enforces serialization.
+ */
+
+#ifndef FASTSIM_TM_MODULES_DISPATCH_HH
+#define FASTSIM_TM_MODULES_DISPATCH_HH
+
+#include "tm/module.hh"
+#include "tm/modules/core_state.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class DispatchModule : public Module
+{
+  public:
+    DispatchModule(const CoreConfig &cfg, CoreState &st);
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+
+  private:
+    const CoreConfig &cfg_;
+    CoreState &st_;
+
+    stats::Handle stDispatchStallSerialize_;
+    stats::Handle stDispatchStallResources_;
+    stats::Handle stDispatchedInsts_;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_DISPATCH_HH

@@ -1,0 +1,160 @@
+#include "tm/modules/fetch.hh"
+
+#include "base/logging.hh"
+#include "ucode/compiler.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+using fm::TraceEntry;
+using ucode::Uop;
+
+FetchModule::FetchModule(const CoreConfig &cfg, CoreState &st,
+                         TraceBuffer &tb, BranchPredictor &bp,
+                         CacheHierarchy &caches, TlbModel &itlb)
+    : Module("fetch"), cfg_(cfg), st_(st), tb_(tb), bp_(bp),
+      caches_(caches), itlb_(itlb),
+      ucode_(ucode::UcodeTable::defaultTable()),
+      stFetchStallDrainreq_(stats().handle("fetch_stall_drainreq")),
+      stDrainCycles_(stats().handle("drain_cycles")),
+      stFetchStallIcache_(stats().handle("fetch_stall_icache")),
+      stFetchStallResteer_(stats().handle("fetch_stall_resteer")),
+      stFetchStallStarved_(stats().handle("fetch_stall_starved")),
+      stFetchStallBranches_(stats().handle("fetch_stall_branches")),
+      stFetchAttempts_(stats().handle("fetch_attempts")),
+      stFetchedInsts_(stats().handle("fetched_insts"))
+{
+}
+
+void
+FetchModule::tick(Cycle now)
+{
+    if (st_.drainRequested) {
+        ++stFetchStallDrainreq_;
+        return;
+    }
+    if (st_.drainForMispredict) {
+        if (st_.rob.empty() && st_.fetchToDispatch.empty()) {
+            st_.drainForMispredict = false;
+        } else {
+            ++st_.intDrainCycles;
+            ++stDrainCycles_;
+            return;
+        }
+    }
+    if (st_.fetchBusyUntil > now) {
+        ++stFetchStallIcache_;
+        return;
+    }
+
+    unsigned fetched = 0;
+    PAddr last_line = ~PAddr(0);
+    while (fetched < cfg_.issueWidth && st_.fetchToDispatch.canPush()) {
+        // Drop stale-epoch entries (post-rollback leftovers in flight).
+        const TraceEntry *pe = tb_.peekFetch();
+        while (pe && pe->epoch < st_.expectedEpoch) {
+            tb_.takeFetch();
+            pe = tb_.peekFetch();
+        }
+        if (!pe) {
+            if (st_.awaitingResteer)
+                ++stFetchStallResteer_;
+            else
+                ++stFetchStallStarved_;
+            break;
+        }
+        if (pe->epoch > st_.expectedEpoch)
+            panic("fetch: entry epoch %u ahead of expected %u", pe->epoch,
+                  st_.expectedEpoch);
+        if (pe->in != st_.nextFetchIn)
+            panic("fetch: entry IN %llu, expected %llu",
+                  static_cast<unsigned long long>(pe->in),
+                  static_cast<unsigned long long>(st_.nextFetchIn));
+        if (pe->isBranch &&
+            st_.unresolvedBranches() >= cfg_.maxNestedBranches) {
+            ++stFetchStallBranches_;
+            break;
+        }
+        ++stFetchAttempts_;
+
+        TraceEntry e = tb_.takeFetch();
+        st_.nextFetchIn = e.in + 1;
+
+        // Front-end iTLB + iCache.
+        Cycle tlb_extra = itlb_.access(e.pc);
+        chargeHost(itlb_.hostCycles());
+        const PAddr line = e.instPa / cfg_.caches.l1i.lineBytes;
+        bool icache_miss = false;
+        if (line != last_line) {
+            const auto r = caches_.accessInst(e.instPa, now);
+            chargeHost(caches_.l1i().hostCycles());
+            ++st_.intIcacheAcc;
+            if (r.l1Hit)
+                ++st_.intIcacheHit;
+            if (r.latency > cfg_.caches.l1i.hitLatency || tlb_extra) {
+                st_.fetchBusyUntil = r.readyAt + tlb_extra;
+                icache_miss = true;
+            }
+            last_line = line;
+        }
+
+        DynInst di;
+        di.e = e;
+        std::vector<Uop> bound;
+        isa::Insn pseudo;
+        pseudo.op = e.op;
+        pseudo.reg = e.reg;
+        pseudo.rm = e.rm;
+        pseudo.cond = e.cond;
+        ucode::bindUops(pseudo, ucode_.entry(e.op).uops, bound);
+        di.uops.reserve(bound.size());
+        for (const Uop &u : bound) {
+            UopSlot slot;
+            slot.uop = u;
+            di.uops.push_back(slot);
+        }
+
+        bool redirect = false;
+        if (e.isBranch) {
+            di.pred = bp_.predict(e);
+            chargeHost(bp_.hostCycles());
+            ++st_.intBranches;
+            if (di.pred.mispredicted)
+                ++st_.intMispredicts;
+            if (!e.wrongPath && di.pred.mispredicted) {
+                // Target speculation diverges from the functional path:
+                // resteer the FM down the predicted (wrong) path.
+                di.resteering = true;
+                st_.events.push_back(
+                    {TmEvent::Kind::WrongPath, e.in + 1, di.pred.target});
+                ++st_.expectedEpoch;
+                st_.awaitingResteer = true;
+                st_.nextFetchIn = e.in + 1;
+            }
+            // Fetch redirects after predicted-taken branches.
+            redirect = di.pred.taken || di.pred.mispredicted;
+        }
+        const bool halt = e.halt;
+        st_.fetchToDispatch.push(std::move(di));
+        ++fetched;
+        ++stFetchedInsts_;
+        if (redirect || halt || icache_miss)
+            break;
+    }
+}
+
+FpgaCost
+FetchModule::fpgaCost() const
+{
+    FpgaCost c;
+    // Trace buffer: 256 entries x 4 words (fetch's upstream interface).
+    ModeledMem tbm{256, 128, 2};
+    c += tbm.cost();
+    c.slices += 300.0; // fetch control (share of Fetch/Decode/Commit)
+    return c;
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

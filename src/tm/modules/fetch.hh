@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fetch module: consumes trace entries from the TraceBuffer, runs the
+ * front end (iTLB, iCache, branch prediction, µcode binding), raises
+ * WrongPath resteers on target-speculation divergence, and feeds the
+ * fetch -> dispatch Connector.
+ */
+
+#ifndef FASTSIM_TM_MODULES_FETCH_HH
+#define FASTSIM_TM_MODULES_FETCH_HH
+
+#include "tm/branch_pred.hh"
+#include "tm/cache.hh"
+#include "tm/module.hh"
+#include "tm/modules/core_state.hh"
+#include "tm/trace_buffer.hh"
+#include "ucode/table.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class FetchModule : public Module
+{
+  public:
+    FetchModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb,
+                BranchPredictor &bp, CacheHierarchy &caches, TlbModel &itlb);
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+
+  private:
+    const CoreConfig &cfg_;
+    CoreState &st_;
+    TraceBuffer &tb_;
+    BranchPredictor &bp_;
+    CacheHierarchy &caches_;
+    TlbModel &itlb_;
+    const ucode::UcodeTable &ucode_;
+
+    stats::Handle stFetchStallDrainreq_;
+    stats::Handle stDrainCycles_;
+    stats::Handle stFetchStallIcache_;
+    stats::Handle stFetchStallResteer_;
+    stats::Handle stFetchStallStarved_;
+    stats::Handle stFetchStallBranches_;
+    stats::Handle stFetchAttempts_;
+    stats::Handle stFetchedInsts_;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_FETCH_HH

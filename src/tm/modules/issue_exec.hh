@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Issue/execute module: wakes up ready µops in the reservation stations,
+ * arbitrates the functional units (ALUs, branch units, load/store unit),
+ * performs D-cache accesses, and launches execution-complete tokens into
+ * the exec -> writeback Connector with the µop's own latency.
+ */
+
+#ifndef FASTSIM_TM_MODULES_ISSUE_EXEC_HH
+#define FASTSIM_TM_MODULES_ISSUE_EXEC_HH
+
+#include "tm/cache.hh"
+#include "tm/module.hh"
+#include "tm/modules/core_state.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class IssueExecModule : public Module
+{
+  public:
+    IssueExecModule(const CoreConfig &cfg, CoreState &st,
+                    CacheHierarchy &caches);
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+
+  private:
+    const CoreConfig &cfg_;
+    CoreState &st_;
+    CacheHierarchy &caches_;
+
+    stats::Handle stIssuedUops_;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_ISSUE_EXEC_HH

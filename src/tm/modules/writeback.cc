@@ -1,0 +1,108 @@
+#include "tm/modules/writeback.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+WritebackModule::WritebackModule(const CoreConfig &cfg, CoreState &st)
+    : Module("writeback"), cfg_(cfg), st_(st),
+      stSquashedInsts_(stats().handle("squashed_insts")),
+      stMispredictResteers_(stats().handle("mispredict_resteers"))
+{
+}
+
+void
+WritebackModule::tick(Cycle now)
+{
+    // Receive this cycle's execution completions from the connector.
+    // Tokens of squashed µops simply find no ROB entry below (seqs are
+    // globally unique, so they can never alias live work).
+    readyThisCycle_.clear();
+    st_.execToWriteback.drainReady([this](const ExecToken &t) {
+        readyThisCycle_.insert(t.seq);
+    });
+    if (readyThisCycle_.empty())
+        return;
+
+    // Pass 1: complete µops whose execution latency has elapsed.  At most
+    // one resteering (mispredicted, correct-path) branch can be in flight;
+    // remember it and handle the squash after the scan so the ROB is not
+    // mutated mid-iteration.
+    std::size_t resteer_idx = st_.rob.size();
+    for (std::size_t i = 0; i < st_.rob.size(); ++i) {
+        DynInst &di = st_.rob[i];
+        bool newly_done = false;
+        for (UopSlot &u : di.uops) {
+            if (u.st == UopSlot::St::Exec &&
+                readyThisCycle_.count(u.seq)) {
+                fastsim_assert(u.readyAt <= now);
+                u.st = UopSlot::St::Done;
+                st_.doneSeqs.insert(u.seq);
+                newly_done = true;
+                if (u.uop.isBranch()) {
+                    if (di.resteering && !di.resolved &&
+                        resteer_idx == st_.rob.size()) {
+                        resteer_idx = i;
+                    } else {
+                        di.resolved = true;
+                    }
+                }
+            }
+        }
+        if (newly_done) {
+            bool all_done = true;
+            for (const UopSlot &u : di.uops)
+                if (u.st != UopSlot::St::Done)
+                    all_done = false;
+            if (all_done)
+                st_.writebackToCommit.push(
+                    RetireToken{di.uops.front().seq});
+        }
+    }
+    if (resteer_idx == st_.rob.size())
+        return;
+
+    // Branch resolution (paper §2.1 / Fig. 2): notify the FM to produce
+    // correct-path instructions and squash everything younger.
+    DynInst &br = st_.rob[resteer_idx];
+    br.resolved = true;
+    st_.events.push_back({TmEvent::Kind::Resolve, br.e.in + 1, br.e.nextPc});
+    ++st_.expectedEpoch;
+    st_.awaitingResteer = false;
+    st_.nextFetchIn = br.e.in + 1;
+    const InstNum bin = br.e.in;
+    while (!st_.rob.empty() && st_.rob.back().e.in > bin) {
+        DynInst &victim = st_.rob.back();
+        for (UopSlot &vu : victim.uops) {
+            st_.doneSeqs.erase(vu.seq);
+            if (vu.st == UopSlot::St::Waiting)
+                --st_.rsUsed;
+            if (vu.inLsq)
+                --st_.lsqUsed;
+        }
+        st_.robUops -= static_cast<unsigned>(victim.uops.size());
+        if (victim.e.serializing)
+            st_.serializeInFlight = false;
+        st_.rob.pop_back();
+        ++stSquashedInsts_;
+    }
+    st_.fetchToDispatch.flush();
+    st_.rebuildRenameTable();
+    if (cfg_.drainOnMispredict)
+        st_.drainForMispredict = true;
+    ++stMispredictResteers_;
+}
+
+FpgaCost
+WritebackModule::fpgaCost() const
+{
+    // ROB payload (per-µop state): completion tracking lives here.
+    ModeledMem rob{cfg_.robEntries, 64, 2};
+    return rob.cost();
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

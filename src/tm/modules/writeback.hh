@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Writeback module: receives execution-complete tokens from the
+ * exec -> writeback Connector, marks µops done (waking dependents through
+ * the shared done-set), pushes retirement notifications into the
+ * writeback -> commit Connector, and performs branch resolution — the
+ * Resolve resteer plus the squash of everything younger (§2.1/Fig. 2,
+ * with the §4.1 drain-through-ROB prototype limitation).
+ */
+
+#ifndef FASTSIM_TM_MODULES_WRITEBACK_HH
+#define FASTSIM_TM_MODULES_WRITEBACK_HH
+
+#include <unordered_set>
+
+#include "tm/module.hh"
+#include "tm/modules/core_state.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class WritebackModule : public Module
+{
+  public:
+    WritebackModule(const CoreConfig &cfg, CoreState &st);
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+
+  private:
+    const CoreConfig &cfg_;
+    CoreState &st_;
+
+    /** Seqs delivered by the completion channel this cycle. */
+    std::unordered_set<std::uint64_t> readyThisCycle_;
+
+    stats::Handle stSquashedInsts_;
+    stats::Handle stMispredictResteers_;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_WRITEBACK_HH

@@ -7,13 +7,17 @@ PowerBreakdown
 estimatePower(const Core &core, const PowerWeights &w)
 {
     PowerBreakdown b;
-    const auto &st = core.stats();
+    // Stage activity comes straight from the owning Module's counters via
+    // the registry (§4 fabric): fetch owns fetched_insts, dispatch owns
+    // dispatched_insts, issue/execute owns issued_uops, writeback owns
+    // squashed_insts, commit owns committed_insts.
+    const ModuleRegistry &reg = core.registry();
     auto add = [&b](std::string name, double energy) {
         b.items.push_back({std::move(name), energy});
         b.dynamicEnergy += energy;
     };
 
-    add("fetch", double(st.value("fetched_insts")) * w.fetch);
+    add("fetch", double(reg.statValue("fetched_insts")) * w.fetch);
     add("branch predictor",
         double(core.bp().branches()) * w.bpLookup);
     add("L1 I-cache",
@@ -28,11 +32,12 @@ estimatePower(const Core &core, const PowerWeights &w)
                     w.memAccess);
     // Rename/ROB writes: dispatched instructions carry their µops.
     add("rename/ROB",
-        double(st.value("dispatched_insts")) * w.renameUop * 1.25);
-    add("wakeup/select", double(st.value("issued_uops")) * w.wakeupUop);
-    add("functional units", double(st.value("issued_uops")) * w.aluOp);
-    add("commit", double(st.value("committed_insts")) * w.commit);
-    add("squashed work", double(st.value("squashed_insts")) * w.squash);
+        double(reg.statValue("dispatched_insts")) * w.renameUop * 1.25);
+    add("wakeup/select",
+        double(reg.statValue("issued_uops")) * w.wakeupUop);
+    add("functional units", double(reg.statValue("issued_uops")) * w.aluOp);
+    add("commit", double(reg.statValue("committed_insts")) * w.commit);
+    add("squashed work", double(reg.statValue("squashed_insts")) * w.squash);
 
     // Static leakage scales with the instantiated structures (the
     // resource model already knows them) and simulated cycles.

@@ -135,6 +135,18 @@ TEST(StatsGroup, CounterLifecycle)
     EXPECT_EQ(g.value("foo"), 0u);
 }
 
+TEST(StatsHandle, MaxOfKeepsRunningMaximum)
+{
+    stats::Group g("test");
+    stats::Handle h = g.handle("peak");
+    h.maxOf(3);
+    EXPECT_EQ(g.value("peak"), 3u);
+    h.maxOf(1); // lower samples never shrink the maximum
+    EXPECT_EQ(g.value("peak"), 3u);
+    h.maxOf(7);
+    EXPECT_EQ(g.value("peak"), 7u);
+}
+
 TEST(StatsTable, AlignedOutput)
 {
     stats::TablePrinter t({"App", "MIPS"});

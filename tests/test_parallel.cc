@@ -145,6 +145,127 @@ TEST(ParallelFast, RepeatedRunsGiveSameGuestResults)
     EXPECT_EQ(insts[0], insts[1]);
 }
 
+// A mispredict-heavy loop with a syscall per iteration, under a fast
+// timer: every protocol edge (wrong-path resteer, exception refetch,
+// timer drain request) is continuously in flight at once.
+kernel::BootImage
+branchySyscallImage(unsigned iters, std::uint32_t timer_interval)
+{
+    kernel::BuildOptions opts;
+    opts.timerInterval = timer_interval;
+    opts.bootDiskReads = 0;
+    opts.userProgram = [iters](Assembler &u) {
+        u.movri(R5, 0xBEEF);
+        u.movri(R2, iters);
+        Label top = u.here();
+        Label skip = u.newLabel();
+        u.movri(R0, 1103515245);
+        u.imulrr(R5, R0);
+        u.addri(R5, 12345);
+        u.movrr(R0, R5);
+        u.shri(R0, 18);
+        u.andri(R0, 1);
+        u.cmpri(R0, 0);
+        u.jcc(CondZ, skip);
+        u.addri(R6, 7);
+        u.bind(skip);
+        u.movri(R4, '.');
+        u.movri(R3, kernel::SysPutc);
+        u.intn(VecSyscall);
+        u.decr(R2);
+        u.jcc(CondNZ, top);
+        u.movri(R3, kernel::SysExit);
+        u.intn(VecSyscall);
+    };
+    return kernel::buildBootImage(opts);
+}
+
+TEST(ProtocolEdges, DrainRequestRacesInFlightMispredictResteer)
+{
+    // A timer drain request must not disturb a mispredict resteer already
+    // in flight: the branch still resolves (Resolve event) in a cycle
+    // where fetch is held for the drain, and the run completes with
+    // results identical to the parallel runner's.
+    auto image = branchySyscallImage(400, 2500);
+
+    FastSimulator coupled(testConfig(tm::BpKind::Gshare));
+    coupled.boot(image);
+    bool resolve_this_cycle = false;
+    std::uint64_t races = 0;
+    coupled.onEvent = [&](const tm::TmEvent &e) {
+        if (e.kind == tm::TmEvent::Kind::Resolve)
+            resolve_this_cycle = true;
+    };
+    std::uint64_t last_drainreq = 0;
+    while (!coupled.finished() && coupled.core().cycle() < 40000000) {
+        resolve_this_cycle = false;
+        coupled.tickOnce();
+        const std::uint64_t d =
+            coupled.core().stats().value("fetch_stall_drainreq");
+        if (resolve_this_cycle && d != last_drainreq)
+            ++races; // resteer resolved while fetch was held for a drain
+        last_drainreq = d;
+    }
+    ASSERT_TRUE(coupled.finished());
+    EXPECT_GT(races, 0u);
+    EXPECT_GT(coupled.stats().value("timer_interrupts"), 0u);
+    EXPECT_GT(coupled.stats().value("wrong_path_resteers"), 0u);
+
+    // The parallel runner survives the same races with identical
+    // guest-visible results (cycle counts legitimately differ on
+    // timer-driven runs; the coupled runner is the timing reference).
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(120000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_EQ(pr.insts, coupled.core().committedInsts());
+    EXPECT_EQ(par.fm().console().output(), coupled.fm().console().output());
+    EXPECT_EQ(par.fm().state().gpr, coupled.fm().state().gpr);
+}
+
+TEST(ProtocolEdges, ExceptionRefetchAndTimerInjectionCoexist)
+{
+    // A faulting guest under a fast timer: exception refetches and timer
+    // drain-inject sequences interleave in the same run, and both runners
+    // agree on every guest-visible result.  (The same-cycle RefetchAt-
+    // while-drain-requested edge is pinned deterministically at the core
+    // level in test_tm_core.cc.)
+    kernel::BuildOptions opts;
+    opts.timerInterval = 2500;
+    opts.bootDiskReads = 0;
+    opts.userProgram = [](Assembler &u) {
+        // Busy loop long enough for several timer ticks, then a divide
+        // fault: #DE enters the default trap handler, which halts.
+        u.movri(R2, 2000);
+        Label top = u.here();
+        u.decr(R2);
+        u.jcc(CondNZ, top);
+        u.movri(R0, 10);
+        u.movri(R1, 0);
+        u.idivrr(R0, R1);
+        u.movri(R3, kernel::SysExit);
+        u.intn(VecSyscall);
+    };
+    auto image = kernel::buildBootImage(opts);
+
+    FastSimulator coupled(testConfig(tm::BpKind::Gshare));
+    coupled.boot(image);
+    auto cr = coupled.run(40000000);
+    ASSERT_TRUE(cr.finished);
+    EXPECT_GT(coupled.stats().value("exception_refetches"), 0u);
+    EXPECT_GT(coupled.stats().value("timer_interrupts"), 0u);
+    EXPECT_NE(coupled.fm().console().output().find("!TRAP"),
+              std::string::npos);
+
+    ParallelFastSimulator par(testConfig(tm::BpKind::Gshare));
+    par.boot(image);
+    auto pr = par.run(120000000);
+    ASSERT_TRUE(pr.finished);
+    EXPECT_EQ(pr.insts, cr.insts);
+    EXPECT_EQ(par.fm().console().output(), coupled.fm().console().output());
+    EXPECT_EQ(par.fm().state().gpr, coupled.fm().state().gpr);
+}
+
 TEST(ParallelFast, FullWorkloadBoot)
 {
     const auto &w = workloads::byName("186.crafty");

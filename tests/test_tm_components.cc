@@ -98,6 +98,33 @@ TEST(Connector, FlushEmptiesQueue)
     EXPECT_EQ(c.stats().value("flushed"), 2u);
 }
 
+TEST(Connector, FlushResetsThroughputBudgets)
+{
+    // A flush models a pipeline squash: the wires are cleared, so the
+    // per-cycle throughput budgets must re-arm within the same cycle, not
+    // stay charged for transactions that no longer exist.
+    Connector<int> c("c", {2, 1, 1, 16});
+    c.tick(0);
+    c.push(1);
+    c.push(2);
+    EXPECT_FALSE(c.canPush()); // input budget spent
+    c.flush();
+    EXPECT_TRUE(c.canPush()); // budget restored with the squash
+    c.push(3);
+    c.push(4);
+    EXPECT_FALSE(c.canPush());
+
+    c.tick(1);
+    ASSERT_TRUE(c.canPop());
+    EXPECT_EQ(c.pop(), 3);
+    EXPECT_FALSE(c.canPop()); // output budget spent
+    c.flush();
+    c.push(5);
+    c.tick(2);
+    ASSERT_TRUE(c.canPop()); // output budget also re-armed by the flush
+    EXPECT_EQ(c.pop(), 5);
+}
+
 TEST(Connector, ReconfigurationChangesIssueBand)
 {
     // Paper §4: widening a Connector converts a single-issue target into a

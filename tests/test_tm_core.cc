@@ -355,6 +355,128 @@ TEST(TmCore, ExceptionRefetchesHandlerEntries)
     EXPECT_EQ(core.stats().value("exception_flushes"), 1u);
 }
 
+TEST(TmCore, ExceptionRefetchWhileDrainRequested)
+{
+    // Protocol edge: an exception reaches commit while an interrupt drain
+    // request already holds fetch.  The exception flush (RefetchAt) must
+    // still run, the drain request must survive it (fetch stays held until
+    // noteResteer), and the subsequent injection must use the
+    // post-exception fetch point.
+    TraceBuffer tb(64);
+    Core core(quietConfig(), tb);
+    EntryMaker mk;
+    tb.push(mk.alu());
+    TraceEntry exc = mk.alu(Opcode::IdivRr);
+    exc.exception = true;
+    exc.vector = isa::VecDivide;
+    exc.serializing = true;
+    exc.nextPc = 0x8000;
+    tb.push(exc);
+
+    // Let both instructions enter the pipeline, then request a drain (as
+    // the device-timing engine does when a timer tick is pending).
+    while (core.stats().value("fetched_insts") < 2 && core.cycle() < 200)
+        core.tick();
+    ASSERT_EQ(core.stats().value("fetched_insts"), 2u);
+    core.requestDrain();
+
+    bool refetch_during_drain = false;
+    while (core.committedInsts() < 2 && core.cycle() < 1000) {
+        const std::uint64_t d0 =
+            core.stats().value("fetch_stall_drainreq");
+        core.tick();
+        for (auto &e : core.drainEvents())
+            if (e.kind == TmEvent::Kind::RefetchAt &&
+                core.stats().value("fetch_stall_drainreq") > d0) {
+                refetch_during_drain = true;
+                EXPECT_EQ(e.in, 3u);
+            }
+    }
+    EXPECT_TRUE(refetch_during_drain);
+    EXPECT_EQ(core.committedInsts(), 2u);
+    EXPECT_EQ(core.stats().value("exception_flushes"), 1u);
+
+    // The drain request survives the exception flush: the core is drained
+    // at the refetch point and fetch stays held until the injection.
+    ASSERT_TRUE(core.drained());
+    EXPECT_EQ(core.nextFetchIn(), 3u);
+    const std::uint64_t held = core.stats().value("fetch_stall_drainreq");
+    core.tick();
+    EXPECT_GT(core.stats().value("fetch_stall_drainreq"), held);
+
+    // Inject: the runner resteers the producer at IN 3 and the pipeline
+    // resumes with handler entries on the new epoch.
+    core.noteResteer();
+    tb.rewindTo(core.nextFetchIn());
+    EntryMaker handler(0x8000);
+    handler.resteer(3, core.expectedEpoch(), 0x8000);
+    tb.push(handler.alu());
+    tb.push(handler.alu());
+    runUntilCommitted(core, 4);
+    EXPECT_EQ(core.committedInsts(), 4u);
+}
+
+TEST(TmCore, DrainRequestDuringMispredictResteerStillResolves)
+{
+    // Protocol edge: a drain request lands while a mispredict resteer is
+    // in flight (wrong-path entries streaming in).  The branch must still
+    // resolve — Resolve is emitted while fetch is held — and the drain
+    // then completes on the squashed pipeline.
+    CoreConfig cfg = quietConfig();
+    cfg.bp.kind = BpKind::FixedAccuracy;
+    cfg.bp.fixedAccuracy = 0.0; // mispredict every branch
+    TraceBuffer tb(64);
+    Core core(cfg, tb);
+    EntryMaker mk;
+    tb.push(mk.alu());
+    tb.push(mk.branch(true, 0x2000));
+
+    std::vector<TmEvent> wrong;
+    for (int i = 0; i < 300 && wrong.empty(); ++i) {
+        core.tick();
+        for (auto &e : core.drainEvents())
+            if (e.kind == TmEvent::Kind::WrongPath)
+                wrong.push_back(e);
+    }
+    ASSERT_EQ(wrong.size(), 1u);
+
+    // Wrong-path entries arrive; now a device event requests a drain
+    // while the resteer is still unresolved.
+    EntryMaker wp(0x3000);
+    wp.resteer(3, 1, 0x3000);
+    tb.push(wp.alu());
+    tb.push(wp.alu());
+    core.requestDrain();
+
+    bool resolve_during_drain = false;
+    for (int i = 0; i < 300 && !resolve_during_drain; ++i) {
+        const std::uint64_t d0 =
+            core.stats().value("fetch_stall_drainreq");
+        core.tick();
+        for (auto &e : core.drainEvents())
+            if (e.kind == TmEvent::Kind::Resolve &&
+                core.stats().value("fetch_stall_drainreq") > d0)
+                resolve_during_drain = true;
+    }
+    EXPECT_TRUE(resolve_during_drain);
+    EXPECT_EQ(core.expectedEpoch(), 2u);
+
+    // With fetch held, the squashed pipeline drains completely.
+    for (int i = 0; i < 300 && !core.drained(); ++i)
+        core.tick();
+    ASSERT_TRUE(core.drained());
+
+    // Injection proceeds at the branch's resolved successor.
+    core.noteResteer();
+    tb.rewindTo(core.nextFetchIn());
+    EntryMaker right(0x2000);
+    right.resteer(core.nextFetchIn(), core.expectedEpoch(), 0x2000);
+    tb.push(right.alu());
+    tb.push(right.alu());
+    runUntilCommitted(core, 4);
+    EXPECT_EQ(core.committedInsts(), 4u);
+}
+
 TEST(TmCore, NestedBranchLimitStallsFetch)
 {
     CoreConfig cfg = quietConfig();
