@@ -101,7 +101,7 @@ struct TmEvent
         InjectTimer, //!< runner-synthesized: deliver a timer tick at in
         InjectDisk,  //!< runner-synthesized: complete the disk op at in
     };
-    Kind kind;
+    Kind kind = Kind::WrongPath;
     InstNum in = 0;
     Addr pc = 0;
 };

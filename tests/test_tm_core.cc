@@ -573,6 +573,20 @@ TEST(TmCore, HaltEntryCommitsAndPipelineIdles)
     EXPECT_EQ(core.committedInsts(), 2u);
 }
 
+// Regression: TmEvent must be fully determinate when default-constructed.
+// Both runners declare `TmEvent e;` before filling it (protocol.hh
+// toEvent(), the parallel runner's ring pop), and the golden-run tests
+// hash the raw event stream — an indeterminate field hashes garbage.
+// The determinism linter enforces this shape-wide (DET003); this pins
+// the one struct that already slipped through.
+TEST(TmCore, DefaultConstructedTmEventIsDeterminate)
+{
+    TmEvent e;
+    EXPECT_EQ(e.kind, TmEvent::Kind::WrongPath);
+    EXPECT_EQ(e.in, 0u);
+    EXPECT_EQ(e.pc, 0u);
+}
+
 // --- parameterized sweep: the core must be sound for any config mix -------
 
 struct CoreParam
