@@ -1,0 +1,133 @@
+/**
+ * @file
+ * fastlint pass-cost microbenchmark: what does static verification cost,
+ * and what does the construction-time fail-fast check add to simulator
+ * bring-up?
+ *
+ * The fabric pass runs on every FastSimulator construction (fail-fast,
+ * FastConfig::verifyFabric), so its cost is bring-up latency for every
+ * run of every design-space sweep; the codec pass is an exhaustive
+ * encode/decode enumeration and is expected to dominate.  This bench
+ * keeps both costs visible so the verifier never becomes the reason a
+ * sweep is slow.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/codec_lint.hh"
+#include "analysis/fabric_lint.hh"
+#include "analysis/verify.hh"
+#include "base/statistics.hh"
+#include "fast/simulator.hh"
+#include "fpga/model.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace {
+
+template <typename Fn>
+double
+usecPerIter(unsigned iters, Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+           iters;
+}
+
+void
+run()
+{
+    std::printf("fastlint pass cost (per invocation)\n\n");
+
+    tm::CoreConfig cfg;
+    tm::TraceBuffer tb(256);
+    tm::Core core(cfg, tb);
+
+    stats::TablePrinter table({"Pass", "us/iter", "diagnostics"});
+
+    {
+        analysis::Report r;
+        const double us = usecPerIter(200, [&] {
+            analysis::Report rr;
+            const auto g = analysis::FabricGraph::fromRegistry(
+                core.registry());
+            analysis::lintFabric(g, rr);
+        });
+        const auto g = analysis::FabricGraph::fromRegistry(core.registry());
+        analysis::lintFabric(g, r);
+        table.addRow({"fabric (FAB001-005)",
+                      stats::TablePrinter::num(us, 1),
+                      std::to_string(r.diagnostics().size())});
+    }
+
+    {
+        analysis::Report r;
+        const double us = usecPerIter(200, [&] {
+            analysis::Report rr;
+            analysis::lintFabricCost(
+                fpga::applyPrototypeOverheads(core.fpgaCost()),
+                fpga::virtex4lx200(), rr);
+        });
+        analysis::lintFabricCost(
+            fpga::applyPrototypeOverheads(core.fpgaCost()),
+            fpga::virtex4lx200(), r);
+        table.addRow({"cost (FAB006)", stats::TablePrinter::num(us, 1),
+                      std::to_string(r.diagnostics().size())});
+    }
+
+    {
+        analysis::Report r;
+        const double us = usecPerIter(50, [&] {
+            analysis::Report rr;
+            analysis::lintOpcodeTable(analysis::defaultOpSpecs(), rr);
+        });
+        analysis::lintOpcodeTable(analysis::defaultOpSpecs(), r);
+        table.addRow({"codec table (COD001-007)",
+                      stats::TablePrinter::num(us, 1),
+                      std::to_string(r.diagnostics().size())});
+    }
+
+    {
+        analysis::Report r;
+        const double us = usecPerIter(20, [&] {
+            analysis::Report rr;
+            analysis::lintCodecRoundTrip(rr);
+        });
+        analysis::lintCodecRoundTrip(r);
+        table.addRow({"codec round-trip (COD004)",
+                      stats::TablePrinter::num(us, 1),
+                      std::to_string(r.diagnostics().size())});
+    }
+
+    table.print();
+
+    // Construction overhead of the fail-fast check: simulator bring-up
+    // with and without FastConfig::verifyFabric.
+    fast::FastConfig fcfg;
+    fcfg.verifyFabric = true;
+    const double with_us = usecPerIter(10, [&] {
+        fast::FastSimulator sim(fcfg);
+    });
+    fcfg.verifyFabric = false;
+    const double without_us = usecPerIter(10, [&] {
+        fast::FastSimulator sim(fcfg);
+    });
+    std::printf("\nFastSimulator construction: %.0f us verified, "
+                "%.0f us unverified (fail-fast adds %.0f us)\n",
+                with_us, without_us, with_us - without_us);
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

@@ -1,0 +1,407 @@
+#include "analysis/codec_lint.hh"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+namespace fastsim {
+namespace analysis {
+
+using isa::ExecClass;
+using isa::Opcode;
+using isa::OperTemplate;
+
+unsigned
+operTemplateMaxBytes(OperTemplate tmpl)
+{
+    switch (tmpl) {
+      case OperTemplate::None: return 0;
+      case OperTemplate::R: return 1;
+      case OperTemplate::RR: return 1;
+      case OperTemplate::RI: return 5;
+      case OperTemplate::RI8: return 2;
+      case OperTemplate::RM: return 5; // mod byte + disp32
+      case OperTemplate::I8: return 1;
+      case OperTemplate::Rel8: return 1;
+      case OperTemplate::Rel32: return 4;
+    }
+    return 0;
+}
+
+std::vector<OpSpec>
+defaultOpSpecs()
+{
+    std::vector<OpSpec> specs;
+    specs.reserve(isa::NumOpcodes);
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const isa::OpInfo &info = isa::opInfo(op);
+        OpSpec s;
+        s.name = info.mnemonic;
+        s.escape = info.escape;
+        s.byte = info.byte;
+        s.tmpl = info.tmpl;
+        s.cls = info.cls;
+        s.flags = info.flags;
+        s.condSlots = (op == Opcode::Jcc32 || op == Opcode::Jcc8)
+                          ? isa::NumCondCodes
+                          : 1;
+        s.operandBytesMax = operTemplateMaxBytes(info.tmpl);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+namespace {
+
+bool
+isFpClass(ExecClass cls)
+{
+    switch (cls) {
+      case ExecClass::FpAlu:
+      case ExecClass::FpDiv:
+      case ExecClass::FpLoad:
+      case ExecClass::FpStore:
+      case ExecClass::FpMove:
+      case ExecClass::FpCompare:
+      case ExecClass::FpConvert:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+lintOpcodeTable(const std::vector<OpSpec> &specs, Report &report)
+{
+    // COD005: the trace carries an 11-bit compressed opcode packed as
+    // (index << 4) | cond — the opcode index must fit in 7 bits and the
+    // cond slot count in 4.
+    if (specs.size() > 128)
+        report.error("COD005", "opcode table",
+                     std::to_string(specs.size()) +
+                         " opcodes exceed the 7-bit index of the 11-bit "
+                         "compressed-opcode packing (max 128)");
+
+    // Byte-space occupancy: two planes (primary, 0x0F-escaped) of 256
+    // cells each; a Jcc-style row claims condSlots consecutive cells.
+    std::array<const OpSpec *, 256> primary{};
+    std::array<const OpSpec *, 256> escape{};
+    for (const OpSpec &s : specs) {
+        if (s.condSlots == 0 || s.condSlots > 16) {
+            report.error("COD005", s.name,
+                         "condition-slot count " +
+                             std::to_string(s.condSlots) +
+                             " does not fit the 4-bit cond field of the "
+                             "compressed opcode");
+            continue;
+        }
+        // COD005: the claimed byte range must stay inside the table.
+        if (unsigned(s.byte) + s.condSlots - 1 > 0xFF) {
+            std::ostringstream os;
+            os << "byte range 0x" << std::hex << unsigned(s.byte) << std::dec
+               << " + " << s.condSlots
+               << " slots overflows the 8-bit opcode byte";
+            report.error("COD005", s.name, os.str());
+            continue;
+        }
+        auto &plane = s.escape ? escape : primary;
+        for (unsigned c = 0; c < s.condSlots; ++c) {
+            const unsigned cell = s.byte + c;
+            if (plane[cell]) {
+                // COD001: two rows claim one cell.
+                std::ostringstream os;
+                os << "encoding overlap at " << (s.escape ? "0F " : "")
+                   << "byte 0x" << std::hex << cell << std::dec << ": '"
+                   << plane[cell]->name << "' and '" << s.name << "'";
+                report.error("COD001", s.name, os.str());
+            } else {
+                plane[cell] = &s;
+            }
+            // COD002: a primary-plane cell equal to a prefix or the
+            // escape byte can never be reached — the decoder consumes
+            // the byte as a prefix/escape before opcode dispatch.
+            if (!s.escape &&
+                (cell == isa::PrefixRep || cell == isa::PrefixPad ||
+                 cell == isa::EscapeByte)) {
+                std::ostringstream os;
+                os << "opcode byte 0x" << std::hex << cell << std::dec
+                   << " is shadowed by the "
+                   << (cell == isa::EscapeByte ? "two-byte escape"
+                                               : "prefix")
+                   << " and can never decode";
+                report.error("COD002", s.name, os.str());
+            }
+        }
+
+        // COD003: the shortest useful encoding (optional REP, escape,
+        // opcode byte, worst-case operands — no PAD padding) must fit the
+        // architectural limit.
+        const unsigned min_len = (s.flags & isa::OpfRepable ? 1u : 0u) +
+                                 (s.escape ? 2u : 1u) + s.operandBytesMax;
+        if (min_len > isa::MaxInsnLength)
+            report.error("COD003", s.name,
+                         "worst-case encoding is " +
+                             std::to_string(min_len) + " bytes, over the " +
+                             std::to_string(isa::MaxInsnLength) +
+                             "-byte architectural limit");
+
+        // COD006: ExecClass and the static property flags must agree —
+        // the microcode compiler cracks by class but the timing model
+        // steers by flags, so a contradiction splits the two models.
+        const bool branch = s.flags & isa::OpfBranch;
+        const bool cond = s.flags & isa::OpfCond;
+        const bool load = s.flags & isa::OpfLoad;
+        const bool store = s.flags & isa::OpfStore;
+        const bool fp = s.flags & isa::OpfFp;
+        auto bad = [&](const std::string &why) {
+            report.error("COD006", s.name,
+                         "flag/class inconsistency: " + why);
+        };
+        if (cond && !branch)
+            bad("OpfCond without OpfBranch");
+        switch (s.cls) {
+          case ExecClass::BranchCond:
+            if (!branch || !cond)
+                bad("BranchCond requires OpfBranch|OpfCond");
+            break;
+          case ExecClass::BranchUncond:
+          case ExecClass::Call:
+          case ExecClass::Ret:
+            if (!branch)
+                bad("control-transfer class without OpfBranch");
+            if (s.cls != ExecClass::BranchCond && cond)
+                bad("unconditional control-transfer class with OpfCond");
+            break;
+          case ExecClass::Load:
+            if (!load)
+                bad("Load class without OpfLoad");
+            break;
+          case ExecClass::Store:
+            if (!store)
+                bad("Store class without OpfStore");
+            break;
+          case ExecClass::FpLoad:
+            if (!load || !fp)
+                bad("FpLoad class requires OpfLoad|OpfFp");
+            break;
+          case ExecClass::FpStore:
+            if (!store || !fp)
+                bad("FpStore class requires OpfStore|OpfFp");
+            break;
+          default:
+            break;
+        }
+        if (isFpClass(s.cls) && !fp)
+            bad("floating-point class without OpfFp");
+        if (!isFpClass(s.cls) && fp)
+            bad("OpfFp on a non-floating-point class");
+        if ((s.flags & isa::OpfRepable) && s.cls != ExecClass::String)
+            bad("OpfRepable on a non-String class");
+    }
+
+    // COD007: every trace-visible TraceEntry field must be reachable from
+    // some opcode, or the timing model carries dead plumbing (and the
+    // golden event hash silently loses coverage).
+    struct Need
+    {
+        const char *field;
+        bool satisfied;
+    };
+    auto any = [&specs](auto &&pred) {
+        for (const OpSpec &s : specs)
+            if (pred(s))
+                return true;
+        return false;
+    };
+    const Need needs[] = {
+        {"isBranch/isCond/branchTaken (conditional branch)",
+         any([](const OpSpec &s) {
+             return (s.flags & isa::OpfBranch) && (s.flags & isa::OpfCond);
+         })},
+        {"target/nextPc (unconditional branch)",
+         any([](const OpSpec &s) {
+             return (s.flags & isa::OpfBranch) && !(s.flags & isa::OpfCond);
+         })},
+        {"isLoad/loadVa/loadPa",
+         any([](const OpSpec &s) { return s.flags & isa::OpfLoad; })},
+        {"isStore/storeVa/storePa",
+         any([](const OpSpec &s) { return s.flags & isa::OpfStore; })},
+        {"isFp", any([](const OpSpec &s) { return s.flags & isa::OpfFp; })},
+        {"serializing",
+         any([](const OpSpec &s) { return s.flags & isa::OpfSerialize; })},
+        {"halt",
+         any([](const OpSpec &s) { return s.cls == ExecClass::Halt; })},
+        {"exception/vector (software interrupt)",
+         any([](const OpSpec &s) { return s.cls == ExecClass::IntSw; })},
+        {"exception (undefined opcode)",
+         any([](const OpSpec &s) { return s.cls == ExecClass::Undefined; })},
+        {"rep-prefixed string execution",
+         any([](const OpSpec &s) { return s.flags & isa::OpfRepable; })},
+        {"cond (flags-reading consumer)",
+         any([](const OpSpec &s) { return s.flags & isa::OpfReadFlags; })},
+        {"flags-writing producer",
+         any([](const OpSpec &s) { return s.flags & isa::OpfWriteFlags; })},
+        {"reg operand",
+         any([](const OpSpec &s) {
+             return s.tmpl != OperTemplate::None &&
+                    s.tmpl != OperTemplate::I8 &&
+                    s.tmpl != OperTemplate::Rel8 &&
+                    s.tmpl != OperTemplate::Rel32;
+         })},
+        {"rm operand",
+         any([](const OpSpec &s) {
+             return s.tmpl == OperTemplate::RR || s.tmpl == OperTemplate::RM;
+         })},
+    };
+    for (const Need &n : needs)
+        if (!n.satisfied)
+            report.error("COD007", "opcode table",
+                         std::string("no opcode can ever produce trace "
+                                     "field(s) ") +
+                             n.field);
+}
+
+void
+lintCodecRoundTrip(Report &report, EncodeFn encode, DecodeFn decode)
+{
+    if (!encode)
+        encode = [](isa::Insn &insn, std::uint8_t *buf) {
+            return isa::encode(insn, buf);
+        };
+    if (!decode)
+        decode = [](const std::uint8_t *buf, std::size_t avail,
+                    isa::Insn &insn) { return isa::decode(buf, avail, insn); };
+
+    // Exhaustive shape enumeration: opcode x cond (for Jcc) x operand
+    // pattern x REP x PAD.  Register fields use two contrasting values to
+    // catch swapped/truncated bit packing.
+    unsigned checked = 0;
+    for (unsigned i = 0; i < isa::NumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const isa::OpInfo &info = isa::opInfo(op);
+        const bool jcc = op == Opcode::Jcc32 || op == Opcode::Jcc8;
+        const unsigned conds = jcc ? isa::NumCondCodes : 1;
+        const unsigned disp_kinds = info.tmpl == OperTemplate::RM ? 3 : 1;
+        const bool rep_ok = info.flags & isa::OpfRepable;
+
+        for (unsigned cc = 0; cc < conds; ++cc)
+            for (unsigned dk = 0; dk < disp_kinds; ++dk)
+                for (unsigned rep = 0; rep <= (rep_ok ? 1u : 0u); ++rep)
+                    for (unsigned pad = 0; pad <= 2; pad += 2) {
+                        isa::Insn in;
+                        in.op = op;
+                        in.cond = static_cast<isa::CondCode>(cc);
+                        in.rep = rep != 0;
+                        in.pad = static_cast<std::uint8_t>(pad);
+                        in.dispKind = static_cast<std::uint8_t>(dk);
+                        switch (info.tmpl) {
+                          case OperTemplate::None:
+                            break;
+                          case OperTemplate::R:
+                            in.reg = 5;
+                            break;
+                          case OperTemplate::RR:
+                            in.reg = 5;
+                            in.rm = 10;
+                            break;
+                          case OperTemplate::RI:
+                            in.reg = 5;
+                            in.imm = 0xDEADBEEF;
+                            break;
+                          case OperTemplate::RI8:
+                            in.reg = 5;
+                            in.imm = 0xA5;
+                            break;
+                          case OperTemplate::RM:
+                            in.reg = 5;
+                            in.rm = 3;
+                            in.disp = dk == 1 ? -8 : dk == 2 ? 0x12345 : 0;
+                            break;
+                          case OperTemplate::I8:
+                            in.imm = 0x42;
+                            break;
+                          case OperTemplate::Rel8:
+                            in.rel = -5;
+                            break;
+                          case OperTemplate::Rel32:
+                            in.rel = 0x1234;
+                            break;
+                        }
+
+                        std::uint8_t buf[isa::MaxInsnLength + 1] = {};
+                        isa::Insn probe = in;
+                        const unsigned len = encode(probe, buf);
+                        in.length = static_cast<std::uint8_t>(len);
+
+                        isa::Insn out;
+                        const isa::DecodeStatus st =
+                            decode(buf, len, out);
+                        ++checked;
+                        if (st != isa::DecodeStatus::Ok) {
+                            report.error(
+                                "COD004", info.mnemonic,
+                                "encoded instruction fails to decode "
+                                "(status " +
+                                    std::to_string(
+                                        static_cast<unsigned>(st)) +
+                                    ")");
+                            continue;
+                        }
+                        if (!(out == in)) {
+                            std::ostringstream os;
+                            os << "round-trip mismatch: encoded '"
+                               << isa::disassemble(in, 0x1000)
+                               << "' decodes as '"
+                               << isa::disassemble(out, 0x1000) << "'";
+                            report.error("COD004", info.mnemonic, os.str());
+                        }
+                    }
+    }
+
+    // Decode-table agreement sweep: every cell of the one- and two-byte
+    // opcode planes must decode exactly when the table says it should.
+    const std::vector<OpSpec> specs = defaultOpSpecs();
+    std::array<bool, 256> primary_claimed{};
+    std::array<bool, 256> escape_claimed{};
+    for (const OpSpec &s : specs)
+        for (unsigned c = 0; c < s.condSlots; ++c)
+            (s.escape ? escape_claimed : primary_claimed)[s.byte + c] = true;
+    // Prefix/escape bytes are consumed before opcode dispatch.
+    primary_claimed[isa::PrefixRep] = true;
+    primary_claimed[isa::PrefixPad] = true;
+    primary_claimed[isa::EscapeByte] = true;
+
+    for (unsigned plane = 0; plane < 2; ++plane) {
+        for (unsigned b = 0; b <= 0xFF; ++b) {
+            std::uint8_t buf[16] = {};
+            std::size_t n = 0;
+            if (plane == 1)
+                buf[n++] = isa::EscapeByte;
+            buf[n++] = static_cast<std::uint8_t>(b);
+            isa::Insn out;
+            const isa::DecodeStatus st = decode(buf, sizeof buf, out);
+            const bool claimed =
+                plane == 1 ? escape_claimed[b] : primary_claimed[b];
+            const bool decodes = st != isa::DecodeStatus::BadOpcode;
+            if (plane == 0 && b == isa::PrefixRep)
+                continue; // bare REP: rejected only for non-string tails
+            if (claimed != decodes) {
+                std::ostringstream os;
+                os << "decode table disagrees with opcode table at "
+                   << (plane ? "0F " : "") << "byte 0x" << std::hex << b
+                   << std::dec << ": table says "
+                   << (claimed ? "valid" : "invalid") << ", decoder says "
+                   << (decodes ? "valid" : "invalid");
+                report.error("COD004", "decode sweep", os.str());
+            }
+        }
+    }
+
+    (void)checked;
+}
+
+} // namespace analysis
+} // namespace fastsim

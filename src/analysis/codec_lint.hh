@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pass 2 of fastlint: exhaustive static verification of the FX86 encoding
+ * space (src/isa/opcodes.hh is the single source of truth; this pass
+ * proves the table is self-consistent and that the codec realizes it).
+ *
+ *   COD001  overlapping encodings (two opcodes claim the same
+ *           (escape, byte) cell, including Jcc condition-code ranges)
+ *   COD002  prefix shadowing (a primary opcode byte equal to a prefix or
+ *           the escape byte is unreachable — the decoder consumes it as a
+ *           prefix first)
+ *   COD003  encoding longer than the architectural 15-byte limit
+ *   COD004  codec round-trip mismatch (encode -> decode does not
+ *           reproduce the instruction, or the decode table disagrees with
+ *           the opcode table on a byte's validity)
+ *   COD005  field overflow (opcode index or byte range exceeds what the
+ *           11-bit compressed-opcode packing / the byte table can hold)
+ *   COD006  flag/class inconsistency (an opcode's ExecClass and its
+ *           static property flags contradict each other)
+ *   COD007  trace-field coverage (a trace-visible TraceEntry field that
+ *           no opcode in the table can ever set — the timing model would
+ *           carry dead plumbing)
+ *
+ * The table checks run on value-type OpSpec rows rather than on the
+ * compile-time macro table directly, so the unit tests can hand-craft
+ * known-bad tables; defaultOpSpecs() derives the real table.  The
+ * round-trip check takes injectable encode/decode functions for the same
+ * reason.
+ */
+
+#ifndef FASTSIM_ANALYSIS_CODEC_LINT_HH
+#define FASTSIM_ANALYSIS_CODEC_LINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/insn.hh"
+
+namespace fastsim {
+namespace analysis {
+
+/** One opcode-table row as a value type. */
+struct OpSpec
+{
+    std::string name;
+    bool escape = false;
+    std::uint8_t byte = 0;
+    isa::OperTemplate tmpl = isa::OperTemplate::None;
+    isa::ExecClass cls = isa::ExecClass::Nop;
+    std::uint32_t flags = 0;
+    /** Consecutive byte cells this row claims (Jcc: one per CondCode). */
+    unsigned condSlots = 1;
+    /** Worst-case operand bytes (derived from tmpl by defaultOpSpecs()). */
+    unsigned operandBytesMax = 0;
+};
+
+/** Maximum operand bytes a template can encode. */
+unsigned operTemplateMaxBytes(isa::OperTemplate tmpl);
+
+/** The real FX86 table (FX86_OPCODE_LIST) as OpSpec rows. */
+std::vector<OpSpec> defaultOpSpecs();
+
+/** Run COD001/002/003/005/006/007 over a table. */
+void lintOpcodeTable(const std::vector<OpSpec> &specs, Report &report);
+
+/** Injectable codec functions (default: the real isa:: codec). */
+using EncodeFn = std::function<unsigned(isa::Insn &, std::uint8_t *)>;
+using DecodeFn = std::function<isa::DecodeStatus(const std::uint8_t *,
+                                                 std::size_t, isa::Insn &)>;
+
+/**
+ * COD004: every assembler-emittable instruction shape round-trips through
+ * encode -> decode bit-exactly, and a sweep of the whole one/two-byte
+ * opcode space agrees with the table on which bytes decode at all.
+ */
+void lintCodecRoundTrip(Report &report, EncodeFn encode = {},
+                        DecodeFn decode = {});
+
+} // namespace analysis
+} // namespace fastsim
+
+#endif // FASTSIM_ANALYSIS_CODEC_LINT_HH

@@ -1,0 +1,79 @@
+#include "analysis/diagnostics.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fastsim {
+namespace analysis {
+
+namespace {
+
+const char *
+severityName(Severity sev)
+{
+    return sev == Severity::Error ? "error" : "warning";
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Report::text() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diags_) {
+        os << d.where << ": " << severityName(d.severity) << " [" << d.id
+           << "] " << d.message << "\n";
+    }
+    os << errorCount() << " error(s), " << warningCount() << " warning(s)\n";
+    return os.str();
+}
+
+std::string
+Report::json() const
+{
+    std::ostringstream os;
+    os << "{\"errors\":" << errorCount()
+       << ",\"warnings\":" << warningCount() << ",\"diagnostics\":[";
+    bool first = true;
+    for (const Diagnostic &d : diags_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"id\":\"" << jsonEscape(d.id) << "\",\"severity\":\""
+           << severityName(d.severity) << "\",\"where\":\""
+           << jsonEscape(d.where) << "\",\"message\":\""
+           << jsonEscape(d.message) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace fastsim

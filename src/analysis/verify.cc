@@ -1,0 +1,44 @@
+#include "analysis/verify.hh"
+
+#include "analysis/codec_lint.hh"
+#include "analysis/fabric_lint.hh"
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace analysis {
+
+void
+verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
+{
+    if (opts.fabric) {
+        const FabricGraph g = FabricGraph::fromRegistry(core.registry());
+        lintFabric(g, report);
+    }
+    if (opts.cost) {
+        const fpga::Device &dev =
+            opts.device ? *opts.device : fpga::virtex4lx200();
+        lintFabricCost(fpga::applyPrototypeOverheads(core.fpgaCost()), dev,
+                       report);
+    }
+    if (opts.codec) {
+        lintOpcodeTable(defaultOpSpecs(), report);
+        lintCodecRoundTrip(report);
+    }
+}
+
+void
+verifyFabricOrFatal(const tm::Core &core)
+{
+    Report report;
+    VerifyOptions opts;
+    opts.fabric = true;
+    verify(core, opts, report);
+    if (report.hasErrors())
+        fatal("fabric verification failed (%zu error(s)); pass "
+              "verifyFabric=false / --no-verify-fabric to construct "
+              "anyway:\n%s",
+              report.errorCount(), report.text().c_str());
+}
+
+} // namespace analysis
+} // namespace fastsim

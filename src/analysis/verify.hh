@@ -1,0 +1,49 @@
+/**
+ * @file
+ * fastlint driver: runs the static verification passes against a live
+ * timing-model core.
+ *
+ * Two entry points:
+ *  - verify(): full configurable run (fabric, FPGA budget, codec) used by
+ *    tools/fastlint and the tests;
+ *  - verifyFabricOrFatal(): the construction-time fail-fast hook — the
+ *    simulator facades call it from their constructors (opt out with
+ *    FastConfig::verifyFabric = false) so a structurally broken fabric
+ *    (e.g. a zero-latency Connector cycle) never starts ticking.
+ *    Structural checks only: the FPGA budget (FAB006) is advisory at
+ *    construction time because estimating an over-budget configuration is
+ *    itself a legitimate use of the simulator.
+ */
+
+#ifndef FASTSIM_ANALYSIS_VERIFY_HH
+#define FASTSIM_ANALYSIS_VERIFY_HH
+
+#include "analysis/diagnostics.hh"
+#include "fpga/model.hh"
+#include "tm/core.hh"
+
+namespace fastsim {
+namespace analysis {
+
+/** What verify() runs. */
+struct VerifyOptions
+{
+    bool fabric = true; //!< FAB001..FAB005 over the module/connector graph
+    bool cost = false;  //!< FAB006 against `device`
+    bool codec = false; //!< COD001..COD007 over the real FX86 table+codec
+    const fpga::Device *device = nullptr; //!< nullptr: Virtex-4 LX200
+};
+
+/** Run the selected passes; diagnostics land in `report`. */
+void verify(const tm::Core &core, const VerifyOptions &opts, Report &report);
+
+/**
+ * Construction-time structural check (FAB001..FAB005).  Throws FatalError
+ * (via fatal()) listing every finding if the fabric has errors.
+ */
+void verifyFabricOrFatal(const tm::Core &core);
+
+} // namespace analysis
+} // namespace fastsim
+
+#endif // FASTSIM_ANALYSIS_VERIFY_HH

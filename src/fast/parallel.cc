@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/verify.hh"
 #include "base/logging.hh"
 
 namespace fastsim {
@@ -23,6 +24,8 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     fm_cfg.fmDrivenDevices = false;
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
     core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+    if (cfg.verifyFabric)
+        analysis::verifyFabricOrFatal(*core_);
     engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
 }
 

@@ -1,5 +1,6 @@
 #include "fast/simulator.hh"
 
+#include "analysis/verify.hh"
 #include "base/logging.hh"
 
 namespace fastsim {
@@ -15,6 +16,8 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
     fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
     core_ = std::make_unique<tm::Core>(cfg.core, tb_);
+    if (cfg.verifyFabric)
+        analysis::verifyFabricOrFatal(*core_);
     engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
     boundaryOk_ = [this](InstNum in) { return fm_->lastCommitted() + 1 == in; };
 }

@@ -51,6 +51,15 @@ struct FastConfig
      * running ahead since wrong-path work is rolled back anyway.
      */
     unsigned fmBatchInsts = 64;
+
+    /**
+     * Fail fast on a structurally broken Module/Connector fabric: the
+     * constructor runs the fastlint fabric pass (src/analysis) and throws
+     * FatalError on any error — e.g. a zero-latency Connector cycle or a
+     * dangling endpoint.  Disable to construct anyway (fastlint's own
+     * --no-verify-fabric does this to report rather than throw).
+     */
+    bool verifyFabric = true;
 };
 
 /** Aggregate results of a run. */

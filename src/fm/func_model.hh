@@ -207,17 +207,17 @@ class FuncModel : public DeviceBus
         {
             Gpr, Fpr, Flags, Ctrl, Mem8, Mem32,
         };
-        Kind kind;
-        std::uint8_t idx;
-        PAddr pa;
-        std::uint64_t old;
+        Kind kind = Kind::Gpr;
+        std::uint8_t idx = 0;
+        PAddr pa = 0;
+        std::uint64_t old = 0;
     };
 
     struct UndoGroup
     {
-        InstNum in;
-        Addr pcBefore;
-        bool haltedBefore;
+        InstNum in = 0;
+        Addr pcBefore = 0;
+        bool haltedBefore = false;
         std::vector<UndoRec> recs;
         std::vector<std::pair<Device *, std::vector<std::uint8_t>>> devSnaps;
         std::vector<std::pair<std::pair<Device *, std::uint32_t>,

@@ -48,15 +48,20 @@ constexpr double PrototypeBramFactor = 1.25;
 } // namespace
 
 tm::FpgaCost
+applyPrototypeOverheads(tm::FpgaCost c)
+{
+    c.slices = c.slices * PrototypeLogicFactor + FixedSlices;
+    c.blockRams = c.blockRams * PrototypeBramFactor + FixedBlockRams;
+    return c;
+}
+
+tm::FpgaCost
 estimateCore(const tm::CoreConfig &cfg)
 {
     // Instantiate the modules to query their primitive-level costs.
     tm::TraceBuffer tb(256);
     tm::Core core(cfg, tb);
-    tm::FpgaCost c = core.fpgaCost();
-    c.slices = c.slices * PrototypeLogicFactor + FixedSlices;
-    c.blockRams = c.blockRams * PrototypeBramFactor + FixedBlockRams;
-    return c;
+    return applyPrototypeOverheads(core.fpgaCost());
 }
 
 Utilization

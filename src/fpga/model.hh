@@ -56,6 +56,15 @@ struct Utilization
 /** Raw resource estimate for a core configuration (modules + overheads). */
 tm::FpgaCost estimateCore(const tm::CoreConfig &cfg);
 
+/**
+ * Apply the §4.7 prototype overheads (under-optimized-implementation
+ * factors plus the fixed infrastructure slices/BRAMs) to a raw per-module
+ * cost roll-up.  Exposed so a caller that already owns a constructed core
+ * (e.g. the fastlint fabric verifier) can estimate without building a
+ * second one.
+ */
+tm::FpgaCost applyPrototypeOverheads(tm::FpgaCost c);
+
 /** Map an estimate onto a device. */
 Utilization utilization(const tm::FpgaCost &cost, const Device &dev);
 

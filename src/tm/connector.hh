@@ -42,17 +42,55 @@ struct ConnectorParams
 };
 
 /**
+ * Type-erased Connector identity: name, parameters and statistics.
+ *
+ * Static analysis (src/analysis/fabric_lint.hh) walks the fabric through
+ * this interface — connectivity, latency and buffering are properties of
+ * the graph, independent of the payload type a Connector carries.
+ */
+class ConnectorBase
+{
+  public:
+    ConnectorBase(std::string name, const ConnectorParams &params)
+        : name_(std::move(name)), p_(params), stats_(name_)
+    {
+    }
+    virtual ~ConnectorBase() = default;
+
+    ConnectorBase(const ConnectorBase &) = delete;
+    ConnectorBase &operator=(const ConnectorBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const ConnectorParams &params() const { return p_; }
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    /** Current number of in-flight entries. */
+    virtual std::size_t size() const = 0;
+    bool empty() const { return size() == 0; }
+
+  private:
+    // Declared before stats_: members initialize in declaration order, and
+    // the stats Group is constructed from the name.
+    std::string name_;
+
+  protected:
+    ConnectorParams p_;
+    stats::Group stats_;
+};
+
+/**
  * A latency/throughput-constrained FIFO between two Modules.
  *
  * Usage per target cycle: the owning timing model calls tick(cycle) once,
  * then producers use canPush()/push() and consumers canPop()/front()/pop().
  */
 template <typename T>
-class Connector
+class Connector : public ConnectorBase
 {
   public:
     Connector(std::string name, const ConnectorParams &params)
-        : name_(std::move(name)), p_(params), stats_(name_),
+        : ConnectorBase(std::move(name), params),
           stPushes_(stats_.handle("pushes")),
           stPops_(stats_.handle("pops")),
           stMaxOccupancy_(stats_.handle("max_occupancy")),
@@ -167,26 +205,19 @@ class Connector
             fn(e.value);
     }
 
-    bool empty() const { return q_.empty(); }
-    std::size_t size() const { return q_.size(); }
-    const ConnectorParams &params() const { return p_; }
-    const std::string &name() const { return name_; }
-    stats::Group &stats() { return stats_; }
+    std::size_t size() const override { return q_.size(); }
 
   private:
     struct Entry
     {
         T value;
-        Cycle readyAt;
+        Cycle readyAt = 0;
     };
 
-    std::string name_;
-    ConnectorParams p_;
     std::deque<Entry> q_;
     Cycle now_ = 0;
     unsigned pushedThisCycle_ = 0;
     unsigned poppedThisCycle_ = 0;
-    stats::Group stats_;
     stats::Handle stPushes_;
     stats::Handle stPops_;
     stats::Handle stMaxOccupancy_;

@@ -27,6 +27,11 @@ Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
     registry_.add(issueExecM_);
     registry_.add(dispatchM_);
     registry_.add(fetchM_);
+    registry_.noteConnector(state_.fetchToDispatch);
+    registry_.noteConnector(state_.dispatchToIssue);
+    registry_.noteConnector(state_.execToWriteback);
+    registry_.noteConnector(state_.writebackToCommit);
+    registry_.noteConnector(state_.commitToFetch);
     // 2 host cycles of FM<->TM sync plus the §4.7 statistics mechanism.
     registry_.setPerCycleOverhead(2 + cfg_.statsHostOverhead);
 
@@ -78,8 +83,10 @@ Core::tick()
     // Connectors advance first: entries pushed in earlier cycles become
     // visible, and the per-cycle throughput budgets re-arm.
     state_.fetchToDispatch.tick(state_.cycle);
+    state_.dispatchToIssue.tick(state_.cycle);
     state_.execToWriteback.tick(state_.cycle);
     state_.writebackToCommit.tick(state_.cycle);
+    state_.commitToFetch.tick(state_.cycle);
 
     // Modules tick in registry order; the registry collects their host
     // cycles together with the per-cycle sync/stats overhead (§4.7).

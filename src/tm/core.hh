@@ -16,7 +16,8 @@
  *
  * Structure (paper §4): the pipeline is five stage Modules — Fetch,
  * Dispatch, Issue/Execute, Writeback, Commit (tm/modules/) — joined by
- * three Connectors (fetch->dispatch, exec->writeback, writeback->commit)
+ * five Connectors (fetch->dispatch, dispatch->issue, exec->writeback,
+ * writeback->commit, commit->fetch, closing the pipeline ring)
  * whose parameters come from CoreConfig, and driven by a ModuleRegistry
  * in oldest-stage-first order each target cycle.  This class is the thin
  * facade: it wires modules to the shared CoreState, owns the sub-models

@@ -55,16 +55,20 @@ struct CoreConfig
      * reshapes an inter-stage hand-off with no module code change.
      */
     std::optional<ConnectorParams> fetchToDispatch;
+    std::optional<ConnectorParams> dispatchToIssue;
     std::optional<ConnectorParams> execToWriteback;
     std::optional<ConnectorParams> writebackToCommit;
+    std::optional<ConnectorParams> commitToFetch;
 };
 
 /** The resolved connector parameters of every inter-stage hand-off. */
 struct CoreTopology
 {
     ConnectorParams fetchToDispatch;
+    ConnectorParams dispatchToIssue;
     ConnectorParams execToWriteback;
     ConnectorParams writebackToCommit;
+    ConnectorParams commitToFetch;
 };
 
 /** Derive the pipeline's connector topology from the configuration. */
@@ -86,6 +90,14 @@ resolveTopology(const CoreConfig &cfg)
         cfg.execToWriteback.value_or(ConnectorParams{0, 0, 1, 0});
     t.writebackToCommit =
         cfg.writebackToCommit.value_or(ConnectorParams{0, 0, 1, 0});
+    // Notification channels: dispatch -> issue hand-off bookkeeping and the
+    // commit -> fetch redirect back-edge that closes the pipeline loop.
+    // Both are registered hand-offs (one cycle of latency): a zero-latency
+    // override on every edge of the loop would be a combinational cycle,
+    // which the fabric linter rejects (FAB001).
+    t.dispatchToIssue =
+        cfg.dispatchToIssue.value_or(ConnectorParams{0, 0, 1, 0});
+    t.commitToFetch = cfg.commitToFetch.value_or(ConnectorParams{0, 0, 1, 0});
     return t;
 }
 

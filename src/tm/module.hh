@@ -16,10 +16,30 @@
 
 #include "base/statistics.hh"
 #include "base/types.hh"
+#include "tm/connector.hh"
 #include "tm/primitives.hh"
 
 namespace fastsim {
 namespace tm {
+
+/** Direction of a module's port relative to the module. */
+enum class PortDir : std::uint8_t
+{
+    In, //!< the module consumes entries from the connector
+    Out //!< the module produces entries into the connector
+};
+
+/**
+ * A module's binding to one end of a Connector.  Ports exist so the
+ * fabric is statically analyzable (paper §4): the set of (module, port)
+ * bindings IS the hardware graph, and src/analysis walks it to prove
+ * connectivity, latency and budget properties before simulation.
+ */
+struct Port
+{
+    const ConnectorBase *connector = nullptr;
+    PortDir dir = PortDir::In;
+};
 
 /**
  * A timing-model hardware module.
@@ -47,6 +67,15 @@ class Module
 
     /** FPGA resources this module consumes (paper Table 2). */
     virtual FpgaCost fpgaCost() const { return {}; }
+
+    /**
+     * The Connector endpoints this module is bound to.  Every connector a
+     * module pushes into must be declared as an Out port and every
+     * connector it pops/drains from as an In port; the fabric linter
+     * (src/analysis) rejects fabrics whose declared graph is inconsistent
+     * (dangling or double-bound endpoints, zero-latency cycles).
+     */
+    virtual std::vector<Port> ports() const { return {}; }
 
     const std::string &name() const { return name_; }
     stats::Group &stats() { return stats_; }
@@ -82,6 +111,13 @@ class ModuleRegistry
   public:
     /** Register a module.  Tick order is registration order. */
     void add(Module &m) { modules_.push_back(&m); }
+
+    /**
+     * Register a connector so the fabric is fully enumerable: a connector
+     * that exists but is referenced by no module's ports() is a dangling
+     * edge, which only the registry's own list can reveal.
+     */
+    void noteConnector(const ConnectorBase &c) { connectors_.push_back(&c); }
 
     /**
      * Fixed host cycles charged every target cycle regardless of module
@@ -139,8 +175,15 @@ class ModuleRegistry
 
     const std::vector<Module *> &modules() const { return modules_; }
 
+    /** Every connector of the fabric (for static analysis). */
+    const std::vector<const ConnectorBase *> &connectors() const
+    {
+        return connectors_;
+    }
+
   private:
     std::vector<Module *> modules_;
+    std::vector<const ConnectorBase *> connectors_;
     unsigned perCycleOverhead_ = 0;
 };
 

@@ -89,6 +89,11 @@ CommitModule::tick(Cycle now)
             // must already see the re-fetched entries.
             tb_.rewindFetchTo(e.in + 1);
             st_.events.push_back({TmEvent::Kind::RefetchAt, e.in + 1, 0});
+            // The fetch resteer travels the fabric back-edge as well: the
+            // CoreState writes above carry the payload (hardware would pass
+            // an IN), the token closes the commit -> fetch loop.
+            if (st_.commitToFetch.canPush())
+                st_.commitToFetch.push(RedirectToken{e.in + 1});
             break;
         }
     }
@@ -101,7 +106,9 @@ CommitModule::tick(Cycle now)
     if (st_.retireReady.size() > 4 * cfg_.robEntries) {
         const std::uint64_t min_live =
             st_.rob.empty() ? st_.seqGen : st_.rob.front().uops.front().seq;
-        for (auto it = st_.retireReady.begin();
+        // Pruning only erases; the surviving set is order-independent, so
+        // iterating the unordered container is deterministic-safe here.
+        for (auto it = st_.retireReady.begin(); // fastlint: allow(DET002)
              it != st_.retireReady.end();) {
             if (*it < min_live)
                 it = st_.retireReady.erase(it);

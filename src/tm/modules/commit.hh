@@ -24,6 +24,11 @@ class CommitModule : public Module
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override
+    {
+        return {{&st_.writebackToCommit, PortDir::In},
+                {&st_.commitToFetch, PortDir::Out}};
+    }
 
   private:
     const CoreConfig &cfg_;

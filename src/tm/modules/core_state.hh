@@ -58,6 +58,24 @@ struct ExecToken
     std::uint64_t seq = 0;
 };
 
+/** Dispatch notification: dispatch -> issue/execute.  The payload data
+ *  rides in the ROB (as in the hardware, where the hand-off is an index);
+ *  the token makes the stage hand-off an explicit fabric edge. */
+struct DispatchToken
+{
+    std::uint64_t instSeq = 0;
+};
+
+/** Redirect token: the commit -> fetch back-edge of the pipeline loop
+ *  (exception flush re-aiming the front end).  The redirect state itself
+ *  travels through CoreState, exactly as a hardware redirect rides
+ *  dedicated wires; the token makes the back-edge an explicit fabric edge
+ *  so the static analyzer sees the loop. */
+struct RedirectToken
+{
+    InstNum in = 0;
+};
+
 /** Retirement-ready token: writeback -> commit, keyed by the instruction's
  *  first µop seq (globally unique, so stale tokens from squashed
  *  instructions can never alias a live one). */
@@ -73,8 +91,10 @@ struct CoreState
 {
     CoreState(const CoreConfig &cfg, const CoreTopology &topo)
         : fetchToDispatch("fetch_to_dispatch", topo.fetchToDispatch),
+          dispatchToIssue("dispatch_to_issue", topo.dispatchToIssue),
           execToWriteback("exec_to_writeback", topo.execToWriteback),
           writebackToCommit("writeback_to_commit", topo.writebackToCommit),
+          commitToFetch("commit_to_fetch", topo.commitToFetch),
           renameTable(ucode::NumUopRegs, 0),
           aluFreeAt(cfg.numAlus, 0), buFreeAt(cfg.numBranchUnits, 0),
           lsuFreeAt(cfg.numLoadStoreUnits, 0)
@@ -83,8 +103,10 @@ struct CoreState
 
     // --- inter-stage connectors ------------------------------------------
     Connector<DynInst> fetchToDispatch;      //!< front-end pipe
+    Connector<DispatchToken> dispatchToIssue; //!< dispatch notifications
     Connector<ExecToken> execToWriteback;    //!< completion channel
     Connector<RetireToken> writebackToCommit; //!< retirement notifications
+    Connector<RedirectToken> commitToFetch;  //!< redirect back-edge
 
     // --- in-flight instructions ------------------------------------------
     std::deque<DynInst> rob;    //!< dispatched, in program order

@@ -90,7 +90,13 @@ DispatchModule::tick(Cycle now)
         dispatched_uops += n;
         if (di.e.serializing)
             st_.serializeInFlight = true;
+        const std::uint64_t inst_seq = di.uops.front().seq;
         st_.rob.push_back(std::move(di));
+        // Notify issue/execute through the fabric edge.  The ROB carries
+        // the payload (as in hardware, where the hand-off is an index), so
+        // a full notification channel loses no information.
+        if (st_.dispatchToIssue.canPush())
+            st_.dispatchToIssue.push(DispatchToken{inst_seq});
         ++dispatched;
     }
     // Rename-table port multiplexing (~3 accesses per µop, 2 ports).

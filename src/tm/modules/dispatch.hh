@@ -22,6 +22,11 @@ class DispatchModule : public Module
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override
+    {
+        return {{&st_.fetchToDispatch, PortDir::In},
+                {&st_.dispatchToIssue, PortDir::Out}};
+    }
 
   private:
     const CoreConfig &cfg_;

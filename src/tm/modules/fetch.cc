@@ -30,6 +30,11 @@ FetchModule::FetchModule(const CoreConfig &cfg, CoreState &st,
 void
 FetchModule::tick(Cycle now)
 {
+    // Consume redirect tokens from the commit back-edge.  The redirect
+    // state itself (nextFetchIn, epoch) was applied through CoreState when
+    // commit raised it; the token completes the fabric hand-shake.
+    st_.commitToFetch.drainReady([](const RedirectToken &) {});
+
     if (st_.drainRequested) {
         ++stFetchStallDrainreq_;
         return;

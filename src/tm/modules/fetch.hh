@@ -28,6 +28,11 @@ class FetchModule : public Module
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override
+    {
+        return {{&st_.commitToFetch, PortDir::In},
+                {&st_.fetchToDispatch, PortDir::Out}};
+    }
 
   private:
     const CoreConfig &cfg_;

@@ -16,6 +16,10 @@ IssueExecModule::IssueExecModule(const CoreConfig &cfg, CoreState &st,
 void
 IssueExecModule::tick(Cycle now)
 {
+    // Consume dispatch notifications from the fabric edge; the ROB itself
+    // carries the dispatched work, so the tokens are pure hand-shake.
+    st_.dispatchToIssue.drainReady([](const DispatchToken &) {});
+
     unsigned alu_issued = 0, bu_issued = 0, lsu_issued = 0;
     unsigned issued_total = 0;
     auto launch = [this](UopSlot &u, Cycle ready_at) {

@@ -25,6 +25,11 @@ class IssueExecModule : public Module
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override
+    {
+        return {{&st_.dispatchToIssue, PortDir::In},
+                {&st_.execToWriteback, PortDir::Out}};
+    }
 
   private:
     const CoreConfig &cfg_;

@@ -27,6 +27,11 @@ class WritebackModule : public Module
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override
+    {
+        return {{&st_.execToWriteback, PortDir::In},
+                {&st_.writebackToCommit, PortDir::Out}};
+    }
 
   private:
     const CoreConfig &cfg_;

@@ -49,7 +49,7 @@ struct PowerBreakdown
     struct Item
     {
         std::string structure;
-        double energy; //!< REU over the run
+        double energy = 0; //!< REU over the run
     };
     std::vector<Item> items;
     double dynamicEnergy = 0;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * fastlint: the FAST static verifier as a standalone CLI.
+ *
+ * Constructs a timing-model core for a configuration and runs the
+ * src/analysis passes over it:
+ *   pass 1  fabric lint      (FAB001..FAB005, FAB006 against a device)
+ *   pass 2  codec check      (COD001..COD007 over the FX86 table + codec)
+ * (pass 3, the determinism lint, is source-level: tools/lint_determinism.py)
+ *
+ * Exit status: 0 when no errors (warnings allowed), 1 on errors, 2 on
+ * usage mistakes.
+ *
+ * Usage:
+ *   fastlint [--json] [--list] [--no-verify-fabric] [--no-verify-codec]
+ *            [--no-verify-cost] [--issue-width N] [--front-end-depth N]
+ *            [--device NAME] [--suppress ID]...
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/codec_lint.hh"
+#include "analysis/diagnostics.hh"
+#include "analysis/fabric_lint.hh"
+#include "analysis/verify.hh"
+#include "base/logging.hh"
+#include "fpga/model.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+
+namespace {
+
+struct DiagInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+constexpr DiagInfo KnownDiagnostics[] = {
+    {"FAB001", "zero-latency Connector cycle (combinational loop)"},
+    {"FAB002", "dangling Connector endpoint (no producer or consumer)"},
+    {"FAB003", "double-bound Connector endpoint"},
+    {"FAB004", "Connector throughput/capacity inconsistency"},
+    {"FAB005", "statistics counter name collision across modules"},
+    {"FAB006", "aggregate FPGA cost exceeds the device budget"},
+    {"COD001", "overlapping opcode encodings"},
+    {"COD002", "opcode byte shadowed by a prefix/escape byte"},
+    {"COD003", "encoding exceeds the 15-byte architectural limit"},
+    {"COD004", "codec round-trip or decode-table mismatch"},
+    {"COD005", "opcode table overflows a packing field"},
+    {"COD006", "ExecClass / property-flag inconsistency"},
+    {"COD007", "trace-visible field unreachable from any opcode"},
+    {"DET001", "wall-clock or libc rand in model code (python linter)"},
+    {"DET002", "iteration over an unordered container (python linter)"},
+    {"DET003", "uninitialized scalar member in a trace/event struct "
+               "(python linter)"},
+    {"DET004", "non-const function-local static (python linter)"},
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json] [--list] [--no-verify-fabric]\n"
+        "          [--no-verify-codec] [--no-verify-cost]\n"
+        "          [--issue-width N] [--front-end-depth N]\n"
+        "          [--device NAME] [--suppress ID]...\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fastsim;
+
+    bool json = false;
+    bool do_fabric = true;
+    bool do_codec = true;
+    bool do_cost = true;
+    std::string device_name;
+    std::vector<std::string> suppress;
+    tm::CoreConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires %s\n", arg.c_str(), what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            for (const DiagInfo &d : KnownDiagnostics)
+                std::printf("%s  %s\n", d.id, d.summary);
+            return 0;
+        } else if (arg == "--no-verify-fabric") {
+            do_fabric = false;
+        } else if (arg == "--no-verify-codec") {
+            do_codec = false;
+        } else if (arg == "--no-verify-cost") {
+            do_cost = false;
+        } else if (arg == "--issue-width") {
+            cfg.issueWidth =
+                static_cast<unsigned>(std::atoi(next("a width")));
+        } else if (arg == "--front-end-depth") {
+            cfg.frontEndDepth =
+                static_cast<unsigned>(std::atoi(next("a depth")));
+        } else if (arg == "--device") {
+            device_name = next("a device name");
+        } else if (arg == "--suppress") {
+            suppress.push_back(next("a diagnostic ID"));
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const fpga::Device *device = &fpga::virtex4lx200();
+    if (!device_name.empty()) {
+        device = nullptr;
+        for (const fpga::Device &d : fpga::knownDevices())
+            if (d.name == device_name)
+                device = &d;
+        if (!device) {
+            std::fprintf(stderr, "unknown device '%s'; known:\n",
+                         device_name.c_str());
+            for (const fpga::Device &d : fpga::knownDevices())
+                std::fprintf(stderr, "  %s\n", d.name.c_str());
+            return 2;
+        }
+    }
+
+    analysis::Report report;
+    for (const std::string &id : suppress)
+        report.suppress(id);
+
+    try {
+        tm::TraceBuffer tb(256);
+        tm::Core core(cfg, tb);
+        analysis::VerifyOptions opts;
+        opts.fabric = do_fabric;
+        opts.cost = do_cost;
+        opts.codec = do_codec;
+        opts.device = device;
+        analysis::verify(core, opts, report);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fastlint: configuration unusable: %s\n",
+                     e.what());
+        return 1;
+    }
+
+    if (json)
+        std::printf("%s\n", report.json().c_str());
+    else
+        std::fputs(report.text().c_str(), stdout);
+    return report.hasErrors() ? 1 : 0;
+}

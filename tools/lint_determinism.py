@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Pass 3 of fastlint: source-level determinism lint.
+
+FAST's correctness story leans on determinism: the coupled simulator is
+bit-reproducible (the golden event-hash tests depend on it), and the
+parallel runner must produce the same committed stream as the reference
+interleaving.  This linter scans the model sources (src/fm, src/tm,
+src/fast) for constructs that silently break that property:
+
+  DET001  wall-clock reads or libc rand() in model code (time must come
+          from the simulated clock; randomness from base/random.hh)
+  DET002  iteration over an unordered container (iteration order depends
+          on hashing/allocation, so model state mutated in that order
+          diverges between runs/platforms)
+  DET003  uninitialized scalar member in a struct (trace entries, protocol
+          events and connector tokens feed the golden event hash; an
+          uninitialized field hashes garbage)
+  DET004  non-const function-local static (hidden mutable global state
+          shared across simulator instances)
+
+Suppression: append "// fastlint: allow(DETnnn)" to the offending line or
+the line above it.
+
+Exit status: 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCAN_DIRS = ["src/fm", "src/tm", "src/fast"]
+SCAN_EXTS = {".hh", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*fastlint:\s*allow\((DET\d{3})\)")
+
+# --- DET001: wall-clock / libc randomness --------------------------------
+DET001_PATTERNS = [
+    re.compile(r"std::chrono::(system_clock|steady_clock|"
+               r"high_resolution_clock)::now"),
+    re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+    re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+    re.compile(r"\b(rand|srand)\s*\("),
+    re.compile(r"std::random_device"),
+]
+
+# --- DET002: unordered-container declarations and iteration --------------
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:set|map|multiset|multimap)\s*<[^;]*>\s+(\w+)\s*[;{=]")
+RANGE_FOR_RE = re.compile(r"for\s*\(.*:\s*(?:[\w\.\->]*?\b)?(\w+)\s*\)")
+BEGIN_RE = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+# --- DET003: uninitialized scalar struct members -------------------------
+SCALAR_TYPES = {
+    "bool", "char", "short", "int", "long", "unsigned", "float", "double",
+    "std::uint8_t", "std::uint16_t", "std::uint32_t", "std::uint64_t",
+    "std::int8_t", "std::int16_t", "std::int32_t", "std::int64_t",
+    "std::size_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t", "size_t",
+    # project-wide scalar aliases (base/types.hh)
+    "Cycle", "HostCycle", "Addr", "PAddr", "InstNum", "Epoch",
+    "isa::CondCode", "CondCode",
+}
+ENUM_DEF_RE = re.compile(r"\benum\s+(?:class\s+)?(\w+)")
+STRUCT_DEF_RE = re.compile(r"^\s*(?:struct|class)\s+(\w+)")
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?((?:[\w:]+(?:\s*<[^;]*>)?))\s+"
+    r"(\w+(?:\s*,\s*\w+)*)\s*;\s*(?:/[/*].*)?$")
+
+# --- DET004: non-const function-local statics ----------------------------
+DET004_RE = re.compile(
+    r"^\s{4,}static\s+(?!const\b|constexpr\b|_Thread_local\b)\w")
+
+
+def allowed(lines, idx, det_id):
+    """True if line idx (0-based) or the previous line carries an allow."""
+    for i in (idx, idx - 1):
+        if 0 <= i < len(lines):
+            m = ALLOW_RE.search(lines[i])
+            if m and m.group(1) == det_id:
+                return True
+    return False
+
+
+def in_comment(line):
+    s = line.lstrip()
+    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
+
+
+def scan_file(path, text, findings, enum_names):
+    lines = text.splitlines()
+
+    unordered_names = set()
+    for line in lines:
+        m = UNORDERED_DECL_RE.search(line)
+        if m:
+            unordered_names.add(m.group(1))
+
+    for idx, line in enumerate(lines):
+        if in_comment(line):
+            continue
+        lineno = idx + 1
+
+        # DET001
+        for pat in DET001_PATTERNS:
+            if pat.search(line) and not allowed(lines, idx, "DET001"):
+                findings.append((path, lineno, "DET001",
+                                 "wall-clock/random source in model code: "
+                                 + line.strip()))
+                break
+
+        # DET002
+        names = set()
+        m = RANGE_FOR_RE.search(line)
+        if m:
+            names.add(m.group(1))
+        for m in BEGIN_RE.finditer(line):
+            names.add(m.group(1))
+        if names & unordered_names and not allowed(lines, idx, "DET002"):
+            findings.append((path, lineno, "DET002",
+                             "iteration over unordered container '%s' "
+                             "(order is hash/allocation dependent): %s"
+                             % (", ".join(sorted(names & unordered_names)),
+                                line.strip())))
+
+        # DET004 (.cc only: indented statics are function-local)
+        if path.endswith(".cc") and DET004_RE.search(line) \
+                and not allowed(lines, idx, "DET004"):
+            findings.append((path, lineno, "DET004",
+                             "non-const function-local static (shared "
+                             "mutable state across simulator instances): "
+                             + line.strip()))
+
+    # DET003: walk struct bodies, flag scalar members with no initializer.
+    # Only ctor-less aggregates count: a type with a user-declared
+    # constructor initializes its members there, but an aggregate relies
+    # on every use-site spelling every field — one missed field is
+    # indeterminate and (for trace/event structs) hashes garbage.
+    scalar = SCALAR_TYPES | enum_names
+    struct_stack = []  # (name, brace_depth_at_entry)
+    depth = 0
+    pending_struct = None
+    candidates = []  # (lineno, member, struct_name)
+    has_ctor = set()
+    for idx, line in enumerate(lines):
+        if in_comment(line):
+            continue
+        lineno = idx + 1
+        m = STRUCT_DEF_RE.match(line)
+        if m and ";" not in line.split("{")[0].replace(m.group(1), "", 1):
+            pending_struct = m.group(1)
+        opens = line.count("{")
+        closes = line.count("}")
+        if pending_struct and opens:
+            struct_stack.append((pending_struct, depth))
+            pending_struct = None
+        if struct_stack and depth == struct_stack[-1][1] + 1:
+            sname = struct_stack[-1][0]
+            if re.match(r"^\s*(?:explicit\s+)?%s\s*\(" % re.escape(sname),
+                        line):
+                has_ctor.add(sname)
+            mm = MEMBER_RE.match(line)
+            if mm and mm.group(1).strip() in scalar \
+                    and not allowed(lines, idx, "DET003"):
+                candidates.append((lineno, mm.group(2), sname))
+        depth += opens - closes
+        while struct_stack and depth <= struct_stack[-1][1]:
+            struct_stack.pop()
+    for lineno, member, sname in candidates:
+        if sname in has_ctor:
+            continue
+        findings.append((path, lineno, "DET003",
+                         "uninitialized scalar member '%s' in aggregate "
+                         "struct %s (feeds hashing/trace paths; give it a "
+                         "default)" % (member, sname)))
+
+
+def collect_enum_names(files):
+    names = set()
+    for _, text in files:
+        for m in ENUM_DEF_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def scan_tree(root):
+    files = []
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in SCAN_EXTS:
+                    path = os.path.join(dirpath, fn)
+                    with open(path, encoding="utf-8", errors="replace") as f:
+                        files.append((os.path.relpath(path, root), f.read()))
+    findings = []
+    enum_names = collect_enum_names(files)
+    for path, text in sorted(files):
+        scan_file(path, text, findings, enum_names)
+    return findings
+
+
+# --- self test ------------------------------------------------------------
+
+SELF_TEST_CASES = {
+    "DET001": "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+    "DET002": ("std::unordered_set<int> seen;\n"
+               "void f() { for (int x : seen) { use(x); } }\n"),
+    "DET003": ("struct Ev\n{\n    enum class Kind { A, B };\n"
+               "    Kind kind;\n    int x;\n};\n"),
+    "DET004": ("void f()\n{\n    static int counter;\n    ++counter;\n}\n"),
+}
+
+CLEAN_SNIPPET = (
+    "struct Ok\n{\n    int x = 0;\n    bool b = false;\n};\n"
+    "void f(std::vector<int> &v)\n{\n"
+    "    static const int k = 3;\n"
+    "    for (int x : v) use(x, k);\n}\n"
+    "std::unordered_set<int> seen;\n"
+    "void g() { for (int x : seen) use(x); } // fastlint: allow(DET002)\n")
+
+
+def self_test():
+    ok = True
+    for det_id, snippet in SELF_TEST_CASES.items():
+        findings = []
+        enums = collect_enum_names([("t.cc", snippet)])
+        scan_file("t.cc", snippet, findings, enums)
+        fired = {f[2] for f in findings}
+        if det_id not in fired:
+            print("self-test FAIL: %s did not fire on its snippet" % det_id)
+            ok = False
+    findings = []
+    enums = collect_enum_names([("clean.cc", CLEAN_SNIPPET)])
+    scan_file("clean.cc", CLEAN_SNIPPET, findings, enums)
+    if findings:
+        print("self-test FAIL: clean snippet raised %r" % (findings,))
+        ok = False
+    print("self-test %s" % ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded known-bad snippets")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = scan_tree(args.root)
+    if args.json:
+        print(json.dumps({
+            "errors": len(findings),
+            "diagnostics": [
+                {"file": p, "line": l, "id": i, "message": m}
+                for p, l, i, m in findings
+            ]}))
+    else:
+        for p, l, i, m in findings:
+            print("%s:%d: error [%s] %s" % (p, l, i, m))
+        print("%d finding(s)" % len(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
