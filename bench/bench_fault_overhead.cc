@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Guardrail / fault-harness overhead benchmark: host throughput of the
+ * coupled FAST runner with the robustness machinery progressively enabled.
+ *
+ * The robustness PR's contract is that a production run which asks for
+ * none of it pays (close to) nothing: the trace link collapses to a plain
+ * TraceBuffer::push behind one null check, the watchdog is one compare
+ * per tick, and cross-checks/hashing/checkpointing are opt-in.  This
+ * bench quantifies each tier and writes BENCH_fault_overhead.json so
+ * successive PRs can watch the "off" tier stay within noise of the PR 1
+ * hot-path baseline.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../bench/common.hh"
+#include "inject/fault_plan.hh"
+#include "kernel/boot.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace {
+
+struct Tier
+{
+    const char *name;
+    void (*apply)(fast::FastConfig &);
+};
+
+const Tier kTiers[] = {
+    {"guardrails_off",
+     [](fast::FastConfig &cfg) {
+         cfg.guardrails.watchdogBudget = 0; // every guardrail disabled
+     }},
+    {"watchdog",
+     [](fast::FastConfig &) {
+         // Default config: the 50M-poll watchdog is the only active rail.
+     }},
+    {"watchdog_crosscheck",
+     [](fast::FastConfig &cfg) {
+         cfg.guardrails.crossCheckEveryCommits = 10000;
+     }},
+    {"watchdog_crosscheck_hash",
+     [](fast::FastConfig &cfg) {
+         cfg.guardrails.crossCheckEveryCommits = 10000;
+         cfg.guardrails.hashCommits = true;
+     }},
+    {"full_with_faults",
+     [](fast::FastConfig &cfg) {
+         cfg.guardrails.crossCheckEveryCommits = 10000;
+         cfg.guardrails.hashCommits = true;
+         cfg.faults.seed = 1;
+         cfg.faults.window = 20000;
+         cfg.faults.enableClass(inject::FaultClass::TraceCorrupt);
+         cfg.faults.enableClass(inject::FaultClass::TraceDrop);
+         cfg.faults.enableClass(inject::FaultClass::CmdDup);
+     }},
+};
+
+constexpr std::size_t NumTiers = sizeof(kTiers) / sizeof(kTiers[0]);
+
+struct OverheadRow
+{
+    std::string workload;
+    std::uint64_t insts = 0;
+    double mips[NumTiers] = {};
+};
+
+double
+runOnce(const workloads::Workload &w, const Tier &tier,
+        std::uint64_t &insts_out)
+{
+    fast::FastConfig cfg = bench::benchConfig(tm::BpKind::Gshare);
+    tier.apply(cfg);
+    fast::FastSimulator sim(cfg);
+    auto opts = workloads::bootOptionsFor(w, w.benchScale);
+    opts.timerInterval = 4000;
+    sim.boot(kernel::buildBootImage(opts));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim.run(2000000000ull);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    insts_out = r.insts;
+    return secs > 0 ? r.insts / secs / 1e6 : 0.0;
+}
+
+/** Best of several repetitions: legs are short enough that the max is the
+ *  honest throughput (same policy as bench_fm_hotpath). */
+double
+bestMips(const workloads::Workload &w, const Tier &tier,
+         std::uint64_t &insts_out)
+{
+    constexpr int Reps = 3;
+    double best = 0;
+    for (int i = 0; i < Reps; ++i)
+        best = std::max(best, runOnce(w, tier, insts_out));
+    return best;
+}
+
+void
+writeJson(const std::vector<OverheadRow> &rows)
+{
+    std::FILE *f = std::fopen("BENCH_fault_overhead.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fault_overhead.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fault_overhead\",\n"
+                    "  \"unit\": \"simulated MIPS (coupled FAST)\",\n"
+                    "  \"baseline_tier\": \"guardrails_off\",\n"
+                    "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const OverheadRow &r = rows[i];
+        std::fprintf(f, "    {\"workload\": \"%s\", \"insts\": %llu",
+                     r.workload.c_str(), (unsigned long long)r.insts);
+        for (std::size_t t = 0; t < NumTiers; ++t) {
+            std::fprintf(f, ", \"%s\": %.3f", kTiers[t].name, r.mips[t]);
+            if (t > 0 && r.mips[0] > 0)
+                std::fprintf(f, ", \"%s_overhead_pct\": %.2f", kTiers[t].name,
+                             100.0 * (1.0 - r.mips[t] / r.mips[0]));
+        }
+        std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fault_overhead.json\n");
+}
+
+void
+run()
+{
+    bench::banner(
+        "Guardrail & fault-harness overhead: coupled-FAST MIPS per tier",
+        "robustness PR — guardrails-off must stay within noise of PR 1");
+
+    stats::TablePrinter table({"Workload", "insts", "off", "wdog", "+xcheck",
+                               "+hash", "+faults", "worst ovh%"});
+    std::vector<OverheadRow> rows;
+    for (const workloads::Workload &w : workloads::suite()) {
+        OverheadRow r;
+        r.workload = w.name;
+        for (std::size_t t = 0; t < NumTiers; ++t)
+            r.mips[t] = bestMips(w, kTiers[t], r.insts);
+        rows.push_back(r);
+
+        double worst = 0;
+        for (std::size_t t = 1; t < NumTiers; ++t)
+            if (r.mips[0] > 0)
+                worst = std::max(worst, 100.0 * (1.0 - r.mips[t] / r.mips[0]));
+        table.addRow({r.workload, std::to_string(r.insts),
+                      stats::TablePrinter::num(r.mips[0], 2),
+                      stats::TablePrinter::num(r.mips[1], 2),
+                      stats::TablePrinter::num(r.mips[2], 2),
+                      stats::TablePrinter::num(r.mips[3], 2),
+                      stats::TablePrinter::num(r.mips[4], 2),
+                      stats::TablePrinter::num(worst, 1)});
+    }
+    table.print();
+    writeJson(rows);
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

@@ -4,7 +4,19 @@
  * hardware statistics fabric enabled, and dump the boot-phase statistic
  * trace (the live version of paper Figure 6).
  *
- *   $ ./build/examples/linux_boot [linux24|linux26|winxp]
+ *   $ ./build/examples/linux_boot [linux24|linux26|winxp] [options]
+ *
+ * Options (the robustness harness, DESIGN.md §10):
+ *   --checkpoint-every N   write a crash-consistent snapshot every N cycles
+ *   --checkpoint-file P    snapshot path (default linux_boot.ckpt)
+ *   --resume P             restore machine state from snapshot P, then run
+ *   --fault CLASS          arm a fault class (repeatable): trace-corrupt,
+ *                          trace-drop, trace-dup, cmd-drop, cmd-dup,
+ *                          spurious-timer, spurious-disk
+ *   --fault-seed N         fault plan seed (default 1)
+ *   --fault-window N       strike within every N opportunities
+ *   --cross-check N        FM-vs-TM cross-check every N commits
+ *   --watchdog N           no-progress watchdog budget in polls
  *
  * Shows the full-system capabilities: BIOS probing, kernel decompression,
  * page-table construction, paging, timer interrupts, disk DMA with
@@ -14,28 +26,99 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "fast/simulator.hh"
+#include "inject/fault_plan.hh"
 #include "kernel/boot.hh"
 #include "workloads/workloads.hh"
 
 using namespace fastsim;
 
+namespace {
+
+bool
+parseFaultClass(const char *name, inject::FaultPlanConfig &faults)
+{
+    struct
+    {
+        const char *name;
+        inject::FaultClass cls;
+    } const table[] = {
+        {"trace-corrupt", inject::FaultClass::TraceCorrupt},
+        {"trace-drop", inject::FaultClass::TraceDrop},
+        {"trace-dup", inject::FaultClass::TraceDup},
+        {"cmd-drop", inject::FaultClass::CmdDrop},
+        {"cmd-dup", inject::FaultClass::CmdDup},
+        {"spurious-timer", inject::FaultClass::SpuriousTimer},
+        {"spurious-disk", inject::FaultClass::SpuriousDisk},
+    };
+    for (const auto &e : table) {
+        if (!std::strcmp(name, e.name)) {
+            faults.enableClass(e.cls);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     kernel::OsFlavor flavor = kernel::OsFlavor::Linux24;
-    if (argc > 1) {
-        if (!std::strcmp(argv[1], "linux26"))
-            flavor = kernel::OsFlavor::Linux26;
-        else if (!std::strcmp(argv[1], "winxp"))
-            flavor = kernel::OsFlavor::WinXP;
-    }
+    std::string resume_from;
 
     fast::FastConfig cfg;
     cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
     cfg.core.statsIntervalBb = 1500; // statistics fabric sampling interval
+    cfg.checkpointPath = "linux_boot.ckpt";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto arg = [&](const char *flag) -> const char * {
+            if (std::strcmp(a, flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "linux26")) {
+            flavor = kernel::OsFlavor::Linux26;
+        } else if (!std::strcmp(a, "winxp")) {
+            flavor = kernel::OsFlavor::WinXP;
+        } else if (!std::strcmp(a, "linux24")) {
+            flavor = kernel::OsFlavor::Linux24;
+        } else if (const char *v = arg("--checkpoint-every")) {
+            cfg.checkpointEvery = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--checkpoint-file")) {
+            cfg.checkpointPath = v;
+        } else if (const char *v = arg("--resume")) {
+            resume_from = v;
+        } else if (const char *v = arg("--fault")) {
+            if (!parseFaultClass(v, cfg.faults)) {
+                std::fprintf(stderr, "unknown fault class '%s'\n", v);
+                return 2;
+            }
+        } else if (const char *v = arg("--fault-seed")) {
+            cfg.faults.seed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--fault-window")) {
+            cfg.faults.window = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--cross-check")) {
+            cfg.guardrails.crossCheckEveryCommits =
+                std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--watchdog")) {
+            cfg.guardrails.watchdogBudget = std::strtoull(v, nullptr, 0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", a);
+            return 2;
+        }
+    }
 
     kernel::BuildOptions opts;
     opts.flavor = flavor;
@@ -45,6 +128,11 @@ main(int argc, char **argv)
                 kernel::osFlavorName(flavor));
     fast::FastSimulator sim(cfg);
     sim.boot(kernel::buildBootImage(opts));
+    if (!resume_from.empty()) {
+        sim.resumeFrom(resume_from);
+        std::printf("resumed from %s at cycle %llu\n", resume_from.c_str(),
+                    static_cast<unsigned long long>(sim.core().cycle()));
+    }
     auto r = sim.run(2000000000ull);
 
     std::printf("guest console:\n---\n%s---\n\n",
@@ -63,6 +151,14 @@ main(int argc, char **argv)
     std::printf("  mis-speculation round trips:         %llu\n",
                 static_cast<unsigned long long>(
                     sim.stats().value("wrong_path_resteers")));
+    if (cfg.checkpointEvery)
+        std::printf("  checkpoints written to %s:           %llu\n",
+                    cfg.checkpointPath.c_str(),
+                    static_cast<unsigned long long>(
+                        sim.stats().value("checkpoints_taken")));
+    if (sim.faultPlan())
+        std::printf("  faults injected:                     %s\n",
+                    sim.faultPlan()->summary().c_str());
 
     // The statistics fabric's boot trace (Figure 6 live).
     const auto &icache = sim.core().icacheSeries();

@@ -115,6 +115,9 @@ class IntervalSeries
     const std::string &name() const { return name_; }
     const std::vector<Sample> &samples() const { return samples_; }
 
+    /** Replace the sample history (snapshot resume). */
+    void setSamples(std::vector<Sample> s) { samples_ = std::move(s); }
+
   private:
     std::string name_;
     std::vector<Sample> samples_;

@@ -1,0 +1,143 @@
+#include "fast/guardrails.hh"
+
+#include <cstdio>
+
+#include "fast/protocol.hh"
+
+namespace fastsim {
+namespace fast {
+
+Guardrails::Guardrails(const GuardrailConfig &cfg, stats::Group &stats)
+    : cfg_(cfg), nextCrossCheckAt_(cfg.crossCheckEveryCommits),
+      stWatchdogFires_(stats.handle("watchdog_fires")),
+      stCrossChecks_(stats.handle("cross_checks")),
+      stHashedCommits_(stats.handle("hashed_commits"))
+{
+}
+
+bool
+Guardrails::notePoll(std::uint64_t committed_insts)
+{
+    if (cfg_.watchdogBudget == 0)
+        return false;
+    if (committed_insts != lastCommitted_) {
+        lastCommitted_ = committed_insts;
+        pollsSinceProgress_ = 0;
+        fired_ = false;
+        return false;
+    }
+    ++pollsSinceProgress_;
+    if (fired_ || pollsSinceProgress_ < cfg_.watchdogBudget)
+        return false;
+    fired_ = true;
+    ++stWatchdogFires_;
+    return true;
+}
+
+std::string
+Guardrails::diagnose(const fm::FuncModel &fm, const tm::Core &core,
+                     const tm::TraceBuffer &tb,
+                     const ProtocolEngine &engine) const
+{
+    char line[256];
+    std::string d = "no-progress watchdog: structured diagnosis\n";
+    std::snprintf(line, sizeof(line),
+                  "  polls without commit: %llu (budget %llu)\n",
+                  static_cast<unsigned long long>(pollsSinceProgress_),
+                  static_cast<unsigned long long>(cfg_.watchdogBudget));
+    d += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  tm: cycle=%llu committed=%llu nextFetchIn=%llu epoch=%llu "
+        "drained=%d drainReq=%d awaitResteer=%d serialize=%d mispredDrain=%d\n",
+        static_cast<unsigned long long>(core.cycle()),
+        static_cast<unsigned long long>(core.committedInsts()),
+        static_cast<unsigned long long>(core.nextFetchIn()),
+        static_cast<unsigned long long>(core.expectedEpoch()),
+        core.drained() ? 1 : 0, core.drainRequested() ? 1 : 0,
+        core.awaitingResteer() ? 1 : 0, core.serializeInFlight() ? 1 : 0,
+        core.drainForMispredict() ? 1 : 0);
+    d += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  fm: nextIn=%llu lastCommitted=%llu epoch=%llu wrongPath=%d "
+        "halted=%d undoDepth=%zu\n",
+        static_cast<unsigned long long>(fm.nextIn()),
+        static_cast<unsigned long long>(fm.lastCommitted()),
+        static_cast<unsigned long long>(fm.epoch()), fm.onWrongPath() ? 1 : 0,
+        fm.halted() ? 1 : 0, fm.undoDepth());
+    d += line;
+    std::snprintf(line, sizeof(line),
+                  "  trace buffer: size=%zu unfetched=%zu expectedNextIn=%llu "
+                  "full=%d\n",
+                  tb.size(), tb.unfetched(),
+                  static_cast<unsigned long long>(tb.expectedNextIn()),
+                  tb.full() ? 1 : 0);
+    d += line;
+    std::snprintf(line, sizeof(line),
+                  "  protocol engine: injectionPending=%d\n",
+                  engine.injectionPending() ? 1 : 0);
+    d += line;
+    d += "  connector occupancies:\n";
+    for (const tm::ConnectorBase *c : core.registry().connectors()) {
+        std::snprintf(line, sizeof(line), "    %-20s size=%zu\n",
+                      c->name().c_str(), c->size());
+        d += line;
+    }
+    return d;
+}
+
+bool
+Guardrails::crossCheckDue(std::uint64_t committed_insts) const
+{
+    return cfg_.crossCheckEveryCommits != 0 &&
+           committed_insts >= nextCrossCheckAt_;
+}
+
+void
+Guardrails::crossCheck(const fm::FuncModel &fm, const tm::Core &core)
+{
+    // Lockstep invariants: both sides agree on the speculation epoch and
+    // the committed/fetch boundary ordering.
+    if (fm.epoch() != core.expectedEpoch())
+        fatal("cross-check: FM epoch %llu != TM expected epoch %llu "
+              "(committed=%llu nextFetchIn=%llu fmNextIn=%llu)",
+              static_cast<unsigned long long>(fm.epoch()),
+              static_cast<unsigned long long>(core.expectedEpoch()),
+              static_cast<unsigned long long>(core.committedInsts()),
+              static_cast<unsigned long long>(core.nextFetchIn()),
+              static_cast<unsigned long long>(fm.nextIn()));
+    if (!(fm.lastCommitted() < core.nextFetchIn() &&
+          core.nextFetchIn() <= fm.nextIn() + 1))
+        fatal("cross-check: boundary ordering violated "
+              "(fmLastCommitted=%llu < tmNextFetchIn=%llu <= fmNextIn+1=%llu)",
+              static_cast<unsigned long long>(fm.lastCommitted()),
+              static_cast<unsigned long long>(core.nextFetchIn()),
+              static_cast<unsigned long long>(fm.nextIn() + 1));
+
+    // Fold the committed architectural state (undo-walk reconstruction)
+    // and the dirty speculative-memory checksum into the chain; two runs
+    // that diverge architecturally produce different chains even if the
+    // invariants above still hold.
+    auto mix = [this](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            crossHash_ ^= (v >> (8 * i)) & 0xFF;
+            crossHash_ *= 1099511628211ull;
+        }
+    };
+    const fm::ArchState st = fm.committedArchState();
+    for (std::uint32_t v : st.gpr)
+        mix(v);
+    mix(st.flags);
+    mix(st.pc);
+    for (std::uint32_t v : st.ctrl)
+        mix(v);
+    mix(fm.speculativeMemChecksum());
+    mix(core.committedInsts());
+
+    nextCrossCheckAt_ = core.committedInsts() + cfg_.crossCheckEveryCommits;
+    ++stCrossChecks_;
+}
+
+} // namespace fast
+} // namespace fastsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Runtime guardrails for the FM<->TM pipeline: a progress watchdog with
+ * structured deadlock diagnosis, periodic FM-vs-TM architectural
+ * cross-checks at commit boundaries, and a committed-instruction hash
+ * chain used by fault-injection campaigns and kill-and-resume tests to
+ * prove bit-identical recovery.
+ *
+ * Both runners own one Guardrails instance and drive it the same way:
+ * notePoll() once per tick/loop iteration (the watchdog counts polls, not
+ * cycles, so it also fires when the parallel runner's tick gate wedges),
+ * crossCheck() after protocol events are applied (the only point where
+ * the FM/TM epoch and boundary invariants are stable), and onCommitEntry()
+ * from the core's commit hook when hashing is enabled.
+ */
+
+#ifndef FASTSIM_FAST_GUARDRAILS_HH
+#define FASTSIM_FAST_GUARDRAILS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/serialize.hh"
+#include "base/statistics.hh"
+#include "fm/func_model.hh"
+#include "fm/trace_entry.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace fast {
+
+class ProtocolEngine;
+
+/** Guardrail configuration (defaults keep every guardrail cheap or off). */
+struct GuardrailConfig
+{
+    /**
+     * Progress watchdog: number of consecutive polls (ticks / loop
+     * iterations) without a committed-instruction advance before the
+     * watchdog fires.  0 disables.  The default is generous enough that
+     * legitimate stalls (drain + icache miss chains, halted-waiting-for-
+     * timer gaps) stay far below it.
+     */
+    std::uint64_t watchdogBudget = 50'000'000;
+
+    /** Fire behaviour: fatal() with the diagnosis, or warn and continue
+     *  (the parallel runner may instead degrade to coupled mode). */
+    bool watchdogFatal = false;
+
+    /** Cross-check the FM/TM invariants every N committed instructions.
+     *  0 disables. */
+    std::uint64_t crossCheckEveryCommits = 0;
+
+    /** Chain an FNV hash over every committed (in, pc, op).  Costs one
+     *  std::function call per commit, so it is opt-in. */
+    bool hashCommits = false;
+
+    /** Parallel runner only: on watchdog fire, drain and fall back to
+     *  coupled mode instead of dying. */
+    bool degradeOnWatchdog = false;
+};
+
+/**
+ * The guardrail engine.  Counters land in the provided stats group:
+ * watchdog_fires, cross_checks, hashed_commits.
+ */
+class Guardrails
+{
+  public:
+    Guardrails(const GuardrailConfig &cfg, stats::Group &stats);
+
+    // --- progress watchdog -------------------------------------------------
+    /**
+     * Record one poll.  @return true exactly once per stall: when the
+     * no-progress budget is first exceeded.  The caller decides whether
+     * to diagnose-and-die, warn, or degrade.
+     */
+    bool notePoll(std::uint64_t committed_insts);
+
+    bool watchdogFired() const { return fired_; }
+
+    /** Re-arm after the caller handled a fire (e.g. degradation). */
+    void
+    rearmWatchdog()
+    {
+        fired_ = false;
+        pollsSinceProgress_ = 0;
+    }
+
+    // --- structured diagnosis ----------------------------------------------
+    /**
+     * Build the structured no-progress diagnosis: committed/fetch
+     * positions, FM speculation state, trace-buffer occupancy, per-
+     * connector occupancies, and the protocol engine's in-flight state.
+     */
+    std::string diagnose(const fm::FuncModel &fm, const tm::Core &core,
+                         const tm::TraceBuffer &tb,
+                         const ProtocolEngine &engine) const;
+
+    const std::string &lastDiagnosis() const { return lastDiagnosis_; }
+    void noteDiagnosis(std::string d) { lastDiagnosis_ = std::move(d); }
+
+    // --- FM-vs-TM cross-check ----------------------------------------------
+    /** True when the commit count has advanced past the next check point. */
+    bool crossCheckDue(std::uint64_t committed_insts) const;
+
+    /**
+     * Verify the FM/TM lockstep invariants at a commit boundary (epoch
+     * equality, IN ordering) and fold the FM's committed architectural
+     * state and speculative-memory checksum into the cross-check hash.
+     * fatal()s with a structured message on violation.
+     *
+     * Call only after the runner applied all pending protocol events —
+     * between TM event emission and FM appliance the epochs legitimately
+     * disagree.
+     */
+    void crossCheck(const fm::FuncModel &fm, const tm::Core &core);
+
+    std::uint64_t crossCheckHash() const { return crossHash_; }
+
+    // --- commit hash chain --------------------------------------------------
+    /** Fold one committed instruction into the hash chain. */
+    void
+    onCommitEntry(const fm::TraceEntry &e)
+    {
+        auto mix = [this](std::uint64_t v) {
+            for (unsigned i = 0; i < 8; ++i) {
+                commitHash_ ^= (v >> (8 * i)) & 0xFF;
+                commitHash_ *= 1099511628211ull;
+            }
+        };
+        mix(e.in);
+        mix(e.pc);
+        mix(static_cast<std::uint64_t>(e.op));
+        ++stHashedCommits_;
+    }
+
+    std::uint64_t commitHash() const { return commitHash_; }
+
+    const GuardrailConfig &config() const { return cfg_; }
+
+    // --- snapshot support ---------------------------------------------------
+    void
+    save(serialize::Sink &s) const
+    {
+        s.put<std::uint64_t>(commitHash_);
+        s.put<std::uint64_t>(crossHash_);
+        s.put<std::uint64_t>(nextCrossCheckAt_);
+    }
+
+    void
+    restore(serialize::Source &s)
+    {
+        commitHash_ = s.get<std::uint64_t>();
+        crossHash_ = s.get<std::uint64_t>();
+        nextCrossCheckAt_ = s.get<std::uint64_t>();
+        pollsSinceProgress_ = 0;
+        fired_ = false;
+    }
+
+  private:
+    GuardrailConfig cfg_;
+
+    std::uint64_t lastCommitted_ = 0;
+    std::uint64_t pollsSinceProgress_ = 0;
+    bool fired_ = false;
+    std::string lastDiagnosis_;
+
+    std::uint64_t nextCrossCheckAt_ = 0;
+    std::uint64_t crossHash_ = 1469598103934665603ull;
+    std::uint64_t commitHash_ = 1469598103934665603ull;
+
+    stats::Handle stWatchdogFires_;
+    stats::Handle stCrossChecks_;
+    stats::Handle stHashedCommits_;
+};
+
+} // namespace fast
+} // namespace fastsim
+
+#endif // FASTSIM_FAST_GUARDRAILS_HH

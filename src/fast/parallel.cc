@@ -18,7 +18,7 @@ constexpr std::size_t EventRingEntries = 4096;
 
 ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast_parallel"),
-      events_(EventRingEntries)
+      guardrails_(cfg.guardrails, stats_), events_(EventRingEntries)
 {
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false;
@@ -27,6 +27,16 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     if (cfg.verifyFabric)
         analysis::verifyFabricOrFatal(*core_);
     engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
+
+    if (cfg.faults.any())
+        plan_ = std::make_unique<inject::FaultPlan>(cfg.faults);
+    link_ = std::make_unique<inject::TraceLink>(plan_.get(), cfg.linkRetry,
+                                                stats_);
+    cmd_ = std::make_unique<CmdChannel>(plan_.get(), cfg.linkRetry, stats_);
+    if (cfg.guardrails.hashCommits)
+        core_->onCommit = [this](const fm::TraceEntry &e) {
+            guardrails_.onCommitEntry(e);
+        };
 }
 
 ParallelFastSimulator::~ParallelFastSimulator()
@@ -58,10 +68,11 @@ ParallelFastSimulator::applyMessage(const TmEvent &e)
 {
     // Runs on the FM thread.  Rewinds are safe here: the TM quiesces
     // between issuing a resteer-class event and observing the applied-count
-    // ack released below (see parallel.hh).  The protocol engine performs
-    // the FM-side appliance; this wrapper layers the thread-visible acks
-    // around it in the order the rendezvous requires.
-    if (ProtocolEngine::applyToFm(e, *fm_, tb_, stats_))
+    // ack released below (see parallel.hh).  The command channel (fault
+    // layer) wraps the protocol engine's FM-side appliance; this wrapper
+    // layers the thread-visible acks around it in the order the rendezvous
+    // requires.
+    if (cmd_->apply(e, *fm_, tb_, stats_))
         fmStalledWrongPath_.store(false, std::memory_order_relaxed);
     switch (e.kind) {
       case TmEvent::Kind::Commit:
@@ -155,6 +166,15 @@ ParallelFastSimulator::fmThreadMain()
             continue;
         }
 
+        // Seeded device misfires fire on this thread (the devices are
+        // FM-owned); the device guards decide suppression.
+        if (plan_) {
+            if (plan_->fire(inject::FaultClass::SpuriousTimer))
+                fm_->timer().injectMisfire();
+            if (plan_->fire(inject::FaultClass::SpuriousDisk))
+                fm_->disk().injectMisfire();
+        }
+
         // Heavy interpretation, batched: this is the parallelism the
         // partitioning buys (§3).  The event ring is polled per
         // instruction (two atomic loads), so a resteer still gets its
@@ -166,9 +186,19 @@ ParallelFastSimulator::fmThreadMain()
                 break;
             if (tb_.full())
                 break;
+            // FmStall: production pauses, event appliance keeps running
+            // (only the producer faulted, not the control path).
+            if (fmStallRemaining_ > 0) {
+                --fmStallRemaining_;
+                break;
+            }
+            if (plan_ && plan_->fire(inject::FaultClass::FmStall)) {
+                fmStallRemaining_ = plan_->stallSteps();
+                break;
+            }
             fm::StepResult r = fm_->step();
             if (r.kind == fm::StepResult::Kind::Ok) {
-                tb_.push(r.entry);
+                link_->deliver(tb_, r.entry);
                 produced = true;
                 continue;
             }
@@ -254,6 +284,13 @@ ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
     using namespace std::chrono_literals;
     while (!stop_.load(std::memory_order_relaxed)) {
         if (core_->cycle() >= max_cycles)
+            break;
+
+        // Progress watchdog: one poll per TM loop iteration (waits
+        // included, so a wedged tick gate is seen too).  On fire, stop
+        // both threads; run() diagnoses with the FM quiesced and decides
+        // between fatal() and degradation.
+        if (guardrails_.notePoll(core_->committedInsts()))
             break;
 
         // Resteer rendezvous: between issuing a resteer-class event and
@@ -352,6 +389,92 @@ ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
     }
 }
 
+bool
+ParallelFastSimulator::degradedFinished() const
+{
+    // Single-threaded now: read the FM directly, as the coupled runner does.
+    return fm_->halted() && !(fm_->state().flags & isa::FlagI) &&
+           tb_.unfetched() == 0 && core_->drained();
+}
+
+void
+ParallelFastSimulator::degradedRun(Cycle max_cycles)
+{
+    // Graceful degradation (DESIGN.md §10.3): both threads are stopped and
+    // the event ring is drained, so this thread owns every structure.  From
+    // here on, mirror FastSimulator::tickOnce() exactly — produce, tick,
+    // apply, device-time — continuing from the last verified commit with
+    // bit-identical functional results.  The issued/applied rendezvous
+    // counters keep advancing in lock-step so the invariant checks (and a
+    // hypothetical re-inspection of finishedTm()) stay coherent.
+    const std::function<bool(InstNum)> boundary_ok = [this](InstNum in) {
+        return fm_->lastCommitted() + 1 == in;
+    };
+    fmStallRemaining_ = 0; // the faulted producer is gone; do not replay it
+
+    while (core_->cycle() < max_cycles) {
+        // Produce (coupled-style run-ahead).
+        if (!fmStalledWrongPath_.load(std::memory_order_relaxed)) {
+            for (unsigned k = 0; k < cfg_.fmStepsPerCycle; ++k) {
+                if (tb_.full()) {
+                    ++stats_.counter("fm_stall_tb_full");
+                    break;
+                }
+                fm::StepResult r = fm_->step();
+                if (r.kind == fm::StepResult::Kind::Ok) {
+                    link_->deliver(tb_, r.entry);
+                    continue;
+                }
+                if (r.kind == fm::StepResult::Kind::WrongPathStall)
+                    fmStalledWrongPath_.store(true,
+                                              std::memory_order_relaxed);
+                else
+                    ++stats_.counter("fm_halted_polls");
+                break;
+            }
+        }
+
+        core_->tick();
+        for (const TmEvent &e : core_->drainEvents()) {
+            switch (e.kind) {
+              case TmEvent::Kind::WrongPath:
+              case TmEvent::Kind::Resolve:
+                ++resteersIssued_;
+                break;
+              case TmEvent::Kind::Commit:
+                ++commitsIssued_;
+                break;
+              default:
+                break;
+            }
+            applyMessage(e);
+        }
+
+        DeviceView dev;
+        dev.timerEnabled = fm_->timer().enabled();
+        dev.timerInterval = fm_->timer().interval();
+        dev.diskBusy = fm_->disk().busy();
+        const Injection inj =
+            engine_->deviceTick(dev, core_->cycle(),
+                                /*allow_disk_schedule=*/true,
+                                /*allow_inject=*/true, boundary_ok);
+        if (inj) {
+            ++injectsIssued_;
+            ++resteersIssued_;
+            applyMessage(inj.toEvent());
+        }
+
+        if (guardrails_.crossCheckDue(core_->committedInsts()))
+            guardrails_.crossCheck(*fm_, *core_);
+        if (guardrails_.notePoll(core_->committedInsts()))
+            fatal("watchdog fired again after degradation:\n%s",
+                  guardrails_.diagnose(*fm_, *core_, tb_, *engine_).c_str());
+
+        if (degradedFinished())
+            break;
+    }
+}
+
 RunResult
 ParallelFastSimulator::run(Cycle max_cycles)
 {
@@ -364,11 +487,38 @@ ParallelFastSimulator::run(Cycle max_cycles)
     cv_.notify_all();
     fmThread_.join();
 
+    if (guardrails_.watchdogFired()) {
+        // Both threads are stopped: the diagnosis reads a quiesced FM.
+        guardrails_.noteDiagnosis(
+            guardrails_.diagnose(*fm_, *core_, tb_, *engine_));
+        if (!cfg_.guardrails.degradeOnWatchdog)
+            fatal("%s", guardrails_.lastDiagnosis().c_str());
+
+        warn("%s", guardrails_.lastDiagnosis().c_str());
+        warn("degrading to coupled mode");
+        ++stats_.counter("degraded_to_coupled");
+        degraded_ = true;
+
+        // Drain the in-flight protocol commands on this thread, then
+        // continue single-threaded from the last verified commit.
+        TmEvent e;
+        while (events_.tryPop(e))
+            applyMessage(e);
+        guardrails_.rearmWatchdog();
+        degradedRun(max_cycles);
+    }
+
     RunResult r;
-    r.finished = finishedTm();
+    r.finished = degraded_ ? degradedFinished() : finishedTm();
     r.cycles = core_->cycle();
     r.insts = core_->committedInsts();
     r.ipc = core_->ipc();
+
+    // One final cross-check at the quiesced end state (periodic checks
+    // would race with the FM thread mid-run).
+    if (r.finished && !degraded_ &&
+        cfg_.guardrails.crossCheckEveryCommits != 0)
+        guardrails_.crossCheck(*fm_, *core_);
     return r;
 }
 

@@ -40,6 +40,16 @@
  * are near, but not bit-equal to, the coupled reference; the coupled
  * simulator is the deterministic cycle-accurate reference.  Device-free
  * runs are bit-identical (tested).
+ *
+ * Robustness (DESIGN.md §10): the same FaultPlan / TraceLink / CmdChannel
+ * stack as the coupled runner runs on the FM thread (all fault streams
+ * fire on one thread), plus the FmStall class, which pauses FM production
+ * to provoke the tick gate.  The TM loop drives the progress watchdog;
+ * when it fires the runner stops both threads and either fatal()s with
+ * the structured diagnosis or — with cfg.guardrails.degradeOnWatchdog —
+ * drains the event ring and falls back to a coupled-mode loop on the
+ * caller's thread, preserving all functional results ("warn and
+ * continue" is not offered: a wedged rendezvous never unwedges itself).
  */
 
 #ifndef FASTSIM_FAST_PARALLEL_HH
@@ -76,9 +86,19 @@ class ParallelFastSimulator
     tm::TraceBuffer &traceBuffer() { return tb_; }
     stats::Group &stats() { return stats_; }
 
+    Guardrails &guardrails() { return guardrails_; }
+    const Guardrails &guardrails() const { return guardrails_; }
+    inject::FaultPlan *faultPlan() { return plan_.get(); }
+    std::uint64_t commitHash() const { return guardrails_.commitHash(); }
+
+    /** True when a watchdog fire demoted this run to the coupled loop. */
+    bool degraded() const { return degraded_; }
+
   private:
     void fmThreadMain();
     void tmThreadMain(Cycle max_cycles);
+    void degradedRun(Cycle max_cycles);
+    bool degradedFinished() const;
 
     void applyMessage(const tm::TmEvent &e);
     void publishSnapshots();
@@ -94,6 +114,16 @@ class ParallelFastSimulator
     std::unique_ptr<tm::Core> core_;
     std::unique_ptr<ProtocolEngine> engine_; //!< TM-thread device timing
     stats::Group stats_;
+
+    // Fault-injection stack.  All fault streams fire on the FM thread
+    // (link/cmd/devices/stall); guardrails_ is driven by the TM loop and,
+    // after a degradation, by the single remaining thread.
+    std::unique_ptr<inject::FaultPlan> plan_; //!< null when no faults enabled
+    std::unique_ptr<inject::TraceLink> link_;
+    std::unique_ptr<CmdChannel> cmd_;
+    Guardrails guardrails_;
+    std::uint64_t fmStallRemaining_ = 0; //!< FM-thread-local (FmStall)
+    bool degraded_ = false;              //!< set after both threads stopped
 
     // TM -> FM protocol-event channel (SPSC: TM produces, FM consumes).
     SpscRing<tm::TmEvent> events_;

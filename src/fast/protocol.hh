@@ -29,8 +29,11 @@
 
 #include <functional>
 
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "fm/func_model.hh"
+#include "host/link_model.hh"
+#include "inject/fault_plan.hh"
 #include "tm/core.hh"
 #include "tm/trace_buffer.hh"
 
@@ -123,6 +126,30 @@ class ProtocolEngine
         return pendingTimerIrq_ || pendingDiskComplete_;
     }
 
+    /** Device-timing state machine, for snapshots.  Only meaningful at a
+     *  clean commit boundary (no injection pending). */
+    void
+    save(serialize::Sink &s) const
+    {
+        s.put<std::uint8_t>(timerArmed_);
+        s.put<Cycle>(timerNextFire_);
+        s.put<std::uint8_t>(diskScheduled_);
+        s.put<Cycle>(diskCompleteAt_);
+        s.put<std::uint8_t>(pendingTimerIrq_);
+        s.put<std::uint8_t>(pendingDiskComplete_);
+    }
+
+    void
+    restore(serialize::Source &s)
+    {
+        timerArmed_ = s.get<std::uint8_t>();
+        timerNextFire_ = s.get<Cycle>();
+        diskScheduled_ = s.get<std::uint8_t>();
+        diskCompleteAt_ = s.get<Cycle>();
+        pendingTimerIrq_ = s.get<std::uint8_t>();
+        pendingDiskComplete_ = s.get<std::uint8_t>();
+    }
+
   private:
     tm::Core &core_;
     Cycle diskLatency_;
@@ -133,6 +160,45 @@ class ProtocolEngine
     Cycle diskCompleteAt_ = 0;
     bool pendingTimerIrq_ = false;
     bool pendingDiskComplete_ = false;
+};
+
+/**
+ * The FM-bound command channel: every protocol event both runners apply
+ * to the functional model flows through one CmdChannel on the FM-owning
+ * thread.  With no FaultPlan it is a zero-state passthrough to
+ * ProtocolEngine::applyToFm.
+ *
+ * With a plan, it models the lossy control path of the link:
+ *
+ *   CmdDrop — the command is lost; the sender's ack timeout retransmits
+ *             it (counted + charged; the retransmitted copy is applied).
+ *   CmdDup  — the command is delivered twice.  Re-applying a
+ *             resteer-class command is NOT idempotent (the second set_pc
+ *             bumps the FM's speculation epoch again and desynchronizes
+ *             it from the TM's expected epoch), so the channel keeps the
+ *             last-applied command and discards an identical immediate
+ *             successor — the classic at-least-once-delivery dedup guard.
+ */
+class CmdChannel
+{
+  public:
+    CmdChannel(inject::FaultPlan *plan, const host::LinkRetryPolicy &policy,
+               stats::Group &stats);
+
+    /** Apply `e` exactly once.  Same return contract as applyToFm(). */
+    bool apply(const tm::TmEvent &e, fm::FuncModel &fm, tm::TraceBuffer &tb,
+               stats::Group &stats);
+
+  private:
+    inject::FaultPlan *plan_;
+    host::LinkRetryPolicy policy_;
+
+    bool haveLast_ = false;
+    tm::TmEvent last_;
+
+    stats::Handle stDropRetransmits_;
+    stats::Handle stDupSuppressed_;
+    stats::Handle stRetryNs_;
 };
 
 } // namespace fast

@@ -10,7 +10,8 @@ using fm::StepResult;
 using tm::TmEvent;
 
 FastSimulator::FastSimulator(const FastConfig &cfg)
-    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast")
+    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast"),
+      guardrails_(cfg.guardrails, stats_)
 {
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
@@ -20,6 +21,16 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
         analysis::verifyFabricOrFatal(*core_);
     engine_ = std::make_unique<ProtocolEngine>(*core_, cfg.diskLatencyCycles);
     boundaryOk_ = [this](InstNum in) { return fm_->lastCommitted() + 1 == in; };
+
+    if (cfg.faults.any())
+        plan_ = std::make_unique<inject::FaultPlan>(cfg.faults);
+    link_ = std::make_unique<inject::TraceLink>(plan_.get(), cfg.linkRetry,
+                                                stats_);
+    cmd_ = std::make_unique<CmdChannel>(plan_.get(), cfg.linkRetry, stats_);
+    if (cfg.guardrails.hashCommits)
+        core_->onCommit = [this](const fm::TraceEntry &e) {
+            guardrails_.onCommitEntry(e);
+        };
 }
 
 void
@@ -41,7 +52,7 @@ FastSimulator::produceEntries()
         StepResult r = fm_->step();
         switch (r.kind) {
           case StepResult::Kind::Ok:
-            tb_.push(r.entry);
+            link_->deliver(tb_, r.entry);
             break;
           case StepResult::Kind::Halted:
             ++stats_.counter("fm_halted_polls");
@@ -60,7 +71,7 @@ FastSimulator::handleEvents()
     for (const TmEvent &e : core_->drainEvents()) {
         if (onEvent)
             onEvent(e);
-        if (ProtocolEngine::applyToFm(e, *fm_, tb_, stats_))
+        if (cmd_->apply(e, *fm_, tb_, stats_))
             fmStalledWrongPath_ = false;
     }
 }
@@ -68,6 +79,15 @@ FastSimulator::handleEvents()
 void
 FastSimulator::deviceTiming()
 {
+    // Seeded device misfires (§3.4 fault model): the device models decide
+    // whether the misfire is guest-visible or suppressed by their guards.
+    if (plan_) {
+        if (plan_->fire(inject::FaultClass::SpuriousTimer))
+            fm_->timer().injectMisfire();
+        if (plan_->fire(inject::FaultClass::SpuriousDisk))
+            fm_->disk().injectMisfire();
+    }
+
     DeviceView dev;
     dev.timerEnabled = fm_->timer().enabled();
     dev.timerInterval = fm_->timer().interval();
@@ -78,8 +98,22 @@ FastSimulator::deviceTiming()
     const Injection inj =
         engine_->deviceTick(dev, core_->cycle(), /*allow_disk_schedule=*/true,
                             /*allow_inject=*/true, boundaryOk_);
-    if (inj && ProtocolEngine::applyToFm(inj.toEvent(), *fm_, tb_, stats_))
+    if (inj && cmd_->apply(inj.toEvent(), *fm_, tb_, stats_))
         fmStalledWrongPath_ = false;
+}
+
+void
+FastSimulator::runGuardrails()
+{
+    if (guardrails_.crossCheckDue(core_->committedInsts()))
+        guardrails_.crossCheck(*fm_, *core_);
+    if (guardrails_.notePoll(core_->committedInsts())) {
+        guardrails_.noteDiagnosis(
+            guardrails_.diagnose(*fm_, *core_, tb_, *engine_));
+        if (cfg_.guardrails.watchdogFatal)
+            fatal("%s", guardrails_.lastDiagnosis().c_str());
+        warn("%s", guardrails_.lastDiagnosis().c_str());
+    }
 }
 
 void
@@ -89,6 +123,7 @@ FastSimulator::tickOnce()
     core_->tick();
     handleEvents();
     deviceTiming();
+    runGuardrails();
 }
 
 bool
@@ -102,11 +137,28 @@ RunResult
 FastSimulator::run(Cycle max_cycles)
 {
     RunResult r;
+    if (cfg_.checkpointEvery != 0 && nextCheckpointAt_ == 0)
+        nextCheckpointAt_ = core_->cycle() + cfg_.checkpointEvery;
     while (core_->cycle() < max_cycles) {
         tickOnce();
         if (finished()) {
             r.finished = true;
             break;
+        }
+        if (cfg_.checkpointEvery != 0 && core_->cycle() >= nextCheckpointAt_) {
+            // Keep requesting the drain every cycle: a device injection may
+            // consume an earlier request (noteResteer clears it).
+            checkpointDrainPending_ = true;
+            core_->requestDrain();
+        }
+        if (checkpointDrainPending_ && checkpointReady()) {
+            // Count before saving so the snapshot itself carries the
+            // incremented counter; a resumed run then reproduces the
+            // uninterrupted run's statistics exactly.
+            ++stats_.counter("checkpoints_taken");
+            saveSnapshot(cfg_.checkpointPath);
+            checkpointDrainPending_ = false;
+            nextCheckpointAt_ = core_->cycle() + cfg_.checkpointEvery;
         }
     }
     r.cycles = core_->cycle();

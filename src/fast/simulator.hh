@@ -17,10 +17,15 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "base/statistics.hh"
+#include "fast/guardrails.hh"
 #include "fast/protocol.hh"
 #include "fm/func_model.hh"
+#include "host/link_model.hh"
+#include "inject/fault_plan.hh"
+#include "inject/trace_link.hh"
 #include "kernel/boot.hh"
 #include "tm/core.hh"
 #include "tm/trace_buffer.hh"
@@ -60,6 +65,26 @@ struct FastConfig
      * --no-verify-fabric does this to report rather than throw).
      */
     bool verifyFabric = true;
+
+    /** Fault-injection plan (all classes disabled by default). */
+    inject::FaultPlanConfig faults;
+
+    /** Runtime guardrails: watchdog, cross-checks, commit-hash chain. */
+    GuardrailConfig guardrails;
+
+    /** FM<->TM link retry behaviour under injected transport faults. */
+    host::LinkRetryPolicy linkRetry;
+
+    /**
+     * Crash-consistent checkpointing (coupled runner): snapshot to
+     * `checkpointPath` every `checkpointEvery` target cycles (0 = off).
+     * Snapshots are taken at drained commit boundaries, so enabling them
+     * perturbs cycle counts (the drains are real pipeline events);
+     * kill-and-resume equivalence holds between runs with the *same*
+     * checkpoint cadence.
+     */
+    Cycle checkpointEvery = 0;
+    std::string checkpointPath = "fastsim.ckpt";
 };
 
 /** Aggregate results of a run. */
@@ -98,6 +123,32 @@ class FastSimulator
     stats::Group &stats() { return stats_; }
     const FastConfig &config() const { return cfg_; }
 
+    Guardrails &guardrails() { return guardrails_; }
+    const Guardrails &guardrails() const { return guardrails_; }
+    inject::FaultPlan *faultPlan() { return plan_.get(); }
+
+    /** Committed-instruction hash chain (cfg.guardrails.hashCommits). */
+    std::uint64_t commitHash() const { return guardrails_.commitHash(); }
+
+    // --- checkpoint / resume -----------------------------------------------
+    /**
+     * Quiesce to a drained commit boundary (rolling back FM run-ahead)
+     * and write a crash-consistent snapshot: temp file + atomic rename,
+     * versioned header, config fingerprint, payload checksum.  Only legal
+     * when checkpointReady(); run() sequences this automatically when
+     * cfg.checkpointEvery != 0.
+     */
+    void saveSnapshot(const std::string &path);
+
+    /** Restore a snapshot written by saveSnapshot().  Call after boot()
+     *  (boot re-creates the un-serialized environment: console input
+     *  script, loaded image; the snapshot then overwrites machine state). */
+    void resumeFrom(const std::string &path);
+
+    /** True at a clean snapshot boundary (drained, no injection pending,
+     *  every fetched instruction committed). */
+    bool checkpointReady() const;
+
     /** Observation hook: every TM protocol event, in emission order. */
     std::function<void(const tm::TmEvent &)> onEvent;
 
@@ -105,6 +156,9 @@ class FastSimulator
     void produceEntries();
     void handleEvents();
     void deviceTiming();
+    void runGuardrails();
+    void quiesceToBoundary();
+    std::uint64_t configFingerprint() const;
 
     FastConfig cfg_;
     std::unique_ptr<fm::FuncModel> fm_;
@@ -113,10 +167,19 @@ class FastSimulator
     std::unique_ptr<ProtocolEngine> engine_;
     stats::Group stats_;
 
+    std::unique_ptr<inject::FaultPlan> plan_; //!< null when no faults enabled
+    std::unique_ptr<inject::TraceLink> link_;
+    std::unique_ptr<CmdChannel> cmd_;
+    Guardrails guardrails_;
+
     //!< injection boundary: the FM committed everything below `in`
     std::function<bool(InstNum)> boundaryOk_;
 
     bool fmStalledWrongPath_ = false;
+
+    // Checkpoint sequencing (run()).
+    bool checkpointDrainPending_ = false;
+    Cycle nextCheckpointAt_ = 0;
 };
 
 } // namespace fast

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Crash-consistent checkpoint/resume for the coupled FAST simulator
+ * (DESIGN.md §10.4).
+ *
+ * A snapshot is only taken at a *quiesced commit boundary*: the TM
+ * pipeline fully drained, no device injection pending, and the FM rolled
+ * back to exactly the last committed instruction.  At that point the whole
+ * simulator is describable by committed architectural state plus a handful
+ * of scalars, and the trace buffer is empty by construction — so the
+ * snapshot never has to serialize speculative state.
+ *
+ * On-disk format (little-endian):
+ *
+ *   u32 magic "FSNP"   u32 version   u64 config fingerprint
+ *   u64 payload size   u64 payload FNV-1a checksum
+ *   payload...
+ *
+ * The fingerprint rejects resuming under a different machine configuration
+ * (which would silently diverge); the checksum rejects torn/corrupt files.
+ * Writes go to `path + ".tmp"` followed by an atomic rename, so a crash
+ * mid-checkpoint leaves the previous snapshot intact.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+#include "fast/simulator.hh"
+
+namespace fastsim {
+namespace fast {
+
+namespace {
+
+// "FSNP" as a little-endian u32.
+constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
+constexpr std::uint32_t SnapshotVersion = 1;
+
+} // namespace
+
+bool
+FastSimulator::checkpointReady() const
+{
+    return core_->quiescedForSnapshot() && !engine_->injectionPending() &&
+           !fmStalledWrongPath_ &&
+           fm_->lastCommitted() + 1 == core_->nextFetchIn();
+}
+
+void
+FastSimulator::quiesceToBoundary()
+{
+    fastsim_assert(checkpointReady());
+    if (fm_->nextIn() != fm_->lastCommitted() + 1 || fm_->onWrongPath()) {
+        // The FM ran ahead of the drained TM: discard the speculation so
+        // both sides sit exactly at the committed boundary.  This is the
+        // same resteer sequence a device injection uses, so the epochs
+        // stay paired (FM rollback bump <-> TM noteResteer bump).
+        fm_->rollbackToBoundary();
+        if (!tb_.rewindTo(fm_->nextIn()))
+            fatal("checkpoint: trace-buffer rewind to IN %llu failed",
+                  static_cast<unsigned long long>(fm_->nextIn()));
+        core_->noteResteer();
+    } else {
+        // Nothing to roll back: consume the drain request without an
+        // epoch bump (an unpaired bump would desynchronize the epochs).
+        core_->clearDrainRequest();
+    }
+}
+
+std::uint64_t
+FastSimulator::configFingerprint() const
+{
+    serialize::Sink s;
+    s.put<std::uint64_t>(cfg_.fm.ramBytes);
+    s.put<std::uint32_t>(cfg_.fm.diskBlocks);
+    s.put<std::uint64_t>(cfg_.fm.diskLatency);
+    s.put<std::uint64_t>(cfg_.fm.diskSeed);
+    s.put<std::uint8_t>(cfg_.fm.traceCompression ? 1 : 0);
+    s.put<std::uint64_t>(cfg_.traceBufferEntries);
+    s.put<std::uint32_t>(cfg_.fmStepsPerCycle);
+    s.put<Cycle>(cfg_.diskLatencyCycles);
+    s.put<std::uint32_t>(cfg_.core.issueWidth);
+    s.put<std::uint32_t>(cfg_.core.robEntries);
+    s.put<std::uint8_t>(static_cast<std::uint8_t>(cfg_.core.bp.kind));
+    s.put<std::uint32_t>(cfg_.core.bp.historyBits);
+    s.put<std::uint64_t>(cfg_.core.statsIntervalBb);
+    return s.checksum();
+}
+
+void
+FastSimulator::saveSnapshot(const std::string &path)
+{
+    quiesceToBoundary();
+
+    serialize::Sink payload;
+    fm_->saveState(payload);
+    core_->saveState(payload);
+    engine_->save(payload);
+    guardrails_.save(payload);
+    serialize::putGroup(payload, stats_);
+
+    serialize::Sink header;
+    header.put<std::uint32_t>(SnapshotMagic);
+    header.put<std::uint32_t>(SnapshotVersion);
+    header.put<std::uint64_t>(configFingerprint());
+    header.put<std::uint64_t>(payload.data().size());
+    header.put<std::uint64_t>(payload.checksum());
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("checkpoint: cannot open %s for writing", tmp.c_str());
+    bool ok = std::fwrite(header.data().data(), 1, header.data().size(), f) ==
+              header.data().size();
+    ok = ok && std::fwrite(payload.data().data(), 1, payload.data().size(),
+                           f) == payload.data().size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        fatal("checkpoint: short write to %s", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("checkpoint: rename %s -> %s failed", tmp.c_str(), path.c_str());
+}
+
+void
+FastSimulator::resumeFrom(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("resume: cannot open %s", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(len > 0 ? static_cast<std::size_t>(len)
+                                            : 0);
+    const bool read_ok =
+        bytes.empty() ||
+        std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    if (!read_ok)
+        fatal("resume: short read from %s", path.c_str());
+
+    serialize::Source hdr(bytes.data(), bytes.size());
+    hdr.require(bytes.size() >= 32, "snapshot header truncated");
+    hdr.require(hdr.get<std::uint32_t>() == SnapshotMagic,
+                "bad snapshot magic");
+    hdr.require(hdr.get<std::uint32_t>() == SnapshotVersion,
+                "unsupported snapshot version");
+    hdr.require(hdr.get<std::uint64_t>() == configFingerprint(),
+                "snapshot was taken under a different configuration");
+    const std::uint64_t payload_size = hdr.get<std::uint64_t>();
+    const std::uint64_t checksum = hdr.get<std::uint64_t>();
+    hdr.require(hdr.offset() + payload_size == bytes.size(),
+                "snapshot payload size mismatch");
+    hdr.require(serialize::fnv1a(bytes.data() + hdr.offset(), payload_size) ==
+                    checksum,
+                "snapshot payload checksum mismatch");
+
+    serialize::Source s(bytes.data() + hdr.offset(), payload_size);
+    fm_->restoreState(s);
+    core_->restoreState(s);
+    engine_->restore(s);
+    guardrails_.restore(s);
+    serialize::getGroup(s, stats_);
+    s.require(s.atEnd(), "snapshot has trailing bytes");
+
+    // The resumed boundary is quiesced: the TB is logically empty and its
+    // IN<->index mapping re-establishes on the first push.
+    tb_.reset();
+    fmStalledWrongPath_ = false;
+    checkpointDrainPending_ = false;
+    nextCheckpointAt_ = 0;
+}
+
+} // namespace fast
+} // namespace fastsim

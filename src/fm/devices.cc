@@ -189,6 +189,21 @@ TimerDevice::tick()
     }
 }
 
+bool
+TimerDevice::injectMisfire()
+{
+    // Scheduling-authority guard (§3.4): in FAST mode the timing model
+    // owns interrupt arrival, so a device-level pulse can never be
+    // legitimate; in fm-driven mode it is only legitimate when the
+    // programmed deadline has actually passed (and the tick() path will
+    // deliver that fire itself — the pulse is absorbed, not doubled).
+    if (!fmDriven_ || !enabled_ || bus_->icount() < nextFire_) {
+        ++misfiresSuppressed_;
+        return false;
+    }
+    return true;
+}
+
 std::vector<std::uint8_t>
 TimerDevice::save() const
 {
@@ -278,6 +293,18 @@ DiskDevice::completeNow()
 {
     if (status_ == DiskBusy)
         complete();
+}
+
+bool
+DiskDevice::injectMisfire()
+{
+    // Completion-authority guard: only a command actually in flight can
+    // complete, and in FAST mode only the timing model decides when.
+    if (!fmDriven_ || status_ != DiskBusy || bus_->icount() < completeAt_) {
+        ++misfiresSuppressed_;
+        return false;
+    }
+    return true;
 }
 
 void

@@ -173,6 +173,11 @@ class ConsoleDevice : public Device
     /** Full output produced so far (valid once all speculation resolved). */
     const std::string &output() const { return output_; }
 
+    /** Replace the full output (snapshot resume; save()/restore() blobs
+     *  only ever *truncate* output, which suffices for undo but not for
+     *  restoring into a freshly booted machine). */
+    void setOutput(std::string output) { output_ = std::move(output); }
+
   private:
     std::string output_;
     std::string input_;
@@ -199,11 +204,26 @@ class TimerDevice final : public Device
     bool enabled() const { return enabled_; }
     std::uint32_t interval() const { return interval_; }
 
+    /**
+     * Fault injection: a spurious fire pulse arrives outside the timer's
+     * schedule.  The guard enforces the scheduling authority: in FAST
+     * mode the *timing model* owns interrupt arrival (§3.4), so a
+     * device-level pulse is always suppressed; in fm-driven mode a pulse
+     * is only legitimate when it coincides with the programmed deadline
+     * (and then the regular tick() path delivers it anyway).
+     *
+     * @return true iff the pulse coincided with a scheduled fire.
+     */
+    bool injectMisfire();
+
+    std::uint64_t misfiresSuppressed() const { return misfiresSuppressed_; }
+
   private:
     bool fmDriven_;
     bool enabled_ = false;
     std::uint32_t interval_ = 10000;
     std::uint64_t nextFire_ = 0;
+    std::uint64_t misfiresSuppressed_ = 0; //!< not archState; excluded from save()
 };
 
 /**
@@ -239,9 +259,20 @@ class DiskDevice final : public Device
     std::vector<std::uint8_t> readBlockRaw(std::uint32_t block) const;
 
     bool busy() const { return status_ == DiskBusy; }
+    std::uint32_t blockCount() const { return blocks_; }
 
     /** Complete the in-flight command now (timing-model-driven mode). */
     void completeNow();
+
+    /**
+     * Fault injection: a spurious completion pulse.  Suppressed unless a
+     * command is actually in flight *and* (in fm-driven mode) its latency
+     * has elapsed; in FAST mode completion authority is the timing
+     * model's, so device-level pulses are always suppressed.
+     */
+    bool injectMisfire();
+
+    std::uint64_t misfiresSuppressed() const { return misfiresSuppressed_; }
 
   private:
     void complete();
@@ -256,6 +287,7 @@ class DiskDevice final : public Device
     std::uint32_t block_ = 0;
     std::uint32_t addr_ = 0;
     std::uint64_t completeAt_ = 0;
+    std::uint64_t misfiresSuppressed_ = 0; //!< not archState; excluded from save()
 };
 
 /** Real-time clock: a deterministic function of instruction count. */

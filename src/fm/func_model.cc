@@ -67,6 +67,8 @@ FuncModel::reset(Addr pc)
     wrongPath_ = false;
     pendingInject_ = 0;
     pendingDiskComplete_ = false;
+    consumedInjectIn_ = 0;
+    consumedDiskIn_ = 0;
     haltTicks_ = 0;
     groups_.clear();
     cur_ = nullptr;
@@ -462,6 +464,184 @@ FuncModel::commit(InstNum up_to)
     }
     if (up_to > lastCommitted_)
         lastCommitted_ = up_to;
+    if (consumedInjectIn_ && consumedInjectIn_ <= lastCommitted_)
+        consumedInjectIn_ = 0;
+    if (consumedDiskIn_ && consumedDiskIn_ <= lastCommitted_)
+        consumedDiskIn_ = 0;
+}
+
+// --- guardrails / checkpointing ----------------------------------------------
+
+void
+FuncModel::rollbackToBoundary()
+{
+    if (groups_.empty() && !wrongPath_ && nextIn_ == lastCommitted_ + 1)
+        return;
+    // A wrong-path stub with no speculation to roll back would leave the
+    // PC unrecoverable; callers quiesce the timing model first, which
+    // excludes that state.
+    fastsim_assert(!wrongPath_ || !groups_.empty());
+    std::uint64_t undone = 0;
+    while (!groups_.empty()) {
+        rollbackGroup(groups_.back());
+        recycleGroup(std::move(groups_.back()));
+        groups_.pop_back();
+        ++undone;
+    }
+    stRolledBackInsts_ += undone;
+    if (undone)
+        ++stRollbacks_;
+    nextIn_ = lastCommitted_ + 1;
+    epoch_++;
+    wrongPath_ = false;
+    cur_ = nullptr;
+    flushTlb();
+    // Re-arm boundary injections whose delivery was just rolled back.
+    if (consumedInjectIn_ && consumedInjectIn_ > lastCommitted_) {
+        pendingInject_ = consumedInjectVector_;
+        consumedInjectIn_ = 0;
+    }
+    if (consumedDiskIn_ && consumedDiskIn_ > lastCommitted_) {
+        pendingDiskComplete_ = true;
+        consumedDiskIn_ = 0;
+    }
+}
+
+ArchState
+FuncModel::committedArchState() const
+{
+    ArchState st = state_;
+    for (auto git = groups_.rbegin(); git != groups_.rend(); ++git) {
+        for (auto it = git->recs.rbegin(); it != git->recs.rend(); ++it) {
+            const UndoRec &r = *it;
+            switch (r.kind) {
+              case UndoRec::Kind::Gpr:
+                st.gpr[r.idx] = static_cast<std::uint32_t>(r.old);
+                break;
+              case UndoRec::Kind::Fpr:
+                st.fpr[r.idx] = std::bit_cast<double>(r.old);
+                break;
+              case UndoRec::Kind::Flags:
+                st.flags = static_cast<std::uint32_t>(r.old);
+                break;
+              case UndoRec::Kind::Ctrl:
+                st.ctrl[r.idx] = static_cast<std::uint32_t>(r.old);
+                break;
+              case UndoRec::Kind::Mem8:
+              case UndoRec::Kind::Mem32:
+                break; // registers only; memory is checksummed separately
+            }
+        }
+    }
+    if (!groups_.empty()) {
+        st.pc = groups_.front().pcBefore;
+        st.halted = groups_.front().haltedBefore;
+    }
+    return st;
+}
+
+std::uint64_t
+FuncModel::speculativeMemChecksum() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const UndoGroup &g : groups_) {
+        for (const UndoRec &r : g.recs) {
+            if (r.kind != UndoRec::Kind::Mem8 &&
+                r.kind != UndoRec::Kind::Mem32)
+                continue;
+            mix(static_cast<std::uint64_t>(r.kind));
+            mix(r.pa);
+            mix(r.old);
+        }
+    }
+    return h;
+}
+
+void
+FuncModel::saveState(serialize::Sink &s) const
+{
+    fastsim_assert(groups_.empty() && !cur_ && !wrongPath_ &&
+                   lastCommitted_ + 1 == nextIn_);
+    for (std::uint32_t v : state_.gpr)
+        s.put<std::uint32_t>(v);
+    for (double v : state_.fpr)
+        s.put<std::uint64_t>(std::bit_cast<std::uint64_t>(v));
+    s.put<std::uint32_t>(state_.flags);
+    s.put<Addr>(state_.pc);
+    for (std::uint32_t v : state_.ctrl)
+        s.put<std::uint32_t>(v);
+    s.put<std::uint8_t>(state_.halted);
+
+    s.put<InstNum>(nextIn_);
+    s.put<InstNum>(lastCommitted_);
+    s.put<Epoch>(epoch_);
+    s.put<std::uint64_t>(haltTicks_);
+    s.put<std::uint8_t>(pendingInject_);
+    s.put<std::uint8_t>(pendingDiskComplete_);
+
+    mem_->savePages(s);
+
+    // Console output must travel in full: device blobs only ever truncate.
+    s.putString(console_->output());
+    for (const Device *d : devices_) {
+        s.putString(d->name());
+        s.putBlob(const_cast<Device *>(d)->save());
+    }
+    s.put<std::uint32_t>(disk_->blockCount());
+    for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
+        s.putBlob(disk_->readBlockRaw(b));
+
+    serialize::putGroup(s, stats_);
+}
+
+void
+FuncModel::restoreState(serialize::Source &s)
+{
+    for (std::uint32_t &v : state_.gpr)
+        v = s.get<std::uint32_t>();
+    for (double &v : state_.fpr)
+        v = std::bit_cast<double>(s.get<std::uint64_t>());
+    state_.flags = s.get<std::uint32_t>();
+    state_.pc = s.get<Addr>();
+    for (std::uint32_t &v : state_.ctrl)
+        v = s.get<std::uint32_t>();
+    state_.halted = s.get<std::uint8_t>();
+
+    nextIn_ = s.get<InstNum>();
+    lastCommitted_ = s.get<InstNum>();
+    epoch_ = s.get<Epoch>();
+    haltTicks_ = s.get<std::uint64_t>();
+    pendingInject_ = s.get<std::uint8_t>();
+    pendingDiskComplete_ = s.get<std::uint8_t>();
+    s.require(lastCommitted_ + 1 == nextIn_, "FM not at a commit boundary");
+
+    mem_->restorePages(s);
+
+    console_->setOutput(s.getString());
+    for (Device *d : devices_) {
+        s.require(s.getString() == d->name(), "device order mismatch");
+        d->restore(s.getBlob());
+    }
+    s.require(s.get<std::uint32_t>() == disk_->blockCount(),
+              "disk geometry mismatch");
+    for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
+        disk_->restoreBlock(b, s.getBlob());
+
+    serialize::getGroup(s, stats_);
+
+    wrongPath_ = false;
+    groups_.clear();
+    cur_ = nullptr;
+    consumedInjectIn_ = 0;
+    consumedDiskIn_ = 0;
+    flushTlb();
+    dcache_.invalidateAll();
 }
 
 // --- I/O port routing ------------------------------------------------------------
@@ -1197,10 +1377,13 @@ FuncModel::step()
 
     if (pendingInject_ && !wrongPath_) {
         pic_->raise(pendingInject_);
+        consumedInjectIn_ = nextIn_;
+        consumedInjectVector_ = pendingInject_;
         pendingInject_ = 0;
     }
     if (pendingDiskComplete_ && !wrongPath_) {
         disk_->completeNow(); // DMA + VecDisk, all inside this undo group
+        consumedDiskIn_ = nextIn_;
         pendingDiskComplete_ = false;
     }
 

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
 #include "fm/decode_cache.hh"
@@ -187,6 +188,37 @@ class FuncModel : public DeviceBus
     /** Bytes currently consumed by the undo log (approximate). */
     std::size_t undoBytes() const;
 
+    // --- guardrails / checkpointing -----------------------------------------
+    /**
+     * Discard all run-ahead speculation: roll back every uncommitted
+     * instruction so nextIn() == lastCommitted() + 1 and the machine state
+     * is exactly the committed architectural state.  Used when falling
+     * back from parallel to coupled mode and when snapshotting.
+     */
+    void rollbackToBoundary();
+
+    /**
+     * Architectural register state as of the last committed instruction,
+     * reconstructed by walking the undo log newest-to-oldest without
+     * disturbing the speculative state.  Used by the FM-vs-TM cross-check.
+     */
+    ArchState committedArchState() const;
+
+    /**
+     * Deterministic checksum over the speculative memory undo records
+     * (kind, address, pre-image), newest group last.  Lets the guardrails
+     * fingerprint the dirty-page set without touching all of RAM.
+     */
+    std::uint64_t speculativeMemChecksum() const;
+
+    /**
+     * Snapshot support.  Only legal at a fully-committed boundary
+     * (lastCommitted() == nextIn() - 1, empty undo log, correct path);
+     * callers quiesce first via rollbackToBoundary().
+     */
+    void saveState(serialize::Sink &s) const;
+    void restoreState(serialize::Source &s);
+
     // --- DeviceBus -----------------------------------------------------------
     void snapSelf(Device *dev) override;
     void snapBlock(Device *dev, std::uint32_t index) override;
@@ -284,6 +316,17 @@ class FuncModel : public DeviceBus
     bool wrongPath_ = false;
     std::uint8_t pendingInject_ = 0; //!< interrupt line to raise (0 = none)
     bool pendingDiskComplete_ = false;
+
+    /**
+     * Boundary injections already consumed into an uncommitted undo group.
+     * The normal protocol commits the (serializing) delivery before any
+     * roll-back can reach it, but rollbackToBoundary() discards *all*
+     * run-ahead, so it must re-arm the pending flags or the interrupt
+     * would be silently lost.
+     */
+    InstNum consumedInjectIn_ = 0; //!< 0 = none
+    std::uint8_t consumedInjectVector_ = 0;
+    InstNum consumedDiskIn_ = 0;   //!< 0 = none
     std::uint64_t haltTicks_ = 0;    //!< device time advanced while halted
     Addr faultVa_ = 0;               //!< last translation-fault address
 

@@ -6,10 +6,12 @@
 #ifndef FASTSIM_FM_PHYS_MEM_HH
 #define FASTSIM_FM_PHYS_MEM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/types.hh"
 
 namespace fastsim {
@@ -94,6 +96,55 @@ class PhysMem
         if (!image.empty())
             touch(pa, static_cast<unsigned>(image.size()));
         std::copy(image.begin(), image.end(), data_.begin() + pa);
+    }
+
+    /**
+     * Snapshot support: serialize as (page count, then per page: index +
+     * raw bytes), skipping all-zero pages — a freshly restored machine
+     * starts from zeroed RAM, so only non-zero pages carry information.
+     */
+    void
+    savePages(serialize::Sink &s) const
+    {
+        const std::size_t pageBytes = std::size_t(1) << PageShift;
+        std::uint64_t count = 0;
+        for (std::size_t off = 0; off < data_.size(); off += pageBytes) {
+            const std::size_t n = std::min(pageBytes, data_.size() - off);
+            bool nonZero = false;
+            for (std::size_t i = 0; i < n && !nonZero; ++i)
+                nonZero = data_[off + i] != 0;
+            count += nonZero;
+        }
+        s.put<std::uint64_t>(count);
+        for (std::size_t off = 0; off < data_.size(); off += pageBytes) {
+            const std::size_t n = std::min(pageBytes, data_.size() - off);
+            bool nonZero = false;
+            for (std::size_t i = 0; i < n && !nonZero; ++i)
+                nonZero = data_[off + i] != 0;
+            if (!nonZero)
+                continue;
+            s.put<std::uint64_t>(off >> PageShift);
+            s.put<std::uint32_t>(static_cast<std::uint32_t>(n));
+            s.putBytes(data_.data() + off, n);
+        }
+    }
+
+    /** Zero RAM, then replay the saved pages.  Page generations are
+     *  bumped so decoded-instruction caches see the change. */
+    void
+    restorePages(serialize::Source &s)
+    {
+        std::fill(data_.begin(), data_.end(), 0);
+        const std::uint64_t count = s.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t page = s.get<std::uint64_t>();
+            const std::uint32_t n = s.get<std::uint32_t>();
+            const std::size_t off = page << PageShift;
+            s.require(off + n <= data_.size() && n <= (1u << PageShift),
+                      "snapshot page out of range");
+            s.getBytes(data_.data() + off, n);
+            touch(static_cast<PAddr>(off), n);
+        }
     }
 
   private:

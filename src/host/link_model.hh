@@ -95,6 +95,34 @@ struct LinkParams
     double roundTripNs() const { return pollReadNs() + controlWriteNs(); }
 };
 
+/**
+ * Recovery policy for transient link errors (CRC failure, lost packet):
+ * bounded retransmission with exponential backoff, charged to host time.
+ * The HyperTransport fabric guarantees in-order delivery per channel, so
+ * recovery is always retransmit-in-place; exceeding maxRetries means the
+ * link is down, which is fatal, not a fault to ride through.
+ */
+struct LinkRetryPolicy
+{
+    unsigned maxRetries = 8;
+    double retryBaseNs = 600.0;   //!< first retransmit: ~a round trip
+    double backoffFactor = 2.0;
+    double maxBackoffNs = 20000.0;
+
+    /** Host-ns cost of the k-th (0-based) retransmission attempt. */
+    double
+    backoffNs(unsigned k) const
+    {
+        double ns = retryBaseNs;
+        for (unsigned i = 0; i < k; ++i) {
+            ns *= backoffFactor;
+            if (ns >= maxBackoffNs)
+                return maxBackoffNs;
+        }
+        return ns < maxBackoffNs ? ns : maxBackoffNs;
+    }
+};
+
 } // namespace host
 } // namespace fastsim
 

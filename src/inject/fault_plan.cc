@@ -1,0 +1,86 @@
+#include "inject/fault_plan.hh"
+
+#include <sstream>
+
+namespace fastsim {
+namespace inject {
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::TraceCorrupt: return "trace-corrupt";
+      case FaultClass::TraceDrop: return "trace-drop";
+      case FaultClass::TraceDup: return "trace-dup";
+      case FaultClass::CmdDrop: return "cmd-drop";
+      case FaultClass::CmdDup: return "cmd-dup";
+      case FaultClass::SpuriousTimer: return "spurious-timer";
+      case FaultClass::SpuriousDisk: return "spurious-disk";
+      case FaultClass::FmStall: return "fm-stall";
+      case FaultClass::NumClasses: break;
+    }
+    return "?";
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig &cfg) : cfg_(cfg)
+{
+    for (unsigned i = 0; i < NumFaultClasses; ++i) {
+        Stream &s = streams_[i];
+        // Decorrelate the per-class streams from one shared seed.
+        s.rng = Rng(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+        if (cfg_.enable[i])
+            s.nextFireAt = 1 + s.rng.below(cfg_.window ? cfg_.window : 1);
+    }
+}
+
+bool
+FaultPlan::fire(FaultClass c)
+{
+    Stream &s = streams_[static_cast<unsigned>(c)];
+    ++s.opportunities;
+    if (s.nextFireAt == 0 || s.opportunities != s.nextFireAt)
+        return false;
+    ++s.injected;
+    if (cfg_.maxPerClass && s.injected >= cfg_.maxPerClass) {
+        s.nextFireAt = 0;
+    } else {
+        s.nextFireAt = s.opportunities + 1 +
+                       s.rng.below(cfg_.window ? cfg_.window : 1);
+    }
+    return true;
+}
+
+std::uint64_t
+FaultPlan::draw(FaultClass c)
+{
+    return streams_[static_cast<unsigned>(c)].rng.next();
+}
+
+std::uint64_t
+FaultPlan::totalInjected() const
+{
+    std::uint64_t n = 0;
+    for (const Stream &s : streams_)
+        n += s.injected;
+    return n;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned i = 0; i < NumFaultClasses; ++i) {
+        if (!cfg_.enable[i])
+            continue;
+        if (!first)
+            os << ' ';
+        first = false;
+        os << faultClassName(static_cast<FaultClass>(i)) << '='
+           << streams_[i].injected;
+    }
+    return os.str();
+}
+
+} // namespace inject
+} // namespace fastsim

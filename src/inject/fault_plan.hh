@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Seeded, deterministic fault plan for the FM↔TM pipeline.
+ *
+ * A FaultPlan decides *when* faults strike; the injection sites (the
+ * trace link, the command channel, the device models, the parallel
+ * runner's FM thread) decide *what* a fault means at their layer.  All
+ * randomness flows through base/random.hh — never wall-clock — so a
+ * (seed, enabled-class set) pair replays the exact same campaign run.
+ *
+ * Scheduling is fire-at-opportunity-index: each enabled class draws the
+ * index of its next strike uniformly from the next `window` opportunities
+ * (an opportunity = one call to fire() for that class: one trace entry
+ * delivered, one command applied, one FM step...).  Unlike a Bernoulli
+ * coin flip per opportunity, this guarantees every enabled class actually
+ * fires on runs much longer than the window — the campaign asserts
+ * injected() > 0 per run.
+ *
+ * Thread discipline: each class's stream is only ever touched from one
+ * thread (coupled mode: the single simulation thread; parallel mode: all
+ * used classes fire on the FM thread).  The plan itself takes no locks.
+ */
+
+#ifndef FASTSIM_INJECT_FAULT_PLAN_HH
+#define FASTSIM_INJECT_FAULT_PLAN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/random.hh"
+
+namespace fastsim {
+namespace inject {
+
+/** The fault taxonomy (DESIGN.md §10.1). */
+enum class FaultClass : unsigned
+{
+    TraceCorrupt,  //!< bit flip in a trace entry on the host link (CRC)
+    TraceDrop,     //!< trace entry lost on the link (timeout retransmit)
+    TraceDup,      //!< trace entry delivered twice (receiver dedup)
+    CmdDrop,       //!< FM-bound protocol command lost (timeout retransmit)
+    CmdDup,        //!< protocol command delivered twice (resteer dedup)
+    SpuriousTimer, //!< timer device misfire outside its schedule
+    SpuriousDisk,  //!< disk completion misfire while no op is in flight
+    FmStall,       //!< FM thread stops producing for stallSteps steps
+    NumClasses,
+};
+
+constexpr unsigned NumFaultClasses =
+    static_cast<unsigned>(FaultClass::NumClasses);
+
+const char *faultClassName(FaultClass c);
+
+/** Which classes are armed, and how aggressively. */
+struct FaultPlanConfig
+{
+    std::uint64_t seed = 1;
+    /** Next strike lands within this many opportunities (per class). */
+    std::uint64_t window = 20000;
+    /** 0 = unbounded; otherwise stop after this many strikes per class. */
+    std::uint64_t maxPerClass = 0;
+    /** FM production pauses per FmStall strike (parallel runner only). */
+    std::uint64_t stallSteps = 50000;
+    std::array<bool, NumFaultClasses> enable{};
+
+    bool
+    any() const
+    {
+        for (bool e : enable)
+            if (e)
+                return true;
+        return false;
+    }
+
+    void enableClass(FaultClass c) { enable[static_cast<unsigned>(c)] = true; }
+};
+
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultPlanConfig &cfg);
+
+    /** Count an opportunity for class c; true iff a fault strikes now. */
+    bool fire(FaultClass c);
+
+    /** Deterministic per-class side draw (e.g. which bit to corrupt). */
+    std::uint64_t draw(FaultClass c);
+
+    bool enabled(FaultClass c) const
+    {
+        return cfg_.enable[static_cast<unsigned>(c)];
+    }
+    std::uint64_t injected(FaultClass c) const
+    {
+        return streams_[static_cast<unsigned>(c)].injected;
+    }
+    std::uint64_t opportunities(FaultClass c) const
+    {
+        return streams_[static_cast<unsigned>(c)].opportunities;
+    }
+    std::uint64_t totalInjected() const;
+    std::uint64_t stallSteps() const { return cfg_.stallSteps; }
+    const FaultPlanConfig &config() const { return cfg_; }
+
+    /** "class=count ..." for campaign logs. */
+    std::string summary() const;
+
+  private:
+    struct Stream
+    {
+        Rng rng{0};
+        std::uint64_t opportunities = 0;
+        std::uint64_t nextFireAt = 0; //!< opportunity index; 0 = disarmed
+        std::uint64_t injected = 0;
+    };
+
+    FaultPlanConfig cfg_;
+    std::array<Stream, NumFaultClasses> streams_;
+};
+
+} // namespace inject
+} // namespace fastsim
+
+#endif // FASTSIM_INJECT_FAULT_PLAN_HH

@@ -1,0 +1,88 @@
+#include "inject/trace_link.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+
+namespace fastsim {
+namespace inject {
+
+namespace {
+
+/** Link-level CRC stand-in: FNV-1a over the wire image of the entry. */
+std::uint64_t
+wireCrc(const fm::TraceEntry &e)
+{
+    std::uint8_t bytes[sizeof(fm::TraceEntry)];
+    std::memcpy(bytes, &e, sizeof(e));
+    return serialize::fnv1a(bytes, sizeof(bytes));
+}
+
+} // namespace
+
+TraceLink::TraceLink(FaultPlan *plan, const host::LinkRetryPolicy &policy,
+                     stats::Group &stats)
+    : plan_(plan), policy_(policy),
+      stCrcRetries_(stats.handle("link_crc_retries")),
+      stDropRetransmits_(stats.handle("link_drop_retransmits")),
+      stDupDiscards_(stats.handle("link_dup_discards")),
+      stRetryNs_(stats.handle("link_retry_ns"))
+{
+}
+
+void
+TraceLink::chargeRetries(unsigned failures, const char *why)
+{
+    if (failures > policy_.maxRetries)
+        fatal("trace link down: %u consecutive %s failures exceed the "
+              "retry bound (%u)",
+              failures, why, policy_.maxRetries);
+    for (unsigned k = 0; k < failures; ++k)
+        stRetryNs_ += static_cast<std::uint64_t>(policy_.backoffNs(k));
+}
+
+void
+TraceLink::deliver(tm::TraceBuffer &tb, const fm::TraceEntry &e)
+{
+    if (!plan_ && forcedFailures_ == 0) {
+        tb.push(e);
+        return;
+    }
+
+    unsigned failures = forcedFailures_;
+    forcedFailures_ = 0;
+
+    if (plan_ && plan_->fire(FaultClass::TraceCorrupt)) {
+        // A bit flips in transit.  The receiver computes the CRC over the
+        // corrupted image, mismatches the sender's, and NAKs.
+        fm::TraceEntry transit = e;
+        std::uint8_t *raw = reinterpret_cast<std::uint8_t *>(&transit);
+        const std::uint64_t bit =
+            plan_->draw(FaultClass::TraceCorrupt) % (sizeof(transit) * 8);
+        raw[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        fastsim_assert(wireCrc(transit) != wireCrc(e));
+        ++stCrcRetries_;
+        ++failures;
+    }
+    if (plan_ && plan_->fire(FaultClass::TraceDrop)) {
+        // The packet vanishes; the sender's ack timeout retransmits it.
+        ++stDropRetransmits_;
+        ++failures;
+    }
+    if (failures)
+        chargeRetries(failures, "trace-packet");
+
+    // The (re)transmitted original arrives intact.
+    tb.push(e);
+
+    if (plan_ && plan_->fire(FaultClass::TraceDup)) {
+        // The copy arrives after the original; the receiver's contiguity
+        // check rejects any IN below the next expected one.
+        fastsim_assert(e.in < tb.expectedNextIn());
+        ++stDupDiscards_;
+    }
+}
+
+} // namespace inject
+} // namespace fastsim

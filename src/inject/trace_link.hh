@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The lossy host link between the FM's trace stream and the TraceBuffer.
+ *
+ * Models the FM→TM edge of the HyperTransport link (paper §4.5) as a
+ * CRC-protected in-order channel with bounded retransmission
+ * (host::LinkRetryPolicy).  With no FaultPlan attached, deliver() is a
+ * plain TraceBuffer::push — the hot path pays one null check.
+ *
+ * Fault semantics (all recovered *below* the TraceBuffer, so the timing
+ * model's input stream — and therefore target timing — is bit-identical
+ * to a fault-free run; only host-time accounting changes):
+ *
+ *   TraceCorrupt — a bit flips in transit; the receiver's CRC rejects the
+ *                  packet and NAKs; the sender retransmits with backoff.
+ *   TraceDrop    — the packet is lost; the sender's ack timeout expires
+ *                  and it retransmits with backoff.
+ *   TraceDup     — the packet is delivered twice; the receiver's
+ *                  contiguity check (expectedNextIn) discards the copy.
+ */
+
+#ifndef FASTSIM_INJECT_TRACE_LINK_HH
+#define FASTSIM_INJECT_TRACE_LINK_HH
+
+#include "base/statistics.hh"
+#include "fm/trace_entry.hh"
+#include "host/link_model.hh"
+#include "inject/fault_plan.hh"
+#include "tm/trace_buffer.hh"
+
+namespace fastsim {
+namespace inject {
+
+class TraceLink
+{
+  public:
+    TraceLink(FaultPlan *plan, const host::LinkRetryPolicy &policy,
+              stats::Group &stats);
+
+    /** Push `e` through the modeled link into the TB (exactly one push). */
+    void deliver(tm::TraceBuffer &tb, const fm::TraceEntry &e);
+
+    /** Test hook: force the next delivery to fail `n` consecutive times
+     *  (proves the bounded-retry fatal path). */
+    void forceFailures(unsigned n) { forcedFailures_ = n; }
+
+  private:
+    void chargeRetries(unsigned failures, const char *why);
+
+    FaultPlan *plan_;
+    host::LinkRetryPolicy policy_;
+    unsigned forcedFailures_ = 0;
+
+    stats::Handle stCrcRetries_;
+    stats::Handle stDropRetransmits_;
+    stats::Handle stDupDiscards_;
+    stats::Handle stRetryNs_;
+};
+
+} // namespace inject
+} // namespace fastsim
+
+#endif // FASTSIM_INJECT_TRACE_LINK_HH

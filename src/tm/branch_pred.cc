@@ -98,6 +98,19 @@ class FixedAccuracyBp : public BranchPredictor
         return {16.0, 0.0};
     }
 
+  protected:
+    void
+    saveState(serialize::Sink &s) const override
+    {
+        s.put<double>(debt_);
+    }
+
+    void
+    restoreState(serialize::Source &s) override
+    {
+        debt_ = s.get<double>();
+    }
+
   private:
     double acc_;
     double debt_ = 0.0;
@@ -194,6 +207,48 @@ class GshareBp : public BranchPredictor
         FpgaCost c = counters.cost() + btb.cost() + ras.cost();
         c.slices += 40; // hashing, muxes
         return c;
+    }
+
+  protected:
+    void
+    saveState(serialize::Sink &s) const override
+    {
+        s.put<std::uint64_t>(counters_.size());
+        s.putBytes(counters_.data(), counters_.size());
+        s.put<std::uint64_t>(btb_.size());
+        for (const BtbEntry &b : btb_) {
+            s.put<std::uint8_t>(b.valid);
+            s.put<Addr>(b.tag);
+            s.put<Addr>(b.target);
+        }
+        s.put<std::uint64_t>(ras_.size());
+        for (Addr a : ras_)
+            s.put<Addr>(a);
+        s.put<std::uint64_t>(rasTop_);
+        s.put<std::uint64_t>(ghr_);
+        s.put<std::uint32_t>(btbRr_);
+    }
+
+    void
+    restoreState(serialize::Source &s) override
+    {
+        s.require(s.get<std::uint64_t>() == counters_.size(),
+                  "gshare geometry mismatch (counters)");
+        s.getBytes(counters_.data(), counters_.size());
+        s.require(s.get<std::uint64_t>() == btb_.size(),
+                  "gshare geometry mismatch (btb)");
+        for (BtbEntry &b : btb_) {
+            b.valid = s.get<std::uint8_t>();
+            b.tag = s.get<Addr>();
+            b.target = s.get<Addr>();
+        }
+        s.require(s.get<std::uint64_t>() == ras_.size(),
+                  "gshare geometry mismatch (ras)");
+        for (Addr &a : ras_)
+            a = s.get<Addr>();
+        rasTop_ = s.get<std::uint64_t>();
+        ghr_ = s.get<std::uint64_t>();
+        btbRr_ = s.get<std::uint32_t>();
     }
 
   private:

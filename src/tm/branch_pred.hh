@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
 #include "fm/trace_entry.hh"
@@ -94,7 +95,32 @@ class BranchPredictor
         correct_ = 0;
     }
 
+    /**
+     * Snapshot support.  The base serializes the accuracy counters; each
+     * stateful predictor overrides saveState/restoreState for its tables
+     * (counters, BTB, RAS, GHR) so a resumed run predicts — and therefore
+     * times — bit-identically to an uninterrupted one.
+     */
+    void
+    save(serialize::Sink &s) const
+    {
+        s.put<std::uint64_t>(branches_);
+        s.put<std::uint64_t>(correct_);
+        saveState(s);
+    }
+
+    void
+    restore(serialize::Source &s)
+    {
+        branches_ = s.get<std::uint64_t>();
+        correct_ = s.get<std::uint64_t>();
+        restoreState(s);
+    }
+
   protected:
+    virtual void saveState(serialize::Sink &) const {}
+    virtual void restoreState(serialize::Source &) {}
+
     void
     record(bool was_correct)
     {

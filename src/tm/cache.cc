@@ -162,5 +162,88 @@ TlbModel::cost() const
     return c;
 }
 
+// --- snapshot support --------------------------------------------------------
+
+void
+CacheLevel::save(serialize::Sink &s) const
+{
+    s.put<std::uint64_t>(lines_.size());
+    for (const Line &l : lines_) {
+        s.put<std::uint8_t>(l.valid);
+        s.put<std::uint64_t>(l.tag);
+    }
+    s.put<std::uint64_t>(lru_.size());
+    for (const LruState &set : lru_) {
+        const auto &order = set.order();
+        s.put<std::uint32_t>(static_cast<std::uint32_t>(order.size()));
+        for (unsigned way : order)
+            s.put<std::uint32_t>(way);
+    }
+    serialize::putGroup(s, stats_);
+}
+
+void
+CacheLevel::restore(serialize::Source &s)
+{
+    s.require(s.get<std::uint64_t>() == lines_.size(),
+              "cache geometry mismatch (lines)");
+    for (Line &l : lines_) {
+        l.valid = s.get<std::uint8_t>();
+        l.tag = s.get<std::uint64_t>();
+    }
+    s.require(s.get<std::uint64_t>() == lru_.size(),
+              "cache geometry mismatch (sets)");
+    for (LruState &set : lru_) {
+        std::vector<unsigned> order(s.get<std::uint32_t>());
+        s.require(order.size() == set.order().size(),
+                  "cache geometry mismatch (ways)");
+        for (unsigned &way : order)
+            way = s.get<std::uint32_t>();
+        set.setOrder(order);
+    }
+    serialize::getGroup(s, stats_);
+}
+
+void
+CacheHierarchy::save(serialize::Sink &s) const
+{
+    l1i_.save(s);
+    l1d_.save(s);
+    l2_.save(s);
+    s.put<Cycle>(iBusyUntil_);
+    s.put<Cycle>(dBusyUntil_);
+    s.put<Cycle>(l2BusyUntil_);
+}
+
+void
+CacheHierarchy::restore(serialize::Source &s)
+{
+    l1i_.restore(s);
+    l1d_.restore(s);
+    l2_.restore(s);
+    iBusyUntil_ = s.get<Cycle>();
+    dBusyUntil_ = s.get<Cycle>();
+    l2BusyUntil_ = s.get<Cycle>();
+}
+
+void
+TlbModel::save(serialize::Sink &s) const
+{
+    s.put<std::uint64_t>(tags_.size());
+    for (std::uint64_t t : tags_)
+        s.put<std::uint64_t>(t);
+    serialize::putGroup(s, stats_);
+}
+
+void
+TlbModel::restore(serialize::Source &s)
+{
+    s.require(s.get<std::uint64_t>() == tags_.size(),
+              "TLB geometry mismatch");
+    for (std::uint64_t &t : tags_)
+        t = s.get<std::uint64_t>();
+    serialize::getGroup(s, stats_);
+}
+
 } // namespace tm
 } // namespace fastsim

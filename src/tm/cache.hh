@@ -21,6 +21,7 @@
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
 #include "tm/primitives.hh"
@@ -76,6 +77,10 @@ class CacheLevel
 
     FpgaCost cost() const;
 
+    /** Snapshot support: tags, LRU orders, stats. */
+    void save(serialize::Sink &s) const;
+    void restore(serialize::Source &s);
+
   private:
     struct Line
     {
@@ -129,6 +134,9 @@ class CacheHierarchy
 
     FpgaCost cost() const;
 
+    void save(serialize::Sink &s) const;
+    void restore(serialize::Source &s);
+
   private:
     CacheAccessResult access(CacheLevel &l1, Cycle &busy_until, PAddr pa,
                              Cycle now);
@@ -161,6 +169,9 @@ class TlbModel
     stats::Group &stats() { return stats_; }
     unsigned hostCycles() const { return 1; }
     FpgaCost cost() const;
+
+    void save(serialize::Sink &s) const;
+    void restore(serialize::Source &s);
 
   private:
     unsigned entries_;

@@ -126,6 +126,128 @@ Core::tick()
     ++stCycles_;
 }
 
+// --- snapshot support --------------------------------------------------------
+
+void
+Core::saveState(serialize::Sink &s) const
+{
+    fastsim_assert(quiescedForSnapshot() && state_.events.empty());
+
+    s.put<Cycle>(state_.cycle);
+    s.put<std::uint64_t>(state_.seqGen);
+    s.put<std::uint64_t>(state_.committedInsts);
+    s.put<std::uint64_t>(state_.committedUops);
+    s.put<InstNum>(state_.nextFetchIn);
+    s.put<Epoch>(state_.expectedEpoch);
+    s.put<Cycle>(state_.fetchBusyUntil);
+    s.put<std::uint8_t>(state_.drainRequested);
+    s.put<std::uint64_t>(state_.bbCount);
+    s.put<std::uint64_t>(state_.intIcacheAcc);
+    s.put<std::uint64_t>(state_.intIcacheHit);
+    s.put<std::uint64_t>(state_.intBranches);
+    s.put<std::uint64_t>(state_.intMispredicts);
+    s.put<std::uint64_t>(state_.intDrainCycles);
+    s.put<std::uint64_t>(state_.intCycles);
+    for (const auto *v :
+         {&state_.aluFreeAt, &state_.buFreeAt, &state_.lsuFreeAt}) {
+        s.put<std::uint32_t>(static_cast<std::uint32_t>(v->size()));
+        for (Cycle c : *v)
+            s.put<Cycle>(c);
+    }
+
+    bp_->save(s);
+    caches_.save(s);
+    itlb_.save(s);
+
+    s.put<HostCycle>(hostCycles_);
+    s.put<std::uint64_t>(lastCommitSample_);
+    s.put<std::uint64_t>(lastFetchSample_);
+    s.put<std::uint64_t>(lastSampleBb_);
+    for (const auto *series : {&sIcache_, &sBp_, &sDrain_}) {
+        const auto &samples = series->samples();
+        s.put<std::uint64_t>(samples.size());
+        for (const auto &sample : samples) {
+            s.put<std::uint64_t>(sample.position);
+            s.put<double>(sample.value);
+        }
+    }
+
+    registry_.saveAll(s);
+    for (const ConnectorBase *c :
+         {static_cast<const ConnectorBase *>(&state_.fetchToDispatch),
+          static_cast<const ConnectorBase *>(&state_.dispatchToIssue),
+          static_cast<const ConnectorBase *>(&state_.execToWriteback),
+          static_cast<const ConnectorBase *>(&state_.writebackToCommit),
+          static_cast<const ConnectorBase *>(&state_.commitToFetch)})
+        serialize::putGroup(s, c->stats());
+}
+
+void
+Core::restoreState(serialize::Source &s)
+{
+    state_.cycle = s.get<Cycle>();
+    state_.seqGen = s.get<std::uint64_t>();
+    state_.committedInsts = s.get<std::uint64_t>();
+    state_.committedUops = s.get<std::uint64_t>();
+    state_.nextFetchIn = s.get<InstNum>();
+    state_.expectedEpoch = s.get<Epoch>();
+    state_.fetchBusyUntil = s.get<Cycle>();
+    state_.drainRequested = s.get<std::uint8_t>();
+    state_.bbCount = s.get<std::uint64_t>();
+    state_.intIcacheAcc = s.get<std::uint64_t>();
+    state_.intIcacheHit = s.get<std::uint64_t>();
+    state_.intBranches = s.get<std::uint64_t>();
+    state_.intMispredicts = s.get<std::uint64_t>();
+    state_.intDrainCycles = s.get<std::uint64_t>();
+    state_.intCycles = s.get<std::uint64_t>();
+    for (auto *v : {&state_.aluFreeAt, &state_.buFreeAt, &state_.lsuFreeAt}) {
+        s.require(s.get<std::uint32_t>() == v->size(),
+                  "functional-unit count mismatch");
+        for (Cycle &c : *v)
+            c = s.get<Cycle>();
+    }
+
+    bp_->restore(s);
+    caches_.restore(s);
+    itlb_.restore(s);
+
+    hostCycles_ = s.get<HostCycle>();
+    lastCommitSample_ = s.get<std::uint64_t>();
+    lastFetchSample_ = s.get<std::uint64_t>();
+    lastSampleBb_ = s.get<std::uint64_t>();
+    for (auto *series : {&sIcache_, &sBp_, &sDrain_}) {
+        std::vector<stats::IntervalSeries::Sample> samples(
+            s.get<std::uint64_t>());
+        for (auto &sample : samples) {
+            sample.position = s.get<std::uint64_t>();
+            sample.value = s.get<double>();
+        }
+        series->setSamples(std::move(samples));
+    }
+
+    registry_.restoreAll(s);
+    for (ConnectorBase *c :
+         {static_cast<ConnectorBase *>(&state_.fetchToDispatch),
+          static_cast<ConnectorBase *>(&state_.dispatchToIssue),
+          static_cast<ConnectorBase *>(&state_.execToWriteback),
+          static_cast<ConnectorBase *>(&state_.writebackToCommit),
+          static_cast<ConnectorBase *>(&state_.commitToFetch)})
+        serialize::getGroup(s, c->stats());
+
+    // In-flight state: a quiesced boundary has none.
+    state_.rob.clear();
+    state_.doneSeqs.clear();
+    state_.retireReady.clear();
+    state_.robUops = 0;
+    state_.rsUsed = 0;
+    state_.lsqUsed = 0;
+    state_.awaitingResteer = false;
+    state_.drainForMispredict = false;
+    state_.serializeInFlight = false;
+    state_.events.clear();
+    state_.rebuildRenameTable();
+}
+
 FpgaCost
 Core::fpgaCost() const
 {

@@ -109,6 +109,41 @@ class Core
         state_.drainRequested = false;
     }
 
+    /** Cancel a drain request without an epoch bump (checkpoint path when
+     *  the FM turned out to have no run-ahead to roll back). */
+    void clearDrainRequest() { state_.drainRequested = false; }
+
+    // In-flight protocol state, exposed for the guardrails' structured
+    // deadlock diagnosis (the no-progress causes live in these flags).
+    bool drainRequested() const { return state_.drainRequested; }
+    bool awaitingResteer() const { return state_.awaitingResteer; }
+    bool serializeInFlight() const { return state_.serializeInFlight; }
+    bool drainForMispredict() const { return state_.drainForMispredict; }
+
+    /**
+     * True when the core is at a clean snapshot boundary: pipeline fully
+     * drained, every connector empty, no resteer/serialize in flight.
+     */
+    bool
+    quiescedForSnapshot() const
+    {
+        return drained() && state_.dispatchToIssue.empty() &&
+               state_.execToWriteback.empty() &&
+               state_.writebackToCommit.empty() &&
+               state_.commitToFetch.empty() && !state_.awaitingResteer &&
+               !state_.drainForMispredict && !state_.serializeInFlight &&
+               state_.robUops == 0;
+    }
+
+    /**
+     * Snapshot support.  Only legal when quiescedForSnapshot(); in-flight
+     * sets (doneSeqs/retireReady) are deliberately not serialized — µop
+     * seqs are globally unique and monotonic (seqGen is serialized), so
+     * stale entries can never alias, and a quiesced boundary has none live.
+     */
+    void saveState(serialize::Sink &s) const;
+    void restoreState(serialize::Source &s);
+
     // --- observation -----------------------------------------------------
     BranchPredictor &bp() { return *bp_; }
     const BranchPredictor &bp() const { return *bp_; }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
 #include "tm/connector.hh"
@@ -90,7 +91,30 @@ class Module
         return h;
     }
 
+    /**
+     * Snapshot support.  Snapshots are taken only at quiesced commit
+     * boundaries (empty connectors, drained pipeline), so the base
+     * serializes just the statistics group; a module with extra state that
+     * survives a quiesced boundary overrides saveExtra/restoreExtra.
+     */
+    void
+    save(serialize::Sink &s) const
+    {
+        serialize::putGroup(s, stats_);
+        saveExtra(s);
+    }
+
+    void
+    restore(serialize::Source &s)
+    {
+        serialize::getGroup(s, stats_);
+        restoreExtra(s);
+    }
+
   protected:
+    virtual void saveExtra(serialize::Sink &) const {}
+    virtual void restoreExtra(serialize::Source &) {}
+
     /** Charge host (FPGA) cycles for work done this target cycle. */
     void chargeHost(unsigned cycles) { hostThisCycle_ += cycles; }
 
@@ -171,6 +195,28 @@ class ModuleRegistry
         for (const Module *m : modules_)
             v += m->stats().value(name);
         return v;
+    }
+
+    /** Snapshot every module, in registration order. */
+    void
+    saveAll(serialize::Sink &s) const
+    {
+        s.put<std::uint32_t>(static_cast<std::uint32_t>(modules_.size()));
+        for (const Module *m : modules_) {
+            s.putString(m->name());
+            m->save(s);
+        }
+    }
+
+    void
+    restoreAll(serialize::Source &s)
+    {
+        s.require(s.get<std::uint32_t>() == modules_.size(),
+                  "module count mismatch");
+        for (Module *m : modules_) {
+            s.require(s.getString() == m->name(), "module order mismatch");
+            m->restore(s);
+        }
     }
 
     const std::vector<Module *> &modules() const { return modules_; }

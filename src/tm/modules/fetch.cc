@@ -35,18 +35,21 @@ FetchModule::tick(Cycle now)
     // commit raised it; the token completes the fabric hand-shake.
     st_.commitToFetch.drainReady([](const RedirectToken &) {});
 
+    // The mispredict flush is complete once the ROB and front-end pipe are
+    // empty — resolve it even under an external drain request, or the flag
+    // would latch and hold quiescedForSnapshot() false forever.
+    if (st_.drainForMispredict && st_.rob.empty() &&
+        st_.fetchToDispatch.empty())
+        st_.drainForMispredict = false;
+
     if (st_.drainRequested) {
         ++stFetchStallDrainreq_;
         return;
     }
     if (st_.drainForMispredict) {
-        if (st_.rob.empty() && st_.fetchToDispatch.empty()) {
-            st_.drainForMispredict = false;
-        } else {
-            ++st_.intDrainCycles;
-            ++stDrainCycles_;
-            return;
-        }
+        ++st_.intDrainCycles;
+        ++stDrainCycles_;
+        return;
     }
     if (st_.fetchBusyUntil > now) {
         ++stFetchStallIcache_;

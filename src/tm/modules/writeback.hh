@@ -33,6 +33,14 @@ class WritebackModule : public Module
                 {&st_.writebackToCommit, PortDir::Out}};
     }
 
+  protected:
+    /** readyThisCycle_ is transient per-cycle state; a quiesced snapshot
+     *  boundary has nothing in flight, so restore just clears it. */
+    void restoreExtra(serialize::Source &) override
+    {
+        readyThisCycle_.clear();
+    }
+
   private:
     const CoreConfig &cfg_;
     CoreState &st_;

@@ -215,6 +215,16 @@ class LruState
     /** Least-recently-used way (the victim). */
     unsigned victim() const { return order_.front(); }
 
+    /** Recency order, LRU first (snapshot support). */
+    const std::vector<unsigned> &order() const { return order_; }
+
+    void
+    setOrder(const std::vector<unsigned> &order)
+    {
+        fastsim_assert(order.size() == order_.size());
+        order_ = order;
+    }
+
   private:
     std::vector<unsigned> order_;
 };

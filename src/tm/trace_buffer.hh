@@ -96,22 +96,30 @@ class TraceBuffer
      * fetch pointer is clamped (the timing model will see the overwritten
      * entries).  Caller must guarantee the consumer is quiesced (see the
      * file comment).
+     *
+     * @return false iff `in` lies below the committed floor — a resteer
+     * aimed at a deallocated entry, which no legal protocol sequence
+     * produces (resteers always target above the last commit).  Callers
+     * must treat false as corruption and raise a structured FatalError;
+     * silently clamping used to wedge the pipeline with the fetch pointer
+     * below free.
      */
-    void
+    [[nodiscard]] bool
     rewindTo(InstNum in)
     {
         if (!deltaSet_)
-            return;
+            return true;
         const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
         const std::uint64_t f = freeIdx_.load(std::memory_order_relaxed);
         std::uint64_t target = in - delta_;
         if (target >= w)
-            return; // nothing at or above `in`
+            return true; // nothing at or above `in`
         if (target < f)
-            target = f; // everything below is already committed
+            return false; // below the committed floor: corrupt resteer
         writeIdx_.store(target, std::memory_order_release);
         if (fetchIdx_.load(std::memory_order_relaxed) > target)
             fetchIdx_.store(target, std::memory_order_release);
+        return true;
     }
 
     // --- read side (timing model) -----------------------------------------
@@ -151,21 +159,31 @@ class TraceBuffer
     }
 
     // --- commit side -------------------------------------------------------
-    void
+    /**
+     * Release entries at or below the committed IN `in`.
+     *
+     * @return false iff the commit references entries that were never
+     * pushed, or entries the timing model has not fetched — both indicate
+     * a corrupt/reordered Commit command, never a legal protocol state.
+     * Idempotent re-commits (target already released) return true.
+     */
+    [[nodiscard]] bool
     commitTo(InstNum in)
     {
         if (!deltaSet_)
-            return;
+            return false; // commit before any push: corrupt command
         const std::uint64_t f = freeIdx_.load(std::memory_order_relaxed);
         const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
-        std::uint64_t target = in - delta_ + 1; // one past the committed IN
+        const std::uint64_t target = in - delta_ + 1; // one past committed IN
         if (target <= f || in + 1 <= delta_ + f)
-            return; // nothing new to release (second test guards wrap)
+            return true; // nothing new to release (second test guards wrap)
         if (target > w)
-            target = w;
+            return false; // committing entries never pushed: corrupt command
         // Cannot commit unfetched entries.
-        fastsim_assert(target <= fetchIdx_.load(std::memory_order_acquire));
+        if (target > fetchIdx_.load(std::memory_order_acquire))
+            return false;
         freeIdx_.store(target, std::memory_order_release);
+        return true;
     }
 
     std::size_t
@@ -186,6 +204,30 @@ class TraceBuffer
 
     std::size_t capacity() const { return capacity_; }
     bool empty() const { return size() == 0; }
+
+    /** Forget all contents and the IN<->index mapping (snapshot resume;
+     *  single-threaded context only). */
+    void
+    reset()
+    {
+        writeIdx_.store(0, std::memory_order_relaxed);
+        fetchIdx_.store(0, std::memory_order_relaxed);
+        freeIdx_.store(0, std::memory_order_relaxed);
+        delta_ = 0;
+        deltaSet_ = false;
+    }
+
+    /**
+     * IN the next push() must carry (the receiver-side contiguity check
+     * the trace link's duplicate filter uses).  0 until the first push.
+     */
+    InstNum
+    expectedNextIn() const
+    {
+        return deltaSet_
+                   ? delta_ + writeIdx_.load(std::memory_order_relaxed)
+                   : 0;
+    }
 
   private:
     std::size_t capacity_; //!< logical capacity (exact, not rounded)

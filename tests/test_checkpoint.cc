@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Crash-consistent checkpoint/resume (DESIGN.md §10.4).
+ *
+ * The load-bearing property is kill-and-resume equivalence: a run that is
+ * killed after a checkpoint and resumed in a *fresh process image* (here:
+ * a fresh simulator object) must reach the final halt with bit-identical
+ * results — cycles, instructions, the committed-instruction hash chain,
+ * console output, and statistics — compared to an uninterrupted run *with
+ * the same checkpoint cadence* (snapshots happen at drained boundaries,
+ * so enabling them perturbs cycle counts; the cadence is part of the
+ * experiment, exactly like a timer interval).
+ *
+ * The negative paths matter as much: corrupt payloads, truncated files,
+ * and configuration mismatches must be rejected before any state is
+ * touched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "fast/simulator.hh"
+#include "kernel/boot.hh"
+#include "workloads/workloads.hh"
+
+using namespace fastsim;
+
+namespace {
+
+constexpr Cycle MaxCycles = 2000000000ull;
+
+struct CkptCase
+{
+    const char *workload;
+    unsigned scale;
+    Cycle every;
+};
+
+const CkptCase kCases[] = {
+    {"Linux-2.4", 1, 30000},
+    {"164.gzip", 2000, 40000},
+    {"Sweep3D", 500, 25000},
+};
+
+std::string
+ckptPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "fastsim_" + tag + ".ckpt";
+}
+
+fast::FastConfig
+configFor(const CkptCase &c, const std::string &path)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    cfg.guardrails.hashCommits = true;
+    cfg.checkpointEvery = c.every;
+    cfg.checkpointPath = path;
+    return cfg;
+}
+
+kernel::BootImage
+imageFor(const CkptCase &c)
+{
+    const workloads::Workload &w = workloads::byName(c.workload);
+    auto opts = workloads::bootOptionsFor(w, c.scale);
+    opts.timerInterval = 4000;
+    return kernel::buildBootImage(opts);
+}
+
+struct FinalState
+{
+    bool finished;
+    std::uint64_t cycles;
+    std::uint64_t insts;
+    std::uint64_t commitHash;
+    std::uint64_t checkpoints;
+    std::string console;
+};
+
+FinalState
+finalOf(fast::FastSimulator &sim, const fast::RunResult &r)
+{
+    return {r.finished,
+            static_cast<std::uint64_t>(r.cycles),
+            r.insts,
+            sim.commitHash(),
+            sim.stats().counter("checkpoints_taken"),
+            sim.fm().console().output()};
+}
+
+class KillAndResume : public ::testing::TestWithParam<CkptCase>
+{
+};
+
+TEST_P(KillAndResume, BitIdenticalToUninterruptedRun)
+{
+    const CkptCase &c = GetParam();
+
+    // Reference: uninterrupted run with the same checkpoint cadence.
+    const std::string refPath = ckptPath(std::string(c.workload) + "_ref");
+    fast::FastSimulator ref(configFor(c, refPath));
+    ref.boot(imageFor(c));
+    const FinalState want = finalOf(ref, ref.run(MaxCycles));
+    ASSERT_TRUE(want.finished);
+    ASSERT_GE(want.checkpoints, 2u) << "cadence too coarse to test resume";
+
+    // Victim: run only far enough to write the first checkpoint, then
+    // "crash" (the simulator object is simply abandoned).
+    const std::string path = ckptPath(std::string(c.workload) + "_kill");
+    std::remove(path.c_str());
+    {
+        fast::FastSimulator victim(configFor(c, path));
+        victim.boot(imageFor(c));
+        Cycle bound = c.every + 1;
+        while (victim.stats().counter("checkpoints_taken") == 0) {
+            ASSERT_LT(bound, MaxCycles);
+            victim.run(bound);
+            bound += c.every;
+        }
+    }
+
+    // Resume in a fresh simulator: boot the same image (re-creating the
+    // un-serialized environment), then overwrite machine state from the
+    // snapshot and run to completion.
+    fast::FastSimulator resumed(configFor(c, path));
+    resumed.boot(imageFor(c));
+    resumed.resumeFrom(path);
+    const FinalState got = finalOf(resumed, resumed.run(MaxCycles));
+
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.insts, want.insts);
+    EXPECT_EQ(got.commitHash, want.commitHash)
+        << "committed-instruction hash chain diverged after resume";
+    EXPECT_EQ(got.checkpoints, want.checkpoints);
+    EXPECT_EQ(got.console, want.console);
+
+    std::remove(refPath.c_str());
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KillAndResume, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<CkptCase> &info) {
+        std::string n = info.param.workload;
+        for (char &ch : n)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n;
+    });
+
+// A checkpoint written mid-run must also resume correctly when the victim
+// is killed *between* checkpoints (the snapshot on disk is older than the
+// crash point) — the resumed run re-executes the gap deterministically.
+TEST(Checkpoint, ResumeFromStaleSnapshotReplaysTheGap)
+{
+    const CkptCase c = kCases[0];
+    const std::string path = ckptPath("stale");
+    std::remove(path.c_str());
+
+    fast::FastSimulator ref(configFor(c, ckptPath("stale_ref")));
+    ref.boot(imageFor(c));
+    const FinalState want = finalOf(ref, ref.run(MaxCycles));
+
+    {
+        fast::FastSimulator victim(configFor(c, path));
+        victim.boot(imageFor(c));
+        // Run well past the first checkpoint, into the second interval.
+        while (victim.stats().counter("checkpoints_taken") < 1)
+            victim.run(victim.core().cycle() + c.every);
+        victim.run(victim.core().cycle() + c.every / 2); // the "gap"
+    }
+
+    fast::FastSimulator resumed(configFor(c, path));
+    resumed.boot(imageFor(c));
+    resumed.resumeFrom(path);
+    const FinalState got = finalOf(resumed, resumed.run(MaxCycles));
+
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.commitHash, want.commitHash);
+    EXPECT_EQ(got.console, want.console);
+
+    std::remove(path.c_str());
+    std::remove(ckptPath("stale_ref").c_str());
+}
+
+TEST(Checkpoint, CorruptPayloadRejected)
+{
+    const CkptCase c = kCases[0];
+    const std::string path = ckptPath("corrupt");
+    {
+        fast::FastSimulator sim(configFor(c, path));
+        sim.boot(imageFor(c));
+        while (sim.stats().counter("checkpoints_taken") == 0)
+            sim.run(sim.core().cycle() + c.every);
+    }
+
+    // Flip one byte deep in the payload.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    int b = std::fgetc(f);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(b ^ 0x01, f);
+    std::fclose(f);
+
+    fast::FastSimulator resumed(configFor(c, path));
+    resumed.boot(imageFor(c));
+    EXPECT_THROW(resumed.resumeFrom(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileRejected)
+{
+    const std::string path = ckptPath("trunc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[8] = {0};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+
+    const CkptCase c = kCases[0];
+    fast::FastSimulator sim(configFor(c, path));
+    sim.boot(imageFor(c));
+    EXPECT_THROW(sim.resumeFrom(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ConfigMismatchRejected)
+{
+    const CkptCase c = kCases[0];
+    const std::string path = ckptPath("mismatch");
+    {
+        fast::FastSimulator sim(configFor(c, path));
+        sim.boot(imageFor(c));
+        while (sim.stats().counter("checkpoints_taken") == 0)
+            sim.run(sim.core().cycle() + c.every);
+    }
+
+    fast::FastConfig other = configFor(c, path);
+    other.traceBufferEntries = 128; // fingerprint-relevant difference
+    fast::FastSimulator resumed(other);
+    resumed.boot(imageFor(c));
+    EXPECT_THROW(resumed.resumeFrom(path), FatalError);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Fault injection at the FM<->TM boundary (DESIGN.md §10): the seeded
+ * FaultPlan, the lossy trace link, the runtime guardrails, and the
+ * protocol corner cases the fault campaign provokes — exception refetch
+ * mid-drain, a resteer racing a timer injection, trace-buffer-full during
+ * a §3.4 freeze, and an injected FM deadlock that the parallel runner
+ * must survive by degrading to coupled mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/logging.hh"
+#include "fast/guardrails.hh"
+#include "fast/parallel.hh"
+#include "fast/simulator.hh"
+#include "inject/fault_plan.hh"
+#include "inject/trace_link.hh"
+#include "isa/assembler.hh"
+#include "kernel/boot.hh"
+#include "tm/trace_buffer.hh"
+#include "workloads/workloads.hh"
+
+using namespace fastsim;
+
+namespace {
+
+constexpr Cycle MaxCycles = 2000000000ull;
+
+// ---------------------------------------------------------------------------
+// FaultPlan: seeded determinism and guaranteed firing.
+
+TEST(FaultPlan, SameSeedReplaysIdentically)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.seed = 42;
+    cfg.window = 50;
+    cfg.enableClass(inject::FaultClass::TraceCorrupt);
+    cfg.enableClass(inject::FaultClass::CmdDrop);
+
+    inject::FaultPlan a(cfg), b(cfg);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.fire(inject::FaultClass::TraceCorrupt),
+                  b.fire(inject::FaultClass::TraceCorrupt));
+        EXPECT_EQ(a.fire(inject::FaultClass::CmdDrop),
+                  b.fire(inject::FaultClass::CmdDrop));
+    }
+    EXPECT_EQ(a.totalInjected(), b.totalInjected());
+    EXPECT_GT(a.totalInjected(), 0u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.window = 1000;
+    cfg.enableClass(inject::FaultClass::TraceDrop);
+
+    cfg.seed = 1;
+    inject::FaultPlan a(cfg);
+    cfg.seed = 2;
+    inject::FaultPlan b(cfg);
+
+    bool diverged = false;
+    for (int i = 0; i < 5000 && !diverged; ++i)
+        diverged = a.fire(inject::FaultClass::TraceDrop) !=
+                   b.fire(inject::FaultClass::TraceDrop);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, EveryEnabledClassFiresWithinTwoWindows)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.window = 100;
+    for (unsigned c = 0; c < inject::NumFaultClasses; ++c)
+        cfg.enable[c] = true;
+
+    inject::FaultPlan plan(cfg);
+    for (unsigned c = 0; c < inject::NumFaultClasses; ++c) {
+        const auto cls = static_cast<inject::FaultClass>(c);
+        for (int i = 0; i < 200; ++i)
+            (void)plan.fire(cls);
+        EXPECT_GT(plan.injected(cls), 0u) << inject::faultClassName(cls);
+        EXPECT_EQ(plan.opportunities(cls), 200u);
+    }
+}
+
+TEST(FaultPlan, DisabledClassNeverFires)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.window = 1;
+    cfg.enableClass(inject::FaultClass::TraceDrop);
+    inject::FaultPlan plan(cfg);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(plan.fire(inject::FaultClass::CmdDup));
+    EXPECT_EQ(plan.injected(inject::FaultClass::CmdDup), 0u);
+}
+
+TEST(FaultPlan, MaxPerClassBoundsTheCampaign)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.window = 10;
+    cfg.maxPerClass = 3;
+    cfg.enableClass(inject::FaultClass::TraceCorrupt);
+    inject::FaultPlan plan(cfg);
+    for (int i = 0; i < 10000; ++i)
+        (void)plan.fire(inject::FaultClass::TraceCorrupt);
+    EXPECT_EQ(plan.injected(inject::FaultClass::TraceCorrupt), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceLink: every link fault is resolved below the TraceBuffer.
+
+fm::TraceEntry
+entryFor(InstNum in)
+{
+    fm::TraceEntry e;
+    e.in = in;
+    e.pc = 0x1000 + static_cast<Addr>(in) * 4;
+    return e;
+}
+
+TEST(TraceLink, LinkFaultsNeverReachTheTraceBuffer)
+{
+    inject::FaultPlanConfig cfg;
+    cfg.window = 4; // aggressive: faults on most deliveries
+    cfg.enableClass(inject::FaultClass::TraceCorrupt);
+    cfg.enableClass(inject::FaultClass::TraceDrop);
+    cfg.enableClass(inject::FaultClass::TraceDup);
+    inject::FaultPlan plan(cfg);
+
+    stats::Group stats("link_test");
+    inject::TraceLink link(&plan, host::LinkRetryPolicy{}, stats);
+    tm::TraceBuffer tb(512);
+
+    for (InstNum in = 1; in <= 400; ++in)
+        link.deliver(tb, entryFor(in));
+
+    // The TM-visible stream is bit-identical to the fault-free stream.
+    ASSERT_EQ(tb.unfetched(), 400u);
+    for (InstNum in = 1; in <= 400; ++in) {
+        const fm::TraceEntry got = tb.takeFetch();
+        EXPECT_EQ(got.in, in);
+        EXPECT_EQ(got.pc, 0x1000 + static_cast<Addr>(in) * 4);
+    }
+    EXPECT_EQ(tb.peekFetch(), nullptr);
+    EXPECT_GT(plan.totalInjected(), 0u);
+    EXPECT_GT(stats.value("link_crc_retries"), 0u);
+    EXPECT_GT(stats.value("link_drop_retransmits"), 0u);
+    EXPECT_GT(stats.value("link_dup_discards"), 0u);
+    EXPECT_GT(stats.value("link_retry_ns"), 0u);
+}
+
+TEST(TraceLink, BoundedRetryExhaustionIsFatal)
+{
+    stats::Group stats("link_test");
+    host::LinkRetryPolicy policy;
+    inject::TraceLink link(nullptr, policy, stats);
+    tm::TraceBuffer tb(16);
+
+    // At the bound: recovers (and charges host-time for every attempt).
+    link.forceFailures(policy.maxRetries);
+    link.deliver(tb, entryFor(1));
+    EXPECT_EQ(tb.unfetched(), 1u);
+    EXPECT_GT(stats.value("link_retry_ns"), 0u);
+
+    // One past the bound: the link is declared down.
+    link.forceFailures(policy.maxRetries + 1);
+    EXPECT_THROW(link.deliver(tb, entryFor(2)), FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer: the [[nodiscard]] failure paths callers must propagate.
+
+TEST(TraceBufferFaults, CommitBeforeAnyPushIsCorrupt)
+{
+    tm::TraceBuffer tb(8);
+    EXPECT_FALSE(tb.commitTo(1));
+}
+
+TEST(TraceBufferFaults, RewindBelowCommittedFloorIsCorrupt)
+{
+    tm::TraceBuffer tb(8);
+    for (InstNum in = 1; in <= 4; ++in)
+        tb.push(entryFor(in));
+    (void)tb.takeFetch();
+    (void)tb.takeFetch();
+    ASSERT_TRUE(tb.commitTo(2));
+    EXPECT_FALSE(tb.rewindTo(1)); // below the released floor
+    EXPECT_TRUE(tb.rewindTo(3));  // at/above the floor is legal
+}
+
+TEST(TraceBufferFaults, CommitOfUnfetchedOrUnpushedIsCorrupt)
+{
+    tm::TraceBuffer tb(8);
+    for (InstNum in = 1; in <= 4; ++in)
+        tb.push(entryFor(in));
+    (void)tb.takeFetch();
+    EXPECT_FALSE(tb.commitTo(3)); // 2..3 not fetched yet
+    EXPECT_FALSE(tb.commitTo(9)); // never pushed
+    EXPECT_TRUE(tb.commitTo(1));
+    EXPECT_TRUE(tb.commitTo(1)); // idempotent re-commit
+}
+
+// ---------------------------------------------------------------------------
+// Guardrails: watchdog poll semantics.
+
+TEST(Guardrails, WatchdogFiresOncePerStallAndRearmsOnProgress)
+{
+    fast::GuardrailConfig cfg;
+    cfg.watchdogBudget = 5;
+    stats::Group stats("guard_test");
+    fast::Guardrails g(cfg, stats);
+
+    EXPECT_FALSE(g.notePoll(10)); // first observation registers progress
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(g.notePoll(10));
+    EXPECT_TRUE(g.notePoll(10)); // fires exactly when the budget is spent
+    EXPECT_TRUE(g.watchdogFired());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(g.notePoll(10)); // latched: no re-fire while stalled
+    EXPECT_EQ(stats.value("watchdog_fires"), 1u);
+
+    EXPECT_FALSE(g.notePoll(11)); // progress re-arms
+    EXPECT_FALSE(g.watchdogFired());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(g.notePoll(11));
+    EXPECT_TRUE(g.notePoll(11));
+    EXPECT_EQ(stats.value("watchdog_fires"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// System-level fault scenarios (the satellite trio).
+
+struct Final
+{
+    bool finished;
+    std::uint64_t cycles;
+    std::uint64_t insts;
+    std::uint64_t commitHash;
+    std::string console;
+    std::uint64_t refetches;
+    std::uint64_t timerIrqs;
+    std::uint64_t tbFullStalls;
+};
+
+/** Default scenario image: Linux-2.4 with dense timer injections. */
+kernel::BootImage
+linuxImage()
+{
+    const workloads::Workload &w = workloads::byName("Linux-2.4");
+    auto opts = workloads::bootOptionsFor(w, 1);
+    opts.timerInterval = 1000; // dense injections: more protocol races
+    return kernel::buildBootImage(opts);
+}
+
+/** A long timer-interrupted loop that ends in a divide-by-zero: the #DE
+ *  trap forces an exception refetch while drains are in flight, then the
+ *  kernel trap handler prints and exits. */
+kernel::BootImage
+trapImage()
+{
+    kernel::BuildOptions opts;
+    opts.userProgram = [](isa::Assembler &u) {
+        using namespace isa;
+        u.movri(R2, 20000);
+        Label top = u.here();
+        u.addri(R5, 3);
+        u.movrr(R0, R5);
+        u.andri(R0, 0xFF);
+        u.decr(R2);
+        u.jcc(CondNZ, top);
+        u.movri(R0, 10);
+        u.movri(R1, 0);
+        u.idivrr(R0, R1); // #DE -> kernel trap handler prints and halts
+        u.movri(R3, kernel::SysExit);
+        u.intn(VecSyscall);
+    };
+    opts.timerInterval = 1000;
+    opts.bootDiskReads = 0;
+    return kernel::buildBootImage(opts);
+}
+
+Final
+runCoupled(const std::function<void(fast::FastConfig &)> &tweak,
+           const kernel::BootImage &image)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    cfg.guardrails.hashCommits = true;
+    tweak(cfg);
+    fast::FastSimulator sim(cfg);
+
+    sim.boot(image);
+    const fast::RunResult r = sim.run(MaxCycles);
+
+    Final f;
+    f.finished = r.finished;
+    f.cycles = r.cycles;
+    f.insts = r.insts;
+    f.commitHash = sim.commitHash();
+    f.console = sim.fm().console().output();
+    f.refetches = sim.stats().value("exception_refetches");
+    f.timerIrqs = sim.stats().value("timer_interrupts");
+    f.tbFullStalls = sim.stats().value("fm_stall_tb_full");
+    return f;
+}
+
+/** Exception refetch racing a drain: dense timer injections force drains
+ *  while the workload's exceptions force refetches; with trace faults the
+ *  refetched entries cross the lossy link.  Link faults are resolved
+ *  below the TraceBuffer, so recovery must be bit-identical — cycles,
+ *  instructions, commit hash chain, and console. */
+TEST(ProtocolFaults, ExceptionRefetchMidDrainRecoversBitIdentically)
+{
+    const kernel::BootImage image = trapImage();
+    const Final ref = runCoupled([](fast::FastConfig &) {}, image);
+    ASSERT_TRUE(ref.finished);
+    ASSERT_GT(ref.refetches, 0u) << "scenario must exercise refetch";
+    ASSERT_GT(ref.timerIrqs, 0u) << "scenario must exercise drains";
+
+    const Final got = runCoupled(
+        [](fast::FastConfig &cfg) {
+            cfg.faults.seed = 7;
+            cfg.faults.window = 2000;
+            cfg.faults.enableClass(inject::FaultClass::TraceDrop);
+            cfg.faults.enableClass(inject::FaultClass::TraceCorrupt);
+        },
+        image);
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, ref.cycles);
+    EXPECT_EQ(got.insts, ref.insts);
+    EXPECT_EQ(got.commitHash, ref.commitHash);
+    EXPECT_EQ(got.console, ref.console);
+}
+
+/** Duplicated and dropped resteer/inject commands racing dense timer
+ *  injections: the command channel's apply-once + dedup guards must keep
+ *  the FM/TM epochs paired, verified continuously by the cross-check. */
+TEST(ProtocolFaults, ResteerRacingTimerInjectWithFaultyCommandChannel)
+{
+    const kernel::BootImage image = trapImage();
+    const Final ref = runCoupled([](fast::FastConfig &) {}, image);
+    ASSERT_TRUE(ref.finished);
+    ASSERT_GT(ref.timerIrqs, 0u) << "scenario must exercise timer injects";
+
+    const Final got = runCoupled(
+        [](fast::FastConfig &cfg) {
+            cfg.faults.seed = 11;
+            cfg.faults.window = 500;
+            cfg.faults.enableClass(inject::FaultClass::CmdDup);
+            cfg.faults.enableClass(inject::FaultClass::CmdDrop);
+            cfg.guardrails.crossCheckEveryCommits = 5000;
+        },
+        image);
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, ref.cycles);
+    EXPECT_EQ(got.insts, ref.insts);
+    EXPECT_EQ(got.commitHash, ref.commitHash);
+    EXPECT_EQ(got.console, ref.console);
+}
+
+/** Trace-buffer-full during the §3.4 freeze: a tiny buffer guarantees the
+ *  FM is flow-controlled while drains and injections are in progress.
+ *  Target timing legitimately shifts (the run-ahead is throttled), so the
+ *  invariant is functional: the run finishes and the console matches. */
+TEST(ProtocolFaults, TraceBufferFullDuringFreeze)
+{
+    const kernel::BootImage image = trapImage();
+    const Final ref = runCoupled([](fast::FastConfig &) {}, image);
+    const Final got = runCoupled(
+        [](fast::FastConfig &cfg) {
+            cfg.traceBufferEntries = 8; // constant back-pressure
+        },
+        image);
+    EXPECT_TRUE(got.finished);
+    EXPECT_GT(got.tbFullStalls, 0u) << "scenario must exercise TB-full";
+    EXPECT_GT(got.timerIrqs, 0u) << "freezes must still happen";
+    EXPECT_EQ(got.console, ref.console);
+}
+
+/** Injected permanent FM stall in the parallel runner: the watchdog must
+ *  fire, the runner must degrade to coupled mode instead of hanging, and
+ *  the degraded run must still finish with the reference console. */
+TEST(ProtocolFaults, ParallelDeadlockDegradesToCoupledAndFinishes)
+{
+    const Final ref = runCoupled([](fast::FastConfig &) {}, linuxImage());
+    ASSERT_TRUE(ref.finished);
+
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    cfg.guardrails.hashCommits = true;
+    cfg.faults.seed = 3;
+    cfg.faults.window = 2000;
+    cfg.faults.stallSteps = ~0ull; // a true deadlock: the FM never resumes
+    cfg.faults.enableClass(inject::FaultClass::FmStall);
+    cfg.guardrails.watchdogBudget = 20000;
+    cfg.guardrails.degradeOnWatchdog = true;
+
+    fast::ParallelFastSimulator sim(cfg);
+    sim.boot(linuxImage());
+    const fast::RunResult r = sim.run(MaxCycles);
+
+    EXPECT_TRUE(r.finished);
+    EXPECT_TRUE(sim.degraded());
+    EXPECT_GE(sim.stats().value("watchdog_fires"), 1u);
+    EXPECT_EQ(sim.stats().value("degraded_to_coupled"), 1u);
+    EXPECT_EQ(sim.fm().console().output(), ref.console);
+    EXPECT_FALSE(sim.guardrails().lastDiagnosis().empty());
+    EXPECT_NE(sim.guardrails().lastDiagnosis().find("connector occupancies"),
+              std::string::npos);
+}
+
+} // namespace

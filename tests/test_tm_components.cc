@@ -480,7 +480,7 @@ TEST(TraceBufferTest, PushFetchCommitFlow)
     EXPECT_EQ(tb.peekFetch()->in, 1u);
     EXPECT_EQ(tb.takeFetch().in, 1u);
     EXPECT_EQ(tb.takeFetch().in, 2u);
-    tb.commitTo(2);
+    EXPECT_TRUE(tb.commitTo(2));
     EXPECT_EQ(tb.size(), 3u);
     EXPECT_EQ(tb.peekFetch()->in, 3u);
 }
@@ -494,7 +494,7 @@ TEST(TraceBufferTest, FullAndFlowControl)
     EXPECT_TRUE(tb.full());
     tb.takeFetch();
     EXPECT_TRUE(tb.full()); // fetch does not free space (Fig. 1)
-    tb.commitTo(1);
+    EXPECT_TRUE(tb.commitTo(1));
     EXPECT_FALSE(tb.full()); // commit does
 }
 
@@ -506,7 +506,7 @@ TEST(TraceBufferTest, RewindOverwritesWrongPath)
     tb.takeFetch(); // 1
     tb.takeFetch(); // 2
     // Mispredict after IN 2: overwrite 3..6 with wrong-path entries.
-    tb.rewindTo(3);
+    EXPECT_TRUE(tb.rewindTo(3));
     EXPECT_EQ(tb.size(), 2u);
     tb.push(tbEntry(3, 1));
     tb.push(tbEntry(4, 1));
@@ -521,7 +521,7 @@ TEST(TraceBufferTest, RewindClampsFetchPointer)
         tb.push(tbEntry(i));
     for (int k = 0; k < 5; ++k)
         tb.takeFetch();
-    tb.rewindTo(3);
+    EXPECT_TRUE(tb.rewindTo(3));
     // Fetch pointer clamped to the new end.
     EXPECT_EQ(tb.unfetched(), 0u);
     tb.push(tbEntry(3, 1));

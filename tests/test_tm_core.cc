@@ -268,7 +268,7 @@ TEST(TmCore, MispredictEmitsProtocolEvents)
     EXPECT_GT(core.stats().value("squashed_insts"), 0u);
 
     // Correct-path entries at epoch 2 commit; wrong-path work never does.
-    tb.rewindTo(3);
+    ASSERT_TRUE(tb.rewindTo(3));
     EntryMaker right(0x2000);
     right.resteer(3, 2, 0x2000);
     std::vector<InstNum> committed;
@@ -299,7 +299,7 @@ TEST(TmCore, StaleEpochEntriesDropped)
     // New entries at epoch 1 replace the stale one.
     EntryMaker fresh(0x9000);
     fresh.resteer(core.nextFetchIn(), 1, 0x9000);
-    tb.rewindTo(core.nextFetchIn());
+    ASSERT_TRUE(tb.rewindTo(core.nextFetchIn()));
     tb.push(fresh.alu());
     tb.push(fresh.alu());
     runUntilCommitted(core, 3);
@@ -407,7 +407,7 @@ TEST(TmCore, ExceptionRefetchWhileDrainRequested)
     // Inject: the runner resteers the producer at IN 3 and the pipeline
     // resumes with handler entries on the new epoch.
     core.noteResteer();
-    tb.rewindTo(core.nextFetchIn());
+    ASSERT_TRUE(tb.rewindTo(core.nextFetchIn()));
     EntryMaker handler(0x8000);
     handler.resteer(3, core.expectedEpoch(), 0x8000);
     tb.push(handler.alu());
@@ -468,7 +468,7 @@ TEST(TmCore, DrainRequestDuringMispredictResteerStillResolves)
 
     // Injection proceeds at the branch's resolved successor.
     core.noteResteer();
-    tb.rewindTo(core.nextFetchIn());
+    ASSERT_TRUE(tb.rewindTo(core.nextFetchIn()));
     EntryMaker right(0x2000);
     right.resteer(core.nextFetchIn(), core.expectedEpoch(), 0x2000);
     tb.push(right.alu());

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * fault_campaign: the seeded fault-injection soak driver (DESIGN.md §10.5).
+ *
+ * Sweeps (workload × fault class × seed) and verifies, per run, that the
+ * simulator *recovers* — not merely survives:
+ *
+ *  - coupled-runner fault classes (trace link, command channel, spurious
+ *    device misfires) must be recovered below the timing model, so every
+ *    externally visible result — cycle count, committed instructions, the
+ *    committed-instruction hash chain, console output — is bit-identical
+ *    to the fault-free reference run;
+ *  - the parallel-only FmStall class must preserve functional results
+ *    (console output, completion); cycle counts are exempt, as for any
+ *    parallel run (host-scheduling-dependent interrupt timing);
+ *  - injected deadlocks (an unbounded FmStall) must trip the progress
+ *    watchdog on every run; with degradation enabled the run must then
+ *    complete in coupled mode with the reference console output.
+ *
+ * Every run also asserts the plan actually injected (fire-at-opportunity
+ * scheduling guarantees this for runs longer than the window) — a campaign
+ * that silently injects nothing is a configuration bug, not a pass.
+ *
+ * Output: a JSON artifact (--json PATH, default fault_campaign.json) with
+ * one record per run, for the CI nightly soak to archive.  Exit status is
+ * nonzero iff any run failed.
+ *
+ * --smoke shrinks the matrix for the tier-1 suite; the full matrix
+ * (>= 200 runs) is the nightly configuration.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "fast/parallel.hh"
+#include "fast/simulator.hh"
+#include "kernel/boot.hh"
+#include "workloads/workloads.hh"
+
+using namespace fastsim;
+
+namespace {
+
+constexpr Cycle MaxCycles = 2000000000ull;
+
+struct CampaignWorkload
+{
+    const char *name;
+    unsigned scale;
+};
+
+// Small scales: the campaign cares about protocol coverage, not IPC.
+const CampaignWorkload kWorkloads[] = {
+    {"Linux-2.4", 1},  {"164.gzip", 2000},    {"181.mcf", 600},
+    {"255.vortex", 1000}, {"Sweep3D", 500},
+};
+
+const inject::FaultClass kCoupledClasses[] = {
+    inject::FaultClass::TraceCorrupt, inject::FaultClass::TraceDrop,
+    inject::FaultClass::TraceDup,     inject::FaultClass::CmdDrop,
+    inject::FaultClass::CmdDup,       inject::FaultClass::SpuriousTimer,
+    inject::FaultClass::SpuriousDisk,
+};
+
+struct Reference
+{
+    bool finished = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t commitHash = 0;
+    std::string console;
+};
+
+struct RunRecord
+{
+    std::string workload;
+    std::string mode; //!< "coupled", "parallel", "deadlock"
+    std::string faultClass;
+    std::uint64_t seed = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t watchdogFires = 0;
+    bool degraded = false;
+    bool pass = false;
+    std::string detail;
+};
+
+fast::FastConfig
+baseConfig()
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    cfg.guardrails.hashCommits = true;
+    return cfg;
+}
+
+kernel::BootImage
+imageFor(const CampaignWorkload &cw)
+{
+    const workloads::Workload &w = workloads::byName(cw.name);
+    auto opts = workloads::bootOptionsFor(w, cw.scale);
+    opts.timerInterval = 4000; // exercise the §3.4 injection path
+    return kernel::buildBootImage(opts);
+}
+
+Reference
+coupledReference(const CampaignWorkload &cw)
+{
+    fast::FastSimulator sim(baseConfig());
+    sim.boot(imageFor(cw));
+    const fast::RunResult r = sim.run(MaxCycles);
+    Reference ref;
+    ref.finished = r.finished;
+    ref.cycles = r.cycles;
+    ref.insts = r.insts;
+    ref.commitHash = sim.commitHash();
+    ref.console = sim.fm().console().output();
+    return ref;
+}
+
+/** One coupled run with a single fault class armed; recovery must be
+ *  bit-identical to the reference. */
+RunRecord
+coupledFaultRun(const CampaignWorkload &cw, const Reference &ref,
+                inject::FaultClass cls, std::uint64_t seed)
+{
+    RunRecord rec;
+    rec.workload = cw.name;
+    rec.mode = "coupled";
+    rec.faultClass = inject::faultClassName(cls);
+    rec.seed = seed;
+    try {
+        fast::FastConfig cfg = baseConfig();
+        cfg.faults.seed = seed;
+        cfg.faults.window = 5000;
+        cfg.faults.enableClass(cls);
+        fast::FastSimulator sim(cfg);
+        sim.boot(imageFor(cw));
+        const fast::RunResult r = sim.run(MaxCycles);
+
+        rec.injected = sim.faultPlan()->injected(cls);
+        rec.watchdogFires = sim.stats().counter("watchdog_fires");
+        if (!r.finished)
+            rec.detail = "did not finish";
+        else if (rec.injected == 0)
+            rec.detail = "plan injected nothing";
+        else if (static_cast<std::uint64_t>(r.cycles) != ref.cycles ||
+                 r.insts != ref.insts)
+            rec.detail = "cycle/inst divergence from fault-free reference";
+        else if (sim.commitHash() != ref.commitHash)
+            rec.detail = "commit hash chain diverged";
+        else if (sim.fm().console().output() != ref.console)
+            rec.detail = "console output diverged";
+        else
+            rec.pass = true;
+    } catch (const std::exception &e) {
+        rec.detail = std::string("exception: ") + e.what();
+    }
+    return rec;
+}
+
+/** One parallel run with FmStall armed: functional recovery (console,
+ *  completion); cycles exempt (parallel property, parallel.hh). */
+RunRecord
+parallelStallRun(const CampaignWorkload &cw, const Reference &ref,
+                 std::uint64_t seed)
+{
+    RunRecord rec;
+    rec.workload = cw.name;
+    rec.mode = "parallel";
+    rec.faultClass = inject::faultClassName(inject::FaultClass::FmStall);
+    rec.seed = seed;
+    try {
+        fast::FastConfig cfg = baseConfig();
+        cfg.faults.seed = seed;
+        cfg.faults.window = 5000;
+        cfg.faults.stallSteps = 20000;
+        cfg.faults.enableClass(inject::FaultClass::FmStall);
+        fast::ParallelFastSimulator sim(cfg);
+        sim.boot(imageFor(cw));
+        const fast::RunResult r = sim.run(MaxCycles);
+
+        rec.injected = sim.faultPlan()->injected(inject::FaultClass::FmStall);
+        rec.watchdogFires = sim.stats().counter("watchdog_fires");
+        rec.degraded = sim.degraded();
+        if (!r.finished)
+            rec.detail = "did not finish";
+        else if (rec.injected == 0)
+            rec.detail = "plan injected nothing";
+        else if (sim.fm().console().output() != ref.console)
+            rec.detail = "console output diverged";
+        else
+            rec.pass = true;
+    } catch (const std::exception &e) {
+        rec.detail = std::string("exception: ") + e.what();
+    }
+    return rec;
+}
+
+/** An injected deadlock: the FM stalls forever.  The watchdog must fire;
+ *  with degradation the run must still complete with the reference
+ *  console output. */
+RunRecord
+deadlockRun(const CampaignWorkload &cw, const Reference &ref,
+            std::uint64_t seed, bool degrade)
+{
+    RunRecord rec;
+    rec.workload = cw.name;
+    rec.mode = "deadlock";
+    rec.faultClass = degrade ? "FmStall(deadlock,degrade)"
+                             : "FmStall(deadlock,fatal)";
+    rec.seed = seed;
+    try {
+        fast::FastConfig cfg = baseConfig();
+        cfg.faults.seed = seed;
+        cfg.faults.window = 2000;
+        cfg.faults.stallSteps = ~0ull; // never resumes: a true deadlock
+        cfg.faults.enableClass(inject::FaultClass::FmStall);
+        cfg.guardrails.watchdogBudget = 20000;
+        cfg.guardrails.degradeOnWatchdog = degrade;
+        fast::ParallelFastSimulator sim(cfg);
+        sim.boot(imageFor(cw));
+        const fast::RunResult r = sim.run(MaxCycles);
+
+        rec.watchdogFires = sim.stats().counter("watchdog_fires");
+        rec.degraded = sim.degraded();
+        if (!degrade)
+            rec.detail = "expected watchdog fatal, run returned";
+        else if (rec.watchdogFires == 0)
+            rec.detail = "watchdog did not fire";
+        else if (!sim.degraded())
+            rec.detail = "did not degrade to coupled mode";
+        else if (!r.finished)
+            rec.detail = "degraded run did not finish";
+        else if (sim.fm().console().output() != ref.console)
+            rec.detail = "console output diverged after degradation";
+        else
+            rec.pass = true;
+    } catch (const FatalError &e) {
+        // The non-degrading variant must die with the structured
+        // diagnosis; that is the expected recovery report.
+        if (!degrade && std::strstr(e.what(), "watchdog") != nullptr) {
+            rec.watchdogFires = 1;
+            rec.pass = true;
+        } else {
+            rec.detail = std::string("unexpected FatalError: ") + e.what();
+        }
+    } catch (const std::exception &e) {
+        rec.detail = std::string("exception: ") + e.what();
+    }
+    return rec;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\', out += c;
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path, const std::vector<RunRecord> &runs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunRecord &r = runs[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"fault\": \"%s\", \"seed\": %llu, \"injected\": %llu, "
+            "\"watchdog_fires\": %llu, \"degraded\": %s, \"pass\": %s, "
+            "\"detail\": \"%s\"}%s\n",
+            jsonEscape(r.workload).c_str(), r.mode.c_str(),
+            jsonEscape(r.faultClass).c_str(),
+            static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.injected),
+            static_cast<unsigned long long>(r.watchdogFires),
+            r.degraded ? "true" : "false", r.pass ? "true" : "false",
+            jsonEscape(r.detail).c_str(),
+            i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    unsigned seeds = 6;
+    std::string json = "fault_campaign.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--smoke")
+            smoke = true;
+        else if (a == "--seeds" && i + 1 < argc)
+            seeds = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (a == "--json" && i + 1 < argc)
+            json = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: fault_campaign [--smoke] [--seeds N] "
+                         "[--json PATH]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        seeds = 1;
+
+    std::vector<CampaignWorkload> wls(std::begin(kWorkloads),
+                                      std::end(kWorkloads));
+    if (smoke)
+        wls.resize(2);
+
+    std::vector<RunRecord> runs;
+    unsigned failures = 0;
+    auto record = [&](RunRecord rec) {
+        if (!rec.pass) {
+            ++failures;
+            std::fprintf(stderr, "FAIL %s/%s/%s seed=%llu: %s\n",
+                         rec.workload.c_str(), rec.mode.c_str(),
+                         rec.faultClass.c_str(),
+                         static_cast<unsigned long long>(rec.seed),
+                         rec.detail.c_str());
+        }
+        runs.push_back(std::move(rec));
+    };
+
+    for (const CampaignWorkload &cw : wls) {
+        std::printf("== %s (scale %u)\n", cw.name, cw.scale);
+        const Reference ref = coupledReference(cw);
+        if (!ref.finished) {
+            std::fprintf(stderr, "FAIL %s: reference run did not finish\n",
+                         cw.name);
+            ++failures;
+            continue;
+        }
+        for (inject::FaultClass cls : kCoupledClasses)
+            for (unsigned s = 0; s < seeds; ++s)
+                record(coupledFaultRun(cw, ref, cls, 1 + s));
+        for (unsigned s = 0; s < seeds; ++s)
+            record(parallelStallRun(cw, ref, 1 + s));
+        record(deadlockRun(cw, ref, 1, /*degrade=*/true));
+        if (!smoke)
+            record(deadlockRun(cw, ref, 2, /*degrade=*/false));
+    }
+
+    writeJson(json, runs);
+    std::printf("campaign: %zu runs, %u failures -> %s\n", runs.size(),
+                failures, json.c_str());
+    return failures == 0 ? 0 : 1;
+}

@@ -17,6 +17,9 @@ src/fast) for constructs that silently break that property:
           uninitialized field hashes garbage)
   DET004  non-const function-local static (hidden mutable global state
           shared across simulator instances)
+  DET005  discarded TraceBuffer::rewindTo/commitTo result (both are
+          [[nodiscard]] corruption signals; ignoring one turns a detected
+          protocol fault into silent divergence)
 
 Suppression: append "// fastlint: allow(DETnnn)" to the offending line or
 the line above it.
@@ -30,7 +33,7 @@ import os
 import re
 import sys
 
-SCAN_DIRS = ["src/fm", "src/tm", "src/fast"]
+SCAN_DIRS = ["src/fm", "src/tm", "src/fast", "src/inject"]
 SCAN_EXTS = {".hh", ".cc"}
 
 ALLOW_RE = re.compile(r"//\s*fastlint:\s*allow\((DET\d{3})\)")
@@ -71,6 +74,14 @@ MEMBER_RE = re.compile(
 # --- DET004: non-const function-local statics ----------------------------
 DET004_RE = re.compile(
     r"^\s{4,}static\s+(?!const\b|constexpr\b|_Thread_local\b)\w")
+
+# --- DET005: discarded [[nodiscard]] TraceBuffer results ------------------
+# Matches a bare statement-expression call: nothing consumes the bool.
+DET005_RE = re.compile(
+    r"^\s*(?:\(void\)\s*)?[\w\.\->]*\b(?:rewindTo|commitTo)\s*\(.*;")
+DET005_CONSUMED_RE = re.compile(
+    r"(?:\bif\b|\bwhile\b|\breturn\b|[=!&|]|\bassert|EXPECT_|ASSERT_"
+    r"|fastsim_assert)")
 
 
 def allowed(lines, idx, det_id):
@@ -123,6 +134,16 @@ def scan_file(path, text, findings, enum_names):
                              "(order is hash/allocation dependent): %s"
                              % (", ".join(sorted(names & unordered_names)),
                                 line.strip())))
+
+        # DET005: the [[nodiscard]] compiler check covers plain discards,
+        # but an explicit (void) cast silences it — the lint closes that
+        # escape hatch too.
+        if DET005_RE.match(line) and not DET005_CONSUMED_RE.search(line) \
+                and not allowed(lines, idx, "DET005"):
+            findings.append((path, lineno, "DET005",
+                             "discarded rewindTo/commitTo result (a "
+                             "corruption signal; propagate or fatal): "
+                             + line.strip()))
 
         # DET004 (.cc only: indented statics are function-local)
         if path.endswith(".cc") and DET004_RE.search(line) \
@@ -212,6 +233,8 @@ SELF_TEST_CASES = {
     "DET003": ("struct Ev\n{\n    enum class Kind { A, B };\n"
                "    Kind kind;\n    int x;\n};\n"),
     "DET004": ("void f()\n{\n    static int counter;\n    ++counter;\n}\n"),
+    "DET005": ("void f(TraceBuffer &tb)\n{\n"
+               "    (void)tb.rewindTo(3);\n}\n"),
 }
 
 CLEAN_SNIPPET = (
@@ -220,7 +243,10 @@ CLEAN_SNIPPET = (
     "    static const int k = 3;\n"
     "    for (int x : v) use(x, k);\n}\n"
     "std::unordered_set<int> seen;\n"
-    "void g() { for (int x : seen) use(x); } // fastlint: allow(DET002)\n")
+    "void g() { for (int x : seen) use(x); } // fastlint: allow(DET002)\n"
+    "bool h(TraceBuffer &tb)\n{\n"
+    "    if (!tb.rewindTo(3))\n        return false;\n"
+    "    return tb.commitTo(2);\n}\n")
 
 
 def self_test():
