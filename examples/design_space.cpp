@@ -7,22 +7,52 @@
  *   $ ./build/examples/design_space [workload]
  *
  * Runs one SPEC-profile workload over a grid of target configurations
- * (issue width x L2 latency x branch predictor), reporting target IPC,
+ * (issue width x L2 latency x branch predictor, plus an MSHR-depth x
+ * memory-bandwidth grid over the memory fabric), reporting target IPC,
  * the modeled simulation speed on the DRC host, and the FPGA budget each
  * target would need — the three axes an architect trades off.
+ *
+ * Every point is gated on the static verifier first: a configuration
+ * fastlint rejects (combinational loop, undersized buffer, more issue
+ * slots than functional units, ...) is skipped and counted instead of
+ * simulated — the sweep reports how much of the grid was unbuildable.
  */
 
 #include <cstdio>
 #include <string>
 
+#include "analysis/verify.hh"
 #include "fast/perf_model.hh"
 #include "fast/simulator.hh"
 #include "fpga/model.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
 #include "workloads/workloads.hh"
 
 using namespace fastsim;
 
 namespace {
+
+unsigned g_skipped = 0;
+
+/** Static verification gate: true when the configuration is buildable.
+ *  A rejected point is logged with its first finding and counted. */
+bool
+buildable(const fast::FastConfig &cfg, const char *label)
+{
+    tm::TraceBuffer tb(256);
+    tm::Core core(cfg.core, tb);
+    analysis::Report rep;
+    analysis::VerifyOptions opts; // fabric + config checks
+    analysis::verify(core, opts, rep);
+    if (!rep.hasErrors())
+        return true;
+    ++g_skipped;
+    const analysis::Diagnostic &d = rep.diagnostics().front();
+    std::printf("%-28s | skipped: [%s] %s\n", label, d.id.c_str(),
+                d.where.c_str());
+    return false;
+}
 
 double
 runIpc(const workloads::Workload &w, const fast::FastConfig &cfg,
@@ -56,7 +86,10 @@ main(int argc, char **argv)
     std::printf("--------------------------------------------------------"
                 "----------------\n");
 
-    for (unsigned width : {1u, 2u, 4u}) {
+    // issueWidth 16 exceeds the functional units (FAB009): the verifier
+    // rejects it and the sweep skips the whole row instead of simulating
+    // a machine that could never issue that wide.
+    for (unsigned width : {1u, 2u, 4u, 16u}) {
         for (Cycle l2 : {Cycle(8), Cycle(20)}) {
             for (tm::BpKind bp : {tm::BpKind::TwoBit, tm::BpKind::Gshare}) {
                 fast::FastConfig cfg;
@@ -65,6 +98,12 @@ main(int argc, char **argv)
                 cfg.core.caches.l2.hitLatency = l2;
                 cfg.core.bp.kind = bp;
                 cfg.core.statsIntervalBb = 1u << 30;
+                char label[64];
+                std::snprintf(label, sizeof(label), "issue=%u l2=%llu %s",
+                              width, static_cast<unsigned long long>(l2),
+                              tm::bpKindName(bp));
+                if (!buildable(cfg, label))
+                    continue;
                 double mips = 0;
                 const double ipc = runIpc(w, cfg, &mips);
                 auto u = fpga::estimate(cfg.core, fpga::virtex4lx200());
@@ -98,14 +137,62 @@ main(int argc, char **argv)
         p.minLatency = cfg.core.frontEndDepth;
         p.maxTransactions = band * (cfg.core.frontEndDepth + 2);
         cfg.core.fetchToDispatch = p;
+        if (!buildable(cfg, "fetch->dispatch band"))
+            continue;
         double mips = 0;
         const double ipc = runIpc(w, cfg, &mips);
         std::printf("%u wide (%-2u entries)    | %-7.3f\n", band,
                     p.maxTransactions, ipc);
     }
 
+    // The memory fabric is configuration too: MSHR depth and memory-port
+    // bandwidth sweep the same way.  Depth 1 reproduces the blocking
+    // baseline; the last point deliberately under-sizes the l1d->l2
+    // Connector below its MSHR depth — FAB007 rejects it and the sweep
+    // skips it.
+    std::printf("\nmemory-fabric sweep (non-blocking caches)\n");
+    std::printf("%-28s | %-7s\n", "MSHRs / mem interval", "IPC");
+    std::printf("--------------------------------------\n");
+    for (unsigned mshrs : {1u, 4u, 8u}) {
+        for (Cycle interval : {Cycle(0), Cycle(4)}) {
+            fast::FastConfig cfg;
+            cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+            cfg.core.statsIntervalBb = 1u << 30;
+            cfg.core.caches.l1i.blocking = false;
+            cfg.core.caches.l1d.blocking = false;
+            cfg.core.caches.l2.blocking = false;
+            cfg.core.mem.l1iMshrs = mshrs;
+            cfg.core.mem.l1dMshrs = mshrs;
+            cfg.core.mem.l2Mshrs = 2 * mshrs;
+            cfg.core.mem.memServiceInterval = interval;
+            char label[64];
+            std::snprintf(label, sizeof(label),
+                          "mshrs=%u interval=%llu", mshrs,
+                          static_cast<unsigned long long>(interval));
+            if (!buildable(cfg, label))
+                continue;
+            double mips = 0;
+            const double ipc = runIpc(w, cfg, &mips);
+            std::printf("%-28s | %-7.3f\n", label, ipc);
+        }
+    }
+    {
+        fast::FastConfig cfg;
+        cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+        cfg.core.statsIntervalBb = 1u << 30;
+        cfg.core.caches.l1d.blocking = false;
+        cfg.core.mem.l1dMshrs = 8;
+        cfg.core.mem.l1dToL2 = tm::ConnectorParams{1, 1, 1, 2};
+        if (buildable(cfg, "mshrs=8 l1d->l2 cap=2")) {
+            double mips = 0;
+            runIpc(w, cfg, &mips);
+        }
+    }
+
     std::printf("\nEvery configuration reuses the same modules; only "
                 "Connector/Module parameters\nchanged — no new 'RTL' was "
                 "written, and the FPGA budget stays nearly flat.\n");
+    std::printf("%u unbuildable configuration(s) rejected by the static "
+                "verifier before simulation.\n", g_skipped);
     return 0;
 }

@@ -76,8 +76,11 @@ main()
                 static_cast<unsigned long long>(r.insts), r.ipc);
     std::printf("BP accuracy:     %.2f%%\n",
                 100.0 * sim.core().bp().accuracy());
-    std::printf("L1I hit rate:    %.2f%%\n",
-                100.0 * sim.core().caches().l1i().hitRate());
+    const auto &l1i = sim.core().l1i().level();
+    if (l1i.everAccessed())
+        std::printf("L1I hit rate:    %.2f%%\n", 100.0 * l1i.hitRate());
+    else
+        std::printf("L1I hit rate:    n/a (no accesses)\n");
     std::printf("wrong-path runs: %llu (all rolled back)\n",
                 static_cast<unsigned long long>(
                     sim.stats().value("wrong_path_resteers")));

@@ -210,6 +210,96 @@ lintFabric(const FabricGraph &g, Report &report)
 }
 
 void
+lintConfig(const tm::CoreConfig &cfg, Report &report)
+{
+    // FAB007: a bounded memory-fabric edge must be able to buffer every
+    // token its level's MSHR table allows in flight.  The request/fill
+    // connectors carry one token per outstanding miss; if the edge's
+    // maxTransactions is smaller than the effective MSHR depth of the
+    // level that bounds that traffic — or the depth is 0 (unlimited) —
+    // pushes get dropped under load and the fabric-visible traffic
+    // record diverges from the timing computed by the fill walk.
+    const tm::MemTopology mt = resolveMemTopology(cfg);
+    const unsigned l1iDepth =
+        tm::effectiveMshrDepth(cfg.caches.l1i, cfg.mem.l1iMshrs);
+    const unsigned l1dDepth =
+        tm::effectiveMshrDepth(cfg.caches.l1d, cfg.mem.l1dMshrs);
+    const unsigned l2Depth =
+        tm::effectiveMshrDepth(cfg.caches.l2, cfg.mem.l2Mshrs);
+    const struct
+    {
+        const char *edge;
+        const tm::ConnectorParams *params;
+        const char *level;
+        unsigned depth;
+    } memEdges[] = {
+        {"fetch_to_l1i", &mt.fetchToL1i, "l1i", l1iDepth},
+        {"l1i_to_fetch", &mt.l1iToFetch, "l1i", l1iDepth},
+        {"l1i_to_l2", &mt.l1iToL2, "l1i", l1iDepth},
+        {"l2_to_l1i", &mt.l2ToL1i, "l1i", l1iDepth},
+        {"issue_to_l1d", &mt.issueToL1d, "l1d", l1dDepth},
+        {"l1d_to_issue", &mt.l1dToIssue, "l1d", l1dDepth},
+        {"l1d_to_l2", &mt.l1dToL2, "l1d", l1dDepth},
+        {"l2_to_l1d", &mt.l2ToL1d, "l1d", l1dDepth},
+        {"l2_to_mem", &mt.l2ToMem, "l2", l2Depth},
+        {"mem_to_l2", &mt.memToL2, "l2", l2Depth},
+    };
+    for (const auto &e : memEdges) {
+        if (e.params->maxTransactions == 0)
+            continue; // unbounded edge: MSHR depth is the only bound
+        if (e.depth == 0) {
+            report.error(
+                "FAB007", e.edge,
+                std::string("bounded connector (maxTransactions=") +
+                    std::to_string(e.params->maxTransactions) +
+                    ") fed by unlimited outstanding misses of " + e.level +
+                    " (MSHR depth 0): in-flight tokens can exceed the "
+                    "buffer and be dropped; bound the level's MSHR depth "
+                    "at or below the edge capacity");
+        } else if (e.depth > e.params->maxTransactions) {
+            report.error(
+                "FAB007", e.edge,
+                std::string("capacity ") +
+                    std::to_string(e.params->maxTransactions) +
+                    " cannot buffer the " + std::to_string(e.depth) +
+                    " outstanding misses " + e.level +
+                    "'s MSHR table admits: tokens are dropped under load "
+                    "(raise maxTransactions or lower the MSHR depth)");
+        }
+    }
+
+    // FAB008: the writeback -> commit channel carries one completion per
+    // in-flight µop, and the ROB bounds those at robEntries; a bounded
+    // buffer smaller than that drops completions and wedges retirement.
+    const tm::CoreTopology ct = resolveTopology(cfg);
+    const tm::ConnectorParams &wb = ct.writebackToCommit;
+    if (wb.maxTransactions != 0 && wb.maxTransactions < cfg.robEntries)
+        report.error(
+            "FAB008", "writeback_to_commit",
+            "capacity " + std::to_string(wb.maxTransactions) +
+                " is smaller than robEntries " +
+                std::to_string(cfg.robEntries) +
+                ": every in-flight µop can have a completion outstanding, "
+                "so a smaller bounded buffer drops completions and wedges "
+                "retirement");
+
+    // FAB009: more issue slots than functional units can never all
+    // launch in one cycle — the configuration claims bandwidth the
+    // execution resources cannot provide.
+    const unsigned units =
+        cfg.numAlus + cfg.numBranchUnits + cfg.numLoadStoreUnits;
+    if (cfg.issueWidth > units)
+        report.error(
+            "FAB009", "issue",
+            "issueWidth " + std::to_string(cfg.issueWidth) +
+                " exceeds the " + std::to_string(units) +
+                " functional units (" + std::to_string(cfg.numAlus) +
+                " ALU + " + std::to_string(cfg.numBranchUnits) +
+                " branch + " + std::to_string(cfg.numLoadStoreUnits) +
+                " load/store): the extra slots can never launch");
+}
+
+void
 lintFabricCost(const tm::FpgaCost &cost, const fpga::Device &dev,
                Report &report)
 {

@@ -22,6 +22,21 @@
  *           registry's aggregate roll-up assumes disjoint counter names)
  *   FAB006  aggregate FPGA cost exceeds the target device's budget
  *           (lintFabricCost; paper Table 2 / §4.7)
+ *
+ * A second entry point, lintConfig(), checks properties that are only
+ * visible in the CoreConfig — relations between sizing parameters that
+ * the structural graph cannot express:
+ *
+ *   FAB007  bounded memory-fabric edge undersized for the owning cache
+ *           level's MSHR depth (capacity < outstanding misses, or a
+ *           bounded edge fed by an unlimited MSHR table: in-flight
+ *           tokens overflow the buffer and are dropped, so the
+ *           fabric-visible traffic record silently diverges)
+ *   FAB008  writeback -> commit capacity smaller than the ROB (every
+ *           in-flight µop can have a completion outstanding; a smaller
+ *           bounded buffer drops completions and wedges retirement)
+ *   FAB009  issueWidth exceeds the total functional units (the extra
+ *           issue slots can never all launch in one cycle)
  */
 
 #ifndef FASTSIM_ANALYSIS_FABRIC_LINT_HH
@@ -33,6 +48,7 @@
 #include "analysis/diagnostics.hh"
 #include "fpga/model.hh"
 #include "tm/connector.hh"
+#include "tm/core_types.hh"
 #include "tm/module.hh"
 
 namespace fastsim {
@@ -75,6 +91,9 @@ void lintFabric(const FabricGraph &graph, Report &report);
 /** FAB006: check an aggregate cost estimate against a device budget. */
 void lintFabricCost(const tm::FpgaCost &cost, const fpga::Device &dev,
                     Report &report);
+
+/** Run FAB007–FAB009 over the resolved configuration. */
+void lintConfig(const tm::CoreConfig &cfg, Report &report);
 
 } // namespace analysis
 } // namespace fastsim

@@ -13,6 +13,7 @@ verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
     if (opts.fabric) {
         const FabricGraph g = FabricGraph::fromRegistry(core.registry());
         lintFabric(g, report);
+        lintConfig(core.config(), report);
     }
     if (opts.cost) {
         const fpga::Device &dev =

@@ -29,6 +29,7 @@ namespace analysis {
 struct VerifyOptions
 {
     bool fabric = true; //!< FAB001..FAB005 over the module/connector graph
+                        //!< plus FAB007..FAB009 over the configuration
     bool cost = false;  //!< FAB006 against `device`
     bool codec = false; //!< COD001..COD007 over the real FX86 table+codec
     const fpga::Device *device = nullptr; //!< nullptr: Virtex-4 LX200
@@ -38,7 +39,8 @@ struct VerifyOptions
 void verify(const tm::Core &core, const VerifyOptions &opts, Report &report);
 
 /**
- * Construction-time structural check (FAB001..FAB005).  Throws FatalError
+ * Construction-time structural and configuration check (FAB001..FAB005,
+ * FAB007..FAB009).  Throws FatalError
  * (via fatal()) listing every finding if the fabric has errors.
  */
 void verifyFabricOrFatal(const tm::Core &core);

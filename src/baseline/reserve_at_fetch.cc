@@ -5,6 +5,39 @@ namespace baseline {
 
 using ucode::UopKind;
 
+BlockingDataPath::BlockingDataPath(const tm::HierarchyParams &p)
+    : p_(p), l1d_(p.l1d), l2_(p.l2)
+{
+}
+
+tm::CacheAccessResult
+BlockingDataPath::accessData(PAddr pa, Cycle now)
+{
+    tm::CacheAccessResult r;
+    Cycle start = now;
+    if (p_.l1d.blocking && dBusyUntil_ > now)
+        start = dBusyUntil_; // blocking cache: wait for the previous miss
+    r.l1Hit = l1d_.access(pa);
+    Cycle lat = p_.l1d.hitLatency;
+    if (!r.l1Hit) {
+        Cycle l2_start = start + lat;
+        if (p_.l2.blocking && l2BusyUntil_ > l2_start)
+            l2_start = l2BusyUntil_;
+        r.l2Hit = l2_.access(pa);
+        Cycle l2_lat = p_.l2.hitLatency;
+        if (!r.l2Hit)
+            l2_lat += p_.memLatency;
+        if (p_.l2.blocking)
+            l2BusyUntil_ = l2_start + l2_lat;
+        lat = (l2_start + l2_lat) - start;
+        if (p_.l1d.blocking)
+            dBusyUntil_ = start + lat;
+    }
+    r.latency = (start - now) + lat;
+    r.readyAt = now + r.latency;
+    return r;
+}
+
 ReserveAtFetchModel::ReserveAtFetchModel(const RafConfig &cfg)
     : cfg_(cfg), ucode_(ucode::UcodeTable::defaultTable()),
       caches_(cfg.caches)

@@ -36,6 +36,27 @@ struct RafConfig
 };
 
 /**
+ * A minimal blocking L1D + L2 + fixed-delay-memory path, kept local to
+ * the baseline: the reserve-at-fetch strawman deliberately models the
+ * pre-fabric blocking hierarchy, not the Module/Connector memory fabric
+ * (tm/modules/cache_mod.hh) the real core uses.
+ */
+class BlockingDataPath
+{
+  public:
+    explicit BlockingDataPath(const tm::HierarchyParams &p);
+
+    tm::CacheAccessResult accessData(PAddr pa, Cycle now);
+
+  private:
+    tm::HierarchyParams p_;
+    tm::CacheLevel l1d_;
+    tm::CacheLevel l2_;
+    Cycle dBusyUntil_ = 0;
+    Cycle l2BusyUntil_ = 0;
+};
+
+/**
  * In-order, reserve-at-fetch cycle estimator.  Feed it committed trace
  * entries; read cycles() at the end.
  */
@@ -57,7 +78,7 @@ class ReserveAtFetchModel
   private:
     RafConfig cfg_;
     const ucode::UcodeTable &ucode_;
-    tm::CacheHierarchy caches_;
+    BlockingDataPath caches_;
     Cycle cycle_ = 0;
     std::uint64_t insts_ = 0;
     unsigned slotsThisCycle_ = 0;

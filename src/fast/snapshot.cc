@@ -36,7 +36,10 @@ namespace {
 
 // "FSNP" as a little-endian u32.
 constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
-constexpr std::uint32_t SnapshotVersion = 1;
+// v2: the memory hierarchy became registry modules — the payload now
+// carries per-level MSHR tables and the ten memory-fabric connectors,
+// and the fingerprint covers the MemConfig knobs that shape them.
+constexpr std::uint32_t SnapshotVersion = 2;
 
 } // namespace
 
@@ -86,6 +89,14 @@ FastSimulator::configFingerprint() const
     s.put<std::uint8_t>(static_cast<std::uint8_t>(cfg_.core.bp.kind));
     s.put<std::uint32_t>(cfg_.core.bp.historyBits);
     s.put<std::uint64_t>(cfg_.core.statsIntervalBb);
+    s.put<std::uint8_t>(cfg_.core.caches.l1i.blocking ? 1 : 0);
+    s.put<std::uint8_t>(cfg_.core.caches.l1d.blocking ? 1 : 0);
+    s.put<std::uint8_t>(cfg_.core.caches.l2.blocking ? 1 : 0);
+    s.put<Cycle>(cfg_.core.caches.memLatency);
+    s.put<std::uint32_t>(cfg_.core.mem.l1iMshrs);
+    s.put<std::uint32_t>(cfg_.core.mem.l1dMshrs);
+    s.put<std::uint32_t>(cfg_.core.mem.l2Mshrs);
+    s.put<Cycle>(cfg_.core.mem.memServiceInterval);
     return s.checksum();
 }
 

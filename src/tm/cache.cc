@@ -75,59 +75,6 @@ CacheLevel::cost() const
     return c;
 }
 
-// --- CacheHierarchy -----------------------------------------------------------
-
-CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
-    : p_(p), l1i_(p.l1i), l1d_(p.l1d), l2_(p.l2)
-{
-}
-
-CacheAccessResult
-CacheHierarchy::access(CacheLevel &l1, Cycle &busy_until, PAddr pa, Cycle now)
-{
-    CacheAccessResult r;
-    Cycle start = now;
-    if (l1.params().blocking && busy_until > now)
-        start = busy_until; // blocking cache: wait for the previous miss
-    r.l1Hit = l1.access(pa);
-    Cycle lat = l1.params().hitLatency;
-    if (!r.l1Hit) {
-        Cycle l2_start = start + lat;
-        if (p_.l2.blocking && l2BusyUntil_ > l2_start)
-            l2_start = l2BusyUntil_;
-        r.l2Hit = l2_.access(pa);
-        Cycle l2_lat = p_.l2.hitLatency;
-        if (!r.l2Hit)
-            l2_lat += p_.memLatency;
-        if (p_.l2.blocking)
-            l2BusyUntil_ = l2_start + l2_lat;
-        lat = (l2_start + l2_lat) - start;
-        if (l1.params().blocking)
-            busy_until = start + lat;
-    }
-    r.latency = (start - now) + lat;
-    r.readyAt = now + r.latency;
-    return r;
-}
-
-CacheAccessResult
-CacheHierarchy::accessInst(PAddr pa, Cycle now)
-{
-    return access(l1i_, iBusyUntil_, pa, now);
-}
-
-CacheAccessResult
-CacheHierarchy::accessData(PAddr pa, Cycle now)
-{
-    return access(l1d_, dBusyUntil_, pa, now);
-}
-
-FpgaCost
-CacheHierarchy::cost() const
-{
-    return l1i_.cost() + l1d_.cost() + l2_.cost();
-}
-
 // --- TlbModel ----------------------------------------------------------------
 
 TlbModel::TlbModel(std::string name, unsigned entries, Cycle miss_penalty)
@@ -202,28 +149,6 @@ CacheLevel::restore(serialize::Source &s)
         set.setOrder(order);
     }
     serialize::getGroup(s, stats_);
-}
-
-void
-CacheHierarchy::save(serialize::Sink &s) const
-{
-    l1i_.save(s);
-    l1d_.save(s);
-    l2_.save(s);
-    s.put<Cycle>(iBusyUntil_);
-    s.put<Cycle>(dBusyUntil_);
-    s.put<Cycle>(l2BusyUntil_);
-}
-
-void
-CacheHierarchy::restore(serialize::Source &s)
-{
-    l1i_.restore(s);
-    l1d_.restore(s);
-    l2_.restore(s);
-    iBusyUntil_ = s.get<Cycle>();
-    dBusyUntil_ = s.get<Cycle>();
-    l2BusyUntil_ = s.get<Cycle>();
 }
 
 void

@@ -1,12 +1,14 @@
 /**
  * @file
- * Timing-model cache and TLB models.
+ * Timing-model cache and TLB primitives: the set-associative LRU tag array
+ * (CacheLevel) and the direct-mapped TLB (TlbModel).
  *
  * The target hierarchy (paper Fig. 3): eight-way 32 KB L1 instruction and
  * data caches (1-cycle), an eight-way 256 KB shared L2 (8-cycle), and a
- * simple fixed-delay memory model (25 cycles).  Caches are *blocking*, a
- * prototype limitation the paper calls out in §4.1 that we model
- * deliberately (and can disable for ablation).
+ * simple fixed-delay memory model (25 cycles).  The hierarchy itself —
+ * miss gating, MSHR tables, the fill paths — is assembled from these
+ * primitives by the cache/memory Modules in tm/modules/cache_mod.hh and
+ * joined to the pipeline by Connectors; this header is timing-state only.
  *
  * Cache models are timing-only: they track tags and LRU, never data —
  * exactly the paper's point that "cache values are generally not included
@@ -40,7 +42,7 @@ struct CacheParams
     bool blocking = true; //!< a miss busies the cache until the fill
 };
 
-/** Result of a cache-hierarchy access. */
+/** Result of a hierarchy access through an L1 cache module. */
 struct CacheAccessResult
 {
     bool l1Hit = false;
@@ -65,12 +67,16 @@ class CacheLevel
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }
 
+    /** Hit fraction; 0.0 when the cache was never accessed (check
+     *  everAccessed() to distinguish "cold" from "always missing"). */
     double
     hitRate() const
     {
         const auto a = stats_.value("accesses");
-        return a ? double(stats_.value("hits")) / double(a) : 1.0;
+        return a ? double(stats_.value("hits")) / double(a) : 0.0;
     }
+
+    bool everAccessed() const { return stats_.value("accesses") != 0; }
 
     /** Host cycles per access: assoc tag compares over dual-port BRAM. */
     unsigned hostCycles() const { return (p_.assoc + 1) / 2; }
@@ -110,46 +116,6 @@ struct HierarchyParams
     Cycle memLatency = 25; //!< fixed-delay DRAM model (paper Fig. 3)
 };
 
-/**
- * The two-L1, shared-L2, fixed-delay-memory hierarchy.
- */
-class CacheHierarchy
-{
-  public:
-    explicit CacheHierarchy(const HierarchyParams &p);
-
-    /** Instruction fetch access at the given cycle. */
-    CacheAccessResult accessInst(PAddr pa, Cycle now);
-
-    /** Data access at the given cycle. */
-    CacheAccessResult accessData(PAddr pa, Cycle now);
-
-    CacheLevel &l1i() { return l1i_; }
-    const CacheLevel &l1i() const { return l1i_; }
-    CacheLevel &l1d() { return l1d_; }
-    const CacheLevel &l1d() const { return l1d_; }
-    CacheLevel &l2() { return l2_; }
-    const CacheLevel &l2() const { return l2_; }
-    const HierarchyParams &params() const { return p_; }
-
-    FpgaCost cost() const;
-
-    void save(serialize::Sink &s) const;
-    void restore(serialize::Source &s);
-
-  private:
-    CacheAccessResult access(CacheLevel &l1, Cycle &busy_until, PAddr pa,
-                             Cycle now);
-
-    HierarchyParams p_;
-    CacheLevel l1i_;
-    CacheLevel l1d_;
-    CacheLevel l2_;
-    Cycle iBusyUntil_ = 0; //!< blocking-cache occupancy
-    Cycle dBusyUntil_ = 0;
-    Cycle l2BusyUntil_ = 0;
-};
-
 /** A TLB timing model (tag-only; fills cost a fixed walk penalty). */
 class TlbModel
 {
@@ -159,12 +125,15 @@ class TlbModel
     /** @return extra latency (0 on hit, missPenalty on fill). */
     Cycle access(Addr va);
 
+    /** Hit fraction; 0.0 when the TLB was never accessed. */
     double
     hitRate() const
     {
         const auto a = stats_.value("accesses");
-        return a ? double(stats_.value("hits")) / double(a) : 1.0;
+        return a ? double(stats_.value("hits")) / double(a) : 0.0;
     }
+
+    bool everAccessed() const { return stats_.value("accesses") != 0; }
 
     stats::Group &stats() { return stats_; }
     unsigned hostCycles() const { return 1; }

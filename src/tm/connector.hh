@@ -23,8 +23,10 @@
 
 #include <deque>
 #include <string>
+#include <type_traits>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
 
@@ -206,6 +208,49 @@ class Connector : public ConnectorBase
     }
 
     std::size_t size() const override { return q_.size(); }
+
+    /**
+     * Snapshot support for connectors that legally carry in-flight entries
+     * across a quiesced boundary (the memory-fabric fill paths: an
+     * outstanding miss survives a drain, exactly as the old blocking-cache
+     * busy-until scalars did).  Only instantiable for trivially copyable
+     * payloads; pipeline connectors (DynInst etc.) are empty at a
+     * boundary, so the facade serializes just their statistics groups.
+     */
+    void
+    saveState(serialize::Sink &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "connector payload must be trivially copyable to "
+                      "serialize the in-flight queue");
+        s.put<Cycle>(now_);
+        s.put<std::uint64_t>(q_.size());
+        for (const Entry &e : q_) {
+            s.put<T>(e.value);
+            s.put<Cycle>(e.readyAt);
+        }
+        serialize::putGroup(s, stats_);
+    }
+
+    void
+    restoreState(serialize::Source &s)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "connector payload must be trivially copyable to "
+                      "serialize the in-flight queue");
+        now_ = s.get<Cycle>();
+        q_.clear();
+        const std::uint64_t n = s.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.value = s.get<T>();
+            e.readyAt = s.get<Cycle>();
+            q_.push_back(e);
+        }
+        pushedThisCycle_ = 0;
+        poppedThisCycle_ = 0;
+        serialize::getGroup(s, stats_);
+    }
 
   private:
     struct Entry

@@ -5,14 +5,14 @@ namespace tm {
 
 Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
     : cfg_(cfg), tb_(tb), bp_(makeBranchPredictor(cfg.bp)),
-      caches_(cfg.caches),
-      itlb_("itlb", cfg.itlbEntries, cfg.tlbMissPenalty),
+      memh_(cfg_),
+      itlbM_("itlb", cfg.itlbEntries, cfg.tlbMissPenalty),
       state_(cfg_, resolveTopology(cfg_)),
       commitM_(cfg_, state_, tb_),
       writebackM_(cfg_, state_),
-      issueExecM_(cfg_, state_, caches_),
+      issueExecM_(cfg_, state_, memh_.l1d, memh_.fx),
       dispatchM_(cfg_, state_),
-      fetchM_(cfg_, state_, tb_, *bp_, caches_, itlb_),
+      fetchM_(cfg_, state_, tb_, *bp_, memh_.l1i, itlbM_, memh_.fx),
       stats_("core"),
       sIcache_("icache_hit_rate"), sBp_("bp_accuracy"),
       sDrain_("pipe_drain_pct")
@@ -21,17 +21,34 @@ Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
 
     // Deterministic tick order: oldest stage first, so an instruction
     // takes at least one target cycle per stage (the classic reverse
-    // pipeline evaluation).
+    // pipeline evaluation).  The memory modules tick after the stages
+    // that access them, so host cycles charged during stage ticks are
+    // collected in the same tickAll() pass.
     registry_.add(commitM_);
     registry_.add(writebackM_);
     registry_.add(issueExecM_);
     registry_.add(dispatchM_);
     registry_.add(fetchM_);
+    registry_.add(memh_.l1i);
+    registry_.add(memh_.l1d);
+    registry_.add(memh_.l2);
+    registry_.add(memh_.mem);
+    registry_.add(itlbM_);
     registry_.noteConnector(state_.fetchToDispatch);
     registry_.noteConnector(state_.dispatchToIssue);
     registry_.noteConnector(state_.execToWriteback);
     registry_.noteConnector(state_.writebackToCommit);
     registry_.noteConnector(state_.commitToFetch);
+    registry_.noteConnector(memh_.fx.fetchToL1i);
+    registry_.noteConnector(memh_.fx.l1iToFetch);
+    registry_.noteConnector(memh_.fx.issueToL1d);
+    registry_.noteConnector(memh_.fx.l1dToIssue);
+    registry_.noteConnector(memh_.fx.l1iToL2);
+    registry_.noteConnector(memh_.fx.l2ToL1i);
+    registry_.noteConnector(memh_.fx.l1dToL2);
+    registry_.noteConnector(memh_.fx.l2ToL1d);
+    registry_.noteConnector(memh_.fx.l2ToMem);
+    registry_.noteConnector(memh_.fx.memToL2);
     // 2 host cycles of FM<->TM sync plus the §4.7 statistics mechanism.
     registry_.setPerCycleOverhead(2 + cfg_.statsHostOverhead);
 
@@ -87,6 +104,7 @@ Core::tick()
     state_.execToWriteback.tick(state_.cycle);
     state_.writebackToCommit.tick(state_.cycle);
     state_.commitToFetch.tick(state_.cycle);
+    memh_.fx.tickAll(state_.cycle);
 
     // Modules tick in registry order; the registry collects their host
     // cycles together with the per-cycle sync/stats overhead (§4.7).
@@ -156,8 +174,6 @@ Core::saveState(serialize::Sink &s) const
     }
 
     bp_->save(s);
-    caches_.save(s);
-    itlb_.save(s);
 
     s.put<HostCycle>(hostCycles_);
     s.put<std::uint64_t>(lastCommitSample_);
@@ -172,7 +188,11 @@ Core::saveState(serialize::Sink &s) const
         }
     }
 
+    // Cache levels, MSHR tables, the memory model and the iTLB are
+    // registry modules: saveAll() covers them.  The fabric's in-flight
+    // queues (legal across a quiesced boundary) follow explicitly.
     registry_.saveAll(s);
+    memh_.fx.save(s);
     for (const ConnectorBase *c :
          {static_cast<const ConnectorBase *>(&state_.fetchToDispatch),
           static_cast<const ConnectorBase *>(&state_.dispatchToIssue),
@@ -208,8 +228,6 @@ Core::restoreState(serialize::Source &s)
     }
 
     bp_->restore(s);
-    caches_.restore(s);
-    itlb_.restore(s);
 
     hostCycles_ = s.get<HostCycle>();
     lastCommitSample_ = s.get<std::uint64_t>();
@@ -226,6 +244,7 @@ Core::restoreState(serialize::Source &s)
     }
 
     registry_.restoreAll(s);
+    memh_.fx.restore(s);
     for (ConnectorBase *c :
          {static_cast<ConnectorBase *>(&state_.fetchToDispatch),
           static_cast<ConnectorBase *>(&state_.dispatchToIssue),
@@ -252,12 +271,11 @@ FpgaCost
 Core::fpgaCost() const
 {
     FpgaCost c;
-    // Memory-hierarchy and predictor modules.
-    c += caches_.cost();
+    // The predictor is the only sub-model outside the registry; the cache
+    // levels, memory model and iTLB roll up as modules below.
     c += bp_->cost();
-    c += itlb_.cost();
 
-    // Stage modules (Table-2 rollup through the registry).
+    // Stage + memory modules (Table-2 rollup through the registry).
     c += registry_.fpgaCost();
 
     // Connectors are "under-optimized regarding area, especially in the

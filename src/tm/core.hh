@@ -10,19 +10,24 @@
  * units, one load/store unit, eight general-purpose ALUs, up to four
  * nested branches, and an 8-10-stage pipeline.
  *
- * Prototype limitations we model deliberately (paper §4.1): caches are
- * blocking, and resolving mis-predictions flushes the pipeline through the
- * ROB before right-path instructions can enter (drainOnMispredict).
+ * Prototype limitations we model deliberately (paper §4.1): resolving
+ * mis-predictions flushes the pipeline through the ROB before right-path
+ * instructions can enter (drainOnMispredict), and the cache levels default
+ * to blocking — which, in the MSHR-modeled memory fabric, is the
+ * degenerate depth-1 case (tm/modules/cache_mod.hh).
  *
  * Structure (paper §4): the pipeline is five stage Modules — Fetch,
  * Dispatch, Issue/Execute, Writeback, Commit (tm/modules/) — joined by
  * five Connectors (fetch->dispatch, dispatch->issue, exec->writeback,
- * writeback->commit, commit->fetch, closing the pipeline ring)
- * whose parameters come from CoreConfig, and driven by a ModuleRegistry
- * in oldest-stage-first order each target cycle.  This class is the thin
- * facade: it wires modules to the shared CoreState, owns the sub-models
- * (predictor, caches, iTLB), rolls up statistics / FPGA cost / host
- * cycles, and runs the statistics fabric and trigger queries.
+ * writeback->commit, commit->fetch, closing the pipeline ring), plus the
+ * memory fabric: L1I, L1D, the shared L2, the fixed-delay memory model and
+ * the iTLB as Modules joined by ten request/fill Connectors
+ * (tm/modules/cache_mod.hh, tm/modules/mem_mod.hh).  All parameters come
+ * from CoreConfig, and a ModuleRegistry drives the modules in
+ * oldest-stage-first order each target cycle.  This class is the thin
+ * facade: it wires modules to the shared CoreState, owns the predictor,
+ * rolls up statistics / FPGA cost / host cycles, and runs the statistics
+ * fabric and trigger queries.
  *
  * The core consumes trace entries from the TraceBuffer and emits protocol
  * events (wrong-path request, resolve, commit, exception re-fetch) that the
@@ -45,11 +50,13 @@
 #include "tm/connector.hh"
 #include "tm/core_types.hh"
 #include "tm/module.hh"
+#include "tm/modules/cache_mod.hh"
 #include "tm/modules/commit.hh"
 #include "tm/modules/core_state.hh"
 #include "tm/modules/dispatch.hh"
 #include "tm/modules/fetch.hh"
 #include "tm/modules/issue_exec.hh"
+#include "tm/modules/mem_mod.hh"
 #include "tm/modules/writeback.hh"
 #include "tm/trace_buffer.hh"
 #include "tm/triggers.hh"
@@ -147,9 +154,18 @@ class Core
     // --- observation -----------------------------------------------------
     BranchPredictor &bp() { return *bp_; }
     const BranchPredictor &bp() const { return *bp_; }
-    CacheHierarchy &caches() { return caches_; }
-    const CacheHierarchy &caches() const { return caches_; }
-    TlbModel &itlb() { return itlb_; }
+    modules::CacheModule &l1i() { return memh_.l1i; }
+    const modules::CacheModule &l1i() const { return memh_.l1i; }
+    modules::CacheModule &l1d() { return memh_.l1d; }
+    const modules::CacheModule &l1d() const { return memh_.l1d; }
+    modules::CacheModule &l2() { return memh_.l2; }
+    const modules::CacheModule &l2() const { return memh_.l2; }
+    modules::MemModule &mem() { return memh_.mem; }
+    const modules::MemModule &mem() const { return memh_.mem; }
+    modules::MemFabric &memFabric() { return memh_.fx; }
+    const modules::MemFabric &memFabric() const { return memh_.fx; }
+    TlbModel &itlb() { return itlbM_.model(); }
+    const TlbModel &itlb() const { return itlbM_.model(); }
     const CoreConfig &config() const { return cfg_; }
 
     /** The module fabric (tick order, per-module stats and cost). */
@@ -222,8 +238,8 @@ class Core
     CoreConfig cfg_;
     TraceBuffer &tb_;
     std::unique_ptr<BranchPredictor> bp_;
-    CacheHierarchy caches_;
-    TlbModel itlb_;
+    modules::MemHierarchy memh_;
+    modules::TlbModule itlbM_;
 
     modules::CoreState state_;
     modules::CommitModule commitM_;

@@ -24,6 +24,48 @@
 namespace fastsim {
 namespace tm {
 
+/**
+ * Memory-fabric configuration: MSHR depths and the Connector parameters of
+ * the cache/memory edges (fetch->l1i, issue->l1d, l1i->l2, l1d->l2,
+ * l2->mem, plus the fill paths back).
+ *
+ * Miss handling is MSHR-modeled: each cache level owns a miss-status table
+ * whose depth bounds outstanding misses.  A level with
+ * CacheParams::blocking = true degenerates to MSHR depth 1 (the paper's
+ * §4.1 prototype limitation — one outstanding miss serializes everything
+ * behind it); with blocking = false the per-level depth below applies,
+ * where 0 means unlimited.  Depth 1 with blocking = false is numerically
+ * identical to blocking = true — blocking is the degenerate case, not a
+ * separate code path.
+ */
+struct MemConfig
+{
+    unsigned l1iMshrs = 0; //!< outstanding L1I misses (0 = unlimited)
+    unsigned l1dMshrs = 0; //!< outstanding L1D misses (0 = unlimited)
+    unsigned l2Mshrs = 0;  //!< outstanding L2 misses (0 = unlimited)
+    /** Memory-port bandwidth: cycles between request starts at the
+     *  fixed-delay memory model (0 = unlimited, the paper's Fig. 3). */
+    Cycle memServiceInterval = 0;
+
+    /**
+     * Connector overrides for the memory edges.  Unset means the
+     * unthrottled defaults of resolveMemTopology(): miss transactions
+     * carry their own readiness, and outstanding-miss buffering is
+     * bounded by the MSHR tables, not the queues.  Bounding one of these
+     * is checked against the owning level's MSHR depth (FAB007).
+     */
+    std::optional<ConnectorParams> fetchToL1i;
+    std::optional<ConnectorParams> l1iToFetch;
+    std::optional<ConnectorParams> issueToL1d;
+    std::optional<ConnectorParams> l1dToIssue;
+    std::optional<ConnectorParams> l1iToL2;
+    std::optional<ConnectorParams> l2ToL1i;
+    std::optional<ConnectorParams> l1dToL2;
+    std::optional<ConnectorParams> l2ToL1d;
+    std::optional<ConnectorParams> l2ToMem;
+    std::optional<ConnectorParams> memToL2;
+};
+
 /** Core configuration (paper Fig. 3 defaults). */
 struct CoreConfig
 {
@@ -39,6 +81,7 @@ struct CoreConfig
     bool drainOnMispredict = true; //!< §4.1 prototype limitation
     BpConfig bp;
     HierarchyParams caches;
+    MemConfig mem;
     unsigned itlbEntries = 64;
     Cycle tlbMissPenalty = 30;
     /** Extra host cycles per target cycle for the temporary per-Module
@@ -99,6 +142,54 @@ resolveTopology(const CoreConfig &cfg)
         cfg.dispatchToIssue.value_or(ConnectorParams{0, 0, 1, 0});
     t.commitToFetch = cfg.commitToFetch.value_or(ConnectorParams{0, 0, 1, 0});
     return t;
+}
+
+/** The resolved connector parameters of every memory-fabric edge. */
+struct MemTopology
+{
+    ConnectorParams fetchToL1i;
+    ConnectorParams l1iToFetch;
+    ConnectorParams issueToL1d;
+    ConnectorParams l1dToIssue;
+    ConnectorParams l1iToL2;
+    ConnectorParams l2ToL1i;
+    ConnectorParams l1dToL2;
+    ConnectorParams l2ToL1d;
+    ConnectorParams l2ToMem;
+    ConnectorParams memToL2;
+};
+
+/** Derive the memory fabric's connector topology from the configuration. */
+inline MemTopology
+resolveMemTopology(const CoreConfig &cfg)
+{
+    // Miss/fill channels: every transaction carries its own readiness (the
+    // fill time computed by the levels below), outstanding misses are
+    // bounded by the MSHR tables, so throughput/capacity default to the
+    // 0 = unlimited sentinel exactly like the pipeline's completion
+    // channels.  minLatency 1 keeps every loop through the memory fabric
+    // registered (FAB001).
+    const ConnectorParams unthrottled{0, 0, 1, 0};
+    MemTopology t;
+    t.fetchToL1i = cfg.mem.fetchToL1i.value_or(unthrottled);
+    t.l1iToFetch = cfg.mem.l1iToFetch.value_or(unthrottled);
+    t.issueToL1d = cfg.mem.issueToL1d.value_or(unthrottled);
+    t.l1dToIssue = cfg.mem.l1dToIssue.value_or(unthrottled);
+    t.l1iToL2 = cfg.mem.l1iToL2.value_or(unthrottled);
+    t.l2ToL1i = cfg.mem.l2ToL1i.value_or(unthrottled);
+    t.l1dToL2 = cfg.mem.l1dToL2.value_or(unthrottled);
+    t.l2ToL1d = cfg.mem.l2ToL1d.value_or(unthrottled);
+    t.l2ToMem = cfg.mem.l2ToMem.value_or(unthrottled);
+    t.memToL2 = cfg.mem.memToL2.value_or(unthrottled);
+    return t;
+}
+
+/** Effective MSHR depth of a cache level: blocking degenerates to one
+ *  outstanding miss; otherwise the configured depth (0 = unlimited). */
+inline unsigned
+effectiveMshrDepth(const CacheParams &level, unsigned configured)
+{
+    return level.blocking ? 1u : configured;
 }
 
 /** Protocol events the timing model raises toward the functional model. */

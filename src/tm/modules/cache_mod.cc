@@ -1,0 +1,183 @@
+#include "tm/modules/cache_mod.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+CacheModule::CacheModule(const CacheParams &p, unsigned mshr_depth,
+                         bool alloc_on_hit, std::vector<MemLink> up,
+                         MemLink down, MemSink &downstream)
+    : Module(p.name), level_(p), mshrs_(mshr_depth),
+      allocOnHit_(alloc_on_hit), up_(std::move(up)), down_(down),
+      downstream_(downstream),
+      stMshrStalls_(stats().handle(p.name + "_mshr_stalls")),
+      stMshrStallCycles_(stats().handle(p.name + "_mshr_stall_cycles")),
+      stMshrAllocs_(stats().handle(p.name + "_mshr_allocs")),
+      stFillDrops_(stats().handle(p.name + "_fill_drops"))
+{
+}
+
+FillResult
+CacheModule::service(PAddr pa, Cycle at, bool &child_hit)
+{
+    // Gate on the MSHR table first: with every slot busy past `at` the
+    // access — hit or miss, exactly like the blocking prototype — waits
+    // for the earliest outstanding fill.
+    const Cycle start = mshrs_.gate(at);
+    if (start > at) {
+        ++stMshrStalls_;
+        stMshrStallCycles_ += start - at;
+    }
+
+    FillResult r;
+    r.hit = level_.access(pa);
+    chargeHost(level_.hostCycles());
+    const Cycle hit_lat = level_.params().hitLatency;
+    if (r.hit) {
+        r.readyAt = start + hit_lat;
+    } else {
+        // Forward the miss: the request token is the fabric-visible
+        // record; the level below computes the fill time synchronously.
+        // Pushes are guarded — queue occupancy can briefly exceed the
+        // logical MSHR bound while gating defers transactions, and a full
+        // (user-bounded) edge drops the observability token, never the
+        // timing (FAB007 warns about such configurations up front).
+        if (down_.req && down_.req->canPush())
+            down_.req->push(MemReq{pa});
+        const FillResult f = downstream_.fillVia(down_, pa, start + hit_lat);
+        child_hit = f.hit;
+        r.readyAt = f.readyAt;
+    }
+    if (!r.hit || allocOnHit_) {
+        mshrs_.allocate(r.readyAt);
+        ++stMshrAllocs_;
+    }
+    return r;
+}
+
+CacheAccessResult
+CacheModule::access(PAddr pa, Cycle now)
+{
+    fastsim_assert(up_.size() == 1);
+    bool child_hit = false;
+    const FillResult f = service(pa, now, child_hit);
+
+    CacheAccessResult r;
+    r.l1Hit = f.hit;
+    r.l2Hit = child_hit;
+    r.readyAt = f.readyAt;
+    r.latency = f.readyAt - now;
+    if (!r.l1Hit) {
+        // Fill token back toward the requesting stage at the fill time.
+        if (up_[0].fill && up_[0].fill->canPush())
+            up_[0].fill->pushAt(MemFill{pa}, f.readyAt);
+        else
+            ++stFillDrops_;
+    }
+    return r;
+}
+
+FillResult
+CacheModule::fillVia(const MemLink &up, PAddr pa, Cycle at)
+{
+    bool child_hit = false;
+    const FillResult f = service(pa, at, child_hit);
+    if (up.fill && up.fill->canPush())
+        up.fill->pushAt(MemFill{pa}, f.readyAt);
+    else
+        ++stFillDrops_;
+    return f;
+}
+
+void
+CacheModule::tick(Cycle)
+{
+    // Consume ripened request/fill tokens.  The timing was resolved
+    // synchronously at access time; the tokens are the Connector-visible
+    // traffic record, drained as their readiness elapses.
+    for (const MemLink &l : up_)
+        if (l.req)
+            l.req->drainReady([](const MemReq &) {});
+    if (down_.fill)
+        down_.fill->drainReady([](const MemFill &) {});
+}
+
+std::vector<Port>
+CacheModule::ports() const
+{
+    std::vector<Port> ps;
+    for (const MemLink &l : up_) {
+        if (l.req)
+            ps.push_back({l.req, PortDir::In});
+        if (l.fill)
+            ps.push_back({l.fill, PortDir::Out});
+    }
+    if (down_.req)
+        ps.push_back({down_.req, PortDir::Out});
+    if (down_.fill)
+        ps.push_back({down_.fill, PortDir::In});
+    return ps;
+}
+
+FpgaCost
+CacheModule::fpgaCost() const
+{
+    FpgaCost c = level_.cost();
+    // MSHR table: a small CAM matching outstanding miss line addresses
+    // (depth 0, the idealized unlimited case, is costed as one entry —
+    // the prototype's single busy register).
+    const unsigned entries = mshrs_.depth() ? mshrs_.depth() : 1u;
+    ModeledCam mshr_cam{entries, 28, 1};
+    c += mshr_cam.cost();
+    return c;
+}
+
+void
+CacheModule::saveExtra(serialize::Sink &s) const
+{
+    level_.save(s);
+    mshrs_.save(s);
+}
+
+void
+CacheModule::restoreExtra(serialize::Source &s)
+{
+    level_.restore(s);
+    mshrs_.restore(s);
+}
+
+// --- MemFabric ----------------------------------------------------------------
+
+void
+MemFabric::save(serialize::Sink &s) const
+{
+    fetchToL1i.saveState(s);
+    l1iToFetch.saveState(s);
+    issueToL1d.saveState(s);
+    l1dToIssue.saveState(s);
+    l1iToL2.saveState(s);
+    l2ToL1i.saveState(s);
+    l1dToL2.saveState(s);
+    l2ToL1d.saveState(s);
+    l2ToMem.saveState(s);
+    memToL2.saveState(s);
+}
+
+void
+MemFabric::restore(serialize::Source &s)
+{
+    fetchToL1i.restoreState(s);
+    l1iToFetch.restoreState(s);
+    issueToL1d.restoreState(s);
+    l1dToIssue.restoreState(s);
+    l1iToL2.restoreState(s);
+    l2ToL1i.restoreState(s);
+    l1dToL2.restoreState(s);
+    l2ToL1d.restoreState(s);
+    l2ToMem.restoreState(s);
+    memToL2.restoreState(s);
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

@@ -12,10 +12,11 @@ using ucode::Uop;
 
 FetchModule::FetchModule(const CoreConfig &cfg, CoreState &st,
                          TraceBuffer &tb, BranchPredictor &bp,
-                         CacheHierarchy &caches, TlbModel &itlb)
+                         CacheModule &l1i, TlbModule &itlb, MemFabric &fx)
     : Module("fetch"), cfg_(cfg), st_(st), tb_(tb), bp_(bp),
-      caches_(caches), itlb_(itlb),
+      l1i_(l1i), itlb_(itlb), fx_(fx),
       ucode_(ucode::UcodeTable::defaultTable()),
+      stMemReqDrops_(stats().handle("fetch_req_drops")),
       stFetchStallDrainreq_(stats().handle("fetch_stall_drainreq")),
       stDrainCycles_(stats().handle("drain_cycles")),
       stFetchStallIcache_(stats().handle("fetch_stall_icache")),
@@ -34,6 +35,9 @@ FetchModule::tick(Cycle now)
     // state itself (nextFetchIn, epoch) was applied through CoreState when
     // commit raised it; the token completes the fabric hand-shake.
     st_.commitToFetch.drainReady([](const RedirectToken &) {});
+    // Consume iCache fill tokens whose readiness elapsed; the stall window
+    // itself is tracked by fetchBusyUntil below.
+    fx_.l1iToFetch.drainReady([](const MemFill &) {});
 
     // The mispredict flush is complete once the ROB and front-end pipe are
     // empty — resolve it even under an external drain request, or the flag
@@ -89,14 +93,22 @@ FetchModule::tick(Cycle now)
         TraceEntry e = tb_.takeFetch();
         st_.nextFetchIn = e.in + 1;
 
-        // Front-end iTLB + iCache.
+        // Front-end iTLB + iCache.  Host cycles for both lookups are
+        // charged by the owning modules themselves.
         Cycle tlb_extra = itlb_.access(e.pc);
-        chargeHost(itlb_.hostCycles());
         const PAddr line = e.instPa / cfg_.caches.l1i.lineBytes;
         bool icache_miss = false;
         if (line != last_line) {
-            const auto r = caches_.accessInst(e.instPa, now);
-            chargeHost(caches_.l1i().hostCycles());
+            const auto r = l1i_.access(e.instPa, now);
+            if (!r.l1Hit) {
+                // Fetch owns the request edge into the L1I: record the
+                // miss on the fabric (guarded — a user-bounded edge drops
+                // the token, never the timing).
+                if (fx_.fetchToL1i.canPush())
+                    fx_.fetchToL1i.push(MemReq{e.instPa});
+                else
+                    ++stMemReqDrops_;
+            }
             ++st_.intIcacheAcc;
             if (r.l1Hit)
                 ++st_.intIcacheHit;

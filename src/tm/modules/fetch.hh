@@ -10,9 +10,9 @@
 #define FASTSIM_TM_MODULES_FETCH_HH
 
 #include "tm/branch_pred.hh"
-#include "tm/cache.hh"
 #include "tm/module.hh"
 #include "tm/modules/core_state.hh"
+#include "tm/modules/mem_mod.hh"
 #include "tm/trace_buffer.hh"
 #include "ucode/table.hh"
 
@@ -24,14 +24,17 @@ class FetchModule : public Module
 {
   public:
     FetchModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb,
-                BranchPredictor &bp, CacheHierarchy &caches, TlbModel &itlb);
+                BranchPredictor &bp, CacheModule &l1i, TlbModule &itlb,
+                MemFabric &fx);
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
     std::vector<Port> ports() const override
     {
         return {{&st_.commitToFetch, PortDir::In},
-                {&st_.fetchToDispatch, PortDir::Out}};
+                {&st_.fetchToDispatch, PortDir::Out},
+                {&fx_.fetchToL1i, PortDir::Out},
+                {&fx_.l1iToFetch, PortDir::In}};
     }
 
   private:
@@ -39,10 +42,12 @@ class FetchModule : public Module
     CoreState &st_;
     TraceBuffer &tb_;
     BranchPredictor &bp_;
-    CacheHierarchy &caches_;
-    TlbModel &itlb_;
+    CacheModule &l1i_;
+    TlbModule &itlb_;
+    MemFabric &fx_;
     const ucode::UcodeTable &ucode_;
 
+    stats::Handle stMemReqDrops_;
     stats::Handle stFetchStallDrainreq_;
     stats::Handle stDrainCycles_;
     stats::Handle stFetchStallIcache_;

@@ -7,10 +7,27 @@ namespace modules {
 using ucode::UopKind;
 
 IssueExecModule::IssueExecModule(const CoreConfig &cfg, CoreState &st,
-                                 CacheHierarchy &caches)
-    : Module("issue_exec"), cfg_(cfg), st_(st), caches_(caches),
+                                 CacheModule &l1d, MemFabric &fx)
+    : Module("issue_exec"), cfg_(cfg), st_(st), l1d_(l1d), fx_(fx),
+      stMemReqDrops_(stats().handle("issue_req_drops")),
       stIssuedUops_(stats().handle("issued_uops"))
 {
+}
+
+CacheAccessResult
+IssueExecModule::accessData(PAddr pa, Cycle now)
+{
+    const auto r = l1d_.access(pa, now);
+    if (!r.l1Hit) {
+        // Issue owns the request edge into the L1D: record the miss on
+        // the fabric (guarded — a user-bounded edge drops the token,
+        // never the timing).
+        if (fx_.issueToL1d.canPush())
+            fx_.issueToL1d.push(MemReq{pa});
+        else
+            ++stMemReqDrops_;
+    }
+    return r;
 }
 
 void
@@ -19,6 +36,9 @@ IssueExecModule::tick(Cycle now)
     // Consume dispatch notifications from the fabric edge; the ROB itself
     // carries the dispatched work, so the tokens are pure hand-shake.
     st_.dispatchToIssue.drainReady([](const DispatchToken &) {});
+    // Consume D-cache fill tokens whose readiness elapsed; load wakeup is
+    // carried by the exec -> writeback readiness, as before.
+    fx_.l1dToIssue.drainReady([](const MemFill &) {});
 
     unsigned alu_issued = 0, bu_issued = 0, lsu_issued = 0;
     unsigned issued_total = 0;
@@ -123,17 +143,15 @@ IssueExecModule::tick(Cycle now)
                         break;
                     ++lsu_issued;
                     st_.lsuFreeAt[unit] = now + 1;
-                    const auto r = caches_.accessData(di.e.loadPa, now);
+                    const auto r = accessData(di.e.loadPa, now);
                     launch(u, r.readyAt + (u.uop.latency - 1));
-                    chargeHost(caches_.l1d().hostCycles());
                 } else {
                     ++lsu_issued;
                     st_.lsuFreeAt[unit] = now + 1;
                     // Stores complete into the write buffer; the cache
                     // access is charged for occupancy/statistics.
-                    caches_.accessData(di.e.storePa, now);
+                    accessData(di.e.storePa, now);
                     launch(u, now + u.uop.latency);
-                    chargeHost(caches_.l1d().hostCycles());
                 }
                 --st_.rsUsed;
                 ++issued_total;

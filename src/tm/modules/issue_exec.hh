@@ -9,9 +9,9 @@
 #ifndef FASTSIM_TM_MODULES_ISSUE_EXEC_HH
 #define FASTSIM_TM_MODULES_ISSUE_EXEC_HH
 
-#include "tm/cache.hh"
 #include "tm/module.hh"
 #include "tm/modules/core_state.hh"
+#include "tm/modules/mem_mod.hh"
 
 namespace fastsim {
 namespace tm {
@@ -20,22 +20,29 @@ namespace modules {
 class IssueExecModule : public Module
 {
   public:
-    IssueExecModule(const CoreConfig &cfg, CoreState &st,
-                    CacheHierarchy &caches);
+    IssueExecModule(const CoreConfig &cfg, CoreState &st, CacheModule &l1d,
+                    MemFabric &fx);
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
     std::vector<Port> ports() const override
     {
         return {{&st_.dispatchToIssue, PortDir::In},
-                {&st_.execToWriteback, PortDir::Out}};
+                {&st_.execToWriteback, PortDir::Out},
+                {&fx_.issueToL1d, PortDir::Out},
+                {&fx_.l1dToIssue, PortDir::In}};
     }
 
   private:
     const CoreConfig &cfg_;
     CoreState &st_;
-    CacheHierarchy &caches_;
+    CacheModule &l1d_;
+    MemFabric &fx_;
 
+    /** Access the D-cache and record a miss on the request edge. */
+    CacheAccessResult accessData(PAddr pa, Cycle now);
+
+    stats::Handle stMemReqDrops_;
     stats::Handle stIssuedUops_;
 };
 

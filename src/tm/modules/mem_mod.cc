@@ -1,0 +1,95 @@
+#include "tm/modules/mem_mod.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+MemModule::MemModule(Cycle latency, Cycle service_interval, MemFabric &fx)
+    : Module("mem"), latency_(latency), serviceInterval_(service_interval),
+      fx_(fx), stFills_(stats().handle("mem_fills")),
+      stBwStallCycles_(stats().handle("mem_bw_stall_cycles"))
+{
+}
+
+FillResult
+MemModule::fillVia(const MemLink &up, PAddr pa, Cycle at)
+{
+    Cycle start = at;
+    if (serviceInterval_ != 0) {
+        // Bandwidth model: one request start per serviceInterval cycles.
+        if (portFreeAt_ > start) {
+            stBwStallCycles_ += portFreeAt_ - start;
+            start = portFreeAt_;
+        }
+        portFreeAt_ = start + serviceInterval_;
+    }
+    const Cycle ready = start + latency_;
+    chargeHost(1);
+    ++stFills_;
+    if (up.fill && up.fill->canPush())
+        up.fill->pushAt(MemFill{pa}, ready);
+    return {ready, true};
+}
+
+void
+MemModule::tick(Cycle)
+{
+    fx_.l2ToMem.drainReady([](const MemReq &) {});
+}
+
+std::vector<Port>
+MemModule::ports() const
+{
+    return {{&fx_.l2ToMem, PortDir::In}, {&fx_.memToL2, PortDir::Out}};
+}
+
+FpgaCost
+MemModule::fpgaCost() const
+{
+    FpgaCost c;
+    c.slices += 60.0; // fixed-delay DRAM controller (timing only)
+    return c;
+}
+
+void
+MemModule::saveExtra(serialize::Sink &s) const
+{
+    s.put<Cycle>(portFreeAt_);
+}
+
+void
+MemModule::restoreExtra(serialize::Source &s)
+{
+    portFreeAt_ = s.get<Cycle>();
+}
+
+// --- TlbModule ----------------------------------------------------------------
+
+TlbModule::TlbModule(std::string name, unsigned entries, Cycle miss_penalty)
+    : Module(name), tlb_(std::move(name), entries, miss_penalty)
+{
+}
+
+// --- MemHierarchy -------------------------------------------------------------
+
+MemHierarchy::MemHierarchy(const CoreConfig &cfg)
+    : fx(resolveMemTopology(cfg)),
+      mem(cfg.caches.memLatency, cfg.mem.memServiceInterval, fx),
+      l2(cfg.caches.l2, effectiveMshrDepth(cfg.caches.l2, cfg.mem.l2Mshrs),
+         /*alloc_on_hit=*/true,
+         {{&fx.l1iToL2, &fx.l2ToL1i}, {&fx.l1dToL2, &fx.l2ToL1d}},
+         {&fx.l2ToMem, &fx.memToL2}, mem),
+      l1i(cfg.caches.l1i,
+          effectiveMshrDepth(cfg.caches.l1i, cfg.mem.l1iMshrs),
+          /*alloc_on_hit=*/false, {{&fx.fetchToL1i, &fx.l1iToFetch}},
+          {&fx.l1iToL2, &fx.l2ToL1i}, l2),
+      l1d(cfg.caches.l1d,
+          effectiveMshrDepth(cfg.caches.l1d, cfg.mem.l1dMshrs),
+          /*alloc_on_hit=*/false, {{&fx.issueToL1d, &fx.l1dToIssue}},
+          {&fx.l1dToL2, &fx.l2ToL1d}, l2)
+{
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The fixed-delay memory model and the TLB as Modules.
+ *
+ * MemModule terminates the miss path of the cache fabric (cache_mod.hh):
+ * it services every request after a fixed latency (paper Fig. 3: 25
+ * cycles), optionally throttled to one request start per
+ * MemConfig::memServiceInterval cycles — the sweepable memory-bandwidth
+ * knob (0 keeps the paper's unthrottled model and is bit-identical to the
+ * pre-fabric hierarchy).
+ *
+ * TlbModule wraps the TlbModel primitive so TLB host cycles and FPGA cost
+ * roll up through the ModuleRegistry like every other unit; it has no
+ * Connector ports — the TLB lookup is same-cycle logic inside the fetch
+ * stage, and a TLB fill stalls only the requester, never a shared port.
+ */
+
+#ifndef FASTSIM_TM_MODULES_MEM_MOD_HH
+#define FASTSIM_TM_MODULES_MEM_MOD_HH
+
+#include "tm/cache.hh"
+#include "tm/modules/cache_mod.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+class MemModule : public Module, public MemSink
+{
+  public:
+    MemModule(Cycle latency, Cycle serviceInterval, MemFabric &fx);
+
+    FillResult fillVia(const MemLink &up, PAddr pa, Cycle at) override;
+
+    void tick(Cycle now) override;
+    FpgaCost fpgaCost() const override;
+    std::vector<Port> ports() const override;
+
+    Cycle latency() const { return latency_; }
+
+  protected:
+    void saveExtra(serialize::Sink &s) const override;
+    void restoreExtra(serialize::Source &s) override;
+
+  private:
+    Cycle latency_;
+    Cycle serviceInterval_; //!< 0 = unlimited bandwidth
+    Cycle portFreeAt_ = 0;  //!< next request start (bandwidth model)
+    MemFabric &fx_;
+
+    stats::Handle stFills_;
+    stats::Handle stBwStallCycles_;
+};
+
+class TlbModule : public Module
+{
+  public:
+    TlbModule(std::string name, unsigned entries, Cycle missPenalty);
+
+    /** @return extra latency (0 on hit, missPenalty on fill); charges the
+     *  lookup's host cycles to this module. */
+    Cycle
+    access(Addr va)
+    {
+        const Cycle extra = tlb_.access(va);
+        chargeHost(tlb_.hostCycles());
+        return extra;
+    }
+
+    void tick(Cycle) override {}
+    FpgaCost fpgaCost() const override { return tlb_.cost(); }
+
+    TlbModel &model() { return tlb_; }
+    const TlbModel &model() const { return tlb_; }
+
+  protected:
+    void saveExtra(serialize::Sink &s) const override { tlb_.save(s); }
+    void restoreExtra(serialize::Source &s) override { tlb_.restore(s); }
+
+  private:
+    TlbModel tlb_;
+};
+
+/**
+ * The assembled memory hierarchy: fabric + modules, wired.  The Core
+ * facade owns one; tests build them standalone.  Module registration
+ * (tick order, stats/cost roll-up) stays with the owner so the cache
+ * modules tick after the stages that access them.
+ */
+struct MemHierarchy
+{
+    explicit MemHierarchy(const CoreConfig &cfg);
+
+    MemFabric fx;
+    MemModule mem;
+    CacheModule l2;
+    CacheModule l1i;
+    CacheModule l1d;
+};
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_MODULES_MEM_MOD_HH

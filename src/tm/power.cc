@@ -21,14 +21,14 @@ estimatePower(const Core &core, const PowerWeights &w)
     add("branch predictor",
         double(core.bp().branches()) * w.bpLookup);
     add("L1 I-cache",
-        double(core.caches().l1i().stats().value("accesses")) *
+        double(core.l1i().level().stats().value("accesses")) *
             w.l1Access);
     add("L1 D-cache",
-        double(core.caches().l1d().stats().value("accesses")) *
+        double(core.l1d().level().stats().value("accesses")) *
             w.l1Access);
     add("L2 cache",
-        double(core.caches().l2().stats().value("accesses")) * w.l2Access);
-    add("DRAM", double(core.caches().l2().stats().value("misses")) *
+        double(core.l2().level().stats().value("accesses")) * w.l2Access);
+    add("DRAM", double(core.l2().level().stats().value("misses")) *
                     w.memAccess);
     // Rename/ROB writes: dispatched instructions carry their µops.
     add("rename/ROB",

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/codec_lint.hh"
 #include "analysis/diagnostics.hh"
 #include "analysis/fabric_lint.hh"
@@ -180,6 +182,106 @@ TEST(FabricLint, Fab006SilentWhenCostFits)
     EXPECT_FALSE(r.hasErrors());
 }
 
+// --- FAB007..FAB009: configuration-level checks ---------------------------
+
+TEST(ConfigLint, DefaultConfigIsClean)
+{
+    tm::CoreConfig cfg;
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_FALSE(r.hasErrors()) << r.text();
+}
+
+TEST(ConfigLint, Fab007FiresOnBoundedEdgeUnderMshrDepth)
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l1d.blocking = false;
+    cfg.mem.l1dMshrs = 8;
+    // Only 4 slots for up to 8 outstanding miss tokens.
+    cfg.mem.l1dToL2 = tm::ConnectorParams{1, 1, 1, 4};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_TRUE(r.has("FAB007"));
+}
+
+TEST(ConfigLint, Fab007FiresOnBoundedEdgeWithUnlimitedMshrs)
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l1i.blocking = false; // l1iMshrs stays 0: unlimited
+    cfg.mem.fetchToL1i = tm::ConnectorParams{1, 1, 1, 16};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_TRUE(r.has("FAB007"));
+}
+
+TEST(ConfigLint, Fab007SilentWhenCapacityCoversDepth)
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l1d.blocking = false;
+    cfg.mem.l1dMshrs = 4;
+    cfg.mem.l1dToL2 = tm::ConnectorParams{1, 1, 1, 4};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_FALSE(r.has("FAB007")) << r.text();
+}
+
+TEST(ConfigLint, Fab007ChecksL2EdgesAgainstL2Depth)
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l2.blocking = false;
+    cfg.mem.l2Mshrs = 6;
+    cfg.mem.l2ToMem = tm::ConnectorParams{1, 1, 1, 2};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_TRUE(r.has("FAB007"));
+}
+
+TEST(ConfigLint, Fab008FiresWhenCommitChannelSmallerThanRob)
+{
+    tm::CoreConfig cfg; // robEntries = 64
+    cfg.writebackToCommit = tm::ConnectorParams{0, 0, 1, 32};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_TRUE(r.has("FAB008"));
+}
+
+TEST(ConfigLint, Fab008SilentWhenCommitChannelCoversRob)
+{
+    tm::CoreConfig cfg;
+    cfg.writebackToCommit = tm::ConnectorParams{0, 0, 1, 64};
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_FALSE(r.has("FAB008")) << r.text();
+}
+
+TEST(ConfigLint, Fab009FiresWhenIssueWidthExceedsUnits)
+{
+    tm::CoreConfig cfg;
+    cfg.numAlus = 2;
+    cfg.numBranchUnits = 1;
+    cfg.numLoadStoreUnits = 1;
+    cfg.issueWidth = 6; // > 4 functional units
+    Report r;
+    lintConfig(cfg, r);
+    EXPECT_TRUE(r.has("FAB009"));
+}
+
+TEST(ConfigLint, VerifyRunsConfigChecks)
+{
+    tm::CoreConfig cfg;
+    cfg.numAlus = 1;
+    cfg.numBranchUnits = 1;
+    cfg.numLoadStoreUnits = 1;
+    cfg.issueWidth = 8;
+    tm::TraceBuffer tb(256);
+    tm::Core core(cfg, tb);
+    VerifyOptions opts;
+    opts.fabric = true;
+    Report r;
+    verify(core, opts, r);
+    EXPECT_TRUE(r.has("FAB009"));
+}
+
 // --- the real fabric ------------------------------------------------------
 
 TEST(FabricLint, DefaultCoreFabricIsClean)
@@ -188,9 +290,19 @@ TEST(FabricLint, DefaultCoreFabricIsClean)
     tm::TraceBuffer tb(256);
     tm::Core core(cfg, tb);
     const FabricGraph g = FabricGraph::fromRegistry(core.registry());
-    // Five stage modules, five connectors, all fully bound.
-    EXPECT_EQ(g.modules.size(), 5u);
-    EXPECT_EQ(g.edges.size(), 5u);
+    // Five stage modules plus L1I/L1D/L2/mem/iTLB; the five pipeline
+    // connectors plus the ten request/fill edges of the memory fabric.
+    EXPECT_EQ(g.modules.size(), 10u);
+    EXPECT_EQ(g.edges.size(), 15u);
+    const char *memory_modules[] = {"l1i", "l1d", "l2", "mem", "itlb"};
+    for (const char *name : memory_modules) {
+        const bool present =
+            std::any_of(g.modules.begin(), g.modules.end(),
+                        [name](const FabricModule &m) {
+                            return m.name == name;
+                        });
+        EXPECT_TRUE(present) << name << " missing from FabricGraph";
+    }
     Report r;
     lintFabric(g, r);
     EXPECT_FALSE(r.hasErrors()) << r.text();

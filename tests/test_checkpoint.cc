@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "fast/simulator.hh"
 #include "kernel/boot.hh"
+#include "tm/modules/mem_mod.hh"
 #include "workloads/workloads.hh"
 
 using namespace fastsim;
@@ -189,6 +191,130 @@ TEST(Checkpoint, ResumeFromStaleSnapshotReplaysTheGap)
 
     std::remove(path.c_str());
     std::remove(ckptPath("stale_ref").c_str());
+}
+
+// --- in-flight MSHR state across a snapshot -------------------------------
+
+// Component-level round trip: a hierarchy with outstanding misses must
+// restore its MSHR tables (and the bandwidth/port state below them) so a
+// subsequent access gates identically in the original and the restored
+// copy.  An empty-restored table would let the probe start immediately.
+TEST(Checkpoint, MshrStateRoundTripsComponentLevel)
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l1d.blocking = false;
+    cfg.caches.l2.blocking = false;
+    cfg.mem.l1dMshrs = 2;
+    cfg.mem.l2Mshrs = 2;
+    cfg.mem.memServiceInterval = 2;
+
+    tm::modules::MemHierarchy orig(cfg);
+    // Two cold misses on distinct lines fill both L1D MSHRs.
+    orig.l1d.access(0x1000, 0);
+    orig.l1d.access(0x2000, 1);
+    ASSERT_EQ(orig.l1d.outstandingMisses(2), 2u);
+
+    serialize::Sink s;
+    orig.mem.save(s);
+    orig.l2.save(s);
+    orig.l1d.save(s);
+    orig.fx.save(s);
+
+    tm::modules::MemHierarchy restored(cfg);
+    serialize::Source src(s.data().data(), s.data().size());
+    restored.mem.restore(src);
+    restored.l2.restore(src);
+    restored.l1d.restore(src);
+    restored.fx.restore(src);
+
+    EXPECT_EQ(restored.l1d.outstandingMisses(2),
+              orig.l1d.outstandingMisses(2));
+
+    // A third miss at cycle 2 must wait for an MSHR in both copies —
+    // identical gating proves the completion cycles survived the trip.
+    const auto want = orig.l1d.access(0x3000, 2);
+    const auto got = restored.l1d.access(0x3000, 2);
+    EXPECT_EQ(got.readyAt, want.readyAt);
+    EXPECT_EQ(got.latency, want.latency);
+    EXPECT_EQ(got.l1Hit, want.l1Hit);
+    EXPECT_EQ(got.l2Hit, want.l2Hit);
+    EXPECT_GT(got.latency, cfg.caches.l1d.hitLatency)
+        << "the probe did not gate on the restored MSHR table";
+}
+
+// Full-path kill-and-resume under a non-blocking MSHR configuration: the
+// snapshot now carries per-level MSHR tables, the ten memory-fabric
+// connectors, and the memory port's bandwidth state.
+TEST(Checkpoint, KillAndResumeWithInFlightMshrs)
+{
+    CkptCase c = kCases[0];
+    auto mshrConfig = [&](const std::string &path) {
+        fast::FastConfig cfg = configFor(c, path);
+        cfg.core.caches.l1i.blocking = false;
+        cfg.core.caches.l1d.blocking = false;
+        cfg.core.caches.l2.blocking = false;
+        cfg.core.mem.l1iMshrs = 4;
+        cfg.core.mem.l1dMshrs = 4;
+        cfg.core.mem.l2Mshrs = 8;
+        cfg.core.mem.memServiceInterval = 2;
+        return cfg;
+    };
+
+    const std::string refPath = ckptPath("mshr_ref");
+    fast::FastSimulator ref(mshrConfig(refPath));
+    ref.boot(imageFor(c));
+    const FinalState want = finalOf(ref, ref.run(MaxCycles));
+    ASSERT_TRUE(want.finished);
+    ASSERT_GE(want.checkpoints, 2u);
+
+    const std::string path = ckptPath("mshr_kill");
+    std::remove(path.c_str());
+    {
+        fast::FastSimulator victim(mshrConfig(path));
+        victim.boot(imageFor(c));
+        Cycle bound = c.every + 1;
+        while (victim.stats().counter("checkpoints_taken") == 0) {
+            ASSERT_LT(bound, MaxCycles);
+            victim.run(bound);
+            bound += c.every;
+        }
+    }
+
+    fast::FastSimulator resumed(mshrConfig(path));
+    resumed.boot(imageFor(c));
+    resumed.resumeFrom(path);
+    const FinalState got = finalOf(resumed, resumed.run(MaxCycles));
+
+    EXPECT_TRUE(got.finished);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.insts, want.insts);
+    EXPECT_EQ(got.commitHash, want.commitHash);
+    EXPECT_EQ(got.console, want.console);
+
+    std::remove(refPath.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MemConfigMismatchRejected)
+{
+    const CkptCase c = kCases[0];
+    const std::string path = ckptPath("mem_mismatch");
+    {
+        fast::FastSimulator sim(configFor(c, path));
+        sim.boot(imageFor(c));
+        while (sim.stats().counter("checkpoints_taken") == 0)
+            sim.run(sim.core().cycle() + c.every);
+    }
+
+    // The MSHR depths shape the serialized hierarchy, so they are part of
+    // the fingerprint: a different depth must reject the snapshot.
+    fast::FastConfig other = configFor(c, path);
+    other.core.caches.l1d.blocking = false;
+    other.core.mem.l1dMshrs = 4;
+    fast::FastSimulator resumed(other);
+    resumed.boot(imageFor(c));
+    EXPECT_THROW(resumed.resumeFrom(path), FatalError);
+    std::remove(path.c_str());
 }
 
 TEST(Checkpoint, CorruptPayloadRejected)

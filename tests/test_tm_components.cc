@@ -11,6 +11,7 @@
 #include "tm/branch_pred.hh"
 #include "tm/cache.hh"
 #include "tm/connector.hh"
+#include "tm/modules/mem_mod.hh"
 #include "tm/primitives.hh"
 #include "tm/trace_buffer.hh"
 
@@ -405,17 +406,28 @@ TEST(Cache, LruEviction)
     EXPECT_TRUE(c.probe(0x200));
 }
 
+namespace {
+
+tm::CoreConfig
+memCfg(const HierarchyParams &p)
+{
+    tm::CoreConfig cfg;
+    cfg.caches = p;
+    return cfg;
+}
+
+} // namespace
+
 TEST(Cache, HierarchyLatencies)
 {
-    HierarchyParams p;
-    CacheHierarchy h(p);
+    modules::MemHierarchy h(memCfg(HierarchyParams{}));
     // Cold: L1 miss + L2 miss -> 1 + 8 + 25.
-    auto r1 = h.accessData(0x10000, 100);
+    auto r1 = h.l1d.access(0x10000, 100);
     EXPECT_FALSE(r1.l1Hit);
     EXPECT_FALSE(r1.l2Hit);
     EXPECT_EQ(r1.latency, 1u + 8u + 25u);
     // Hot in L1.
-    auto r2 = h.accessData(0x10000, 200);
+    auto r2 = h.l1d.access(0x10000, 200);
     EXPECT_TRUE(r2.l1Hit);
     EXPECT_EQ(r2.latency, 1u);
 }
@@ -424,10 +436,10 @@ TEST(Cache, L2HitAfterL1Eviction)
 {
     HierarchyParams p;
     p.l1d = {"l1d", 128, 1, 64, 1, true}; // tiny direct-mapped L1
-    CacheHierarchy h(p);
-    h.accessData(0x0000, 0);   // fills L1 set 0 and L2
-    h.accessData(0x1000, 100); // evicts 0x0000 from tiny L1
-    auto r = h.accessData(0x0000, 200);
+    modules::MemHierarchy h(memCfg(p));
+    h.l1d.access(0x0000, 0);   // fills L1 set 0 and L2
+    h.l1d.access(0x1000, 100); // evicts 0x0000 from tiny L1
+    auto r = h.l1d.access(0x0000, 200);
     EXPECT_FALSE(r.l1Hit);
     EXPECT_TRUE(r.l2Hit);
     EXPECT_EQ(r.latency, 1u + 8u);
@@ -435,11 +447,110 @@ TEST(Cache, L2HitAfterL1Eviction)
 
 TEST(Cache, BlockingCacheSerializesMisses)
 {
-    HierarchyParams p;
-    CacheHierarchy h(p);
-    auto r1 = h.accessData(0x10000, 0); // miss: busy until 34
-    auto r2 = h.accessData(0x20000, 1); // blocked behind the first miss
+    modules::MemHierarchy h(memCfg(HierarchyParams{}));
+    auto r1 = h.l1d.access(0x10000, 0); // miss: busy until 34
+    auto r2 = h.l1d.access(0x20000, 1); // blocked behind the first miss
     EXPECT_GT(r2.readyAt, r1.readyAt);
+    EXPECT_EQ(r1.readyAt, 34u);
+    // Depth-1 MSHR gating: the second miss starts at the first fill.
+    EXPECT_EQ(r2.readyAt, 34u + 34u);
+}
+
+TEST(Cache, MshrDepthOneMatchesBlocking)
+{
+    // blocking=true and blocking=false + one MSHR must produce identical
+    // access timing: blocking is the degenerate depth-1 case, not a
+    // separate code path.
+    HierarchyParams nb;
+    nb.l1d.blocking = false;
+    nb.l2.blocking = false;
+    tm::CoreConfig one = memCfg(nb);
+    one.mem.l1dMshrs = 1;
+    one.mem.l1iMshrs = 1;
+    one.mem.l2Mshrs = 1;
+
+    modules::MemHierarchy blocking(memCfg(HierarchyParams{}));
+    modules::MemHierarchy depth1(one);
+
+    const PAddr pas[] = {0x10000, 0x20000, 0x10040, 0x30000,
+                         0x10000, 0x40000, 0x20000, 0x50000};
+    Cycle now = 0;
+    for (PAddr pa : pas) {
+        auto a = blocking.l1d.access(pa, now);
+        auto b = depth1.l1d.access(pa, now);
+        EXPECT_EQ(a.latency, b.latency) << "pa 0x" << std::hex << pa;
+        EXPECT_EQ(a.readyAt, b.readyAt) << "pa 0x" << std::hex << pa;
+        EXPECT_EQ(a.l1Hit, b.l1Hit);
+        EXPECT_EQ(a.l2Hit, b.l2Hit);
+        now += 2;
+    }
+}
+
+TEST(Cache, MshrDepthUnblocksIndependentMisses)
+{
+    // With 4 MSHRs the second independent miss overlaps the first instead
+    // of serializing behind it — the timing diverges from blocking mode.
+    HierarchyParams nb;
+    nb.l1d.blocking = false;
+    nb.l2.blocking = false;
+    tm::CoreConfig cfg = memCfg(nb);
+    cfg.mem.l1dMshrs = 4;
+    cfg.mem.l2Mshrs = 4;
+    modules::MemHierarchy h(cfg);
+
+    auto r1 = h.l1d.access(0x10000, 0);
+    auto r2 = h.l1d.access(0x20000, 1);
+    EXPECT_EQ(r1.readyAt, 34u);
+    // Overlapped: gated only by the shared L2 port model, not the full
+    // first-miss latency.
+    EXPECT_LT(r2.readyAt, 34u + 34u);
+    EXPECT_EQ(h.l1d.outstandingMisses(1), 2u);
+    EXPECT_EQ(h.l1d.outstandingMisses(100), 0u);
+}
+
+TEST(Cache, MshrGateWaitsForEarliestFill)
+{
+    modules::MshrTable t(2);
+    t.allocate(10);
+    t.allocate(20);
+    EXPECT_EQ(t.gate(5), 10u);  // full: wait for the earliest completion
+    EXPECT_EQ(t.gate(10), 10u); // slot frees at its completion cycle
+    t.allocate(30);
+    EXPECT_EQ(t.outstanding(10), 2u);
+    EXPECT_EQ(t.gate(40), 40u);
+}
+
+TEST(Cache, HitRateZeroWhenNeverAccessed)
+{
+    // A never-touched cache must not report a perfect hit rate.
+    CacheLevel c({"t", 1024, 2, 64, 1, true});
+    EXPECT_FALSE(c.everAccessed());
+    EXPECT_EQ(c.hitRate(), 0.0);
+    c.access(0x1000);
+    c.access(0x1000);
+    EXPECT_TRUE(c.everAccessed());
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+
+    TlbModel tlb("t", 64, 30);
+    EXPECT_FALSE(tlb.everAccessed());
+    EXPECT_EQ(tlb.hitRate(), 0.0);
+}
+
+TEST(Cache, FabricRecordsMissTraffic)
+{
+    // Misses leave request tokens on the fabric edges; hits do not.
+    modules::MemHierarchy h(memCfg(HierarchyParams{}));
+    h.fx.tickAll(0);
+    auto r = h.l1d.access(0x10000, 0);
+    EXPECT_FALSE(r.l1Hit);
+    // The L1D itself pushed its miss down to the L2, the L2 to memory,
+    // and the fills ride back at their readiness.
+    EXPECT_EQ(h.fx.l1dToL2.size(), 1u);
+    EXPECT_EQ(h.fx.l2ToMem.size(), 1u);
+    EXPECT_EQ(h.fx.memToL2.size(), 1u);
+    EXPECT_EQ(h.fx.l2ToL1d.size(), 1u);
+    h.l1d.access(0x10000, 100); // hit: no new traffic
+    EXPECT_EQ(h.fx.l1dToL2.size(), 1u);
 }
 
 TEST(Cache, HostCyclesScaleWithAssociativity)

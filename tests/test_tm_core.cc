@@ -198,8 +198,8 @@ TEST(TmCore, CacheHitIsFast)
     tb.push(mk.load(0x40000));
     tb.push(mk.load(0x40004));
     runUntilCommitted(core, 2);
-    EXPECT_EQ(core.caches().l1d().stats().value("hits"), 1u);
-    EXPECT_EQ(core.caches().l1d().stats().value("misses"), 1u);
+    EXPECT_EQ(core.l1d().level().stats().value("hits"), 1u);
+    EXPECT_EQ(core.l1d().level().stats().value("misses"), 1u);
 }
 
 TEST(TmCore, StoreToLoadSameAddressOrders)

@@ -47,6 +47,9 @@ constexpr DiagInfo KnownDiagnostics[] = {
     {"FAB004", "Connector throughput/capacity inconsistency"},
     {"FAB005", "statistics counter name collision across modules"},
     {"FAB006", "aggregate FPGA cost exceeds the device budget"},
+    {"FAB007", "bounded memory edge undersized for the level's MSHR depth"},
+    {"FAB008", "writeback->commit capacity smaller than the ROB"},
+    {"FAB009", "issueWidth exceeds the total functional units"},
     {"COD001", "overlapping opcode encodings"},
     {"COD002", "opcode byte shadowed by a prefix/escape byte"},
     {"COD003", "encoding exceeds the 15-byte architectural limit"},
@@ -59,6 +62,7 @@ constexpr DiagInfo KnownDiagnostics[] = {
     {"DET003", "uninitialized scalar member in a trace/event struct "
                "(python linter)"},
     {"DET004", "non-const function-local static (python linter)"},
+    {"DET005", "discarded TraceBuffer rewind/commit result (python linter)"},
 };
 
 int
