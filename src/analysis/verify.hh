@@ -19,6 +19,7 @@
 #define FASTSIM_ANALYSIS_VERIFY_HH
 
 #include "analysis/diagnostics.hh"
+#include "fast/tuning.hh"
 #include "fpga/model.hh"
 #include "tm/core.hh"
 
@@ -44,6 +45,16 @@ void verify(const tm::Core &core, const VerifyOptions &opts, Report &report);
  * (via fatal()) listing every finding if the fabric has errors.
  */
 void verifyFabricOrFatal(const tm::Core &core);
+
+/**
+ * Construction-time validation of the parallel tuning knobs (FAB010).
+ * Unconditional in both runner constructors — unlike the fabric pass
+ * there is no opt-out, because an invalid epoch window or batch size
+ * does not merely mis-model, it wedges the rendezvous.  Throws
+ * FatalError listing every finding.
+ */
+void verifyParallelTuningOrFatal(const fast::ParallelTuning &tuning,
+                                 unsigned rob_entries);
 
 } // namespace analysis
 } // namespace fastsim

@@ -16,12 +16,13 @@ Guardrails::Guardrails(const GuardrailConfig &cfg, stats::Group &stats)
 }
 
 bool
-Guardrails::notePoll(std::uint64_t committed_insts)
+Guardrails::notePoll(std::uint64_t committed_insts, std::uint64_t aux_progress)
 {
     if (cfg_.watchdogBudget == 0)
         return false;
-    if (committed_insts != lastCommitted_) {
+    if (committed_insts != lastCommitted_ || aux_progress != lastAux_) {
         lastCommitted_ = committed_insts;
+        lastAux_ = aux_progress;
         pollsSinceProgress_ = 0;
         fired_ = false;
         return false;
@@ -36,8 +37,8 @@ Guardrails::notePoll(std::uint64_t committed_insts)
 
 std::string
 Guardrails::diagnose(const fm::FuncModel &fm, const tm::Core &core,
-                     const tm::TraceBuffer &tb,
-                     const ProtocolEngine &engine) const
+                     const tm::TraceBuffer &tb, const ProtocolEngine &engine,
+                     const std::string &runner_state) const
 {
     char line[256];
     std::string d = "no-progress watchdog: structured diagnosis\n";
@@ -84,6 +85,8 @@ Guardrails::diagnose(const fm::FuncModel &fm, const tm::Core &core,
                       c->name().c_str(), c->size());
         d += line;
     }
+    if (!runner_state.empty())
+        d += runner_state;
     return d;
 }
 

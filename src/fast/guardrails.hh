@@ -75,8 +75,16 @@ class Guardrails
      * Record one poll.  @return true exactly once per stall: when the
      * no-progress budget is first exceeded.  The caller decides whether
      * to diagnose-and-die, warn, or degrade.
+     *
+     * `aux_progress` is an optional second monotonic progress signal: the
+     * parallel runner passes the FM thread's produced+applied counter so
+     * that a TM thread parked behind a legitimately busy FM (epoch
+     * rendezvous, trace-ring refill) does not accumulate watchdog polls —
+     * the watchdog only fires when *neither* side is moving.  The coupled
+     * runner leaves it 0 (never advances), preserving the old behaviour.
      */
-    bool notePoll(std::uint64_t committed_insts);
+    bool notePoll(std::uint64_t committed_insts,
+                  std::uint64_t aux_progress = 0);
 
     bool watchdogFired() const { return fired_; }
 
@@ -93,10 +101,13 @@ class Guardrails
      * Build the structured no-progress diagnosis: committed/fetch
      * positions, FM speculation state, trace-buffer occupancy, per-
      * connector occupancies, and the protocol engine's in-flight state.
+     * `runner_state` is appended verbatim when non-empty — the parallel
+     * runner uses it for park/wake counters and epoch-window state.
      */
     std::string diagnose(const fm::FuncModel &fm, const tm::Core &core,
                          const tm::TraceBuffer &tb,
-                         const ProtocolEngine &engine) const;
+                         const ProtocolEngine &engine,
+                         const std::string &runner_state = {}) const;
 
     const std::string &lastDiagnosis() const { return lastDiagnosis_; }
     void noteDiagnosis(std::string d) { lastDiagnosis_ = std::move(d); }
@@ -163,6 +174,7 @@ class Guardrails
     GuardrailConfig cfg_;
 
     std::uint64_t lastCommitted_ = 0;
+    std::uint64_t lastAux_ = 0;
     std::uint64_t pollsSinceProgress_ = 0;
     bool fired_ = false;
     std::string lastDiagnosis_;

@@ -1,6 +1,7 @@
 #include "fast/parallel.hh"
 
 #include <chrono>
+#include <cstdio>
 
 #include "analysis/verify.hh"
 #include "base/logging.hh"
@@ -17,9 +18,20 @@ constexpr std::size_t EventRingEntries = 4096;
 } // namespace
 
 ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
-    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast_parallel"),
-      guardrails_(cfg.guardrails, stats_), events_(EventRingEntries)
+    : cfg_(cfg),
+      tb_(cfg.traceBufferEntries,
+          cfg.tuning.adaptive.enabled ? cfg.tuning.adaptive.maxEntries : 0),
+      stats_("fast_parallel"), guardrails_(cfg.guardrails, stats_),
+      sizer_(cfg.tuning.adaptive, stats_), events_(EventRingEntries),
+      stFmParks_(stats_.handle("fm_parks")),
+      stTmParks_(stats_.handle("tm_parks")),
+      stFmWakes_(stats_.handle("fm_wakes")),
+      stTmWakes_(stats_.handle("tm_wakes")),
+      stEpochHoldTicks_(stats_.handle("epoch_hold_ticks")),
+      stCmdBatches_(stats_.handle("cmd_commit_batches")),
+      stBatchedCommits_(stats_.handle("cmd_batched_commits"))
 {
+    analysis::verifyParallelTuningOrFatal(cfg.tuning, cfg.core.robEntries);
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false;
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
@@ -33,9 +45,13 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     link_ = std::make_unique<inject::TraceLink>(plan_.get(), cfg.linkRetry,
                                                 stats_);
     cmd_ = std::make_unique<CmdChannel>(plan_.get(), cfg.linkRetry, stats_);
-    if (cfg.guardrails.hashCommits)
+    mirror_.configure(cfg.fm.diskBlocks);
+    if (cfg.guardrails.hashCommits || cfg.deterministicDevices)
         core_->onCommit = [this](const fm::TraceEntry &e) {
-            guardrails_.onCommitEntry(e);
+            if (cfg_.guardrails.hashCommits)
+                guardrails_.onCommitEntry(e);
+            if (cfg_.deterministicDevices)
+                mirror_.onCommitEntry(e);
         };
 }
 
@@ -64,6 +80,67 @@ ParallelFastSimulator::resteerPending() const
 }
 
 void
+ParallelFastSimulator::wakeFm()
+{
+    if (fmWaiting_.load(std::memory_order_acquire)) {
+        ++stFmWakes_;
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_.notify_all();
+    }
+}
+
+void
+ParallelFastSimulator::wakeTm()
+{
+    if (tmWaiting_.load(std::memory_order_acquire)) {
+        ++stTmWakes_;
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_.notify_all();
+    }
+}
+
+template <typename Pred>
+void
+ParallelFastSimulator::tmSpinThenPark(Pred &&ready)
+{
+    // TM thread.  Bounded spin first: the FM polls the event ring every
+    // interpreted instruction, so the condition normally flips within a
+    // handful of host instructions and parking would cost two context
+    // switches for nothing.  Only after tuning.spinIters fruitless
+    // iterations does the thread take the mutex and park (with a timeout:
+    // the wait conditions are re-derived from atomics the waker does not
+    // always touch under the lock, so the cv is a latency optimization,
+    // never the correctness mechanism).  The spin phase only runs on a
+    // *fresh* wait: once a park expired without the condition flipping,
+    // the wait is long by definition and re-spinning every poll would
+    // just burn host cycles (and, on a single-core host, yield whole
+    // scheduler quanta to the other thread per poll — fatal for the
+    // watchdog's polls-until-fire budget).
+    using namespace std::chrono_literals;
+    const unsigned spin = tmLastParked_ ? 0 : cfg_.tuning.spinIters;
+    for (unsigned i = 0; i < spin; ++i) {
+        if (ready() || stop_.load(std::memory_order_relaxed)) {
+            tmLastParked_ = false;
+            return;
+        }
+        if ((i & 63u) == 63u)
+            std::this_thread::yield();
+    }
+    if (stop_.load(std::memory_order_relaxed))
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    tmWaiting_.store(true, std::memory_order_release);
+    if (!ready()) {
+        ++stTmParks_;
+        cv_.wait_for(lk, 100us);
+        tmLastParked_ = !ready();
+    } else {
+        tmLastParked_ = false;
+    }
+    tmWaiting_.store(false, std::memory_order_relaxed);
+}
+
+void
 ParallelFastSimulator::applyMessage(const TmEvent &e)
 {
     // Runs on the FM thread.  Rewinds are safe here: the TM quiesces
@@ -74,6 +151,16 @@ ParallelFastSimulator::applyMessage(const TmEvent &e)
     // requires.
     if (cmd_->apply(e, *fm_, tb_, stats_))
         fmStalledWrongPath_.store(false, std::memory_order_relaxed);
+    // Adaptive ring sizing happens at epoch boundaries, *inside* the
+    // resteer window: the TM thread is guaranteed not to be reading the
+    // trace buffer until the applied-count release below, so the logical
+    // capacity never changes under a concurrent reader.  Same call
+    // sites as the coupled runner (Resolve + injections, not WrongPath),
+    // so both runners walk the identical capacity trajectory.
+    if (e.kind == TmEvent::Kind::Resolve ||
+        e.kind == TmEvent::Kind::InjectTimer ||
+        e.kind == TmEvent::Kind::InjectDisk)
+        sizer_.noteEpochBoundary(e.in, tb_);
     switch (e.kind) {
       case TmEvent::Kind::Commit:
         // Release after commitTo so that when the TM's tick gate observes
@@ -105,6 +192,8 @@ ParallelFastSimulator::applyMessage(const TmEvent &e)
       case TmEvent::Kind::RefetchAt:
         break; // the core handled the TB itself
     }
+    fmProgress_.store(fmProgress_.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
 }
 
 void
@@ -134,6 +223,7 @@ ParallelFastSimulator::fmBlockedWait()
     std::unique_lock<std::mutex> lk(mu_);
     cv_.notify_all();
     if (events_.empty() && !stop_.load(std::memory_order_relaxed)) {
+        ++stFmParks_;
         fmWaiting_.store(true, std::memory_order_relaxed);
         cv_.wait_for(lk, 200us);
         fmWaiting_.store(false, std::memory_order_relaxed);
@@ -154,10 +244,7 @@ ParallelFastSimulator::fmThreadMain()
         }
         if (applied) {
             publishSnapshots();
-            if (tmWaiting_.load(std::memory_order_acquire)) {
-                std::lock_guard<std::mutex> lk(mu_);
-                cv_.notify_all();
-            }
+            wakeTm();
         }
 
         if (tb_.full() || fmStalledWrongPath_.load(std::memory_order_relaxed)
@@ -211,9 +298,10 @@ ParallelFastSimulator::fmThreadMain()
         }
 
         publishSnapshots();
-        if (produced && tmWaiting_.load(std::memory_order_acquire)) {
-            std::lock_guard<std::mutex> lk(mu_);
-            cv_.notify_all();
+        if (produced) {
+            fmProgress_.store(fmProgress_.load(std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
+            wakeTm();
         }
         if (halted)
             fmBlockedWait();
@@ -224,21 +312,89 @@ void
 ParallelFastSimulator::pushEvent(const TmEvent &e)
 {
     // TM thread.  The ring is deep; filling it means the FM has been
-    // asleep for a long stretch, so just hand over the CPU until space
-    // appears.
+    // behind for a long stretch: wake it, spin briefly, park if it still
+    // has not drained.
     while (!events_.tryPush(e)) {
-        if (fmWaiting_.load(std::memory_order_acquire)) {
-            std::lock_guard<std::mutex> lk(mu_);
-            cv_.notify_all();
-        }
-        std::this_thread::yield();
         if (stop_.load(std::memory_order_relaxed))
             return;
+        wakeFm();
+        tmSpinThenPark([this] { return events_.drained(); });
     }
-    if (fmWaiting_.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lk(mu_);
-        cv_.notify_all();
+    wakeFm();
+}
+
+void
+ParallelFastSimulator::flushCommitBatch()
+{
+    // TM thread.  Push the held cumulative Commit (commit(IN) means
+    // "everything up to IN retired", so the newest subsumes the ones
+    // coalesced into it).  One pushed event = one commitsIssued_ unit;
+    // the FM acks per applied event, so the rendezvous counters stay
+    // paired under batching.
+    if (!commitHeld_)
+        return;
+    commitHeld_ = false;
+    heldCount_ = 0;
+    ++stCmdBatches_;
+    ++commitsIssued_;
+    pushEvent(heldCommit_);
+}
+
+void
+ParallelFastSimulator::relayTickEvents()
+{
+    // TM thread: forward this tick's protocol events to the FM.  Commits
+    // are coalesced (see flushCommitBatch); the batch is flushed before
+    // any resteer-class push so the FM applies events in exactly the
+    // order the coupled runner would.
+    for (const TmEvent &e : core_->drainEvents()) {
+        switch (e.kind) {
+          case TmEvent::Kind::WrongPath:
+          case TmEvent::Kind::Resolve:
+            flushCommitBatch();
+            ++resteersIssued_;
+            pushEvent(e);
+            break;
+          case TmEvent::Kind::Commit:
+            if (commitHeld_)
+                ++stBatchedCommits_; // superseded in place
+            commitHeld_ = true;
+            heldCommit_ = e;
+            ++heldCount_;
+            if (heldCount_ >= cfg_.tuning.cmdBatchCommits)
+                flushCommitBatch();
+            break;
+          default:
+            break;
+        }
     }
+}
+
+bool
+ParallelFastSimulator::holdTickSafe() const
+{
+    // Epoch pipelining: may the TM tick while a resteer ack is still in
+    // flight?  Only when every trace-buffer touch point is provably cold
+    // this tick:
+    //  - the fetch stage early-returns under drainForMispredict before
+    //    reading the buffer;
+    //  - the commit stage retires at most commitWidth() ROB entries per
+    //    tick, so requiring strictly more than that in the ROB keeps the
+    //    drain from completing (and fetch from resuming) within the tick;
+    //  - an exception commit is the one commit-side path that rewinds the
+    //    buffer's fetch pointer (RefetchAt), so any excepting entry in
+    //    flight disqualifies the tick.
+    // These held ticks are exactly the drain cycles the coupled runner
+    // ticks after the same flush, so cycle counts stay bit-identical.
+    // A second mispredict resolving during a held tick simply raises the
+    // in-flight count, and holding stops once the epoch window is full.
+    const std::uint64_t inflight =
+        resteersIssued_ - resteersApplied_.load(std::memory_order_acquire);
+    return cfg_.tuning.maxOutstandingEpochs >= 2 &&
+           inflight < cfg_.tuning.maxOutstandingEpochs &&
+           core_->drainForMispredict() &&
+           core_->robInsts() > core_->commitWidth() &&
+           !core_->robHasException();
 }
 
 void
@@ -250,9 +406,16 @@ ParallelFastSimulator::deviceTiming()
     const bool injectPending =
         injectsApplied_.load(std::memory_order_acquire) != injectsIssued_;
     DeviceView dev;
-    dev.timerEnabled = timerEnabledSnap_.load(std::memory_order_relaxed);
-    dev.timerInterval = timerIntervalSnap_.load(std::memory_order_relaxed);
-    dev.diskBusy = diskBusySnap_.load(std::memory_order_relaxed);
+    if (cfg_.deterministicDevices) {
+        // Commit-anchored view: fed by this thread's own commits, so the
+        // host-speed snapshot publication below plays no timing role and
+        // the injection schedule is deterministic in target time.
+        dev = mirror_.view();
+    } else {
+        dev.timerEnabled = timerEnabledSnap_.load(std::memory_order_relaxed);
+        dev.timerInterval = timerIntervalSnap_.load(std::memory_order_relaxed);
+        dev.diskBusy = diskBusySnap_.load(std::memory_order_relaxed);
+    }
 
     // No committed-boundary check here: the Commit messages are already
     // queued ahead of the injection, so the FM thread applies them first
@@ -262,8 +425,11 @@ ParallelFastSimulator::deviceTiming()
         /*allow_inject=*/!injectPending, boundaryAlwaysOk_);
     if (!inj)
         return;
-    if (inj.kind == Injection::Kind::Disk)
+    if (inj.kind == Injection::Kind::Disk) {
         diskBusySnap_.store(false, std::memory_order_relaxed);
+        mirror_.onDiskInjection();
+    }
+    flushCommitBatch(); // held commits must reach the FM before the inject
     ++injectsIssued_;
     ++resteersIssued_;
     pushEvent(inj.toEvent());
@@ -281,35 +447,38 @@ ParallelFastSimulator::finishedTm() const
 void
 ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
 {
-    using namespace std::chrono_literals;
     while (!stop_.load(std::memory_order_relaxed)) {
         if (core_->cycle() >= max_cycles)
             break;
 
         // Progress watchdog: one poll per TM loop iteration (waits
-        // included, so a wedged tick gate is seen too).  On fire, stop
+        // included, so a wedged tick gate is seen too).  The FM-side
+        // progress counter rides along as the aux channel: a TM parked
+        // behind an FM that is still producing or applying is healthy
+        // and must not accumulate toward the budget.  On fire, stop
         // both threads; run() diagnoses with the FM quiesced and decides
         // between fatal() and degradation.
-        if (guardrails_.notePoll(core_->committedInsts()))
+        if (guardrails_.notePoll(core_->committedInsts(),
+                                 fmProgress_.load(std::memory_order_relaxed)))
             break;
 
         // Resteer rendezvous: between issuing a resteer-class event and
         // the FM's ack, the trace buffer's write side may move backwards,
-        // so this thread must not touch the buffer (or tick) at all.  The
-        // ack normally arrives within ~one interpreted instruction: spin
-        // briefly, then fall back to the condition variable.
+        // so this thread must not touch the buffer at all.  With an epoch
+        // window (tuning.maxOutstandingEpochs >= 2) the drain cycles of
+        // the flush are ticked *under* the outstanding resteer instead of
+        // idling — holdTickSafe() proves tick-by-tick that the buffer
+        // stays untouched.  When no safe tick exists, spin briefly, then
+        // park until the ack.
         if (resteerPending()) {
-            for (int i = 0; i < 1024 && resteerPending(); ++i) {
-                if ((i & 63) == 63)
-                    std::this_thread::yield();
+            if (holdTickSafe()) {
+                ++stEpochHoldTicks_;
+                core_->tick();
+                relayTickEvents();
+                deviceTiming();
+                continue;
             }
-            if (resteerPending() &&
-                !stop_.load(std::memory_order_relaxed)) {
-                std::unique_lock<std::mutex> lk(mu_);
-                tmWaiting_.store(true, std::memory_order_release);
-                cv_.wait_for(lk, 100us);
-                tmWaiting_.store(false, std::memory_order_relaxed);
-            }
+            tmSpinThenPark([this] { return !resteerPending(); });
             continue;
         }
 
@@ -352,7 +521,8 @@ ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
         // flight.
         const std::size_t unfetched = tb_.unfetched();
         const bool commitsQuiesced =
-            commitsApplied_.load(std::memory_order_acquire) == commitsIssued_;
+            commitsApplied_.load(std::memory_order_acquire) ==
+            commitsIssued_ && !commitHeld_;
         const bool can_tick =
             unfetched >= cfg_.core.issueWidth ||
             (commitsQuiesced && tb_.full()) ||
@@ -362,31 +532,25 @@ ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
               fmIdleWaiting_.load(std::memory_order_acquire))) ||
             injectsApplied_.load(std::memory_order_acquire) != injectsIssued_;
         if (!can_tick) {
-            std::unique_lock<std::mutex> lk(mu_);
-            tmWaiting_.store(true, std::memory_order_release);
-            cv_.wait_for(lk, 100us);
-            tmWaiting_.store(false, std::memory_order_relaxed);
+            // The FM may be waiting on exactly the commits this thread is
+            // still holding back (to free ring space or to reach the final
+            // committed boundary): release them before parking.
+            flushCommitBatch();
+            const std::uint64_t fm0 =
+                fmProgress_.load(std::memory_order_relaxed);
+            tmSpinThenPark([this, fm0] {
+                return fmProgress_.load(std::memory_order_relaxed) != fm0;
+            });
             continue;
         }
 
         core_->tick();
-        for (const TmEvent &e : core_->drainEvents()) {
-            switch (e.kind) {
-              case TmEvent::Kind::WrongPath:
-              case TmEvent::Kind::Resolve:
-                ++resteersIssued_;
-                pushEvent(e);
-                break;
-              case TmEvent::Kind::Commit:
-                ++commitsIssued_;
-                pushEvent(e);
-                break;
-              default:
-                break;
-            }
-        }
+        relayTickEvents();
         deviceTiming();
     }
+    // Leave no command behind: run() (degradation, final accounting) and
+    // the FM's last drain assume everything issued is in the ring.
+    flushCommitBatch();
 }
 
 bool
@@ -451,14 +615,20 @@ ParallelFastSimulator::degradedRun(Cycle max_cycles)
         }
 
         DeviceView dev;
-        dev.timerEnabled = fm_->timer().enabled();
-        dev.timerInterval = fm_->timer().interval();
-        dev.diskBusy = fm_->disk().busy();
+        if (cfg_.deterministicDevices) {
+            dev = mirror_.view();
+        } else {
+            dev.timerEnabled = fm_->timer().enabled();
+            dev.timerInterval = fm_->timer().interval();
+            dev.diskBusy = fm_->disk().busy();
+        }
         const Injection inj =
             engine_->deviceTick(dev, core_->cycle(),
                                 /*allow_disk_schedule=*/true,
                                 /*allow_inject=*/true, boundary_ok);
         if (inj) {
+            if (inj.kind == Injection::Kind::Disk)
+                mirror_.onDiskInjection();
             ++injectsIssued_;
             ++resteersIssued_;
             applyMessage(inj.toEvent());
@@ -475,6 +645,48 @@ ParallelFastSimulator::degradedRun(Cycle max_cycles)
     }
 }
 
+std::string
+ParallelFastSimulator::runnerStateDiagnosis() const
+{
+    // Called with both threads stopped (run(), after the join): reading
+    // the counters and stats is race-free here.
+    char line[256];
+    std::string d = "  parallel runner state:\n";
+    std::snprintf(
+        line, sizeof(line),
+        "    resteers issued=%llu applied=%llu commits issued=%llu "
+        "applied=%llu held=%u\n",
+        static_cast<unsigned long long>(resteersIssued_),
+        static_cast<unsigned long long>(
+            resteersApplied_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(commitsIssued_),
+        static_cast<unsigned long long>(
+            commitsApplied_.load(std::memory_order_relaxed)),
+        commitHeld_ ? heldCount_ : 0u);
+    d += line;
+    std::snprintf(
+        line, sizeof(line),
+        "    injects issued=%llu applied=%llu fmProgress=%llu\n",
+        static_cast<unsigned long long>(injectsIssued_),
+        static_cast<unsigned long long>(
+            injectsApplied_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            fmProgress_.load(std::memory_order_relaxed)));
+    d += line;
+    std::snprintf(
+        line, sizeof(line),
+        "    parks fm=%llu tm=%llu wakes fm=%llu tm=%llu holdTicks=%llu "
+        "epochWindow=%u\n",
+        static_cast<unsigned long long>(stFmParks_.value()),
+        static_cast<unsigned long long>(stTmParks_.value()),
+        static_cast<unsigned long long>(stFmWakes_.value()),
+        static_cast<unsigned long long>(stTmWakes_.value()),
+        static_cast<unsigned long long>(stEpochHoldTicks_.value()),
+        cfg_.tuning.maxOutstandingEpochs);
+    d += line;
+    return d;
+}
+
 RunResult
 ParallelFastSimulator::run(Cycle max_cycles)
 {
@@ -489,8 +701,8 @@ ParallelFastSimulator::run(Cycle max_cycles)
 
     if (guardrails_.watchdogFired()) {
         // Both threads are stopped: the diagnosis reads a quiesced FM.
-        guardrails_.noteDiagnosis(
-            guardrails_.diagnose(*fm_, *core_, tb_, *engine_));
+        guardrails_.noteDiagnosis(guardrails_.diagnose(
+            *fm_, *core_, tb_, *engine_, runnerStateDiagnosis()));
         if (!cfg_.guardrails.degradeOnWatchdog)
             fatal("%s", guardrails_.lastDiagnosis().c_str());
 

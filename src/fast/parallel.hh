@@ -28,18 +28,50 @@
  *    the trace buffer's write index *backwards*, which is only safe if
  *    the TM is not concurrently reading slots.  The TM therefore counts
  *    resteers issued, the FM publishes resteers applied (release), and
- *    the TM does not touch the buffer — does not tick at all — between
- *    issue and ack.  The FM polls the event ring every instruction, so
- *    the ack normally lands within ~one interpreted instruction; a
- *    mutex+condition-variable path backs up the rare case where either
- *    side actually has to sleep (TB full, guest halted, TM starved).
+ *    the TM does not touch the buffer between issue and ack.  The FM
+ *    polls the event ring every instruction, so the ack normally lands
+ *    within ~one interpreted instruction.
+ *
+ * Performance machinery (DESIGN.md §12; FastConfig::tuning):
+ *
+ *  - *epoch pipelining*: with tuning.maxOutstandingEpochs >= 2 the TM
+ *    does not idle for the whole resteer round trip — while the FM is
+ *    still applying the rewind, the TM keeps ticking the mispredict
+ *    drain cycles that provably cannot touch the trace buffer (the
+ *    fetch stage early-returns under drainForMispredict and the commit
+ *    stage can retire at most commitWidth ROB entries per tick).  Those
+ *    held ticks are exactly the cycles the coupled reference spends
+ *    draining the same flush, so cycle counts and golden hashes stay
+ *    bit-identical; rewinds still only ever target the oldest
+ *    unverified epoch because the FM applies ring-ordered events.
+ *  - *batched TM->FM commands*: Commit events are cumulative
+ *    ("everything up to IN retired"), so the TM coalesces up to
+ *    tuning.cmdBatchCommits of them into the newest one before pushing,
+ *    flushing the held batch before any resteer-class or injection push
+ *    (order through the CmdChannel is preserved) and whenever the tick
+ *    gate closes (the FM may be waiting on exactly that commit to free
+ *    trace-buffer space or reach the final boundary).
+ *  - *spin-then-park*: both threads spin a bounded tuning.spinIters
+ *    before parking on the shared condition variable; parks and wakes
+ *    are counted (fm_parks / tm_parks / fm_wakes / tm_wakes) and the
+ *    watchdog treats a park behind a *moving* FM as healthy via the
+ *    aux-progress channel of Guardrails::notePoll.
+ *  - *adaptive trace sizing*: AdaptiveTraceSizer retargets the trace
+ *    ring's logical capacity from the observed inter-epoch distance; it
+ *    runs on the FM thread at epoch boundaries, inside the resteer
+ *    window (before the applied-count release), so the TM never
+ *    observes a capacity change mid-read.
  *
  * Functional results (committed work, console output, final state) are
- * identical to the coupled simulator.  Interrupt *timing* may vary with
- * host scheduling (as on the paper's real DRC platform), so cycle counts
- * are near, but not bit-equal to, the coupled reference; the coupled
- * simulator is the deterministic cycle-accurate reference.  Device-free
- * runs are bit-identical (tested).
+ * identical to the coupled simulator.  With the default device semantics,
+ * interrupt *timing* may vary with host scheduling (as on the paper's
+ * real DRC platform), so cycle counts of timer/disk-driven runs are near,
+ * but not bit-equal to, the coupled reference; device-free runs are
+ * bit-identical (tested).  With cfg.deterministicDevices the
+ * CommittedDeviceMirror anchors device-register writes at commit time and
+ * *every* run — timers and disk included — is bit-identical to the
+ * coupled runner, cycles and golden hashes both (tested on all 17 golden
+ * workloads).
  *
  * Robustness (DESIGN.md §10): the same FaultPlan / TraceLink / CmdChannel
  * stack as the coupled runner runs on the FM thread (all fault streams
@@ -108,6 +140,15 @@ class ParallelFastSimulator
     bool finishedTm() const;
     bool resteerPending() const;
 
+    // Epoch pipelining / batching / parking (see file comment).
+    bool holdTickSafe() const;
+    void relayTickEvents();
+    void flushCommitBatch();
+    void wakeFm(); //!< TM thread: kick a parked FM (counts fm_wakes)
+    void wakeTm(); //!< FM thread: kick a parked TM (counts tm_wakes)
+    template <typename Pred> void tmSpinThenPark(Pred &&ready);
+    std::string runnerStateDiagnosis() const;
+
     FastConfig cfg_;
     std::unique_ptr<fm::FuncModel> fm_;
     tm::TraceBuffer tb_;
@@ -122,6 +163,11 @@ class ParallelFastSimulator
     std::unique_ptr<inject::TraceLink> link_;
     std::unique_ptr<CmdChannel> cmd_;
     Guardrails guardrails_;
+    AdaptiveTraceSizer sizer_; //!< FM-thread driven (epoch boundaries)
+    //!< TM-thread-owned commit-anchored device view
+    //!< (cfg.deterministicDevices): fed by core_->onCommit inside
+    //!< core_->tick(), read by deviceTiming() — both on the TM thread.
+    CommittedDeviceMirror mirror_;
     std::uint64_t fmStallRemaining_ = 0; //!< FM-thread-local (FmStall)
     bool degraded_ = false;              //!< set after both threads stopped
 
@@ -144,6 +190,21 @@ class ParallelFastSimulator
     // entries can fill it.
     std::uint64_t commitsIssued_ = 0;
     std::atomic<std::uint64_t> commitsApplied_{0};
+
+    // Commit-batching state (TM-thread-local): the newest held cumulative
+    // Commit event and how many were coalesced into it.
+    bool commitHeld_ = false;
+    unsigned heldCount_ = 0;
+    tm::TmEvent heldCommit_{};
+
+    //!< TM-thread-local: last tmSpinThenPark ended in an expired park, so
+    //!< the next one skips the spin phase (see tmSpinThenPark).
+    bool tmLastParked_ = false;
+
+    // FM-side monotonic progress (produced entries + applied events),
+    // read by the TM's watchdog poll as the aux-progress channel: a TM
+    // parked behind a busy FM is healthy, not wedged.
+    std::atomic<std::uint64_t> fmProgress_{0};
 
     // Cross-thread flags (lock-free reads on the hot paths).
     std::atomic<bool> fmStalledWrongPath_{false};
@@ -170,6 +231,18 @@ class ParallelFastSimulator
     std::condition_variable cv_;
     std::atomic<bool> fmWaiting_{false};
     std::atomic<bool> tmWaiting_{false};
+
+    // Park/wake/pipelining counters.  Pre-resolved in the constructor:
+    // stats::Group map mutation is not thread-safe, and each counter has
+    // exactly one writer thread (parks on the parking thread, wakes on
+    // the waking thread, batching and hold-ticks on the TM thread).
+    stats::Handle stFmParks_;
+    stats::Handle stTmParks_;
+    stats::Handle stFmWakes_;
+    stats::Handle stTmWakes_;
+    stats::Handle stEpochHoldTicks_;
+    stats::Handle stCmdBatches_;
+    stats::Handle stBatchedCommits_;
 
     std::thread fmThread_;
 };

@@ -31,6 +31,7 @@
 
 #include "base/serialize.hh"
 #include "base/statistics.hh"
+#include "fast/tuning.hh"
 #include "fm/func_model.hh"
 #include "host/link_model.hh"
 #include "inject/fault_plan.hh"
@@ -48,6 +49,93 @@ struct DeviceView
     bool timerEnabled = false;
     std::uint32_t timerInterval = 0;
     bool diskBusy = false;
+};
+
+/**
+ * Commit-anchored device view (FastConfig::deterministicDevices).
+ *
+ * The default DeviceView is read at FM *interpretation* time: the coupled
+ * runner sees a device-register write as soon as its run-ahead production
+ * interprets it, and the parallel runner sees it whenever the FM thread
+ * happens to publish the snapshot — a host-speed-dependent target cycle,
+ * which is why interrupt arrival (and hence the committed instruction
+ * stream) of timer-driven parallel runs drifts between hosts, exactly as
+ * on the paper's real DRC platform (§3.4).
+ *
+ * This mirror instead replays committed OUT instructions (the port and
+ * value ride in the trace entry) on the TM side of both runners: a
+ * device-register write becomes timing-visible exactly when it *commits*.
+ * Commit time is deterministic in target time in both runners, wrong-path
+ * writes never commit, and the mirror state is a pure function of the
+ * committed stream — so with the flag on, timer- and disk-driven runs are
+ * bit-identical between the coupled and parallel runners, including
+ * cycle counts.  The semantics differ from the default mode only in when
+ * a reprogrammed device register takes timing effect (commit instead of
+ * run-ahead interpretation), never in guest-visible behaviour.
+ */
+class CommittedDeviceMirror
+{
+  public:
+    /** @param disk_blocks the disk geometry (FmConfig::diskBlocks); the
+     *  mirror reproduces DiskDevice's out-of-range-command guard. */
+    void configure(std::uint32_t disk_blocks) { diskBlocks_ = disk_blocks; }
+
+    /** Replay one committed entry (Core::onCommit, TM side). */
+    void
+    onCommitEntry(const fm::TraceEntry &e)
+    {
+        if (!e.isIo)
+            return;
+        switch (e.ioPort) {
+          case fm::PortTimerCtl:
+            view_.timerEnabled = (e.ioValue & 1) != 0;
+            break;
+          case fm::PortTimerInterval:
+            view_.timerInterval = e.ioValue ? e.ioValue : 1;
+            break;
+          case fm::PortDiskBlock:
+            diskBlock_ = e.ioValue;
+            break;
+          case fm::PortDiskCmd:
+            // DiskDevice ignores commands while busy or out of range.
+            if (!view_.diskBusy && diskBlock_ < diskBlocks_)
+                view_.diskBusy = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** The engine delivered the completion: the disk is idle again (the
+     *  FM-side status write lands with the injection's resteer). */
+    void onDiskInjection() { view_.diskBusy = false; }
+
+    const DeviceView &view() const { return view_; }
+
+    /** Snapshot support: the mirror is deterministic target state. */
+    void
+    save(serialize::Sink &s) const
+    {
+        s.put<std::uint8_t>(view_.timerEnabled ? 1 : 0);
+        s.put<std::uint32_t>(view_.timerInterval);
+        s.put<std::uint8_t>(view_.diskBusy ? 1 : 0);
+        s.put<std::uint32_t>(diskBlock_);
+    }
+    void
+    restore(serialize::Source &s)
+    {
+        view_.timerEnabled = s.get<std::uint8_t>() != 0;
+        view_.timerInterval = s.get<std::uint32_t>();
+        view_.diskBusy = s.get<std::uint8_t>() != 0;
+        diskBlock_ = s.get<std::uint32_t>();
+    }
+
+  private:
+    // Reset values mirror the devices' own: TimerDevice wakes with
+    // interval 10000, the disk idle.
+    DeviceView view_{false, 10000, false};
+    std::uint32_t diskBlock_ = 0;
+    std::uint32_t diskBlocks_ = 0;
 };
 
 /** A device event the engine decided to deliver (§3.4): the pipeline has
@@ -160,6 +248,56 @@ class ProtocolEngine
     Cycle diskCompleteAt_ = 0;
     bool pendingTimerIrq_ = false;
     bool pendingDiskComplete_ = false;
+};
+
+/**
+ * Deterministic adaptive trace-ring sizing (DESIGN.md §12.3), shared by
+ * both runners so their capacity trajectories are identical.
+ *
+ * Driven at *epoch boundaries* — each Resolve / InjectTimer / InjectDisk
+ * event as it is applied to the functional model (the moment the ring's
+ * speculative contents above the resteer point are discarded anyway).
+ * The inter-boundary committed-IN distance feeds an integer EWMA; the
+ * ring's logical capacity tracks `headroomMul * EWMA`, clamped to the
+ * configured pow2 bounds.  Every input is a function of target execution
+ * (applied-event INs), never of wall-clock or host scheduling, so the
+ * resize sequence is bit-reproducible — fastlint's DET pass would reject
+ * a clock read here for exactly that reason.
+ *
+ * Runs on whichever thread owns the FM (TraceBuffer::setCapacity is a
+ * producer-side operation); in the parallel runner the resize therefore
+ * completes before the resteer ack the TM's tick gate acquires.
+ */
+class AdaptiveTraceSizer
+{
+  public:
+    AdaptiveTraceSizer(const AdaptiveSizing &cfg, stats::Group &stats);
+
+    /** Note an epoch boundary applied at IN `in`; maybe resize `tb`. */
+    void noteEpochBoundary(InstNum in, tm::TraceBuffer &tb);
+
+    bool enabled() const { return cfg_.enabled; }
+    std::uint64_t ewma() const { return ewma_; }
+
+    /** Snapshot support (the EWMA is deterministic target state). */
+    void
+    save(serialize::Sink &s) const
+    {
+        s.put<InstNum>(lastIn_);
+        s.put<std::uint64_t>(ewma_);
+    }
+    void
+    restore(serialize::Source &s)
+    {
+        lastIn_ = s.get<InstNum>();
+        ewma_ = s.get<std::uint64_t>();
+    }
+
+  private:
+    AdaptiveSizing cfg_;
+    InstNum lastIn_ = 0;      //!< IN of the previous epoch boundary
+    std::uint64_t ewma_ = 0;  //!< EWMA of inter-boundary IN distance
+    stats::Handle stResizes_;
 };
 
 /**

@@ -10,9 +10,13 @@ using fm::StepResult;
 using tm::TmEvent;
 
 FastSimulator::FastSimulator(const FastConfig &cfg)
-    : cfg_(cfg), tb_(cfg.traceBufferEntries), stats_("fast"),
-      guardrails_(cfg.guardrails, stats_)
+    : cfg_(cfg),
+      tb_(cfg.traceBufferEntries,
+          cfg.tuning.adaptive.enabled ? cfg.tuning.adaptive.maxEntries : 0),
+      stats_("fast"), guardrails_(cfg.guardrails, stats_),
+      sizer_(cfg.tuning.adaptive, stats_)
 {
+    analysis::verifyParallelTuningOrFatal(cfg.tuning, cfg.core.robEntries);
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
     fm_ = std::make_unique<fm::FuncModel>(fm_cfg);
@@ -27,9 +31,13 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
     link_ = std::make_unique<inject::TraceLink>(plan_.get(), cfg.linkRetry,
                                                 stats_);
     cmd_ = std::make_unique<CmdChannel>(plan_.get(), cfg.linkRetry, stats_);
-    if (cfg.guardrails.hashCommits)
+    mirror_.configure(cfg.fm.diskBlocks);
+    if (cfg.guardrails.hashCommits || cfg.deterministicDevices)
         core_->onCommit = [this](const fm::TraceEntry &e) {
-            guardrails_.onCommitEntry(e);
+            if (cfg_.guardrails.hashCommits)
+                guardrails_.onCommitEntry(e);
+            if (cfg_.deterministicDevices)
+                mirror_.onCommitEntry(e);
         };
 }
 
@@ -73,6 +81,8 @@ FastSimulator::handleEvents()
             onEvent(e);
         if (cmd_->apply(e, *fm_, tb_, stats_))
             fmStalledWrongPath_ = false;
+        if (e.kind == TmEvent::Kind::Resolve)
+            sizer_.noteEpochBoundary(e.in, tb_);
     }
 }
 
@@ -89,17 +99,26 @@ FastSimulator::deviceTiming()
     }
 
     DeviceView dev;
-    dev.timerEnabled = fm_->timer().enabled();
-    dev.timerInterval = fm_->timer().interval();
-    dev.diskBusy = fm_->disk().busy();
+    if (cfg_.deterministicDevices) {
+        dev = mirror_.view();
+    } else {
+        dev.timerEnabled = fm_->timer().enabled();
+        dev.timerInterval = fm_->timer().interval();
+        dev.diskBusy = fm_->disk().busy();
+    }
 
     // Single-threaded: the engine may schedule and inject without transport
     // constraints, gated only on the FM's true committed boundary.
     const Injection inj =
         engine_->deviceTick(dev, core_->cycle(), /*allow_disk_schedule=*/true,
                             /*allow_inject=*/true, boundaryOk_);
-    if (inj && cmd_->apply(inj.toEvent(), *fm_, tb_, stats_))
-        fmStalledWrongPath_ = false;
+    if (inj) {
+        if (inj.kind == Injection::Kind::Disk)
+            mirror_.onDiskInjection();
+        if (cmd_->apply(inj.toEvent(), *fm_, tb_, stats_))
+            fmStalledWrongPath_ = false;
+        sizer_.noteEpochBoundary(inj.in, tb_);
+    }
 }
 
 void

@@ -76,6 +76,27 @@ struct FastConfig
     host::LinkRetryPolicy linkRetry;
 
     /**
+     * Parallel-runner performance tuning (epoch window, command batching,
+     * spin-then-park bounds, adaptive trace-ring sizing; DESIGN.md §12).
+     * Validated at construction by both runners (fastlint FAB010); the
+     * adaptive sizing — the one knob that also affects the coupled
+     * runner — is deterministic in target time, so coupled and parallel
+     * capacity trajectories are identical.
+     */
+    ParallelTuning tuning;
+
+    /**
+     * Commit-anchored device timing (CommittedDeviceMirror): device-
+     * register writes take timing effect when they *commit* instead of
+     * when the FM's run-ahead interprets them.  Makes timer- and disk-
+     * driven runs bit-identical between the coupled and parallel runners
+     * (cycles included) at the cost of a slightly later timer arm than
+     * the default interpretation-time semantics.  Off by default: the
+     * golden reference numbers pin the default semantics.
+     */
+    bool deterministicDevices = false;
+
+    /**
      * Crash-consistent checkpointing (coupled runner): snapshot to
      * `checkpointPath` every `checkpointEvery` target cycles (0 = off).
      * Snapshots are taken at drained commit boundaries, so enabling them
@@ -171,6 +192,8 @@ class FastSimulator
     std::unique_ptr<inject::TraceLink> link_;
     std::unique_ptr<CmdChannel> cmd_;
     Guardrails guardrails_;
+    AdaptiveTraceSizer sizer_;
+    CommittedDeviceMirror mirror_; //!< cfg.deterministicDevices
 
     //!< injection boundary: the FM committed everything below `in`
     std::function<bool(InstNum)> boundaryOk_;

@@ -39,7 +39,12 @@ constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
 // v2: the memory hierarchy became registry modules — the payload now
 // carries per-level MSHR tables and the ten memory-fabric connectors,
 // and the fingerprint covers the MemConfig knobs that shape them.
-constexpr std::uint32_t SnapshotVersion = 2;
+// v3: the payload carries the adaptive trace-sizer state (EWMA + current
+// ring capacity) and the fingerprint covers the ParallelTuning knobs
+// that shape target-visible behaviour (epoch window, batch size and the
+// adaptive bounds are all part of the deterministic contract a resumed
+// run must reproduce).
+constexpr std::uint32_t SnapshotVersion = 3;
 
 } // namespace
 
@@ -97,6 +102,17 @@ FastSimulator::configFingerprint() const
     s.put<std::uint32_t>(cfg_.core.mem.l1dMshrs);
     s.put<std::uint32_t>(cfg_.core.mem.l2Mshrs);
     s.put<Cycle>(cfg_.core.mem.memServiceInterval);
+    // ParallelTuning (spinIters is deliberately excluded: it is host-side
+    // only and cannot affect target state, so snapshots stay portable
+    // across spin-bound settings).
+    s.put<std::uint32_t>(cfg_.tuning.maxOutstandingEpochs);
+    s.put<std::uint32_t>(cfg_.tuning.cmdBatchCommits);
+    s.put<std::uint8_t>(cfg_.tuning.adaptive.enabled ? 1 : 0);
+    s.put<std::uint64_t>(cfg_.tuning.adaptive.minEntries);
+    s.put<std::uint64_t>(cfg_.tuning.adaptive.maxEntries);
+    s.put<std::uint32_t>(cfg_.tuning.adaptive.ewmaShift);
+    s.put<std::uint32_t>(cfg_.tuning.adaptive.headroomMul);
+    s.put<std::uint8_t>(cfg_.deterministicDevices ? 1 : 0);
     return s.checksum();
 }
 
@@ -110,6 +126,9 @@ FastSimulator::saveSnapshot(const std::string &path)
     core_->saveState(payload);
     engine_->save(payload);
     guardrails_.save(payload);
+    sizer_.save(payload);
+    payload.put<std::uint64_t>(tb_.capacity());
+    mirror_.save(payload);
     serialize::putGroup(payload, stats_);
 
     serialize::Sink header;
@@ -174,12 +193,17 @@ FastSimulator::resumeFrom(const std::string &path)
     core_->restoreState(s);
     engine_->restore(s);
     guardrails_.restore(s);
+    sizer_.restore(s);
+    const std::uint64_t tb_capacity = s.get<std::uint64_t>();
+    mirror_.restore(s);
     serialize::getGroup(s, stats_);
     s.require(s.atEnd(), "snapshot has trailing bytes");
 
     // The resumed boundary is quiesced: the TB is logically empty and its
-    // IN<->index mapping re-establishes on the first push.
+    // IN<->index mapping re-establishes on the first push.  The adaptive
+    // capacity trajectory resumes where the snapshot left it.
     tb_.reset();
+    tb_.setCapacity(static_cast<std::size_t>(tb_capacity));
     fmStalledWrongPath_ = false;
     checkpointDrainPending_ = false;
     nextCheckpointAt_ = 0;

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parallel-runner performance tuning knobs (DESIGN.md §12).
+ *
+ * A standalone value header: the analysis layer (fastlint's FAB010 pass)
+ * validates these without pulling in the simulator facades, and both
+ * runners embed them through FastConfig.  Every knob here is either
+ * host-side only (spin bounds) or deterministic in *target* time
+ * (epoch window, batch size, adaptive capacity trajectory), so the
+ * parallel runner stays bit-identical to the coupled reference at any
+ * setting — the knobs trade host wall-clock, never target cycles.
+ */
+
+#ifndef FASTSIM_FAST_TUNING_HH
+#define FASTSIM_FAST_TUNING_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastsim {
+namespace fast {
+
+/**
+ * Deterministic adaptive trace-ring sizing (paper §3.1: the useful FM
+ * run-ahead is bounded by the distance to the next synchronization).
+ *
+ * The signal is the EWMA of the committed-IN distance between consecutive
+ * *epoch boundaries* (Resolve / device-injection resteers) as the FM
+ * applies them — a pure function of target execution, never wall-clock —
+ * so the capacity trajectory is identical in the coupled and parallel
+ * runners and bit-identity is preserved.  The target capacity is
+ * `headroomMul * EWMA`, clamped to [minEntries, maxEntries] and rounded
+ * up to a power of two.  minEntries must stay comfortably above the ROB
+ * (enforced by FAB010) so a shrink can never starve fetch and perturb
+ * the cycle trajectory.
+ */
+struct AdaptiveSizing
+{
+    bool enabled = false;
+    std::size_t minEntries = 256;  //!< pow2; lower clamp (>= 2 * ROB)
+    std::size_t maxEntries = 4096; //!< pow2; physical ring preallocation
+    unsigned ewmaShift = 3;        //!< EWMA alpha = 1 / 2^ewmaShift
+    unsigned headroomMul = 2;      //!< capacity target = mul * EWMA
+};
+
+/** Parallel-runner tuning (validated at construction; fastlint FAB010). */
+struct ParallelTuning
+{
+    /**
+     * Epoch window: how many resteer-class epochs may be outstanding
+     * (issued, not yet FM-acknowledged) while the TM keeps ticking.
+     * 1 = the PR 1 behaviour (full stop at every rendezvous).  >= 2
+     * enables epoch pipelining: the TM overlaps the deterministic
+     * mispredict-flush drain with the FM's rewind + right-path refill
+     * (DESIGN.md §12.1); rewinds always land in the oldest unverified
+     * epoch, so golden hashes stay bit-identical.
+     */
+    unsigned maxOutstandingEpochs = 1;
+
+    /**
+     * TM->FM command batching: coalesce up to this many consecutive
+     * cumulative Commit releases into one CmdChannel message.  1 = no
+     * batching.  Commit events are cumulative (commitTo releases every
+     * entry at or below the IN), so a batch is simply the newest IN;
+     * ordering against resteer-class events is preserved by flushing the
+     * pending batch before any non-Commit push (DESIGN.md §12.2).
+     */
+    unsigned cmdBatchCommits = 1;
+
+    /**
+     * Bounded spin iterations before a waiting thread parks on the
+     * condition variable (host-side only; park/wake counts land in the
+     * runner's stats as fm_parks / tm_parks / fm_wakes / tm_wakes).
+     */
+    unsigned spinIters = 2048;
+
+    /** Adaptive trace-ring sizing (off by default). */
+    AdaptiveSizing adaptive;
+};
+
+} // namespace fast
+} // namespace fastsim
+
+#endif // FASTSIM_FAST_TUNING_HH

@@ -1183,6 +1183,9 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
       }
 
       case Opcode::Out:
+        e.isIo = true;
+        e.ioPort = static_cast<std::uint8_t>(insn.imm);
+        e.ioValue = a;
         ioWrite(static_cast<std::uint8_t>(insn.imm), a);
         break;
 

@@ -67,6 +67,13 @@ struct TraceEntry
     std::uint8_t uopCount = 1;
     bool userMode = false;   //!< fetched in user mode
 
+    /** Port output (OUT): the written port and value ride in the trace so
+     *  the timing model can mirror committed device-register state
+     *  (FastConfig::deterministicDevices). */
+    bool isIo = false;
+    std::uint8_t ioPort = 0;
+    std::uint32_t ioValue = 0;
+
     /** 32-bit words this entry occupies on the host link. */
     std::uint8_t traceWords = 4;
 };

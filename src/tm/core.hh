@@ -127,6 +127,34 @@ class Core
     bool serializeInFlight() const { return state_.serializeInFlight; }
     bool drainForMispredict() const { return state_.drainForMispredict; }
 
+    /** Instructions in the ROB (epoch-pipelining hold-tick predicate). */
+    std::size_t robInsts() const { return state_.rob.size(); }
+
+    /** Commit-stage retirement width (issueWidth * 2, see commit.cc). */
+    unsigned commitWidth() const { return cfg_.issueWidth * 2; }
+
+    /**
+     * True when any in-flight instruction (ROB or front-end pipe) raises
+     * an exception.  The parallel runner's epoch-pipelined hold ticks
+     * must exclude this: an exception commit rewinds the trace buffer's
+     * fetch pointer from the TM thread (commit.cc), which is only legal
+     * when no FM-side rewind is concurrently in flight.
+     */
+    bool
+    robHasException() const
+    {
+        for (const modules::DynInst &di : state_.rob)
+            if (di.e.exception)
+                return true;
+        bool found = false;
+        state_.fetchToDispatch.forEachValue(
+            [&found](const modules::DynInst &di) {
+                if (di.e.exception)
+                    found = true;
+            });
+        return found;
+    }
+
     /**
      * True when the core is at a clean snapshot boundary: pipeline fully
      * drained, every connector empty, no resteer/serialize in flight.

@@ -58,15 +58,42 @@ namespace tm {
 class TraceBuffer
 {
   public:
-    explicit TraceBuffer(std::size_t capacity) : capacity_(capacity)
+    /**
+     * @param capacity      initial logical capacity (exact, not rounded)
+     * @param max_capacity  upper bound setCapacity() may grow to; the
+     *                      physical ring is preallocated to cover it
+     *                      (0: fixed capacity, no adaptive headroom)
+     */
+    explicit TraceBuffer(std::size_t capacity, std::size_t max_capacity = 0)
+        : capacity_(capacity)
     {
         fastsim_assert(capacity > 0);
         std::size_t phys = 1;
-        while (phys < capacity)
+        while (phys < capacity || phys < max_capacity)
             phys <<= 1;
         ring_.resize(phys);
         mask_ = phys - 1;
     }
+
+    /**
+     * Adaptive resizing (DESIGN.md §12.3): change the *logical* capacity
+     * within the preallocated physical ring.  Producer-side only — it
+     * moves the full() threshold, never the indices — so it is legal
+     * whenever push() is (single-threaded, or on the FM thread; the
+     * parallel runner resizes while applying a resteer, before releasing
+     * the ack the TM's tick gate acquires).  Shrinking below the current
+     * occupancy is safe: full() simply holds until commits release
+     * entries.
+     */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        fastsim_assert(capacity > 0 && capacity <= ring_.size());
+        capacity_.store(capacity, std::memory_order_relaxed);
+    }
+
+    /** Largest capacity setCapacity() accepts (physical ring size). */
+    std::size_t maxCapacity() const { return ring_.size(); }
 
     // --- write side (functional model) -----------------------------------
     bool
@@ -74,7 +101,7 @@ class TraceBuffer
     {
         return writeIdx_.load(std::memory_order_relaxed) -
                    freeIdx_.load(std::memory_order_relaxed) >=
-               capacity_;
+               capacity_.load(std::memory_order_relaxed);
     }
 
     void
@@ -202,7 +229,11 @@ class TraceBuffer
         return w > f ? static_cast<std::size_t>(w - f) : 0;
     }
 
-    std::size_t capacity() const { return capacity_; }
+    std::size_t
+    capacity() const
+    {
+        return capacity_.load(std::memory_order_relaxed);
+    }
     bool empty() const { return size() == 0; }
 
     /** Forget all contents and the IN<->index mapping (snapshot resume;
@@ -230,7 +261,9 @@ class TraceBuffer
     }
 
   private:
-    std::size_t capacity_; //!< logical capacity (exact, not rounded)
+    //! logical capacity (exact, not rounded); atomic so the adaptive
+    //! sizer's producer-side store never tears against consumer reads
+    std::atomic<std::size_t> capacity_;
     std::uint64_t mask_;
     std::vector<fm::TraceEntry> ring_;
 

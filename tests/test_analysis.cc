@@ -597,6 +597,101 @@ TEST(Verify, DefaultCoreFullyClean)
     EXPECT_FALSE(r.hasErrors()) << r.text();
 }
 
+// --- FAB010: parallel tuning validation -----------------------------------
+
+TEST(ConfigLint, Fab010DefaultTuningIsClean)
+{
+    Report r;
+    lintParallelTuning(fast::ParallelTuning{}, 64, r);
+    EXPECT_FALSE(r.hasErrors()) << r.text();
+}
+
+TEST(ConfigLint, Fab010FiresOnZeroEpochWindow)
+{
+    fast::ParallelTuning t;
+    t.maxOutstandingEpochs = 0;
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+}
+
+TEST(ConfigLint, Fab010FiresOnZeroCommitBatch)
+{
+    fast::ParallelTuning t;
+    t.cmdBatchCommits = 0;
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+}
+
+TEST(ConfigLint, Fab010FiresOnNonPow2AdaptiveBounds)
+{
+    fast::ParallelTuning t;
+    t.adaptive.enabled = true;
+    t.adaptive.minEntries = 300;  // not a power of two
+    t.adaptive.maxEntries = 1000; // not a power of two
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+    EXPECT_GE(r.errorCount(), 2u);
+}
+
+TEST(ConfigLint, Fab010FiresOnInvertedAdaptiveBounds)
+{
+    fast::ParallelTuning t;
+    t.adaptive.enabled = true;
+    t.adaptive.minEntries = 4096;
+    t.adaptive.maxEntries = 512;
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+}
+
+TEST(ConfigLint, Fab010FiresWhenFloorBelowTwiceRob)
+{
+    fast::ParallelTuning t;
+    t.adaptive.enabled = true;
+    t.adaptive.minEntries = 64; // pow2 but < 2 * robEntries(64)
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+}
+
+TEST(ConfigLint, Fab010FiresOnDegenerateEwmaAndHeadroom)
+{
+    fast::ParallelTuning t;
+    t.adaptive.enabled = true;
+    t.adaptive.ewmaShift = 17;
+    t.adaptive.headroomMul = 0;
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_TRUE(r.has("FAB010"));
+    EXPECT_GE(r.errorCount(), 2u);
+}
+
+TEST(ConfigLint, Fab010SilentWhenAdaptiveDisabled)
+{
+    fast::ParallelTuning t; // adaptive off: its bounds are inert
+    t.adaptive.minEntries = 300;
+    Report r;
+    lintParallelTuning(t, 64, r);
+    EXPECT_FALSE(r.hasErrors()) << r.text();
+}
+
+TEST(ConfigLint, RunnersRejectInvalidTuningAtConstruction)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.tuning.maxOutstandingEpochs = 0;
+    EXPECT_THROW(fast::FastSimulator sim(cfg), FatalError);
+    EXPECT_THROW(fast::ParallelFastSimulator sim(cfg), FatalError);
+
+    cfg.tuning.maxOutstandingEpochs = 4;
+    cfg.tuning.adaptive.enabled = true;
+    cfg.tuning.adaptive.minEntries = 64; // below 2 * robEntries
+    EXPECT_THROW(fast::FastSimulator sim(cfg), FatalError);
+}
+
 TEST(Verify, CostPassFlagsTinyDevice)
 {
     // The default core cannot fit the small Virtex-II Pro 30 (the paper's

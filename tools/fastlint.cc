@@ -50,6 +50,8 @@ constexpr DiagInfo KnownDiagnostics[] = {
     {"FAB007", "bounded memory edge undersized for the level's MSHR depth"},
     {"FAB008", "writeback->commit capacity smaller than the ROB"},
     {"FAB009", "issueWidth exceeds the total functional units"},
+    {"FAB010", "invalid parallel tuning (epoch window, command batch, "
+               "adaptive trace-ring bounds)"},
     {"COD001", "overlapping opcode encodings"},
     {"COD002", "opcode byte shadowed by a prefix/escape byte"},
     {"COD003", "encoding exceeds the 15-byte architectural limit"},
@@ -157,6 +159,12 @@ main(int argc, char **argv)
         opts.codec = do_codec;
         opts.device = device;
         analysis::verify(core, opts, report);
+        // FAB010: the runner constructors reject these unconditionally;
+        // here the default tuning is checked against the chosen core so a
+        // CLI sweep surfaces e.g. an adaptive floor below 2x the ROB.
+        if (do_fabric)
+            analysis::lintParallelTuning(fast::ParallelTuning{},
+                                         cfg.robEntries, report);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fastlint: configuration unusable: %s\n",
                      e.what());
