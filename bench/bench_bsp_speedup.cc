@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Measures the wall-clock benefit of the BSP-parallel timing model
+ * (tm/bsp.hh, DESIGN.md §13): the same Module/Connector fabric driven by
+ * ModuleRegistry::tickAll (sequential) vs BspScheduler::tickAll at 2 and
+ * 4 threads.
+ *
+ * The fabric under test is the shape the partitioner is built for: N
+ * replicated MSHR-8 memory hierarchies (the bench_mem_hierarchy variant),
+ * each driven by its own synchronous traffic generator and therefore its
+ * own sync domain — so a 4-replica fabric splits into 4 partitions with
+ * no cut edges, and an 8-replica ring-coupled variant adds latency-1 cut
+ * edges between neighbouring replicas to exercise the double-buffered
+ * barrier exchange too.
+ *
+ * Every timed configuration is first checked bit-identical against the
+ * sequential schedule (host-cycle total + every module counter); a
+ * mismatch fails the bench before any number is reported.  Results land
+ * in BENCH_bsp_speedup.json with per-thread-count geomeans over the
+ * variants and the headline bsp_vs_sequential ratio.  On a single-core
+ * host the comparison is meaningless (the partition workers time-slice
+ * one core), so the bench emits an explicit skip record instead of a
+ * fake number — CI's bsp-parallel job is where the ratio assertion runs.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/common.hh"
+#include "tm/bsp.hh"
+#include "tm/modules/mem_mod.hh"
+
+namespace fastsim {
+namespace {
+
+using tm::Connector;
+using tm::ConnectorParams;
+using tm::Module;
+using tm::ModuleRegistry;
+using tm::Port;
+using tm::PortDir;
+
+constexpr Cycle BenchCycles = 200000;
+/** The bit-identity gate needs coverage, not duration — and on a 1-core
+ *  host every barrier cycle costs context switches, so the gate must not
+ *  pay the full timed-run length. */
+constexpr Cycle GateCycles = 4000;
+
+/** Unbounded latency-1 edge: the legal cut-edge shape (FAB011). */
+ConnectorParams
+cutLegalParams()
+{
+    ConnectorParams p;
+    p.inputThroughput = 0;
+    p.outputThroughput = 0;
+    p.minLatency = 1;
+    p.maxTransactions = 0;
+    return p;
+}
+
+/** MSHR-8 non-blocking hierarchy (the bench_mem_hierarchy variant). */
+tm::CoreConfig
+mshr8Config()
+{
+    tm::CoreConfig cfg;
+    cfg.caches.l1i.blocking = false;
+    cfg.caches.l1d.blocking = false;
+    cfg.caches.l2.blocking = false;
+    cfg.mem.l1iMshrs = 8;
+    cfg.mem.l1dMshrs = 8;
+    cfg.mem.l2Mshrs = 8;
+    return cfg;
+}
+
+/**
+ * Synchronous traffic generator for one hierarchy replica: LCG address
+ * stream through l1d.access(), optionally coupled to the neighbouring
+ * replica through a latency-1 ring edge (the cut-edge variant).  Shares
+ * the replica's sync domain — the access() walk is a plain call, not
+ * connector traffic.
+ */
+class TrafficGen : public Module
+{
+  public:
+    TrafficGen(std::string name, tm::modules::MemHierarchy &h,
+               std::uint64_t seed, Connector<std::uint64_t> *ringIn,
+               Connector<std::uint64_t> *ringOut)
+        : Module(std::move(name)), h_(h), lcg_(seed), ringIn_(ringIn),
+          ringOut_(ringOut),
+          stReady_(stats().handle(this->name() + "_ready_sum")),
+          stRing_(stats().handle(this->name() + "_ring_sum"))
+    {
+        setSyncDomain(&h_.fx);
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        if (ringIn_)
+            ringIn_->drainReady([this](const std::uint64_t &v) {
+                ringSum_ += v;
+                stRing_.set(ringSum_);
+            });
+        lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+        // Closed-loop like a real pipeline stage: issue only while the
+        // MSHR table has room.  An open-loop generator would queue an
+        // unbounded backlog behind the gate (busyUntil entries pile up
+        // and every later access scans them — quadratic in run length).
+        if (h_.l1d.outstandingMisses(now) < 8) {
+            const PAddr pa = static_cast<PAddr>(
+                ((lcg_ ^ ringSum_) >> 16) & 0xffffc0ull);
+            const auto r = h_.l1d.access(pa, now);
+            ready_ += r.readyAt;
+            stReady_.set(ready_);
+        }
+        if (ringOut_ && ringOut_->canPush())
+            ringOut_->push(lcg_ ^ ready_);
+        chargeHost(1);
+    }
+
+    std::vector<Port>
+    ports() const override
+    {
+        std::vector<Port> p;
+        if (ringIn_)
+            p.push_back({ringIn_, PortDir::In});
+        if (ringOut_)
+            p.push_back({ringOut_, PortDir::Out});
+        return p;
+    }
+
+  private:
+    tm::modules::MemHierarchy &h_;
+    std::uint64_t lcg_;
+    std::uint64_t ready_ = 0;
+    std::uint64_t ringSum_ = 0;
+    Connector<std::uint64_t> *ringIn_;
+    Connector<std::uint64_t> *ringOut_;
+    stats::Handle stReady_;
+    stats::Handle stRing_;
+};
+
+/** N MSHR-8 replicas; with `ring` the generators are chained by
+ *  latency-1 cross-replica edges so the BSP run has real cut traffic. */
+struct ReplicatedFabric
+{
+    ReplicatedFabric(unsigned replicas, bool ring)
+    {
+        if (ring)
+            for (unsigned i = 0; i < replicas; ++i)
+                ringEdges.push_back(
+                    std::make_unique<Connector<std::uint64_t>>(
+                        "ring_" + std::to_string(i), cutLegalParams()));
+        for (unsigned i = 0; i < replicas; ++i) {
+            hs.push_back(std::make_unique<tm::modules::MemHierarchy>(
+                mshr8Config()));
+            Connector<std::uint64_t> *in =
+                ring ? ringEdges[(i + replicas - 1) % replicas].get()
+                     : nullptr;
+            Connector<std::uint64_t> *out =
+                ring ? ringEdges[i].get() : nullptr;
+            gens.push_back(std::make_unique<TrafficGen>(
+                "gen" + std::to_string(i), *hs.back(), 7919u * (i + 1), in,
+                out));
+        }
+        for (unsigned i = 0; i < replicas; ++i) {
+            auto &h = *hs[i];
+            reg.add(*gens[i]);
+            reg.add(h.l1i);
+            reg.add(h.l1d);
+            reg.add(h.l2);
+            reg.add(h.mem);
+            h.fx.noteInto(reg);
+        }
+        for (auto &e : ringEdges)
+            reg.noteConnector(*e);
+        reg.setPerCycleOverhead(2);
+    }
+
+    std::uint64_t
+    fingerprint(std::uint64_t host) const
+    {
+        std::uint64_t sum = host;
+        for (const Module *m : reg.modules())
+            for (const auto &kv : m->stats().all())
+                sum = sum * 31 + kv.second;
+        return sum;
+    }
+
+    std::vector<std::unique_ptr<Connector<std::uint64_t>>> ringEdges;
+    std::vector<std::unique_ptr<tm::modules::MemHierarchy>> hs;
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    ModuleRegistry reg;
+};
+
+struct Variant
+{
+    const char *name;
+    unsigned replicas;
+    bool ring;
+};
+
+const Variant kVariants[] = {
+    {"mshr8x2", 2, false},
+    {"mshr8x4", 4, false},
+    {"mshr8x4-ring", 4, true},
+    {"mshr8x8-ring", 8, true},
+};
+
+struct Timed
+{
+    double cyclesPerSec = 0;
+    std::uint64_t fingerprint = 0;
+    std::size_t partitions = 1;
+};
+
+Timed
+runVariant(const Variant &v, unsigned threads, Cycle cycles)
+{
+    using clock = std::chrono::steady_clock;
+    ReplicatedFabric f(v.replicas, v.ring);
+    std::unique_ptr<tm::BspScheduler> sched;
+    if (threads > 1)
+        sched = tm::BspScheduler::forThreads(f.reg, threads);
+
+    std::uint64_t host = 0;
+    const auto t0 = clock::now();
+    if (sched)
+        for (Cycle c = 0; c < cycles; ++c)
+            host += sched->tickAll(c);
+    else
+        for (Cycle c = 0; c < cycles; ++c)
+            host += f.reg.tickAll(c);
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    Timed t;
+    t.cyclesPerSec = secs > 0 ? cycles / secs : 0;
+    t.fingerprint = f.fingerprint(host);
+    t.partitions = sched ? sched->partitionCount() : 1;
+    std::fprintf(stderr, "  %s x%u: %.2fs (%zu partitions)\n", v.name,
+                 threads, secs, t.partitions);
+    return t;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x > 0 ? x : 1e-9);
+    return std::exp(acc / xs.size());
+}
+
+void
+emitSkipRecord(unsigned cores, double seq_geomean)
+{
+    std::printf("host has %u core(s): the partition workers would "
+                "time-slice a single core,\nso the BSP-vs-sequential "
+                "comparison is skipped (run on a multi-core host,\n"
+                "e.g. the CI bsp-parallel job).\n",
+                cores);
+    if (std::FILE *f = std::fopen("BENCH_bsp_speedup.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n  \"bench\": \"bsp_speedup\",\n"
+            "  \"unit\": \"target_cycles_per_sec\",\n"
+            "  \"skipped\": true,\n"
+            "  \"skip_reason\": \"single-core host: partition workers "
+            "would time-slice one core\",\n"
+            "  \"host_cores\": %u,\n"
+            "  \"sequential_geomean\": %.0f,\n"
+            "  \"bsp_vs_sequential\": 0.0\n}\n",
+            cores, seq_geomean);
+        std::fclose(f);
+        std::printf("wrote BENCH_bsp_speedup.json (skip record)\n");
+    }
+}
+
+int
+run()
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+    bench::banner("BSP-parallel TM: measured wall-clock comparison",
+                  "§4 Module/Connector fabric, statically partitioned "
+                  "across threads (DESIGN.md §13)");
+
+    // Bit-identity gate first, always (thread count notwithstanding):
+    // every variant at every thread count must match the sequential
+    // schedule exactly before any wall-clock number is believed.
+    for (const Variant &v : kVariants) {
+        std::fprintf(stderr, "gate: %s\n", v.name);
+        const Timed seq = runVariant(v, 1, GateCycles);
+        for (const unsigned threads : {2u, 4u}) {
+            const Timed bsp = runVariant(v, threads, GateCycles);
+            if (bsp.fingerprint != seq.fingerprint) {
+                std::fprintf(stderr,
+                             "FAIL: %s diverged from the sequential "
+                             "schedule at %u threads\n",
+                             v.name, threads);
+                return 1;
+            }
+        }
+    }
+    std::printf("bit-identity: all %zu variants match the sequential "
+                "schedule at 2 and 4 threads\n\n",
+                sizeof(kVariants) / sizeof(kVariants[0]));
+
+    // Timed runs: sequential + per-thread-count geomeans.
+    std::vector<double> seqRates;
+    for (const Variant &v : kVariants) {
+        std::fprintf(stderr, "timed sequential: %s\n", v.name);
+        seqRates.push_back(runVariant(v, 1, BenchCycles).cyclesPerSec);
+    }
+    const double seqGm = geomean(seqRates);
+
+    if (cores < 2) {
+        emitSkipRecord(cores, seqGm);
+        return 0;
+    }
+
+    stats::TablePrinter table(
+        {"Variant", "partitions", "seq kcyc/s", "2T kcyc/s", "4T kcyc/s",
+         "best speedup"});
+    std::vector<double> gm2, gm4;
+    std::string variantJson;
+    for (std::size_t i = 0; i < sizeof(kVariants) / sizeof(kVariants[0]);
+         ++i) {
+        const Variant &v = kVariants[i];
+        const Timed t2 = runVariant(v, 2, BenchCycles);
+        const Timed t4 = runVariant(v, 4, BenchCycles);
+        gm2.push_back(t2.cyclesPerSec);
+        gm4.push_back(t4.cyclesPerSec);
+        const double best =
+            std::max(t2.cyclesPerSec, t4.cyclesPerSec) / seqRates[i];
+        table.addRow({v.name, std::to_string(t4.partitions),
+                      stats::TablePrinter::num(seqRates[i] / 1000, 0),
+                      stats::TablePrinter::num(t2.cyclesPerSec / 1000, 0),
+                      stats::TablePrinter::num(t4.cyclesPerSec / 1000, 0),
+                      stats::TablePrinter::num(best, 2)});
+        variantJson +=
+            std::string("    {\"name\": \"") + v.name +
+            "\", \"partitions\": " + std::to_string(t4.partitions) +
+            ", \"sequential\": " +
+            std::to_string(static_cast<std::uint64_t>(seqRates[i])) +
+            ", \"threads2\": " +
+            std::to_string(static_cast<std::uint64_t>(t2.cyclesPerSec)) +
+            ", \"threads4\": " +
+            std::to_string(static_cast<std::uint64_t>(t4.cyclesPerSec)) +
+            "},\n";
+    }
+    table.print();
+    if (!variantJson.empty())
+        variantJson.erase(variantJson.size() - 2, 1);
+
+    const double ratio =
+        seqGm > 0 ? std::max(geomean(gm2), geomean(gm4)) / seqGm : 0;
+    std::printf("\ngeomean BSP vs sequential (best thread count): %.2fx\n",
+                ratio);
+
+    if (std::FILE *f = std::fopen("BENCH_bsp_speedup.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n  \"bench\": \"bsp_speedup\",\n"
+            "  \"unit\": \"target_cycles_per_sec\",\n"
+            "  \"skipped\": false,\n"
+            "  \"host_cores\": %u,\n"
+            "  \"sequential_geomean\": %.0f,\n"
+            "  \"threads2_geomean\": %.0f,\n"
+            "  \"threads4_geomean\": %.0f,\n"
+            "  \"bsp_vs_sequential\": %.3f,\n"
+            "  \"variants\": [\n%s  ]\n}\n",
+            cores, seqGm, geomean(gm2), geomean(gm4), ratio,
+            variantJson.c_str());
+        std::fclose(f);
+        std::printf("wrote BENCH_bsp_speedup.json\n");
+    }
+    std::printf("\nNote: the win is bounded by the heaviest partition (the "
+                "barrier waits for it\nevery cycle), the core count (%u "
+                "here) and the per-cycle barrier cost — see the\nFAB012 "
+                "load-balance advisory and DESIGN.md §13.\n",
+                cores);
+    return 0;
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    return fastsim::run();
+}

@@ -30,11 +30,20 @@ FabricGraph::fromRegistry(const tm::ModuleRegistry &reg)
     for (const tm::ConnectorBase *c : reg.connectors())
         edgeFor(c);
 
+    // Dense sync-domain ids in first-appearance (registration) order, so
+    // equal graphs compare equal regardless of what the opaque keys were.
+    std::map<const void *, int> domainIds;
     for (const tm::Module *m : reg.modules()) {
         FabricModule fm;
         fm.name = m->name();
         for (const auto &kv : m->stats().all())
             fm.statNames.push_back(kv.first);
+        if (const void *d = m->syncDomain()) {
+            auto [it, fresh] =
+                domainIds.emplace(d, static_cast<int>(domainIds.size()));
+            (void)fresh;
+            fm.domain = it->second;
+        }
         const int mi = static_cast<int>(g.modules.size());
         g.modules.push_back(std::move(fm));
 

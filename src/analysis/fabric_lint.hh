@@ -71,6 +71,9 @@ struct FabricModule
 {
     std::string name;
     std::vector<std::string> statNames;
+    /** Sync-domain id (tm::Module::syncDomain() keys densely renumbered in
+     *  registration order); -1 = communicates only through its ports. */
+    int domain = -1;
 };
 
 /** A Connector edge of the fabric graph. */

@@ -1,0 +1,251 @@
+#include "analysis/partition.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace fastsim {
+namespace analysis {
+
+namespace {
+
+/** Path-compressing union-find over module indices. */
+struct UnionFind
+{
+    explicit UnionFind(std::size_t n) : parent(n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            parent[i] = i;
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    /** Union by smaller root index, so each component's representative is
+     *  its smallest member — the property the group ordering relies on. */
+    void
+    unite(std::size_t a, std::size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (b < a)
+            std::swap(a, b);
+        parent[b] = a;
+    }
+
+    std::vector<std::size_t> parent;
+};
+
+} // namespace
+
+PartitionPlan
+computePartition(const FabricGraph &g, unsigned threads)
+{
+    PartitionPlan plan;
+    plan.requestedThreads = std::max(1u, threads);
+
+    const std::size_t n = g.modules.size();
+    plan.assignment.assign(n, 0);
+    plan.groupOf.assign(n, 0);
+    if (n == 0) {
+        plan.groupCount = 0;
+        return plan;
+    }
+
+    // 1. Atomic groups: zero-latency fully-bound edges and shared sync
+    //    domains are unsplittable.
+    UnionFind uf(n);
+    for (const FabricEdge &e : g.edges) {
+        if (e.params.minLatency != 0)
+            continue;
+        if (e.producer < 0 || e.consumer < 0)
+            continue;
+        uf.unite(static_cast<std::size_t>(e.producer),
+                 static_cast<std::size_t>(e.consumer));
+    }
+    std::map<int, std::size_t> domainFirst;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int d = g.modules[i].domain;
+        if (d < 0)
+            continue;
+        auto [it, fresh] = domainFirst.emplace(d, i);
+        if (!fresh)
+            uf.unite(it->second, i);
+    }
+
+    // 2. Number groups by smallest member index (== component root, by
+    //    the union-by-smaller-root invariant), visiting modules in order.
+    std::map<std::size_t, std::size_t> groupIdOf; // root -> dense group id
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t root = uf.find(i);
+        auto [it, fresh] = groupIdOf.emplace(root, groupIdOf.size());
+        (void)fresh;
+        plan.groupOf[i] = it->second;
+    }
+    plan.groupCount = groupIdOf.size();
+
+    std::vector<std::vector<std::size_t>> groups(plan.groupCount);
+    for (std::size_t i = 0; i < n; ++i)
+        groups[plan.groupOf[i]].push_back(i);
+
+    // 3. Greedy balanced assignment: heaviest group first (ties by group
+    //    id) onto the least-loaded partition (ties by partition id).
+    const std::size_t nparts =
+        std::min<std::size_t>(plan.requestedThreads, plan.groupCount);
+    std::vector<std::size_t> order(plan.groupCount);
+    for (std::size_t i = 0; i < plan.groupCount; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&groups](std::size_t a, std::size_t b) {
+                         return groups[a].size() > groups[b].size();
+                     });
+    std::vector<std::size_t> load(nparts, 0);
+    std::vector<int> partOfGroup(plan.groupCount, 0);
+    for (const std::size_t gi : order) {
+        std::size_t best = 0;
+        for (std::size_t p = 1; p < nparts; ++p)
+            if (load[p] < load[best])
+                best = p;
+        partOfGroup[gi] = static_cast<int>(best);
+        load[best] += groups[gi].size();
+    }
+
+    // 4. Renumber partitions so id order follows registration order of
+    //    their first module — the fixed order all reductions use.
+    std::vector<int> renumber(nparts, -1);
+    int next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        int &r = renumber[static_cast<std::size_t>(
+            partOfGroup[plan.groupOf[i]])];
+        if (r < 0)
+            r = next++;
+    }
+    plan.partitions.assign(static_cast<std::size_t>(next), {});
+    for (std::size_t i = 0; i < n; ++i) {
+        const int p = renumber[static_cast<std::size_t>(
+            partOfGroup[plan.groupOf[i]])];
+        plan.assignment[i] = p;
+        plan.partitions[static_cast<std::size_t>(p)].push_back(i);
+    }
+
+    // Cut edges: fully-bound edges spanning two partitions.
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+        const FabricEdge &e = g.edges[ei];
+        if (e.producer < 0 || e.consumer < 0)
+            continue;
+        if (plan.assignment[static_cast<std::size_t>(e.producer)] !=
+            plan.assignment[static_cast<std::size_t>(e.consumer)])
+            plan.cutEdges.push_back(ei);
+    }
+    return plan;
+}
+
+void
+lintPartition(const FabricGraph &g, const PartitionPlan &plan,
+              Report &report)
+{
+    const std::size_t n = g.modules.size();
+    if (plan.assignment.size() != n) {
+        report.error("FAB011", "partition",
+                     "assignment covers " +
+                         std::to_string(plan.assignment.size()) +
+                         " modules but the fabric has " + std::to_string(n));
+        return;
+    }
+
+    // FAB011: cut-edge legality.  A cut is only barrier-safe when the
+    // edge guarantees >= 1 cycle between push and visibility AND its
+    // capacity check cannot observe mid-cycle pops from the other side.
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+        const FabricEdge &e = g.edges[ei];
+        if (e.producer < 0 || e.consumer < 0)
+            continue;
+        const int pp = plan.assignment[static_cast<std::size_t>(e.producer)];
+        const int cp = plan.assignment[static_cast<std::size_t>(e.consumer)];
+        if (pp == cp)
+            continue;
+        if (e.params.minLatency == 0)
+            report.error(
+                "FAB011", e.name,
+                "zero-latency connector cut by the partition boundary (" +
+                    g.modules[static_cast<std::size_t>(e.producer)].name +
+                    " in partition " + std::to_string(pp) + " -> " +
+                    g.modules[static_cast<std::size_t>(e.consumer)].name +
+                    " in partition " + std::to_string(cp) +
+                    "): its entries are consumable in the push cycle, "
+                    "before the barrier publishes them — keep the edge "
+                    "intra-partition or give it minLatency >= 1");
+        if (e.params.maxTransactions != 0)
+            report.error(
+                "FAB011", e.name,
+                "bounded connector (maxTransactions=" +
+                    std::to_string(e.params.maxTransactions) +
+                    ") cut by the partition boundary: the producer's "
+                    "capacity check would depend on pops racing on the "
+                    "consumer's thread mid-cycle, which the sequential "
+                    "schedule cannot reproduce — keep the edge "
+                    "intra-partition or make it unbounded");
+    }
+
+    // FAB011: a sync domain split across partitions shares state through
+    // plain calls; no connector property can legalize that.
+    std::map<int, std::pair<std::size_t, int>> domainSeen; // d -> (mi, p)
+    for (std::size_t i = 0; i < n; ++i) {
+        const int d = g.modules[i].domain;
+        if (d < 0)
+            continue;
+        const int p = plan.assignment[i];
+        auto [it, fresh] = domainSeen.emplace(d, std::make_pair(i, p));
+        if (!fresh && it->second.second != p)
+            report.error(
+                "FAB011", g.modules[i].name,
+                "sync domain split across partitions: shares state with " +
+                    g.modules[it->second.first].name + " (partition " +
+                    std::to_string(it->second.second) +
+                    ") through plain calls, but is assigned partition " +
+                    std::to_string(p) +
+                    " — domain members must stay together");
+    }
+
+    // FAB012 (advisory): collapse and imbalance.  Not errors — a
+    // collapsed or lopsided plan is correct, just not faster.
+    const std::size_t nparts = plan.partitions.size();
+    if (plan.requestedThreads > 1 && nparts < plan.requestedThreads) {
+        std::ostringstream os;
+        os << "fabric yields " << nparts << " partition"
+           << (nparts == 1 ? "" : "s") << " for " << plan.requestedThreads
+           << " requested threads (zero-latency edges / sync domains glue "
+              "the modules into "
+           << plan.groupCount << " atomic group"
+           << (plan.groupCount == 1 ? "" : "s")
+           << "); the extra threads would idle";
+        report.warning("FAB012", "partition", os.str());
+    }
+    if (nparts > 1) {
+        std::size_t mn = SIZE_MAX, mx = 0;
+        for (const auto &p : plan.partitions) {
+            mn = std::min(mn, p.size());
+            mx = std::max(mx, p.size());
+        }
+        if (mx > 2 * mn) {
+            std::ostringstream os;
+            os << "load imbalance: heaviest partition has " << mx
+               << " modules, lightest " << mn
+               << " — the per-cycle barrier waits for the heaviest "
+                  "partition, so the imbalance bounds the speedup";
+            report.warning("FAB012", "partition", os.str());
+        }
+    }
+}
+
+} // namespace analysis
+} // namespace fastsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Static BSP partitioning of the Module/Connector fabric.
+ *
+ * The BSP timing model (tm/bsp.hh) runs partitions of the fabric
+ * concurrently between per-cycle barriers, which is legal exactly when
+ * nothing observable crosses a partition boundary inside a cycle.  This
+ * pass computes such a partitioning from the FabricGraph snapshot and
+ * proves its legality as lint diagnostics:
+ *
+ *   FAB011  illegal cut (error): a cross-partition Connector edge with
+ *           minLatency == 0 (its tokens would be consumable in the push
+ *           cycle, before the barrier publishes them), a *bounded*
+ *           cross-partition edge (maxTransactions != 0: the producer's
+ *           capacity check would depend on mid-cycle pops racing on the
+ *           other thread), or two modules of one sync domain assigned to
+ *           different partitions (they share state through plain calls,
+ *           which no connector latency can make barrier-safe)
+ *   FAB012  partition advisory (warning): the fabric yields fewer
+ *           partitions than requested threads (entanglement collapsed
+ *           it — the extra threads would idle), or the computed
+ *           partitions are badly load-imbalanced (the barrier waits for
+ *           the heaviest partition every cycle)
+ *
+ * The partitioner itself never emits FAB011 plans — it glues zero-latency
+ * edges and sync domains into atomic groups by construction.  The lint
+ * exists so a *hand-crafted* assignment (tests; future manual placement)
+ * is rejected at construction, and so verify()/fastlint can display the
+ * proof alongside the other fabric passes.
+ */
+
+#ifndef FASTSIM_ANALYSIS_PARTITION_HH
+#define FASTSIM_ANALYSIS_PARTITION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "analysis/fabric_lint.hh"
+
+namespace fastsim {
+namespace analysis {
+
+/**
+ * A partition assignment of the fabric graph.  Value type, independent of
+ * the live simulator objects — computed once at construction time, then
+ * consumed by tm::BspScheduler (by module index) and by fastlint
+ * --partition (as JSON).
+ */
+struct PartitionPlan
+{
+    unsigned requestedThreads = 1;
+
+    /** moduleIndex -> partition id.  Partition ids are dense and ordered:
+     *  partition p's smallest module index is smaller than partition
+     *  p+1's, so iterating partitions in id order visits the fabric in
+     *  registration order. */
+    std::vector<int> assignment;
+
+    /** partition id -> module indices, ascending (registration order). */
+    std::vector<std::vector<std::size_t>> partitions;
+
+    /** moduleIndex -> atomic-group id (diagnostics: which zero-latency /
+     *  sync-domain component glued this module). */
+    std::vector<std::size_t> groupOf;
+    std::size_t groupCount = 0;
+
+    /** Fully-bound edges whose producer and consumer land on different
+     *  partitions (indices into FabricGraph::edges). */
+    std::vector<std::size_t> cutEdges;
+};
+
+/**
+ * Compute a legal, deterministic partitioning of `g` for up to `threads`
+ * partitions:
+ *
+ *  1. union zero-latency fully-bound edges and shared sync domains into
+ *     atomic groups (these can never be split);
+ *  2. order groups by their smallest module index;
+ *  3. greedily assign groups — heaviest first, ties broken by group
+ *     order — to the least-loaded of min(threads, #groups) partitions,
+ *     ties broken by lowest partition id (weight = module count);
+ *  4. renumber partitions into registration order.
+ *
+ * Every step is a deterministic function of the graph, so the same
+ * config yields the same plan on every host and every run.
+ */
+PartitionPlan computePartition(const FabricGraph &g, unsigned threads);
+
+/**
+ * Prove (or refute) the legality of an arbitrary plan over `g`:
+ * FAB011 errors for illegal cuts, FAB012 advisories for collapse and
+ * imbalance.  tm::BspScheduler runs this at construction and refuses
+ * (FatalError) any plan with errors.
+ */
+void lintPartition(const FabricGraph &g, const PartitionPlan &plan,
+                   Report &report);
+
+} // namespace analysis
+} // namespace fastsim
+
+#endif // FASTSIM_ANALYSIS_PARTITION_HH

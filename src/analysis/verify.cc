@@ -2,6 +2,7 @@
 
 #include "analysis/codec_lint.hh"
 #include "analysis/fabric_lint.hh"
+#include "analysis/partition.hh"
 #include "base/logging.hh"
 
 namespace fastsim {
@@ -14,6 +15,14 @@ verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
         const FabricGraph g = FabricGraph::fromRegistry(core.registry());
         lintFabric(g, report);
         lintConfig(core.config(), report);
+        // BSP partition legality (FAB011) and the collapse/imbalance
+        // advisory (FAB012) whenever a parallel TM is requested — the
+        // same proof BspScheduler re-runs at construction.
+        if (core.config().tmThreads > 1) {
+            const PartitionPlan plan =
+                computePartition(g, core.config().tmThreads);
+            lintPartition(g, plan, report);
+        }
     }
     if (opts.cost) {
         const fpga::Device &dev =

@@ -28,6 +28,7 @@
 #include "base/logging.hh"
 #include "base/serialize.hh"
 #include "fast/simulator.hh"
+#include "tm/bsp.hh"
 
 namespace fastsim {
 namespace fast {
@@ -44,7 +45,14 @@ constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
 // that shape target-visible behaviour (epoch window, batch size and the
 // adaptive bounds are all part of the deterministic contract a resumed
 // run must reproduce).
-constexpr std::uint32_t SnapshotVersion = 3;
+// v4: the payload records the BSP tuning at capture time (tmThreads and
+// the partition count the scheduler actually ran) — informational only.
+// tmThreads is deliberately NOT part of the fingerprint: the BSP
+// schedule is bit-identical at any thread count (DESIGN.md §13), so a
+// checkpoint taken at tmThreads=4 must resume at tmThreads=1 and vice
+// versa; the recorded values let tooling report how a snapshot was
+// produced without constraining how it is consumed.
+constexpr std::uint32_t SnapshotVersion = 4;
 
 } // namespace
 
@@ -129,6 +137,11 @@ FastSimulator::saveSnapshot(const std::string &path)
     sizer_.save(payload);
     payload.put<std::uint64_t>(tb_.capacity());
     mirror_.save(payload);
+    // v4: BSP tuning at capture time (informational; see SnapshotVersion).
+    payload.put<std::uint32_t>(cfg_.core.tmThreads);
+    payload.put<std::uint32_t>(static_cast<std::uint32_t>(
+        core_->bspScheduler() ? core_->bspScheduler()->partitionCount()
+                              : 1));
     serialize::putGroup(payload, stats_);
 
     serialize::Sink header;
@@ -196,6 +209,14 @@ FastSimulator::resumeFrom(const std::string &path)
     sizer_.restore(s);
     const std::uint64_t tb_capacity = s.get<std::uint64_t>();
     mirror_.restore(s);
+    // v4 capture-time BSP tuning: validated for shape, not matched — a
+    // snapshot resumes under any tmThreads (the schedule is
+    // thread-count-invariant, so the values are provenance, not contract).
+    const std::uint32_t captureThreads = s.get<std::uint32_t>();
+    const std::uint32_t captureParts = s.get<std::uint32_t>();
+    s.require(captureThreads >= 1 && captureParts >= 1 &&
+                  captureParts <= captureThreads,
+              "snapshot BSP tuning record is malformed");
     serialize::getGroup(s, stats_);
     s.require(s.atEnd(), "snapshot has trailing bytes");
 

@@ -1,0 +1,206 @@
+#include "tm/bsp.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+
+namespace {
+
+/** Bounded spin before parking: long enough to cover a partition tick on
+ *  a loaded host, short enough that a 1-core host degrades to the park
+ *  path instead of burning its only CPU (the PR-6 rendezvous tuning). */
+constexpr int kSpinIterations = 1 << 12;
+
+} // namespace
+
+BspScheduler::BspScheduler(ModuleRegistry &reg, analysis::PartitionPlan plan)
+    : reg_(reg), plan_(std::move(plan))
+{
+    // Construction fail-fast: prove the plan legal against the live
+    // fabric before a single thread exists.  A crafted assignment with a
+    // zero-latency cut, a bounded cut or a split sync domain dies here.
+    const analysis::FabricGraph g = analysis::FabricGraph::fromRegistry(reg_);
+    analysis::Report report;
+    analysis::lintPartition(g, plan_, report);
+    if (report.hasErrors())
+        fatal("BSP partition rejected (%zu error(s)):\n%s",
+              report.errorCount(), report.text().c_str());
+
+    const std::size_t nparts = plan_.partitions.size();
+    fastsim_assert(nparts >= 1);
+    partModules_.resize(nparts);
+    partConnectors_.resize(nparts);
+    partHost_.assign(nparts, 0);
+
+    const auto &modules = reg_.modules();
+    for (std::size_t p = 0; p < nparts; ++p)
+        for (const std::size_t mi : plan_.partitions[p])
+            partModules_[p].push_back(modules[mi]);
+
+    // Classify the noted connectors.  FabricGraph::fromRegistry seeds its
+    // edge list from reg.connectors() before walking ports, so edge i is
+    // noted connector i — asserted, not assumed.
+    const auto &connectors = reg_.connectors();
+    fastsim_assert(g.edges.size() >= connectors.size());
+    for (std::size_t ci = 0; ci < connectors.size(); ++ci) {
+        ConnectorBase *c = connectors[ci];
+        const analysis::FabricEdge &e = g.edges[ci];
+        fastsim_assert(e.name == c->name());
+        const int pp =
+            e.producer >= 0
+                ? plan_.assignment[static_cast<std::size_t>(e.producer)]
+                : -1;
+        const int cp =
+            e.consumer >= 0
+                ? plan_.assignment[static_cast<std::size_t>(e.consumer)]
+                : -1;
+        if (pp >= 0 && cp >= 0 && pp != cp) {
+            c->setCrossPartition(true);
+            cut_.push_back(c);
+        } else {
+            // Intra-partition (or partially bound): ticked by the one
+            // partition that can observe it; a fully dangling edge
+            // (FAB002 material) falls to partition 0.
+            const int owner = pp >= 0 ? pp : (cp >= 0 ? cp : 0);
+            partConnectors_[static_cast<std::size_t>(owner)].push_back(c);
+        }
+    }
+
+    // Persistent workers for partitions 1..P-1; partition 0 is inline.
+    workers_.reserve(nparts > 0 ? nparts - 1 : 0);
+    for (std::size_t p = 1; p < nparts; ++p)
+        workers_.emplace_back([this, p] { workerLoop(p); });
+}
+
+BspScheduler::~BspScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lk(goMu_);
+        stop_.store(true, std::memory_order_release);
+    }
+    goCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    for (ConnectorBase *c : cut_)
+        c->setCrossPartition(false);
+}
+
+void
+BspScheduler::runPartition(std::size_t p, Cycle now)
+{
+    // The sequential registry loop restricted to this partition's slice:
+    // connectors re-arm first, then modules tick, both in noted /
+    // registration order.  A connector's tick is observable only by its
+    // two endpoint modules — both in this partition for every connector
+    // in this list — so per-partition interleaving of the global
+    // connector pass is invisible.
+    for (ConnectorBase *c : partConnectors_[p])
+        c->tick(now);
+    unsigned host = 0;
+    for (Module *m : partModules_[p]) {
+        m->tick(now);
+        host += m->takeHostCycles();
+    }
+    partHost_[p] = host;
+}
+
+void
+BspScheduler::workerLoop(std::size_t p)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next cycle generation: spin, then park.
+        bool ready = false;
+        for (int i = 0; i < kSpinIterations; ++i) {
+            if (go_.load(std::memory_order_acquire) != seen ||
+                stop_.load(std::memory_order_acquire)) {
+                ready = true;
+                break;
+            }
+        }
+        if (!ready) {
+            std::unique_lock<std::mutex> lk(goMu_);
+            goCv_.wait(lk, [this, seen] {
+                return go_.load(std::memory_order_acquire) != seen ||
+                       stop_.load(std::memory_order_acquire);
+            });
+        }
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = go_.load(std::memory_order_acquire);
+
+        runPartition(p, cycle_);
+
+        if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(doneMu_);
+            doneCv_.notify_all();
+        }
+    }
+}
+
+unsigned
+BspScheduler::tickAll(Cycle now)
+{
+    // Serial phase (start of cycle): re-arm the cut edges.  Their tick
+    // touches fields both endpoint threads will use (now_, the budget
+    // counters), so it must happen before the release below.
+    for (ConnectorBase *c : cut_)
+        c->tick(now);
+
+    cycle_ = now;
+    if (!workers_.empty()) {
+        outstanding_.store(static_cast<unsigned>(workers_.size()),
+                           std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(goMu_);
+            go_.fetch_add(1, std::memory_order_release);
+        }
+        goCv_.notify_all();
+    }
+
+    runPartition(0, now);
+
+    if (!workers_.empty()) {
+        bool done = false;
+        for (int i = 0; i < kSpinIterations; ++i) {
+            if (outstanding_.load(std::memory_order_acquire) == 0) {
+                done = true;
+                break;
+            }
+        }
+        if (!done) {
+            std::unique_lock<std::mutex> lk(doneMu_);
+            doneCv_.wait(lk, [this] {
+                return outstanding_.load(std::memory_order_acquire) == 0;
+            });
+        }
+    }
+
+    // Serial phase (end of cycle): publish producer lanes in noted order,
+    // then reduce host cycles in fixed partition order.  Both orders are
+    // properties of the plan, not of thread timing, so totals are
+    // bit-identical at any thread count.
+    for (ConnectorBase *c : cut_)
+        c->exchange();
+
+    unsigned host = reg_.perCycleOverhead();
+    for (const unsigned h : partHost_)
+        host += h;
+    return host;
+}
+
+std::unique_ptr<BspScheduler>
+BspScheduler::forThreads(ModuleRegistry &reg, unsigned threads)
+{
+    if (threads <= 1)
+        return nullptr;
+    const analysis::FabricGraph g = analysis::FabricGraph::fromRegistry(reg);
+    analysis::PartitionPlan plan = analysis::computePartition(g, threads);
+    if (plan.partitions.size() <= 1)
+        return nullptr; // fully entangled fabric: sequential loop wins
+    return std::make_unique<BspScheduler>(reg, std::move(plan));
+}
+
+} // namespace tm
+} // namespace fastsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bulk-synchronous-parallel driver for the Module/Connector fabric.
+ *
+ * The sequential timing model ticks every module in registration order
+ * (ModuleRegistry::tickAll).  BspScheduler runs the same fabric split
+ * into statically computed partitions (analysis/partition.hh), one
+ * thread per partition, with a barrier every target cycle:
+ *
+ *   serial   tick cut connectors (re-arm budgets, advance their clock)
+ *   phase    release workers
+ *   tick     each partition: its connectors tick, then its modules tick,
+ *   phase    both in registration order — exactly the sequential loop
+ *            restricted to the partition's slice of the fabric
+ *   barrier  wait for every partition
+ *   serial   exchange() every cut connector (publish producer lanes),
+ *   phase    reduce per-partition host cycles in fixed partition order
+ *
+ * Legality is proven at construction, not assumed: the constructor runs
+ * analysis::lintPartition over the plan and fatal()s on any FAB011
+ * finding (zero-latency cut edge, bounded cut edge, split sync domain).
+ * Given a legal plan, the schedule is bit-identical to the sequential
+ * one at any thread count — the argument is spelled out in DESIGN.md
+ * §13; the golden event-stream hashes and the TSan CI job enforce it.
+ *
+ * Thread model: partition 0 runs inline on the calling thread; partitions
+ * 1..P-1 on persistent workers that spin briefly on the cycle generation
+ * counter and then park on a condition variable (the PR-6 rendezvous
+ * idiom) — per-cycle wakeups must not cost a syscall in the common case.
+ */
+
+#ifndef FASTSIM_TM_BSP_HH
+#define FASTSIM_TM_BSP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/partition.hh"
+#include "tm/module.hh"
+
+namespace fastsim {
+namespace tm {
+
+class BspScheduler
+{
+  public:
+    /**
+     * Adopt `plan` for the fabric registered in `reg`.  Validates the
+     * plan against the registry's own FabricGraph snapshot and fatal()s
+     * (construction fail-fast) if lintPartition reports any FAB011
+     * error.  Cut connectors are switched into cross-partition mode for
+     * the scheduler's lifetime.
+     */
+    BspScheduler(ModuleRegistry &reg, analysis::PartitionPlan plan);
+    ~BspScheduler();
+
+    BspScheduler(const BspScheduler &) = delete;
+    BspScheduler &operator=(const BspScheduler &) = delete;
+
+    /**
+     * Compute a legal plan for up to `threads` partitions and build a
+     * scheduler for it.  Returns nullptr when the result would not be
+     * parallel at all (threads <= 1, or the fabric collapses to a single
+     * partition — the caller keeps the plain sequential registry loop,
+     * and verify() surfaces the FAB012 advisory explaining why).
+     */
+    static std::unique_ptr<BspScheduler> forThreads(ModuleRegistry &reg,
+                                                    unsigned threads);
+
+    /**
+     * Advance the whole fabric one target cycle and return the total
+     * host cycles (registry per-cycle overhead + per-module
+     * contributions, reduced in partition order).  Drop-in replacement
+     * for ModuleRegistry::tickAll — same contract, same totals.
+     */
+    unsigned tickAll(Cycle now);
+
+    const analysis::PartitionPlan &plan() const { return plan_; }
+    std::size_t partitionCount() const { return partModules_.size(); }
+
+  private:
+    void runPartition(std::size_t p, Cycle now);
+    void workerLoop(std::size_t p);
+
+    ModuleRegistry &reg_;
+    analysis::PartitionPlan plan_;
+
+    // Per-partition slices of the fabric, registration/noted order.
+    std::vector<std::vector<Module *>> partModules_;
+    std::vector<std::vector<ConnectorBase *>> partConnectors_;
+    std::vector<ConnectorBase *> cut_; //!< cross-partition edges, noted order
+    std::vector<unsigned> partHost_;
+
+    // Cycle barrier (spin-then-park; see file comment).
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> go_{0};    //!< cycle generation counter
+    std::atomic<unsigned> outstanding_{0}; //!< workers not yet at barrier
+    std::atomic<bool> stop_{false};
+    Cycle cycle_ = 0; //!< published before go_, read after acquiring it
+    std::mutex goMu_;
+    std::condition_variable goCv_;
+    std::mutex doneMu_;
+    std::condition_variable doneCv_;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_BSP_HH

@@ -16,6 +16,17 @@
  *  - pushAt(v, ready_at): per-entry readiness for completion-style
  *    channels (e.g. execute -> writeback) where transactions carry their
  *    own latency and complete out of order; consume with drainReady().
+ *
+ * Cross-partition operation (BSP timing model, tm/bsp.hh): a Connector
+ * whose producer and consumer modules run on different scheduler
+ * partitions is switched into cross-partition mode.  Pushes then land in
+ * a producer-private lane instead of the shared queue, and the lane is
+ * spliced into the queue at the next cycle barrier (exchange()) — double
+ * buffering that keeps the producer and consumer threads off each
+ * other's data during the tick phase.  Because every legal cut edge
+ * carries >= 1 target cycle of latency (fastlint FAB011), deferring the
+ * splice to the barrier is invisible in target time: an entry pushed in
+ * cycle N can never be popped before cycle N+1 anyway.
  */
 
 #ifndef FASTSIM_TM_CONNECTOR_HH
@@ -71,6 +82,26 @@ class ConnectorBase
     virtual std::size_t size() const = 0;
     bool empty() const { return size() == 0; }
 
+    /** Begin a new target cycle: re-arm the per-cycle throughput budgets
+     *  and advance the connector's notion of time.  Driven through the
+     *  type-erased interface by ModuleRegistry::tickAll — the single
+     *  tick-driving seam the BSP scheduler partitions. */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * Cross-partition mode (see file comment).  Toggled by the BSP
+     * scheduler for cut edges only; while enabled, only the producer
+     * partition may push and only the consumer partition may pop, and
+     * exchange() must be called at every cycle barrier.
+     */
+    void setCrossPartition(bool on) { crossPartition_ = on; }
+    bool crossPartition() const { return crossPartition_; }
+
+    /** Barrier phase: splice the producer lane into the visible queue
+     *  (push order preserved) and snapshot the occupancy the producer
+     *  sees until the next barrier.  Serial-phase only. */
+    virtual void exchange() = 0;
+
   private:
     // Declared before stats_: members initialize in declaration order, and
     // the stats Group is constructed from the name.
@@ -79,6 +110,7 @@ class ConnectorBase
   protected:
     ConnectorParams p_;
     stats::Group stats_;
+    bool crossPartition_ = false;
 };
 
 /**
@@ -102,7 +134,7 @@ class Connector : public ConnectorBase
 
     /** Begin a new target cycle. */
     void
-    tick(Cycle now)
+    tick(Cycle now) override
     {
         now_ = now;
         pushedThisCycle_ = 0;
@@ -114,7 +146,8 @@ class Connector : public ConnectorBase
     {
         return (p_.inputThroughput == 0 ||
                 pushedThisCycle_ < p_.inputThroughput) &&
-               (p_.maxTransactions == 0 || q_.size() < p_.maxTransactions);
+               (p_.maxTransactions == 0 ||
+                occupancyForPush() < p_.maxTransactions);
     }
 
     void
@@ -129,10 +162,19 @@ class Connector : public ConnectorBase
     pushAt(T v, Cycle ready_at)
     {
         fastsim_assert(canPush());
-        q_.push_back(Entry{std::move(v), ready_at});
+        if (crossPartition_) {
+            // The latency >= 1 legality proof (FAB011) is about actual
+            // transactions, not just the edge parameter: an entry made
+            // ready in its push cycle would be poppable before the
+            // barrier publishes it, so the cut would reorder target time.
+            fastsim_assert(ready_at > now_);
+            lane_.push_back(Entry{std::move(v), ready_at});
+        } else {
+            q_.push_back(Entry{std::move(v), ready_at});
+        }
         ++pushedThisCycle_;
         ++stPushes_;
-        stMaxOccupancy_.maxOf(q_.size());
+        stMaxOccupancy_.maxOf(occupancyForPush());
     }
 
     /** True if an entry is visible and output throughput remains. */
@@ -188,26 +230,45 @@ class Connector : public ConnectorBase
 
     /** Squash all in-flight entries (pipeline flush).  Also re-arms the
      *  current cycle's throughput budget: a mid-cycle flush must not
-     *  leave the new instruction stream debited for squashed work. */
+     *  leave the new instruction stream debited for squashed work.
+     *  Illegal on a cross-partition edge: a flush mutates both endpoints'
+     *  budgets, which no single partition owns (the partitioner keeps
+     *  flushable pipeline edges intra-partition via sync domains). */
     void
     flush()
     {
+        fastsim_assert(!crossPartition_);
         stFlushed_ += q_.size();
         q_.clear();
         pushedThisCycle_ = 0;
         poppedThisCycle_ = 0;
     }
 
-    /** Visit every in-flight value, oldest first (inspection only). */
+    /** Barrier phase: publish the producer lane (see ConnectorBase). */
+    void
+    exchange() override
+    {
+        for (Entry &e : lane_)
+            q_.push_back(std::move(e));
+        lane_.clear();
+        barrierSize_ = q_.size();
+    }
+
+    /** Visit every in-flight value, oldest first (inspection only;
+     *  serial-phase — un-published lane entries are included last). */
     template <typename Fn>
     void
     forEachValue(Fn &&fn) const
     {
         for (const Entry &e : q_)
             fn(e.value);
+        for (const Entry &e : lane_)
+            fn(e.value);
     }
 
-    std::size_t size() const override { return q_.size(); }
+    /** In-flight entries, un-published lane included (serial-phase
+     *  observation: quiesce checks must see lane entries as in flight). */
+    std::size_t size() const override { return q_.size() + lane_.size(); }
 
     /**
      * Snapshot support for connectors that legally carry in-flight entries
@@ -224,11 +285,15 @@ class Connector : public ConnectorBase
                       "connector payload must be trivially copyable to "
                       "serialize the in-flight queue");
         s.put<Cycle>(now_);
-        s.put<std::uint64_t>(q_.size());
-        for (const Entry &e : q_) {
-            s.put<T>(e.value);
-            s.put<Cycle>(e.readyAt);
-        }
+        // Lane entries are serialized as if already exchanged: a restore
+        // resumes at a cycle barrier, where the lane is empty by
+        // definition.
+        s.put<std::uint64_t>(q_.size() + lane_.size());
+        for (const auto *part : {&q_, &lane_})
+            for (const Entry &e : *part) {
+                s.put<T>(e.value);
+                s.put<Cycle>(e.readyAt);
+            }
         serialize::putGroup(s, stats_);
     }
 
@@ -240,6 +305,7 @@ class Connector : public ConnectorBase
                       "serialize the in-flight queue");
         now_ = s.get<Cycle>();
         q_.clear();
+        lane_.clear();
         const std::uint64_t n = s.get<std::uint64_t>();
         for (std::uint64_t i = 0; i < n; ++i) {
             Entry e;
@@ -247,6 +313,7 @@ class Connector : public ConnectorBase
             e.readyAt = s.get<Cycle>();
             q_.push_back(e);
         }
+        barrierSize_ = q_.size();
         pushedThisCycle_ = 0;
         poppedThisCycle_ = 0;
         serialize::getGroup(s, stats_);
@@ -259,7 +326,21 @@ class Connector : public ConnectorBase
         Cycle readyAt = 0;
     };
 
+    /** Occupancy as seen by the producer's capacity check.  In
+     *  cross-partition mode the producer must not read the live queue
+     *  (the consumer thread is popping it): it sees the barrier snapshot
+     *  plus its own un-published lane — deterministic for any thread
+     *  count because both terms only change in phases the producer
+     *  participates in. */
+    std::size_t
+    occupancyForPush() const
+    {
+        return crossPartition_ ? barrierSize_ + lane_.size() : q_.size();
+    }
+
     std::deque<Entry> q_;
+    std::deque<Entry> lane_;       //!< cross-partition producer lane
+    std::size_t barrierSize_ = 0;  //!< q_.size() at the last exchange()
     Cycle now_ = 0;
     unsigned pushedThisCycle_ = 0;
     unsigned poppedThisCycle_ = 0;

@@ -1,7 +1,11 @@
 #include "tm/core.hh"
 
+#include "tm/bsp.hh"
+
 namespace fastsim {
 namespace tm {
+
+Core::~Core() = default;
 
 Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
     : cfg_(cfg), tb_(tb), bp_(makeBranchPredictor(cfg.bp)),
@@ -39,18 +43,23 @@ Core::Core(const CoreConfig &cfg, TraceBuffer &tb)
     registry_.noteConnector(state_.execToWriteback);
     registry_.noteConnector(state_.writebackToCommit);
     registry_.noteConnector(state_.commitToFetch);
-    registry_.noteConnector(memh_.fx.fetchToL1i);
-    registry_.noteConnector(memh_.fx.l1iToFetch);
-    registry_.noteConnector(memh_.fx.issueToL1d);
-    registry_.noteConnector(memh_.fx.l1dToIssue);
-    registry_.noteConnector(memh_.fx.l1iToL2);
-    registry_.noteConnector(memh_.fx.l2ToL1i);
-    registry_.noteConnector(memh_.fx.l1dToL2);
-    registry_.noteConnector(memh_.fx.l2ToL1d);
-    registry_.noteConnector(memh_.fx.l2ToMem);
-    registry_.noteConnector(memh_.fx.memToL2);
+    memh_.fx.noteInto(registry_);
     // 2 host cycles of FM<->TM sync plus the §4.7 statistics mechanism.
     registry_.setPerCycleOverhead(2 + cfg_.statsHostOverhead);
+
+    // The whole core is one sync domain: the five stages mutate the
+    // shared CoreState directly, fetch/issue call the caches' access
+    // paths synchronously, and the fill walk chains down to mem — none
+    // of that is connector traffic, so no partitioner may split it.
+    // (MemHierarchy's standalone &fx domain is widened here.)
+    for (Module *m : registry_.modules())
+        m->setSyncDomain(&state_);
+
+    // BSP-parallel TM.  For this fully entangled single-core fabric the
+    // partitioner collapses to one partition and forThreads() returns
+    // null — the sequential loop is kept, and results stay bit-identical
+    // at any tmThreads by construction (no scheduler to differ).
+    sched_ = BspScheduler::forThreads(registry_, cfg_.tmThreads);
 
     stCycles_ = stats_.handle("cycles");
     stCommittedInsts_ = commitM_.stats().handle("committed_insts");
@@ -97,18 +106,15 @@ Core::tick()
     using modules::DynInst;
     using modules::UopSlot;
 
-    // Connectors advance first: entries pushed in earlier cycles become
-    // visible, and the per-cycle throughput budgets re-arm.
-    state_.fetchToDispatch.tick(state_.cycle);
-    state_.dispatchToIssue.tick(state_.cycle);
-    state_.execToWriteback.tick(state_.cycle);
-    state_.writebackToCommit.tick(state_.cycle);
-    state_.commitToFetch.tick(state_.cycle);
-    memh_.fx.tickAll(state_.cycle);
-
-    // Modules tick in registry order; the registry collects their host
-    // cycles together with the per-cycle sync/stats overhead (§4.7).
-    const unsigned host_this_cycle = registry_.tickAll(state_.cycle);
+    // One seam drives the whole fabric: connectors advance first (entries
+    // pushed in earlier cycles become visible, per-cycle throughput
+    // budgets re-arm), then modules tick, and the host cycles are
+    // collected together with the per-cycle sync/stats overhead (§4.7).
+    // With tmThreads > 1 the BSP scheduler runs the same loop split
+    // across partitions with a barrier per cycle.
+    const unsigned host_this_cycle =
+        sched_ ? sched_->tickAll(state_.cycle)
+               : registry_.tickAll(state_.cycle);
 
     ++state_.intCycles;
     if (state_.awaitingResteer)

@@ -64,6 +64,9 @@
 namespace fastsim {
 namespace tm {
 
+class BspScheduler; // tm/bsp.hh (not included here: it pulls in the
+                    // analysis layer, which includes this header)
+
 /**
  * The timing-model core: a facade over the Module/Connector fabric.
  */
@@ -71,6 +74,7 @@ class Core
 {
   public:
     Core(const CoreConfig &cfg, TraceBuffer &tb);
+    ~Core(); // out of line: sched_ is a unique_ptr to an incomplete type
 
     /** Advance one target cycle.  Events are appended to events(). */
     void tick();
@@ -199,6 +203,11 @@ class Core
     /** The module fabric (tick order, per-module stats and cost). */
     const ModuleRegistry &registry() const { return registry_; }
 
+    /** The BSP scheduler, or null when the fabric runs sequentially
+     *  (tmThreads <= 1, or the partitioner collapsed it — see
+     *  CoreConfig::tmThreads). */
+    const BspScheduler *bspScheduler() const { return sched_.get(); }
+
     /**
      * Aggregate statistics view: core-level counters plus every module
      * counter, refreshed from the registry on each call.  Stable node
@@ -276,6 +285,7 @@ class Core
     modules::DispatchModule dispatchM_;
     modules::FetchModule fetchM_;
     ModuleRegistry registry_;
+    std::unique_ptr<BspScheduler> sched_; //!< null: sequential loop
 
     HostCycle hostCycles_ = 0;
     mutable stats::Group stats_; //!< aggregate view (core + modules)

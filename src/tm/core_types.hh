@@ -93,6 +93,19 @@ struct CoreConfig
     std::uint64_t statsIntervalBb = 100000;
 
     /**
+     * Threads for the BSP-parallel timing model (tm/bsp.hh).  1 (the
+     * default) is today's sequential registry loop, pinned by the golden
+     * literals.  > 1 asks the static partitioner for up to that many
+     * partitions; if the fabric's zero-latency edges and sync domains
+     * collapse it to a single partition — the fully entangled
+     * single-core pipeline does — the sequential loop is kept and
+     * verify() reports the FAB012 advisory.  Results are bit-identical
+     * at any value; the knob deliberately does NOT enter the snapshot
+     * config fingerprint, so checkpoints resume under any thread count.
+     */
+    unsigned tmThreads = 1;
+
+    /**
      * Connector topology overrides.  Unset means "derive from
      * issueWidth/frontEndDepth" (see resolveTopology()); setting one
      * reshapes an inter-stage hand-off with no module code change.

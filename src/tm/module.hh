@@ -45,11 +45,21 @@ struct Port
 /**
  * A timing-model hardware module.
  *
- * Contract per target cycle: the registry calls tick(now) exactly once on
- * every module, in registration order.  During tick() the module may read
- * and update shared core state, exchange transactions through its
- * Connectors, and accumulate host cycles via chargeHost(); the registry
- * collects the charge afterwards with takeHostCycles().
+ * Contract per target cycle: tick(now) is called exactly once on every
+ * module.  Within a *partition* of the fabric (tm/bsp.hh; the whole
+ * fabric is one partition under the sequential registry driver) modules
+ * tick in registration order — that order is observable and is part of
+ * the bit-identity contract.  Across partitions no order is defined:
+ * partitions tick concurrently between cycle barriers, and the only
+ * legal cross-partition communication is a Connector edge with >= 1
+ * target cycle of latency (proven statically, fastlint FAB011), whose
+ * tokens are published at the barrier — so nothing a module can observe
+ * depends on cross-partition scheduling.  During tick() the module may
+ * read and update state shared within its sync domain (syncDomain()
+ * below), exchange transactions through its Connectors, and accumulate
+ * host cycles via chargeHost(); the driver collects the charge afterwards
+ * with takeHostCycles() and reduces per-partition sums in fixed partition
+ * order.
  */
 class Module
 {
@@ -81,6 +91,18 @@ class Module
     const std::string &name() const { return name_; }
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }
+
+    /**
+     * Sync domain: an opaque key naming the mutable state this module
+     * shares *outside* its Connector ports (e.g. the five pipeline stages
+     * all mutate one CoreState; the caches call each other's access paths
+     * synchronously through one MemFabric).  Modules with the same
+     * non-null domain are glued into one partition by the BSP partitioner
+     * — connector latency cannot make a shared-memory call legal to split.
+     * nullptr (the default) means "communicates only through its ports".
+     */
+    void setSyncDomain(const void *d) { syncDomain_ = d; }
+    const void *syncDomain() const { return syncDomain_; }
 
     /** Host cycles accumulated since the last takeHostCycles(). */
     unsigned
@@ -122,13 +144,23 @@ class Module
     std::string name_;
     stats::Group stats_;
     unsigned hostThisCycle_ = 0;
+    const void *syncDomain_ = nullptr;
 };
 
 /**
- * Drives a set of Modules: deterministic tick ordering (registration
- * order), per-cycle host-cost accounting including the §4.7 statistics
- * mechanism overhead, Table-2 FPGA cost rollup, and statistics
- * aggregation across modules.
+ * Drives a set of Modules and their Connectors as one fabric.
+ *
+ * As the *sequential* driver (tmThreads == 1, and the intra-partition
+ * engine of tm/bsp.hh) it guarantees: connectors tick before modules, and
+ * both tick in registration/noted order.  That order is observable —
+ * modules racing for a throughput budget win in registration order — and
+ * the golden event-stream hashes pin it.  When the fabric is split across
+ * partitions (BspScheduler) the same order holds *within* each partition;
+ * across partitions only the barrier semantics documented on Module
+ * apply, and the per-cycle host-cost reduction happens in fixed partition
+ * order so totals are bit-identical at any thread count.  Also provides
+ * the §4.7 statistics-mechanism overhead accounting, Table-2 FPGA cost
+ * rollup, and statistics aggregation across modules.
  */
 class ModuleRegistry
 {
@@ -137,11 +169,12 @@ class ModuleRegistry
     void add(Module &m) { modules_.push_back(&m); }
 
     /**
-     * Register a connector so the fabric is fully enumerable: a connector
-     * that exists but is referenced by no module's ports() is a dangling
-     * edge, which only the registry's own list can reveal.
+     * Register a connector.  Makes the fabric fully enumerable (a
+     * connector referenced by no module's ports() is a dangling edge only
+     * this list can reveal) AND schedules it: tickAll re-arms every noted
+     * connector, in noted order, before any module ticks.
      */
-    void noteConnector(const ConnectorBase &c) { connectors_.push_back(&c); }
+    void noteConnector(ConnectorBase &c) { connectors_.push_back(&c); }
 
     /**
      * Fixed host cycles charged every target cycle regardless of module
@@ -150,14 +183,27 @@ class ModuleRegistry
      * the ~20 host cycles per target cycle considered reasonable").
      */
     void setPerCycleOverhead(unsigned h) { perCycleOverhead_ = h; }
+    unsigned perCycleOverhead() const { return perCycleOverhead_; }
+
+    /** Re-arm every noted connector for target cycle `now`, noted order. */
+    void
+    tickConnectors(Cycle now)
+    {
+        for (ConnectorBase *c : connectors_)
+            c->tick(now);
+    }
 
     /**
-     * Tick every module in order and return the total host cycles this
-     * target cycle (overhead + per-module contributions).
+     * Advance the whole fabric one target cycle — connectors first, then
+     * modules, each in registration order — and return the total host
+     * cycles (overhead + per-module contributions).  This is the single
+     * tick-driving seam; the BSP scheduler replays the same loop per
+     * partition over sub-ranges of the registered fabric.
      */
     unsigned
     tickAll(Cycle now)
     {
+        tickConnectors(now);
         unsigned host = perCycleOverhead_;
         for (Module *m : modules_) {
             m->tick(now);
@@ -221,15 +267,15 @@ class ModuleRegistry
 
     const std::vector<Module *> &modules() const { return modules_; }
 
-    /** Every connector of the fabric (for static analysis). */
-    const std::vector<const ConnectorBase *> &connectors() const
+    /** Every connector of the fabric (static analysis + scheduling). */
+    const std::vector<ConnectorBase *> &connectors() const
     {
         return connectors_;
     }
 
   private:
     std::vector<Module *> modules_;
-    std::vector<const ConnectorBase *> connectors_;
+    std::vector<ConnectorBase *> connectors_;
     unsigned perCycleOverhead_ = 0;
 };
 

@@ -218,19 +218,23 @@ struct MemFabric
     Connector<MemReq> l2ToMem;
     Connector<MemFill> memToL2;
 
+    /** Note all ten edges into the registry, request/fill-interleaved
+     *  level order.  The registry is the one tick-driving seam
+     *  (ModuleRegistry::tickAll re-arms noted connectors before modules),
+     *  so the fabric has no second per-cycle loop to keep in step. */
     void
-    tickAll(Cycle now)
+    noteInto(ModuleRegistry &reg)
     {
-        fetchToL1i.tick(now);
-        l1iToFetch.tick(now);
-        issueToL1d.tick(now);
-        l1dToIssue.tick(now);
-        l1iToL2.tick(now);
-        l2ToL1i.tick(now);
-        l1dToL2.tick(now);
-        l2ToL1d.tick(now);
-        l2ToMem.tick(now);
-        memToL2.tick(now);
+        reg.noteConnector(fetchToL1i);
+        reg.noteConnector(l1iToFetch);
+        reg.noteConnector(issueToL1d);
+        reg.noteConnector(l1dToIssue);
+        reg.noteConnector(l1iToL2);
+        reg.noteConnector(l2ToL1i);
+        reg.noteConnector(l1dToL2);
+        reg.noteConnector(l2ToL1d);
+        reg.noteConnector(l2ToMem);
+        reg.noteConnector(memToL2);
     }
 
     /** Save/restore the queues and statistics of all ten edges. */

@@ -88,6 +88,16 @@ MemHierarchy::MemHierarchy(const CoreConfig &cfg)
           /*alloc_on_hit=*/false, {{&fx.issueToL1d, &fx.l1dToIssue}},
           {&fx.l1dToL2, &fx.l2ToL1d}, l2)
 {
+    // The fill path is a synchronous call chain (fillVia recurses
+    // l1 -> l2 -> mem through C++ calls, not connector tokens), so the
+    // whole hierarchy is one sync domain for the BSP partitioner.  A Core
+    // that couples the stages to these caches widens the domain to the
+    // shared CoreState; standalone hierarchies (tests, benches) keep this
+    // per-instance key so replicated hierarchies partition independently.
+    mem.setSyncDomain(&fx);
+    l2.setSyncDomain(&fx);
+    l1i.setSyncDomain(&fx);
+    l1d.setSyncDomain(&fx);
 }
 
 } // namespace modules

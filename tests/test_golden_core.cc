@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "fast/simulator.hh"
 #include "kernel/boot.hh"
@@ -22,6 +23,20 @@
 using namespace fastsim;
 
 namespace {
+
+/**
+ * FASTSIM_TM_THREADS (default 1) sets CoreConfig::tmThreads for every
+ * golden run: the BSP schedule must be bit-identical at any thread
+ * count, so the same literals gate every value — the CI bsp-parallel
+ * job runs this suite at 1, 2 and 4.
+ */
+unsigned
+tmThreadsFromEnv()
+{
+    const char *e = std::getenv("FASTSIM_TM_THREADS");
+    const int v = e ? std::atoi(e) : 1;
+    return v > 1 ? static_cast<unsigned>(v) : 1u;
+}
 
 struct Golden
 {
@@ -68,6 +83,7 @@ TEST_P(GoldenRun, BitIdenticalToPreRefactorCapture)
     fast::FastConfig cfg;
     cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
     cfg.core.statsIntervalBb = 1u << 30;
+    cfg.core.tmThreads = tmThreadsFromEnv();
     fast::FastSimulator sim(cfg);
 
     std::uint64_t hash = 1469598103934665603ull; // FNV-1a offset basis

@@ -540,7 +540,9 @@ TEST(Cache, FabricRecordsMissTraffic)
 {
     // Misses leave request tokens on the fabric edges; hits do not.
     modules::MemHierarchy h(memCfg(HierarchyParams{}));
-    h.fx.tickAll(0);
+    ModuleRegistry reg;
+    h.fx.noteInto(reg);
+    reg.tickConnectors(0);
     auto r = h.l1d.access(0x10000, 0);
     EXPECT_FALSE(r.l1Hit);
     // The L1D itself pushed its miss down to the L2, the L2 to memory,

@@ -26,6 +26,7 @@
 #include "analysis/codec_lint.hh"
 #include "analysis/diagnostics.hh"
 #include "analysis/fabric_lint.hh"
+#include "analysis/partition.hh"
 #include "analysis/verify.hh"
 #include "base/logging.hh"
 #include "fpga/model.hh"
@@ -52,6 +53,10 @@ constexpr DiagInfo KnownDiagnostics[] = {
     {"FAB009", "issueWidth exceeds the total functional units"},
     {"FAB010", "invalid parallel tuning (epoch window, command batch, "
                "adaptive trace-ring bounds)"},
+    {"FAB011", "illegal BSP cut (zero-latency or bounded cross-partition "
+               "edge, or a sync domain split across partitions)"},
+    {"FAB012", "BSP partition advisory (fabric collapsed below the "
+               "requested threads, or load-imbalanced partitions)"},
     {"COD001", "overlapping opcode encodings"},
     {"COD002", "opcode byte shadowed by a prefix/escape byte"},
     {"COD003", "encoding exceeds the 15-byte architectural limit"},
@@ -75,9 +80,74 @@ usage(const char *argv0)
         "usage: %s [--json] [--list] [--no-verify-fabric]\n"
         "          [--no-verify-codec] [--no-verify-cost]\n"
         "          [--issue-width N] [--front-end-depth N]\n"
-        "          [--device NAME] [--suppress ID]...\n",
+        "          [--partition[=N]] [--device NAME] [--suppress ID]...\n",
         argv0);
     return 2;
+}
+
+/** --partition[=N]: show the BSP plan the scheduler would adopt. */
+void
+printPartition(const fastsim::analysis::FabricGraph &g,
+               const fastsim::analysis::PartitionPlan &plan, bool json)
+{
+    using fastsim::analysis::FabricEdge;
+    if (json) {
+        std::string out = "{\"requested_threads\":" +
+                          std::to_string(plan.requestedThreads) +
+                          ",\"atomic_groups\":" +
+                          std::to_string(plan.groupCount) +
+                          ",\"partitions\":[";
+        for (std::size_t p = 0; p < plan.partitions.size(); ++p) {
+            out += p ? ",[" : "[";
+            for (std::size_t i = 0; i < plan.partitions[p].size(); ++i)
+                out += (i ? ",\"" : "\"") +
+                       g.modules[plan.partitions[p][i]].name + "\"";
+            out += "]";
+        }
+        out += "],\"cut_edges\":[";
+        for (std::size_t i = 0; i < plan.cutEdges.size(); ++i) {
+            const FabricEdge &e = g.edges[plan.cutEdges[i]];
+            out += std::string(i ? "," : "") + "{\"name\":\"" + e.name +
+                   "\",\"from\":" +
+                   std::to_string(plan.assignment[static_cast<std::size_t>(
+                       e.producer)]) +
+                   ",\"to\":" +
+                   std::to_string(plan.assignment[static_cast<std::size_t>(
+                       e.consumer)]) +
+                   ",\"min_latency\":" + std::to_string(e.params.minLatency) +
+                   ",\"max_transactions\":" +
+                   std::to_string(e.params.maxTransactions) + "}";
+        }
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+        return;
+    }
+    std::printf("partition plan: %zu partition(s) for %u requested "
+                "thread(s), %zu atomic group(s)\n",
+                plan.partitions.size(), plan.requestedThreads,
+                plan.groupCount);
+    for (std::size_t p = 0; p < plan.partitions.size(); ++p) {
+        std::printf("  partition %zu:", p);
+        for (const std::size_t mi : plan.partitions[p])
+            std::printf(" %s", g.modules[mi].name.c_str());
+        std::printf("\n");
+    }
+    if (plan.cutEdges.empty()) {
+        std::printf("  cut edges: none\n");
+        return;
+    }
+    std::printf("  cut edges:\n");
+    for (const std::size_t ei : plan.cutEdges) {
+        const FabricEdge &e = g.edges[ei];
+        std::printf(
+            "    %s: partition %d -> %d, minLatency=%llu, "
+            "maxTransactions=%u\n",
+            e.name.c_str(),
+            plan.assignment[static_cast<std::size_t>(e.producer)],
+            plan.assignment[static_cast<std::size_t>(e.consumer)],
+            static_cast<unsigned long long>(e.params.minLatency),
+            e.params.maxTransactions);
+    }
 }
 
 } // namespace
@@ -88,6 +158,7 @@ main(int argc, char **argv)
     using namespace fastsim;
 
     bool json = false;
+    bool show_partition = false;
     bool do_fabric = true;
     bool do_codec = true;
     bool do_cost = true;
@@ -116,6 +187,18 @@ main(int argc, char **argv)
             do_codec = false;
         } else if (arg == "--no-verify-cost") {
             do_cost = false;
+        } else if (arg == "--partition" ||
+                   arg.rfind("--partition=", 0) == 0) {
+            show_partition = true;
+            if (arg.size() > std::strlen("--partition"))
+                cfg.tmThreads = static_cast<unsigned>(
+                    std::atoi(arg.c_str() + std::strlen("--partition=")));
+            else
+                cfg.tmThreads = 4;
+            if (cfg.tmThreads < 1) {
+                std::fprintf(stderr, "--partition needs N >= 1\n");
+                return 2;
+            }
         } else if (arg == "--issue-width") {
             cfg.issueWidth =
                 static_cast<unsigned>(std::atoi(next("a width")));
@@ -165,6 +248,13 @@ main(int argc, char **argv)
         if (do_fabric)
             analysis::lintParallelTuning(fast::ParallelTuning{},
                                          cfg.robEntries, report);
+        if (show_partition) {
+            const analysis::FabricGraph g =
+                analysis::FabricGraph::fromRegistry(core.registry());
+            const analysis::PartitionPlan plan =
+                analysis::computePartition(g, cfg.tmThreads);
+            printPartition(g, plan, json);
+        }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fastlint: configuration unusable: %s\n",
                      e.what());
