@@ -230,10 +230,11 @@ runVariant(const Variant &v, unsigned threads, Cycle cycles)
 
     std::uint64_t host = 0;
     const auto t0 = clock::now();
-    if (sched)
+    if (sched) {
+        sched->driverRole.assertHeld();
         for (Cycle c = 0; c < cycles; ++c)
             host += sched->tickAll(c);
-    else
+    } else
         for (Cycle c = 0; c < cycles; ++c)
             host += f.reg.tickAll(c);
     const double secs =

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * fastcheck exploration benchmark: how fast does the protocol model
+ * checker walk its state space, and how big is that space?
+ *
+ * The CI model-check job runs `fastlint --protocol` exhaustively on every
+ * PR under a 10 s wall budget; this bench records states/second and the
+ * peak DFS frontier into BENCH_fastcheck.json so a model change that
+ * blows up the state space (or a regression in the packed-state encoding
+ * / FNV visited set) is visible as a trend, not just as a CI timeout.
+ *
+ * Variants: the shipped model at the default bounds, the shipped model
+ * one cap larger in each dimension (the growth trend), and the costliest
+ * crafted-bug variant (bugFetchDuringResteer roughly quadruples the
+ * space by tracking stale fetches).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../bench/common.hh"
+#include "analysis/diagnostics.hh"
+#include "analysis/protocol_model.hh"
+#include "base/statistics.hh"
+
+namespace fastsim {
+namespace {
+
+struct Variant
+{
+    const char *name;
+    analysis::ProtocolModelConfig cfg;
+};
+
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> v;
+    v.push_back({"shipped_default", {}});
+
+    analysis::ProtocolModelConfig wide;
+    wide.tbCap = 3;
+    wide.robCap = 3;
+    wide.chanCap = 4;
+    wide.epochWindow = 3;
+    v.push_back({"shipped_widest_bounds", wide});
+
+    analysis::ProtocolModelConfig faultless;
+    faultless.faultDrop = false;
+    faultless.faultDup = false;
+    v.push_back({"shipped_no_fault_ops", faultless});
+
+    analysis::ProtocolModelConfig stale;
+    stale.bugFetchDuringResteer = true;
+    v.push_back({"bug_fetch_during_resteer", stale});
+    return v;
+}
+
+struct Row
+{
+    std::string name;
+    analysis::ProtocolCheckStats stats;
+    std::size_t findings = 0;
+    double seconds = 0;
+};
+
+Row
+runVariant(const Variant &v)
+{
+    // Best-of-3: exploration is deterministic, so reps only strip host
+    // noise from the wall-clock (same policy as the throughput benches).
+    constexpr int Reps = 3;
+    Row row;
+    row.name = v.name;
+    row.seconds = 1e30;
+    for (int i = 0; i < Reps; ++i) {
+        analysis::Report r;
+        const auto t0 = std::chrono::steady_clock::now();
+        const analysis::ProtocolCheckStats s =
+            analysis::checkProtocol(v.cfg, r);
+        const auto t1 = std::chrono::steady_clock::now();
+        row.stats = s;
+        row.findings = r.diagnostics().size();
+        row.seconds =
+            std::min(row.seconds,
+                     std::chrono::duration<double>(t1 - t0).count());
+    }
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows)
+{
+    std::FILE *f = std::fopen("BENCH_fastcheck.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fastcheck.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fastcheck\",\n"
+                    "  \"unit\": \"explored states per second\",\n"
+                    "  \"variants\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const double sps =
+            r.seconds > 0 ? double(r.stats.statesExplored) / r.seconds : 0;
+        std::fprintf(
+            f,
+            "    {\"variant\": \"%s\", \"states\": %zu, "
+            "\"transitions\": %zu, \"peak_frontier\": %zu, "
+            "\"findings\": %zu, \"seconds\": %.4f, "
+            "\"states_per_sec\": %.0f}%s\n",
+            r.name.c_str(), r.stats.statesExplored, r.stats.transitionsFired,
+            r.stats.peakFrontier, r.findings, r.seconds, sps,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fastcheck.json\n");
+}
+
+void
+run()
+{
+    bench::banner("fastcheck: protocol model exploration throughput",
+                  "PROT001-004 by exhaustive DFS over the packed encoding");
+
+    stats::TablePrinter table({"Variant", "states", "transitions",
+                               "peak frontier", "findings", "ms",
+                               "states/s"});
+    std::vector<Row> rows;
+    for (const Variant &v : variants()) {
+        const Row r = runVariant(v);
+        table.addRow({r.name, std::to_string(r.stats.statesExplored),
+                      std::to_string(r.stats.transitionsFired),
+                      std::to_string(r.stats.peakFrontier),
+                      std::to_string(r.findings),
+                      stats::TablePrinter::num(r.seconds * 1e3, 1),
+                      stats::TablePrinter::num(
+                          r.seconds > 0 ? double(r.stats.statesExplored) /
+                                              r.seconds
+                                        : 0,
+                          0)});
+        rows.push_back(r);
+    }
+    table.print();
+    writeJson(rows);
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    fastsim::run();
+    return 0;
+}

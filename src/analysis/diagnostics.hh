@@ -15,6 +15,7 @@
 #define FASTSIM_ANALYSIS_DIAGNOSTICS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -123,6 +124,52 @@ class Report
     std::vector<Diagnostic> diags_;
     std::set<std::string> suppressed_;
 };
+
+/** One catalog row: a stable diagnostic ID and its one-line summary. */
+struct CatalogEntry
+{
+    const char *id;
+    const char *summary;
+};
+
+/**
+ * Catalog schema version.  Bumped whenever an ID is added or retired, or
+ * when the jsonDocument() shape changes, so downstream tooling (the CI
+ * model-check job, dashboards) can gate on the version instead of
+ * sniffing fields.
+ */
+constexpr unsigned kCatalogVersion = 8;
+
+/**
+ * Every diagnostic ID the verification tooling can emit, in catalog
+ * order: FAB (fabric/config/partition), COD (codec), DET (source-level
+ * determinism, emitted by tools/lint_determinism.py), PROT (protocol
+ * model checking).
+ */
+const std::vector<CatalogEntry> &diagnosticCatalog();
+
+/** True if `id` appears in the catalog (validates --suppress flags). */
+bool isKnownDiagnostic(const std::string &id);
+
+/** One timed verification pass, recorded for the JSON document. */
+struct PassRecord
+{
+    std::string name;            //!< pass name, e.g. "fabric"
+    std::uint64_t runtimeUs = 0; //!< wall-clock runtime in microseconds
+    std::size_t findings = 0;    //!< diagnostics the pass contributed
+};
+
+/**
+ * Stable machine-readable report.  Schema (append-only; breaking changes
+ * bump kCatalogVersion):
+ *
+ *   {"catalog_version":8,
+ *    "passes":[{"name":"fabric","runtime_us":N,"findings":N},...],
+ *    "errors":N,"warnings":N,
+ *    "diagnostics":[{"id","severity","where","message"},...]}
+ */
+std::string jsonDocument(const Report &report,
+                         const std::vector<PassRecord> &passes);
 
 } // namespace analysis
 } // namespace fastsim

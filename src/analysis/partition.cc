@@ -153,6 +153,13 @@ void
 lintPartition(const FabricGraph &g, const PartitionPlan &plan,
               Report &report)
 {
+    lintPartition(g, plan, PartitionOptions{}, report);
+}
+
+void
+lintPartition(const FabricGraph &g, const PartitionPlan &plan,
+              const PartitionOptions &opts, Report &report)
+{
     const std::size_t n = g.modules.size();
     if (plan.assignment.size() != n) {
         report.error("FAB011", "partition",
@@ -236,11 +243,12 @@ lintPartition(const FabricGraph &g, const PartitionPlan &plan,
             mn = std::min(mn, p.size());
             mx = std::max(mx, p.size());
         }
-        if (mx > 2 * mn) {
+        if (mx * 100 > mn * (100 + opts.imbalancePct)) {
             std::ostringstream os;
             os << "load imbalance: heaviest partition has " << mx
-               << " modules, lightest " << mn
-               << " — the per-cycle barrier waits for the heaviest "
+               << " modules, lightest " << mn << " (threshold "
+               << opts.imbalancePct
+               << "%) — the per-cycle barrier waits for the heaviest "
                   "partition, so the imbalance bounds the speedup";
             report.warning("FAB012", "partition", os.str());
         }

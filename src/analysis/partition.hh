@@ -87,12 +87,28 @@ struct PartitionPlan
  */
 PartitionPlan computePartition(const FabricGraph &g, unsigned threads);
 
+/** Tunables for the advisory half of lintPartition. */
+struct PartitionOptions
+{
+    /**
+     * FAB012 imbalance threshold, percent: warn when the heaviest
+     * partition exceeds the lightest by more than this much (heaviest >
+     * lightest * (100 + imbalancePct) / 100).  The default 100 keeps the
+     * historical rule "heaviest more than twice the lightest".
+     */
+    unsigned imbalancePct = 100;
+};
+
 /**
  * Prove (or refute) the legality of an arbitrary plan over `g`:
  * FAB011 errors for illegal cuts, FAB012 advisories for collapse and
  * imbalance.  tm::BspScheduler runs this at construction and refuses
  * (FatalError) any plan with errors.
  */
+void lintPartition(const FabricGraph &g, const PartitionPlan &plan,
+                   const PartitionOptions &opts, Report &report);
+
+/** Same, with default PartitionOptions. */
 void lintPartition(const FabricGraph &g, const PartitionPlan &plan,
                    Report &report);
 

@@ -1,0 +1,916 @@
+/**
+ * @file
+ * fastcheck implementation: the FM<->TM protocol as a finite transition
+ * system, explored exhaustively by DFS over a packed 64-bit encoding.
+ *
+ * The abstraction keeps exactly the quantities the protocol invariants
+ * speak about and nothing else:
+ *
+ *   tbOcc      unfetched trace-ring entries (SPSC occupancy, capped)
+ *   robOcc     fetched, uncommitted TM entries
+ *   staleRob   ROB entries fetched during a resteer window (only the
+ *              bugFetchDuringResteer variant can make this nonzero)
+ *   chan[]     TM->FM command FIFO (kind + rewind-bypass mark per slot)
+ *   epochs     outstanding resteer-class commands (the epoch window)
+ *   flags      mispredict lifecycle, drain/checkpoint requests, FM
+ *              wrong-path + stall, timer/disk freeze-inject machines,
+ *              one-shot fault budgets
+ *
+ * Counterexamples are reconstructed as *shortest* paths over the edge
+ * set the DFS recorded, so a failure prints the minimal named transition
+ * chain rather than the (arbitrarily deep) DFS discovery path.
+ */
+
+#include "analysis/protocol_model.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fastsim {
+namespace analysis {
+
+namespace {
+
+// --- command vocabulary ----------------------------------------------------
+
+enum ModelCmd : std::uint8_t
+{
+    CmdNone = 0,
+    CmdCommit,      //!< cumulative commit floor advance (idempotent)
+    CmdWrongPath,   //!< fetch-detected mispredict: FM to the wrong path
+    CmdResolve,     //!< execute-resolved branch: rewind to the right path
+    CmdInjectTimer, //!< timer interrupt injection at a drained boundary
+    CmdInjectDisk,  //!< disk completion injection at a drained boundary
+    CmdRefetchAt,   //!< exception refetch redirect
+};
+
+const char *const kCmdNames[] = {"None",        "Commit",     "WrongPath",
+                                 "Resolve",     "InjectTimer", "InjectDisk",
+                                 "RefetchAt"};
+
+/** Resteer-class commands rewind FM state and occupy an epoch slot. */
+bool
+resteerClass(std::uint8_t k)
+{
+    return k == CmdWrongPath || k == CmdResolve || k == CmdInjectTimer ||
+           k == CmdInjectDisk;
+}
+
+// --- transition vocabulary -------------------------------------------------
+
+enum TransitionId : std::uint8_t
+{
+    TFmProduce = 0,
+    TFmWrongPathFault,
+    TFmApplyCommit,
+    TFmApplyWrongPath,
+    TFmApplyResolve,
+    TFmApplyInjectTimer,
+    TFmApplyInjectDisk,
+    TFmApplyRefetch,
+    TFmApplyRetransmit,
+    TFaultCmdDrop,
+    TFaultCmdDup,
+    TTmFetch,
+    TTmFetchMispredict,
+    TTmResolve,
+    TTmCommit,
+    TTmCommitStale,
+    TTmSerialize,
+    TTmCommitException,
+    TTmDrainClear,
+    TRunnerRequestDrain,
+    TRunnerCheckpoint,
+    TDevTimerEnable,
+    TDevTimerFire,
+    TDevDiskStart,
+    TDevDiskComplete,
+    TEngineRequestDrain,
+    TEngineInjectTimer,
+    TEngineInjectDisk,
+    kTransitionCount,
+};
+
+const char *const kTransitionNames[kTransitionCount] = {
+    "fm/produce",
+    "fm/wrongpath-fault",
+    "fm/apply-commit",
+    "fm/apply-wrongpath",
+    "fm/apply-resolve",
+    "fm/apply-inject-timer",
+    "fm/apply-inject-disk",
+    "fm/apply-refetch",
+    "fm/apply-retransmit",
+    "fault/cmd-drop",
+    "fault/cmd-dup",
+    "tm/fetch",
+    "tm/fetch-mispredict",
+    "tm/resolve",
+    "tm/commit",
+    "tm/commit-stale",
+    "tm/serialize",
+    "tm/commit-exception",
+    "tm/drain-clear",
+    "runner/request-drain",
+    "runner/checkpoint",
+    "dev/timer-enable",
+    "dev/timer-fire",
+    "dev/disk-start",
+    "dev/disk-complete",
+    "engine/request-drain",
+    "engine/inject-timer",
+    "engine/inject-disk",
+};
+
+std::uint8_t
+applyTransitionFor(std::uint8_t k)
+{
+    switch (k) {
+      case CmdCommit: return TFmApplyCommit;
+      case CmdWrongPath: return TFmApplyWrongPath;
+      case CmdResolve: return TFmApplyResolve;
+      case CmdInjectTimer: return TFmApplyInjectTimer;
+      case CmdInjectDisk: return TFmApplyInjectDisk;
+      default: return TFmApplyRefetch;
+    }
+}
+
+// --- state -----------------------------------------------------------------
+
+/** Error sink classification (the state stops expanding once set). */
+enum ErrKind : std::uint8_t
+{
+    ErrNone = 0,
+    ErrLost,   //!< PROT003: dropped command never redelivered
+    ErrDup,    //!< PROT003: duplicated resteer applied twice
+    ErrBypass, //!< PROT004: rewind targets an already-verified epoch
+};
+
+constexpr unsigned kMaxChan = 4;
+
+struct State
+{
+    std::uint8_t tbOcc = 0;
+    std::uint8_t robOcc = 0;
+    std::uint8_t staleRob = 0;
+    std::uint8_t epochs = 0;
+    std::uint8_t chanLen = 0;
+    std::array<std::uint8_t, kMaxChan> kind{};   //!< kind[0] is the head
+    std::array<std::uint8_t, kMaxChan> bypass{}; //!< commit floor overtook
+    bool mispredUnresolved = false; //!< branch fetched, not yet executed
+    bool mispredDrain = false;      //!< drainForMispredict
+    bool serialize = false;         //!< serializing inst in flight
+    bool drainReq = false;          //!< external/engine drain request
+    bool ckptPending = false;       //!< runner wants a checkpoint boundary
+    bool fmWrongPath = false;
+    bool fmStalled = false;
+    bool timerOn = false;
+    bool pendTimer = false;
+    bool diskBusy = false;
+    bool pendDisk = false;
+    bool inject = false; //!< an injection command is in flight
+    std::uint8_t dropLeft = 0;
+    std::uint8_t dupLeft = 0;
+    bool headDropped = false; //!< head lost on the link, awaiting retry
+    std::uint8_t err = ErrNone;
+
+    std::uint64_t
+    encode() const
+    {
+        std::uint64_t v = 0;
+        int b = 0;
+        auto put = [&](std::uint64_t x, int w) {
+            v |= x << b;
+            b += w;
+        };
+        put(tbOcc, 2);
+        put(robOcc, 2);
+        put(staleRob, 2);
+        put(epochs, 2);
+        put(chanLen, 3);
+        for (unsigned i = 0; i < kMaxChan; ++i)
+            put(kind[i], 3);
+        for (unsigned i = 0; i < kMaxChan; ++i)
+            put(bypass[i], 1);
+        put(mispredUnresolved, 1);
+        put(mispredDrain, 1);
+        put(serialize, 1);
+        put(drainReq, 1);
+        put(ckptPending, 1);
+        put(fmWrongPath, 1);
+        put(fmStalled, 1);
+        put(timerOn, 1);
+        put(pendTimer, 1);
+        put(diskBusy, 1);
+        put(pendDisk, 1);
+        put(inject, 1);
+        put(dropLeft, 1);
+        put(dupLeft, 1);
+        put(headDropped, 1);
+        put(err, 2);
+        return v;
+    }
+
+    void
+    pushCmd(std::uint8_t k)
+    {
+        kind[chanLen] = k;
+        bypass[chanLen] = 0;
+        ++chanLen;
+    }
+
+    std::uint8_t
+    popHead(bool &byp)
+    {
+        std::uint8_t k = kind[0];
+        byp = bypass[0] != 0;
+        for (unsigned i = 1; i < chanLen; ++i) {
+            kind[i - 1] = kind[i];
+            bypass[i - 1] = bypass[i];
+        }
+        --chanLen;
+        kind[chanLen] = 0;
+        bypass[chanLen] = 0;
+        return k;
+    }
+};
+
+/** FNV-1a over the packed encoding (the DFS visited-set hash). */
+struct FnvHash
+{
+    std::size_t
+    operator()(std::uint64_t v) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Compact listing of the nonzero fields, for counterexample tails. */
+std::string
+describe(const State &s)
+{
+    std::ostringstream os;
+    os << "{tb=" << unsigned(s.tbOcc) << " rob=" << unsigned(s.robOcc);
+    if (s.staleRob)
+        os << " staleRob=" << unsigned(s.staleRob);
+    if (s.epochs)
+        os << " epochs=" << unsigned(s.epochs);
+    os << " chan=[";
+    for (unsigned i = 0; i < s.chanLen; ++i) {
+        if (i)
+            os << ",";
+        os << kCmdNames[s.kind[i]];
+        if (s.bypass[i])
+            os << "!bypass";
+    }
+    os << "]";
+    const struct {
+        bool set;
+        const char *name;
+    } flags[] = {
+        {s.mispredUnresolved, "mispredUnresolved"},
+        {s.mispredDrain, "mispredDrain"},
+        {s.serialize, "serialize"},
+        {s.drainReq, "drainReq"},
+        {s.ckptPending, "ckptPending"},
+        {s.fmWrongPath, "fmWrongPath"},
+        {s.fmStalled, "fmStalled"},
+        {s.timerOn, "timerOn"},
+        {s.pendTimer, "pendTimer"},
+        {s.diskBusy, "diskBusy"},
+        {s.pendDisk, "pendDisk"},
+        {s.inject, "inject"},
+        {s.headDropped, "headDropped"},
+    };
+    for (const auto &f : flags)
+        if (f.set)
+            os << " " << f.name;
+    os << "}";
+    return os.str();
+}
+
+// --- the transition relation -----------------------------------------------
+
+struct Succ
+{
+    State next;
+    std::uint8_t transition;
+};
+
+class Model
+{
+  public:
+    explicit Model(const ProtocolModelConfig &cfg) : cfg_(cfg)
+    {
+        // Clamp the abstraction caps to the packed-encoding widths.
+        cfg_.tbCap = std::min(std::max(cfg_.tbCap, 1u), 3u);
+        cfg_.robCap = std::min(std::max(cfg_.robCap, 1u), 3u);
+        cfg_.chanCap = std::min(std::max(cfg_.chanCap, 1u), kMaxChan);
+        cfg_.epochWindow = std::min(std::max(cfg_.epochWindow, 1u), 3u);
+    }
+
+    const ProtocolModelConfig &cfg() const { return cfg_; }
+
+    State
+    initial() const
+    {
+        State s;
+        s.dropLeft = cfg_.faultDrop ? 1 : 0;
+        s.dupLeft = cfg_.faultDup ? 1 : 0;
+        return s;
+    }
+
+    /**
+     * A checkpoint boundary: both sides drained, no command or injection
+     * in flight, no pending device event, FM on the verified path.  This
+     * is quiescedForSnapshot() lifted to the abstraction; it is both the
+     * PROT001 terminal condition and the PROT002 liveness target.
+     */
+    bool
+    quiesce(const State &s) const
+    {
+        return s.err == ErrNone && s.robOcc == 0 && !s.mispredDrain &&
+               !s.mispredUnresolved && !s.serialize && s.chanLen == 0 &&
+               !s.inject && !s.pendTimer && !s.pendDisk && s.epochs == 0 &&
+               !s.fmWrongPath && !s.fmStalled;
+    }
+
+    void
+    successors(const State &s, std::vector<Succ> &out) const
+    {
+        out.clear();
+        if (s.err != ErrNone)
+            return; // error states are reported sinks
+
+        auto emit = [&](const State &t, std::uint8_t id) {
+            out.push_back(Succ{t, id});
+        };
+
+        // fm/produce: FM fills the trace ring (wrong-path entries too —
+        // the fetch gate is what keeps the TM from consuming them).
+        if (!s.fmStalled && s.tbOcc < cfg_.tbCap) {
+            State t = s;
+            ++t.tbOcc;
+            emit(t, TFmProduce);
+        }
+
+        // fm/wrongpath-fault: speculating down the wrong path may reach
+        // an unexecutable state; only a resteer rescues the FM.
+        if (s.fmWrongPath && !s.fmStalled) {
+            State t = s;
+            t.fmStalled = true;
+            emit(t, TFmWrongPathFault);
+        }
+
+        // fm/apply-*: pop and apply the head command (the FM polls the
+        // channel even while wrong-path stalled — that is its rescue).
+        if (s.chanLen > 0 && !s.headDropped) {
+            State t = s;
+            bool byp = false;
+            std::uint8_t k = t.popHead(byp);
+            applyCmd(t, k, byp);
+            emit(t, applyTransitionFor(k));
+        }
+
+        // fm/apply-retransmit: the link retry redelivers a dropped head.
+        if (s.chanLen > 0 && s.headDropped && !cfg_.bugNoRetransmit) {
+            State t = s;
+            t.headDropped = false;
+            bool byp = false;
+            std::uint8_t k = t.popHead(byp);
+            applyCmd(t, k, byp);
+            emit(t, TFmApplyRetransmit);
+        }
+
+        // fault/cmd-drop: the link loses the head command.  Shipped
+        // behavior marks it for retransmission; the bug variant loses it
+        // outright (applied zero times -> PROT003).
+        if (s.dropLeft > 0 && s.chanLen > 0 && !s.headDropped) {
+            State t = s;
+            --t.dropLeft;
+            if (cfg_.bugNoRetransmit) {
+                bool byp = false;
+                (void)t.popHead(byp);
+                t.err = ErrLost;
+            } else {
+                t.headDropped = true;
+            }
+            emit(t, TFaultCmdDrop);
+        }
+
+        // fault/cmd-dup: the link delivers the head twice in a row.  The
+        // dedup guard suppresses the identical immediate successor; the
+        // bug variant double-applies a resteer (PROT003).  A duplicated
+        // Commit is cumulative and therefore benign either way.
+        if (s.dupLeft > 0 && s.chanLen > 0 && !s.headDropped) {
+            State t = s;
+            --t.dupLeft;
+            bool byp = false;
+            std::uint8_t k = t.popHead(byp);
+            if (cfg_.bugNoDedup && resteerClass(k))
+                t.err = ErrDup;
+            else
+                applyCmd(t, k, byp);
+            emit(t, TFaultCmdDup);
+        }
+
+        // tm/fetch + tm/fetch-mispredict: the TM consumes a trace entry.
+        // Shipped gate: no fetch while a drain is requested, a serializing
+        // inst is in flight, a mispredict is unresolved or draining, or
+        // any resteer-class command is outstanding (the epoch window is
+        // only re-opened once the FM is back on the verified path).
+        const bool windowClear = !s.mispredDrain && s.epochs == 0;
+        const bool fetchGate = s.tbOcc > 0 && s.robOcc < cfg_.robCap &&
+                               !s.drainReq && !s.serialize &&
+                               !s.mispredUnresolved &&
+                               (cfg_.bugFetchDuringResteer || windowClear);
+        if (fetchGate) {
+            State t = s;
+            --t.tbOcc;
+            ++t.robOcc;
+            if (cfg_.bugFetchDuringResteer && !windowClear)
+                ++t.staleRob; // fetched a stale-path entry
+            emit(t, TTmFetch);
+
+            // The fetched entry may be a branch the FM predicted wrong:
+            // notify the FM (WrongPath) and open a resteer epoch.
+            if (windowClear && !s.fmWrongPath &&
+                s.epochs < cfg_.epochWindow && s.chanLen < cfg_.chanCap) {
+                State m = s;
+                --m.tbOcc;
+                ++m.robOcc;
+                m.mispredUnresolved = true;
+                m.pushCmd(CmdWrongPath);
+                ++m.epochs;
+                emit(m, TTmFetchMispredict);
+            }
+        }
+
+        // tm/resolve: execute resolves the mispredicted branch — send the
+        // Resolve resteer and start the mispredict drain.
+        if (s.mispredUnresolved && s.epochs < cfg_.epochWindow &&
+            s.chanLen < cfg_.chanCap) {
+            State t = s;
+            t.mispredUnresolved = false;
+            t.mispredDrain = true;
+            t.pushCmd(CmdResolve);
+            ++t.epochs;
+            emit(t, TTmResolve);
+        }
+
+        // tm/commit: retire the oldest ROB entry and advance the FM's
+        // commit floor.  The unresolved branch itself cannot retire.
+        if (s.robOcc > 0 && s.chanLen < cfg_.chanCap &&
+            !(s.robOcc == 1 && s.mispredUnresolved)) {
+            State t = s;
+            --t.robOcc;
+            t.serialize = false;
+            // Stale entries are the youngest, so the head is stale only
+            // once every remaining entry is (bugFetchDuringResteer only).
+            const bool stale = s.staleRob >= s.robOcc;
+            if (stale) {
+                t.staleRob = t.robOcc;
+                // The floor just overtook the rewind target of the oldest
+                // in-flight resteer: mark it bypassed (PROT004 on apply).
+                for (unsigned i = 0; i < t.chanLen; ++i) {
+                    if (resteerClass(t.kind[i])) {
+                        t.bypass[i] = 1;
+                        break;
+                    }
+                }
+            }
+            t.pushCmd(CmdCommit);
+            emit(t, stale ? TTmCommitStale : TTmCommit);
+        }
+
+        // tm/serialize: the head entry turns out to be a serializing
+        // instruction (holds quiesce until it retires).
+        if (s.robOcc > 0 && !s.serialize && !s.mispredUnresolved) {
+            State t = s;
+            t.serialize = true;
+            emit(t, TTmSerialize);
+        }
+
+        // tm/commit-exception: the head entry excepts — younger entries
+        // squash back to the trace ring and the FM refetches at the
+        // handler (RefetchAt is not a rewind: no verified state moves).
+        if (s.robOcc > 0 && s.chanLen < cfg_.chanCap &&
+            !s.mispredUnresolved && !s.fmWrongPath) {
+            State t = s;
+            unsigned back = s.robOcc - 1u;
+            t.tbOcc = static_cast<std::uint8_t>(
+                std::min<unsigned>(cfg_.tbCap, t.tbOcc + back));
+            t.robOcc = 0;
+            t.staleRob = 0;
+            t.serialize = false;
+            t.pushCmd(CmdRefetchAt);
+            emit(t, TTmCommitException);
+        }
+
+        // tm/drain-clear: the mispredict flush completes once the ROB is
+        // empty.  The PR 4 bug ordered this after the drainRequested
+        // early-return, so an external drain latched the flag forever.
+        if (s.mispredDrain && s.robOcc == 0 &&
+            (!cfg_.bugDrainLatch || !s.drainReq)) {
+            State t = s;
+            t.mispredDrain = false;
+            emit(t, TTmDrainClear);
+        }
+
+        // runner/request-drain: an external checkpoint request.
+        if (!s.drainReq && !s.ckptPending) {
+            State t = s;
+            t.drainReq = true;
+            t.ckptPending = true;
+            emit(t, TRunnerRequestDrain);
+        }
+
+        // runner/checkpoint: the boundary is reached — snapshot and
+        // release the drain.
+        if (s.ckptPending && s.drainReq && quiesce(s)) {
+            State t = s;
+            t.drainReq = false;
+            t.ckptPending = false;
+            emit(t, TRunnerCheckpoint);
+        }
+
+        // Device freeze-inject machines.  Device time is frozen while an
+        // injection is in flight (no second fire until it lands).
+        if (cfg_.withTimer) {
+            if (!s.timerOn) {
+                State t = s;
+                t.timerOn = true;
+                emit(t, TDevTimerEnable);
+            }
+            if (s.timerOn && !s.pendTimer && !s.inject) {
+                State t = s;
+                t.pendTimer = true;
+                emit(t, TDevTimerFire);
+            }
+        }
+        if (cfg_.withDisk) {
+            if (!s.diskBusy && !s.pendDisk) {
+                State t = s;
+                t.diskBusy = true;
+                emit(t, TDevDiskStart);
+            }
+            if (s.diskBusy && !s.pendDisk && !s.inject) {
+                State t = s;
+                t.pendDisk = true;
+                emit(t, TDevDiskComplete);
+            }
+        }
+
+        // engine/request-drain: a pending device event asks the TM to
+        // reach an injection boundary.
+        if ((s.pendTimer || s.pendDisk) && !s.drainReq) {
+            State t = s;
+            t.drainReq = true;
+            emit(t, TEngineRequestDrain);
+        }
+
+        // engine/inject-*: at the drained boundary, push the injection
+        // resteer.  The engine's drain request is consumed; a runner
+        // checkpoint request (ckptPending) keeps its own drain alive.
+        const bool injectReady = s.drainReq && s.robOcc == 0 &&
+                                 !s.mispredDrain && !s.inject &&
+                                 s.epochs < cfg_.epochWindow &&
+                                 s.chanLen < cfg_.chanCap;
+        if (s.pendTimer && injectReady) {
+            State t = s;
+            t.pushCmd(CmdInjectTimer);
+            t.inject = true;
+            ++t.epochs;
+            t.drainReq = t.ckptPending;
+            if (!cfg_.bugStickyPending)
+                t.pendTimer = false;
+            emit(t, TEngineInjectTimer);
+        }
+        if (s.pendDisk && injectReady) {
+            State t = s;
+            t.pushCmd(CmdInjectDisk);
+            t.inject = true;
+            ++t.epochs;
+            t.drainReq = t.ckptPending;
+            if (!cfg_.bugStickyPending)
+                t.pendDisk = false;
+            emit(t, TEngineInjectDisk);
+        }
+    }
+
+  private:
+    /** Apply a delivered command to the FM side of the state. */
+    void
+    applyCmd(State &t, std::uint8_t k, bool bypassed) const
+    {
+        if (resteerClass(k) && bypassed) {
+            // The commit floor already passed this rewind's target epoch:
+            // applying it would rewind verified state.
+            t.err = ErrBypass;
+            return;
+        }
+        switch (k) {
+          case CmdCommit:
+            break; // floor advance only — releases undo state
+          case CmdWrongPath:
+            t.fmWrongPath = true;
+            t.fmStalled = false;
+            t.tbOcc = 0; // rewind to the branch, produce the wrong path
+            --t.epochs;
+            break;
+          case CmdResolve:
+            t.fmWrongPath = false;
+            t.fmStalled = false;
+            t.tbOcc = 0; // rewind to the verified path
+            --t.epochs;
+            break;
+          case CmdInjectTimer:
+            t.fmWrongPath = false;
+            t.fmStalled = false;
+            t.tbOcc = 0; // redirect into the handler
+            --t.epochs;
+            t.inject = false;
+            break;
+          case CmdInjectDisk:
+            t.fmWrongPath = false;
+            t.fmStalled = false;
+            t.tbOcc = 0;
+            --t.epochs;
+            t.inject = false;
+            t.diskBusy = false;
+            break;
+          case CmdRefetchAt:
+            break; // redirect only — no verified state moves
+          default:
+            break;
+        }
+    }
+
+    ProtocolModelConfig cfg_;
+};
+
+// --- exploration -----------------------------------------------------------
+
+struct Explorer
+{
+    explicit Explorer(const Model &m) : model(m) {}
+
+    const Model &model;
+    std::vector<State> states;
+    std::vector<std::uint32_t> depth;
+    std::unordered_map<std::uint64_t, std::uint32_t, FnvHash> index;
+    // Flat edge list; CSR adjacency is built once exploration finishes.
+    std::vector<std::uint32_t> edgeFrom, edgeTo;
+    std::vector<std::uint8_t> edgeVia;
+
+    ProtocolCheckStats stats;
+    bool sawDeadlock = false;
+    std::uint32_t firstDeadlock = 0;
+    // First error state per ErrKind (ErrLost/ErrDup/ErrBypass).
+    std::array<bool, 4> sawErr{};
+    std::array<std::uint32_t, 4> firstErr{};
+
+    std::uint32_t
+    intern(const State &s, std::uint32_t d)
+    {
+        std::uint64_t enc = s.encode();
+        auto it = index.find(enc);
+        if (it != index.end())
+            return it->second;
+        auto id = static_cast<std::uint32_t>(states.size());
+        index.emplace(enc, id);
+        states.push_back(s);
+        depth.push_back(d);
+        return id;
+    }
+
+    void
+    run(unsigned maxDepth)
+    {
+        std::vector<std::uint32_t> stack;
+        std::vector<Succ> succ;
+        stack.push_back(intern(model.initial(), 0));
+
+        while (!stack.empty()) {
+            stats.peakFrontier =
+                std::max(stats.peakFrontier, stack.size());
+            std::uint32_t idx = stack.back();
+            stack.pop_back();
+
+            if (maxDepth != 0 && depth[idx] >= maxDepth) {
+                stats.truncated = true;
+                continue;
+            }
+
+            const State cur = states[idx]; // copy: states may reallocate
+            model.successors(cur, succ);
+            stats.transitionsFired += succ.size();
+
+            if (succ.empty() && cur.err == ErrNone &&
+                !model.quiesce(cur)) {
+                ++stats.deadlockStates;
+                if (!sawDeadlock) {
+                    sawDeadlock = true;
+                    firstDeadlock = idx;
+                }
+            }
+
+            for (const Succ &sc : succ) {
+                std::uint64_t enc = sc.next.encode();
+                auto it = index.find(enc);
+                bool fresh = it == index.end();
+                std::uint32_t to;
+                if (fresh)
+                    to = intern(sc.next, depth[idx] + 1);
+                else
+                    to = it->second;
+                edgeFrom.push_back(idx);
+                edgeTo.push_back(to);
+                edgeVia.push_back(sc.transition);
+                if (fresh) {
+                    if (sc.next.err != ErrNone) {
+                        if (!sawErr[sc.next.err]) {
+                            sawErr[sc.next.err] = true;
+                            firstErr[sc.next.err] = to;
+                        }
+                        // error states are sinks — report, don't expand
+                    } else {
+                        stack.push_back(to);
+                    }
+                }
+            }
+        }
+        stats.statesExplored = states.size();
+    }
+
+    /** Shortest named transition chain from the initial state. */
+    std::string
+    chainTo(std::uint32_t target) const
+    {
+        const auto n = static_cast<std::uint32_t>(states.size());
+        // Forward CSR.
+        std::vector<std::uint32_t> head(n + 1, 0);
+        for (std::uint32_t f : edgeFrom)
+            ++head[f + 1];
+        for (std::uint32_t i = 0; i < n; ++i)
+            head[i + 1] += head[i];
+        std::vector<std::uint32_t> slot = head;
+        std::vector<std::uint32_t> adjTo(edgeTo.size());
+        std::vector<std::uint8_t> adjVia(edgeTo.size());
+        for (std::size_t e = 0; e < edgeFrom.size(); ++e) {
+            std::uint32_t at = slot[edgeFrom[e]]++;
+            adjTo[at] = edgeTo[e];
+            adjVia[at] = edgeVia[e];
+        }
+        // BFS from the initial state.
+        constexpr std::uint32_t kUnseen = 0xffffffffu;
+        std::vector<std::uint32_t> predState(n, kUnseen);
+        std::vector<std::uint8_t> predVia(n, 0);
+        std::vector<std::uint32_t> queue;
+        queue.push_back(0);
+        predState[0] = 0;
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+            std::uint32_t u = queue[qi];
+            if (u == target)
+                break;
+            for (std::uint32_t e = head[u]; e < head[u + 1]; ++e) {
+                std::uint32_t v = adjTo[e];
+                if (predState[v] != kUnseen)
+                    continue;
+                predState[v] = u;
+                predVia[v] = adjVia[e];
+                queue.push_back(v);
+            }
+        }
+        std::vector<std::uint8_t> names;
+        for (std::uint32_t at = target; at != 0; at = predState[at]) {
+            if (predState[at] == kUnseen)
+                return "(unreachable?)"; // cannot happen for explored states
+            names.push_back(predVia[at]);
+        }
+        std::ostringstream os;
+        os << "init";
+        for (auto it = names.rbegin(); it != names.rend(); ++it)
+            os << " -> " << kTransitionNames[*it];
+        os << " => " << describe(states[target]);
+        return os.str();
+    }
+
+    /**
+     * PROT002 backward reachability: the set of states from which some
+     * quiesce state is reachable.  Returns the first (discovery-order)
+     * live non-error state outside that set, or kNone.
+     */
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    std::uint32_t
+    firstQuiesceViolator() const
+    {
+        const auto n = static_cast<std::uint32_t>(states.size());
+        // Reverse CSR.
+        std::vector<std::uint32_t> head(n + 1, 0);
+        for (std::uint32_t t : edgeTo)
+            ++head[t + 1];
+        for (std::uint32_t i = 0; i < n; ++i)
+            head[i + 1] += head[i];
+        std::vector<std::uint32_t> slot = head;
+        std::vector<std::uint32_t> adjFrom(edgeFrom.size());
+        for (std::size_t e = 0; e < edgeTo.size(); ++e)
+            adjFrom[slot[edgeTo[e]]++] = edgeFrom[e];
+        std::vector<char> good(n, 0);
+        std::vector<std::uint32_t> queue;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (model.quiesce(states[i])) {
+                good[i] = 1;
+                queue.push_back(i);
+            }
+        }
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+            std::uint32_t u = queue[qi];
+            for (std::uint32_t e = head[u]; e < head[u + 1]; ++e) {
+                std::uint32_t p = adjFrom[e];
+                if (!good[p]) {
+                    good[p] = 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (!good[i] && states[i].err == ErrNone)
+                return i;
+        return kNone;
+    }
+};
+
+} // namespace
+
+ProtocolCheckStats
+checkProtocol(const ProtocolModelConfig &cfg, Report &report)
+{
+    Model model(cfg);
+    Explorer ex(model);
+    ex.run(model.cfg().maxDepth);
+
+    const std::string where = "protocol-model";
+
+    if (ex.sawDeadlock) {
+        std::ostringstream os;
+        os << "deadlock: reachable non-terminal state with no enabled "
+              "transition ("
+           << ex.stats.deadlockStates
+           << " deadlocked state(s) total); counterexample: "
+           << ex.chainTo(ex.firstDeadlock);
+        report.error("PROT001", where, os.str());
+    }
+
+    if (!ex.stats.truncated) {
+        std::uint32_t bad = ex.firstQuiesceViolator();
+        if (bad != Explorer::kNone) {
+            std::ostringstream os;
+            os << "quiesce liveness: a reachable state can never reach a "
+                  "checkpoint boundary again; counterexample (path into "
+                  "the live-lock region): "
+               << ex.chainTo(bad);
+            report.error("PROT002", where, os.str());
+        }
+    }
+
+    if (ex.sawErr[ErrLost]) {
+        std::ostringstream os;
+        os << "command channel exactly-once violated: a dropped command "
+              "was never redelivered (applied zero times); "
+              "counterexample: "
+           << ex.chainTo(ex.firstErr[ErrLost]);
+        report.error("PROT003", where, os.str());
+    }
+    if (ex.sawErr[ErrDup]) {
+        std::ostringstream os;
+        os << "command channel exactly-once violated: a duplicated "
+              "resteer-class command was applied twice (dedup guard "
+              "ineffective); counterexample: "
+           << ex.chainTo(ex.firstErr[ErrDup]);
+        report.error("PROT003", where, os.str());
+    }
+    if (ex.sawErr[ErrBypass]) {
+        std::ostringstream os;
+        os << "rewind safety violated: a resteer-class rewind targets an "
+              "epoch the FM already verified (the cumulative commit floor "
+              "overtook the in-flight resteer); counterexample: "
+           << ex.chainTo(ex.firstErr[ErrBypass]);
+        report.error("PROT004", where, os.str());
+    }
+
+    return ex.stats;
+}
+
+} // namespace analysis
+} // namespace fastsim

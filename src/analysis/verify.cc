@@ -3,6 +3,7 @@
 #include "analysis/codec_lint.hh"
 #include "analysis/fabric_lint.hh"
 #include "analysis/partition.hh"
+#include "analysis/protocol_model.hh"
 #include "base/logging.hh"
 
 namespace fastsim {
@@ -12,6 +13,11 @@ void
 verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
 {
     if (opts.fabric) {
+        // Pass composition is deliberate: the structural fabric lints
+        // (FAB001..FAB005) run first, then the configuration lints
+        // (FAB007..FAB009) and the partition proof — all over the SAME
+        // graph snapshot, so a config finding always refers to the fabric
+        // the structural pass just blessed.
         const FabricGraph g = FabricGraph::fromRegistry(core.registry());
         lintFabric(g, report);
         lintConfig(core.config(), report);
@@ -21,7 +27,7 @@ verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
         if (core.config().tmThreads > 1) {
             const PartitionPlan plan =
                 computePartition(g, core.config().tmThreads);
-            lintPartition(g, plan, report);
+            lintPartition(g, plan, opts.partition, report);
         }
     }
     if (opts.cost) {
@@ -33,6 +39,11 @@ verify(const tm::Core &core, const VerifyOptions &opts, Report &report)
     if (opts.codec) {
         lintOpcodeTable(defaultOpSpecs(), report);
         lintCodecRoundTrip(report);
+    }
+    if (opts.protocol) {
+        ProtocolModelConfig mc;
+        mc.maxDepth = opts.protocolDepth;
+        checkProtocol(mc, report);
     }
 }
 

@@ -19,6 +19,7 @@
 #define FASTSIM_ANALYSIS_VERIFY_HH
 
 #include "analysis/diagnostics.hh"
+#include "analysis/partition.hh"
 #include "fast/tuning.hh"
 #include "fpga/model.hh"
 #include "tm/core.hh"
@@ -33,7 +34,11 @@ struct VerifyOptions
                         //!< plus FAB007..FAB009 over the configuration
     bool cost = false;  //!< FAB006 against `device`
     bool codec = false; //!< COD001..COD007 over the real FX86 table+codec
+    bool protocol = false; //!< PROT001..PROT004 over the FM<->TM protocol
+                           //!< model (explicit-state exploration)
+    unsigned protocolDepth = 0; //!< DFS depth bound; 0 = exhaustive
     const fpga::Device *device = nullptr; //!< nullptr: Virtex-4 LX200
+    PartitionOptions partition; //!< FAB012 advisory thresholds
 };
 
 /** Run the selected passes; diagnostics land in `report`. */

@@ -10,6 +10,13 @@
  * the release store of readIdx_ licenses the producer to reuse a slot.
  * No CAS, no locks, no spurious sharing of roles.
  *
+ * The single-producer/single-consumer contract is compiler-enforced:
+ * producerRole / consumerRole are ThreadRole capabilities, and each
+ * member is FASTSIM_REQUIRES-tagged with the side that may call it.  The
+ * owning thread asserts its role once (see thread_annotations.hh); clang
+ * then rejects any call of tryPush/drained off the producer thread or
+ * tryPop/empty off the consumer thread at compile time.
+ *
  * Used for the TM -> FM protocol-event channel of the parallel FAST
  * runner (paper §3: the partition boundary must be latency-tolerant and
  * cheap, or the parallelization gains nothing).
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_annotations.hh"
 
 namespace fastsim {
 
@@ -36,9 +44,15 @@ class SpscRing
         fastsim_assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
     }
 
+    // The roles are public data members (not accessors) so a caller's
+    // `ring.producerRole.assertHeld()` names the same capability
+    // expression as the FASTSIM_REQUIRES(producerRole) on the members.
+    ThreadRole producerRole;
+    ThreadRole consumerRole;
+
     // --- producer side ----------------------------------------------------
     bool
-    tryPush(const T &v)
+    tryPush(const T &v) FASTSIM_REQUIRES(producerRole)
     {
         const std::uint64_t w = writeIdx_.load(std::memory_order_relaxed);
         const std::uint64_t r = readIdx_.load(std::memory_order_acquire);
@@ -51,7 +65,7 @@ class SpscRing
 
     /** Producer view: everything pushed has been taken by the consumer. */
     bool
-    drained() const
+    drained() const FASTSIM_REQUIRES(producerRole)
     {
         return readIdx_.load(std::memory_order_acquire) ==
                writeIdx_.load(std::memory_order_relaxed);
@@ -59,7 +73,7 @@ class SpscRing
 
     // --- consumer side ----------------------------------------------------
     bool
-    tryPop(T &out)
+    tryPop(T &out) FASTSIM_REQUIRES(consumerRole)
     {
         const std::uint64_t r = readIdx_.load(std::memory_order_relaxed);
         const std::uint64_t w = writeIdx_.load(std::memory_order_acquire);
@@ -72,7 +86,7 @@ class SpscRing
 
     /** Consumer view: nothing waiting. */
     bool
-    empty() const
+    empty() const FASTSIM_REQUIRES(consumerRole)
     {
         return readIdx_.load(std::memory_order_relaxed) ==
                writeIdx_.load(std::memory_order_acquire);

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations for the concurrent runners.
+ *
+ * The simulator's cross-thread structures are lock-free by design: the
+ * SPSC trace/event rings, the BSP barrier, and the parallel runner's
+ * rendezvous are all atomics with acquire/release ordering (mutexes
+ * appear only as parking lots behind atomic predicates).  What the
+ * compiler *can* statically enforce is therefore not lock discipline but
+ * **role discipline**: which thread is allowed to call which member.
+ *
+ * A ThreadRole is a zero-size capability.  A class exposes one public
+ * role member per thread that may touch it (e.g. SpscRing::producerRole
+ * and ::consumerRole), marks the members only that thread may use with
+ * FASTSIM_REQUIRES(role), and callers assert the role once at the top of
+ * the thread function:
+ *
+ *     void fmThreadMain() {
+ *         events_.consumerRole.assertHeld();   // this thread is the consumer
+ *         while (events_.tryPop(e)) ...        // OK
+ *     }
+ *
+ * Calling tryPop from a scope that never asserted consumerRole is a
+ * compile error under clang (-Wthread-safety, promoted to -Werror on the
+ * clang CI leg via -DFASTSIM_THREAD_SAFETY_ERROR=ON).  The assertions
+ * compile to nothing; gcc sees empty macros.  The role member must be
+ * public data (not an accessor) so the assertion expression and the
+ * FASTSIM_REQUIRES expression resolve to the same capability.
+ *
+ * FASTSIM_GUARDED_BY(role) additionally ties *data* members to a role;
+ * the analysis exempts constructors and destructors, so single-threaded
+ * setup/teardown needs no ceremony.
+ */
+
+#ifndef FASTSIM_BASE_THREAD_ANNOTATIONS_HH
+#define FASTSIM_BASE_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define FASTSIM_TSA(...) __attribute__((__VA_ARGS__))
+#else
+#define FASTSIM_TSA(...)
+#endif
+
+#define FASTSIM_CAPABILITY(name) FASTSIM_TSA(capability(name))
+#define FASTSIM_GUARDED_BY(x) FASTSIM_TSA(guarded_by(x))
+#define FASTSIM_PT_GUARDED_BY(x) FASTSIM_TSA(pt_guarded_by(x))
+#define FASTSIM_REQUIRES(...) \
+    FASTSIM_TSA(requires_capability(__VA_ARGS__))
+#define FASTSIM_ACQUIRE(...) \
+    FASTSIM_TSA(acquire_capability(__VA_ARGS__))
+#define FASTSIM_RELEASE(...) \
+    FASTSIM_TSA(release_capability(__VA_ARGS__))
+#define FASTSIM_TRY_ACQUIRE(...) \
+    FASTSIM_TSA(try_acquire_capability(__VA_ARGS__))
+#define FASTSIM_EXCLUDES(...) FASTSIM_TSA(locks_excluded(__VA_ARGS__))
+#define FASTSIM_ASSERT_CAPABILITY(x) FASTSIM_TSA(assert_capability(x))
+#define FASTSIM_RETURN_CAPABILITY(x) FASTSIM_TSA(lock_returned(x))
+#define FASTSIM_SCOPED_CAPABILITY FASTSIM_TSA(scoped_lockable)
+#define FASTSIM_NO_THREAD_SAFETY_ANALYSIS \
+    FASTSIM_TSA(no_thread_safety_analysis)
+
+namespace fastsim {
+
+/**
+ * A thread-role capability: ownership of a side of a lock-free handoff.
+ *
+ * There is nothing to acquire at runtime — the role is granted by the
+ * code structure (who spawns which thread) and the assertion merely
+ * tells the analysis "this scope runs on that thread".  assertHeld() is
+ * deliberately the only way to obtain the capability: roles can never be
+ * locked/unlocked, only claimed, so misuse shows up as a missing
+ * assertion at the top of a thread function rather than a forgotten
+ * unlock.
+ */
+class FASTSIM_CAPABILITY("role") ThreadRole
+{
+  public:
+    void assertHeld() const FASTSIM_ASSERT_CAPABILITY(this) {}
+};
+
+} // namespace fastsim
+
+#endif // FASTSIM_BASE_THREAD_ANNOTATIONS_HH

@@ -22,6 +22,7 @@
 
 #include "base/serialize.hh"
 #include "base/statistics.hh"
+#include "base/thread_annotations.hh"
 #include "fm/func_model.hh"
 #include "fm/trace_entry.hh"
 #include "tm/core.hh"
@@ -70,6 +71,16 @@ class Guardrails
   public:
     Guardrails(const GuardrailConfig &cfg, stats::Group &stats);
 
+    /**
+     * The watchdog/diagnosis/cross-check state is single-owner: the
+     * thread driving the simulation loop (the TM thread in the parallel
+     * runner, the only thread in the coupled one).  Ownership migrates
+     * at well-defined joins — run() re-asserts the role after the FM
+     * thread is joined.  The hash accessors (commitHash, crossCheckHash,
+     * save) stay role-free: they are read cross-thread after completion.
+     */
+    ThreadRole ownerRole;
+
     // --- progress watchdog -------------------------------------------------
     /**
      * Record one poll.  @return true exactly once per stall: when the
@@ -83,14 +94,18 @@ class Guardrails
      * the watchdog only fires when *neither* side is moving.  The coupled
      * runner leaves it 0 (never advances), preserving the old behaviour.
      */
-    bool notePoll(std::uint64_t committed_insts,
-                  std::uint64_t aux_progress = 0);
+    bool notePoll(std::uint64_t committed_insts, std::uint64_t aux_progress = 0)
+        FASTSIM_REQUIRES(ownerRole);
 
-    bool watchdogFired() const { return fired_; }
+    bool
+    watchdogFired() const FASTSIM_REQUIRES(ownerRole)
+    {
+        return fired_;
+    }
 
     /** Re-arm after the caller handled a fire (e.g. degradation). */
     void
-    rearmWatchdog()
+    rearmWatchdog() FASTSIM_REQUIRES(ownerRole)
     {
         fired_ = false;
         pollsSinceProgress_ = 0;
@@ -109,12 +124,21 @@ class Guardrails
                          const ProtocolEngine &engine,
                          const std::string &runner_state = {}) const;
 
-    const std::string &lastDiagnosis() const { return lastDiagnosis_; }
-    void noteDiagnosis(std::string d) { lastDiagnosis_ = std::move(d); }
+    const std::string &
+    lastDiagnosis() const FASTSIM_REQUIRES(ownerRole)
+    {
+        return lastDiagnosis_;
+    }
+    void
+    noteDiagnosis(std::string d) FASTSIM_REQUIRES(ownerRole)
+    {
+        lastDiagnosis_ = std::move(d);
+    }
 
     // --- FM-vs-TM cross-check ----------------------------------------------
     /** True when the commit count has advanced past the next check point. */
-    bool crossCheckDue(std::uint64_t committed_insts) const;
+    bool crossCheckDue(std::uint64_t committed_insts) const
+        FASTSIM_REQUIRES(ownerRole);
 
     /**
      * Verify the FM/TM lockstep invariants at a commit boundary (epoch
@@ -126,14 +150,15 @@ class Guardrails
      * between TM event emission and FM appliance the epochs legitimately
      * disagree.
      */
-    void crossCheck(const fm::FuncModel &fm, const tm::Core &core);
+    void crossCheck(const fm::FuncModel &fm, const tm::Core &core)
+        FASTSIM_REQUIRES(ownerRole);
 
     std::uint64_t crossCheckHash() const { return crossHash_; }
 
     // --- commit hash chain --------------------------------------------------
     /** Fold one committed instruction into the hash chain. */
     void
-    onCommitEntry(const fm::TraceEntry &e)
+    onCommitEntry(const fm::TraceEntry &e) FASTSIM_REQUIRES(ownerRole)
     {
         auto mix = [this](std::uint64_t v) {
             for (unsigned i = 0; i < 8; ++i) {
@@ -161,7 +186,7 @@ class Guardrails
     }
 
     void
-    restore(serialize::Source &s)
+    restore(serialize::Source &s) FASTSIM_REQUIRES(ownerRole)
     {
         commitHash_ = s.get<std::uint64_t>();
         crossHash_ = s.get<std::uint64_t>();
@@ -173,11 +198,12 @@ class Guardrails
   private:
     GuardrailConfig cfg_;
 
-    std::uint64_t lastCommitted_ = 0;
-    std::uint64_t lastAux_ = 0;
-    std::uint64_t pollsSinceProgress_ = 0;
-    bool fired_ = false;
-    std::string lastDiagnosis_;
+    // Watchdog + diagnosis state: written on every poll, owner-only.
+    std::uint64_t lastCommitted_ FASTSIM_GUARDED_BY(ownerRole) = 0;
+    std::uint64_t lastAux_ FASTSIM_GUARDED_BY(ownerRole) = 0;
+    std::uint64_t pollsSinceProgress_ FASTSIM_GUARDED_BY(ownerRole) = 0;
+    bool fired_ FASTSIM_GUARDED_BY(ownerRole) = false;
+    std::string lastDiagnosis_ FASTSIM_GUARDED_BY(ownerRole);
 
     std::uint64_t nextCrossCheckAt_ = 0;
     std::uint64_t crossHash_ = 1469598103934665603ull;

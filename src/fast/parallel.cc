@@ -48,6 +48,10 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
     mirror_.configure(cfg.fm.diskBlocks);
     if (cfg.guardrails.hashCommits || cfg.deterministicDevices)
         core_->onCommit = [this](const fm::TraceEntry &e) {
+            // Commit hooks fire on the thread ticking the core — the
+            // guardrails owner (TM thread, or the sole thread when
+            // coupled/degraded).
+            guardrails_.ownerRole.assertHeld();
             if (cfg_.guardrails.hashCommits)
                 guardrails_.onCommitEntry(e);
             if (cfg_.deterministicDevices)
@@ -143,12 +147,14 @@ ParallelFastSimulator::tmSpinThenPark(Pred &&ready)
 void
 ParallelFastSimulator::applyMessage(const TmEvent &e)
 {
-    // Runs on the FM thread.  Rewinds are safe here: the TM quiesces
-    // between issuing a resteer-class event and observing the applied-count
-    // ack released below (see parallel.hh).  The command channel (fault
-    // layer) wraps the protocol engine's FM-side appliance; this wrapper
-    // layers the thread-visible acks around it in the order the rendezvous
-    // requires.
+    // Runs on the FM thread (the TM thread takes the channel over only
+    // in degraded mode / after the join).  Rewinds are safe here: the TM
+    // quiesces between issuing a resteer-class event and observing the
+    // applied-count ack released below (see parallel.hh).  The command
+    // channel (fault layer) wraps the protocol engine's FM-side
+    // appliance; this wrapper layers the thread-visible acks around it
+    // in the order the rendezvous requires.
+    cmd_->ownerRole.assertHeld();
     if (cmd_->apply(e, *fm_, tb_, stats_))
         fmStalledWrongPath_.store(false, std::memory_order_relaxed);
     // Adaptive ring sizing happens at epoch boundaries, *inside* the
@@ -220,6 +226,7 @@ void
 ParallelFastSimulator::fmBlockedWait()
 {
     using namespace std::chrono_literals;
+    events_.consumerRole.assertHeld(); // FM thread: the ring's consumer
     std::unique_lock<std::mutex> lk(mu_);
     cv_.notify_all();
     if (events_.empty() && !stop_.load(std::memory_order_relaxed)) {
@@ -233,6 +240,7 @@ ParallelFastSimulator::fmBlockedWait()
 void
 ParallelFastSimulator::fmThreadMain()
 {
+    events_.consumerRole.assertHeld(); // this thread consumes TM events
     const unsigned batch = cfg_.fmBatchInsts ? cfg_.fmBatchInsts : 1;
     while (!stop_.load(std::memory_order_acquire)) {
         // Apply protocol messages in order.
@@ -314,11 +322,15 @@ ParallelFastSimulator::pushEvent(const TmEvent &e)
     // TM thread.  The ring is deep; filling it means the FM has been
     // behind for a long stretch: wake it, spin briefly, park if it still
     // has not drained.
+    events_.producerRole.assertHeld();
     while (!events_.tryPush(e)) {
         if (stop_.load(std::memory_order_relaxed))
             return;
         wakeFm();
-        tmSpinThenPark([this] { return events_.drained(); });
+        tmSpinThenPark([this] {
+            events_.producerRole.assertHeld(); // still the TM thread
+            return events_.drained();
+        });
     }
     wakeFm();
 }
@@ -438,6 +450,7 @@ ParallelFastSimulator::deviceTiming()
 bool
 ParallelFastSimulator::finishedTm() const
 {
+    events_.producerRole.assertHeld(); // TM-side view of the ring
     return guestFinished_.load(std::memory_order_acquire) &&
            events_.drained() && tb_.unfetched() == 0 && core_->drained() &&
            !resteerPending() &&
@@ -447,6 +460,7 @@ ParallelFastSimulator::finishedTm() const
 void
 ParallelFastSimulator::tmThreadMain(Cycle max_cycles)
 {
+    guardrails_.ownerRole.assertHeld(); // the TM loop drives the watchdog
     while (!stop_.load(std::memory_order_relaxed)) {
         if (core_->cycle() >= max_cycles)
             break;
@@ -571,6 +585,8 @@ ParallelFastSimulator::degradedRun(Cycle max_cycles)
     // bit-identical functional results.  The issued/applied rendezvous
     // counters keep advancing in lock-step so the invariant checks (and a
     // hypothetical re-inspection of finishedTm()) stay coherent.
+    guardrails_.ownerRole.assertHeld();
+    cmd_->ownerRole.assertHeld(); // the FM thread is joined: we own the FM
     const std::function<bool(InstNum)> boundary_ok = [this](InstNum in) {
         return fm_->lastCommitted() + 1 == in;
     };
@@ -698,6 +714,12 @@ ParallelFastSimulator::run(Cycle max_cycles)
     }
     cv_.notify_all();
     fmThread_.join();
+
+    // Past the join this thread owns every role: it always was the
+    // guardrails/TM owner, and the FM thread's consumer/channel roles
+    // migrate here with the join.
+    guardrails_.ownerRole.assertHeld();
+    events_.consumerRole.assertHeld();
 
     if (guardrails_.watchdogFired()) {
         // Both threads are stopped: the diagnosis reads a quiesced FM.

@@ -31,6 +31,7 @@
 
 #include "base/serialize.hh"
 #include "base/statistics.hh"
+#include "base/thread_annotations.hh"
 #include "fast/tuning.hh"
 #include "fm/func_model.hh"
 #include "host/link_model.hh"
@@ -323,16 +324,24 @@ class CmdChannel
     CmdChannel(inject::FaultPlan *plan, const host::LinkRetryPolicy &policy,
                stats::Group &stats);
 
+    /**
+     * Whichever thread owns the FM owns the channel: the coupled runner's
+     * single thread, or the parallel runner's FM thread (the TM thread
+     * takes the role over only in degraded mode / after join).  The dedup
+     * guard state below is meaningless if two threads interleave apply().
+     */
+    ThreadRole ownerRole;
+
     /** Apply `e` exactly once.  Same return contract as applyToFm(). */
     bool apply(const tm::TmEvent &e, fm::FuncModel &fm, tm::TraceBuffer &tb,
-               stats::Group &stats);
+               stats::Group &stats) FASTSIM_REQUIRES(ownerRole);
 
   private:
     inject::FaultPlan *plan_;
     host::LinkRetryPolicy policy_;
 
-    bool haveLast_ = false;
-    tm::TmEvent last_;
+    bool haveLast_ FASTSIM_GUARDED_BY(ownerRole) = false;
+    tm::TmEvent last_ FASTSIM_GUARDED_BY(ownerRole);
 
     stats::Handle stDropRetransmits_;
     stats::Handle stDupSuppressed_;

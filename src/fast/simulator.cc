@@ -34,6 +34,8 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
     mirror_.configure(cfg.fm.diskBlocks);
     if (cfg.guardrails.hashCommits || cfg.deterministicDevices)
         core_->onCommit = [this](const fm::TraceEntry &e) {
+            // Coupled runner: one thread owns everything.
+            guardrails_.ownerRole.assertHeld();
             if (cfg_.guardrails.hashCommits)
                 guardrails_.onCommitEntry(e);
             if (cfg_.deterministicDevices)
@@ -76,6 +78,7 @@ FastSimulator::produceEntries()
 void
 FastSimulator::handleEvents()
 {
+    cmd_->ownerRole.assertHeld(); // single-threaded runner owns the channel
     for (const TmEvent &e : core_->drainEvents()) {
         if (onEvent)
             onEvent(e);
@@ -89,6 +92,7 @@ FastSimulator::handleEvents()
 void
 FastSimulator::deviceTiming()
 {
+    cmd_->ownerRole.assertHeld();
     // Seeded device misfires (§3.4 fault model): the device models decide
     // whether the misfire is guest-visible or suppressed by their guards.
     if (plan_) {
@@ -124,6 +128,7 @@ FastSimulator::deviceTiming()
 void
 FastSimulator::runGuardrails()
 {
+    guardrails_.ownerRole.assertHeld();
     if (guardrails_.crossCheckDue(core_->committedInsts()))
         guardrails_.crossCheck(*fm_, *core_);
     if (guardrails_.notePoll(core_->committedInsts())) {

@@ -205,6 +205,9 @@ FastSimulator::resumeFrom(const std::string &path)
     fm_->restoreState(s);
     core_->restoreState(s);
     engine_->restore(s);
+    // Restore happens before any runner thread exists: the restoring
+    // thread is the guardrails owner.
+    guardrails_.ownerRole.assertHeld();
     guardrails_.restore(s);
     sizer_.restore(s);
     const std::uint64_t tb_capacity = s.get<std::uint64_t>();

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "analysis/partition.hh"
+#include "base/thread_annotations.hh"
 #include "tm/module.hh"
 
 namespace fastsim {
@@ -72,12 +73,21 @@ class BspScheduler
                                                     unsigned threads);
 
     /**
+     * The serial phases (cut-connector tick, lane exchange, fixed-order
+     * host reduction) belong to exactly one driving thread per cycle —
+     * the one calling tickAll.  The role makes that single-driver
+     * contract compile-enforced: Core asserts it where it owns the loop,
+     * and any new caller that forgets is rejected on the clang leg.
+     */
+    ThreadRole driverRole;
+
+    /**
      * Advance the whole fabric one target cycle and return the total
      * host cycles (registry per-cycle overhead + per-module
      * contributions, reduced in partition order).  Drop-in replacement
      * for ModuleRegistry::tickAll — same contract, same totals.
      */
-    unsigned tickAll(Cycle now);
+    unsigned tickAll(Cycle now) FASTSIM_REQUIRES(driverRole);
 
     const analysis::PartitionPlan &plan() const { return plan_; }
     std::size_t partitionCount() const { return partModules_.size(); }
@@ -92,7 +102,9 @@ class BspScheduler
     // Per-partition slices of the fabric, registration/noted order.
     std::vector<std::vector<Module *>> partModules_;
     std::vector<std::vector<ConnectorBase *>> partConnectors_;
-    std::vector<ConnectorBase *> cut_; //!< cross-partition edges, noted order
+    //! Cross-partition edges, noted order.  Ticked and exchanged only in
+    //! the serial phases (ctor/dtor are analysis-exempt setup/teardown).
+    std::vector<ConnectorBase *> cut_ FASTSIM_GUARDED_BY(driverRole);
     std::vector<unsigned> partHost_;
 
     // Cycle barrier (spin-then-park; see file comment).

@@ -111,10 +111,15 @@ Core::tick()
     // budgets re-arm), then modules tick, and the host cycles are
     // collected together with the per-cycle sync/stats overhead (§4.7).
     // With tmThreads > 1 the BSP scheduler runs the same loop split
-    // across partitions with a barrier per cycle.
-    const unsigned host_this_cycle =
-        sched_ ? sched_->tickAll(state_.cycle)
-               : registry_.tickAll(state_.cycle);
+    // across partitions with a barrier per cycle.  Whoever ticks the
+    // core is the one BSP driver this cycle.
+    unsigned host_this_cycle;
+    if (sched_) {
+        sched_->driverRole.assertHeld();
+        host_this_cycle = sched_->tickAll(state_.cycle);
+    } else {
+        host_this_cycle = registry_.tickAll(state_.cycle);
+    }
 
     ++state_.intCycles;
     if (state_.awaitingResteer)

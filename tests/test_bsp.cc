@@ -396,6 +396,7 @@ TEST(BspScheduler, RingBitIdenticalAcrossThreadCounts)
         EXPECT_EQ(sched->partitionCount(), threads);
         EXPECT_FALSE(sched->plan().cutEdges.empty());
         std::uint64_t host = 0;
+        sched->driverRole.assertHeld(); // the test thread drives the BSP
         for (Cycle c = 0; c < Cycles; ++c)
             host += sched->tickAll(c);
         EXPECT_EQ(host, ref_host) << threads << " threads";
@@ -500,8 +501,14 @@ TEST(BspScheduler, ReplicatedHierarchiesBitIdentical)
             }
         }
         std::uint64_t host = 0, sum = 0;
-        for (Cycle c = 0; c < Cycles; ++c)
-            host += sched ? sched->tickAll(c) : reg.tickAll(c);
+        if (sched) {
+            sched->driverRole.assertHeld();
+            for (Cycle c = 0; c < Cycles; ++c)
+                host += sched->tickAll(c);
+        } else {
+            for (Cycle c = 0; c < Cycles; ++c)
+                host += reg.tickAll(c);
+        }
         // Fingerprint every counter of every module, registration order.
         for (const Module *m : reg.modules())
             for (const auto &kv : m->stats().all())

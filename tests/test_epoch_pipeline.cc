@@ -454,6 +454,7 @@ TEST(EpochPipe, WatchdogAuxProgressSemantics)
     cfg.watchdogBudget = 10;
     stats::Group g("t");
     Guardrails gr(cfg, g);
+    gr.ownerRole.assertHeld(); // single-threaded unit test owns the watchdog
 
     // Committed frozen, aux advancing: never fires.
     for (std::uint64_t i = 0; i < 100; ++i)

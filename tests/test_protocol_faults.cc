@@ -214,6 +214,7 @@ TEST(Guardrails, WatchdogFiresOncePerStallAndRearmsOnProgress)
     cfg.watchdogBudget = 5;
     stats::Group stats("guard_test");
     fast::Guardrails g(cfg, stats);
+    g.ownerRole.assertHeld(); // single-threaded unit test owns the watchdog
 
     EXPECT_FALSE(g.notePoll(10)); // first observation registers progress
     for (int i = 0; i < 4; ++i)
@@ -411,8 +412,12 @@ TEST(ProtocolFaults, ParallelDeadlockDegradesToCoupledAndFinishes)
     EXPECT_GE(sim.stats().value("watchdog_fires"), 1u);
     EXPECT_EQ(sim.stats().value("degraded_to_coupled"), 1u);
     EXPECT_EQ(sim.fm().console().output(), ref.console);
-    EXPECT_FALSE(sim.guardrails().lastDiagnosis().empty());
-    EXPECT_NE(sim.guardrails().lastDiagnosis().find("connector occupancies"),
+    // run() returned, so the runner threads are joined: this thread owns
+    // the guardrails again.
+    const fast::Guardrails &gr = sim.guardrails();
+    gr.ownerRole.assertHeld();
+    EXPECT_FALSE(gr.lastDiagnosis().empty());
+    EXPECT_NE(gr.lastDiagnosis().find("connector occupancies"),
               std::string::npos);
 }
 

@@ -4,19 +4,24 @@
  *
  * Constructs a timing-model core for a configuration and runs the
  * src/analysis passes over it:
- *   pass 1  fabric lint      (FAB001..FAB005, FAB006 against a device)
- *   pass 2  codec check      (COD001..COD007 over the FX86 table + codec)
- * (pass 3, the determinism lint, is source-level: tools/lint_determinism.py)
+ *   pass 1  fabric lint      (FAB001..FAB005, FAB007..FAB012)
+ *   pass 2  cost check       (FAB006 against a device)
+ *   pass 3  codec check      (COD001..COD007 over the FX86 table + codec)
+ *   pass 4  protocol model   (--protocol: PROT001..PROT004 by exhaustive
+ *                             exploration of the FM<->TM transition system)
+ * (the determinism lint is source-level: tools/lint_determinism.py)
  *
  * Exit status: 0 when no errors (warnings allowed), 1 on errors, 2 on
  * usage mistakes.
  *
  * Usage:
  *   fastlint [--json] [--list] [--no-verify-fabric] [--no-verify-codec]
- *            [--no-verify-cost] [--issue-width N] [--front-end-depth N]
- *            [--device NAME] [--suppress ID]...
+ *            [--no-verify-cost] [--protocol[=depth]] [--issue-width N]
+ *            [--front-end-depth N] [--partition[=N]]
+ *            [--imbalance-threshold=PCT] [--device NAME] [--suppress ID]...
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,43 +40,6 @@
 
 namespace {
 
-struct DiagInfo
-{
-    const char *id;
-    const char *summary;
-};
-
-constexpr DiagInfo KnownDiagnostics[] = {
-    {"FAB001", "zero-latency Connector cycle (combinational loop)"},
-    {"FAB002", "dangling Connector endpoint (no producer or consumer)"},
-    {"FAB003", "double-bound Connector endpoint"},
-    {"FAB004", "Connector throughput/capacity inconsistency"},
-    {"FAB005", "statistics counter name collision across modules"},
-    {"FAB006", "aggregate FPGA cost exceeds the device budget"},
-    {"FAB007", "bounded memory edge undersized for the level's MSHR depth"},
-    {"FAB008", "writeback->commit capacity smaller than the ROB"},
-    {"FAB009", "issueWidth exceeds the total functional units"},
-    {"FAB010", "invalid parallel tuning (epoch window, command batch, "
-               "adaptive trace-ring bounds)"},
-    {"FAB011", "illegal BSP cut (zero-latency or bounded cross-partition "
-               "edge, or a sync domain split across partitions)"},
-    {"FAB012", "BSP partition advisory (fabric collapsed below the "
-               "requested threads, or load-imbalanced partitions)"},
-    {"COD001", "overlapping opcode encodings"},
-    {"COD002", "opcode byte shadowed by a prefix/escape byte"},
-    {"COD003", "encoding exceeds the 15-byte architectural limit"},
-    {"COD004", "codec round-trip or decode-table mismatch"},
-    {"COD005", "opcode table overflows a packing field"},
-    {"COD006", "ExecClass / property-flag inconsistency"},
-    {"COD007", "trace-visible field unreachable from any opcode"},
-    {"DET001", "wall-clock or libc rand in model code (python linter)"},
-    {"DET002", "iteration over an unordered container (python linter)"},
-    {"DET003", "uninitialized scalar member in a trace/event struct "
-               "(python linter)"},
-    {"DET004", "non-const function-local static (python linter)"},
-    {"DET005", "discarded TraceBuffer rewind/commit result (python linter)"},
-};
-
 int
 usage(const char *argv0)
 {
@@ -79,8 +47,10 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--json] [--list] [--no-verify-fabric]\n"
         "          [--no-verify-codec] [--no-verify-cost]\n"
-        "          [--issue-width N] [--front-end-depth N]\n"
-        "          [--partition[=N]] [--device NAME] [--suppress ID]...\n",
+        "          [--protocol[=depth]] [--issue-width N]\n"
+        "          [--front-end-depth N] [--partition[=N]]\n"
+        "          [--imbalance-threshold=PCT] [--device NAME]\n"
+        "          [--suppress ID]...\n",
         argv0);
     return 2;
 }
@@ -162,6 +132,9 @@ main(int argc, char **argv)
     bool do_fabric = true;
     bool do_codec = true;
     bool do_cost = true;
+    bool do_protocol = false;
+    unsigned protocol_depth = 0;
+    unsigned imbalance_pct = analysis::PartitionOptions{}.imbalancePct;
     std::string device_name;
     std::vector<std::string> suppress;
     tm::CoreConfig cfg;
@@ -178,7 +151,8 @@ main(int argc, char **argv)
         if (arg == "--json") {
             json = true;
         } else if (arg == "--list") {
-            for (const DiagInfo &d : KnownDiagnostics)
+            for (const analysis::CatalogEntry &d :
+                 analysis::diagnosticCatalog())
                 std::printf("%s  %s\n", d.id, d.summary);
             return 0;
         } else if (arg == "--no-verify-fabric") {
@@ -187,6 +161,20 @@ main(int argc, char **argv)
             do_codec = false;
         } else if (arg == "--no-verify-cost") {
             do_cost = false;
+        } else if (arg == "--protocol" ||
+                   arg.rfind("--protocol=", 0) == 0) {
+            do_protocol = true;
+            if (arg.size() > std::strlen("--protocol"))
+                protocol_depth = static_cast<unsigned>(
+                    std::atoi(arg.c_str() + std::strlen("--protocol=")));
+        } else if (arg.rfind("--imbalance-threshold=", 0) == 0) {
+            imbalance_pct = static_cast<unsigned>(std::atoi(
+                arg.c_str() + std::strlen("--imbalance-threshold=")));
+            if (imbalance_pct < 1) {
+                std::fprintf(stderr,
+                             "--imbalance-threshold needs PCT >= 1\n");
+                return 2;
+            }
         } else if (arg == "--partition" ||
                    arg.rfind("--partition=", 0) == 0) {
             show_partition = true;
@@ -230,24 +218,72 @@ main(int argc, char **argv)
     }
 
     analysis::Report report;
-    for (const std::string &id : suppress)
+    for (const std::string &id : suppress) {
+        if (!analysis::isKnownDiagnostic(id))
+            std::fprintf(stderr,
+                         "fastlint: warning: --suppress %s matches no "
+                         "catalogued diagnostic (see --list)\n",
+                         id.c_str());
         report.suppress(id);
+    }
+
+    // Each pass is timed individually for the JSON document; the findings
+    // count is the delta the pass contributed to the shared report.
+    std::vector<analysis::PassRecord> passes;
+    auto timedPass = [&report, &passes](const char *name, auto &&body) {
+        const std::size_t before = report.diagnostics().size();
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        analysis::PassRecord rec;
+        rec.name = name;
+        rec.runtimeUs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count());
+        rec.findings = report.diagnostics().size() - before;
+        passes.push_back(std::move(rec));
+    };
 
     try {
         tm::TraceBuffer tb(256);
         tm::Core core(cfg, tb);
         analysis::VerifyOptions opts;
-        opts.fabric = do_fabric;
-        opts.cost = do_cost;
-        opts.codec = do_codec;
+        opts.fabric = false;
+        opts.cost = false;
+        opts.codec = false;
         opts.device = device;
-        analysis::verify(core, opts, report);
-        // FAB010: the runner constructors reject these unconditionally;
-        // here the default tuning is checked against the chosen core so a
-        // CLI sweep surfaces e.g. an adaptive floor below 2x the ROB.
+        opts.partition.imbalancePct = imbalance_pct;
         if (do_fabric)
-            analysis::lintParallelTuning(fast::ParallelTuning{},
-                                         cfg.robEntries, report);
+            timedPass("fabric", [&] {
+                analysis::VerifyOptions o = opts;
+                o.fabric = true;
+                analysis::verify(core, o, report);
+                // FAB010: the runner constructors reject these
+                // unconditionally; here the default tuning is checked
+                // against the chosen core so a CLI sweep surfaces e.g. an
+                // adaptive floor below 2x the ROB.
+                analysis::lintParallelTuning(fast::ParallelTuning{},
+                                             cfg.robEntries, report);
+            });
+        if (do_cost)
+            timedPass("cost", [&] {
+                analysis::VerifyOptions o = opts;
+                o.cost = true;
+                analysis::verify(core, o, report);
+            });
+        if (do_codec)
+            timedPass("codec", [&] {
+                analysis::VerifyOptions o = opts;
+                o.codec = true;
+                analysis::verify(core, o, report);
+            });
+        if (do_protocol)
+            timedPass("protocol", [&] {
+                analysis::VerifyOptions o = opts;
+                o.protocol = true;
+                o.protocolDepth = protocol_depth;
+                analysis::verify(core, o, report);
+            });
         if (show_partition) {
             const analysis::FabricGraph g =
                 analysis::FabricGraph::fromRegistry(core.registry());
@@ -262,7 +298,7 @@ main(int argc, char **argv)
     }
 
     if (json)
-        std::printf("%s\n", report.json().c_str());
+        std::printf("%s\n", analysis::jsonDocument(report, passes).c_str());
     else
         std::fputs(report.text().c_str(), stdout);
     return report.hasErrors() ? 1 : 0;

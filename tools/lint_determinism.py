@@ -20,6 +20,13 @@ src/fast) for constructs that silently break that property:
   DET005  discarded TraceBuffer::rewindTo/commitTo result (both are
           [[nodiscard]] corruption signals; ignoring one turns a detected
           protocol fault into silent divergence)
+  DET006  raw wall-clock call anywhere in src/ outside src/host/ (clock
+          reads, bare time(), or sleep_for with a literal duration —
+          host-time policy lives in src/host; a literal sleep in model or
+          runner code is a hidden timing dependence).  DET006 scans a
+          wider tree than DET001–DET005: all of src/ except src/host/.
+          In the DET001 directories only the sleep_for pattern applies,
+          so a clock read there fires once (as DET001), not twice.
 
 Suppression: append "// fastlint: allow(DETnnn)" to the offending line or
 the line above it.
@@ -82,6 +89,23 @@ DET005_RE = re.compile(
 DET005_CONSUMED_RE = re.compile(
     r"(?:\bif\b|\bwhile\b|\breturn\b|[=!&|]|\bassert|EXPECT_|ASSERT_"
     r"|fastsim_assert)")
+
+# --- DET006: raw wall-clock use outside src/host --------------------------
+# Scans all of src/ except src/host/ (a wider net than SCAN_DIRS).  Clock
+# reads and bare time() are DET001's patterns re-applied to the wider
+# tree; sleep_for with a *literal* duration (123, 10ms,
+# std::chrono::milliseconds(5), ...) is DET006-specific — a variable
+# duration is a policy knob, a literal is a buried timing assumption.
+DET006_SCAN_ROOT = "src"
+DET006_EXCLUDE_DIRS = ["src/host"]
+DET006_CLOCK_PATTERNS = [
+    re.compile(r"std::chrono::(system_clock|steady_clock|"
+               r"high_resolution_clock)::now"),
+    re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+    re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+]
+DET006_SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(\s*(?:std::chrono::\w+\s*[({]\s*)?\d")
 
 
 def allowed(lines, idx, det_id):
@@ -197,6 +221,35 @@ def scan_file(path, text, findings, enum_names):
                          "default)" % (member, sname)))
 
 
+def scan_file_det006(path, text, findings, clocks_owned_by_det001):
+    """DET006 over one file.
+
+    When DET001 already owns the file (it lives in SCAN_DIRS) the clock
+    patterns are skipped — the same line should fire once, under DET001 —
+    and only the sleep_for-literal pattern applies.
+    """
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        if in_comment(line):
+            continue
+        lineno = idx + 1
+        if allowed(lines, idx, "DET006"):
+            continue
+        if not clocks_owned_by_det001:
+            for pat in DET006_CLOCK_PATTERNS:
+                if pat.search(line):
+                    findings.append((path, lineno, "DET006",
+                                     "raw wall-clock call outside src/host "
+                                     "(host-time policy belongs in "
+                                     "src/host): " + line.strip()))
+                    break
+        if DET006_SLEEP_RE.search(line):
+            findings.append((path, lineno, "DET006",
+                             "sleep_for with a literal duration (a buried "
+                             "timing assumption; hoist it to a tuning knob "
+                             "or src/host): " + line.strip()))
+
+
 def collect_enum_names(files):
     names = set()
     for _, text in files:
@@ -221,6 +274,26 @@ def scan_tree(root):
     enum_names = collect_enum_names(files)
     for path, text in sorted(files):
         scan_file(path, text, findings, enum_names)
+
+    # DET006 walks the wider tree (all of src/ except src/host/).
+    det1_dirs = tuple(d.rstrip("/") + "/" for d in SCAN_DIRS)
+    excluded = tuple(d.rstrip("/") + "/" for d in DET006_EXCLUDE_DIRS)
+    det6_files = []
+    base = os.path.join(root, DET006_SCAN_ROOT)
+    if os.path.isdir(base):
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] not in SCAN_EXTS:
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if rel.startswith(excluded):
+                    continue
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    det6_files.append((rel, f.read()))
+    for rel, text in sorted(det6_files):
+        scan_file_det006(rel, text, findings,
+                         clocks_owned_by_det001=rel.startswith(det1_dirs))
     return findings
 
 
@@ -235,6 +308,9 @@ SELF_TEST_CASES = {
     "DET004": ("void f()\n{\n    static int counter;\n    ++counter;\n}\n"),
     "DET005": ("void f(TraceBuffer &tb)\n{\n"
                "    (void)tb.rewindTo(3);\n}\n"),
+    "DET006": ("void f()\n{\n"
+               "    std::this_thread::sleep_for("
+               "std::chrono::milliseconds(10));\n}\n"),
 }
 
 CLEAN_SNIPPET = (
@@ -246,7 +322,16 @@ CLEAN_SNIPPET = (
     "void g() { for (int x : seen) use(x); } // fastlint: allow(DET002)\n"
     "bool h(TraceBuffer &tb)\n{\n"
     "    if (!tb.rewindTo(3))\n        return false;\n"
-    "    return tb.commitTo(2);\n}\n")
+    "    return tb.commitTo(2);\n}\n"
+    # DET006 negatives: a cv wait_for deadline is a liveness bound, not a
+    # sleep; a variable sleep duration is a policy knob; an allow-comment
+    # waives an audited literal.
+    "void w(std::condition_variable &cv, std::unique_lock<std::mutex> &lk)\n"
+    "{\n    cv.wait_for(lk, std::chrono::milliseconds(5));\n}\n"
+    "void s(std::chrono::microseconds backoff)\n"
+    "{\n    std::this_thread::sleep_for(backoff);\n}\n"
+    "void a()\n{\n    std::this_thread::sleep_for("
+    "std::chrono::milliseconds(1)); // fastlint: allow(DET006)\n}\n")
 
 
 def self_test():
@@ -255,6 +340,8 @@ def self_test():
         findings = []
         enums = collect_enum_names([("t.cc", snippet)])
         scan_file("t.cc", snippet, findings, enums)
+        scan_file_det006("t.cc", snippet, findings,
+                         clocks_owned_by_det001=False)
         fired = {f[2] for f in findings}
         if det_id not in fired:
             print("self-test FAIL: %s did not fire on its snippet" % det_id)
@@ -262,6 +349,8 @@ def self_test():
     findings = []
     enums = collect_enum_names([("clean.cc", CLEAN_SNIPPET)])
     scan_file("clean.cc", CLEAN_SNIPPET, findings, enums)
+    scan_file_det006("clean.cc", CLEAN_SNIPPET, findings,
+                     clocks_owned_by_det001=False)
     if findings:
         print("self-test FAIL: clean snippet raised %r" % (findings,))
         ok = False
