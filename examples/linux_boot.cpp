@@ -18,6 +18,10 @@
  *   --cross-check N        FM-vs-TM cross-check every N commits
  *   --watchdog N           no-progress watchdog budget in polls
  *
+ * SIGTERM/SIGINT take a final crash-consistent checkpoint at the next
+ * drained commit boundary and exit with code 75 (host::ExitCheckpointed),
+ * so an interrupted boot resumes with --resume instead of restarting.
+ *
  * Shows the full-system capabilities: BIOS probing, kernel decompression,
  * page-table construction, paging, timer interrupts, disk DMA with
  * timing-model-driven completion, system calls and a user process — all
@@ -31,6 +35,7 @@
 #include <string>
 
 #include "fast/simulator.hh"
+#include "host/subprocess.hh"
 #include "inject/fault_plan.hh"
 #include "kernel/boot.hh"
 #include "workloads/workloads.hh"
@@ -126,6 +131,7 @@ main(int argc, char **argv)
 
     std::printf("booting %s on the FAST simulator...\n\n",
                 kernel::osFlavorName(flavor));
+    host::installShutdownHandlers();
     fast::FastSimulator sim(cfg);
     sim.boot(kernel::buildBootImage(opts));
     if (!resume_from.empty()) {
@@ -133,7 +139,26 @@ main(int argc, char **argv)
         std::printf("resumed from %s at cycle %llu\n", resume_from.c_str(),
                     static_cast<unsigned long long>(sim.core().cycle()));
     }
-    auto r = sim.run(2000000000ull);
+
+    // Run in slices so SIGTERM/SIGINT can cut in between them with a
+    // final crash-consistent checkpoint (exit 75: resumable interrupt).
+    fast::RunResult r;
+    do {
+        r = sim.run(sim.core().cycle() + 20000);
+        if (!r.finished && host::shutdownRequested()) {
+            if (sim.checkpointNow(cfg.checkpointPath)) {
+                std::printf("interrupted: checkpoint written to %s "
+                            "at cycle %llu; resume with --resume\n",
+                            cfg.checkpointPath.c_str(),
+                            static_cast<unsigned long long>(
+                                sim.core().cycle()));
+                return host::ExitCheckpointed;
+            }
+            std::fprintf(stderr, "interrupted: no drain boundary reached; "
+                                 "no checkpoint written\n");
+            return 1;
+        }
+    } while (!r.finished && r.cycles < 2000000000ull);
 
     std::printf("guest console:\n---\n%s---\n\n",
                 sim.fm().console().output().c_str());

@@ -15,9 +15,11 @@
 #ifndef FASTSIM_FAST_SIMULATOR_HH
 #define FASTSIM_FAST_SIMULATOR_HH
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/statistics.hh"
 #include "fast/guardrails.hh"
@@ -72,8 +74,11 @@ struct FastConfig
     /** Runtime guardrails: watchdog, cross-checks, commit-hash chain. */
     GuardrailConfig guardrails;
 
-    /** FM<->TM link retry behaviour under injected transport faults. */
-    host::LinkRetryPolicy linkRetry;
+    /** FM<->TM link retry behaviour under injected transport faults.
+     *  Jitter is on by default: the charged retry-ns are host-side stats
+     *  (never target time), so the seeded jitter cannot perturb timing —
+     *  it only decorrelates the modeled retransmission schedule. */
+    host::LinkRetryPolicy linkRetry{.jitterFrac = 0.1};
 
     /**
      * Parallel-runner performance tuning (epoch window, command batching,
@@ -154,17 +159,38 @@ class FastSimulator
     // --- checkpoint / resume -----------------------------------------------
     /**
      * Quiesce to a drained commit boundary (rolling back FM run-ahead)
-     * and write a crash-consistent snapshot: temp file + atomic rename,
-     * versioned header, config fingerprint, payload checksum.  Only legal
-     * when checkpointReady(); run() sequences this automatically when
-     * cfg.checkpointEvery != 0.
+     * and write a crash-consistent snapshot: process-unique temp file +
+     * fsync + atomic rename, versioned header, config fingerprint,
+     * payload checksum.  Only legal when checkpointReady(); run()
+     * sequences this automatically when cfg.checkpointEvery != 0.
      */
     void saveSnapshot(const std::string &path);
+
+    /** The complete on-disk snapshot image (header + payload) as bytes;
+     *  quiesces like saveSnapshot().  The fastd worker checkpoints this
+     *  through snapshot_io without touching the filesystem layout. */
+    std::vector<std::uint8_t> snapshotImage();
+
+    /** Write the snapshot image to an already-open stream (checkpoint-
+     *  to-fd); FatalError on short write, e.g. ENOSPC. */
+    void saveSnapshotToStream(std::FILE *f);
+
+    /**
+     * Emergency checkpoint for signal handlers (SIGTERM/SIGINT): request
+     * a drain, tick to the next quiesced boundary (at most
+     * max_extra_cycles), snapshot to `path`.  Returns false if no
+     * boundary was reached within the bound (nothing is written).
+     */
+    bool checkpointNow(const std::string &path,
+                       Cycle max_extra_cycles = 200000);
 
     /** Restore a snapshot written by saveSnapshot().  Call after boot()
      *  (boot re-creates the un-serialized environment: console input
      *  script, loaded image; the snapshot then overwrites machine state). */
     void resumeFrom(const std::string &path);
+
+    /** resumeFrom(), but from an in-memory image. */
+    void resumeFromImage(const std::vector<std::uint8_t> &bytes);
 
     /** True at a clean snapshot boundary (drained, no injection pending,
      *  every fetched instruction committed). */

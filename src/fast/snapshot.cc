@@ -28,6 +28,7 @@
 #include "base/logging.hh"
 #include "base/serialize.hh"
 #include "fast/simulator.hh"
+#include "fast/snapshot_io.hh"
 #include "tm/bsp.hh"
 
 namespace fastsim {
@@ -124,8 +125,8 @@ FastSimulator::configFingerprint() const
     return s.checksum();
 }
 
-void
-FastSimulator::saveSnapshot(const std::string &path)
+std::vector<std::uint8_t>
+FastSimulator::snapshotImage()
 {
     quiesceToBoundary();
 
@@ -144,47 +145,58 @@ FastSimulator::saveSnapshot(const std::string &path)
                               : 1));
     serialize::putGroup(payload, stats_);
 
-    serialize::Sink header;
-    header.put<std::uint32_t>(SnapshotMagic);
-    header.put<std::uint32_t>(SnapshotVersion);
-    header.put<std::uint64_t>(configFingerprint());
-    header.put<std::uint64_t>(payload.data().size());
-    header.put<std::uint64_t>(payload.checksum());
+    serialize::Sink image;
+    image.put<std::uint32_t>(SnapshotMagic);
+    image.put<std::uint32_t>(SnapshotVersion);
+    image.put<std::uint64_t>(configFingerprint());
+    image.put<std::uint64_t>(payload.data().size());
+    image.put<std::uint64_t>(payload.checksum());
+    image.putBytes(payload.data().data(), payload.data().size());
+    return image.data();
+}
 
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        fatal("checkpoint: cannot open %s for writing", tmp.c_str());
-    bool ok = std::fwrite(header.data().data(), 1, header.data().size(), f) ==
-              header.data().size();
-    ok = ok && std::fwrite(payload.data().data(), 1, payload.data().size(),
-                           f) == payload.data().size();
-    ok = std::fflush(f) == 0 && ok;
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok)
-        fatal("checkpoint: short write to %s", tmp.c_str());
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("checkpoint: rename %s -> %s failed", tmp.c_str(), path.c_str());
+void
+FastSimulator::saveSnapshot(const std::string &path)
+{
+    snapshot_io::writeFileAtomic(path, snapshotImage());
+}
+
+void
+FastSimulator::saveSnapshotToStream(std::FILE *f)
+{
+    snapshot_io::writeStream(f, snapshotImage(), "<stream>");
+}
+
+bool
+FastSimulator::checkpointNow(const std::string &path, Cycle max_extra_cycles)
+{
+    // Drive the machine to the next drained commit boundary (re-request
+    // the drain each cycle: a device injection may consume one), then
+    // snapshot.  Used by SIGTERM/SIGINT handlers — the emergency drain is
+    // a real pipeline event, so cycle counts downstream of this snapshot
+    // may differ from an uninterrupted run; the committed instruction
+    // stream (hash chain, console) does not.
+    const Cycle bound = core_->cycle() + max_extra_cycles;
+    while (!checkpointReady() && !finished() && core_->cycle() < bound) {
+        core_->requestDrain();
+        tickOnce();
+    }
+    if (!checkpointReady())
+        return false;
+    ++stats_.counter("checkpoints_taken");
+    saveSnapshot(path);
+    return true;
 }
 
 void
 FastSimulator::resumeFrom(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("resume: cannot open %s", path.c_str());
-    std::fseek(f, 0, SEEK_END);
-    const long len = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::vector<std::uint8_t> bytes(len > 0 ? static_cast<std::size_t>(len)
-                                            : 0);
-    const bool read_ok =
-        bytes.empty() ||
-        std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    std::fclose(f);
-    if (!read_ok)
-        fatal("resume: short read from %s", path.c_str());
+    resumeFromImage(snapshot_io::readFile(path));
+}
 
+void
+FastSimulator::resumeFromImage(const std::vector<std::uint8_t> &bytes)
+{
     serialize::Source hdr(bytes.data(), bytes.size());
     hdr.require(bytes.size() >= 32, "snapshot header truncated");
     hdr.require(hdr.get<std::uint32_t>() == SnapshotMagic,

@@ -1,0 +1,77 @@
+#include "fast/snapshot_io.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "host/subprocess.hh"
+
+namespace fastsim {
+namespace fast {
+namespace snapshot_io {
+
+void
+writeStream(std::FILE *f, const std::vector<std::uint8_t> &bytes,
+            const std::string &what)
+{
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        fatal("checkpoint: short write to %s (disk full?)", what.c_str());
+    if (std::fflush(f) != 0)
+        fatal("checkpoint: flush of %s failed (disk full?)", what.c_str());
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp = path + host::uniqueTmpSuffix();
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("checkpoint: cannot open %s for writing", tmp.c_str());
+    try {
+        writeStream(f, bytes, tmp);
+    } catch (...) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        throw;
+    }
+    // Durability before visibility: the rename must never publish a name
+    // whose blocks are still in flight.
+    const bool synced = fsync(fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!synced || !closed) {
+        std::remove(tmp.c_str());
+        fatal("checkpoint: sync/close of %s failed", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("checkpoint: rename %s -> %s failed", tmp.c_str(),
+              path.c_str());
+    }
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("resume: cannot open %s", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(len > 0 ? static_cast<std::size_t>(len)
+                                            : 0);
+    const bool ok =
+        bytes.empty() ||
+        std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    if (!ok)
+        fatal("resume: short read from %s", path.c_str());
+    return bytes;
+}
+
+} // namespace snapshot_io
+} // namespace fast
+} // namespace fastsim

@@ -22,6 +22,7 @@
 #define FASTSIM_HOST_LINK_MODEL_HH
 
 #include "base/types.hh"
+#include "host/retry_policy.hh"
 
 namespace fastsim {
 namespace host {
@@ -101,27 +102,12 @@ struct LinkParams
  * The HyperTransport fabric guarantees in-order delivery per channel, so
  * recovery is always retransmit-in-place; exceeding maxRetries means the
  * link is down, which is fatal, not a fault to ride through.
+ *
+ * The schedule itself (bounds, backoff curve, deterministic jitter) is
+ * the shared host::RetryPolicy — the fastd supervisor drives worker
+ * restarts from the same curve (retry_policy.hh).
  */
-struct LinkRetryPolicy
-{
-    unsigned maxRetries = 8;
-    double retryBaseNs = 600.0;   //!< first retransmit: ~a round trip
-    double backoffFactor = 2.0;
-    double maxBackoffNs = 20000.0;
-
-    /** Host-ns cost of the k-th (0-based) retransmission attempt. */
-    double
-    backoffNs(unsigned k) const
-    {
-        double ns = retryBaseNs;
-        for (unsigned i = 0; i < k; ++i) {
-            ns *= backoffFactor;
-            if (ns >= maxBackoffNs)
-                return maxBackoffNs;
-        }
-        return ns < maxBackoffNs ? ns : maxBackoffNs;
-    }
-};
+using LinkRetryPolicy = RetryPolicy;
 
 } // namespace host
 } // namespace fastsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared bounded-retry policy with exponential backoff and seeded
+ * deterministic jitter.
+ *
+ * Two consumers share this schedule:
+ *
+ *  - the FM<->TM trace link and command channel (inject/trace_link,
+ *    fast/protocol) charge each retransmission's backoff to modeled host
+ *    time, and
+ *  - the fastd supervisor (service/supervisor) delays worker-process
+ *    restarts by the same curve, interpreted as wall milliseconds.
+ *
+ * Jitter decorrelates concurrent retriers (the classic thundering-herd
+ * fix) but must never come from wall-clock entropy: the whole simulator
+ * is reproducible from seeds (base/random.hh, DESIGN.md §5.4).  The
+ * jitter term is therefore a pure function of (jitterSeed, attempt,
+ * salt) — same inputs, same schedule, on every run and host.
+ */
+
+#ifndef FASTSIM_HOST_RETRY_POLICY_HH
+#define FASTSIM_HOST_RETRY_POLICY_HH
+
+#include <cstdint>
+
+#include "base/random.hh"
+
+namespace fastsim {
+namespace host {
+
+/**
+ * Bounded retransmission with exponential backoff plus deterministic
+ * jitter.  Exceeding maxRetries means the peer (link, worker process) is
+ * down — that is an escalation, not a fault to ride through.
+ */
+struct RetryPolicy
+{
+    unsigned maxRetries = 8;
+    double baseNs = 600.0;      //!< first retry: ~a link round trip
+    double factor = 2.0;
+    double maxNs = 20000.0;     //!< backoff cap (pre-jitter)
+    /** Jitter fraction: attempt k waits backoff(k) * (1 + U*jitterFrac)
+     *  with U deterministic in [0,1).  0 disables jitter entirely and
+     *  reproduces the legacy LinkRetryPolicy schedule bit-for-bit. */
+    double jitterFrac = 0.0;
+    std::uint64_t jitterSeed = 0x6a177e5ull;
+
+    /**
+     * Cost of the k-th (0-based) retry attempt.  `salt` decorrelates
+     * independent retry sequences sharing one policy (e.g. per worker
+     * slot); the default keeps the legacy single-sequence behaviour.
+     */
+    double
+    backoffNs(unsigned k, std::uint64_t salt = 0) const
+    {
+        double ns = baseNs;
+        for (unsigned i = 0; i < k && ns < maxNs; ++i)
+            ns *= factor;
+        if (ns > maxNs)
+            ns = maxNs;
+        if (jitterFrac > 0.0) {
+            // One-shot generator keyed on (seed, attempt, salt): the k-th
+            // attempt of a given sequence always jitters identically.
+            Rng rng(jitterSeed ^ (0x9e3779b97f4a7c15ull * (k + 1)) ^
+                    (0xc2b2ae3d27d4eb4full * (salt + 1)));
+            ns += ns * jitterFrac * rng.uniform();
+        }
+        return ns;
+    }
+
+    /** The same schedule in integer milliseconds (worker restarts). */
+    std::uint64_t
+    backoffMs(unsigned k, std::uint64_t salt = 0) const
+    {
+        return static_cast<std::uint64_t>(backoffNs(k, salt) / 1.0e6);
+    }
+};
+
+} // namespace host
+} // namespace fastsim
+
+#endif // FASTSIM_HOST_RETRY_POLICY_HH

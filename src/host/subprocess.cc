@@ -1,0 +1,253 @@
+#include "host/subprocess.hh"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace host {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void
+onShutdownSignal(int)
+{
+    g_shutdown = 1;
+}
+
+std::atomic<std::uint64_t> g_tmpSeq{0};
+
+} // namespace
+
+std::uint64_t
+monotonicMs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+void
+sleepMs(unsigned ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
+std::string
+uniqueTmpSuffix()
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ".tmp.%ld.%llu",
+                  static_cast<long>(getpid()),
+                  static_cast<unsigned long long>(
+                      g_tmpSeq.fetch_add(1, std::memory_order_relaxed)));
+    return buf;
+}
+
+void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+installShutdownHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking reads promptly
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown != 0;
+}
+
+void
+clearShutdownRequest()
+{
+    g_shutdown = 0;
+}
+
+Subprocess
+Subprocess::spawn(const std::vector<std::string> &argv)
+{
+    fastsim_assert(!argv.empty());
+    int toChild[2], fromChild[2];
+    if (pipe(toChild) != 0)
+        fatal("subprocess: pipe failed: %s", std::strerror(errno));
+    if (pipe(fromChild) != 0) {
+        close(toChild[0]);
+        close(toChild[1]);
+        fatal("subprocess: pipe failed: %s", std::strerror(errno));
+    }
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        close(toChild[0]);
+        close(toChild[1]);
+        close(fromChild[0]);
+        close(fromChild[1]);
+        fatal("subprocess: fork failed: %s", std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: wire the pipe ends to stdin/stdout, drop the rest.
+        dup2(toChild[0], STDIN_FILENO);
+        dup2(fromChild[1], STDOUT_FILENO);
+        close(toChild[0]);
+        close(toChild[1]);
+        close(fromChild[0]);
+        close(fromChild[1]);
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        execv(args[0], args.data());
+        std::fprintf(stderr, "exec %s failed: %s\n", args[0],
+                     std::strerror(errno));
+        _exit(127);
+    }
+
+    // Parent.
+    close(toChild[0]);
+    close(fromChild[1]);
+    fcntl(toChild[1], F_SETFD, FD_CLOEXEC);
+    fcntl(fromChild[0], F_SETFD, FD_CLOEXEC);
+    fcntl(fromChild[0], F_SETFL, O_NONBLOCK);
+
+    Subprocess p;
+    p.pid_ = pid;
+    p.stdinFd_ = toChild[1];
+    p.stdoutFd_ = fromChild[0];
+    return p;
+}
+
+void
+Subprocess::kill(int sig) const
+{
+    if (pid_ > 0)
+        ::kill(pid_, sig);
+}
+
+bool
+Subprocess::tryReap(int *status)
+{
+    if (pid_ <= 0)
+        return false;
+    int st = 0;
+    const pid_t r = waitpid(pid_, &st, WNOHANG);
+    if (r != pid_)
+        return false;
+    if (status)
+        *status = st;
+    pid_ = -1;
+    return true;
+}
+
+int
+Subprocess::waitBlocking()
+{
+    if (pid_ <= 0)
+        return -1;
+    int st = 0;
+    pid_t r;
+    do {
+        r = waitpid(pid_, &st, 0);
+    } while (r < 0 && errno == EINTR);
+    pid_ = -1;
+    return st;
+}
+
+void
+Subprocess::closeStdin()
+{
+    if (stdinFd_ >= 0) {
+        close(stdinFd_);
+        stdinFd_ = -1;
+    }
+}
+
+void
+Subprocess::closeFds()
+{
+    closeStdin();
+    if (stdoutFd_ >= 0) {
+        close(stdoutFd_);
+        stdoutFd_ = -1;
+    }
+}
+
+std::vector<int>
+pollReadable(const std::vector<int> &fds, int timeoutMs)
+{
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(fds.size());
+    for (int fd : fds)
+        pfds.push_back({fd, POLLIN, 0});
+    const int n = poll(pfds.data(), pfds.size(), timeoutMs);
+    std::vector<int> ready;
+    if (n <= 0)
+        return ready;
+    for (const struct pollfd &p : pfds)
+        if (p.revents & (POLLIN | POLLHUP | POLLERR))
+            ready.push_back(p.fd);
+    return ready;
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+long
+readSome(int fd, void *data, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = read(fd, data, n);
+        if (r >= 0)
+            return static_cast<long>(r);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -1;
+        return 0; // hard error: treat as EOF; the caller reaps the child
+    }
+}
+
+} // namespace host
+} // namespace fastsim

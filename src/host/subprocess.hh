@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Host-process primitives for the fastd service layer: fork/exec with
+ * pipe plumbing, poll-based readiness, monotonic time, sleeping, and
+ * process-wide signal policy.
+ *
+ * Everything wall-clock-shaped in the tree lives here by decree (fastlint
+ * DET006): model and service code asks src/host for time and sleeps, so a
+ * grep of src/ outside src/host proves the simulation itself never reads
+ * the host clock.  The supervisor's heartbeat deadlines and restart
+ * backoff are host policy, not target behaviour, so they belong here.
+ */
+
+#ifndef FASTSIM_HOST_SUBPROCESS_HH
+#define FASTSIM_HOST_SUBPROCESS_HH
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastsim {
+namespace host {
+
+/**
+ * Exit code contract for "interrupted, but a final crash-consistent
+ * checkpoint was written": SIGTERM/SIGINT handlers in examples/linux_boot
+ * and the fastd worker loop exit with this instead of dying mid-commit.
+ * 75 is EX_TEMPFAIL — rerunning (with --resume) is expected to succeed.
+ */
+constexpr int ExitCheckpointed = 75;
+
+/** Milliseconds on the monotonic clock (never wall time-of-day). */
+std::uint64_t monotonicMs();
+
+/** Sleep for the given number of milliseconds (EINTR-tolerant). */
+void sleepMs(unsigned ms);
+
+/** Process-unique temp-file suffix: ".tmp.<pid>.<seq>".  Two processes
+ *  (or threads) writing the same checkpoint path atomically must never
+ *  share a temp file, or the rename publishes a torn interleaving. */
+std::string uniqueTmpSuffix();
+
+/** Ignore SIGPIPE process-wide: a worker dying mid-frame must surface as
+ *  an EPIPE write error the supervisor handles, not kill the daemon. */
+void ignoreSigpipe();
+
+/** Install SIGTERM/SIGINT handlers that latch a flag (async-signal-safe;
+ *  no work happens in the handler).  Poll with shutdownRequested(). */
+void installShutdownHandlers();
+bool shutdownRequested();
+
+/** Re-arm the shutdown latch (tests only). */
+void clearShutdownRequest();
+
+/**
+ * A child process with its stdin/stdout connected to the parent by
+ * pipes.  stderr is inherited so worker diagnostics reach the daemon's
+ * log.  The parent-side fds are close-on-exec and the stdout side is
+ * non-blocking (the supervisor multiplexes workers with poll()).
+ */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+    Subprocess(Subprocess &&other) noexcept { moveFrom(other); }
+    Subprocess &
+    operator=(Subprocess &&other) noexcept
+    {
+        if (this != &other) {
+            closeFds();
+            moveFrom(other);
+        }
+        return *this;
+    }
+    ~Subprocess() { closeFds(); }
+
+    /** fork/exec argv[0] with the given arguments; throws FatalError on
+     *  resource exhaustion (pipe/fork failure).  Exec failure surfaces
+     *  as the child exiting 127. */
+    static Subprocess spawn(const std::vector<std::string> &argv);
+
+    pid_t pid() const { return pid_; }
+    int stdinFd() const { return stdinFd_; }
+    int stdoutFd() const { return stdoutFd_; }
+    bool running() const { return pid_ > 0; }
+
+    /** Send a signal; no-op once reaped. */
+    void kill(int sig) const;
+
+    /** Non-blocking reap; true when the child has exited (status as from
+     *  waitpid).  After a successful reap pid() is <= 0. */
+    bool tryReap(int *status);
+
+    /** Blocking reap (returns -1 if already reaped). */
+    int waitBlocking();
+
+    /** Close the parent->child stdin pipe (EOF tells a worker to exit). */
+    void closeStdin();
+
+    /** Close all parent-side fds (does not reap). */
+    void closeFds();
+
+  private:
+    void
+    moveFrom(Subprocess &other)
+    {
+        pid_ = other.pid_;
+        stdinFd_ = other.stdinFd_;
+        stdoutFd_ = other.stdoutFd_;
+        other.pid_ = -1;
+        other.stdinFd_ = -1;
+        other.stdoutFd_ = -1;
+    }
+
+    pid_t pid_ = -1;
+    int stdinFd_ = -1;
+    int stdoutFd_ = -1;
+};
+
+/** poll(2) the given fds for readability; returns the subset that is
+ *  readable (or hung up) within timeoutMs.  EINTR returns empty. */
+std::vector<int> pollReadable(const std::vector<int> &fds, int timeoutMs);
+
+/** EINTR-safe full write; false on any error (e.g. EPIPE). */
+bool writeAll(int fd, const void *data, std::size_t n);
+
+/** One EINTR-safe read of up to n bytes.  Returns bytes read, 0 on EOF,
+ *  -1 on would-block, throws nothing (errors report as EOF). */
+long readSome(int fd, void *data, std::size_t n);
+
+} // namespace host
+} // namespace fastsim
+
+#endif // FASTSIM_HOST_SUBPROCESS_HH

@@ -17,6 +17,8 @@ faultClassName(FaultClass c)
       case FaultClass::SpuriousTimer: return "spurious-timer";
       case FaultClass::SpuriousDisk: return "spurious-disk";
       case FaultClass::FmStall: return "fm-stall";
+      case FaultClass::FrameCorrupt: return "frame-corrupt";
+      case FaultClass::WorkerKill: return "worker-kill";
       case FaultClass::NumClasses: break;
     }
     return "?";

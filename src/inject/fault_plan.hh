@@ -44,6 +44,8 @@ enum class FaultClass : unsigned
     SpuriousTimer, //!< timer device misfire outside its schedule
     SpuriousDisk,  //!< disk completion misfire while no op is in flight
     FmStall,       //!< FM thread stops producing for stallSteps steps
+    FrameCorrupt,  //!< fastd supervisor<->worker frame byte flipped
+    WorkerKill,    //!< fastd worker process SIGKILLed mid-shard
     NumClasses,
 };
 

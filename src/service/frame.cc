@@ -1,0 +1,88 @@
+#include "service/frame.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+
+namespace fastsim {
+namespace service {
+
+namespace {
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(readU32(p)) |
+           (static_cast<std::uint64_t>(readU32(p + 4)) << 32);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    serialize::Sink s;
+    s.put<std::uint32_t>(FrameMagic);
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(type));
+    s.put<std::uint64_t>(payload.size());
+    s.put<std::uint64_t>(serialize::fnv1a(payload.data(), payload.size()));
+    s.putBytes(payload.data(), payload.size());
+    return s.data();
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::string &text)
+{
+    return encodeFrame(type,
+                       std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t n)
+{
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+bool
+FrameReader::take(Frame &out)
+{
+    if (buf_.size() < FrameHeaderBytes)
+        return false;
+    if (readU32(buf_.data()) != FrameMagic)
+        fatal("frame: bad magic 0x%08x", readU32(buf_.data()));
+    const std::uint32_t type = readU32(buf_.data() + 4);
+    if (type < static_cast<std::uint32_t>(FrameType::Hello) ||
+        type > static_cast<std::uint32_t>(FrameType::Result))
+        fatal("frame: unknown type %u", type);
+    const std::uint64_t len = readU64(buf_.data() + 8);
+    if (len > MaxFramePayload)
+        fatal("frame: implausible payload length %llu",
+              static_cast<unsigned long long>(len));
+    if (buf_.size() < FrameHeaderBytes + len)
+        return false;
+    const std::uint64_t want = readU64(buf_.data() + 16);
+    const std::uint64_t got =
+        serialize::fnv1a(buf_.data() + FrameHeaderBytes, len);
+    if (want != got)
+        fatal("frame: payload checksum mismatch (type %u, %llu bytes)", type,
+              static_cast<unsigned long long>(len));
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(buf_.begin() + FrameHeaderBytes,
+                       buf_.begin() + FrameHeaderBytes + len);
+    buf_.erase(buf_.begin(),
+               buf_.begin() + FrameHeaderBytes + static_cast<long>(len));
+    return true;
+}
+
+} // namespace service
+} // namespace fastsim

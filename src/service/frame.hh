@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The fastd supervisor<->worker wire protocol (DESIGN.md §15.2).
+ *
+ * Everything crossing the pipe travels in one frame format:
+ *
+ *   u32 magic "FDFR"   u32 type   u64 payload length
+ *   u64 payload FNV-1a checksum   payload...
+ *
+ * little-endian, same FNV-1a family as the FSNP snapshots.  The reader is
+ * incremental — feed() whatever bytes poll() surfaced, take() complete
+ * frames — because worker stdout is a nonblocking pipe that fragments
+ * arbitrarily.  Any malformed header or checksum mismatch throws
+ * FatalError: a corrupt control channel cannot be recovered field-by-field
+ * (unlike the trace link's per-entry CRC retransmit), so the supervisor's
+ * response is to kill and restart that worker, which re-runs the shard
+ * from its last checkpoint.
+ */
+
+#ifndef FASTSIM_SERVICE_FRAME_HH
+#define FASTSIM_SERVICE_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace fastsim {
+namespace service {
+
+enum class FrameType : std::uint32_t
+{
+    Hello = 1,     //!< worker -> supervisor: ready for an assignment
+    Assign = 2,    //!< supervisor -> worker: one sweep point (JSON)
+    Heartbeat = 3, //!< worker -> supervisor: liveness + progress cycles
+    Result = 4,    //!< worker -> supervisor: point finished (JSON)
+};
+
+// "FDFR" as a little-endian u32.
+constexpr std::uint32_t FrameMagic = 0x52464446u;
+constexpr std::size_t FrameHeaderBytes = 24;
+/** Sanity bound; a length beyond this is a corrupt header, not a frame. */
+constexpr std::uint64_t MaxFramePayload = 16u * 1024u * 1024u;
+
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::vector<std::uint8_t> payload;
+
+    std::string payloadText() const
+    {
+        return std::string(payload.begin(), payload.end());
+    }
+};
+
+/** Serialize one frame (header + checksummed payload). */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::vector<std::uint8_t> &payload);
+std::vector<std::uint8_t> encodeFrame(FrameType type, const std::string &text);
+
+/**
+ * Incremental frame decoder for one pipe.  FatalError on bad magic,
+ * oversized length, unknown type, or checksum mismatch — the caller
+ * treats the whole channel (and the worker behind it) as lost.
+ */
+class FrameReader
+{
+  public:
+    /** Append raw bytes from the pipe. */
+    void feed(const std::uint8_t *data, std::size_t n);
+
+    /** Extract the next complete frame; false when more bytes are needed. */
+    bool take(Frame &out);
+
+    std::size_t buffered() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_FRAME_HH

@@ -1,0 +1,270 @@
+#include "service/job.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/verify.hh"
+#include "base/logging.hh"
+#include "base/serialize.hh"
+#include "service/json.hh"
+#include "tm/core.hh"
+#include "tm/trace_buffer.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace service {
+
+namespace {
+
+tm::BpKind
+bpKindFromName(const std::string &name)
+{
+    if (name == "perfect")
+        return tm::BpKind::Perfect;
+    if (name == "fixed")
+        return tm::BpKind::FixedAccuracy;
+    if (name == "twobit")
+        return tm::BpKind::TwoBit;
+    if (name == "gshare")
+        return tm::BpKind::Gshare;
+    fatal("job: unknown branch predictor '%s'", name.c_str());
+}
+
+SweepPoint
+parsePoint(const JsonValue &o, const SweepPoint &defaults,
+           bool requireWorkload = true)
+{
+    SweepPoint pt = defaults;
+    pt.workload = o.getString("workload", defaults.workload);
+    if (requireWorkload && pt.workload.empty())
+        fatal("job: point is missing the required 'workload' member");
+    pt.scale = static_cast<unsigned>(o.getU64("scale", defaults.scale));
+    pt.label = o.getString("label", "");
+    pt.issueWidth =
+        static_cast<unsigned>(o.getU64("issue_width", defaults.issueWidth));
+    pt.robEntries =
+        static_cast<unsigned>(o.getU64("rob_entries", defaults.robEntries));
+    pt.bp = o.getString("bp", defaults.bp);
+    if (!pt.bp.empty())
+        bpKindFromName(pt.bp); // validate early, at parse time
+    pt.l2HitLatency = o.getU64("l2_hit_latency", defaults.l2HitLatency);
+    pt.mshrs = static_cast<unsigned>(o.getU64("mshrs", defaults.mshrs));
+    pt.memServiceInterval =
+        o.getU64("mem_service_interval", defaults.memServiceInterval);
+    pt.timerInterval = static_cast<std::uint32_t>(
+        o.getU64("timer_interval", defaults.timerInterval));
+    pt.checkpointEvery =
+        o.getU64("checkpoint_every", defaults.checkpointEvery);
+    pt.sabotage = o.getString("sabotage", defaults.sabotage);
+    if (!pt.sabotage.empty() && pt.sabotage != "crash" &&
+        pt.sabotage != "hang")
+        fatal("job: unknown sabotage mode '%s'", pt.sabotage.c_str());
+    if (pt.label.empty()) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%s@%u", pt.workload.c_str(),
+                      pt.scale);
+        pt.label = buf;
+    }
+    return pt;
+}
+
+} // namespace
+
+JobBatch
+parseJobs(const std::string &text)
+{
+    const JsonValue doc = jsonParse(text);
+    if (!doc.isObject())
+        fatal("job: document is not an object");
+    JobBatch batch;
+    batch.name = doc.getString("batch", "batch");
+    SweepPoint defaults;
+    if (const JsonValue *d = doc.find("defaults")) {
+        if (!d->isObject())
+            fatal("job: 'defaults' is not an object");
+        defaults = parsePoint(*d, SweepPoint{}, /*requireWorkload=*/false);
+        defaults.label.clear();
+    }
+    const JsonValue *pts = doc.find("points");
+    if (!pts || !pts->isArray())
+        fatal("job: missing 'points' array");
+    for (const JsonValue &p : pts->arr) {
+        if (!p.isObject())
+            fatal("job: point is not an object");
+        batch.points.push_back(parsePoint(p, defaults));
+    }
+    return batch;
+}
+
+std::uint64_t
+fingerprint(const SweepPoint &pt)
+{
+    serialize::Sink s;
+    s.putString(pt.workload);
+    s.put<std::uint32_t>(pt.scale);
+    s.put<std::uint32_t>(pt.issueWidth);
+    s.put<std::uint32_t>(pt.robEntries);
+    s.putString(pt.bp);
+    s.put<Cycle>(pt.l2HitLatency);
+    s.put<std::uint32_t>(pt.mshrs);
+    s.put<Cycle>(pt.memServiceInterval);
+    s.put<std::uint32_t>(pt.timerInterval);
+    s.put<Cycle>(pt.checkpointEvery);
+    s.putString(pt.sabotage);
+    return s.checksum();
+}
+
+std::string
+fingerprintHex(const SweepPoint &pt)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fingerprint(pt)));
+    return buf;
+}
+
+fast::FastConfig
+configFor(const SweepPoint &pt)
+{
+    fast::FastConfig cfg;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30;
+    cfg.guardrails.hashCommits = true;
+    if (pt.issueWidth)
+        cfg.core.issueWidth = pt.issueWidth;
+    if (pt.robEntries)
+        cfg.core.robEntries = pt.robEntries;
+    if (!pt.bp.empty())
+        cfg.core.bp.kind = bpKindFromName(pt.bp);
+    if (pt.l2HitLatency)
+        cfg.core.caches.l2.hitLatency = pt.l2HitLatency;
+    if (pt.mshrs) {
+        cfg.core.caches.l1i.blocking = false;
+        cfg.core.caches.l1d.blocking = false;
+        cfg.core.caches.l2.blocking = false;
+        cfg.core.mem.l1iMshrs = pt.mshrs;
+        cfg.core.mem.l1dMshrs = pt.mshrs;
+        cfg.core.mem.l2Mshrs = 2 * pt.mshrs;
+    }
+    if (pt.memServiceInterval)
+        cfg.core.mem.memServiceInterval = pt.memServiceInterval;
+    cfg.checkpointEvery = pt.checkpointEvery;
+    return cfg;
+}
+
+kernel::BootImage
+imageFor(const SweepPoint &pt)
+{
+    const workloads::Workload &w = workloads::byName(pt.workload);
+    auto opts = workloads::bootOptionsFor(w, pt.scale);
+    opts.timerInterval = pt.timerInterval;
+    return kernel::buildBootImage(opts);
+}
+
+bool
+admit(const SweepPoint &pt, std::string &reason)
+{
+    // Construct a bare timing fabric (verifyFabric off: fastlint reports
+    // rather than the constructor throwing) and run the full verify()
+    // pass over it; the first error is the rejection reason.
+    const fast::FastConfig cfg = configFor(pt);
+    try {
+        tm::TraceBuffer tb(cfg.traceBufferEntries);
+        tm::Core core(cfg.core, tb);
+        analysis::Report rep;
+        analysis::VerifyOptions opts;
+        analysis::verify(core, opts, rep);
+        if (!rep.hasErrors())
+            return true;
+        for (const analysis::Diagnostic &d : rep.diagnostics())
+            if (d.severity == analysis::Severity::Error) {
+                reason = d.id + ": " + d.message;
+                break;
+            }
+    } catch (const FatalError &e) {
+        reason = e.what();
+    }
+    return false;
+}
+
+std::string
+pointToJson(const SweepPoint &pt)
+{
+    std::string out = "{";
+    auto addStr = [&out](const char *k, const std::string &v) {
+        if (out.size() > 1)
+            out += ", ";
+        out += "\"";
+        out += k;
+        out += "\": \"";
+        out += jsonEscape(v);
+        out += "\"";
+    };
+    auto addNum = [&out](const char *k, std::uint64_t v) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
+                      out.size() > 1 ? ", " : "", k,
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    };
+    addStr("workload", pt.workload);
+    addNum("scale", pt.scale);
+    addStr("label", pt.label);
+    if (pt.issueWidth)
+        addNum("issue_width", pt.issueWidth);
+    if (pt.robEntries)
+        addNum("rob_entries", pt.robEntries);
+    if (!pt.bp.empty())
+        addStr("bp", pt.bp);
+    if (pt.l2HitLatency)
+        addNum("l2_hit_latency", pt.l2HitLatency);
+    if (pt.mshrs)
+        addNum("mshrs", pt.mshrs);
+    if (pt.memServiceInterval)
+        addNum("mem_service_interval", pt.memServiceInterval);
+    addNum("timer_interval", pt.timerInterval);
+    addNum("checkpoint_every", pt.checkpointEvery);
+    if (!pt.sabotage.empty())
+        addStr("sabotage", pt.sabotage);
+    out += "}";
+    return out;
+}
+
+SweepPoint
+pointFromJson(const std::string &text)
+{
+    const JsonValue v = jsonParse(text);
+    if (!v.isObject())
+        fatal("job: point payload is not an object");
+    return parsePoint(v, SweepPoint{});
+}
+
+std::string
+suiteJobsJson(unsigned scaleDiv)
+{
+    if (scaleDiv == 0)
+        scaleDiv = 1;
+    std::string out = "{\"batch\": \"suite\", \"points\": [\n";
+    bool first = true;
+    for (const workloads::Workload &w : workloads::suite()) {
+        SweepPoint pt;
+        pt.workload = w.name;
+        pt.scale = w.bootOnly
+                       ? 1u
+                       : std::max(1u, w.benchScale / scaleDiv);
+        pt.label.clear();
+        if (!first)
+            out += ",\n";
+        first = false;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"workload\": \"%s\", \"scale\": %u}",
+                      jsonEscape(w.name).c_str(), pt.scale);
+        out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace service
+} // namespace fastsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * fastd job batches: sweep points, static admission, fingerprints
+ * (DESIGN.md §15.1).
+ *
+ * A job file is JSON:
+ *
+ *   { "batch": "nightly-sweep",
+ *     "defaults": { "scale": 400, "checkpoint_every": 60000 },
+ *     "points": [
+ *       { "workload": "164.gzip", "issue_width": 4, "bp": "twobit" },
+ *       { "workload": "Sweep3D", "mshrs": 4 }, ... ] }
+ *
+ * Every point is statically admitted through analysis::verify() before any
+ * worker sees it: an unbuildable configuration (FAB lint error) becomes a
+ * first-class *rejected* result in the manifest, not a crashed worker.
+ *
+ * A point's fingerprint is the FNV-1a checksum of its canonical serialized
+ * form — workload, scale, and every timing knob.  The manifest keys on it,
+ * which is what makes reruns idempotent: a point already recorded as
+ * done/rejected/quarantined is skipped by fingerprint, regardless of its
+ * position or label in the batch file.
+ */
+
+#ifndef FASTSIM_SERVICE_JOB_HH
+#define FASTSIM_SERVICE_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fast/simulator.hh"
+#include "kernel/boot.hh"
+
+namespace fastsim {
+namespace service {
+
+/** One sweep point: a workload plus the timing knobs it overrides. */
+struct SweepPoint
+{
+    std::string workload;  //!< workloads::byName() key (required)
+    unsigned scale = 400;  //!< outer-iteration count
+    std::string label;     //!< manifest label; defaults to workload@scale
+
+    // Timing-model overrides (0 / empty = suite default).
+    unsigned issueWidth = 0;
+    unsigned robEntries = 0;
+    std::string bp;              //!< "perfect"|"fixed"|"twobit"|"gshare"
+    Cycle l2HitLatency = 0;
+    unsigned mshrs = 0;          //!< l1i=l1d=m, l2=2m, non-blocking caches
+    Cycle memServiceInterval = 0;
+    std::uint32_t timerInterval = 4000;
+
+    /** Periodic crash-consistent checkpoint cadence (target cycles).
+     *  Part of the fingerprint: the cadence perturbs cycle counts, so two
+     *  cadences are two different experiments. */
+    Cycle checkpointEvery = 50000;
+
+    /** Test hook: "" | "crash" (deterministic abort mid-shard) |
+     *  "hang" (stop heartbeating).  Part of the fingerprint. */
+    std::string sabotage;
+};
+
+struct JobBatch
+{
+    std::string name = "batch";
+    std::vector<SweepPoint> points;
+};
+
+/** Parse a job document; FatalError on malformed JSON or a bad field. */
+JobBatch parseJobs(const std::string &text);
+
+/** Canonical fingerprint (manifest/checkpoint key). */
+std::uint64_t fingerprint(const SweepPoint &pt);
+
+/** fingerprint() as the fixed-width hex string used in filenames. */
+std::string fingerprintHex(const SweepPoint &pt);
+
+/** The point's full simulator configuration (hashCommits on). */
+fast::FastConfig configFor(const SweepPoint &pt);
+
+/** Build the boot image (workload program at the point's scale). */
+kernel::BootImage imageFor(const SweepPoint &pt);
+
+/** Static admission: run analysis::verify() over the point's fabric.
+ *  False (with the first finding in `reason`) means reject-before-run. */
+bool admit(const SweepPoint &pt, std::string &reason);
+
+/** Serialize one point as a JSON object (Assign frames, job emitters). */
+std::string pointToJson(const SweepPoint &pt);
+
+/** Parse one point object (the Assign frame payload). */
+SweepPoint pointFromJson(const std::string &text);
+
+/** Emit a whole-suite job document at the given scale divisor — the
+ *  17-workload batch behind `fastd --print-suite-jobs`. */
+std::string suiteJobsJson(unsigned scaleDiv);
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_JOB_HH

@@ -1,0 +1,325 @@
+#include "service/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace service {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing bytes after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: %s at offset %zu", what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.str = string();
+            return v;
+          }
+          case 't': case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = (c == 't');
+            if (!consumeLiteral(c == 't' ? "true" : "false"))
+                fail("bad literal");
+            return v;
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue{};
+          }
+          default: return number();
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                // Basic-multilingual-plane escapes only; the daemon's own
+                // emitters never produce them, so reject surrogates.
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= h - '0';
+                    else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+                    else fail("bad \\u escape");
+                }
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    fail("surrogate \\u escape unsupported");
+                // UTF-8 encode.
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            any = true;
+            ++pos_;
+        }
+        if (!any)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(text_.c_str() + start, nullptr);
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            expect(':');
+            v.obj.emplace_back(std::move(key), value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string &key, const std::string &def) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return def;
+    if (!v->isString())
+        fatal("json: member '%s' is not a string", key.c_str());
+    return v->str;
+}
+
+std::uint64_t
+JsonValue::getU64(const std::string &key, std::uint64_t def) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return def;
+    if (!v->isNumber() || v->number < 0)
+        fatal("json: member '%s' is not a non-negative number", key.c_str());
+    return static_cast<std::uint64_t>(v->number);
+}
+
+double
+JsonValue::getNumber(const std::string &key, double def) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return def;
+    if (!v->isNumber())
+        fatal("json: member '%s' is not a number", key.c_str());
+    return v->number;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool def) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return def;
+    if (v->kind != Kind::Bool)
+        fatal("json: member '%s' is not a bool", key.c_str());
+    return v->boolean;
+}
+
+JsonValue
+jsonParse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace service
+} // namespace fastsim

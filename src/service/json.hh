@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal JSON reader for the fastd job/manifest formats (DESIGN.md §15).
+ *
+ * Deliberately small rather than general: objects and arrays of the few
+ * shapes the daemon exchanges (job batches, manifest records, result
+ * frames).  Parsing is strict — any syntax error is a FatalError naming
+ * the byte offset — because a half-understood job file silently running
+ * the wrong sweep is worse than a refused one.  No external dependency:
+ * the container pins the toolchain, so the parser lives here.
+ */
+
+#ifndef FASTSIM_SERVICE_JSON_HH
+#define FASTSIM_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fastsim {
+namespace service {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Typed member accessors with defaults; FatalError on a member that
+     *  exists with the wrong type (a typo'd job file must not silently
+     *  fall back to a default). */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t def = 0) const;
+    double getNumber(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+};
+
+/** Parse a complete JSON document; FatalError on any syntax error. */
+JsonValue jsonParse(const std::string &text);
+
+/** Escape a string for embedding in emitted JSON (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_JSON_HH

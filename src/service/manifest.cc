@@ -1,0 +1,111 @@
+#include "service/manifest.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "service/json.hh"
+
+namespace fastsim {
+namespace service {
+
+Manifest::Manifest(const std::string &path) : path_(path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return; // first run: no manifest yet
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        try {
+            const JsonValue v = jsonParse(line);
+            ManifestRecord rec;
+            rec.fp = v.getString("fp");
+            rec.status = v.getString("status");
+            rec.workload = v.getString("workload");
+            rec.label = v.getString("label");
+            rec.cycles = v.getU64("cycles");
+            rec.insts = v.getU64("insts");
+            rec.ipc = v.getNumber("ipc");
+            rec.commitHash = v.getString("commit_hash");
+            rec.attempts = static_cast<unsigned>(v.getU64("attempts"));
+            rec.preemptions = static_cast<unsigned>(v.getU64("preemptions"));
+            rec.resumed = v.getBool("resumed");
+            rec.reason = v.getString("reason");
+            if (rec.fp.empty() || rec.status.empty())
+                throw FatalError("record missing fp/status");
+            records_[rec.fp] = rec;
+        } catch (const FatalError &e) {
+            // A torn final line from a crash mid-append; the point reruns.
+            warn("manifest %s:%zu: dropping unreadable record (%s)",
+                 path_.c_str(), lineNo, e.what());
+        }
+    }
+}
+
+bool
+Manifest::isTerminal(const std::string &fp) const
+{
+    const ManifestRecord *r = find(fp);
+    return r && (r->status == "done" || r->status == "rejected" ||
+                 r->status == "quarantined");
+}
+
+const ManifestRecord *
+Manifest::find(const std::string &fp) const
+{
+    const auto it = records_.find(fp);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string
+Manifest::toJsonLine(const ManifestRecord &rec)
+{
+    char num[512];
+    std::string out = "{";
+    out += "\"fp\": \"" + jsonEscape(rec.fp) + "\"";
+    out += ", \"status\": \"" + jsonEscape(rec.status) + "\"";
+    out += ", \"workload\": \"" + jsonEscape(rec.workload) + "\"";
+    out += ", \"label\": \"" + jsonEscape(rec.label) + "\"";
+    std::snprintf(num, sizeof(num),
+                  ", \"cycles\": %llu, \"insts\": %llu, \"ipc\": %.6f",
+                  static_cast<unsigned long long>(rec.cycles),
+                  static_cast<unsigned long long>(rec.insts), rec.ipc);
+    out += num;
+    out += ", \"commit_hash\": \"" + jsonEscape(rec.commitHash) + "\"";
+    std::snprintf(num, sizeof(num),
+                  ", \"attempts\": %u, \"preemptions\": %u, \"resumed\": %s",
+                  rec.attempts, rec.preemptions,
+                  rec.resumed ? "true" : "false");
+    out += num;
+    out += ", \"reason\": \"" + jsonEscape(rec.reason) + "\"}";
+    return out;
+}
+
+void
+Manifest::append(const ManifestRecord &rec)
+{
+    fastsim_assert(!rec.fp.empty() && !rec.status.empty());
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    if (!f)
+        fatal("manifest: cannot open %s for append", path_.c_str());
+    const std::string line = toJsonLine(rec) + "\n";
+    const bool wrote =
+        std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+        std::fflush(f) == 0;
+    // Durability before the next point starts: a crashed daemon must not
+    // forget a result it already reported upstream.
+    const bool synced = wrote && fsync(fileno(f)) == 0;
+    std::fclose(f);
+    if (!synced)
+        fatal("manifest: append to %s failed (disk full?)", path_.c_str());
+    records_[rec.fp] = rec;
+}
+
+} // namespace service
+} // namespace fastsim

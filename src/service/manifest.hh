@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The fastd batch manifest: an append-only JSONL journal keyed by point
+ * fingerprint (DESIGN.md §15.4).
+ *
+ * One line per terminal event, fsync'd before the daemon moves on:
+ *
+ *   {"fp": "9f3c...", "status": "done", "workload": "164.gzip", ...}
+ *
+ * Idempotence contract: a rerun of the same batch loads the manifest
+ * first and skips every fingerprint already recorded with a terminal
+ * status ("done", "rejected", "quarantined").  Because each record is a
+ * single write()+fsync of one line, a crash between points leaves a
+ * loadable manifest; a crash *during* the line write leaves at most one
+ * torn final line, which load() detects (bad JSON) and drops with a
+ * warning — the point simply reruns.
+ */
+
+#ifndef FASTSIM_SERVICE_MANIFEST_HH
+#define FASTSIM_SERVICE_MANIFEST_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fastsim {
+namespace service {
+
+struct ManifestRecord
+{
+    std::string fp;       //!< fingerprint, fixed-width hex
+    std::string status;   //!< "done" | "rejected" | "quarantined"
+    std::string workload;
+    std::string label;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+    std::string commitHash; //!< committed-instruction hash chain, hex
+    unsigned attempts = 0;    //!< runs that counted toward quarantine
+    unsigned preemptions = 0; //!< chaos/preemption deaths (not counted)
+    bool resumed = false;     //!< at least one run resumed a checkpoint
+    std::string reason;       //!< rejection/quarantine explanation
+};
+
+class Manifest
+{
+  public:
+    /** Bind to `path` and load existing records (tolerant of a torn
+     *  final line).  The file is created lazily on the first append. */
+    explicit Manifest(const std::string &path);
+
+    bool isTerminal(const std::string &fp) const;
+    const ManifestRecord *find(const std::string &fp) const;
+    std::size_t size() const { return records_.size(); }
+    const std::map<std::string, ManifestRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Append one record (single line + fsync) and index it. */
+    void append(const ManifestRecord &rec);
+
+    static std::string toJsonLine(const ManifestRecord &rec);
+
+  private:
+    std::string path_;
+    std::map<std::string, ManifestRecord> records_;
+};
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_MANIFEST_HH

@@ -1,0 +1,624 @@
+#include "service/supervisor.hh"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "host/subprocess.hh"
+#include "inject/fault_plan.hh"
+#include "service/frame.hh"
+#include "service/json.hh"
+#include "service/manifest.hh"
+#include "service/worker.hh"
+
+namespace fastsim {
+namespace service {
+
+namespace {
+
+void
+makeDirs(const std::string &path)
+{
+    std::string sofar;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (!sofar.empty() && sofar != "." &&
+                mkdir(sofar.c_str(), 0777) != 0 && errno != EEXIST)
+                fatal("fastd: cannot create directory %s", sofar.c_str());
+        }
+        if (i < path.size())
+            sofar.push_back(path[i]);
+    }
+}
+
+/**
+ * Remove orphaned checkpoint temp files (path + ".tmp.<pid>.<seq>").
+ * A worker SIGKILLed mid-writeFileAtomic leaves its unique temp behind
+ * — the published checkpoint is untouched (the rename never ran), but
+ * the garbage accumulates.  Only call when no worker can be writing:
+ * at batch start and after the pool has fully drained.
+ */
+void
+sweepStaleTemps(const std::string &dir)
+{
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return;
+    while (const dirent *e = readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        const std::string path = dir + "/" + name;
+        if (std::remove(path.c_str()) == 0)
+            inform("fastd: removed stale checkpoint temp %s", path.c_str());
+    }
+    closedir(d);
+}
+
+/** Why the supervisor itself decided to kill a worker. */
+enum class PendingKill { None, Deadline, Chaos, Corrupt };
+
+struct PointState
+{
+    SweepPoint pt;
+    std::string fp;
+    unsigned attempts = 0;    //!< counted (crash/deadline) failures
+    unsigned preemptions = 0; //!< uncounted (chaos/corrupt) requeues
+    bool resumedAny = false;
+    std::string lastReason;
+};
+
+struct WorkerSlot
+{
+    std::unique_ptr<host::Subprocess> proc;
+    FrameReader reader;
+    int pointIdx = -1; //!< index into the point table; -1 = idle
+    std::uint64_t lastBeatMs = 0;
+    std::uint64_t respawnAtMs = 0;
+    unsigned restarts = 0;
+    PendingKill pendingKill = PendingKill::None;
+    bool retired = false;  //!< degradation removed this slot
+    bool draining = false; //!< stdin closed; exit 0 expected
+};
+
+struct Batch
+{
+    const SupervisorConfig &cfg;
+    Manifest manifest;
+    std::string ckptDir;
+    std::vector<PointState> points;
+    std::deque<std::size_t> pending;
+    BatchSummary summary;
+
+    Batch(const SupervisorConfig &c)
+        : cfg(c), manifest(c.outDir + "/manifest.jsonl"),
+          ckptDir(c.outDir + "/ckpt")
+    {
+    }
+
+    void
+    record(const PointState &st, const std::string &status,
+           const PointOutcome *out, const std::string &reason)
+    {
+        ManifestRecord rec;
+        rec.fp = st.fp;
+        rec.status = status;
+        rec.workload = st.pt.workload;
+        rec.label = st.pt.label;
+        rec.attempts = st.attempts;
+        rec.preemptions = st.preemptions;
+        rec.resumed = st.resumedAny;
+        rec.reason = reason;
+        if (out) {
+            rec.cycles = out->cycles;
+            rec.insts = out->insts;
+            rec.ipc = out->ipc;
+            char hex[24];
+            std::snprintf(hex, sizeof(hex), "%016llx",
+                          static_cast<unsigned long long>(out->commitHash));
+            rec.commitHash = hex;
+        }
+        manifest.append(rec);
+    }
+
+    void
+    quarantine(PointState &st, const std::string &reason)
+    {
+        inform("fastd: quarantining %s (%s)", st.pt.label.c_str(),
+               reason.c_str());
+        record(st, "quarantined", nullptr, reason);
+        // Drop the stale shard state; a future batch should start clean.
+        std::remove(checkpointPathFor(ckptDir, st.pt).c_str());
+        ++summary.quarantined;
+    }
+};
+
+/** Admission + manifest-skip pass; fills the pending queue. */
+void
+admitPoints(Batch &b, const JobBatch &job)
+{
+    b.summary.total = static_cast<unsigned>(job.points.size());
+    for (const SweepPoint &pt : job.points) {
+        PointState st;
+        st.pt = pt;
+        st.fp = fingerprintHex(pt);
+        if (b.manifest.isTerminal(st.fp)) {
+            ++b.summary.skipped;
+            continue;
+        }
+        std::string reason;
+        if (!admit(pt, reason)) {
+            inform("fastd: rejecting %s: %s", pt.label.c_str(),
+                   reason.c_str());
+            b.record(st, "rejected", nullptr, reason);
+            ++b.summary.rejected;
+            continue;
+        }
+        b.points.push_back(st);
+        b.pending.push_back(b.points.size() - 1);
+    }
+}
+
+/** The last degradation rung: run what is safely runnable in-process. */
+void
+runInProcess(Batch &b)
+{
+    b.summary.ranInProcess = true;
+    while (!b.pending.empty()) {
+        PointState &st = b.points[b.pending.front()];
+        b.pending.pop_front();
+        if (host::shutdownRequested()) {
+            b.summary.interrupted = true;
+            return;
+        }
+        if (!st.pt.sabotage.empty()) {
+            // A sabotaged point would take the whole daemon down.
+            st.lastReason = "sabotaged point cannot run in-process";
+            b.quarantine(st, st.lastReason);
+            continue;
+        }
+        if (st.attempts > 0) {
+            // It already crashed a worker; do not risk the daemon.
+            b.quarantine(st, "crashed a worker; unsafe in-process: " +
+                                 st.lastReason);
+            continue;
+        }
+        const PointOutcome out = executePoint(st.pt, b.ckptDir, nullptr);
+        st.resumedAny = st.resumedAny || out.resumed;
+        ++st.attempts;
+        if (out.status == "interrupted") {
+            b.summary.interrupted = true;
+            return;
+        }
+        if (out.status == "done") {
+            b.record(st, "done", &out, "");
+            ++b.summary.done;
+        } else {
+            b.quarantine(st, out.reason);
+        }
+    }
+}
+
+struct Pool
+{
+    Batch &b;
+    std::vector<WorkerSlot> slots;
+    std::unique_ptr<inject::FaultPlan> chaos;
+    unsigned totalRestarts = 0;
+
+    explicit Pool(Batch &batch) : b(batch)
+    {
+        slots.resize(b.cfg.workers);
+        if (b.cfg.chaosKill || b.cfg.chaosFrameCorrupt) {
+            inject::FaultPlanConfig fc;
+            fc.seed = b.cfg.chaosSeed;
+            fc.window = b.cfg.chaosWindow;
+            if (b.cfg.chaosKill)
+                fc.enableClass(inject::FaultClass::WorkerKill);
+            if (b.cfg.chaosFrameCorrupt)
+                fc.enableClass(inject::FaultClass::FrameCorrupt);
+            chaos = std::make_unique<inject::FaultPlan>(fc);
+        }
+    }
+
+    unsigned
+    activeSlots() const
+    {
+        unsigned n = 0;
+        for (const WorkerSlot &s : slots)
+            if (!s.retired)
+                ++n;
+        return n;
+    }
+
+    bool
+    anyRunning() const
+    {
+        for (const WorkerSlot &s : slots)
+            if (s.proc && s.proc->running())
+                return true;
+        return false;
+    }
+
+    void
+    spawn(WorkerSlot &slot)
+    {
+        slot.proc = std::make_unique<host::Subprocess>(host::Subprocess::spawn(
+            {b.cfg.selfExe, "--worker", "--checkpoint-dir", b.ckptDir}));
+        slot.reader = FrameReader{};
+        slot.pointIdx = -1;
+        slot.lastBeatMs = host::monotonicMs();
+        slot.pendingKill = PendingKill::None;
+        slot.draining = false;
+    }
+
+    void
+    assignOrDrain(WorkerSlot &slot)
+    {
+        if (b.pending.empty()) {
+            slot.proc->closeStdin(); // worker sees EOF and retires
+            slot.draining = true;
+            return;
+        }
+        const std::size_t idx = b.pending.front();
+        b.pending.pop_front();
+        slot.pointIdx = static_cast<int>(idx);
+        slot.lastBeatMs = host::monotonicMs();
+        const std::vector<std::uint8_t> f =
+            encodeFrame(FrameType::Assign, pointToJson(b.points[idx].pt));
+        if (!host::writeAll(slot.proc->stdinFd(), f.data(), f.size())) {
+            // The worker died before the assignment landed; requeue and
+            // let the reaper attribute the death.
+            b.pending.push_front(idx);
+            slot.pointIdx = -1;
+        }
+    }
+
+    void
+    requeue(WorkerSlot &slot)
+    {
+        if (slot.pointIdx >= 0) {
+            b.pending.push_front(static_cast<std::size_t>(slot.pointIdx));
+            slot.pointIdx = -1;
+        }
+    }
+
+    void
+    handleFrame(WorkerSlot &slot, const Frame &fr)
+    {
+        switch (fr.type) {
+          case FrameType::Hello:
+            assignOrDrain(slot);
+            break;
+          case FrameType::Heartbeat:
+            slot.lastBeatMs = host::monotonicMs();
+            if (chaos && chaos->fire(inject::FaultClass::WorkerKill)) {
+                slot.pendingKill = PendingKill::Chaos;
+                slot.proc->kill(SIGKILL);
+            }
+            break;
+          case FrameType::Result: {
+            if (slot.pointIdx < 0)
+                fatal("fastd: Result frame from an idle worker");
+            PointState &st =
+                b.points[static_cast<std::size_t>(slot.pointIdx)];
+            const JsonValue v = jsonParse(fr.payloadText());
+            if (v.getString("fp") != st.fp)
+                fatal("fastd: Result fingerprint mismatch (%s vs %s)",
+                      v.getString("fp").c_str(), st.fp.c_str());
+            PointOutcome out;
+            out.status = v.getString("status");
+            out.finished = v.getBool("finished");
+            out.cycles = v.getU64("cycles");
+            out.insts = v.getU64("insts");
+            out.ipc = v.getNumber("ipc");
+            out.commitHash =
+                std::strtoull(v.getString("commit_hash").c_str(), nullptr,
+                              16);
+            out.resumed = v.getBool("resumed");
+            out.reason = v.getString("reason");
+            st.resumedAny = st.resumedAny || out.resumed;
+            slot.pointIdx = -1;
+            if (out.status == "done") {
+                ++st.attempts;
+                b.record(st, "done", &out, "");
+                ++b.summary.done;
+                inform("fastd: %s done (%llu cycles, ipc %.3f)%s",
+                       st.pt.label.c_str(),
+                       static_cast<unsigned long long>(out.cycles), out.ipc,
+                       out.resumed ? " [resumed]" : "");
+            } else {
+                // A clean "failed" result (cycle bound): counted.
+                ++st.attempts;
+                st.lastReason = out.reason;
+                if (st.attempts >= b.cfg.maxAttempts)
+                    b.quarantine(st, out.reason);
+                else
+                    b.pending.push_back(
+                        static_cast<std::size_t>(&st - b.points.data()));
+            }
+            break;
+          }
+          case FrameType::Assign:
+            fatal("fastd: worker sent an Assign frame");
+        }
+    }
+
+    /** Drain readable bytes; FatalError from the reader means the
+     *  channel is corrupt — kill the worker, requeue without prejudice. */
+    void
+    pump(WorkerSlot &slot)
+    {
+        std::uint8_t buf[4096];
+        for (;;) {
+            const long n =
+                host::readSome(slot.proc->stdoutFd(), buf, sizeof(buf));
+            if (n < 0)
+                return; // would block
+            if (n == 0)
+                return; // EOF; the reaper handles the exit
+            if (chaos &&
+                chaos->fire(inject::FaultClass::FrameCorrupt)) {
+                buf[chaos->draw(inject::FaultClass::FrameCorrupt) %
+                    static_cast<std::uint64_t>(n)] ^= 0x40;
+            }
+            try {
+                slot.reader.feed(buf, static_cast<std::size_t>(n));
+                Frame fr;
+                while (slot.reader.take(fr))
+                    handleFrame(slot, fr);
+            } catch (const FatalError &e) {
+                warn("fastd: corrupt control channel (%s); recycling worker",
+                     e.what());
+                slot.pendingKill = PendingKill::Corrupt;
+                slot.proc->kill(SIGKILL);
+                return;
+            }
+        }
+    }
+
+    /** Attribute a worker death, requeue/quarantine its point, schedule
+     *  the restart with backoff, and degrade the pool if warranted. */
+    void
+    reap(std::size_t slotIdx, int status)
+    {
+        WorkerSlot &slot = slots[slotIdx];
+        slot.proc->closeFds();
+
+        const bool cleanExit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        const bool checkpointed =
+            WIFEXITED(status) &&
+            WEXITSTATUS(status) == host::ExitCheckpointed;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+            fatal("fastd: worker exec failed — bad --self path %s?",
+                  b.cfg.selfExe.c_str());
+
+        std::string how;
+        bool counted = false;
+        if (slot.pendingKill == PendingKill::Chaos ||
+            slot.pendingKill == PendingKill::Corrupt) {
+            how = slot.pendingKill == PendingKill::Chaos
+                      ? "chaos kill"
+                      : "corrupt control channel";
+        } else if (slot.pendingKill == PendingKill::Deadline) {
+            how = "heartbeat timeout";
+            counted = true;
+        } else if (checkpointed) {
+            how = "graceful interrupt";
+        } else if (WIFSIGNALED(status)) {
+            // A signal the supervisor did not send (the soak's external
+            // killer, the OOM killer): infrastructure, not the point.
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "external signal %d",
+                          WTERMSIG(status));
+            how = buf;
+            counted = WTERMSIG(status) != SIGKILL;
+        } else if (!cleanExit) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "exit status %d",
+                          WEXITSTATUS(status));
+            how = buf;
+            counted = true;
+        }
+
+        if (slot.pointIdx >= 0) {
+            PointState &st =
+                b.points[static_cast<std::size_t>(slot.pointIdx)];
+            if (counted) {
+                ++st.attempts;
+                st.lastReason = how;
+                inform("fastd: worker died on %s (%s; attempt %u/%u)",
+                       st.pt.label.c_str(), how.c_str(), st.attempts,
+                       b.cfg.maxAttempts);
+                if (st.attempts >= b.cfg.maxAttempts) {
+                    slot.pointIdx = -1;
+                    b.quarantine(st, "crashed " +
+                                         std::to_string(st.attempts) +
+                                         " times; last: " + how);
+                } else {
+                    requeue(slot);
+                }
+            } else {
+                ++st.preemptions;
+                ++b.summary.preemptions;
+                requeue(slot);
+            }
+        } else if (cleanExit && slot.draining) {
+            // Expected retirement after EOF; no restart needed.
+            slot.proc.reset();
+            slot.retired = true;
+            return;
+        }
+
+        slot.proc.reset();
+        slot.pendingKill = PendingKill::None;
+
+        // Restart with exponential backoff + seeded jitter; past the
+        // degradation threshold, retire the slot instead.
+        ++slot.restarts;
+        ++totalRestarts;
+        ++b.summary.restarts;
+        if (totalRestarts > b.cfg.restartsBeforeDegrade) {
+            // Shrink the pool one slot per excess restart; reaching zero
+            // hands the remainder to the in-process rung (runLoop).
+            slot.retired = true;
+            ++b.summary.degradeEvents;
+            inform("fastd: degrading pool to %u worker(s) after %u restarts",
+                   activeSlots(), totalRestarts);
+            return;
+        }
+        slot.respawnAtMs =
+            host::monotonicMs() +
+            b.cfg.restart.backoffMs(slot.restarts, slotIdx);
+    }
+
+    void
+    shutdownAll()
+    {
+        for (WorkerSlot &s : slots)
+            if (s.proc && s.proc->running())
+                s.proc->kill(SIGTERM);
+        // Give workers a moment to take their final checkpoints; then
+        // reap whatever remains.
+        const std::uint64_t deadline = host::monotonicMs() + 30000;
+        for (WorkerSlot &s : slots) {
+            while (s.proc && s.proc->running() &&
+                   host::monotonicMs() < deadline) {
+                int status = 0;
+                if (s.proc->tryReap(&status))
+                    break;
+                host::sleepMs(20);
+            }
+            if (s.proc && s.proc->running())
+                s.proc->kill(SIGKILL);
+            if (s.proc) {
+                s.proc->waitBlocking();
+                s.proc->closeFds();
+                s.proc.reset();
+            }
+        }
+    }
+
+    void
+    runLoop()
+    {
+        while (true) {
+            if (host::shutdownRequested()) {
+                b.summary.interrupted = true;
+                shutdownAll();
+                return;
+            }
+
+            // Done when nothing is pending, assigned, or running.
+            bool anyAssigned = false;
+            for (const WorkerSlot &s : slots)
+                if (s.pointIdx >= 0)
+                    anyAssigned = true;
+            if (b.pending.empty() && !anyAssigned) {
+                for (WorkerSlot &s : slots)
+                    if (s.proc && s.proc->running() && !s.draining) {
+                        s.proc->closeStdin();
+                        s.draining = true;
+                    }
+                if (!anyRunning())
+                    return;
+            }
+
+            // Pool collapsed with work left: fall back to in-process.
+            if (activeSlots() == 0) {
+                if (!b.pending.empty())
+                    runInProcess(b);
+                return;
+            }
+
+            // Respawn slots whose backoff has elapsed.
+            const std::uint64_t now = host::monotonicMs();
+            for (WorkerSlot &s : slots)
+                if (!s.retired && !s.proc && !b.pending.empty() &&
+                    now >= s.respawnAtMs)
+                    spawn(s);
+
+            // Multiplex worker stdout.
+            std::vector<int> fds;
+            for (const WorkerSlot &s : slots)
+                if (s.proc && s.proc->running())
+                    fds.push_back(s.proc->stdoutFd());
+            const std::vector<int> ready = host::pollReadable(fds, 50);
+            for (int fd : ready)
+                for (WorkerSlot &s : slots)
+                    if (s.proc && s.proc->stdoutFd() == fd)
+                        pump(s);
+
+            // Heartbeat deadlines (only while a point is assigned).
+            const std::uint64_t now2 = host::monotonicMs();
+            for (WorkerSlot &s : slots)
+                if (s.proc && s.proc->running() && s.pointIdx >= 0 &&
+                    s.pendingKill == PendingKill::None &&
+                    now2 - s.lastBeatMs > b.cfg.heartbeatTimeoutMs) {
+                    inform("fastd: worker silent for %llums; killing",
+                           static_cast<unsigned long long>(now2 -
+                                                           s.lastBeatMs));
+                    s.pendingKill = PendingKill::Deadline;
+                    ++b.summary.deadlineKills;
+                    s.proc->kill(SIGKILL);
+                }
+
+            // Reap deaths.
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                int status = 0;
+                if (slots[i].proc && slots[i].proc->tryReap(&status)) {
+                    // Final drain: a Result may sit in the pipe buffer
+                    // even though the worker is gone.
+                    pump(slots[i]);
+                    reap(i, status);
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+BatchSummary
+runBatch(const JobBatch &job, const SupervisorConfig &cfg)
+{
+    host::installShutdownHandlers();
+    host::ignoreSigpipe();
+
+    Batch b(cfg);
+    makeDirs(b.ckptDir);
+    sweepStaleTemps(b.ckptDir);
+    admitPoints(b, job);
+
+    if (b.pending.empty()) {
+        inform("fastd: nothing to run (%u skipped, %u rejected)",
+               b.summary.skipped, b.summary.rejected);
+        return b.summary;
+    }
+
+    if (cfg.workers == 0) {
+        runInProcess(b);
+        return b.summary;
+    }
+
+    fastsim_assert(!cfg.selfExe.empty());
+    Pool pool(b);
+    pool.runLoop();
+    // Every worker is gone (drained or killed): a SIGKILL mid-checkpoint
+    // cannot clean its own temp file, so the supervisor does.
+    sweepStaleTemps(b.ckptDir);
+    return b.summary;
+}
+
+} // namespace service
+} // namespace fastsim

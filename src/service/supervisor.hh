@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fastd supervisor: process-sharded batch execution with
+ * supervision, retry/backoff, quarantine and graceful degradation
+ * (DESIGN.md §15.5).
+ *
+ * Shard state machine (per sweep point):
+ *
+ *   pending -> assigned -> done
+ *                      \-> (worker death) -> attempt++ -> pending
+ *                      \-> (preemption)   -> pending        (no attempt)
+ *                      \-> attempts >= maxAttempts -> quarantined
+ *   unbuildable (fastlint error) -> rejected        (never assigned)
+ *
+ * Death attribution: a deadline kill (missed heartbeats) or a genuine
+ * crash (SIGABRT/SIGSEGV/nonzero exit) *counts* toward quarantine; a
+ * kill the supervisor itself inflicted for external reasons — chaos
+ * injection, a corrupt control frame — is a *preemption* and is retried
+ * without prejudice, because the point did nothing wrong.
+ *
+ * Degradation ladder: every worker death costs a restart with
+ * exponential backoff + seeded jitter (host::RetryPolicy); past
+ * `restartsBeforeDegrade` total restarts the pool shrinks by retiring
+ * the crashing slot, and when the pool reaches zero the remaining clean
+ * points run in-process, sequentially, through the *same* executePoint
+ * path (points with a crash history or sabotage are quarantined instead
+ * of risking the daemon itself).
+ */
+
+#ifndef FASTSIM_SERVICE_SUPERVISOR_HH
+#define FASTSIM_SERVICE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "host/retry_policy.hh"
+#include "service/job.hh"
+
+namespace fastsim {
+namespace service {
+
+struct SupervisorConfig
+{
+    /** Path to the fastd binary for --worker self-invocation. */
+    std::string selfExe;
+
+    /** Worker processes; 0 = in-process sequential (the baseline the
+     *  soak test compares commit hashes against). */
+    unsigned workers = 2;
+
+    /** Counted attempts before a point is quarantined. */
+    unsigned maxAttempts = 3;
+
+    /** A worker silent this long while assigned is deadline-killed. */
+    std::uint64_t heartbeatTimeoutMs = 10000;
+
+    /** Output directory: manifest.jsonl + ckpt/ live here. */
+    std::string outDir = "fastd-out";
+
+    /** Worker restart backoff (ms via backoffMs: base 50ms, cap ~3s). */
+    host::RetryPolicy restart{.maxRetries = 1000,
+                              .baseNs = 50.0e6,
+                              .factor = 2.0,
+                              .maxNs = 3000.0e6,
+                              .jitterFrac = 0.25,
+                              .jitterSeed = 0xfa57dull};
+
+    /** Total restarts before the pool starts shrinking. */
+    unsigned restartsBeforeDegrade = 8;
+
+    /** Chaos injection (soak/test): seeded via inject::FaultPlan. */
+    bool chaosKill = false;         //!< SIGKILL workers mid-shard
+    bool chaosFrameCorrupt = false; //!< flip bytes on the control pipe
+    std::uint64_t chaosSeed = 1;
+    std::uint64_t chaosWindow = 40; //!< strike within N opportunities
+};
+
+struct BatchSummary
+{
+    unsigned total = 0;       //!< points in the batch
+    unsigned skipped = 0;     //!< already terminal in the manifest
+    unsigned done = 0;
+    unsigned rejected = 0;
+    unsigned quarantined = 0;
+    unsigned restarts = 0;      //!< worker respawns after any death
+    unsigned deadlineKills = 0; //!< heartbeat-timeout kills
+    unsigned preemptions = 0;   //!< chaos/corrupt-channel requeues
+    unsigned degradeEvents = 0; //!< pool-shrink steps
+    bool ranInProcess = false;  //!< degradation reached the last rung
+    bool interrupted = false;   //!< SIGTERM/SIGINT cut the batch short
+
+    bool
+    allTerminal() const
+    {
+        return !interrupted &&
+               skipped + done + rejected + quarantined == total;
+    }
+};
+
+/** Run one batch to terminal states (or interruption); results land in
+ *  <outDir>/manifest.jsonl, one fsync'd JSONL record per point. */
+BatchSummary runBatch(const JobBatch &job, const SupervisorConfig &cfg);
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_SUPERVISOR_HH

@@ -1,0 +1,181 @@
+#include "service/worker.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+#include "fast/simulator.hh"
+#include "host/subprocess.hh"
+#include "service/frame.hh"
+#include "service/json.hh"
+
+namespace fastsim {
+namespace service {
+
+namespace {
+
+/** Absolute cycle ceiling: past this a point has livelocked. */
+constexpr Cycle MaxPointCycles = 2000000000ull;
+/** Slice length between heartbeats / shutdown checks. */
+constexpr Cycle SliceCycles = 20000;
+
+void
+sendFrame(int fd, FrameType type, const std::string &payload)
+{
+    const std::vector<std::uint8_t> bytes = encodeFrame(type, payload);
+    if (!host::writeAll(fd, bytes.data(), bytes.size()))
+        fatal("worker: write to supervisor failed");
+}
+
+} // namespace
+
+std::string
+checkpointPathFor(const std::string &ckptDir, const SweepPoint &pt)
+{
+    return ckptDir + "/ckpt_" + fingerprintHex(pt) + ".fsnp";
+}
+
+PointOutcome
+executePoint(const SweepPoint &pt, const std::string &ckptDir,
+             const std::function<void(std::uint64_t)> &beat)
+{
+    PointOutcome out;
+    fast::FastConfig cfg = configFor(pt);
+    const std::string ckpt = checkpointPathFor(ckptDir, pt);
+    cfg.checkpointPath = ckpt;
+
+    fast::FastSimulator sim(cfg);
+    sim.boot(imageFor(pt));
+    if (access(ckpt.c_str(), F_OK) == 0) {
+        try {
+            sim.resumeFrom(ckpt);
+            out.resumed = true;
+        } catch (const FatalError &e) {
+            // Torn/stale snapshot: discard and restart the shard from
+            // scratch rather than refusing the point.
+            warn("worker: discarding unusable checkpoint %s (%s)",
+                 ckpt.c_str(), e.what());
+            std::remove(ckpt.c_str());
+        }
+    }
+
+    unsigned slices = 0;
+    fast::RunResult r;
+    for (;;) {
+        r = sim.run(sim.core().cycle() + SliceCycles);
+        ++slices;
+        if (r.finished)
+            break;
+        // Sabotage hooks (crafted-to-fail points for the quarantine and
+        // hung-worker paths; deterministic, so every retry fails too).
+        if (pt.sabotage == "crash" && slices >= 2)
+            std::abort();
+        if (pt.sabotage == "hang" && slices >= 2)
+            for (;;)
+                host::sleepMs(1000);
+        if (beat)
+            beat(r.cycles);
+        if (host::shutdownRequested()) {
+            if (sim.checkpointNow(ckpt))
+                out.status = "interrupted";
+            else
+                out.status = "failed";
+            out.cycles = r.cycles;
+            out.insts = r.insts;
+            out.reason = out.status == "interrupted"
+                             ? "shutdown: final checkpoint written"
+                             : "shutdown: no drain boundary reached";
+            return out;
+        }
+        if (r.cycles >= MaxPointCycles) {
+            out.status = "failed";
+            out.cycles = r.cycles;
+            out.insts = r.insts;
+            out.reason = "cycle bound exceeded";
+            return out;
+        }
+    }
+
+    out.status = "done";
+    out.finished = true;
+    out.cycles = r.cycles;
+    out.insts = r.insts;
+    out.ipc = r.ipc;
+    out.commitHash = sim.commitHash();
+    std::remove(ckpt.c_str()); // the shard is complete; drop its state
+    return out;
+}
+
+std::string
+outcomeToJson(const SweepPoint &pt, const PointOutcome &out)
+{
+    char buf[256];
+    std::string s = "{";
+    s += "\"fp\": \"" + fingerprintHex(pt) + "\"";
+    s += ", \"status\": \"" + jsonEscape(out.status) + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"finished\": %s, \"cycles\": %llu, \"insts\": %llu"
+                  ", \"ipc\": %.6f, \"commit_hash\": \"%016llx\""
+                  ", \"resumed\": %s",
+                  out.finished ? "true" : "false",
+                  static_cast<unsigned long long>(out.cycles),
+                  static_cast<unsigned long long>(out.insts), out.ipc,
+                  static_cast<unsigned long long>(out.commitHash),
+                  out.resumed ? "true" : "false");
+    s += buf;
+    s += ", \"reason\": \"" + jsonEscape(out.reason) + "\"}";
+    return s;
+}
+
+int
+workerMain(const std::string &ckptDir)
+{
+    host::installShutdownHandlers();
+    host::ignoreSigpipe();
+
+    FrameReader reader;
+    Frame fr;
+    std::uint8_t buf[4096];
+    sendFrame(STDOUT_FILENO, FrameType::Hello, "");
+
+    for (;;) {
+        // Wait for an assignment; between chunks, honor shutdown (idle
+        // workers have nothing to checkpoint — plain exit 0).
+        while (!reader.take(fr)) {
+            if (host::shutdownRequested())
+                return 0;
+            if (host::pollReadable({STDIN_FILENO}, 200).empty())
+                continue;
+            const long n = host::readSome(STDIN_FILENO, buf, sizeof(buf));
+            if (n == 0)
+                return 0; // supervisor closed the channel: clean retire
+            if (n > 0)
+                reader.feed(buf, static_cast<std::size_t>(n));
+        }
+        if (fr.type != FrameType::Assign)
+            fatal("worker: unexpected frame type %u from supervisor",
+                  static_cast<unsigned>(fr.type));
+
+        const SweepPoint pt = pointFromJson(fr.payloadText());
+        const PointOutcome out = executePoint(
+            pt, ckptDir, [](std::uint64_t cycles) {
+                serialize::Sink s;
+                s.put<std::uint64_t>(cycles);
+                const std::vector<std::uint8_t> f =
+                    encodeFrame(FrameType::Heartbeat, s.data());
+                if (!host::writeAll(STDOUT_FILENO, f.data(), f.size()))
+                    fatal("worker: heartbeat write failed");
+            });
+        if (out.status == "interrupted")
+            return host::ExitCheckpointed;
+
+        sendFrame(STDOUT_FILENO, FrameType::Result, outcomeToJson(pt, out));
+        sendFrame(STDOUT_FILENO, FrameType::Hello, "");
+    }
+}
+
+} // namespace service
+} // namespace fastsim

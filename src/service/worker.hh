@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The fastd worker: executes one sweep point at a time against the
+ * coupled simulator, checkpointing as it goes (DESIGN.md §15.3).
+ *
+ * The same executePoint() drives both deployment shapes:
+ *
+ *  - `fastd --worker` child processes (workerMain), which speak the frame
+ *    protocol over stdin/stdout and heartbeat between run slices;
+ *  - the supervisor's in-process fallback, the last rung of graceful
+ *    degradation, so a point produces the *same* commit-hash chain
+ *    whichever rung executed it — including the resume-from-checkpoint
+ *    path, which is shared too.
+ *
+ * Crash consistency: the point's checkpoint (ckpt_<fingerprint>.fsnp in
+ * the checkpoint dir) is refreshed every `checkpoint_every` target cycles
+ * through the atomic snapshot path, so a SIGKILL at any instant loses at
+ * most one checkpoint interval of progress.  SIGTERM/SIGINT additionally
+ * take a *final* checkpoint at the next drained boundary and exit with
+ * host::ExitCheckpointed so the supervisor can tell a graceful interrupt
+ * from a crash.
+ */
+
+#ifndef FASTSIM_SERVICE_WORKER_HH
+#define FASTSIM_SERVICE_WORKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/job.hh"
+
+namespace fastsim {
+namespace service {
+
+/** Terminal outcome of one executePoint() call. */
+struct PointOutcome
+{
+    /** "done" | "failed" (cycle bound) | "interrupted" (checkpointed). */
+    std::string status;
+    bool finished = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+    std::uint64_t commitHash = 0;
+    bool resumed = false; //!< this run restored an existing checkpoint
+    std::string reason;
+};
+
+/** ckptDir + "/ckpt_<fingerprint>.fsnp". */
+std::string checkpointPathFor(const std::string &ckptDir,
+                              const SweepPoint &pt);
+
+/**
+ * Run one point to completion: boot, resume any existing checkpoint
+ * (an unreadable one is discarded — the run restarts from scratch),
+ * then run in slices, invoking `beat` (if set) with the cycle count
+ * after each slice.  Honors host::shutdownRequested() between slices
+ * with a final checkpoint.  Sabotage hooks fire here (worker context
+ * only; the supervisor never calls this on a sabotaged point).
+ */
+PointOutcome executePoint(const SweepPoint &pt, const std::string &ckptDir,
+                          const std::function<void(std::uint64_t)> &beat);
+
+/** The `fastd --worker` main loop: Hello, then Assign/Result cycles over
+ *  stdin/stdout until EOF.  Returns the process exit code. */
+int workerMain(const std::string &ckptDir);
+
+/** Outcome as the Result-frame JSON payload. */
+std::string outcomeToJson(const SweepPoint &pt, const PointOutcome &out);
+
+} // namespace service
+} // namespace fastsim
+
+#endif // FASTSIM_SERVICE_WORKER_HH

@@ -1,0 +1,660 @@
+/**
+ * @file
+ * Tests for the fastd service layer (DESIGN.md §15) and the robustness
+ * plumbing underneath it: the shared retry policy, the frame protocol,
+ * job parsing/admission/fingerprints, the manifest journal, the atomic
+ * snapshot write path under write races and ENOSPC, kill-during-run
+ * graceful checkpointing, and the supervisor end-to-end (parity with
+ * in-process execution, idempotent reruns, quarantine, hung-worker
+ * deadline kills, chaos-kill recovery, degradation to in-process).
+ *
+ * The end-to-end tests exec the real `fastd` / `linux_boot` binaries
+ * (paths injected by CMake as FASTD_BIN / LINUX_BOOT_BIN), because the
+ * subject under test *is* the process boundary: real fork/exec, real
+ * SIGKILL, real pipes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "fast/snapshot_io.hh"
+#include "host/retry_policy.hh"
+#include "host/subprocess.hh"
+#include "service/frame.hh"
+#include "service/job.hh"
+#include "service/json.hh"
+#include "service/manifest.hh"
+#include "workloads/workloads.hh"
+
+using namespace fastsim;
+
+namespace {
+
+// ---------------------------------------------------------------- utils --
+
+std::string
+tmpDir(const std::string &name)
+{
+    const std::string dir = "svc_" + name;
+    std::string cmd = "rm -rf " + dir;
+    if (std::system(cmd.c_str()) != 0)
+        ADD_FAILURE() << "cleanup failed";
+    mkdir(dir.c_str(), 0777);
+    return dir;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good());
+}
+
+int
+runCmd(const std::string &cmd)
+{
+    const int st = std::system(cmd.c_str());
+    return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+}
+
+// ---------------------------------------------------------- RetryPolicy --
+
+TEST(RetryPolicy, LegacyExponentialScheduleWhenJitterOff)
+{
+    host::RetryPolicy p; // defaults: base 600ns, x2, cap 20us, no jitter
+    p.jitterFrac = 0.0;
+    EXPECT_DOUBLE_EQ(p.backoffNs(0), 600.0);
+    EXPECT_DOUBLE_EQ(p.backoffNs(1), 1200.0);
+    EXPECT_DOUBLE_EQ(p.backoffNs(2), 2400.0);
+    EXPECT_DOUBLE_EQ(p.backoffNs(10), 20000.0); // capped
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndBounded)
+{
+    host::RetryPolicy p;
+    p.jitterFrac = 0.25;
+    p.jitterSeed = 42;
+    for (unsigned k = 0; k < 8; ++k) {
+        const double a = p.backoffNs(k, /*salt=*/3);
+        const double b = p.backoffNs(k, /*salt=*/3);
+        EXPECT_DOUBLE_EQ(a, b) << "same (seed, k, salt) must replay";
+        host::RetryPolicy q = p;
+        q.jitterFrac = 0.0;
+        const double base = q.backoffNs(k);
+        EXPECT_GE(a, base);
+        EXPECT_LE(a, base * 1.25 + 1e-9);
+    }
+    // Different salts decorrelate (the whole point of jitter).
+    EXPECT_NE(p.backoffNs(3, 0), p.backoffNs(3, 1));
+}
+
+TEST(RetryPolicy, BackoffMsConversion)
+{
+    host::RetryPolicy p{.maxRetries = 5,
+                        .baseNs = 50.0e6,
+                        .factor = 2.0,
+                        .maxNs = 400.0e6,
+                        .jitterFrac = 0.0};
+    EXPECT_EQ(p.backoffMs(0), 50u);
+    EXPECT_EQ(p.backoffMs(1), 100u);
+    EXPECT_EQ(p.backoffMs(5), 400u);
+}
+
+// ---------------------------------------------------------------- Frame --
+
+TEST(Frame, RoundTripThroughFragmentedFeed)
+{
+    const std::vector<std::uint8_t> a =
+        service::encodeFrame(service::FrameType::Assign, "{\"x\": 1}");
+    const std::vector<std::uint8_t> b =
+        service::encodeFrame(service::FrameType::Heartbeat,
+                             std::vector<std::uint8_t>{1, 2, 3});
+    std::vector<std::uint8_t> wire = a;
+    wire.insert(wire.end(), b.begin(), b.end());
+
+    service::FrameReader r;
+    service::Frame f;
+    // Feed one byte at a time: frames must assemble across fragments.
+    for (std::size_t i = 0; i < wire.size(); ++i)
+        r.feed(&wire[i], 1);
+    ASSERT_TRUE(r.take(f));
+    EXPECT_EQ(f.type, service::FrameType::Assign);
+    EXPECT_EQ(f.payloadText(), "{\"x\": 1}");
+    ASSERT_TRUE(r.take(f));
+    EXPECT_EQ(f.type, service::FrameType::Heartbeat);
+    EXPECT_EQ(f.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_FALSE(r.take(f));
+}
+
+TEST(Frame, TruncatedFrameStaysPending)
+{
+    const std::vector<std::uint8_t> a =
+        service::encodeFrame(service::FrameType::Result, "result");
+    service::FrameReader r;
+    r.feed(a.data(), a.size() - 1);
+    service::Frame f;
+    EXPECT_FALSE(r.take(f));
+    r.feed(a.data() + a.size() - 1, 1);
+    EXPECT_TRUE(r.take(f));
+    EXPECT_EQ(f.payloadText(), "result");
+}
+
+TEST(Frame, CorruptPayloadIsDetected)
+{
+    std::vector<std::uint8_t> a =
+        service::encodeFrame(service::FrameType::Result, "payload-bytes");
+    a[service::FrameHeaderBytes + 3] ^= 0x10;
+    service::FrameReader r;
+    r.feed(a.data(), a.size());
+    service::Frame f;
+    EXPECT_THROW(r.take(f), FatalError);
+}
+
+TEST(Frame, BadMagicAndImplausibleLengthAreDetected)
+{
+    std::vector<std::uint8_t> a =
+        service::encodeFrame(service::FrameType::Hello, "");
+    {
+        std::vector<std::uint8_t> bad = a;
+        bad[0] ^= 0xff;
+        service::FrameReader r;
+        r.feed(bad.data(), bad.size());
+        service::Frame f;
+        EXPECT_THROW(r.take(f), FatalError);
+    }
+    {
+        std::vector<std::uint8_t> bad = a;
+        bad[12] = 0xff; // length ~= 2^56: far past MaxFramePayload
+        service::FrameReader r;
+        r.feed(bad.data(), bad.size());
+        service::Frame f;
+        EXPECT_THROW(r.take(f), FatalError);
+    }
+}
+
+// ----------------------------------------------------------------- Json --
+
+TEST(Json, ParsesTheJobShapes)
+{
+    const service::JsonValue v = service::jsonParse(
+        "{\"a\": 1.5, \"b\": \"x\\ny\", \"c\": [true, null, 2],"
+        " \"d\": {\"e\": 7}}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.getNumber("a"), 1.5);
+    EXPECT_EQ(v.getString("b"), "x\ny");
+    const service::JsonValue *c = v.find("c");
+    ASSERT_TRUE(c && c->isArray());
+    EXPECT_EQ(c->arr.size(), 3u);
+    EXPECT_TRUE(c->arr[1].isNull());
+    EXPECT_EQ(v.find("d")->getU64("e"), 7u);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(service::jsonParse("{\"a\": }"), FatalError);
+    EXPECT_THROW(service::jsonParse("{\"a\": 1"), FatalError);
+    EXPECT_THROW(service::jsonParse("[1, 2,,]"), FatalError);
+    EXPECT_THROW(service::jsonParse("{} trailing"), FatalError);
+}
+
+// ------------------------------------------------------------------ Job --
+
+TEST(Job, ParseAppliesDefaultsAndValidates)
+{
+    const service::JobBatch b = service::parseJobs(
+        "{\"batch\": \"t\", \"defaults\": {\"scale\": 123, \"bp\":"
+        " \"twobit\"}, \"points\": ["
+        "{\"workload\": \"164.gzip\"},"
+        "{\"workload\": \"Sweep3D\", \"scale\": 9, \"bp\": \"gshare\"}]}");
+    ASSERT_EQ(b.points.size(), 2u);
+    EXPECT_EQ(b.points[0].scale, 123u);
+    EXPECT_EQ(b.points[0].bp, "twobit");
+    EXPECT_EQ(b.points[0].label, "164.gzip@123");
+    EXPECT_EQ(b.points[1].scale, 9u);
+    EXPECT_EQ(b.points[1].bp, "gshare");
+
+    EXPECT_THROW(service::parseJobs("{\"points\": [{}]}"), FatalError);
+    EXPECT_THROW(service::parseJobs("{\"points\": [{\"workload\": \"x\","
+                                    "\"bp\": \"nope\"}]}"),
+                 FatalError);
+    EXPECT_THROW(service::parseJobs("{\"points\": [{\"workload\": \"x\","
+                                    "\"sabotage\": \"what\"}]}"),
+                 FatalError);
+}
+
+TEST(Job, FingerprintIsStableAndSensitive)
+{
+    service::SweepPoint a;
+    a.workload = "164.gzip";
+    a.scale = 100;
+    service::SweepPoint b = a;
+    EXPECT_EQ(service::fingerprint(a), service::fingerprint(b));
+    EXPECT_EQ(service::fingerprintHex(a).size(), 16u);
+
+    b.checkpointEvery += 1; // cadence is part of the experiment
+    EXPECT_NE(service::fingerprint(a), service::fingerprint(b));
+    b = a;
+    b.issueWidth = 4;
+    EXPECT_NE(service::fingerprint(a), service::fingerprint(b));
+    b = a;
+    b.label = "renamed"; // labels are cosmetic
+    EXPECT_EQ(service::fingerprint(a), service::fingerprint(b));
+}
+
+TEST(Job, PointJsonRoundTripPreservesFingerprint)
+{
+    service::SweepPoint a;
+    a.workload = "Sweep3D";
+    a.scale = 77;
+    a.issueWidth = 4;
+    a.bp = "twobit";
+    a.mshrs = 2;
+    a.sabotage = "crash";
+    a.label = "x";
+    const service::SweepPoint b =
+        service::pointFromJson(service::pointToJson(a));
+    EXPECT_EQ(service::fingerprint(a), service::fingerprint(b));
+    EXPECT_EQ(b.label, "x");
+}
+
+TEST(Job, AdmissionRejectsUnbuildablePoints)
+{
+    service::SweepPoint ok;
+    ok.workload = "164.gzip";
+    std::string reason;
+    EXPECT_TRUE(service::admit(ok, reason)) << reason;
+
+    service::SweepPoint bad = ok;
+    bad.issueWidth = 16; // more issue slots than functional units
+    reason.clear();
+    EXPECT_FALSE(service::admit(bad, reason));
+    EXPECT_NE(reason.find("FAB009"), std::string::npos) << reason;
+}
+
+TEST(Job, SuiteJobsCoverTheWholeSuite)
+{
+    const service::JobBatch b =
+        service::parseJobs(service::suiteJobsJson(10));
+    EXPECT_EQ(b.points.size(), workloads::suite().size());
+}
+
+// ------------------------------------------------------------- Manifest --
+
+TEST(Manifest, AppendLoadRoundTripAndIdempotence)
+{
+    const std::string dir = tmpDir("manifest");
+    const std::string path = dir + "/manifest.jsonl";
+    {
+        service::Manifest m(path);
+        EXPECT_EQ(m.size(), 0u);
+        service::ManifestRecord r;
+        r.fp = "00ff";
+        r.status = "done";
+        r.workload = "164.gzip";
+        r.label = "a \"quoted\" label";
+        r.cycles = 123;
+        r.insts = 456;
+        r.ipc = 1.25;
+        r.commitHash = "abcd";
+        r.attempts = 2;
+        r.preemptions = 1;
+        r.resumed = true;
+        m.append(r);
+        r.fp = "0100";
+        r.status = "quarantined";
+        r.reason = "crashed 3 times";
+        m.append(r);
+    }
+    service::Manifest m(path);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_TRUE(m.isTerminal("00ff"));
+    EXPECT_TRUE(m.isTerminal("0100"));
+    EXPECT_FALSE(m.isTerminal("beef"));
+    const service::ManifestRecord *r = m.find("00ff");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->label, "a \"quoted\" label");
+    EXPECT_EQ(r->cycles, 123u);
+    EXPECT_TRUE(r->resumed);
+    EXPECT_EQ(m.find("0100")->reason, "crashed 3 times");
+}
+
+TEST(Manifest, TornFinalLineIsDroppedNotFatal)
+{
+    const std::string dir = tmpDir("manifest_torn");
+    const std::string path = dir + "/manifest.jsonl";
+    {
+        service::Manifest m(path);
+        service::ManifestRecord r;
+        r.fp = "aa";
+        r.status = "done";
+        m.append(r);
+    }
+    // Simulate a crash mid-append: half a JSON line at the end.
+    std::ofstream(path, std::ios::app) << "{\"fp\": \"bb\", \"sta";
+    service::Manifest m(path);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.isTerminal("aa"));
+    EXPECT_FALSE(m.isTerminal("bb")); // the torn point simply reruns
+}
+
+// -------------------------------------------------- snapshot write path --
+
+TEST(SnapshotIo, TwoConcurrentWritersNeverTearTheFile)
+{
+    const std::string dir = tmpDir("tear");
+    const std::string path = dir + "/shared.fsnp";
+    // Two distinct, internally uniform images: any mixture is detectable.
+    const std::vector<std::uint8_t> imgA(256 * 1024, 0xaa);
+    const std::vector<std::uint8_t> imgB(256 * 1024, 0xbb);
+
+    std::atomic<int> writersDone{0};
+    std::atomic<int> failures{0};
+    std::atomic<int> observations{0};
+    auto writer = [&](const std::vector<std::uint8_t> &img) {
+        for (int i = 0; i < 40; ++i)
+            fast::snapshot_io::writeFileAtomic(path, img);
+        ++writersDone;
+    };
+    std::thread ta(writer, std::cref(imgA));
+    std::thread tb(writer, std::cref(imgB));
+    // Reader: every observation while both writers hammer the path must
+    // be exactly one complete image, never a mixture.
+    while (writersDone.load() < 2) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue; // not yet published
+        std::vector<char> got((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+        if (got.empty())
+            continue; // racing the very first publish
+        ++observations;
+        if (got.size() != imgA.size()) {
+            ++failures;
+            continue;
+        }
+        const char c = got[0];
+        if (c != '\xaa' && c != '\xbb') {
+            ++failures;
+            continue;
+        }
+        for (char x : got)
+            if (x != c) {
+                ++failures;
+                break;
+            }
+    }
+    ta.join();
+    tb.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "a reader observed a torn/mixed snapshot";
+    EXPECT_GT(observations.load(), 0);
+    // Final state: exactly one of the two images, no leftover temp files.
+    std::vector<std::uint8_t> fin = fast::snapshot_io::readFile(path);
+    EXPECT_TRUE(fin == imgA || fin == imgB);
+}
+
+TEST(SnapshotIo, StaleTmpGarbageDoesNotBreakWrites)
+{
+    const std::string dir = tmpDir("staletmp");
+    const std::string path = dir + "/snap.fsnp";
+    writeFile(path + ".tmp.9999.0", "garbage from a dead writer");
+    const std::vector<std::uint8_t> img{1, 2, 3, 4};
+    fast::snapshot_io::writeFileAtomic(path, img);
+    EXPECT_EQ(fast::snapshot_io::readFile(path), img);
+}
+
+TEST(SnapshotIo, ShortWriteIsFatalNotSilent)
+{
+    if (access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    std::FILE *f = std::fopen("/dev/full", "wb");
+    ASSERT_NE(f, nullptr);
+    const std::vector<std::uint8_t> img(64 * 1024, 7);
+    EXPECT_THROW(fast::snapshot_io::writeStream(f, img, "/dev/full"),
+                 FatalError);
+    std::fclose(f);
+}
+
+TEST(SnapshotIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(fast::snapshot_io::readFile("no/such/snapshot.fsnp"),
+                 FatalError);
+}
+
+// ------------------------------------------- kill-during-run (graceful) --
+
+TEST(KillDuringRun, SigtermCheckpointsAndExits75ThenResumes)
+{
+    const std::string dir = tmpDir("killrun");
+    const std::string ckpt = dir + "/boot.ckpt";
+
+    host::Subprocess p = host::Subprocess::spawn(
+        {LINUX_BOOT_BIN, "--checkpoint-every", "20000", "--checkpoint-file",
+         ckpt});
+    // Wait for the first periodic checkpoint, then interrupt mid-run.
+    const std::uint64_t deadline = host::monotonicMs() + 60000;
+    while (access(ckpt.c_str(), F_OK) != 0 &&
+           host::monotonicMs() < deadline)
+        host::sleepMs(5);
+    ASSERT_EQ(access(ckpt.c_str(), F_OK), 0) << "no checkpoint appeared";
+    p.kill(SIGTERM);
+    const int st = p.waitBlocking();
+    p.closeFds();
+    ASSERT_TRUE(WIFEXITED(st));
+    EXPECT_EQ(WEXITSTATUS(st), host::ExitCheckpointed)
+        << "graceful interrupt must exit with the resumable code";
+
+    // The final emergency checkpoint must be resumable to completion.
+    host::Subprocess r = host::Subprocess::spawn(
+        {LINUX_BOOT_BIN, "--checkpoint-every", "20000", "--checkpoint-file",
+         ckpt, "--resume", ckpt});
+    r.closeStdin();
+    // Drain stdout so the child can't block on a full pipe.
+    std::uint8_t buf[4096];
+    while (true) {
+        if (host::pollReadable({r.stdoutFd()}, 1000).empty()) {
+            if (!r.running())
+                break;
+            continue;
+        }
+        if (host::readSome(r.stdoutFd(), buf, sizeof(buf)) == 0)
+            break;
+    }
+    const int rst = r.waitBlocking();
+    r.closeFds();
+    ASSERT_TRUE(WIFEXITED(rst));
+    EXPECT_EQ(WEXITSTATUS(rst), 0) << "resumed boot did not finish";
+}
+
+// ------------------------------------------------------ fastd end-to-end --
+
+std::map<std::string, service::ManifestRecord>
+loadManifest(const std::string &outDir)
+{
+    service::Manifest m(outDir + "/manifest.jsonl");
+    return m.records();
+}
+
+TEST(FastdEndToEnd, WorkersMatchInProcessBitForBitAndRerunSkips)
+{
+    const std::string dir = tmpDir("e2e");
+    const std::string jobs = dir + "/jobs.json";
+    writeFile(jobs,
+              "{\"batch\": \"t\", \"points\": ["
+              "{\"workload\": \"164.gzip\", \"scale\": 150},"
+              "{\"workload\": \"Sweep3D\", \"scale\": 80,"
+              " \"issue_width\": 4},"
+              "{\"workload\": \"164.gzip\", \"scale\": 150,"
+              " \"issue_width\": 16, \"label\": \"reject-me\"}]}");
+
+    const std::string base = std::string(FASTD_BIN) + " --jobs " + jobs;
+    ASSERT_EQ(runCmd(base + " --workers 2 --out " + dir + "/w2"), 0);
+    ASSERT_EQ(runCmd(base + " --workers 0 --out " + dir + "/w0"), 0);
+
+    auto w2 = loadManifest(dir + "/w2");
+    auto w0 = loadManifest(dir + "/w0");
+    ASSERT_EQ(w2.size(), 3u);
+    ASSERT_EQ(w0.size(), 3u);
+    unsigned done = 0, rejected = 0;
+    for (const auto &[fp, rec] : w2) {
+        ASSERT_TRUE(w0.count(fp)) << fp;
+        EXPECT_EQ(rec.status, w0[fp].status);
+        if (rec.status == "done") {
+            ++done;
+            EXPECT_EQ(rec.commitHash, w0[fp].commitHash)
+                << "sharded and in-process runs must be bit-identical";
+            EXPECT_EQ(rec.cycles, w0[fp].cycles);
+            EXPECT_EQ(rec.insts, w0[fp].insts);
+        } else {
+            ++rejected;
+            EXPECT_NE(rec.reason.find("FAB009"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(done, 2u);
+    EXPECT_EQ(rejected, 1u);
+
+    // Idempotent rerun: everything already terminal; manifest unchanged.
+    std::ifstream before(dir + "/w2/manifest.jsonl");
+    const std::string snap((std::istreambuf_iterator<char>(before)),
+                           std::istreambuf_iterator<char>());
+    ASSERT_EQ(runCmd(base + " --workers 2 --out " + dir + "/w2"), 0);
+    std::ifstream after(dir + "/w2/manifest.jsonl");
+    const std::string snap2((std::istreambuf_iterator<char>(after)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_EQ(snap, snap2) << "rerun must not re-execute terminal points";
+}
+
+TEST(FastdEndToEnd, CrashingPointIsQuarantinedOthersComplete)
+{
+    const std::string dir = tmpDir("quarantine");
+    const std::string jobs = dir + "/jobs.json";
+    writeFile(jobs,
+              "{\"points\": ["
+              "{\"workload\": \"164.gzip\", \"scale\": 150,"
+              " \"sabotage\": \"crash\", \"label\": \"crasher\"},"
+              "{\"workload\": \"Sweep3D\", \"scale\": 80}]}");
+    ASSERT_EQ(runCmd(std::string(FASTD_BIN) + " --jobs " + jobs +
+                     " --workers 2 --max-attempts 2 --out " + dir + "/out"),
+              0);
+    auto m = loadManifest(dir + "/out");
+    ASSERT_EQ(m.size(), 2u);
+    unsigned quarantined = 0, done = 0;
+    for (const auto &[fp, rec] : m) {
+        if (rec.status == "quarantined") {
+            ++quarantined;
+            EXPECT_EQ(rec.label, "crasher");
+            EXPECT_EQ(rec.attempts, 2u);
+            EXPECT_NE(rec.reason.find("crashed 2 times"),
+                      std::string::npos)
+                << rec.reason;
+        } else {
+            EXPECT_EQ(rec.status, "done");
+            ++done;
+        }
+    }
+    EXPECT_EQ(quarantined, 1u);
+    EXPECT_EQ(done, 1u);
+}
+
+TEST(FastdEndToEnd, HungWorkerIsDeadlineKilledAndQuarantined)
+{
+    const std::string dir = tmpDir("hang");
+    const std::string jobs = dir + "/jobs.json";
+    writeFile(jobs, "{\"points\": [{\"workload\": \"164.gzip\","
+                    " \"scale\": 150, \"sabotage\": \"hang\","
+                    " \"label\": \"hanger\"}]}");
+    ASSERT_EQ(runCmd(std::string(FASTD_BIN) + " --jobs " + jobs +
+                     " --workers 1 --max-attempts 1"
+                     " --heartbeat-timeout-ms 600 --out " +
+                     dir + "/out"),
+              0);
+    auto m = loadManifest(dir + "/out");
+    ASSERT_EQ(m.size(), 1u);
+    const service::ManifestRecord &rec = m.begin()->second;
+    EXPECT_EQ(rec.status, "quarantined");
+    EXPECT_NE(rec.reason.find("heartbeat timeout"), std::string::npos)
+        << rec.reason;
+}
+
+TEST(FastdEndToEnd, ChaosKillsRecoverBitIdentical)
+{
+    const std::string dir = tmpDir("chaos");
+    const std::string jobs = dir + "/jobs.json";
+    writeFile(jobs,
+              "{\"defaults\": {\"checkpoint_every\": 20000}, \"points\": ["
+              "{\"workload\": \"164.gzip\", \"scale\": 200},"
+              "{\"workload\": \"181.mcf\", \"scale\": 120}]}");
+    const std::string base = std::string(FASTD_BIN) + " --jobs " + jobs;
+    ASSERT_EQ(runCmd(base + " --workers 2 --chaos kill --chaos-window 4"
+                            " --chaos-seed 11 --out " +
+                     dir + "/chaos"),
+              0);
+    ASSERT_EQ(runCmd(base + " --workers 0 --out " + dir + "/ref"), 0);
+    auto c = loadManifest(dir + "/chaos");
+    auto r = loadManifest(dir + "/ref");
+    ASSERT_EQ(c.size(), 2u);
+    for (const auto &[fp, rec] : c) {
+        ASSERT_TRUE(r.count(fp));
+        EXPECT_EQ(rec.status, "done");
+        EXPECT_EQ(rec.commitHash, r[fp].commitHash)
+            << "chaos-killed shard diverged after resume";
+        EXPECT_EQ(rec.cycles, r[fp].cycles);
+    }
+}
+
+TEST(FastdEndToEnd, PoolDegradesToInProcessWhenWorkersKeepDying)
+{
+    const std::string dir = tmpDir("degrade");
+    const std::string jobs = dir + "/jobs.json";
+    writeFile(jobs,
+              "{\"points\": ["
+              "{\"workload\": \"164.gzip\", \"scale\": 150,"
+              " \"sabotage\": \"crash\", \"label\": \"crasher\"},"
+              "{\"workload\": \"Sweep3D\", \"scale\": 80},"
+              "{\"workload\": \"181.mcf\", \"scale\": 100}]}");
+    // Degrade after the very first restart: the crasher takes the pool
+    // down to zero and the clean points must finish on the in-process
+    // rung with the same results as anywhere else.
+    ASSERT_EQ(runCmd(std::string(FASTD_BIN) + " --jobs " + jobs +
+                     " --workers 2 --max-attempts 5"
+                     " --restarts-before-degrade 0 --out " +
+                     dir + "/out"),
+              0);
+    ASSERT_EQ(runCmd(std::string(FASTD_BIN) + " --jobs " + jobs +
+                     " --workers 0 --out " + dir + "/ref"),
+              0);
+    auto m = loadManifest(dir + "/out");
+    auto r = loadManifest(dir + "/ref");
+    ASSERT_EQ(m.size(), 3u);
+    unsigned done = 0, quarantined = 0;
+    for (const auto &[fp, rec] : m) {
+        if (rec.status == "done") {
+            ++done;
+            ASSERT_TRUE(r.count(fp));
+            if (r[fp].status == "done")
+                EXPECT_EQ(rec.commitHash, r[fp].commitHash);
+        } else {
+            EXPECT_EQ(rec.status, "quarantined");
+            EXPECT_EQ(rec.label, "crasher");
+            ++quarantined;
+        }
+    }
+    EXPECT_EQ(done, 2u);
+    EXPECT_EQ(quarantined, 1u);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * fastd: the crash-tolerant, process-sharded sweep daemon (DESIGN.md §15).
+ *
+ * Supervisor mode (default): read a job batch (JSON, --jobs FILE or
+ * stdin), statically reject unbuildable points, shard the rest across
+ * `--workers` child processes (re-invocations of this binary with
+ * --worker), supervise them (heartbeats, deadline kills, retry with
+ * backoff, quarantine, graceful degradation), and stream results into
+ * <out>/manifest.jsonl.  Reruns are idempotent: points already terminal
+ * in the manifest are skipped by fingerprint.
+ *
+ *   fastd --jobs sweep.json --workers 4 --out results/
+ *   fastd --print-suite-jobs 10 | fastd --workers 2 --out results/
+ *
+ * Worker mode (--worker) is internal: stdin/stdout speak the frame
+ * protocol and must be a supervisor's pipe pair.
+ *
+ * Chaos flags (--chaos kill|frame-corrupt) arm the seeded supervisor-side
+ * fault plan for soak testing; see tools/fastd_soak.py.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "host/subprocess.hh"
+#include "service/job.hh"
+#include "service/supervisor.hh"
+#include "service/worker.hh"
+
+using namespace fastsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fastd [--jobs FILE] [--workers N] [--out DIR]\n"
+        "             [--max-attempts N] [--heartbeat-timeout-ms MS]\n"
+        "             [--restarts-before-degrade N]\n"
+        "             [--chaos kill|frame-corrupt] [--chaos-seed S]\n"
+        "             [--chaos-window W] [--self PATH]\n"
+        "       fastd --print-suite-jobs SCALE_DIV\n"
+        "       fastd --worker --checkpoint-dir DIR   (internal)\n");
+    return 2;
+}
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool worker = false;
+    std::string ckptDir = ".";
+    std::string jobsPath;
+    service::SupervisorConfig cfg;
+    cfg.selfExe = argv[0];
+    int suiteScaleDiv = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--worker")
+            worker = true;
+        else if (a == "--checkpoint-dir" && i + 1 < argc)
+            ckptDir = argv[++i];
+        else if (a == "--jobs" && i + 1 < argc)
+            jobsPath = argv[++i];
+        else if (a == "--workers" && i + 1 < argc)
+            cfg.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (a == "--out" && i + 1 < argc)
+            cfg.outDir = argv[++i];
+        else if (a == "--max-attempts" && i + 1 < argc)
+            cfg.maxAttempts = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (a == "--heartbeat-timeout-ms" && i + 1 < argc)
+            cfg.heartbeatTimeoutMs =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (a == "--restarts-before-degrade" && i + 1 < argc)
+            cfg.restartsBeforeDegrade =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (a == "--chaos" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "kill")
+                cfg.chaosKill = true;
+            else if (mode == "frame-corrupt")
+                cfg.chaosFrameCorrupt = true;
+            else
+                return usage();
+        } else if (a == "--chaos-seed" && i + 1 < argc)
+            cfg.chaosSeed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (a == "--chaos-window" && i + 1 < argc)
+            cfg.chaosWindow =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (a == "--self" && i + 1 < argc)
+            cfg.selfExe = argv[++i];
+        else if (a == "--print-suite-jobs" && i + 1 < argc)
+            suiteScaleDiv = std::atoi(argv[++i]);
+        else
+            return usage();
+    }
+
+    try {
+        if (suiteScaleDiv >= 0) {
+            std::fputs(service::suiteJobsJson(
+                           static_cast<unsigned>(suiteScaleDiv))
+                           .c_str(),
+                       stdout);
+            return 0;
+        }
+
+        if (worker)
+            return service::workerMain(ckptDir);
+
+        std::string text;
+        if (!jobsPath.empty()) {
+            std::ifstream in(jobsPath);
+            if (!in)
+                fatal("fastd: cannot open jobs file %s", jobsPath.c_str());
+            text = readAll(in);
+        } else {
+            text = readAll(std::cin);
+        }
+        const service::JobBatch job = service::parseJobs(text);
+
+        const service::BatchSummary s = service::runBatch(job, cfg);
+        std::printf(
+            "fastd: batch '%s': %u points, %u done, %u skipped, "
+            "%u rejected, %u quarantined\n"
+            "fastd: %u restarts, %u deadline kills, %u preemptions, "
+            "%u degrade steps%s%s\n",
+            job.name.c_str(), s.total, s.done, s.skipped, s.rejected,
+            s.quarantined, s.restarts, s.deadlineKills, s.preemptions,
+            s.degradeEvents, s.ranInProcess ? ", ran in-process" : "",
+            s.interrupted ? ", INTERRUPTED" : "");
+        if (s.interrupted)
+            return host::ExitCheckpointed;
+        return s.allTerminal() ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fastd: fatal: %s\n", e.what());
+        return 1;
+    }
+}

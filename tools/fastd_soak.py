@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""fastd soak: the whole workload suite under random worker SIGKILLs.
+
+Drives the crash-tolerant sweep daemon (tools/fastd, DESIGN.md §15) the
+way CI's fastd-soak job does:
+
+ 1. emit the full 17-workload suite batch (``fastd --print-suite-jobs``)
+    plus two sabotaged points crafted to crash their worker;
+ 2. run it in-process sequentially (--workers 0) as the bit-identity
+    reference;
+ 3. run it sharded across worker processes while an external killer
+    SIGKILLs random workers (found by scanning /proc) mid-shard;
+ 4. assert the recovery contract:
+      - the daemon exits 0 with every point terminal
+        (done / rejected / quarantined);
+      - quarantines happen ONLY for the sabotaged points — external
+        SIGKILLs are preemptions and must never consume attempts;
+      - every done point is bit-identical to the sequential reference
+        (cycles, instructions, commit hash chain);
+      - a rerun of the same batch is idempotent (manifest byte-stable,
+        nothing re-executed);
+      - no torn checkpoint temp files (*.tmp.*) survive anywhere in the
+        output tree.
+
+stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+
+def load_manifest(out_dir):
+    """Parse manifest.jsonl into {fingerprint: record}."""
+    path = os.path.join(out_dir, "manifest.jsonl")
+    records = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            records[rec["fp"]] = rec
+    return records
+
+
+def find_workers(supervisor_pid, fastd_path):
+    """Scan /proc for live fastd --worker children of the supervisor."""
+    pids = []
+    base = os.path.basename(fastd_path)
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        pid = int(entry)
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as f:
+                argv = f.read().split(b"\0")
+            with open(f"/proc/{pid}/stat", "r") as f:
+                ppid = int(f.read().split(") ")[-1].split()[1])
+        except (OSError, ValueError, IndexError):
+            continue
+        if ppid != supervisor_pid:
+            continue
+        if argv and base in os.fsdecode(argv[0]) and b"--worker" in argv:
+            pids.append(pid)
+    return pids
+
+
+def killer(proc, fastd_path, rng, max_kills, interval_ms, counters):
+    """SIGKILL a random worker every interval until the budget runs out."""
+    while proc.poll() is None and counters["kills"] < max_kills:
+        time.sleep(interval_ms / 1000.0)
+        workers = find_workers(proc.pid, fastd_path)
+        if not workers:
+            continue
+        victim = rng.choice(workers)
+        try:
+            os.kill(victim, signal.SIGKILL)
+            counters["kills"] += 1
+            print(f"soak: SIGKILLed worker {victim} "
+                  f"({counters['kills']}/{max_kills})", flush=True)
+        except OSError:
+            pass  # raced its natural exit
+
+
+def run_fastd(fastd, args):
+    cmd = [fastd] + args
+    print("soak: run:", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, text=True, capture_output=True)
+
+
+def fail(msg):
+    print(f"soak: FAIL: {msg}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fastd", required=True, help="path to the fastd binary")
+    ap.add_argument("--out", default="fastd_soak_out", help="work directory")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--scale-div", type=int, default=20,
+                    help="suite scale divisor (larger = faster points)")
+    ap.add_argument("--kills", type=int, default=6,
+                    help="external SIGKILL budget")
+    ap.add_argument("--kill-interval-ms", type=int, default=400)
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    fastd = os.path.abspath(args.fastd)
+    out = os.path.abspath(args.out)
+    shutil.rmtree(out, ignore_errors=True)
+    os.makedirs(out)
+
+    # 1. The suite batch + two sabotaged points.
+    suite = run_fastd(fastd, ["--print-suite-jobs", str(args.scale_div)])
+    if suite.returncode != 0:
+        fail(f"--print-suite-jobs failed: {suite.stderr}")
+    batch = json.loads(suite.stdout)
+    batch["batch"] = "soak"
+    sabotage_labels = []
+    for i, wl in enumerate(["164.gzip", "Sweep3D"]):
+        label = f"sabotage-crash-{i}"
+        batch["points"].append({"workload": wl, "scale": 50 + i,
+                                "sabotage": "crash", "label": label})
+        sabotage_labels.append(label)
+    jobs = os.path.join(out, "jobs.json")
+    with open(jobs, "w", encoding="utf-8") as f:
+        json.dump(batch, f)
+    n_points = len(batch["points"])
+    print(f"soak: {n_points} points ({len(sabotage_labels)} sabotaged), "
+          f"scale divisor {args.scale_div}", flush=True)
+
+    # 2. Sequential reference.
+    ref_dir = os.path.join(out, "ref")
+    t0 = time.monotonic()
+    ref = run_fastd(fastd, ["--jobs", jobs, "--workers", "0",
+                            "--out", ref_dir])
+    print(ref.stdout, end="", flush=True)
+    if ref.returncode != 0:
+        fail(f"sequential reference failed:\n{ref.stderr}")
+    print(f"soak: sequential reference took {time.monotonic() - t0:.1f}s",
+          flush=True)
+    ref_recs = load_manifest(ref_dir)
+    if len(ref_recs) != n_points:
+        fail(f"reference manifest has {len(ref_recs)} records, "
+             f"expected {n_points}")
+
+    # 3. Sharded run under external SIGKILLs.
+    soak_dir = os.path.join(out, "soak")
+    rng = random.Random(args.seed)
+    counters = {"kills": 0}
+    proc = subprocess.Popen(
+        [fastd, "--jobs", jobs, "--workers", str(args.workers),
+         "--max-attempts", "3", "--out", soak_dir],
+        text=True, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    th = threading.Thread(target=killer,
+                          args=(proc, fastd, rng, args.kills,
+                                args.kill_interval_ms, counters))
+    th.start()
+    stdout, _ = proc.communicate()
+    th.join()
+    print(stdout, end="", flush=True)
+    print(f"soak: sharded run exit={proc.returncode}, "
+          f"{counters['kills']} external kills", flush=True)
+    if proc.returncode != 0:
+        fail("sharded soak run did not exit 0")
+
+    # 4a. Every point terminal; quarantines only for sabotage.
+    recs = load_manifest(soak_dir)
+    if len(recs) != n_points:
+        fail(f"soak manifest has {len(recs)} records, expected {n_points}")
+    for fp, rec in recs.items():
+        if rec["status"] not in ("done", "rejected", "quarantined"):
+            fail(f"point {rec['label']} not terminal: {rec['status']}")
+        if rec["status"] == "quarantined":
+            if rec["label"] not in sabotage_labels:
+                fail(f"non-sabotaged point quarantined: {rec['label']} "
+                     f"({rec['reason']}) — a preemption consumed attempts")
+    for label in sabotage_labels:
+        matches = [r for r in recs.values() if r["label"] == label]
+        if not matches or matches[0]["status"] != "quarantined":
+            fail(f"sabotaged point {label} was not quarantined")
+
+    # 4b. Bit-identity with the sequential reference.
+    for fp, rec in recs.items():
+        ref_rec = ref_recs.get(fp)
+        if ref_rec is None:
+            fail(f"fingerprint {fp} missing from the reference manifest")
+        if rec["status"] != ref_rec["status"]:
+            fail(f"{rec['label']}: status {rec['status']} vs reference "
+                 f"{ref_rec['status']}")
+        if rec["status"] == "done":
+            for key in ("cycles", "insts", "commit_hash"):
+                if rec.get(key) != ref_rec.get(key):
+                    fail(f"{rec['label']}: {key} diverged after recovery "
+                         f"({rec.get(key)} vs {ref_rec.get(key)})")
+    n_done = sum(1 for r in recs.values() if r["status"] == "done")
+    print(f"soak: bit-identity holds for all {n_done} done points",
+          flush=True)
+
+    # 4c. Idempotent rerun.
+    manifest_path = os.path.join(soak_dir, "manifest.jsonl")
+    with open(manifest_path, "rb") as f:
+        before = f.read()
+    rerun = run_fastd(fastd, ["--jobs", jobs, "--workers",
+                              str(args.workers), "--out", soak_dir])
+    if rerun.returncode != 0:
+        fail(f"idempotent rerun failed:\n{rerun.stderr}")
+    with open(manifest_path, "rb") as f:
+        after = f.read()
+    if before != after:
+        fail("rerun modified the manifest: idempotence broken")
+
+    # 4d. No torn checkpoint temp files anywhere in the output tree.
+    torn = []
+    for root, _dirs, files in os.walk(out):
+        torn += [os.path.join(root, f) for f in files if ".tmp." in f]
+    if torn:
+        fail(f"torn checkpoint temp files left behind: {torn}")
+
+    print(f"soak: PASS — {n_points} points terminal, "
+          f"{counters['kills']} kills absorbed, "
+          f"{n_done} done bit-identical, rerun idempotent, zero torn files",
+          flush=True)
+
+
+if __name__ == "__main__":
+    main()

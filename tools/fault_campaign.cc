@@ -29,14 +29,21 @@
  * (>= 200 runs) is the nightly configuration.
  */
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/random.hh"
 #include "fast/parallel.hh"
 #include "fast/simulator.hh"
+#include "host/subprocess.hh"
 #include "kernel/boot.hh"
 #include "workloads/workloads.hh"
 
@@ -254,6 +261,94 @@ deadlockRun(const CampaignWorkload &cw, const Reference &ref,
     return rec;
 }
 
+/**
+ * The process-level kill (--chaos): fork a child running a *checkpointed*
+ * simulation, SIGKILL it at a seeded random wall-clock moment, then
+ * resume from whatever snapshot survived (or from scratch if none did)
+ * and require bit-identity — cycles, instructions, commit-hash chain,
+ * console — against an uninterrupted run with the same checkpoint
+ * cadence.  This is tests/test_checkpoint.cc's KillAndResume with a real
+ * SIGKILL instead of an abandoned object: it additionally proves the
+ * atomic temp+rename write survives being killed *inside* the write.
+ */
+RunRecord
+chaosKillRun(const CampaignWorkload &cw, std::uint64_t seed)
+{
+    RunRecord rec;
+    rec.workload = cw.name;
+    rec.mode = "chaos";
+    rec.faultClass = inject::faultClassName(inject::FaultClass::WorkerKill);
+    rec.seed = seed;
+
+    constexpr Cycle kEvery = 40000;
+    char path[160], refPath[160];
+    std::snprintf(path, sizeof(path), "chaos_%s_%llu.fsnp", cw.name,
+                  static_cast<unsigned long long>(seed));
+    std::snprintf(refPath, sizeof(refPath), "chaos_%s_%llu_ref.fsnp",
+                  cw.name, static_cast<unsigned long long>(seed));
+    auto cfgFor = [](const char *p) {
+        fast::FastConfig cfg = baseConfig();
+        cfg.checkpointEvery = kEvery; // cadence is part of the experiment
+        cfg.checkpointPath = p;
+        return cfg;
+    };
+
+    try {
+        fast::FastSimulator ref(cfgFor(refPath));
+        ref.boot(imageFor(cw));
+        const fast::RunResult rr = ref.run(MaxCycles);
+        if (!rr.finished) {
+            rec.detail = "cadence reference did not finish";
+            return rec;
+        }
+
+        std::remove(path);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            // Victim child: run checkpointed to completion (if the kill
+            // lets it).  _exit keeps inherited stdio buffers unflushed.
+            fast::FastSimulator victim(cfgFor(path));
+            victim.boot(imageFor(cw));
+            victim.run(MaxCycles);
+            _exit(0);
+        }
+        if (pid < 0) {
+            rec.detail = "fork failed";
+            return rec;
+        }
+        Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+        host::sleepMs(20 + static_cast<unsigned>(rng.next() % 300));
+        ::kill(pid, SIGKILL);
+        int st = 0;
+        waitpid(pid, &st, 0);
+        rec.injected = WIFSIGNALED(st) ? 1 : 0; // 0: kill raced completion
+
+        fast::FastSimulator resumed(cfgFor(path));
+        resumed.boot(imageFor(cw));
+        if (access(path, F_OK) == 0)
+            resumed.resumeFrom(path); // else: killed pre-checkpoint
+        const fast::RunResult r = resumed.run(MaxCycles);
+
+        if (!r.finished)
+            rec.detail = "resumed run did not finish";
+        else if (static_cast<std::uint64_t>(r.cycles) != rr.cycles ||
+                 r.insts != rr.insts)
+            rec.detail = "cycle/inst divergence after SIGKILL resume";
+        else if (resumed.commitHash() != ref.commitHash())
+            rec.detail = "commit hash chain diverged after SIGKILL resume";
+        else if (resumed.fm().console().output() !=
+                 ref.fm().console().output())
+            rec.detail = "console output diverged after SIGKILL resume";
+        else
+            rec.pass = true;
+    } catch (const std::exception &e) {
+        rec.detail = std::string("exception: ") + e.what();
+    }
+    std::remove(path);
+    std::remove(refPath);
+    return rec;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -305,20 +400,23 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool chaosOnly = false;
     unsigned seeds = 6;
     std::string json = "fault_campaign.json";
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--smoke")
             smoke = true;
+        else if (a == "--chaos")
+            chaosOnly = true;
         else if (a == "--seeds" && i + 1 < argc)
             seeds = static_cast<unsigned>(std::atoi(argv[++i]));
         else if (a == "--json" && i + 1 < argc)
             json = argv[++i];
         else {
             std::fprintf(stderr,
-                         "usage: fault_campaign [--smoke] [--seeds N] "
-                         "[--json PATH]\n");
+                         "usage: fault_campaign [--smoke] [--chaos] "
+                         "[--seeds N] [--json PATH]\n");
             return 2;
         }
     }
@@ -346,6 +444,12 @@ main(int argc, char **argv)
 
     for (const CampaignWorkload &cw : wls) {
         std::printf("== %s (scale %u)\n", cw.name, cw.scale);
+        if (chaosOnly) {
+            // Process-level SIGKILL/resume runs only.
+            for (unsigned s = 0; s < seeds; ++s)
+                record(chaosKillRun(cw, 1 + s));
+            continue;
+        }
         const Reference ref = coupledReference(cw);
         if (!ref.finished) {
             std::fprintf(stderr, "FAIL %s: reference run did not finish\n",
@@ -361,6 +465,11 @@ main(int argc, char **argv)
         record(deadlockRun(cw, ref, 1, /*degrade=*/true));
         if (!smoke)
             record(deadlockRun(cw, ref, 2, /*degrade=*/false));
+        // The nightly matrix folds in the SIGKILL/resume chaos runs; the
+        // smoke tier keeps one for coverage of the atomic write path.
+        const unsigned chaosSeeds = smoke ? 1 : std::max(1u, seeds / 2);
+        for (unsigned s = 0; s < chaosSeeds; ++s)
+            record(chaosKillRun(cw, 1 + s));
     }
 
     writeJson(json, runs);
