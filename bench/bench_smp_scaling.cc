@@ -1,0 +1,199 @@
+/**
+ * @file
+ * SMP scaling sweep (DESIGN.md §16): the request/response service
+ * workload across cores {1, 2, 4} x tmThreads {1, 2, 4}.
+ *
+ * Two questions, answered side by side:
+ *
+ *  - target scaling: how does modeled work (committed instructions,
+ *    cycles to completion, requests served) grow with core count;
+ *  - host scaling: how much wall-clock the BSP timing-model threads
+ *    recover as the fabric widens (a 1-core fabric is one atomic group,
+ *    so extra threads idle; an N-core fabric exposes N+1 partitions).
+ *
+ * Determinism is a gate, not a statistic: for every core count the
+ * committed-instruction hash chain must be bit-identical across all
+ * tmThreads settings, or the bench aborts with exit 1 before reporting a
+ * number.  cores=1 runs the single-core FastSimulator (the SMP runner
+ * deliberately rejects numCores==1) with a server-like poll workload,
+ * so the 1-core row is an anchor, not a same-binary data point.
+ *
+ * Results land in BENCH_smp_scaling.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fast/simulator.hh"
+#include "fast/smp.hh"
+#include "kernel/boot.hh"
+#include "workloads/service.hh"
+#include "workloads/workloads.hh"
+
+namespace fastsim {
+namespace {
+
+constexpr Cycle MaxCycles = 400000000ull;
+
+struct Rec
+{
+    unsigned cores = 0;
+    unsigned threads = 0;
+    bool finished = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t commitHash = 0;
+    double wallMs = 0;
+    double kilocyclesPerSec = 0;
+    std::string serviceJson; //!< empty for the 1-core anchor
+};
+
+fast::FastConfig
+cfgFor(unsigned cores, unsigned threads)
+{
+    fast::FastConfig cfg;
+    cfg.numCores = cores;
+    cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
+    cfg.core.statsIntervalBb = 1u << 30; // sampling off
+    cfg.core.tmThreads = threads;
+    cfg.guardrails.hashCommits = true;
+    return cfg;
+}
+
+workloads::ServiceConfig
+svcFor(unsigned cores)
+{
+    workloads::ServiceConfig svc;
+    svc.loadGenerators = cores - 1;
+    svc.requestsPerGen = 16;
+    svc.serverWorkIters = 8;
+    return svc;
+}
+
+Rec
+runOne(unsigned cores, unsigned threads)
+{
+    Rec rec;
+    rec.cores = cores;
+    rec.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cores == 1) {
+        fast::FastSimulator sim(cfgFor(1, threads));
+        sim.boot(kernel::buildBootImage(
+            workloads::bootOptionsFor(workloads::suite().front(), 2000)));
+        const auto r = sim.run(MaxCycles);
+        rec.finished = r.finished;
+        rec.cycles = r.cycles;
+        rec.insts = r.insts;
+        rec.commitHash = sim.commitHash();
+    } else {
+        const auto svc = svcFor(cores);
+        fast::SmpSimulator sim(cfgFor(cores, threads));
+        workloads::ServiceMonitor monitor(svc, sim);
+        sim.boot(kernel::buildBootImage(workloads::serviceBootOptions(svc)));
+        const auto r = sim.run(MaxCycles);
+        rec.finished = r.finished;
+        rec.cycles = r.cycles;
+        rec.insts = r.insts;
+        rec.commitHash = sim.commitHash();
+        rec.serviceJson = monitor.report().json();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    rec.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rec.kilocyclesPerSec =
+        rec.wallMs > 0 ? static_cast<double>(rec.cycles) / rec.wallMs : 0;
+    return rec;
+}
+
+} // namespace
+} // namespace fastsim
+
+int
+main()
+{
+    using namespace fastsim;
+
+    const unsigned kCores[] = {1, 2, 4};
+    const unsigned kThreads[] = {1, 2, 4};
+
+    std::vector<Rec> recs;
+    std::printf("%-6s %-9s %-9s %-12s %-12s %-10s %s\n", "cores",
+                "tmThreads", "finished", "cycles", "insts", "wall_ms",
+                "kcycles/s");
+    for (unsigned cores : kCores) {
+        for (unsigned threads : kThreads) {
+            Rec r = runOne(cores, threads);
+            std::printf("%-6u %-9u %-9s %-12llu %-12llu %-10.1f %.1f\n",
+                        r.cores, r.threads, r.finished ? "yes" : "NO",
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(r.insts), r.wallMs,
+                        r.kilocyclesPerSec);
+            if (!r.finished) {
+                std::fprintf(stderr,
+                             "bench_smp_scaling: cores=%u tmThreads=%u did "
+                             "not finish within %llu cycles\n",
+                             cores, threads,
+                             static_cast<unsigned long long>(MaxCycles));
+                return 1;
+            }
+            recs.push_back(std::move(r));
+        }
+    }
+
+    // Hash-parity gate: per core count, every tmThreads setting must
+    // produce the same commit chain, cycle count and instruction count.
+    for (unsigned cores : kCores) {
+        const Rec *ref = nullptr;
+        for (const Rec &r : recs) {
+            if (r.cores != cores)
+                continue;
+            if (!ref) {
+                ref = &r;
+                continue;
+            }
+            if (r.commitHash != ref->commitHash || r.cycles != ref->cycles ||
+                r.insts != ref->insts) {
+                std::fprintf(
+                    stderr,
+                    "bench_smp_scaling: DETERMINISM VIOLATION at cores=%u: "
+                    "tmThreads=%u {hash=%016llx cycles=%llu} vs "
+                    "tmThreads=%u {hash=%016llx cycles=%llu}\n",
+                    cores, r.threads,
+                    static_cast<unsigned long long>(r.commitHash),
+                    static_cast<unsigned long long>(r.cycles), ref->threads,
+                    static_cast<unsigned long long>(ref->commitHash),
+                    static_cast<unsigned long long>(ref->cycles));
+                return 1;
+            }
+        }
+    }
+    std::printf("hash parity: OK (per-core-count chains identical across "
+                "tmThreads)\n");
+
+    if (std::FILE *f = std::fopen("BENCH_smp_scaling.json", "w")) {
+        std::fprintf(f, "{\"bench\":\"smp_scaling\",\"hash_parity\":true,"
+                        "\"runs\":[");
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            const Rec &r = recs[i];
+            std::fprintf(
+                f,
+                "%s{\"cores\":%u,\"tm_threads\":%u,\"cycles\":%llu,"
+                "\"insts\":%llu,\"commit_hash\":\"%016llx\","
+                "\"wall_ms\":%.2f,\"kcycles_per_sec\":%.2f",
+                i ? "," : "", r.cores, r.threads,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.commitHash), r.wallMs,
+                r.kilocyclesPerSec);
+            if (!r.serviceJson.empty())
+                std::fprintf(f, ",\"service\":%s", r.serviceJson.c_str());
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_smp_scaling.json\n");
+    }
+    return 0;
+}

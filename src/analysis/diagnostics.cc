@@ -95,6 +95,8 @@ diagnosticCatalog()
                    "edge, or a sync domain split across partitions)"},
         {"FAB012", "BSP partition advisory (fabric collapsed below the "
                    "requested threads, or load-imbalanced partitions)"},
+        {"FAB013", "coherence edge must be latency >= 1 and unbounded "
+                   "(snoop / shared-L2 Connectors)"},
         {"COD001", "overlapping opcode encodings"},
         {"COD002", "opcode byte shadowed by a prefix/escape byte"},
         {"COD003", "encoding exceeds the 15-byte architectural limit"},

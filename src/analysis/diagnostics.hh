@@ -138,7 +138,7 @@ struct CatalogEntry
  * model-check job, dashboards) can gate on the version instead of
  * sniffing fields.
  */
-constexpr unsigned kCatalogVersion = 8;
+constexpr unsigned kCatalogVersion = 9;
 
 /**
  * Every diagnostic ID the verification tooling can emit, in catalog
@@ -163,7 +163,7 @@ struct PassRecord
  * Stable machine-readable report.  Schema (append-only; breaking changes
  * bump kCatalogVersion):
  *
- *   {"catalog_version":8,
+ *   {"catalog_version":9,
  *    "passes":[{"name":"fabric","runtime_us":N,"findings":N},...],
  *    "errors":N,"warnings":N,
  *    "diagnostics":[{"id","severity","where","message"},...]}

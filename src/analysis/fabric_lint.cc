@@ -198,6 +198,42 @@ lintFabric(const FabricGraph &g, Report &report)
         }
     }
 
+    // FAB013: coherence edges — the per-core snoop Connectors and every
+    // edge touching the shared L2 ("smp.l2") — must be latency >= 1 and
+    // unbounded.  A zero-latency coherence edge would make a remote
+    // core's invalidate visible in the cycle it was produced (an illegal
+    // cross-partition cut, FAB011, but diagnosed here even on a
+    // sequential run); a bounded one could drop an invalidate under
+    // load, silently breaking the MESI-lite directory's only ordering
+    // guarantee.  Vacuous on single-core fabrics (no such edges exist).
+    for (const FabricEdge &e : g.edges) {
+        const auto moduleName = [&g](int idx) -> const std::string * {
+            if (idx < 0 || static_cast<std::size_t>(idx) >= g.modules.size())
+                return nullptr;
+            return &g.modules[static_cast<std::size_t>(idx)].name;
+        };
+        const std::string *prod = moduleName(e.producer);
+        const std::string *cons = moduleName(e.consumer);
+        const bool coherence =
+            e.name.find("snoop") != std::string::npos ||
+            (prod && *prod == "smp.l2") || (cons && *cons == "smp.l2");
+        if (!coherence)
+            continue;
+        if (e.params.minLatency < 1)
+            report.error("FAB013", e.name,
+                         "coherence edge with minLatency 0: a remote "
+                         "invalidate/fill would be visible in its push "
+                         "cycle, before the BSP barrier publishes it "
+                         "(give the edge minLatency >= 1)");
+        if (e.params.maxTransactions != 0)
+            report.error("FAB013", e.name,
+                         "bounded coherence edge (maxTransactions=" +
+                             std::to_string(e.params.maxTransactions) +
+                             "): an invalidate dropped under load breaks "
+                             "the directory's ordering guarantee (leave "
+                             "coherence edges unbounded)");
+    }
+
     // FAB005: counter names must be disjoint across modules — the
     // registry's aggregateStats() refreshes an aggregate view by plain
     // assignment, so a collision silently drops one module's counter.

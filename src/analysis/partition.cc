@@ -255,5 +255,36 @@ lintPartition(const FabricGraph &g, const PartitionPlan &plan,
     }
 }
 
+std::string
+partitionLabel(const FabricGraph &g, const PartitionPlan &plan,
+               std::size_t p)
+{
+    // Map each module name to its slice tag: "cN." -> "core N",
+    // "smp." -> "shared", anything else -> no tag (single-core fabric).
+    std::vector<std::string> tags;
+    for (const std::size_t mi : plan.partitions.at(p)) {
+        const std::string &name = g.modules[mi].name;
+        std::string tag;
+        if (name.rfind("smp.", 0) == 0) {
+            tag = "shared";
+        } else if (name.size() >= 3 && name[0] == 'c' &&
+                   name[1] >= '0' && name[1] <= '9') {
+            std::size_t i = 1;
+            while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+                ++i;
+            if (i < name.size() && name[i] == '.')
+                tag = "core " + name.substr(1, i - 1);
+        }
+        if (tag.empty())
+            return ""; // unprefixed module: no slice structure to name
+        if (std::find(tags.begin(), tags.end(), tag) == tags.end())
+            tags.push_back(tag);
+    }
+    std::string out;
+    for (const std::string &t : tags)
+        out += (out.empty() ? "" : "+") + t;
+    return out;
+}
+
 } // namespace analysis
 } // namespace fastsim

@@ -112,6 +112,18 @@ void lintPartition(const FabricGraph &g, const PartitionPlan &plan,
 void lintPartition(const FabricGraph &g, const PartitionPlan &plan,
                    Report &report);
 
+/**
+ * Human-readable label for partition `p`, derived from the module name
+ * prefixes the SMP fabric uses: "core N" when every module in the
+ * partition belongs to core N's slice (names prefixed "cN."), "shared"
+ * when every module is shared fabric ("smp." prefix), a "+"-joined
+ * combination when a partition spans slices, and "" for fabrics that
+ * carry no prefixes (the single-core Core).  fastlint --partition shows
+ * the label next to the partition id so an SMP plan reads as cores.
+ */
+std::string partitionLabel(const FabricGraph &g, const PartitionPlan &plan,
+                           std::size_t p);
+
 } // namespace analysis
 } // namespace fastsim
 

@@ -45,11 +45,24 @@ struct VerifyOptions
 void verify(const tm::Core &core, const VerifyOptions &opts, Report &report);
 
 /**
+ * Same passes over an arbitrary fabric registry — the entry point the
+ * multi-core facade (tm::SmpCore) uses, since its fabric is not a
+ * tm::Core.  `cost` feeds FAB006 when opts.cost is set.
+ */
+void verify(const tm::ModuleRegistry &reg, const tm::CoreConfig &cfg,
+            const tm::FpgaCost &cost, const VerifyOptions &opts,
+            Report &report);
+
+/**
  * Construction-time structural and configuration check (FAB001..FAB005,
- * FAB007..FAB009).  Throws FatalError
+ * FAB007..FAB009, FAB013).  Throws FatalError
  * (via fatal()) listing every finding if the fabric has errors.
  */
 void verifyFabricOrFatal(const tm::Core &core);
+
+/** Registry-based variant (the SMP simulator's construction hook). */
+void verifyFabricOrFatal(const tm::ModuleRegistry &reg,
+                         const tm::CoreConfig &cfg);
 
 /**
  * Construction-time validation of the parallel tuning knobs (FAB010).

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "fast/protocol.hh"
+#include "fm/smp.hh"
+#include "tm/smp_core.hh"
 
 namespace fastsim {
 namespace fast {
@@ -90,6 +92,66 @@ Guardrails::diagnose(const fm::FuncModel &fm, const tm::Core &core,
     return d;
 }
 
+std::string
+Guardrails::diagnoseSmp(const fm::SmpFuncModel &fm, const tm::SmpCore &smp,
+                        const std::vector<std::unique_ptr<tm::TraceBuffer>>
+                            &tbs,
+                        const ProtocolEngine &engine) const
+{
+    char line[256];
+    std::string d = "no-progress watchdog: SMP structured diagnosis\n";
+    std::snprintf(line, sizeof(line),
+                  "  polls without commit: %llu (budget %llu)  cycle=%llu "
+                  "cores=%u\n",
+                  static_cast<unsigned long long>(pollsSinceProgress_),
+                  static_cast<unsigned long long>(cfg_.watchdogBudget),
+                  static_cast<unsigned long long>(smp.cycle()),
+                  smp.numCores());
+    d += line;
+    for (unsigned c = 0; c < smp.numCores(); ++c) {
+        const fm::FuncModel &f = fm.core(c);
+        std::snprintf(
+            line, sizeof(line),
+            "  core %u tm: committed=%llu nextFetchIn=%llu epoch=%llu "
+            "drained=%d drainReq=%d awaitResteer=%d serialize=%d "
+            "mispredDrain=%d rob=%zu\n",
+            c, static_cast<unsigned long long>(smp.committedInsts(c)),
+            static_cast<unsigned long long>(smp.sliceNextFetchIn(c)),
+            static_cast<unsigned long long>(smp.expectedEpoch(c)),
+            smp.sliceDrained(c) ? 1 : 0, smp.drainRequested(c) ? 1 : 0,
+            smp.awaitingResteer(c) ? 1 : 0, smp.serializeInFlight(c) ? 1 : 0,
+            smp.drainForMispredict(c) ? 1 : 0, smp.robInsts(c));
+        d += line;
+        std::snprintf(
+            line, sizeof(line),
+            "  core %u fm: nextIn=%llu lastCommitted=%llu epoch=%llu "
+            "wrongPath=%d halted=%d undoDepth=%zu\n",
+            c, static_cast<unsigned long long>(f.nextIn()),
+            static_cast<unsigned long long>(f.lastCommitted()),
+            static_cast<unsigned long long>(f.epoch()),
+            f.onWrongPath() ? 1 : 0, f.halted() ? 1 : 0, f.undoDepth());
+        d += line;
+        std::snprintf(line, sizeof(line),
+                      "  core %u tb: size=%zu unfetched=%zu full=%d  "
+                      "coherence tokens in flight=%zu\n",
+                      c, tbs[c]->size(), tbs[c]->unfetched(),
+                      tbs[c]->full() ? 1 : 0,
+                      smp.coherenceTokensInFlight(c));
+        d += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  protocol engine (core 0 devices): injectionPending=%d\n",
+                  engine.injectionPending() ? 1 : 0);
+    d += line;
+    d += "  connector occupancies:\n";
+    for (const tm::ConnectorBase *c : smp.registry().connectors()) {
+        std::snprintf(line, sizeof(line), "    %-24s size=%zu\n",
+                      c->name().c_str(), c->size());
+        d += line;
+    }
+    return d;
+}
+
 bool
 Guardrails::crossCheckDue(std::uint64_t committed_insts) const
 {
@@ -139,6 +201,49 @@ Guardrails::crossCheck(const fm::FuncModel &fm, const tm::Core &core)
     mix(core.committedInsts());
 
     nextCrossCheckAt_ = core.committedInsts() + cfg_.crossCheckEveryCommits;
+    ++stCrossChecks_;
+}
+
+void
+Guardrails::crossCheckSmp(const fm::SmpFuncModel &fm, const tm::SmpCore &smp)
+{
+    auto mix = [this](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            crossHash_ ^= (v >> (8 * i)) & 0xFF;
+            crossHash_ *= 1099511628211ull;
+        }
+    };
+    for (unsigned c = 0; c < smp.numCores(); ++c) {
+        const fm::FuncModel &f = fm.core(c);
+        if (f.epoch() != smp.expectedEpoch(c))
+            fatal("cross-check: core %u FM epoch %llu != TM expected epoch "
+                  "%llu (committed=%llu nextFetchIn=%llu fmNextIn=%llu)",
+                  c, static_cast<unsigned long long>(f.epoch()),
+                  static_cast<unsigned long long>(smp.expectedEpoch(c)),
+                  static_cast<unsigned long long>(smp.committedInsts(c)),
+                  static_cast<unsigned long long>(smp.sliceNextFetchIn(c)),
+                  static_cast<unsigned long long>(f.nextIn()));
+        if (!(f.lastCommitted() < smp.sliceNextFetchIn(c) &&
+              smp.sliceNextFetchIn(c) <= f.nextIn() + 1))
+            fatal("cross-check: core %u boundary ordering violated "
+                  "(fmLastCommitted=%llu < tmNextFetchIn=%llu <= "
+                  "fmNextIn+1=%llu)",
+                  c, static_cast<unsigned long long>(f.lastCommitted()),
+                  static_cast<unsigned long long>(smp.sliceNextFetchIn(c)),
+                  static_cast<unsigned long long>(f.nextIn() + 1));
+
+        const fm::ArchState st = f.committedArchState();
+        for (std::uint32_t v : st.gpr)
+            mix(v);
+        mix(st.flags);
+        mix(st.pc);
+        for (std::uint32_t v : st.ctrl)
+            mix(v);
+        mix(f.speculativeMemChecksum());
+        mix(smp.committedInsts(c));
+    }
+    nextCrossCheckAt_ =
+        smp.committedInstsTotal() + cfg_.crossCheckEveryCommits;
     ++stCrossChecks_;
 }
 

@@ -18,7 +18,9 @@
 #define FASTSIM_FAST_GUARDRAILS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "base/serialize.hh"
 #include "base/statistics.hh"
@@ -29,6 +31,12 @@
 #include "tm/trace_buffer.hh"
 
 namespace fastsim {
+namespace fm {
+class SmpFuncModel;
+}
+namespace tm {
+class SmpCore;
+}
 namespace fast {
 
 class ProtocolEngine;
@@ -124,6 +132,18 @@ class Guardrails
                          const ProtocolEngine &engine,
                          const std::string &runner_state = {}) const;
 
+    /**
+     * The SMP runner's structured diagnosis: one block per core with that
+     * core's protocol flags (drain/resteer/serialize), FM speculation
+     * state, trace-ring occupancy and in-flight coherence tokens, then
+     * the shared fabric's Connector occupancies — so a wedged N-core run
+     * names the core (and the coherence edge) that stopped moving.
+     */
+    std::string
+    diagnoseSmp(const fm::SmpFuncModel &fm, const tm::SmpCore &smp,
+                const std::vector<std::unique_ptr<tm::TraceBuffer>> &tbs,
+                const ProtocolEngine &engine) const;
+
     const std::string &
     lastDiagnosis() const FASTSIM_REQUIRES(ownerRole)
     {
@@ -151,6 +171,11 @@ class Guardrails
      * disagree.
      */
     void crossCheck(const fm::FuncModel &fm, const tm::Core &core)
+        FASTSIM_REQUIRES(ownerRole);
+
+    /** Per-core FM/TM lockstep invariants + architectural fold for the
+     *  SMP runner (same contract as crossCheck, core by core in order). */
+    void crossCheckSmp(const fm::SmpFuncModel &fm, const tm::SmpCore &smp)
         FASTSIM_REQUIRES(ownerRole);
 
     std::uint64_t crossCheckHash() const { return crossHash_; }

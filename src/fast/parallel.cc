@@ -31,6 +31,11 @@ ParallelFastSimulator::ParallelFastSimulator(const FastConfig &cfg)
       stCmdBatches_(stats_.handle("cmd_commit_batches")),
       stBatchedCommits_(stats_.handle("cmd_batched_commits"))
 {
+    if (cfg.numCores != 1)
+        fatal("ParallelFastSimulator models exactly one core (numCores=%u); "
+              "multi-core configurations run on fast::SmpSimulator, whose "
+              "TM-side parallelism is the BSP scheduler (tmThreads)",
+              cfg.numCores);
     analysis::verifyParallelTuningOrFatal(cfg.tuning, cfg.core.robEntries);
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false;

@@ -168,7 +168,10 @@ struct Injection
 class ProtocolEngine
 {
   public:
-    ProtocolEngine(tm::Core &core, Cycle disk_latency_cycles)
+    /** `core` is the drain/resteer face of the TM this engine paces:
+     *  the single-core tm::Core, or one per-core slice of the SMP
+     *  fabric (tm/smp_core.hh). */
+    ProtocolEngine(tm::CoreDrainPort &core, Cycle disk_latency_cycles)
         : core_(core), diskLatency_(disk_latency_cycles)
     {
     }
@@ -240,7 +243,7 @@ class ProtocolEngine
     }
 
   private:
-    tm::Core &core_;
+    tm::CoreDrainPort &core_;
     Cycle diskLatency_;
 
     bool timerArmed_ = false;

@@ -16,6 +16,10 @@ FastSimulator::FastSimulator(const FastConfig &cfg)
       stats_("fast"), guardrails_(cfg.guardrails, stats_),
       sizer_(cfg.tuning.adaptive, stats_)
 {
+    if (cfg.numCores != 1)
+        fatal("FastSimulator models exactly one core (numCores=%u); "
+              "multi-core configurations run on fast::SmpSimulator",
+              cfg.numCores);
     analysis::verifyParallelTuningOrFatal(cfg.tuning, cfg.core.robEntries);
     fm::FmConfig fm_cfg = cfg.fm;
     fm_cfg.fmDrivenDevices = false; // the timing model owns device timing

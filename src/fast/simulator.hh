@@ -43,6 +43,15 @@ struct FastConfig
     std::size_t traceBufferEntries = 256;
 
     /**
+     * Number of simulated FX86 cores.  1 (the default) selects the
+     * single-core runners (FastSimulator / ParallelFastSimulator) and is
+     * bit-identical to the pre-SMP simulator; N >= 2 is served by
+     * fast::SmpSimulator (smp.hh): per-core pipelines and L1s joined to
+     * a shared L2/memory with a MESI-lite directory (DESIGN.md §16).
+     */
+    unsigned numCores = 1;
+
+    /**
      * Functional-model run-ahead: instructions the FM may execute per
      * target cycle (the FM is not in lock-step with the TM, paper §2).
      */
@@ -112,6 +121,15 @@ struct FastConfig
     Cycle checkpointEvery = 0;
     std::string checkpointPath = "fastsim.ckpt";
 };
+
+/**
+ * The configuration fingerprint embedded in snapshot headers, shared by
+ * every runner (fast/snapshot.cc): resuming under a configuration with a
+ * different fingerprint is rejected.  Covers every knob that shapes
+ * target-visible state — including numCores — but not tmThreads (the BSP
+ * schedule is thread-count-invariant).
+ */
+std::uint64_t configFingerprint(const FastConfig &cfg);
 
 /** Aggregate results of a run. */
 struct RunResult

@@ -1,0 +1,423 @@
+#include "fast/smp.hh"
+
+#include "analysis/verify.hh"
+#include "base/logging.hh"
+#include "fast/snapshot_io.hh"
+#include "tm/bsp.hh"
+
+namespace fastsim {
+namespace fast {
+
+using fm::StepResult;
+using tm::TmEvent;
+
+SmpSimulator::SmpSimulator(const FastConfig &cfg)
+    : cfg_(cfg), stats_("fast_smp"), guardrails_(cfg.guardrails, stats_)
+{
+    if (cfg.numCores < 2 || cfg.numCores > 32)
+        fatal("SmpSimulator models 2..32 cores (numCores=%u); single-core "
+              "configurations run on fast::FastSimulator", cfg.numCores);
+    analysis::verifyParallelTuningOrFatal(cfg.tuning, cfg.core.robEntries);
+    if (cfg.faults.any())
+        fatal("fault injection is not supported on the SMP runner "
+              "(numCores=%u): the plan's deterministic draw sequence is "
+              "defined against a single FM/TM stream", cfg.numCores);
+
+    fm::FmConfig fm_cfg = cfg.fm;
+    fm_cfg.fmDrivenDevices = false; // the timing model owns device timing
+    fm_ = std::make_unique<fm::SmpFuncModel>(fm_cfg, cfg.numCores);
+
+    std::vector<tm::TraceBuffer *> tb_ptrs;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        tbs_.push_back(std::make_unique<tm::TraceBuffer>(
+            cfg.traceBufferEntries,
+            cfg.tuning.adaptive.enabled ? cfg.tuning.adaptive.maxEntries
+                                        : 0));
+        tb_ptrs.push_back(tbs_.back().get());
+    }
+    core_ = std::make_unique<tm::SmpCore>(cfg.core, tb_ptrs);
+    if (cfg.verifyFabric)
+        analysis::verifyFabricOrFatal(core_->registry(), cfg.core);
+
+    // One engine, bound to core 0's drain port: the shared platform
+    // devices interrupt the boot core only (class comment).
+    engine_ = std::make_unique<ProtocolEngine>(core_->drainPort(0),
+                                               cfg.diskLatencyCycles);
+    boundaryOk_ = [this](InstNum in) {
+        return fm_->core(0).lastCommitted() + 1 == in;
+    };
+
+    // Per-core link/command channels; counters with equal names share one
+    // slot in stats_, so the fault-free hot path aggregates across cores.
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        links_.push_back(std::make_unique<inject::TraceLink>(
+            nullptr, cfg.linkRetry, stats_));
+        cmds_.push_back(
+            std::make_unique<CmdChannel>(nullptr, cfg.linkRetry, stats_));
+        sizers_.push_back(
+            std::make_unique<AdaptiveTraceSizer>(cfg.tuning.adaptive,
+                                                 stats_));
+    }
+    mirror_.configure(cfg.fm.diskBlocks);
+    fmStalledWrongPath_.assign(cfg.numCores, 0);
+
+    // Commit hooks fire on whichever BSP worker ticks the slice's
+    // partition, and different cores commit concurrently under
+    // tmThreads > 1 — so the hook only buffers into the core's private
+    // vector.  drainCommits() folds the buffers core-major on the driver
+    // thread after every tick, which makes the commit hash chain (and
+    // every observer) invariant under the tmThreads setting.
+    pendingCommits_.resize(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        core_->setOnCommit(c, [this, c](const fm::TraceEntry &e) {
+            pendingCommits_[c].push_back(e);
+        });
+}
+
+void
+SmpSimulator::drainCommits()
+{
+    guardrails_.ownerRole.assertHeld();
+    for (unsigned c = 0; c < numCores(); ++c) {
+        for (const fm::TraceEntry &e : pendingCommits_[c]) {
+            if (cfg_.guardrails.hashCommits)
+                guardrails_.onCommitEntry(e);
+            if (cfg_.deterministicDevices && c == 0)
+                mirror_.onCommitEntry(e);
+            if (onCommitEntry)
+                onCommitEntry(c, e);
+        }
+        pendingCommits_[c].clear();
+    }
+}
+
+SmpSimulator::~SmpSimulator() = default;
+
+void
+SmpSimulator::boot(const kernel::BootImage &image)
+{
+    kernel::loadAndReset(fm_->core(0), image);
+    const auto it = image.symbols.find("smp_secondary_entry");
+    if (it == image.symbols.end())
+        fatal("SMP boot: the image has no smp_secondary_entry symbol "
+              "(build it with BuildOptions::smpCores = %u)", numCores());
+    for (unsigned c = 1; c < numCores(); ++c)
+        fm_->core(c).reset(it->second);
+}
+
+void
+SmpSimulator::produceEntries()
+{
+    // Deterministic round-robin at instruction granularity: step core 0,
+    // 1, ..., N-1, then repeat, up to fmStepsPerCycle rounds.  Stalled
+    // cores (ring full, wrong-path fault, halted) skip their slot; the
+    // interleave is a pure function of target state.
+    for (unsigned k = 0; k < cfg_.fmStepsPerCycle; ++k) {
+        for (unsigned c = 0; c < numCores(); ++c) {
+            if (fmStalledWrongPath_[c])
+                continue;
+            if (tbs_[c]->full()) {
+                ++stats_.counter("fm_stall_tb_full");
+                continue;
+            }
+            StepResult r = fm_->activate(c).step();
+            switch (r.kind) {
+              case StepResult::Kind::Ok:
+                links_[c]->deliver(*tbs_[c], r.entry);
+                break;
+              case StepResult::Kind::Halted:
+                ++stats_.counter("fm_halted_polls");
+                break;
+              case StepResult::Kind::WrongPathStall:
+                fmStalledWrongPath_[c] = 1;
+                break;
+            }
+        }
+    }
+}
+
+void
+SmpSimulator::handleEvents()
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        cmds_[c]->ownerRole.assertHeld();
+        for (const TmEvent &e : core_->drainEvents(c)) {
+            if (onEvent)
+                onEvent(c, e);
+            if (e.kind == TmEvent::Kind::WrongPath) {
+                // SMP keeps every FM on the architectural path: a
+                // wrong-path excursion's speculative stores would leak
+                // through the shared physical memory into the other
+                // cores' functional models, and a later rollback cannot
+                // revoke what another core already consumed.  Roll back
+                // to the mispredict point restoring its *natural* PC
+                // instead of redirecting; the TM still pays the full
+                // resteer penalty as fetch bubbles (class comment).
+                if (!tbs_[c]->rewindTo(e.in))
+                    fatal("smp: TraceBuffer::rewindTo(%llu) failed "
+                          "suppressing a wrong-path resteer on core %u",
+                          (unsigned long long)e.in, c);
+                fm_->activate(c).rollbackTo(e.in);
+                fmStalledWrongPath_[c] = 0;
+                ++stats_.counter("wrong_path_suppressed");
+                continue;
+            }
+            if (cmds_[c]->apply(e, fm_->activate(c), *tbs_[c], stats_))
+                fmStalledWrongPath_[c] = 0;
+            if (e.kind == TmEvent::Kind::Resolve)
+                sizers_[c]->noteEpochBoundary(e.in, *tbs_[c]);
+        }
+    }
+}
+
+void
+SmpSimulator::deviceTiming()
+{
+    cmds_[0]->ownerRole.assertHeld();
+    DeviceView dev;
+    if (cfg_.deterministicDevices) {
+        dev = mirror_.view();
+    } else {
+        fm::FuncModel &boot_core = fm_->core(0);
+        dev.timerEnabled = boot_core.timer().enabled();
+        dev.timerInterval = boot_core.timer().interval();
+        dev.diskBusy = boot_core.disk().busy();
+    }
+
+    const Injection inj =
+        engine_->deviceTick(dev, core_->cycle(), /*allow_disk_schedule=*/true,
+                            /*allow_inject=*/true, boundaryOk_);
+    if (inj) {
+        if (inj.kind == Injection::Kind::Disk)
+            mirror_.onDiskInjection();
+        if (cmds_[0]->apply(inj.toEvent(), fm_->activate(0), *tbs_[0],
+                            stats_))
+            fmStalledWrongPath_[0] = 0;
+        sizers_[0]->noteEpochBoundary(inj.in, *tbs_[0]);
+    }
+}
+
+void
+SmpSimulator::runGuardrails()
+{
+    guardrails_.ownerRole.assertHeld();
+    if (guardrails_.crossCheckDue(core_->committedInstsTotal()))
+        guardrails_.crossCheckSmp(*fm_, *core_);
+    if (guardrails_.notePoll(core_->committedInstsTotal())) {
+        guardrails_.noteDiagnosis(
+            guardrails_.diagnoseSmp(*fm_, *core_, tbs_, *engine_));
+        if (cfg_.guardrails.watchdogFatal)
+            fatal("%s", guardrails_.lastDiagnosis().c_str());
+        warn("%s", guardrails_.lastDiagnosis().c_str());
+    }
+}
+
+void
+SmpSimulator::tickOnce()
+{
+    produceEntries();
+    core_->tick();
+    drainCommits();
+    handleEvents();
+    deviceTiming();
+    runGuardrails();
+}
+
+bool
+SmpSimulator::finished() const
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const fm::FuncModel &f = fm_->core(c);
+        if (!f.halted() || (f.state().flags & isa::FlagI) ||
+            tbs_[c]->unfetched() != 0 || !core_->sliceDrained(c))
+            return false;
+    }
+    return true;
+}
+
+RunResult
+SmpSimulator::run(Cycle max_cycles)
+{
+    RunResult r;
+    if (cfg_.checkpointEvery != 0 && nextCheckpointAt_ == 0)
+        nextCheckpointAt_ = core_->cycle() + cfg_.checkpointEvery;
+    while (core_->cycle() < max_cycles) {
+        tickOnce();
+        if (finished()) {
+            r.finished = true;
+            break;
+        }
+        if (cfg_.checkpointEvery != 0 &&
+            core_->cycle() >= nextCheckpointAt_) {
+            checkpointDrainPending_ = true;
+            for (unsigned c = 0; c < numCores(); ++c)
+                core_->drainPort(c).requestDrain();
+        }
+        if (checkpointDrainPending_ && checkpointReady()) {
+            ++stats_.counter("checkpoints_taken");
+            saveSnapshot(cfg_.checkpointPath);
+            checkpointDrainPending_ = false;
+            nextCheckpointAt_ = core_->cycle() + cfg_.checkpointEvery;
+        }
+    }
+    r.cycles = core_->cycle();
+    r.insts = core_->committedInstsTotal();
+    r.ipc = r.cycles ? static_cast<double>(r.insts) / r.cycles : 0.0;
+    return r;
+}
+
+// --- checkpoint / resume (format v5; fast/snapshot.cc documents v1..v4) ----
+
+bool
+SmpSimulator::checkpointReady() const
+{
+    if (!core_->quiescedForSnapshot() || engine_->injectionPending())
+        return false;
+    for (unsigned c = 0; c < numCores(); ++c) {
+        if (fmStalledWrongPath_[c])
+            return false;
+        if (fm_->core(c).lastCommitted() + 1 != core_->sliceNextFetchIn(c))
+            return false;
+    }
+    return true;
+}
+
+void
+SmpSimulator::quiesceToBoundary()
+{
+    fastsim_assert(checkpointReady());
+    for (unsigned c = 0; c < numCores(); ++c) {
+        fm::FuncModel &f = fm_->activate(c);
+        if (f.nextIn() != f.lastCommitted() + 1 || f.onWrongPath()) {
+            f.rollbackToBoundary();
+            if (!tbs_[c]->rewindTo(f.nextIn()))
+                fatal("checkpoint: core %u trace-buffer rewind to IN %llu "
+                      "failed", c,
+                      static_cast<unsigned long long>(f.nextIn()));
+            core_->drainPort(c).noteResteer();
+        } else {
+            core_->clearDrainRequest(c);
+        }
+    }
+}
+
+std::uint64_t
+SmpSimulator::configFingerprint() const
+{
+    return fast::configFingerprint(cfg_);
+}
+
+std::vector<std::uint8_t>
+SmpSimulator::snapshotImage()
+{
+    quiesceToBoundary();
+
+    serialize::Sink payload;
+    fm_->saveState(payload);
+    core_->saveState(payload);
+    engine_->save(payload);
+    guardrails_.save(payload);
+    for (unsigned c = 0; c < numCores(); ++c) {
+        sizers_[c]->save(payload);
+        payload.put<std::uint64_t>(tbs_[c]->capacity());
+    }
+    mirror_.save(payload);
+    payload.put<std::uint32_t>(cfg_.core.tmThreads);
+    payload.put<std::uint32_t>(static_cast<std::uint32_t>(
+        core_->bspScheduler() ? core_->bspScheduler()->partitionCount()
+                              : 1));
+    serialize::putGroup(payload, stats_);
+
+    serialize::Sink image;
+    image.put<std::uint32_t>(snapshot_io::SnapshotMagic);
+    image.put<std::uint32_t>(snapshot_io::SnapshotVersion);
+    image.put<std::uint64_t>(configFingerprint());
+    image.put<std::uint64_t>(payload.data().size());
+    image.put<std::uint64_t>(payload.checksum());
+    image.putBytes(payload.data().data(), payload.data().size());
+    return image.data();
+}
+
+void
+SmpSimulator::saveSnapshot(const std::string &path)
+{
+    snapshot_io::writeFileAtomic(path, snapshotImage());
+}
+
+void
+SmpSimulator::saveSnapshotToStream(std::FILE *f)
+{
+    snapshot_io::writeStream(f, snapshotImage(), "<stream>");
+}
+
+bool
+SmpSimulator::checkpointNow(const std::string &path, Cycle max_extra_cycles)
+{
+    const Cycle bound = core_->cycle() + max_extra_cycles;
+    while (!checkpointReady() && !finished() && core_->cycle() < bound) {
+        for (unsigned c = 0; c < numCores(); ++c)
+            core_->drainPort(c).requestDrain();
+        tickOnce();
+    }
+    if (!checkpointReady())
+        return false;
+    ++stats_.counter("checkpoints_taken");
+    saveSnapshot(path);
+    return true;
+}
+
+void
+SmpSimulator::resumeFrom(const std::string &path)
+{
+    resumeFromImage(snapshot_io::readFile(path));
+}
+
+void
+SmpSimulator::resumeFromImage(const std::vector<std::uint8_t> &bytes)
+{
+    serialize::Source hdr(bytes.data(), bytes.size());
+    hdr.require(bytes.size() >= 32, "snapshot header truncated");
+    hdr.require(hdr.get<std::uint32_t>() == snapshot_io::SnapshotMagic,
+                "bad snapshot magic");
+    hdr.require(hdr.get<std::uint32_t>() == snapshot_io::SnapshotVersion,
+                "unsupported snapshot version");
+    hdr.require(hdr.get<std::uint64_t>() == configFingerprint(),
+                "snapshot was taken under a different configuration");
+    const std::uint64_t payload_size = hdr.get<std::uint64_t>();
+    const std::uint64_t checksum = hdr.get<std::uint64_t>();
+    hdr.require(hdr.offset() + payload_size == bytes.size(),
+                "snapshot payload size mismatch");
+    hdr.require(serialize::fnv1a(bytes.data() + hdr.offset(), payload_size) ==
+                    checksum,
+                "snapshot payload checksum mismatch");
+
+    serialize::Source s(bytes.data() + hdr.offset(), payload_size);
+    fm_->restoreState(s);
+    core_->restoreState(s);
+    engine_->restore(s);
+    guardrails_.ownerRole.assertHeld();
+    guardrails_.restore(s);
+    std::vector<std::uint64_t> tb_capacity(numCores());
+    for (unsigned c = 0; c < numCores(); ++c) {
+        sizers_[c]->restore(s);
+        tb_capacity[c] = s.get<std::uint64_t>();
+    }
+    mirror_.restore(s);
+    const std::uint32_t captureThreads = s.get<std::uint32_t>();
+    const std::uint32_t captureParts = s.get<std::uint32_t>();
+    s.require(captureThreads >= 1 && captureParts >= 1,
+              "snapshot BSP tuning record is malformed");
+    serialize::getGroup(s, stats_);
+    s.require(s.atEnd(), "snapshot has trailing bytes");
+
+    for (unsigned c = 0; c < numCores(); ++c) {
+        tbs_[c]->reset();
+        tbs_[c]->setCapacity(static_cast<std::size_t>(tb_capacity[c]));
+        fmStalledWrongPath_[c] = 0;
+    }
+    checkpointDrainPending_ = false;
+    nextCheckpointAt_ = 0;
+}
+
+} // namespace fast
+} // namespace fastsim

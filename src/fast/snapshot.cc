@@ -34,10 +34,8 @@
 namespace fastsim {
 namespace fast {
 
-namespace {
-
-// "FSNP" as a little-endian u32.
-constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
+// Version history (the constants live in snapshot_io.hh so the SMP
+// runner shares them):
 // v2: the memory hierarchy became registry modules — the payload now
 // carries per-level MSHR tables and the ten memory-fabric connectors,
 // and the fingerprint covers the MemConfig knobs that shape them.
@@ -53,9 +51,13 @@ constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
 // checkpoint taken at tmThreads=4 must resume at tmThreads=1 and vice
 // versa; the recorded values let tooling report how a snapshot was
 // produced without constraining how it is consumed.
-constexpr std::uint32_t SnapshotVersion = 4;
-
-} // namespace
+// v5: numCores joins the config fingerprint (a 2-core snapshot must not
+// resume on a 4-core simulator: the payload shape and the coherence
+// state are per-core), and fast::SmpSimulator writes multi-core
+// payloads under the same header format.  tmThreads stays out — the
+// SMP fabric's BSP schedule is thread-count-invariant too.
+using snapshot_io::SnapshotMagic;
+using snapshot_io::SnapshotVersion;
 
 bool
 FastSimulator::checkpointReady() const
@@ -87,42 +89,51 @@ FastSimulator::quiesceToBoundary()
 }
 
 std::uint64_t
-FastSimulator::configFingerprint() const
+configFingerprint(const FastConfig &cfg)
 {
     serialize::Sink s;
-    s.put<std::uint64_t>(cfg_.fm.ramBytes);
-    s.put<std::uint32_t>(cfg_.fm.diskBlocks);
-    s.put<std::uint64_t>(cfg_.fm.diskLatency);
-    s.put<std::uint64_t>(cfg_.fm.diskSeed);
-    s.put<std::uint8_t>(cfg_.fm.traceCompression ? 1 : 0);
-    s.put<std::uint64_t>(cfg_.traceBufferEntries);
-    s.put<std::uint32_t>(cfg_.fmStepsPerCycle);
-    s.put<Cycle>(cfg_.diskLatencyCycles);
-    s.put<std::uint32_t>(cfg_.core.issueWidth);
-    s.put<std::uint32_t>(cfg_.core.robEntries);
-    s.put<std::uint8_t>(static_cast<std::uint8_t>(cfg_.core.bp.kind));
-    s.put<std::uint32_t>(cfg_.core.bp.historyBits);
-    s.put<std::uint64_t>(cfg_.core.statsIntervalBb);
-    s.put<std::uint8_t>(cfg_.core.caches.l1i.blocking ? 1 : 0);
-    s.put<std::uint8_t>(cfg_.core.caches.l1d.blocking ? 1 : 0);
-    s.put<std::uint8_t>(cfg_.core.caches.l2.blocking ? 1 : 0);
-    s.put<Cycle>(cfg_.core.caches.memLatency);
-    s.put<std::uint32_t>(cfg_.core.mem.l1iMshrs);
-    s.put<std::uint32_t>(cfg_.core.mem.l1dMshrs);
-    s.put<std::uint32_t>(cfg_.core.mem.l2Mshrs);
-    s.put<Cycle>(cfg_.core.mem.memServiceInterval);
+    s.put<std::uint64_t>(cfg.fm.ramBytes);
+    s.put<std::uint32_t>(cfg.fm.diskBlocks);
+    s.put<std::uint64_t>(cfg.fm.diskLatency);
+    s.put<std::uint64_t>(cfg.fm.diskSeed);
+    s.put<std::uint8_t>(cfg.fm.traceCompression ? 1 : 0);
+    s.put<std::uint64_t>(cfg.traceBufferEntries);
+    s.put<std::uint32_t>(cfg.fmStepsPerCycle);
+    s.put<Cycle>(cfg.diskLatencyCycles);
+    s.put<std::uint32_t>(cfg.core.issueWidth);
+    s.put<std::uint32_t>(cfg.core.robEntries);
+    s.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.core.bp.kind));
+    s.put<std::uint32_t>(cfg.core.bp.historyBits);
+    s.put<std::uint64_t>(cfg.core.statsIntervalBb);
+    s.put<std::uint8_t>(cfg.core.caches.l1i.blocking ? 1 : 0);
+    s.put<std::uint8_t>(cfg.core.caches.l1d.blocking ? 1 : 0);
+    s.put<std::uint8_t>(cfg.core.caches.l2.blocking ? 1 : 0);
+    s.put<Cycle>(cfg.core.caches.memLatency);
+    s.put<std::uint32_t>(cfg.core.mem.l1iMshrs);
+    s.put<std::uint32_t>(cfg.core.mem.l1dMshrs);
+    s.put<std::uint32_t>(cfg.core.mem.l2Mshrs);
+    s.put<Cycle>(cfg.core.mem.memServiceInterval);
     // ParallelTuning (spinIters is deliberately excluded: it is host-side
     // only and cannot affect target state, so snapshots stay portable
     // across spin-bound settings).
-    s.put<std::uint32_t>(cfg_.tuning.maxOutstandingEpochs);
-    s.put<std::uint32_t>(cfg_.tuning.cmdBatchCommits);
-    s.put<std::uint8_t>(cfg_.tuning.adaptive.enabled ? 1 : 0);
-    s.put<std::uint64_t>(cfg_.tuning.adaptive.minEntries);
-    s.put<std::uint64_t>(cfg_.tuning.adaptive.maxEntries);
-    s.put<std::uint32_t>(cfg_.tuning.adaptive.ewmaShift);
-    s.put<std::uint32_t>(cfg_.tuning.adaptive.headroomMul);
-    s.put<std::uint8_t>(cfg_.deterministicDevices ? 1 : 0);
+    s.put<std::uint32_t>(cfg.tuning.maxOutstandingEpochs);
+    s.put<std::uint32_t>(cfg.tuning.cmdBatchCommits);
+    s.put<std::uint8_t>(cfg.tuning.adaptive.enabled ? 1 : 0);
+    s.put<std::uint64_t>(cfg.tuning.adaptive.minEntries);
+    s.put<std::uint64_t>(cfg.tuning.adaptive.maxEntries);
+    s.put<std::uint32_t>(cfg.tuning.adaptive.ewmaShift);
+    s.put<std::uint32_t>(cfg.tuning.adaptive.headroomMul);
+    s.put<std::uint8_t>(cfg.deterministicDevices ? 1 : 0);
+    // v5: the core count shapes the payload (per-core FM/TM sections,
+    // coherence directory) — a mismatched resume must be rejected.
+    s.put<std::uint32_t>(cfg.numCores);
     return s.checksum();
+}
+
+std::uint64_t
+FastSimulator::configFingerprint() const
+{
+    return fast::configFingerprint(cfg_);
 }
 
 std::vector<std::uint8_t>

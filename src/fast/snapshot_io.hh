@@ -32,6 +32,14 @@ namespace fastsim {
 namespace fast {
 namespace snapshot_io {
 
+/** "FSNP" as a little-endian u32 (shared by every runner's snapshots). */
+constexpr std::uint32_t SnapshotMagic = 0x504e5346u;
+
+/** Current on-disk format version; fast/snapshot.cc documents the
+ *  version history (v5: multi-core payloads and numCores in the config
+ *  fingerprint). */
+constexpr std::uint32_t SnapshotVersion = 5;
+
 /** Write `bytes` to an open stream; FatalError on short write/flush
  *  failure (the caller still owns and closes the stream). */
 void writeStream(std::FILE *f, const std::vector<std::uint8_t> &bytes,

@@ -42,6 +42,14 @@ enum IoPort : std::uint8_t
     PortPicAck = 0x41,
     PortPicPending = 0x42,
     PortRtc = 0x50,
+    /** SMP topology register: reads as the executing core's id (0-based).
+     *  Handled by the FuncModel itself, not a device. */
+    PortCoreId = 0x60,
+    /** Service-workload instrumentation: OUT markers observed at commit
+     *  by the latency harness (workloads/service.hh); no device backs
+     *  them, the write itself is the signal. */
+    PortSvcRequest = 0x61,  //!< load generator: session id injected
+    PortSvcResponse = 0x62, //!< server: session id completed
 };
 
 /** Disk commands written to PortDiskCmd. */

@@ -15,19 +15,41 @@ using isa::FlagBit;
 using isa::Insn;
 using isa::Opcode;
 
+SharedMachine::SharedMachine(const FmConfig &cfg)
+    : mem(std::make_unique<PhysMem>(cfg.ramBytes)),
+      console(std::make_unique<ConsoleDevice>()),
+      timer(std::make_unique<TimerDevice>(cfg.fmDrivenDevices)),
+      disk(std::make_unique<DiskDevice>(cfg.diskBlocks, cfg.diskLatency,
+                                        cfg.fmDrivenDevices, cfg.diskSeed)),
+      rtc(std::make_unique<RtcDevice>())
+{
+}
+
 FuncModel::FuncModel(const FmConfig &cfg)
-    : cfg_(cfg), mem_(std::make_unique<PhysMem>(cfg.ramBytes)),
+    : FuncModel(cfg, std::make_unique<SharedMachine>(cfg), nullptr, 0)
+{
+}
+
+FuncModel::FuncModel(const FmConfig &cfg, SharedMachine &machine,
+                     unsigned core_id)
+    : FuncModel(cfg, nullptr, &machine, core_id)
+{
+}
+
+FuncModel::FuncModel(const FmConfig &cfg, std::unique_ptr<SharedMachine> own,
+                     SharedMachine *shared, unsigned core_id)
+    : cfg_(cfg), ownMachine_(std::move(own)),
+      mem_((shared ? *shared : *ownMachine_).mem.get()),
       pic_(std::make_unique<PicDevice>()),
-      console_(std::make_unique<ConsoleDevice>()),
-      timer_(std::make_unique<TimerDevice>(cfg.fmDrivenDevices)),
-      disk_(std::make_unique<DiskDevice>(cfg.diskBlocks, cfg.diskLatency,
-                                         cfg.fmDrivenDevices, cfg.diskSeed)),
-      rtc_(std::make_unique<RtcDevice>()),
+      console_((shared ? *shared : *ownMachine_).console.get()),
+      timer_((shared ? *shared : *ownMachine_).timer.get()),
+      disk_((shared ? *shared : *ownMachine_).disk.get()),
+      rtc_((shared ? *shared : *ownMachine_).rtc.get()),
       dcache_(cfg.decodeCacheEntries), opMeta_(buildOpMetaTable()),
       stats_("fm")
 {
-    devices_ = {pic_.get(), console_.get(), timer_.get(), disk_.get(),
-                rtc_.get()};
+    coreId_ = core_id;
+    devices_ = {pic_.get(), console_, timer_, disk_, rtc_};
     for (Device *d : devices_)
         d->attach(this);
 
@@ -455,6 +477,29 @@ FuncModel::setPc(InstNum in, Addr pc, bool wrong_path)
 }
 
 void
+FuncModel::rollbackTo(InstNum in)
+{
+    fastsim_assert(in > lastCommitted_);
+    fastsim_assert(in <= nextIn_);
+    std::uint64_t undone = 0;
+    while (!groups_.empty() && groups_.back().in >= in) {
+        // rollbackGroup restores the pre-image PC, so after unwinding the
+        // oldest discarded group state_.pc is the natural PC of `in`.
+        rollbackGroup(groups_.back());
+        recycleGroup(std::move(groups_.back()));
+        groups_.pop_back();
+        ++undone;
+    }
+    stRolledBackInsts_ += undone;
+    ++stRollbacks_;
+    nextIn_ = in;
+    epoch_++;
+    wrongPath_ = false;
+    cur_ = nullptr;
+    flushTlb();
+}
+
+void
 FuncModel::commit(InstNum up_to)
 {
     fastsim_assert(up_to < nextIn_);
@@ -564,7 +609,7 @@ FuncModel::speculativeMemChecksum() const
 }
 
 void
-FuncModel::saveState(serialize::Sink &s) const
+FuncModel::saveState(serialize::Sink &s, bool include_platform) const
 {
     fastsim_assert(groups_.empty() && !cur_ && !wrongPath_ &&
                    lastCommitted_ + 1 == nextIn_);
@@ -585,23 +630,34 @@ FuncModel::saveState(serialize::Sink &s) const
     s.put<std::uint8_t>(pendingInject_);
     s.put<std::uint8_t>(pendingDiskComplete_);
 
-    mem_->savePages(s);
+    // The per-core interrupt controller travels with the core; the
+    // shared machine payload below travels once (with core 0 in an SMP
+    // snapshot — fm/smp.hh).
+    s.putString(pic_->name());
+    s.putBlob(pic_->save());
 
-    // Console output must travel in full: device blobs only ever truncate.
-    s.putString(console_->output());
-    for (const Device *d : devices_) {
-        s.putString(d->name());
-        s.putBlob(const_cast<Device *>(d)->save());
+    if (include_platform) {
+        mem_->savePages(s);
+
+        // Console output must travel in full: device blobs only ever
+        // truncate.
+        s.putString(console_->output());
+        for (const Device *d : devices_) {
+            if (d == pic_.get())
+                continue;
+            s.putString(d->name());
+            s.putBlob(const_cast<Device *>(d)->save());
+        }
+        s.put<std::uint32_t>(disk_->blockCount());
+        for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
+            s.putBlob(disk_->readBlockRaw(b));
     }
-    s.put<std::uint32_t>(disk_->blockCount());
-    for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
-        s.putBlob(disk_->readBlockRaw(b));
 
     serialize::putGroup(s, stats_);
 }
 
 void
-FuncModel::restoreState(serialize::Source &s)
+FuncModel::restoreState(serialize::Source &s, bool include_platform)
 {
     for (std::uint32_t &v : state_.gpr)
         v = s.get<std::uint32_t>();
@@ -621,17 +677,24 @@ FuncModel::restoreState(serialize::Source &s)
     pendingDiskComplete_ = s.get<std::uint8_t>();
     s.require(lastCommitted_ + 1 == nextIn_, "FM not at a commit boundary");
 
-    mem_->restorePages(s);
+    s.require(s.getString() == pic_->name(), "device order mismatch");
+    pic_->restore(s.getBlob());
 
-    console_->setOutput(s.getString());
-    for (Device *d : devices_) {
-        s.require(s.getString() == d->name(), "device order mismatch");
-        d->restore(s.getBlob());
+    if (include_platform) {
+        mem_->restorePages(s);
+
+        console_->setOutput(s.getString());
+        for (Device *d : devices_) {
+            if (d == pic_.get())
+                continue;
+            s.require(s.getString() == d->name(), "device order mismatch");
+            d->restore(s.getBlob());
+        }
+        s.require(s.get<std::uint32_t>() == disk_->blockCount(),
+                  "disk geometry mismatch");
+        for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
+            disk_->restoreBlock(b, s.getBlob());
     }
-    s.require(s.get<std::uint32_t>() == disk_->blockCount(),
-              "disk geometry mismatch");
-    for (std::uint32_t b = 0; b < disk_->blockCount(); ++b)
-        disk_->restoreBlock(b, s.getBlob());
 
     serialize::getGroup(s, stats_);
 
@@ -650,21 +713,25 @@ Device *
 FuncModel::deviceForPort(std::uint8_t port)
 {
     if (port >= 0x10 && port <= 0x1F)
-        return console_.get();
+        return console_;
     if (port >= 0x20 && port <= 0x2F)
-        return timer_.get();
+        return timer_;
     if (port >= 0x30 && port <= 0x3F)
-        return disk_.get();
+        return disk_;
     if (port >= 0x40 && port <= 0x4F)
         return pic_.get();
     if (port == PortRtc)
-        return rtc_.get();
+        return rtc_;
     return nullptr;
 }
 
 std::uint32_t
 FuncModel::ioRead(std::uint8_t port)
 {
+    // SMP topology register: which core am I?  Constant per core, so no
+    // undo logging; a single-core model reads 0.
+    if (port == PortCoreId)
+        return coreId_;
     Device *dev = deviceForPort(port);
     return dev ? dev->ioRead(port) : 0xFFFFFFFFu;
 }
@@ -815,6 +882,7 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
         e.isLoad = true;
         e.loadVa = va;
         e.loadPa = pa;
+        e.loadValue = v;
         return true;
     };
     auto read_v32 = [&](Addr va, std::uint32_t &v) {
@@ -837,6 +905,7 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
             e.isLoad = true;
             e.loadVa = va;
             e.loadPa = pa0;
+            e.loadValue = v;
         }
         return true;
     };
@@ -848,6 +917,7 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
         e.isStore = true;
         e.storeVa = va;
         e.storePa = pa;
+        e.storeValue = v;
         return true;
     };
     auto write_v32 = [&](Addr va, std::uint32_t v) {
@@ -869,6 +939,7 @@ FuncModel::execute(const Insn &insn, TraceEntry &e, Fault &fault)
             e.isStore = true;
             e.storeVa = va;
             e.storePa = pa0;
+            e.storeValue = v;
         }
         return true;
     };

@@ -98,12 +98,40 @@ struct StepResult
 };
 
 /**
+ * The machine state an SMP complex shares between its cores: physical
+ * memory plus the platform devices (console, timer, disk, RTC).  The
+ * interrupt controller is deliberately NOT here — each core owns a local
+ * PIC (LAPIC-style), so a device's raiseIrq reaches the core whose bus
+ * is active when it fires (fm/smp.hh).  A single-core FuncModel owns one
+ * of these privately, which keeps the pre-SMP behaviour bit-identical.
+ */
+struct SharedMachine
+{
+    explicit SharedMachine(const FmConfig &cfg);
+
+    std::unique_ptr<PhysMem> mem;
+    std::unique_ptr<ConsoleDevice> console;
+    std::unique_ptr<TimerDevice> timer;
+    std::unique_ptr<DiskDevice> disk;
+    std::unique_ptr<RtcDevice> rtc;
+};
+
+/**
  * The speculative functional model.
  */
 class FuncModel : public DeviceBus
 {
   public:
     explicit FuncModel(const FmConfig &cfg = FmConfig());
+
+    /**
+     * One core of an SMP complex: executes against `machine`'s shared
+     * memory and platform devices, owning only its architectural state,
+     * undo log and local PIC.  `machine` must outlive the core.  The
+     * guest reads its own id from PortCoreId.
+     */
+    FuncModel(const FmConfig &cfg, SharedMachine &machine, unsigned core_id);
+
     ~FuncModel() override;
 
     FuncModel(const FuncModel &) = delete;
@@ -129,6 +157,16 @@ class FuncModel : public DeviceBus
      * @param wrong_path subsequent entries are marked wrong-path
      */
     void setPc(InstNum in, Addr pc, bool wrong_path);
+
+    /**
+     * Roll back so the next instruction produced is `in`, restoring that
+     * instruction's *natural* PC from the undo log — no forced redirect,
+     * and the model stays on the architectural path.  The SMP runner uses
+     * this to suppress wrong-path excursions: speculative wrong-path
+     * stores would leak through the shared memory into the other cores'
+     * functional models with no validation path back (fast/smp.hh).
+     */
+    void rollbackTo(InstNum in);
 
     /** Release roll-back resources for all instructions with IN <= upTo. */
     void commit(InstNum up_to);
@@ -174,6 +212,23 @@ class FuncModel : public DeviceBus
     ArchState &mutableState() { return state_; } //!< tests only
 
     PhysMem &mem() { return *mem_; }
+    unsigned coreId() const { return coreId_; }
+
+    /**
+     * Point the shared platform devices' bus at this core.  The SMP
+     * round-robin calls it before each step so undo-logged device
+     * mutations and raised IRQs land on the executing core; a handful
+     * of pointer stores.  No-op in effect for a single-core model.
+     */
+    void
+    attachSharedDevices()
+    {
+        console_->attach(this);
+        timer_->attach(this);
+        disk_->attach(this);
+        rtc_->attach(this);
+    }
+
     ConsoleDevice &console() { return *console_; }
     DiskDevice &disk() { return *disk_; }
     TimerDevice &timer() { return *timer_; }
@@ -216,8 +271,11 @@ class FuncModel : public DeviceBus
      * (lastCommitted() == nextIn() - 1, empty undo log, correct path);
      * callers quiesce first via rollbackToBoundary().
      */
-    void saveState(serialize::Sink &s) const;
-    void restoreState(serialize::Source &s);
+    /** `include_platform` = false (SMP secondary cores) omits the shared
+     *  machine payload — memory pages, platform device blobs, disk
+     *  blocks — which travels once with core 0 (fm/smp.hh). */
+    void saveState(serialize::Sink &s, bool include_platform = true) const;
+    void restoreState(serialize::Source &s, bool include_platform = true);
 
     // --- DeviceBus -----------------------------------------------------------
     void snapSelf(Device *dev) override;
@@ -299,15 +357,22 @@ class FuncModel : public DeviceBus
     void setAluFlags(std::uint32_t result, bool cf, bool of,
                      bool set_co = true);
 
+    /** Delegation target of the public constructors: exactly one of
+     *  `own` / `shared` provides the machine. */
+    FuncModel(const FmConfig &cfg, std::unique_ptr<SharedMachine> own,
+              SharedMachine *shared, unsigned core_id);
+
     // --- members ---------------------------------------------------------------
     FmConfig cfg_;
-    std::unique_ptr<PhysMem> mem_;
-    std::unique_ptr<PicDevice> pic_;
-    std::unique_ptr<ConsoleDevice> console_;
-    std::unique_ptr<TimerDevice> timer_;
-    std::unique_ptr<DiskDevice> disk_;
-    std::unique_ptr<RtcDevice> rtc_;
+    std::unique_ptr<SharedMachine> ownMachine_; //!< null for SMP cores
+    PhysMem *mem_;
+    std::unique_ptr<PicDevice> pic_; //!< always per-core (LAPIC-style)
+    ConsoleDevice *console_;
+    TimerDevice *timer_;
+    DiskDevice *disk_;
+    RtcDevice *rtc_;
     std::vector<Device *> devices_;
+    unsigned coreId_ = 0;
 
     ArchState state_;
     InstNum nextIn_ = 0;

@@ -1,0 +1,38 @@
+#include "fm/smp.hh"
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace fm {
+
+SmpFuncModel::SmpFuncModel(const FmConfig &cfg, unsigned num_cores)
+    : machine_(std::make_unique<SharedMachine>(cfg))
+{
+    fastsim_assert(num_cores >= 1 && num_cores <= 32);
+    for (unsigned i = 0; i < num_cores; ++i)
+        cores_.push_back(std::make_unique<FuncModel>(cfg, *machine_, i));
+}
+
+void
+SmpFuncModel::saveState(serialize::Sink &s) const
+{
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(cores_.size()));
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->saveState(s, /*include_platform=*/i == 0);
+}
+
+void
+SmpFuncModel::restoreState(serialize::Source &s)
+{
+    s.require(s.get<std::uint32_t>() == cores_.size(),
+              "SMP core count mismatch in snapshot");
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        // The restoring core must own the shared devices while their
+        // blobs (core 0's platform section) are applied.
+        cores_[i]->attachSharedDevices();
+        cores_[i]->restoreState(s, /*include_platform=*/i == 0);
+    }
+}
+
+} // namespace fm
+} // namespace fastsim

@@ -52,8 +52,10 @@ struct TraceEntry
     bool isStore = false;
     Addr loadVa = 0;   //!< load address (valid when isLoad)
     PAddr loadPa = 0;
+    std::uint32_t loadValue = 0;  //!< first read datum (commit probes)
     Addr storeVa = 0;  //!< store address (valid when isStore)
     PAddr storePa = 0;
+    std::uint32_t storeValue = 0; //!< first written datum (commit probes)
     std::uint8_t dataSize = 0;
 
     bool wrongPath = false;  //!< produced while resteered down a wrong path

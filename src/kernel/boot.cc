@@ -320,6 +320,13 @@ buildBootImage(const BuildOptions &opts)
     k.movri(R0, MemoryMap::KernelDataBase);
     k.movri(R2, 0);
     k.st(R0, 0, R2);
+    if (opts.smpCores > 1) {
+        // Release the secondaries: they spin on this flag in the stub at
+        // SecondaryEntry.  Gated so single-core images stay bit-identical.
+        k.movri(R0, MemoryMap::SmpReleaseFlagPa);
+        k.movri(R2, 1);
+        k.st(R0, 0, R2);
+    }
     emitPrint(k, BootImage::ReadyMarker);
 
     // --- enter user mode ------------------------------------------------------
@@ -437,6 +444,37 @@ buildBootImage(const BuildOptions &opts)
     Rng rng(0xB10B + static_cast<unsigned>(opts.flavor));
     for (auto &b : blob)
         b = static_cast<std::uint8_t>(rng.next());
+
+    // ------------------------------------------------------------------ //
+    // Secondary bring-up stub (SMP images only, so single-core images     //
+    // keep their golden hashes).                                          //
+    // ------------------------------------------------------------------ //
+    if (opts.smpCores > 1) {
+        Assembler s(MemoryMap::SecondaryEntry);
+        // R1 = my core id (1..N-1); carve a private 4KB stack.
+        s.in(R1, fm::PortCoreId);
+        s.movrr(R2, R1);
+        s.shli(R2, 12);
+        s.movri(RegSp, MemoryMap::SecondaryStackBase);
+        s.addrr(RegSp, R2);
+        // Spin until the BSP finishes init and publishes the release flag.
+        s.movri(R0, MemoryMap::SmpReleaseFlagPa);
+        Label wait = s.here();
+        s.ld(R2, R0, 0);
+        s.cmpri(R2, 0);
+        s.jcc(CondZ, wait);
+        if (opts.secondaryProgram)
+            opts.secondaryProgram(s);
+        // Park (also the fall-through fence for custom programs).
+        s.cli();
+        Label park = s.here();
+        s.hlt();
+        s.jmp(park);
+        image.segments.push_back({MemoryMap::SecondaryEntry, s.finish()});
+        image.symbols["smp_secondary_entry"] = MemoryMap::SecondaryEntry;
+        image.symbols["smp_release_flag"] =
+            static_cast<Addr>(MemoryMap::SmpReleaseFlagPa);
+    }
 
     image.segments.push_back({MemoryMap::KernelBase, k.finish()});
     image.symbols["timer_isr"] = k.addrOf(timer_isr);

@@ -62,6 +62,15 @@ struct MemoryMap
     static constexpr PAddr PageTablePa = 0x00101000; // 2 tables (8MB map)
     static constexpr Addr KernelDataBase = 0x00110000;
     static constexpr Addr KernelStackTop = 0x00200000;
+    /** SMP release flag: the BSP stores 1 here once init is done and the
+     *  secondaries may leave their spin loop (only emitted when
+     *  BuildOptions::smpCores > 1, so single-core images are unchanged). */
+    static constexpr PAddr SmpReleaseFlagPa = 0x00260000;
+    /** Per-core secondary stacks: core id's stack top is
+     *  SecondaryStackBase + id * 0x1000 (ids start at 1; the BSP is 0). */
+    static constexpr Addr SecondaryStackBase = 0x00270000;
+    /** Entry point all secondary cores reset to (machine mode, paging off). */
+    static constexpr Addr SecondaryEntry = 0x00280000;
     static constexpr Addr UserCodeBase = 0x00300000;
     static constexpr Addr UserDataBase = 0x00400000;
     static constexpr Addr UserStackTop = 0x00700000;
@@ -102,6 +111,24 @@ struct BuildOptions
      * them (device-free images for timing-independent equivalence tests).
      */
     int bootDiskReads = -1;
+
+    /**
+     * Number of cores the image boots (default 1: bit-identical to the
+     * pre-SMP image — no secondary segment, no release-flag store).  When
+     * > 1, a secondary bring-up stub is emitted at
+     * MemoryMap::SecondaryEntry: each secondary reads its core id from
+     * PortCoreId, sets up a private stack, spins on the release flag
+     * until the BSP finishes init, then runs `secondaryProgram`.
+     */
+    unsigned smpCores = 1;
+
+    /**
+     * Generator for the secondary cores' program (machine mode, paging
+     * off, interrupts off; R1 = core id at entry, SP valid).  Runs after
+     * the release-flag spin.  If absent, secondaries park with CLI+HLT.
+     * The program must not fall off the end — finish with a HLT spin.
+     */
+    std::function<void(isa::Assembler &)> secondaryProgram;
 };
 
 /** A built software stack: segments to load plus entry point. */

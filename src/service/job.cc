@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "analysis/verify.hh"
 #include "base/logging.hh"
 #include "base/serialize.hh"
 #include "service/json.hh"
 #include "tm/core.hh"
+#include "tm/smp_core.hh"
 #include "tm/trace_buffer.hh"
+#include "workloads/service.hh"
 #include "workloads/workloads.hh"
 
 namespace fastsim {
@@ -55,6 +58,20 @@ parsePoint(const JsonValue &o, const SweepPoint &defaults,
         o.getU64("timer_interval", defaults.timerInterval));
     pt.checkpointEvery =
         o.getU64("checkpoint_every", defaults.checkpointEvery);
+    pt.numCores =
+        static_cast<unsigned>(o.getU64("num_cores", defaults.numCores));
+    if (pt.numCores < 1 || pt.numCores > 32)
+        fatal("job: num_cores=%u out of range (1..32)", pt.numCores);
+    if (requireWorkload) {
+        // The SMP runner boots the service program (one server core +
+        // N-1 load generators); single-core workload programs have no
+        // secondary-core entry, and the service program needs peers.
+        if (pt.numCores > 1 && pt.workload != "service")
+            fatal("job: num_cores=%u requires workload \"service\" "
+                  "(got '%s')", pt.numCores, pt.workload.c_str());
+        if (pt.numCores == 1 && pt.workload == "service")
+            fatal("job: workload \"service\" needs num_cores >= 2");
+    }
     pt.sabotage = o.getString("sabotage", defaults.sabotage);
     if (!pt.sabotage.empty() && pt.sabotage != "crash" &&
         pt.sabotage != "hang")
@@ -111,6 +128,11 @@ fingerprint(const SweepPoint &pt)
     s.put<std::uint32_t>(pt.timerInterval);
     s.put<Cycle>(pt.checkpointEvery);
     s.putString(pt.sabotage);
+    // Appended only for multi-core points so every pre-SMP fingerprint
+    // is unchanged — manifests and checkpoints recorded before the knob
+    // existed still match their points byte-for-byte.
+    if (pt.numCores > 1)
+        s.put<std::uint32_t>(pt.numCores);
     return s.checksum();
 }
 
@@ -127,6 +149,7 @@ fast::FastConfig
 configFor(const SweepPoint &pt)
 {
     fast::FastConfig cfg;
+    cfg.numCores = pt.numCores;
     cfg.fm.ramBytes = kernel::MemoryMap::RamBytes;
     cfg.core.statsIntervalBb = 1u << 30;
     cfg.guardrails.hashCommits = true;
@@ -155,6 +178,12 @@ configFor(const SweepPoint &pt)
 kernel::BootImage
 imageFor(const SweepPoint &pt)
 {
+    if (pt.numCores > 1) {
+        workloads::ServiceConfig svc;
+        svc.loadGenerators = pt.numCores - 1;
+        svc.requestsPerGen = pt.scale;
+        return kernel::buildBootImage(workloads::serviceBootOptions(svc));
+    }
     const workloads::Workload &w = workloads::byName(pt.workload);
     auto opts = workloads::bootOptionsFor(w, pt.scale);
     opts.timerInterval = pt.timerInterval;
@@ -169,10 +198,36 @@ admit(const SweepPoint &pt, std::string &reason)
     // pass over it; the first error is the rejection reason.
     const fast::FastConfig cfg = configFor(pt);
     try {
-        tm::TraceBuffer tb(cfg.traceBufferEntries);
-        tm::Core core(cfg.core, tb);
         analysis::Report rep;
         analysis::VerifyOptions opts;
+        if (pt.numCores > 1) {
+            // Lint the N-core SMP fabric.  The cost pass is off: a wide
+            // fabric honestly exceeds every catalogued single device
+            // (FAB006) but is multi-FPGA territory, not an unrunnable
+            // simulation — admission gates simulability, not one-chip
+            // fit.
+            std::vector<std::unique_ptr<tm::TraceBuffer>> tbs;
+            std::vector<tm::TraceBuffer *> ptrs;
+            for (unsigned c = 0; c < pt.numCores; ++c) {
+                tbs.push_back(std::make_unique<tm::TraceBuffer>(
+                    cfg.traceBufferEntries));
+                ptrs.push_back(tbs.back().get());
+            }
+            tm::SmpCore smp(cfg.core, ptrs);
+            opts.cost = false;
+            analysis::verify(smp.registry(), cfg.core, smp.fpgaCost(),
+                             opts, rep);
+            if (!rep.hasErrors())
+                return true;
+            for (const analysis::Diagnostic &d : rep.diagnostics())
+                if (d.severity == analysis::Severity::Error) {
+                    reason = d.id + ": " + d.message;
+                    break;
+                }
+            return false;
+        }
+        tm::TraceBuffer tb(cfg.traceBufferEntries);
+        tm::Core core(cfg.core, tb);
         analysis::verify(core, opts, rep);
         if (!rep.hasErrors())
             return true;
@@ -224,6 +279,8 @@ pointToJson(const SweepPoint &pt)
         addNum("mem_service_interval", pt.memServiceInterval);
     addNum("timer_interval", pt.timerInterval);
     addNum("checkpoint_every", pt.checkpointEvery);
+    if (pt.numCores > 1)
+        addNum("num_cores", pt.numCores);
     if (!pt.sabotage.empty())
         addStr("sabotage", pt.sabotage);
     out += "}";

@@ -9,7 +9,8 @@
  *     "defaults": { "scale": 400, "checkpoint_every": 60000 },
  *     "points": [
  *       { "workload": "164.gzip", "issue_width": 4, "bp": "twobit" },
- *       { "workload": "Sweep3D", "mshrs": 4 }, ... ] }
+ *       { "workload": "Sweep3D", "mshrs": 4 },
+ *       { "workload": "service", "num_cores": 4, "scale": 64 }, ... ] }
  *
  * Every point is statically admitted through analysis::verify() before any
  * worker sees it: an unbuildable configuration (FAB lint error) becomes a
@@ -38,7 +39,7 @@ namespace service {
 /** One sweep point: a workload plus the timing knobs it overrides. */
 struct SweepPoint
 {
-    std::string workload;  //!< workloads::byName() key (required)
+    std::string workload;  //!< workloads::byName() key, or "service" (SMP)
     unsigned scale = 400;  //!< outer-iteration count
     std::string label;     //!< manifest label; defaults to workload@scale
 
@@ -50,6 +51,15 @@ struct SweepPoint
     unsigned mshrs = 0;          //!< l1i=l1d=m, l2=2m, non-blocking caches
     Cycle memServiceInterval = 0;
     std::uint32_t timerInterval = 4000;
+
+    /** Core count ("num_cores", 1..32).  1 runs the point's workload on
+     *  the single-core FastSimulator as always; >= 2 runs the SMP fabric
+     *  with the service workload (workload must be "service", scale is
+     *  requests per generator), so a core-count sweep is just
+     *  {"workload": "service", "num_cores": N} points.  Folded into the
+     *  fingerprint only when > 1, so every pre-SMP point keeps its
+     *  fingerprint and reruns of existing manifests stay idempotent. */
+    unsigned numCores = 1;
 
     /** Periodic crash-consistent checkpoint cadence (target cycles).
      *  Part of the fingerprint: the cadence perturbs cycle counts, so two

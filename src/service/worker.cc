@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "base/serialize.hh"
 #include "fast/simulator.hh"
+#include "fast/smp.hh"
 #include "host/subprocess.hh"
 #include "service/frame.hh"
 #include "service/json.hh"
@@ -30,25 +31,17 @@ sendFrame(int fd, FrameType type, const std::string &payload)
         fatal("worker: write to supervisor failed");
 }
 
-} // namespace
-
-std::string
-checkpointPathFor(const std::string &ckptDir, const SweepPoint &pt)
-{
-    return ckptDir + "/ckpt_" + fingerprintHex(pt) + ".fsnp";
-}
-
+/**
+ * The sliced run loop, shared by the single-core and SMP simulators
+ * (both expose boot/run/resumeFrom/checkpointNow/commitHash and a
+ * core() with a cycle counter).
+ */
+template <typename Sim>
 PointOutcome
-executePoint(const SweepPoint &pt, const std::string &ckptDir,
-             const std::function<void(std::uint64_t)> &beat)
+runPoint(Sim &sim, const SweepPoint &pt, const std::string &ckpt,
+         const std::function<void(std::uint64_t)> &beat)
 {
     PointOutcome out;
-    fast::FastConfig cfg = configFor(pt);
-    const std::string ckpt = checkpointPathFor(ckptDir, pt);
-    cfg.checkpointPath = ckpt;
-
-    fast::FastSimulator sim(cfg);
-    sim.boot(imageFor(pt));
     if (access(ckpt.c_str(), F_OK) == 0) {
         try {
             sim.resumeFrom(ckpt);
@@ -107,6 +100,32 @@ executePoint(const SweepPoint &pt, const std::string &ckptDir,
     out.commitHash = sim.commitHash();
     std::remove(ckpt.c_str()); // the shard is complete; drop its state
     return out;
+}
+
+} // namespace
+
+std::string
+checkpointPathFor(const std::string &ckptDir, const SweepPoint &pt)
+{
+    return ckptDir + "/ckpt_" + fingerprintHex(pt) + ".fsnp";
+}
+
+PointOutcome
+executePoint(const SweepPoint &pt, const std::string &ckptDir,
+             const std::function<void(std::uint64_t)> &beat)
+{
+    fast::FastConfig cfg = configFor(pt);
+    const std::string ckpt = checkpointPathFor(ckptDir, pt);
+    cfg.checkpointPath = ckpt;
+
+    if (cfg.numCores > 1) {
+        fast::SmpSimulator sim(cfg);
+        sim.boot(imageFor(pt));
+        return runPoint(sim, pt, ckpt, beat);
+    }
+    fast::FastSimulator sim(cfg);
+    sim.boot(imageFor(pt));
+    return runPoint(sim, pt, ckpt, beat);
 }
 
 std::string

@@ -62,6 +62,38 @@ CacheLevel::access(PAddr pa)
     return false;
 }
 
+void
+CacheLevel::insert(PAddr pa)
+{
+    const std::size_t set = setIndex(pa);
+    const std::uint64_t tag = tagOf(pa);
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        Line &l = lines_[set * p_.assoc + w];
+        if (l.valid && l.tag == tag) {
+            lru_[set].touch(w);
+            return;
+        }
+    }
+    const unsigned victim = lru_[set].victim();
+    lines_[set * p_.assoc + victim] = {true, tag};
+    lru_[set].touch(victim);
+}
+
+bool
+CacheLevel::invalidate(PAddr pa)
+{
+    const std::size_t set = setIndex(pa);
+    const std::uint64_t tag = tagOf(pa);
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        Line &l = lines_[set * p_.assoc + w];
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
 FpgaCost
 CacheLevel::cost() const
 {

@@ -49,7 +49,21 @@ struct CacheAccessResult
     bool l2Hit = false;      //!< only meaningful when !l1Hit
     Cycle latency = 0;       //!< total access latency in target cycles
     Cycle readyAt = 0;       //!< cycle the data is available
+    /**
+     * SMP L1s only: the miss latency cannot be resolved synchronously
+     * (the shared L2 lives in another BSP partition), so a request token
+     * was launched instead and `readyAt` is unknown.  The stage retries
+     * until the fill arrives and inserts the line (DESIGN.md §16).
+     */
+    bool pending = false;
 };
+
+/**
+ * fetchBusyUntil sentinel for a pending SMP ifetch miss: far enough out
+ * that no real readiness reaches it; the SMP L1I rewrites it to the
+ * fill's arrival cycle (smp_mem.hh).
+ */
+constexpr Cycle PendingBusySentinel = static_cast<Cycle>(-1) >> 1;
 
 /** A single set-associative, LRU, tag-only cache level. */
 class CacheLevel
@@ -62,6 +76,18 @@ class CacheLevel
 
     /** Probe without updating state. */
     bool probe(PAddr pa) const;
+
+    /**
+     * Allocate a line without counting an access (SMP fill arrival: the
+     * miss was counted when the request token was launched; the line
+     * materializes only when the fill comes back, so the pending-retry
+     * path cannot hit early and collapse the miss latency).
+     */
+    void insert(PAddr pa);
+
+    /** Drop a line if present (coherence snoop-invalidate).  @return
+     *  true iff the line was resident. */
+    bool invalidate(PAddr pa);
 
     const CacheParams &params() const { return p_; }
     stats::Group &stats() { return stats_; }

@@ -49,6 +49,7 @@
 #include "tm/cache.hh"
 #include "tm/connector.hh"
 #include "tm/core_types.hh"
+#include "tm/drain_port.hh"
 #include "tm/module.hh"
 #include "tm/modules/cache_mod.hh"
 #include "tm/modules/commit.hh"
@@ -70,7 +71,7 @@ class BspScheduler; // tm/bsp.hh (not included here: it pulls in the
 /**
  * The timing-model core: a facade over the Module/Connector fabric.
  */
-class Core
+class Core : public CoreDrainPort
 {
   public:
     Core(const CoreConfig &cfg, TraceBuffer &tb);
@@ -96,14 +97,14 @@ class Core
     std::uint64_t committedBasicBlocks() const { return state_.bbCount; }
 
     /** IN of the next instruction the fetch stage expects. */
-    InstNum nextFetchIn() const { return state_.nextFetchIn; }
+    InstNum nextFetchIn() const override { return state_.nextFetchIn; }
 
     /** Speculation epoch the fetch stage expects (protocol debugging). */
     Epoch expectedEpoch() const { return state_.expectedEpoch; }
 
     /** True when nothing is in flight (drained). */
     bool
-    drained() const
+    drained() const override
     {
         return state_.rob.empty() && state_.fetchToDispatch.empty();
     }
@@ -112,9 +113,9 @@ class Core
      * Interrupt support: stop fetching so the pipeline drains; once
      * drained() the runner resteers the FM and calls noteResteer().
      */
-    void requestDrain() { state_.drainRequested = true; }
+    void requestDrain() override { state_.drainRequested = true; }
     void
-    noteResteer()
+    noteResteer() override
     {
         ++state_.expectedEpoch;
         state_.drainRequested = false;

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The narrow face of a timing-model core the FM<->TM protocol engine
+ * drives (fast/protocol.cc): request a pipeline drain, observe drain
+ * completion and the resume point, and acknowledge the resteer epoch
+ * bump.  Extracting it lets one ProtocolEngine implementation serve both
+ * the single-core tm::Core facade and each per-core slice of the SMP
+ * fabric (tm/smp_core.hh) without the engine knowing which it holds.
+ */
+
+#ifndef FASTSIM_TM_DRAIN_PORT_HH
+#define FASTSIM_TM_DRAIN_PORT_HH
+
+#include "base/types.hh"
+
+namespace fastsim {
+namespace tm {
+
+class CoreDrainPort
+{
+  public:
+    virtual ~CoreDrainPort() = default;
+
+    /** Stop fetching so the pipeline drains (interrupt injection). */
+    virtual void requestDrain() = 0;
+
+    /** True when nothing is in flight. */
+    virtual bool drained() const = 0;
+
+    /** IN of the next instruction the fetch stage expects. */
+    virtual InstNum nextFetchIn() const = 0;
+
+    /** Acknowledge an FM resteer: bump the epoch, clear the drain. */
+    virtual void noteResteer() = 0;
+};
+
+} // namespace tm
+} // namespace fastsim
+
+#endif // FASTSIM_TM_DRAIN_PORT_HH

@@ -51,10 +51,14 @@ namespace tm {
 namespace modules {
 
 /** A miss request travelling down the hierarchy (trivially copyable so
- *  in-flight entries can ride through a snapshot). */
+ *  in-flight entries can ride through a snapshot).  The SMP fields
+ *  default to zero so single-core traffic is unchanged. */
 struct MemReq
 {
     PAddr pa = 0;
+    std::uint8_t core = 0; //!< requesting core (SMP shared-L2 traffic)
+    std::uint8_t port = 0; //!< 0 = instruction side, 1 = data side
+    std::uint8_t kind = 0; //!< 0 = read, 1 = write / write-notice
 };
 
 /** A fill travelling back up; the fill time rides on the Connector entry's
@@ -62,6 +66,7 @@ struct MemReq
 struct MemFill
 {
     PAddr pa = 0;
+    std::uint8_t port = 0; //!< routes an SMP fill to the right L1
 };
 
 /** One request/fill Connector pair joining two adjacent levels. */
@@ -76,6 +81,29 @@ struct FillResult
 {
     Cycle readyAt = 0; //!< cycle the line is available to the requester
     bool hit = false;  //!< satisfied at this level?
+};
+
+/**
+ * The stage-facing face of an L1: fetch and issue/exec access the
+ * instruction/data caches through this interface so the same stage
+ * modules drive either the single-core CacheModule (synchronous fillVia
+ * timing walk) or the SMP SmpL1Module (asynchronous request/fill tokens
+ * to the shared L2; returns pending results — see smp_mem.hh).
+ */
+class L1Port
+{
+  public:
+    virtual ~L1Port() = default;
+
+    /** Front-door access from a pipeline stage at cycle `now`. */
+    virtual CacheAccessResult access(PAddr pa, Cycle now) = 0;
+
+    /** A store retired into this line.  Single-core caches ignore it
+     *  (stores complete into the write buffer and access() already
+     *  charged the occupancy); the SMP data L1 turns it into a
+     *  write-notice token so the shared directory can invalidate the
+     *  other cores' copies (smp_mem.hh). */
+    virtual void noteWrite(PAddr, Cycle) {}
 };
 
 /** Anything that can service a miss from the level above. */
@@ -193,17 +221,20 @@ class MshrTable
  */
 struct MemFabric
 {
-    explicit MemFabric(const MemTopology &t)
-        : fetchToL1i("fetch_to_l1i", t.fetchToL1i),
-          l1iToFetch("l1i_to_fetch", t.l1iToFetch),
-          issueToL1d("issue_to_l1d", t.issueToL1d),
-          l1dToIssue("l1d_to_issue", t.l1dToIssue),
-          l1iToL2("l1i_to_l2", t.l1iToL2),
-          l2ToL1i("l2_to_l1i", t.l2ToL1i),
-          l1dToL2("l1d_to_l2", t.l1dToL2),
-          l2ToL1d("l2_to_l1d", t.l2ToL1d),
-          l2ToMem("l2_to_mem", t.l2ToMem),
-          memToL2("mem_to_l2", t.memToL2)
+    /** `prefix` namespaces the Connector (and thus stat) names for SMP
+     *  per-core instances ("c0." ...); the default keeps the single-core
+     *  names — and therefore the golden stat streams — bit-identical. */
+    explicit MemFabric(const MemTopology &t, const std::string &prefix = "")
+        : fetchToL1i(prefix + "fetch_to_l1i", t.fetchToL1i),
+          l1iToFetch(prefix + "l1i_to_fetch", t.l1iToFetch),
+          issueToL1d(prefix + "issue_to_l1d", t.issueToL1d),
+          l1dToIssue(prefix + "l1d_to_issue", t.l1dToIssue),
+          l1iToL2(prefix + "l1i_to_l2", t.l1iToL2),
+          l2ToL1i(prefix + "l2_to_l1i", t.l2ToL1i),
+          l1dToL2(prefix + "l1d_to_l2", t.l1dToL2),
+          l2ToL1d(prefix + "l2_to_l1d", t.l2ToL1d),
+          l2ToMem(prefix + "l2_to_mem", t.l2ToMem),
+          memToL2(prefix + "mem_to_l2", t.memToL2)
     {
     }
 
@@ -247,7 +278,7 @@ struct MemFabric
  * table, consumes request tokens from its upstream edges, produces fill
  * tokens back, and forwards misses to the MemSink below.
  */
-class CacheModule : public Module, public MemSink
+class CacheModule : public Module, public MemSink, public L1Port
 {
   public:
     /**
@@ -267,7 +298,7 @@ class CacheModule : public Module, public MemSink
      * one upstream link).  The stage pushes the miss-request token; this
      * module pushes the fill token back at the fill's readiness.
      */
-    CacheAccessResult access(PAddr pa, Cycle now);
+    CacheAccessResult access(PAddr pa, Cycle now) override;
 
     /** Service a miss from the level above (L2 role). */
     FillResult fillVia(const MemLink &up, PAddr pa, Cycle at) override;

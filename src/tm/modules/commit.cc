@@ -9,10 +9,10 @@ namespace modules {
 using fm::TraceEntry;
 
 CommitModule::CommitModule(const CoreConfig &cfg, CoreState &st,
-                           TraceBuffer &tb)
-    : Module("commit"), cfg_(cfg), st_(st), tb_(tb),
-      stCommittedInsts_(stats().handle("committed_insts")),
-      stExceptionFlushes_(stats().handle("exception_flushes"))
+                           TraceBuffer &tb, const std::string &prefix)
+    : Module(prefix + "commit"), cfg_(cfg), st_(st), tb_(tb),
+      stCommittedInsts_(stats().handle(prefix + "committed_insts")),
+      stExceptionFlushes_(stats().handle(prefix + "exception_flushes"))
 {
 }
 

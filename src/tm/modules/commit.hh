@@ -20,7 +20,8 @@ namespace modules {
 class CommitModule : public Module
 {
   public:
-    CommitModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb);
+    CommitModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb,
+                 const std::string &prefix = "");
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;

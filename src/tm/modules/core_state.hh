@@ -89,12 +89,16 @@ struct RetireToken
  */
 struct CoreState
 {
-    CoreState(const CoreConfig &cfg, const CoreTopology &topo)
-        : fetchToDispatch("fetch_to_dispatch", topo.fetchToDispatch),
-          dispatchToIssue("dispatch_to_issue", topo.dispatchToIssue),
-          execToWriteback("exec_to_writeback", topo.execToWriteback),
-          writebackToCommit("writeback_to_commit", topo.writebackToCommit),
-          commitToFetch("commit_to_fetch", topo.commitToFetch),
+    /** `prefix` namespaces the connector names for SMP per-core
+     *  instances ("c0." ...); the default keeps the single-core names. */
+    CoreState(const CoreConfig &cfg, const CoreTopology &topo,
+              const std::string &prefix = "")
+        : fetchToDispatch(prefix + "fetch_to_dispatch", topo.fetchToDispatch),
+          dispatchToIssue(prefix + "dispatch_to_issue", topo.dispatchToIssue),
+          execToWriteback(prefix + "exec_to_writeback", topo.execToWriteback),
+          writebackToCommit(prefix + "writeback_to_commit",
+                            topo.writebackToCommit),
+          commitToFetch(prefix + "commit_to_fetch", topo.commitToFetch),
           renameTable(ucode::NumUopRegs, 0),
           aluFreeAt(cfg.numAlus, 0), buFreeAt(cfg.numBranchUnits, 0),
           lsuFreeAt(cfg.numLoadStoreUnits, 0)

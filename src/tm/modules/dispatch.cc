@@ -8,11 +8,12 @@ namespace modules {
 
 using ucode::UopKind;
 
-DispatchModule::DispatchModule(const CoreConfig &cfg, CoreState &st)
-    : Module("dispatch"), cfg_(cfg), st_(st),
-      stDispatchStallSerialize_(stats().handle("dispatch_stall_serialize")),
-      stDispatchStallResources_(stats().handle("dispatch_stall_resources")),
-      stDispatchedInsts_(stats().handle("dispatched_insts"))
+DispatchModule::DispatchModule(const CoreConfig &cfg, CoreState &st,
+                               const std::string &prefix)
+    : Module(prefix + "dispatch"), cfg_(cfg), st_(st),
+      stDispatchStallSerialize_(stats().handle(prefix + "dispatch_stall_serialize")),
+      stDispatchStallResources_(stats().handle(prefix + "dispatch_stall_resources")),
+      stDispatchedInsts_(stats().handle(prefix + "dispatched_insts"))
 {
 }
 

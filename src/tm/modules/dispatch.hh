@@ -18,7 +18,8 @@ namespace modules {
 class DispatchModule : public Module
 {
   public:
-    DispatchModule(const CoreConfig &cfg, CoreState &st);
+    DispatchModule(const CoreConfig &cfg, CoreState &st,
+                   const std::string &prefix = "");
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;

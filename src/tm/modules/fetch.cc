@@ -12,19 +12,20 @@ using ucode::Uop;
 
 FetchModule::FetchModule(const CoreConfig &cfg, CoreState &st,
                          TraceBuffer &tb, BranchPredictor &bp,
-                         CacheModule &l1i, TlbModule &itlb, MemFabric &fx)
-    : Module("fetch"), cfg_(cfg), st_(st), tb_(tb), bp_(bp),
+                         L1Port &l1i, TlbModule &itlb, MemFabric &fx,
+                         const std::string &prefix)
+    : Module(prefix + "fetch"), cfg_(cfg), st_(st), tb_(tb), bp_(bp),
       l1i_(l1i), itlb_(itlb), fx_(fx),
       ucode_(ucode::UcodeTable::defaultTable()),
-      stMemReqDrops_(stats().handle("fetch_req_drops")),
-      stFetchStallDrainreq_(stats().handle("fetch_stall_drainreq")),
-      stDrainCycles_(stats().handle("drain_cycles")),
-      stFetchStallIcache_(stats().handle("fetch_stall_icache")),
-      stFetchStallResteer_(stats().handle("fetch_stall_resteer")),
-      stFetchStallStarved_(stats().handle("fetch_stall_starved")),
-      stFetchStallBranches_(stats().handle("fetch_stall_branches")),
-      stFetchAttempts_(stats().handle("fetch_attempts")),
-      stFetchedInsts_(stats().handle("fetched_insts"))
+      stMemReqDrops_(stats().handle(prefix + "fetch_req_drops")),
+      stFetchStallDrainreq_(stats().handle(prefix + "fetch_stall_drainreq")),
+      stDrainCycles_(stats().handle(prefix + "drain_cycles")),
+      stFetchStallIcache_(stats().handle(prefix + "fetch_stall_icache")),
+      stFetchStallResteer_(stats().handle(prefix + "fetch_stall_resteer")),
+      stFetchStallStarved_(stats().handle(prefix + "fetch_stall_starved")),
+      stFetchStallBranches_(stats().handle(prefix + "fetch_stall_branches")),
+      stFetchAttempts_(stats().handle(prefix + "fetch_attempts")),
+      stFetchedInsts_(stats().handle(prefix + "fetched_insts"))
 {
 }
 
@@ -112,7 +113,14 @@ FetchModule::tick(Cycle now)
             ++st_.intIcacheAcc;
             if (r.l1Hit)
                 ++st_.intIcacheHit;
-            if (r.latency > cfg_.caches.l1i.hitLatency || tlb_extra) {
+            if (r.pending) {
+                // SMP: the shared-L2 round trip is in flight and its
+                // latency unknown here; stall fetch behind the sentinel
+                // the L1I module clears when the fill arrives (the iTLB
+                // walk overlaps the outstanding miss).
+                st_.fetchBusyUntil = PendingBusySentinel;
+                icache_miss = true;
+            } else if (r.latency > cfg_.caches.l1i.hitLatency || tlb_extra) {
                 st_.fetchBusyUntil = r.readyAt + tlb_extra;
                 icache_miss = true;
             }

@@ -24,8 +24,8 @@ class FetchModule : public Module
 {
   public:
     FetchModule(const CoreConfig &cfg, CoreState &st, TraceBuffer &tb,
-                BranchPredictor &bp, CacheModule &l1i, TlbModule &itlb,
-                MemFabric &fx);
+                BranchPredictor &bp, L1Port &l1i, TlbModule &itlb,
+                MemFabric &fx, const std::string &prefix = "");
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
@@ -42,7 +42,7 @@ class FetchModule : public Module
     CoreState &st_;
     TraceBuffer &tb_;
     BranchPredictor &bp_;
-    CacheModule &l1i_;
+    L1Port &l1i_;
     TlbModule &itlb_;
     MemFabric &fx_;
     const ucode::UcodeTable &ucode_;

@@ -7,10 +7,11 @@ namespace modules {
 using ucode::UopKind;
 
 IssueExecModule::IssueExecModule(const CoreConfig &cfg, CoreState &st,
-                                 CacheModule &l1d, MemFabric &fx)
-    : Module("issue_exec"), cfg_(cfg), st_(st), l1d_(l1d), fx_(fx),
-      stMemReqDrops_(stats().handle("issue_req_drops")),
-      stIssuedUops_(stats().handle("issued_uops"))
+                                 L1Port &l1d, MemFabric &fx,
+                                 const std::string &prefix)
+    : Module(prefix + "issue_exec"), cfg_(cfg), st_(st), l1d_(l1d), fx_(fx),
+      stMemReqDrops_(stats().handle(prefix + "issue_req_drops")),
+      stIssuedUops_(stats().handle(prefix + "issued_uops"))
 {
 }
 
@@ -144,6 +145,11 @@ IssueExecModule::tick(Cycle now)
                     ++lsu_issued;
                     st_.lsuFreeAt[unit] = now + 1;
                     const auto r = accessData(di.e.loadPa, now);
+                    if (r.pending)
+                        break; // SMP shared-L2 miss in flight: the µop
+                               // stays Waiting (LSU slot consumed — a
+                               // replay) and re-issues after the fill
+                               // inserts the line.
                     launch(u, r.readyAt + (u.uop.latency - 1));
                 } else {
                     ++lsu_issued;
@@ -151,6 +157,7 @@ IssueExecModule::tick(Cycle now)
                     // Stores complete into the write buffer; the cache
                     // access is charged for occupancy/statistics.
                     accessData(di.e.storePa, now);
+                    l1d_.noteWrite(di.e.storePa, now);
                     launch(u, now + u.uop.latency);
                 }
                 --st_.rsUsed;

@@ -20,8 +20,8 @@ namespace modules {
 class IssueExecModule : public Module
 {
   public:
-    IssueExecModule(const CoreConfig &cfg, CoreState &st, CacheModule &l1d,
-                    MemFabric &fx);
+    IssueExecModule(const CoreConfig &cfg, CoreState &st, L1Port &l1d,
+                    MemFabric &fx, const std::string &prefix = "");
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;
@@ -36,7 +36,7 @@ class IssueExecModule : public Module
   private:
     const CoreConfig &cfg_;
     CoreState &st_;
-    CacheModule &l1d_;
+    L1Port &l1d_;
     MemFabric &fx_;
 
     /** Access the D-cache and record a miss on the request edge. */

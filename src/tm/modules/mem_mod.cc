@@ -4,10 +4,12 @@ namespace fastsim {
 namespace tm {
 namespace modules {
 
-MemModule::MemModule(Cycle latency, Cycle service_interval, MemFabric &fx)
-    : Module("mem"), latency_(latency), serviceInterval_(service_interval),
-      fx_(fx), stFills_(stats().handle("mem_fills")),
-      stBwStallCycles_(stats().handle("mem_bw_stall_cycles"))
+MemModule::MemModule(Cycle latency, Cycle service_interval, MemFabric &fx,
+                     const std::string &prefix)
+    : Module(prefix + "mem"), latency_(latency),
+      serviceInterval_(service_interval),
+      fx_(fx), stFills_(stats().handle(prefix + "mem_fills")),
+      stBwStallCycles_(stats().handle(prefix + "mem_bw_stall_cycles"))
 {
 }
 

@@ -28,7 +28,8 @@ namespace modules {
 class MemModule : public Module, public MemSink
 {
   public:
-    MemModule(Cycle latency, Cycle serviceInterval, MemFabric &fx);
+    MemModule(Cycle latency, Cycle serviceInterval, MemFabric &fx,
+              const std::string &prefix = "");
 
     FillResult fillVia(const MemLink &up, PAddr pa, Cycle at) override;
 

@@ -1,0 +1,373 @@
+#include "tm/modules/smp_mem.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fastsim {
+namespace tm {
+namespace modules {
+
+// --- SmpL1Module --------------------------------------------------------------
+
+SmpL1Module::SmpL1Module(const CacheParams &p, Role role, unsigned core_id,
+                         unsigned mshr_depth, CoreState &st,
+                         Connector<MemReq> &to_l2,
+                         Connector<MemFill> &from_l2,
+                         Connector<MemReq> &stage_req,
+                         Connector<MemFill> &stage_fill,
+                         Connector<SnoopMsg> *snoop,
+                         const std::string &prefix)
+    : Module(prefix + p.name), level_(p), role_(role), coreId_(core_id),
+      mshrDepth_(mshr_depth), st_(st), toL2_(to_l2), fromL2_(from_l2),
+      stageReq_(stage_req), stageFill_(stage_fill), snoop_(snoop),
+      stAccesses_(level_.stats().handle("accesses")),
+      stHits_(level_.stats().handle("hits")),
+      stMisses_(level_.stats().handle("misses")),
+      stReplays_(stats().handle(prefix + p.name + "_replays")),
+      stMshrDefers_(stats().handle(prefix + p.name + "_mshr_defers")),
+      stFills_(stats().handle(prefix + p.name + "_fills")),
+      stSnoopInvals_(stats().handle(prefix + p.name + "_snoop_invals")),
+      stWriteNotices_(stats().handle(prefix + p.name + "_write_notices"))
+{
+    fastsim_assert((role_ == Role::Data) == (snoop_ != nullptr));
+}
+
+bool
+SmpL1Module::isPending(PAddr line) const
+{
+    return std::find(pendingLines_.begin(), pendingLines_.end(), line) !=
+           pendingLines_.end();
+}
+
+CacheAccessResult
+SmpL1Module::access(PAddr pa, Cycle now)
+{
+    chargeHost(level_.hostCycles());
+
+    CacheAccessResult r;
+    if (level_.probe(pa)) {
+        level_.access(pa); // count the hit, touch LRU
+        r.l1Hit = true;
+        r.latency = level_.params().hitLatency;
+        r.readyAt = now + r.latency;
+        return r;
+    }
+
+    // Miss.  The fill latency cannot be resolved here — the shared L2 is
+    // another partition's state — so the result is pending and the stage
+    // retries (loads) or stalls behind the sentinel (ifetch).  The tag
+    // must NOT allocate yet (CacheLevel::access would): the line
+    // materializes only when the fill arrives, or a retry would hit
+    // early and collapse the miss latency.
+    r.pending = true;
+    const PAddr line = lineOf(pa);
+    if (isPending(line)) {
+        ++stReplays_; // same miss replaying, not new traffic
+        return r;
+    }
+    if (role_ == Role::Data && mshrDepth_ != 0 &&
+        pendingLines_.size() >= mshrDepth_) {
+        // All MSHRs busy: no request launches; the load retries until a
+        // fill frees a slot.  The instruction side is exempt — fetch
+        // fully stalls behind its single outstanding line, and a
+        // deferred ifetch request would never be retried (deadlock).
+        ++stMshrDefers_;
+        return r;
+    }
+    ++stAccesses_; // the miss is counted once, at request launch
+    ++stMisses_;
+    pendingLines_.push_back(line);
+    MemReq q;
+    q.pa = pa;
+    q.core = static_cast<std::uint8_t>(coreId_);
+    q.port = role_ == Role::Data ? 1 : 0;
+    q.kind = 0;
+    fastsim_assert(toL2_.canPush()); // FAB013: coherence edges unbounded
+    toL2_.push(q);
+    return r;
+}
+
+void
+SmpL1Module::noteWrite(PAddr pa, Cycle)
+{
+    fastsim_assert(role_ == Role::Data);
+    const PAddr line = lineOf(pa);
+    if (dirtyLines_.count(line))
+        return; // MESI silent store-to-M: we already own it dirty
+    dirtyLines_.insert(line);
+    MemReq q;
+    q.pa = pa;
+    q.core = static_cast<std::uint8_t>(coreId_);
+    q.port = 1;
+    q.kind = 1; // write-notice: directory update, no fill
+    fastsim_assert(toL2_.canPush());
+    toL2_.push(q);
+    ++stWriteNotices_;
+}
+
+void
+SmpL1Module::tick(Cycle now)
+{
+    // Stage-facing miss-record tokens: drained exactly as the single-core
+    // CacheModule drains them.
+    stageReq_.drainReady([](const MemReq &) {});
+
+    // Fills from the shared L2: the line materializes now — pending loads
+    // hit on their next retry, a stalled ifetch resumes next cycle.
+    fromL2_.drainReady([this, now](const MemFill &f) {
+        const PAddr line = lineOf(f.pa);
+        pendingLines_.erase(
+            std::remove(pendingLines_.begin(), pendingLines_.end(), line),
+            pendingLines_.end());
+        level_.insert(f.pa);
+        ++stFills_;
+        // Mirror the fill onto the stage-facing edge (fabric-visible
+        // traffic record, drained by the stage).
+        if (stageFill_.canPush())
+            stageFill_.push(MemFill{f.pa, f.port});
+        if (role_ == Role::Instr && st_.fetchBusyUntil >= PendingBusySentinel)
+            st_.fetchBusyUntil = now; // release the sentinel
+    });
+
+    // Coherence invalidates (data side services both L1s; the sibling
+    // shares this core's sync domain, so the direct call is legal).
+    if (snoop_) {
+        snoop_->drainReady([this](const SnoopMsg &m) {
+            if (level_.invalidate(m.pa))
+                ++stSnoopInvals_;
+            if (sibling_)
+                sibling_->level_.invalidate(m.pa);
+            dirtyLines_.erase(lineOf(m.pa));
+        });
+    }
+}
+
+std::vector<Port>
+SmpL1Module::ports() const
+{
+    std::vector<Port> ps{{&stageReq_, PortDir::In},
+                         {&stageFill_, PortDir::Out},
+                         {&toL2_, PortDir::Out},
+                         {&fromL2_, PortDir::In}};
+    if (snoop_)
+        ps.push_back({snoop_, PortDir::In});
+    return ps;
+}
+
+FpgaCost
+SmpL1Module::fpgaCost() const
+{
+    FpgaCost c = level_.cost();
+    // Pending-line match CAM (MSHRs) plus the snoop lookup port.
+    const unsigned entries = mshrDepth_ ? mshrDepth_ : 1u;
+    ModeledCam mshr_cam{entries, 28, 1};
+    c += mshr_cam.cost();
+    if (role_ == Role::Data)
+        c.slices += 120.0; // snoop/invalidate datapath
+    return c;
+}
+
+void
+SmpL1Module::saveExtra(serialize::Sink &s) const
+{
+    level_.save(s);
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(pendingLines_.size()));
+    for (PAddr line : pendingLines_)
+        s.put<PAddr>(line);
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(dirtyLines_.size()));
+    for (PAddr line : dirtyLines_)
+        s.put<PAddr>(line);
+}
+
+void
+SmpL1Module::restoreExtra(serialize::Source &s)
+{
+    level_.restore(s);
+    pendingLines_.assign(s.get<std::uint32_t>(), 0);
+    for (PAddr &line : pendingLines_)
+        line = s.get<PAddr>();
+    dirtyLines_.clear();
+    const std::uint32_t nd = s.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nd; ++i)
+        dirtyLines_.insert(s.get<PAddr>());
+}
+
+// --- SharedL2Module -----------------------------------------------------------
+
+SharedL2Module::SharedL2Module(const CacheParams &p, unsigned mshr_depth,
+                               Cycle dirty_penalty,
+                               std::vector<SmpCoreLinks> cores, MemLink down,
+                               MemSink &mem)
+    : Module("smp." + p.name), level_(p), mshrs_(mshr_depth),
+      dirtyPenalty_(dirty_penalty), cores_(std::move(cores)), down_(down),
+      mem_(mem), stReads_(stats().handle("smp_l2_reads")),
+      stWriteNotices_(stats().handle("smp_l2_write_notices")),
+      stDirtyServices_(stats().handle("smp_l2_dirty_services")),
+      stSnoops_(stats().handle("smp_l2_snoops")),
+      stMemFills_(stats().handle("smp_l2_mem_fills"))
+{
+    fastsim_assert(!cores_.empty() && cores_.size() <= 32);
+}
+
+void
+SharedL2Module::snoopInvalidate(unsigned core, PAddr pa, std::uint8_t reason,
+                                Cycle)
+{
+    fastsim_assert(cores_[core].snoop->canPush());
+    cores_[core].snoop->push(SnoopMsg{pa, reason});
+    ++stSnoops_;
+}
+
+void
+SharedL2Module::serveRead(const MemReq &q, Cycle now)
+{
+    chargeHost(level_.hostCycles());
+
+    // The single shared L2 port: every access reserves a slot for its
+    // duration (alloc-on-hit), arbitrated in the deterministic drain
+    // order of tick().
+    const Cycle start = mshrs_.gate(now);
+    const Cycle hit_lat = level_.params().hitLatency;
+    Cycle ready;
+    if (level_.access(q.pa)) {
+        ready = start + hit_lat;
+    } else {
+        if (down_.req && down_.req->canPush())
+            down_.req->push(MemReq{q.pa});
+        ready = mem_.fillVia(down_, q.pa, start + hit_lat).readyAt;
+        ++stMemFills_;
+    }
+
+    // MESI-lite directory: a remote dirty owner services the read with a
+    // fixed intervention penalty and loses the line.
+    DirEntry &d = dir_[lineOf(q.pa)];
+    if (d.dirtyOwner >= 0 &&
+        d.dirtyOwner != static_cast<std::int8_t>(q.core)) {
+        ready += dirtyPenalty_;
+        snoopInvalidate(static_cast<unsigned>(d.dirtyOwner), q.pa, 1, now);
+        d.sharers &= ~(1u << d.dirtyOwner);
+        d.dirtyOwner = -1;
+        ++stDirtyServices_;
+    }
+    d.sharers |= 1u << q.core;
+    mshrs_.allocate(ready);
+
+    Connector<MemFill> *fill =
+        q.port ? cores_[q.core].fillD : cores_[q.core].fillI;
+    fastsim_assert(fill->canPush());
+    fill->pushAt(MemFill{q.pa, q.port}, std::max<Cycle>(ready, now + 1));
+    ++stReads_;
+}
+
+void
+SharedL2Module::serveWriteNotice(const MemReq &q, Cycle now)
+{
+    chargeHost(1);
+    // The L2 keeps the line (inclusive fiction); no access is counted —
+    // stores complete into the write buffer and never wait on the port.
+    level_.insert(q.pa);
+    DirEntry &d = dir_[lineOf(q.pa)];
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        if (c == q.core)
+            continue;
+        const bool holds = (d.sharers & (1u << c)) ||
+                           d.dirtyOwner == static_cast<std::int8_t>(c);
+        if (holds)
+            snoopInvalidate(c, q.pa, 0, now);
+    }
+    d.sharers = 1u << q.core;
+    d.dirtyOwner = static_cast<std::int8_t>(q.core);
+    ++stWriteNotices_;
+}
+
+void
+SharedL2Module::tick(Cycle now)
+{
+    // Ripened mem->l2 fill tokens: the timing rode the tokens' readiness.
+    if (down_.fill)
+        down_.fill->drainReady([](const MemFill &) {});
+
+    // Deterministic arbitration: fixed core order, instruction side
+    // before data side.  Token order within an edge is push order, so
+    // the whole service sequence is a pure function of target time.
+    for (const SmpCoreLinks &c : cores_) {
+        c.reqI->drainReady([this, now](const MemReq &q) {
+            serveRead(q, now);
+        });
+        c.reqD->drainReady([this, now](const MemReq &q) {
+            if (q.kind)
+                serveWriteNotice(q, now);
+            else
+                serveRead(q, now);
+        });
+    }
+}
+
+std::vector<Port>
+SharedL2Module::ports() const
+{
+    std::vector<Port> ps;
+    for (const SmpCoreLinks &c : cores_) {
+        ps.push_back({c.reqI, PortDir::In});
+        ps.push_back({c.reqD, PortDir::In});
+        ps.push_back({c.fillI, PortDir::Out});
+        ps.push_back({c.fillD, PortDir::Out});
+        ps.push_back({c.snoop, PortDir::Out});
+    }
+    if (down_.req)
+        ps.push_back({down_.req, PortDir::Out});
+    if (down_.fill)
+        ps.push_back({down_.fill, PortDir::In});
+    return ps;
+}
+
+FpgaCost
+SharedL2Module::fpgaCost() const
+{
+    FpgaCost c = level_.cost();
+    const unsigned entries = mshrs_.depth() ? mshrs_.depth() : 1u;
+    ModeledCam mshr_cam{entries, 28, 1};
+    c += mshr_cam.cost();
+    // Directory RAM: one entry per L2 line (sharers + owner), plus the
+    // per-core snoop fan-out.
+    const unsigned lines =
+        level_.params().sizeBytes / level_.params().lineBytes;
+    ModeledMem dir_ram{lines, 40, 2};
+    c += dir_ram.cost();
+    c.slices += 80.0 * static_cast<double>(cores_.size());
+    return c;
+}
+
+void
+SharedL2Module::saveExtra(serialize::Sink &s) const
+{
+    level_.save(s);
+    mshrs_.save(s);
+    s.put<std::uint64_t>(dir_.size());
+    for (const auto &kv : dir_) { // std::map: sorted, deterministic
+        s.put<PAddr>(kv.first);
+        s.put<std::uint32_t>(kv.second.sharers);
+        s.put<std::int8_t>(kv.second.dirtyOwner);
+    }
+}
+
+void
+SharedL2Module::restoreExtra(serialize::Source &s)
+{
+    level_.restore(s);
+    mshrs_.restore(s);
+    dir_.clear();
+    const std::uint64_t n = s.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const PAddr line = s.get<PAddr>();
+        DirEntry d;
+        d.sharers = s.get<std::uint32_t>();
+        d.dirtyOwner = s.get<std::int8_t>();
+        dir_.emplace(line, d);
+    }
+}
+
+} // namespace modules
+} // namespace tm
+} // namespace fastsim

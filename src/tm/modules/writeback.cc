@@ -6,10 +6,11 @@ namespace fastsim {
 namespace tm {
 namespace modules {
 
-WritebackModule::WritebackModule(const CoreConfig &cfg, CoreState &st)
-    : Module("writeback"), cfg_(cfg), st_(st),
-      stSquashedInsts_(stats().handle("squashed_insts")),
-      stMispredictResteers_(stats().handle("mispredict_resteers"))
+WritebackModule::WritebackModule(const CoreConfig &cfg, CoreState &st,
+                                 const std::string &prefix)
+    : Module(prefix + "writeback"), cfg_(cfg), st_(st),
+      stSquashedInsts_(stats().handle(prefix + "squashed_insts")),
+      stMispredictResteers_(stats().handle(prefix + "mispredict_resteers"))
 {
 }
 

@@ -23,7 +23,8 @@ namespace modules {
 class WritebackModule : public Module
 {
   public:
-    WritebackModule(const CoreConfig &cfg, CoreState &st);
+    WritebackModule(const CoreConfig &cfg, CoreState &st,
+                    const std::string &prefix = "");
 
     void tick(Cycle now) override;
     FpgaCost fpgaCost() const override;

@@ -810,6 +810,7 @@ TEST(Catalog, CoversEveryPassFamily)
     const char *expected[] = {
         "FAB001", "FAB002", "FAB003", "FAB004",  "FAB005",  "FAB006",
         "FAB007", "FAB008", "FAB009", "FAB010",  "FAB011",  "FAB012",
+        "FAB013",
         "COD001", "COD002", "COD003", "COD004",  "COD005",  "COD006",
         "COD007", "DET001", "DET002", "DET003",  "DET004",  "DET005",
         "DET006", "PROT001", "PROT002", "PROT003", "PROT004",
@@ -848,7 +849,7 @@ TEST(Catalog, JsonDocumentCarriesStableSchema)
     passes = {fabric, protocol};
 
     const std::string doc = jsonDocument(r, passes);
-    EXPECT_NE(doc.find("\"catalog_version\":8"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"catalog_version\":9"), std::string::npos) << doc;
     EXPECT_NE(doc.find("\"passes\":[{\"name\":\"fabric\",\"runtime_us\":120,"
                        "\"findings\":1},{\"name\":\"protocol\","
                        "\"runtime_us\":52000,\"findings\":0}]"),

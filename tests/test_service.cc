@@ -285,6 +285,48 @@ TEST(Job, AdmissionRejectsUnbuildablePoints)
     EXPECT_NE(reason.find("FAB009"), std::string::npos) << reason;
 }
 
+TEST(Job, NumCoresKnobParsesFingerprintsAndAdmits)
+{
+    // Parse + validation: the SMP runner only boots the service program.
+    const service::JobBatch b = service::parseJobs(
+        "{\"points\": [{\"workload\": \"service\", \"num_cores\": 4,"
+        " \"scale\": 16}]}");
+    ASSERT_EQ(b.points.size(), 1u);
+    EXPECT_EQ(b.points[0].numCores, 4u);
+    EXPECT_THROW(service::parseJobs("{\"points\": [{\"workload\":"
+                                    " \"164.gzip\", \"num_cores\": 2}]}"),
+                 FatalError);
+    EXPECT_THROW(service::parseJobs("{\"points\": [{\"workload\":"
+                                    " \"service\"}]}"),
+                 FatalError);
+    EXPECT_THROW(service::parseJobs("{\"points\": [{\"workload\":"
+                                    " \"service\", \"num_cores\": 64}]}"),
+                 FatalError);
+
+    // Fingerprint: core count is part of the experiment, but the
+    // single-core encoding is unchanged (pre-SMP manifests stay valid).
+    service::SweepPoint p2 = b.points[0];
+    p2.numCores = 2;
+    EXPECT_NE(service::fingerprint(b.points[0]), service::fingerprint(p2));
+    const service::SweepPoint rt =
+        service::pointFromJson(service::pointToJson(b.points[0]));
+    EXPECT_EQ(service::fingerprint(b.points[0]), service::fingerprint(rt));
+
+    // configFor/imageFor build the SMP shapes.
+    const fast::FastConfig cfg = service::configFor(b.points[0]);
+    EXPECT_EQ(cfg.numCores, 4u);
+    const kernel::BootImage img = service::imageFor(b.points[0]);
+    EXPECT_FALSE(img.segments.empty());
+
+    // Admission lints the 4-core fabric (cost pass off: multi-FPGA
+    // territory is still simulable).
+    std::string reason;
+    EXPECT_TRUE(service::admit(b.points[0], reason)) << reason;
+    service::SweepPoint bad = b.points[0];
+    bad.issueWidth = 16;
+    EXPECT_FALSE(service::admit(bad, reason));
+}
+
 TEST(Job, SuiteJobsCoverTheWholeSuite)
 {
     const service::JobBatch b =

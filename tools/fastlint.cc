@@ -4,7 +4,7 @@
  *
  * Constructs a timing-model core for a configuration and runs the
  * src/analysis passes over it:
- *   pass 1  fabric lint      (FAB001..FAB005, FAB007..FAB012)
+ *   pass 1  fabric lint      (FAB001..FAB005, FAB007..FAB013)
  *   pass 2  cost check       (FAB006 against a device)
  *   pass 3  codec check      (COD001..COD007 over the FX86 table + codec)
  *   pass 4  protocol model   (--protocol: PROT001..PROT004 by exhaustive
@@ -17,14 +17,23 @@
  * Usage:
  *   fastlint [--json] [--list] [--no-verify-fabric] [--no-verify-codec]
  *            [--no-verify-cost] [--protocol[=depth]] [--issue-width N]
- *            [--front-end-depth N] [--partition[=N]]
+ *            [--front-end-depth N] [--partition[=N]] [--cores N]
  *            [--imbalance-threshold=PCT] [--device NAME] [--suppress ID]...
+ *
+ * --cores N (N >= 2) lints the N-core SMP fabric (tm::SmpCore): per-core
+ * pipeline/L1 slices joined to the shared L2, including the coherence
+ * edge legality pass (FAB013).  --partition then names each partition by
+ * the core slice it covers ("core 0", "shared").  Note that ~4 cores
+ * exceed the BRAM budget of every catalogued paper-era device (FAB006 is
+ * an honest finding — a multi-core FAST would span FPGAs); combine with
+ * --no-verify-cost to check structure alone.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,7 @@
 #include "base/logging.hh"
 #include "fpga/model.hh"
 #include "tm/core.hh"
+#include "tm/smp_core.hh"
 #include "tm/trace_buffer.hh"
 
 namespace {
@@ -48,7 +58,7 @@ usage(const char *argv0)
         "usage: %s [--json] [--list] [--no-verify-fabric]\n"
         "          [--no-verify-codec] [--no-verify-cost]\n"
         "          [--protocol[=depth]] [--issue-width N]\n"
-        "          [--front-end-depth N] [--partition[=N]]\n"
+        "          [--front-end-depth N] [--partition[=N]] [--cores N]\n"
         "          [--imbalance-threshold=PCT] [--device NAME]\n"
         "          [--suppress ID]...\n",
         argv0);
@@ -74,6 +84,10 @@ printPartition(const fastsim::analysis::FabricGraph &g,
                        g.modules[plan.partitions[p][i]].name + "\"";
             out += "]";
         }
+        out += "],\"partition_labels\":[";
+        for (std::size_t p = 0; p < plan.partitions.size(); ++p)
+            out += std::string(p ? "," : "") + "\"" +
+                   fastsim::analysis::partitionLabel(g, plan, p) + "\"";
         out += "],\"cut_edges\":[";
         for (std::size_t i = 0; i < plan.cutEdges.size(); ++i) {
             const FabricEdge &e = g.edges[plan.cutEdges[i]];
@@ -97,7 +111,12 @@ printPartition(const fastsim::analysis::FabricGraph &g,
                 plan.partitions.size(), plan.requestedThreads,
                 plan.groupCount);
     for (std::size_t p = 0; p < plan.partitions.size(); ++p) {
-        std::printf("  partition %zu:", p);
+        const std::string label =
+            fastsim::analysis::partitionLabel(g, plan, p);
+        if (label.empty())
+            std::printf("  partition %zu:", p);
+        else
+            std::printf("  partition %zu (%s):", p, label.c_str());
         for (const std::size_t mi : plan.partitions[p])
             std::printf(" %s", g.modules[mi].name.c_str());
         std::printf("\n");
@@ -135,6 +154,7 @@ main(int argc, char **argv)
     bool do_protocol = false;
     unsigned protocol_depth = 0;
     unsigned imbalance_pct = analysis::PartitionOptions{}.imbalancePct;
+    unsigned num_cores = 1;
     std::string device_name;
     std::vector<std::string> suppress;
     tm::CoreConfig cfg;
@@ -185,6 +205,12 @@ main(int argc, char **argv)
                 cfg.tmThreads = 4;
             if (cfg.tmThreads < 1) {
                 std::fprintf(stderr, "--partition needs N >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--cores") {
+            num_cores = static_cast<unsigned>(std::atoi(next("a count")));
+            if (num_cores < 1 || num_cores > 32) {
+                std::fprintf(stderr, "--cores needs 1 <= N <= 32\n");
                 return 2;
             }
         } else if (arg == "--issue-width") {
@@ -247,6 +273,20 @@ main(int argc, char **argv)
     try {
         tm::TraceBuffer tb(256);
         tm::Core core(cfg, tb);
+        // --cores N: the fabric under lint is the N-core SMP core (the
+        // codec and protocol passes stay fabric-independent).
+        std::vector<std::unique_ptr<tm::TraceBuffer>> smp_tbs;
+        std::unique_ptr<tm::SmpCore> smp;
+        if (num_cores >= 2) {
+            std::vector<tm::TraceBuffer *> ptrs;
+            for (unsigned c = 0; c < num_cores; ++c) {
+                smp_tbs.push_back(std::make_unique<tm::TraceBuffer>(256));
+                ptrs.push_back(smp_tbs.back().get());
+            }
+            smp = std::make_unique<tm::SmpCore>(cfg, ptrs);
+        }
+        const tm::ModuleRegistry &reg =
+            smp ? smp->registry() : core.registry();
         analysis::VerifyOptions opts;
         opts.fabric = false;
         opts.cost = false;
@@ -257,7 +297,9 @@ main(int argc, char **argv)
             timedPass("fabric", [&] {
                 analysis::VerifyOptions o = opts;
                 o.fabric = true;
-                analysis::verify(core, o, report);
+                analysis::verify(reg, cfg,
+                                 smp ? smp->fpgaCost() : core.fpgaCost(),
+                                 o, report);
                 // FAB010: the runner constructors reject these
                 // unconditionally; here the default tuning is checked
                 // against the chosen core so a CLI sweep surfaces e.g. an
@@ -269,7 +311,9 @@ main(int argc, char **argv)
             timedPass("cost", [&] {
                 analysis::VerifyOptions o = opts;
                 o.cost = true;
-                analysis::verify(core, o, report);
+                analysis::verify(reg, cfg,
+                                 smp ? smp->fpgaCost() : core.fpgaCost(),
+                                 o, report);
             });
         if (do_codec)
             timedPass("codec", [&] {
@@ -286,7 +330,7 @@ main(int argc, char **argv)
             });
         if (show_partition) {
             const analysis::FabricGraph g =
-                analysis::FabricGraph::fromRegistry(core.registry());
+                analysis::FabricGraph::fromRegistry(reg);
             const analysis::PartitionPlan plan =
                 analysis::computePartition(g, cfg.tmThreads);
             printPartition(g, plan, json);
